@@ -1,0 +1,57 @@
+// Ablation: the I/O delegation mechanisms — multiqueue x DSM-bypass matrix.
+//
+// Two experiments on a 4-vCPU FragVisor Aggregate VM:
+//  1. OpenLambda download time (delegated RX from the LAN),
+//  2. LEMP throughput at 100 ms processing (delegated TX of 2 MB responses),
+// with each combination of multiqueue and DSM-bypass. GiantVM effectively
+// runs the (single-queue, no-bypass) corner plus its user-space costs.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace fragvisor {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: IO path (4 vCPUs): multiqueue x DSM-bypass");
+  PrintRow({"multiqueue", "bypass", "FaaS download (ms)", "LEMP tput (req/s)"}, 20);
+  for (const bool multiqueue : {true, false}) {
+    for (const bool bypass : {true, false}) {
+      Setup setup;
+      setup.system = System::kFragVisor;
+      setup.vcpus = 4;
+      setup.io_multiqueue = multiqueue;
+      setup.io_dsm_bypass = bypass;
+
+      FaasConfig faas;
+      faas.download_bytes = 4ull << 20;
+      faas.extract_bytes = 8ull << 20;
+      faas.detect_compute = Millis(100);
+      const FaasPhaseStats stats = RunFaas(setup, faas);
+
+      LempConfig lemp;
+      lemp.num_php_workers = 3;
+      lemp.processing_time = Millis(100);
+      lemp.total_requests = 30;
+      const double tput = RunLemp(setup, lemp);
+
+      PrintRow({multiqueue ? "yes" : "no", bypass ? "yes" : "no",
+                Fmt(stats.download_ns.mean() / 1e6, 1), Fmt(tput, 1)},
+               20);
+    }
+  }
+  std::printf(
+      "\nExpected: bypass dominates (no double DSM transfer of payloads); multiqueue\n"
+      "matters most without bypass, where slices contend on the shared ring page.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fragvisor
+
+int main() {
+  fragvisor::bench::Run();
+  return 0;
+}

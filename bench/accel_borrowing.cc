@@ -1,0 +1,95 @@
+// Extension bench (Sec. 4 / 6.3): borrowing an accelerator from another node.
+//
+// A batch of inference-style kernels (4 MB in, 1 MB out, 20 ms of
+// pCPU-equivalent work each) runs four ways: on the local pCPU, on a local
+// accelerator, on a *borrowed* accelerator on another slice (with and
+// without DSM-bypass). The paper argues device borrowing is commercially
+// proven (GPUDirect) and only a kvmtool limitation kept it out of the
+// prototype evaluation.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/io/accel.h"
+
+namespace fragvisor {
+namespace bench {
+namespace {
+
+constexpr int kKernels = 32;
+constexpr uint64_t kInputBytes = 4ull << 20;
+constexpr uint64_t kOutputBytes = 1ull << 20;
+constexpr TimeNs kWork = Millis(20);
+
+struct AccelRun {
+  double total_ms = 0;
+  double mean_kernel_ms = 0;
+};
+
+AccelRun RunBatch(bool use_accel, bool remote, bool bypass) {
+  Cluster::Config cc;
+  cc.num_nodes = 2;
+  Cluster cluster(cc);
+  AggregateVmConfig config;
+  config.placement = {VcpuPlacement{0, 0}};
+  AggregateVm vm(&cluster, config);
+  vm.SetWorkload(0, std::make_unique<ScriptedStream>(std::vector<Op>{}));
+  vm.Boot();
+
+  AccelRun result;
+  if (!use_accel) {
+    // Plain pCPU execution, back to back.
+    result.total_ms = ToMillis(kKernels * kWork);
+    result.mean_kernel_ms = ToMillis(kWork);
+    return result;
+  }
+
+  AccelConfig ac;
+  ac.backend_node = remote ? 1 : 0;
+  ac.dsm_bypass = bypass;
+  AccelDev accel(&cluster.loop(), &cluster.fabric(), &vm.dsm(), &vm.space(), &vm.costs(), ac,
+                 [&vm](int v) { return vm.VcpuNode(v); });
+
+  int completed = 0;
+  for (int k = 0; k < kKernels; ++k) {
+    accel.Submit(0, kInputBytes, kWork, kOutputBytes, [&completed]() { ++completed; });
+  }
+  const TimeNs end =
+      RunUntil(cluster, [&]() { return completed == kKernels; }, Seconds(600));
+  result.total_ms = ToMillis(end);
+  result.mean_kernel_ms = accel.stats().kernel_latency_ns.mean() / 1e6;
+  return result;
+}
+
+void Run() {
+  PrintHeader("Accelerator borrowing: 32 kernels (4 MB in / 1 MB out / 20 ms pCPU-equiv)");
+  PrintRow({"execution", "batch (ms)", "mean kernel (ms)", "vs pCPU"}, 24);
+  const AccelRun cpu = RunBatch(false, false, true);
+  PrintRow({"pCPU (no accelerator)", Fmt(cpu.total_ms, 1), Fmt(cpu.mean_kernel_ms, 1), "1.00x"},
+           24);
+  const AccelRun local = RunBatch(true, false, true);
+  PrintRow({"local accelerator", Fmt(local.total_ms, 1), Fmt(local.mean_kernel_ms, 1),
+            Fmt(cpu.total_ms / local.total_ms) + "x"},
+           24);
+  const AccelRun borrowed = RunBatch(true, true, true);
+  PrintRow({"borrowed (+bypass)", Fmt(borrowed.total_ms, 1), Fmt(borrowed.mean_kernel_ms, 1),
+            Fmt(cpu.total_ms / borrowed.total_ms) + "x"},
+           24);
+  const AccelRun no_bypass = RunBatch(true, true, false);
+  PrintRow({"borrowed (DSM rings)", Fmt(no_bypass.total_ms, 1), Fmt(no_bypass.mean_kernel_ms, 1),
+            Fmt(cpu.total_ms / no_bypass.total_ms) + "x"},
+           24);
+  std::printf(
+      "\nA VM with no local GPU gets nearly the full device speedup from a neighbour's:\n"
+      "the 56 Gb operand/result transfers are small next to the kernels, and DSM-bypass\n"
+      "keeps the payloads off the coherence protocol.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fragvisor
+
+int main() {
+  fragvisor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Extension bench (Sec. 5.2 "live slice migration"): what happens to a
+// consolidated VM's *memory*.
+//
+// FragVisor's consolidation moves vCPUs in ~86 us each; the vacated slices'
+// pages can either stay behind and migrate lazily on demand faults, or be
+// pre-copied eagerly right after the vCPUs (live slice migration). This
+// bench consolidates a 4-slice VM mid-run and measures the post-
+// consolidation phase, where the workload re-touches its entire dataset.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+namespace bench {
+namespace {
+
+constexpr uint64_t kPagesPerSlice = 2048;  // 8 MiB of slice-local dataset
+
+struct Outcome {
+  double consolidation_ms = 0;  // vCPU moves (+ pre-copy when eager)
+  double retouch_ms = 0;        // post-consolidation pass over the dataset
+  uint64_t post_faults = 0;     // demand faults during the re-touch
+};
+
+Outcome RunConsolidation(bool eager_memory) {
+  Cluster::Config cc;
+  cc.num_nodes = 4;
+  cc.pcpus_per_node = 8;
+  Cluster cluster(cc);
+  FragVisor hypervisor(&cluster);
+
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(4);
+  AggregateVm& vm = hypervisor.CreateVm(config);
+
+  // Each slice owns a chunk of the dataset; vCPU 0 will sweep all of it
+  // after consolidation (a post-consolidation working phase).
+  std::vector<PageNum> chunks;
+  for (int s = 0; s < 4; ++s) {
+    chunks.push_back(vm.space().AllocHeapRange(kPagesPerSlice, s));
+  }
+  std::vector<Op> sweep;
+  for (const PageNum first : chunks) {
+    for (PageNum p = first; p < first + kPagesPerSlice; ++p) {
+      sweep.push_back(Op::MemWrite(p));
+    }
+  }
+  // vCPU 0: wait for the consolidation signal, then sweep.
+  std::vector<Op> ops0;
+  ops0.push_back(Op::SocketRecv());
+  ops0.insert(ops0.end(), sweep.begin(), sweep.end());
+  vm.SetWorkload(0, std::make_unique<ScriptedStream>(std::move(ops0)));
+  for (int v = 1; v < 4; ++v) {
+    vm.SetWorkload(v, std::make_unique<ScriptedStream>(
+                          std::vector<Op>{Op::Compute(Millis(5))}));
+  }
+  vm.Boot();
+  cluster.loop().RunFor(Millis(6));  // companions finish their work
+
+  Outcome outcome;
+  const TimeNs t0 = cluster.loop().now();
+  bool consolidated = false;
+  hypervisor.ConsolidateVm(vm, 0, {1, 2, 3}, [&]() { consolidated = true; }, eager_memory);
+  RunUntil(cluster, [&]() { return consolidated; }, Seconds(60));
+  outcome.consolidation_ms = ToMillis(cluster.loop().now() - t0);
+
+  const uint64_t faults_before = vm.dsm().stats().total_faults();
+  const TimeNs t1 = cluster.loop().now();
+  // Release the sweep.
+  vm.SocketSend(1, 0, 64, []() {});
+  RunUntilVmDone(cluster, vm, Seconds(60));
+  outcome.retouch_ms = ToMillis(cluster.loop().now() - t1);
+  outcome.post_faults = vm.dsm().stats().total_faults() - faults_before;
+  return outcome;
+}
+
+void Run() {
+  PrintHeader("Consolidation memory policy: lazy demand paging vs eager slice migration");
+  PrintRow({"policy", "consolidate (ms)", "re-touch 32 MiB (ms)", "demand faults"}, 21);
+  const Outcome lazy = RunConsolidation(false);
+  PrintRow({"lazy (demand)", Fmt(lazy.consolidation_ms, 2), Fmt(lazy.retouch_ms, 1),
+            std::to_string(lazy.post_faults)},
+           21);
+  const Outcome eager = RunConsolidation(true);
+  PrintRow({"eager (pre-copy)", Fmt(eager.consolidation_ms, 2), Fmt(eager.retouch_ms, 1),
+            std::to_string(eager.post_faults)},
+           21);
+  std::printf(
+      "\nLazy consolidation finishes in microseconds but leaves a long demand-fault tail;\n"
+      "eager slice migration pays a bulk pre-copy up front (56 Gb wire speed) and the\n"
+      "consolidated VM then runs at local-memory speed — the trade FragVisor's mobility\n"
+      "layer lets the scheduler pick per migration.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fragvisor
+
+int main() {
+  fragvisor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 5: DSM concurrent writes — total work under unsynchronized writes.
+//
+// Four vCPUs write to predefined locations for a fixed duration. Patterns:
+// no-sharing (4 distinct pages), low (2+2 vCPUs per page), moderate (3+1),
+// max (all 4 on one page). FragVisor (one vCPU per node) is compared against
+// overcommit (4 vCPUs on one pCPU), where work is constant — the page never
+// leaves the node.
+//
+// Paper shape: FragVisor no-sharing ~= 4x a single pCPU; work degrades with
+// sharing down to ~1x at max sharing; the generated fabric traffic stays in
+// the single-digit MB/s range (the paper reports 8 MB/s at max sharing).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/workload/microbench.h"
+
+namespace fragvisor {
+namespace bench {
+namespace {
+
+constexpr TimeNs kDuration = Millis(50);
+constexpr TimeNs kComputePerIter = Nanos(60);
+
+struct PatternResult {
+  double ops_millions = 0;
+  double traffic_mb_per_s = 0;
+};
+
+// pattern[v] = which page group vCPU v writes.
+PatternResult RunPattern(System system, const std::vector<int>& pattern) {
+  Setup setup;
+  setup.system = system;
+  setup.vcpus = static_cast<int>(pattern.size());
+  setup.overcommit_pcpus = 1;
+  TestBed bed = MakeTestBed(setup);
+
+  int groups = 0;
+  for (const int g : pattern) {
+    groups = std::max(groups, g + 1);
+  }
+  std::vector<PageNum> pages;
+  for (int g = 0; g < groups; ++g) {
+    pages.push_back(bed.vm->space().AllocHeapRange(1, 0));
+  }
+  const TimeNs start_skew = Millis(1);  // let all slices boot first
+  for (size_t v = 0; v < pattern.size(); ++v) {
+    bed.vm->SetWorkload(static_cast<int>(v),
+                        std::make_unique<ConcurrentWriteStream>(
+                            &bed.cluster->loop(), pages[static_cast<size_t>(pattern[v])],
+                            start_skew + kDuration, kComputePerIter));
+  }
+  bed.vm->Boot();
+  RunUntilVmDone(*bed.cluster, *bed.vm, Seconds(600));
+
+  PatternResult result;
+  uint64_t total_writes = 0;
+  for (int v = 0; v < setup.vcpus; ++v) {
+    total_writes += bed.vm->vcpu(v).exec_stats().mem_writes;
+  }
+  result.ops_millions = static_cast<double>(total_writes) / 1e6;
+  result.traffic_mb_per_s =
+      static_cast<double>(bed.cluster->fabric().wire_bytes()) / 1e6 / ToSeconds(kDuration);
+  return result;
+}
+
+void Run() {
+  PrintHeader("Figure 5: DSM concurrent writes (4 vCPUs, 50 ms)");
+  const std::vector<std::pair<std::string, std::vector<int>>> patterns = {
+      {"no-sharing", {0, 1, 2, 3}},
+      {"low-sharing", {0, 0, 1, 1}},
+      {"moderate-sharing", {0, 0, 0, 1}},
+      {"max-sharing", {0, 0, 0, 0}},
+  };
+  PrintRow({"pattern", "system", "Mops", "traffic MB/s", "vs overcommit"}, 18);
+  for (const auto& [name, pattern] : patterns) {
+    const PatternResult frag = RunPattern(System::kFragVisor, pattern);
+    const PatternResult over = RunPattern(System::kOvercommit, pattern);
+    PrintRow({name, "FragVisor", Fmt(frag.ops_millions), Fmt(frag.traffic_mb_per_s),
+              Fmt(frag.ops_millions / over.ops_millions) + "x"},
+             18);
+    PrintRow({name, "Overcommit", Fmt(over.ops_millions), Fmt(over.traffic_mb_per_s), "1.00x"},
+             18);
+  }
+  std::printf(
+      "\nExpected shape (paper): overcommit constant; FragVisor ~4x at no-sharing, degrading\n"
+      "with sharing toward ~1x; max-sharing traffic in single-digit MB/s on the 56 Gb fabric.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fragvisor
+
+int main() {
+  fragvisor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 13: OpenLambda serverless computing, phase breakdown.
+//
+// One FaaS worker per vCPU runs the face-detection function: download a
+// compressed picture archive from a database on the LAN, extract it to the
+// tmpfs root filesystem, run detection. Parallel requests = vCPUs.
+// FragVisor and GiantVM are normalized to overcommit (same pCPU).
+//
+// Paper shape: FragVisor beats overcommit overall (1.9x-3.26x from 2 to 4
+// vCPUs) because detection dominates and parallelizes; extraction slows with
+// vCPU count (write-invalidate on fresh tmpfs regions); FragVisor beats
+// GiantVM in every phase — download most dramatically (up to 13x at 4 vCPUs:
+// multiqueue + DSM-bypass vs a single DSM-replicated queue), 2.2-2.6x
+// overall.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace fragvisor {
+namespace bench {
+namespace {
+
+FaasPhaseStats RunOne(System system, int vcpus) {
+  Setup setup;
+  setup.system = system;
+  setup.vcpus = vcpus;
+  setup.overcommit_pcpus = 1;
+  FaasConfig faas;
+  faas.download_bytes = 4ull << 20;
+  faas.extract_bytes = 24ull << 20;
+  faas.detect_compute = Millis(1200);  // face detection dominates the function
+  return RunFaas(setup, faas);
+}
+
+void Run() {
+  PrintHeader("Figure 13: OpenLambda phase times (ms) and speedup vs overcommit");
+  PrintRow({"vCPUs", "system", "download", "extract", "detect", "total", "vs overcommit"}, 13);
+  for (int vcpus = 2; vcpus <= 4; ++vcpus) {
+    const FaasPhaseStats over = RunOne(System::kOvercommit, vcpus);
+    const FaasPhaseStats frag = RunOne(System::kFragVisor, vcpus);
+    const FaasPhaseStats giant = RunOne(System::kGiantVm, vcpus);
+    auto row = [&](const char* name, const FaasPhaseStats& s) {
+      PrintRow({std::to_string(vcpus), name, Fmt(s.download_ns.mean() / 1e6, 1),
+                Fmt(s.extract_ns.mean() / 1e6, 1), Fmt(s.detect_ns.mean() / 1e6, 1),
+                Fmt(s.total_ns.mean() / 1e6, 1),
+                Fmt(over.total_ns.mean() / s.total_ns.mean()) + "x"},
+               13);
+    };
+    row("Overcommit", over);
+    row("FragVisor", frag);
+    row("GiantVM", giant);
+    PrintRow({"", "FV/GV", Fmt(giant.download_ns.mean() / frag.download_ns.mean()) + "x",
+              Fmt(giant.extract_ns.mean() / frag.extract_ns.mean()) + "x",
+              Fmt(giant.detect_ns.mean() / frag.detect_ns.mean()) + "x",
+              Fmt(giant.total_ns.mean() / frag.total_ns.mean()) + "x", ""},
+             13);
+  }
+  std::printf(
+      "\nExpected shape (paper): FragVisor 1.9x-3.26x over overcommit overall; extraction\n"
+      "degrades with vCPUs (DSM write-invalidate on fresh regions); FragVisor faster than\n"
+      "GiantVM in every phase, download by up to ~13x, 2.2-2.6x overall.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fragvisor
+
+int main() {
+  fragvisor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+namespace bench {
+
+const char* SystemName(System system) {
+  switch (system) {
+    case System::kFragVisor:
+      return "FragVisor";
+    case System::kOvercommit:
+      return "Overcommit";
+    case System::kGiantVm:
+      return "GiantVM";
+  }
+  return "unknown";
+}
+
+TestBed MakeTestBed(const Setup& setup) {
+  FV_CHECK_GT(setup.vcpus, 0);
+  TestBed bed;
+
+  Cluster::Config cc;
+  cc.num_nodes = setup.vcpus + (setup.with_client ? 1 : 0);
+  if (setup.system == System::kOvercommit) {
+    cc.num_nodes = 1 + (setup.with_client ? 1 : 0);
+  }
+  cc.num_nodes = std::max(cc.num_nodes, 2);
+  cc.pcpus_per_node = 8;
+  bed.cluster = std::make_unique<Cluster>(cc);
+
+  if (setup.with_client) {
+    bed.client_node = cc.num_nodes - 1;
+    for (NodeId n = 0; n < cc.num_nodes - 1; ++n) {
+      bed.cluster->fabric().SetLinkParams(n, bed.client_node, LinkParams::Ethernet1G());
+      bed.cluster->fabric().SetLinkParams(bed.client_node, n, LinkParams::Ethernet1G());
+    }
+  }
+
+  AggregateVmConfig config;
+  config.guest = setup.guest;
+  config.io_multiqueue = setup.io_multiqueue;
+  config.io_dsm_bypass = setup.io_dsm_bypass;
+  config.contextual_dsm = setup.contextual_dsm;
+  config.blk_backend = setup.blk_backend;
+  config.external_node = bed.client_node;
+  switch (setup.system) {
+    case System::kFragVisor:
+      config.platform = Platform::kFragVisor;
+      config.placement = DistributedPlacement(setup.vcpus);
+      break;
+    case System::kGiantVm:
+      config.platform = Platform::kGiantVm;
+      config.placement = DistributedPlacement(setup.vcpus);
+      if (setup.giantvm_colocated_helpers) {
+        config.giantvm.helper_placement = GiantVmProfile::HelperPlacement::kColocated;
+      }
+      break;
+    case System::kOvercommit:
+      config.platform = Platform::kFragVisor;
+      config.placement = OvercommitPlacement(0, setup.vcpus, setup.overcommit_pcpus);
+      break;
+  }
+  bed.vm = std::make_unique<AggregateVm>(bed.cluster.get(), config);
+  return bed;
+}
+
+TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_t seed,
+                          double* faults_per_sec) {
+  TestBed bed = MakeTestBed(setup);
+  for (int v = 0; v < setup.vcpus; ++v) {
+    bed.vm->SetWorkload(v, std::make_unique<NpbSerialStream>(bed.vm.get(), v, profile,
+                                                             seed * 1000 + static_cast<uint64_t>(v)));
+  }
+  bed.vm->Boot();
+  const TimeNs end = RunUntilVmDone(*bed.cluster, *bed.vm, Seconds(600));
+  FV_CHECK(bed.vm->AllFinished());
+  if (faults_per_sec != nullptr) {
+    *faults_per_sec = RatePerSecond(bed.vm->dsm().stats().total_faults(), end);
+  }
+  return end;
+}
+
+TimeNs RunOmp(const Setup& setup, const OmpProfile& profile, double* faults_per_sec,
+              uint64_t seed) {
+  TestBed bed = MakeTestBed(setup);
+  OmpSharedRegion region = OmpSharedRegion::Create(*bed.vm, profile.shared_pages);
+  for (int v = 0; v < setup.vcpus; ++v) {
+    bed.vm->SetWorkload(v, std::make_unique<OmpThreadStream>(bed.vm.get(), v, profile, region,
+                                                             seed * 1000 + static_cast<uint64_t>(v)));
+  }
+  bed.vm->Boot();
+  const TimeNs end = RunUntilVmDone(*bed.cluster, *bed.vm, Seconds(600));
+  FV_CHECK(bed.vm->AllFinished());
+  if (faults_per_sec != nullptr) {
+    *faults_per_sec = RatePerSecond(bed.vm->dsm().stats().total_faults(), end);
+  }
+  return end;
+}
+
+double RunLemp(const Setup& setup, const LempConfig& lemp, double* faults_per_sec) {
+  Setup s = setup;
+  s.with_client = true;
+  FV_CHECK_GE(s.vcpus, lemp.num_php_workers + 1);
+  TestBed bed = MakeTestBed(s);
+  LempDeployment deployment = DeployLemp(*bed.vm, lemp);
+  bed.vm->Boot();
+  deployment.client->Start();
+  const TimeNs end = RunUntil(*bed.cluster, [&]() { return deployment.client->Done(); },
+                              Seconds(3000));
+  FV_CHECK(deployment.client->Done());
+  *deployment.php_stop = true;
+  if (faults_per_sec != nullptr) {
+    *faults_per_sec = RatePerSecond(bed.vm->dsm().stats().total_faults(), end);
+  }
+  return deployment.client->Throughput();
+}
+
+FaasPhaseStats RunFaas(const Setup& setup, const FaasConfig& faas, double* faults_per_sec) {
+  Setup s = setup;
+  s.with_client = true;
+  s.blk_backend = BlkBackend::kTmpfs;  // ramdisk root filesystem
+  TestBed bed = MakeTestBed(s);
+  FaasPhaseStats stats;
+  for (int v = 0; v < s.vcpus; ++v) {
+    bed.vm->SetWorkload(v, std::make_unique<FaasWorkerStream>(bed.vm.get(), v, faas, &stats));
+  }
+  bed.vm->Boot();
+  FaasStartDownloads(*bed.vm, faas, s.vcpus);
+  const TimeNs end = RunUntilVmDone(*bed.cluster, *bed.vm, Seconds(3000));
+  FV_CHECK(bed.vm->AllFinished());
+  if (faults_per_sec != nullptr) {
+    *faults_per_sec = RatePerSecond(bed.vm->dsm().stats().total_faults(), end);
+  }
+  return stats;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells, int width) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace fragvisor

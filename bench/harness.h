@@ -1,0 +1,89 @@
+// Shared experiment harness for the figure-reproduction benches.
+//
+// Builds the three systems the paper compares — FragVisor Aggregate VM,
+// per-machine overcommit, and GiantVM — on a simulated cluster (with an
+// external 1 GbE client node where the workload needs one), runs a workload,
+// and returns the measurements each figure reports.
+
+#ifndef FRAGVISOR_BENCH_HARNESS_H_
+#define FRAGVISOR_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/aggregate_vm.h"
+#include "src/core/fragvisor.h"
+#include "src/workload/faas.h"
+#include "src/workload/lemp.h"
+#include "src/workload/npb.h"
+#include "src/workload/omp.h"
+
+namespace fragvisor {
+namespace bench {
+
+// Which of the paper's three systems runs the VM.
+enum class System : uint8_t {
+  kFragVisor,   // Aggregate VM, one vCPU per node, optimized guest
+  kOvercommit,  // all vCPUs on one node, sharing `overcommit_pcpus` pCPUs
+  kGiantVm,     // distributed VM on the competitor
+};
+
+const char* SystemName(System system);
+
+struct Setup {
+  System system = System::kFragVisor;
+  int vcpus = 4;
+  int overcommit_pcpus = 1;          // only for kOvercommit
+  bool with_client = false;          // add an external 1 GbE client node
+  GuestKernelConfig guest = GuestKernelConfig::Optimized();
+  bool io_multiqueue = true;
+  bool io_dsm_bypass = true;
+  bool contextual_dsm = true;
+  BlkBackend blk_backend = BlkBackend::kVhostBlk;
+  // GiantVM only: co-locate the QEMU helper threads with the vCPUs instead
+  // of giving them extra pCPUs (the paper reports GiantVM's best case, i.e.
+  // extra pCPUs; co-location is the honest-accounting alternative).
+  bool giantvm_colocated_helpers = false;
+};
+
+// A cluster plus one VM configured per `setup`. The client node (if any) is
+// the last fabric node.
+struct TestBed {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<AggregateVm> vm;
+  NodeId client_node = kInvalidNode;
+};
+
+TestBed MakeTestBed(const Setup& setup);
+
+// --- Workload runners (return what the figures plot) ---
+
+// One serial NPB instance per vCPU; returns total completion time of the set.
+// Optionally reports the DSM fault rate over the run.
+TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_t seed = 1,
+                          double* faults_per_sec = nullptr);
+
+// OMP-style multithreaded run (one thread per vCPU over a shared region);
+// returns completion time and DSM faults/second via out-params.
+TimeNs RunOmp(const Setup& setup, const OmpProfile& profile, double* faults_per_sec,
+              uint64_t seed = 1);
+
+// LEMP closed loop; returns client-observed throughput (req/s).
+double RunLemp(const Setup& setup, const LempConfig& lemp, double* faults_per_sec = nullptr);
+
+// OpenLambda run; returns per-phase means.
+FaasPhaseStats RunFaas(const Setup& setup, const FaasConfig& faas,
+                       double* faults_per_sec = nullptr);
+
+// --- Output helpers (paper-style rows) ---
+
+void PrintHeader(const std::string& title);
+void PrintRow(const std::vector<std::string>& cells, int width = 14);
+std::string Fmt(double value, int precision = 2);
+
+}  // namespace bench
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_BENCH_HARNESS_H_

@@ -1,0 +1,105 @@
+// Micro-benchmarks of the simulator's own primitives (google-benchmark):
+// event-loop dispatch, RNG, fabric messaging, DSM fault protocol, and vCPU
+// execution. These measure *simulator* throughput (host wall-clock), which
+// bounds how much simulated time the figure benches can cover.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/core/aggregate_vm.h"
+#include "src/core/fragvisor.h"
+#include "src/mem/dsm.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/rng.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+namespace {
+
+void BM_EventLoopScheduleDispatch(benchmark::State& state) {
+  EventLoop loop;
+  int sink = 0;
+  for (auto _ : state) {
+    loop.ScheduleAfter(1, [&sink]() { ++sink; });
+    loop.Run();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventLoopScheduleDispatch);
+
+void BM_EventLoopBatchOf1k(benchmark::State& state) {
+  for (auto _ : state) {
+    EventLoop loop;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.ScheduleAfter(i, [&sink]() { ++sink; });
+    }
+    loop.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_EventLoopBatchOf1k);
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_FabricSend(benchmark::State& state) {
+  EventLoop loop;
+  Fabric fabric(&loop, 4, LinkParams::InfiniBand56G());
+  for (auto _ : state) {
+    fabric.Send(0, 1, MsgKind::kControl, 64, []() {});
+    loop.Run();
+  }
+}
+BENCHMARK(BM_FabricSend);
+
+void BM_DsmRemoteWriteFault(benchmark::State& state) {
+  EventLoop loop;
+  Fabric fabric(&loop, 2, LinkParams::InfiniBand56G());
+  CostModel costs = CostModel::Default();
+  costs.dsm_ownership_hold = 0;  // measure the raw protocol
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 2;
+  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  dsm.SeedRange(0, 1, 0);
+  NodeId requester = 1;
+  for (auto _ : state) {
+    bool done = false;
+    if (!dsm.Access(requester, 0, true, [&done]() { done = true; })) {
+      loop.Run();
+    }
+    benchmark::DoNotOptimize(done);
+    requester = requester == 1 ? 0 : 1;  // ping-pong so every access faults
+  }
+  state.counters["sim_fault_latency_us"] =
+      dsm.stats().fault_latency_ns.mean() / 1000.0;
+}
+BENCHMARK(BM_DsmRemoteWriteFault);
+
+void BM_VcpuComputeSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    Cluster::Config cc;
+    cc.num_nodes = 2;
+    Cluster cluster(cc);
+    AggregateVmConfig config;
+    config.placement = DistributedPlacement(1);
+    AggregateVm vm(&cluster, config);
+    vm.SetWorkload(0, std::make_unique<ScriptedStream>(std::vector<Op>{Op::Compute(Seconds(1))}));
+    vm.Boot();
+    RunUntilVmDone(cluster, vm, Seconds(10));
+  }
+  state.SetLabel("simulates 1s of guest compute per iteration");
+}
+BENCHMARK(BM_VcpuComputeSecond);
+
+}  // namespace
+}  // namespace fragvisor
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Extension bench (Sec. 1 / Sec. 8): Aggregate VM vs transient VMs vs
+// delayed placement — the paper's motivating comparison, quantified.
+//
+// For each of 20 Protean-scaled primary bursts on a saturated 4x12 cluster,
+// a 4-vCPU job (120 vCPU-seconds) arrives mid-burst and runs under three
+// strategies over the same availability timeline:
+//   delayed   — wait for a whole node with 4 CPUs free for the full run;
+//   harvest   — Spot/Harvest-style transient VM (min 1 CPU, rest harvested,
+//               evicted and restarted from scratch when the node fills);
+//   aggregate — borrow 4 CPUs from fragments, guaranteed, at the Fig. 1 DSM
+//               efficiency for a low-sharing workload.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/sched/harvest.h"
+
+namespace fragvisor {
+namespace bench {
+namespace {
+
+constexpr int kBursts = 20;
+constexpr TimeNs kHorizon = Seconds(600);
+
+struct Tally {
+  int completed = 0;
+  double completion_sum_s = 0;
+  double completion_max_s = 0;
+  int evictions = 0;
+  int reclaims = 0;
+
+  void Add(const JobOutcome& outcome) {
+    if (outcome.completed) {
+      ++completed;
+      const double s = ToSeconds(outcome.completion_time);
+      completion_sum_s += s;
+      completion_max_s = std::max(completion_max_s, s);
+    }
+    evictions += outcome.evictions;
+    reclaims += outcome.reclaims;
+  }
+};
+
+void Run() {
+  JobSpec job;
+  job.cpus = 4;
+  job.cpu_seconds = 120.0;
+  job.harvest_min_cpus = 1;
+  job.eviction_restart = Seconds(2);
+  job.aggregate_efficiency = 0.95;  // low-sharing IaaS workload (Fig. 1)
+
+  Tally delayed;
+  Tally harvest;
+  Tally aggregate;
+  for (int seed = 1; seed <= kBursts; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 31);
+    TransientStudy study(4, 12);
+    study.LoadPrimaries(GenerateBurst(rng, 260, Seconds(300), 12), kHorizon);
+    const TimeNs submit = Seconds(30);
+    delayed.Add(study.RunDelayedWhole(job, submit));
+    harvest.Add(study.RunHarvest(job, submit));
+    aggregate.Add(study.RunAggregate(job, submit));
+  }
+
+  PrintHeader("Transient VMs vs Aggregate VM: 4-vCPU / 120 vCPU-s job, 20 bursts");
+  PrintRow({"strategy", "completed", "mean (s)", "worst (s)", "evictions", "reclaims"}, 14);
+  auto row = [&](const char* name, const Tally& t) {
+    PrintRow({name, std::to_string(t.completed) + "/" + std::to_string(kBursts),
+              t.completed > 0 ? Fmt(t.completion_sum_s / t.completed, 1) : "-",
+              t.completed > 0 ? Fmt(t.completion_max_s, 1) : "-",
+              std::to_string(t.evictions), std::to_string(t.reclaims)},
+             14);
+  };
+  row("delayed-whole", delayed);
+  row("harvest VM", harvest);
+  row("aggregate VM", aggregate);
+  std::printf(
+      "\nThe paper's argument, quantified: delayed placement waits for de-fragmentation;\n"
+      "harvest VMs start fast but are reclaimed and evicted (losing work) as primaries\n"
+      "arrive; the Aggregate VM starts as soon as the fragments exist and is never\n"
+      "evicted, paying only the DSM efficiency.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fragvisor
+
+int main() {
+  fragvisor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Serverless/FaaS scenario: OpenLambda-style face-detection functions on an
+// Aggregate VM, with the tmpfs root filesystem and delegated virtio-net.
+// Shows the per-phase breakdown (download / extract / detect) and the DSM
+// traffic that each phase generates.
+//
+//   ./build/examples/faas_offload
+
+#include <cstdio>
+
+#include "src/core/fragvisor.h"
+#include "src/workload/faas.h"
+
+using namespace fragvisor;
+
+int main() {
+  Cluster::Config cc;
+  cc.num_nodes = 4;  // 3 compute nodes + the database/client node
+  Cluster cluster(cc);
+  const NodeId database = 3;
+  for (NodeId n = 0; n < 3; ++n) {
+    cluster.fabric().SetLinkParams(n, database, LinkParams::Ethernet1G());
+    cluster.fabric().SetLinkParams(database, n, LinkParams::Ethernet1G());
+  }
+
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(3);  // one worker vCPU per node
+  config.external_node = database;
+  config.blk_backend = BlkBackend::kTmpfs;  // ramdisk root fs, as in the paper
+  AggregateVm vm(&cluster, config);
+
+  FaasConfig faas;
+  faas.download_bytes = 4ull << 20;
+  faas.extract_bytes = 16ull << 20;
+  faas.detect_compute = Millis(600);
+  FaasPhaseStats stats;
+  for (int v = 0; v < vm.num_vcpus(); ++v) {
+    vm.SetWorkload(v, std::make_unique<FaasWorkerStream>(&vm, v, faas, &stats));
+  }
+  vm.Boot();
+  FaasStartDownloads(vm, faas, vm.num_vcpus());
+  RunUntilVmDone(cluster, vm, Seconds(600));
+
+  std::printf("3 parallel face-detection functions, one per borrowed vCPU:\n");
+  std::printf("  download: %7.1f ms (archive over the LAN, delegated virtio-net RX)\n",
+              stats.download_ns.mean() / 1e6);
+  std::printf("  extract:  %7.1f ms (unzip to tmpfs: DSM writes to origin-backed pages)\n",
+              stats.extract_ns.mean() / 1e6);
+  std::printf("  detect:   %7.1f ms (compute over a node-local working set)\n",
+              stats.detect_ns.mean() / 1e6);
+  std::printf("  total:    %7.1f ms\n", stats.total_ns.mean() / 1e6);
+
+  const DsmStats& dsm = vm.dsm().stats();
+  std::printf("\nDSM during the run: %llu faults, %.1f MB protocol traffic\n",
+              static_cast<unsigned long long>(dsm.total_faults()),
+              static_cast<double>(dsm.protocol_bytes.value()) / 1e6);
+  std::printf("net device: %llu packets received, %llu delegated to remote slices\n",
+              static_cast<unsigned long long>(vm.net()->stats().rx_packets.value()),
+              static_cast<unsigned long long>(vm.net()->stats().delegated_rx.value()));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fault tolerance scenario (Sec. 4 "Reliability"): an Aggregate VM survives
+// both a degrading host (preemptive evacuation) and a dead host
+// (checkpoint/restart), with a trace of what the hypervisor did.
+//
+//   ./build/examples/fault_tolerance
+
+#include <cstdio>
+
+#include "src/ckpt/failover.h"
+#include "src/core/fragvisor.h"
+#include "src/host/health_monitor.h"
+#include "src/sim/trace.h"
+#include "src/workload/npb.h"
+
+using namespace fragvisor;
+
+int main() {
+  Cluster::Config cc;
+  cc.num_nodes = 4;
+  cc.pcpus_per_node = 8;
+  Cluster cluster(cc);
+
+  // Record what the DSM / migration / checkpoint machinery does.
+  Tracer tracer;
+  tracer.Enable(TraceCategory::kMigration | TraceCategory::kCkpt);
+  cluster.loop().set_tracer(&tracer);
+
+  HealthMonitor::Config hc;
+  hc.heartbeat_interval = Millis(20);
+  HealthMonitor monitor(&cluster, hc);
+  monitor.StartHeartbeats(0);
+  monitor.AddObserver([&](NodeId node, NodeHealth health) {
+    std::printf("t=%7.1f ms  node%d is %s\n", ToMillis(cluster.loop().now()), node,
+                NodeHealthName(health));
+  });
+
+  FailoverManager::Config fc;
+  fc.checkpoint_interval = Millis(100);
+  FailoverManager manager(&cluster, &monitor, fc);  // adds its own observer
+
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(3);
+  AggregateVm vm(&cluster, config);
+  const NpbProfile profile = ScaleNpb(NpbByName("CG"), 0.25);
+  for (int v = 0; v < 3; ++v) {
+    vm.SetWorkload(v, std::make_unique<NpbSerialStream>(&vm, v, profile, 5 + v));
+  }
+  vm.Boot();
+  manager.Protect(&vm);
+
+  // The platform reports node 1 degrading at 80 ms, node 2 dead at 160 ms.
+  cluster.loop().ScheduleAt(Millis(80), [&]() {
+    std::printf("t=   80.0 ms  MCA: correctable-error storm on node1\n");
+    monitor.InjectCorrectableErrors(1, 5);
+  });
+  cluster.loop().ScheduleAt(Millis(160), [&]() {
+    std::printf("t=  160.0 ms  node2 loses power\n");
+    monitor.InjectFailure(2);
+  });
+  manager.set_on_recovery([&](AggregateVm*) {
+    std::printf("t=%7.1f ms  VM recovered from checkpoint; vCPUs now on nodes:",
+                ToMillis(cluster.loop().now()));
+    for (int v = 0; v < vm.num_vcpus(); ++v) {
+      std::printf(" %d", vm.VcpuNode(v));
+    }
+    std::printf("\n");
+  });
+
+  const TimeNs end = RunUntilVmDone(cluster, vm, Seconds(60));
+  std::printf("\nworkload completed at t=%.1f ms despite one degraded and one dead node\n",
+              ToMillis(end));
+  std::printf("checkpoints: %llu, evacuated vCPUs: %llu, failovers: %llu, "
+              "lost work replayed: %.1f ms\n",
+              static_cast<unsigned long long>(manager.stats().checkpoints_taken.value()),
+              static_cast<unsigned long long>(manager.stats().vcpus_evacuated.value()),
+              static_cast<unsigned long long>(manager.stats().failovers.value()),
+              manager.stats().lost_work_ns.mean() / 1e6);
+
+  std::printf("\nhypervisor trace (migrations + checkpoints):\n");
+  for (const TraceEvent& ev : tracer.Snapshot()) {
+    std::printf("  %10.1f ms  %-10s %-22s %s\n", ToMicros(ev.time) / 1000.0,
+                TraceCategoryName(ev.category), ev.event, ev.detail.c_str());
+  }
+  return 0;
+}

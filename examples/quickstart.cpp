@@ -1,0 +1,77 @@
+// Quickstart: boot an Aggregate VM over four nodes, run a workload, and
+// consolidate it onto a single node once capacity frees up.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/fragvisor.h"
+#include "src/workload/npb.h"
+
+using namespace fragvisor;
+
+int main() {
+  // A small data-center: 4 servers, 8 pCPUs each, 56 Gbps InfiniBand.
+  Cluster::Config cluster_config;
+  cluster_config.num_nodes = 4;
+  cluster_config.pcpus_per_node = 8;
+  Cluster cluster(cluster_config);
+
+  FragVisor hypervisor(&cluster);
+
+  // An Aggregate VM with 4 vCPUs, one borrowed from each node: the cluster
+  // has no node with 4 free CPUs, but FragVisor can still provide a 4-vCPU
+  // VM from the fragments.
+  AggregateVmConfig vm_config;
+  vm_config.name = "aggregate-demo";
+  vm_config.placement = DistributedPlacement(4);
+  AggregateVm& vm = hypervisor.CreateVm(vm_config);
+
+  // Run one serial NPB CG instance per vCPU.
+  const NpbProfile profile = ScaleNpb(NpbByName("CG"), 0.25);
+  for (int v = 0; v < vm.num_vcpus(); ++v) {
+    vm.SetWorkload(v, std::make_unique<NpbSerialStream>(&vm, v, profile, 42 + v));
+  }
+
+  vm.Boot();
+  std::printf("booted %d vCPUs across %zu nodes\n", vm.num_vcpus(), vm.NodesInUse().size());
+
+  // Let it run for a while, then pretend node 0 freed up: consolidate.
+  cluster.loop().RunFor(Millis(50));
+  bool consolidated = false;
+  hypervisor.ConsolidateVm(vm, /*target=*/0, /*pcpus=*/{1, 2, 3},
+                           [&]() { consolidated = true; });
+  RunUntil(cluster, [&]() { return consolidated; }, Seconds(10));
+  std::printf("consolidated onto node %d after %zu vCPU migrations (mean %.1f us each)\n",
+              vm.NodesInUse()[0], static_cast<size_t>(vm.migration_latency_ns().count()),
+              vm.migration_latency_ns().mean() / 1000.0);
+
+  // Finish the workload and report.
+  const TimeNs end = RunUntilVmDone(cluster, vm, Seconds(60));
+  std::printf("workload finished at t=%.1f ms (all vCPUs done: %s)\n", ToMillis(end),
+              vm.AllFinished() ? "yes" : "no");
+
+  const DsmStats& dsm = vm.dsm().stats();
+  std::printf("DSM: %llu faults (%llu read / %llu write), %llu page transfers, "
+              "%llu protocol messages, mean fault %.1f us\n",
+              static_cast<unsigned long long>(dsm.total_faults()),
+              static_cast<unsigned long long>(dsm.read_faults.value()),
+              static_cast<unsigned long long>(dsm.write_faults.value()),
+              static_cast<unsigned long long>(dsm.page_transfers.value()),
+              static_cast<unsigned long long>(dsm.protocol_messages.value()),
+              dsm.fault_latency_ns.mean() / 1000.0);
+  std::printf("fabric: %.2f MB on the wire\n",
+              static_cast<double>(cluster.fabric().wire_bytes()) / 1e6);
+
+  std::printf("\nVM slices after consolidation:\n");
+  for (const AggregateVm::SliceReport& slice : vm.Slices()) {
+    std::printf("  node%d%s: %d vCPU(s), %llu pages owned (%llu resident), %llu faults%s\n",
+                slice.node, slice.bootstrap ? " (bootstrap)" : "", slice.vcpus,
+                static_cast<unsigned long long>(slice.pages_owned),
+                static_cast<unsigned long long>(slice.pages_resident),
+                static_cast<unsigned long long>(slice.dsm_faults),
+                slice.has_nic ? ", NIC" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,199 @@
+#include "src/ckpt/failover.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+FailoverManager::FailoverManager(Cluster* cluster, HealthMonitor* health, const Config& config)
+    : cluster_(cluster), health_(health), checkpoints_(cluster), config_(config) {
+  FV_CHECK(cluster != nullptr);
+  FV_CHECK(health != nullptr);
+  health_->AddObserver([this](NodeId node, NodeHealth h) { OnHealthChange(node, h); });
+}
+
+void FailoverManager::Protect(AggregateVm* vm) {
+  FV_CHECK(vm != nullptr);
+  auto protection = std::make_unique<Protection>();
+  protection->vm = vm;
+  Protection* p = protection.get();
+  protections_.push_back(std::move(protection));
+  TakeCheckpoint(p);
+}
+
+void FailoverManager::ScheduleNext(Protection* protection) {
+  cluster_->loop().ScheduleAfter(config_.checkpoint_interval,
+                                 [this, protection]() { TakeCheckpoint(protection); });
+}
+
+void FailoverManager::TakeCheckpoint(Protection* protection) {
+  if (protection->checkpoint_in_flight || protection->recovering) {
+    ScheduleNext(protection);
+    return;
+  }
+  if (protection->vm->AllFinished()) {
+    return;  // nothing left to protect
+  }
+  protection->checkpoint_in_flight = true;
+  checkpoints_.CheckpointVm(*protection->vm, config_.checkpoint_node,
+                            [this, protection](CheckpointResult result) {
+                              (void)result;
+                              protection->checkpoint_in_flight = false;
+                              protection->last_image =
+                                  InventoryFromVm(*protection->vm, cluster_->num_nodes());
+                              protection->last_checkpoint_time = cluster_->loop().now();
+                              stats_.checkpoints_taken.Add(1);
+                              ScheduleNext(protection);
+                            });
+}
+
+NodeId FailoverManager::PickTarget(const Protection& protection, NodeId avoid) const {
+  // Prefer a healthy node already hosting part of the VM (consolidation
+  // bias), else any healthy node.
+  const std::vector<NodeId> healthy = health_->HealthyNodes();
+  FV_CHECK(!healthy.empty());
+  NodeId best = kInvalidNode;
+  int best_count = -1;
+  for (const NodeId n : healthy) {
+    if (n == avoid) {
+      continue;
+    }
+    int count = 0;
+    for (int v = 0; v < protection.vm->num_vcpus(); ++v) {
+      count += protection.vm->VcpuNode(v) == n ? 1 : 0;
+    }
+    if (count > best_count) {
+      best = n;
+      best_count = count;
+    }
+  }
+  FV_CHECK_NE(best, kInvalidNode);
+  return best;
+}
+
+void FailoverManager::OnHealthChange(NodeId node, NodeHealth health) {
+  for (auto& protection : protections_) {
+    if (protection->vm->AllFinished()) {
+      continue;
+    }
+    if (health == NodeHealth::kDegraded) {
+      Evacuate(protection.get(), node);
+    } else if (health == NodeHealth::kFailed) {
+      Failover(protection.get(), node);
+    }
+  }
+}
+
+void FailoverManager::Evacuate(Protection* protection, NodeId node) {
+  if (protection->checkpoint_in_flight) {
+    // A checkpoint may hold the vCPUs paused for its quiesce window; retry
+    // after it completes (pausing a paused vCPU is invalid).
+    cluster_->loop().ScheduleAfter(Millis(1),
+                                   [this, protection, node]() { Evacuate(protection, node); });
+    return;
+  }
+  AggregateVm* vm = protection->vm;
+  const NodeId target = PickTarget(*protection, node);
+  for (int v = 0; v < vm->num_vcpus(); ++v) {
+    if (vm->VcpuNode(v) != node) {
+      continue;
+    }
+    const int pcpu = (v + 1) % cluster_->node(target).num_pcpus();
+    vm->MigrateVcpu(v, target, pcpu, [this]() { stats_.vcpus_evacuated.Add(1); });
+  }
+}
+
+void FailoverManager::Failover(Protection* protection, NodeId failed_node) {
+  if (protection->recovering) {
+    return;
+  }
+  if (protection->checkpoint_in_flight) {
+    // Let the in-flight checkpoint finish its quiesce/snapshot first, then
+    // recover from it (fresher image, no pause-state conflicts).
+    cluster_->loop().ScheduleAfter(Millis(1), [this, protection, failed_node]() {
+      Failover(protection, failed_node);
+    });
+    return;
+  }
+  AggregateVm* vm = protection->vm;
+  // Only VMs actually touching the failed node need recovery.
+  bool touches = !vm->dsm().PagesOwnedBy(failed_node).empty();
+  for (int v = 0; v < vm->num_vcpus() && !touches; ++v) {
+    touches = vm->VcpuNode(v) == failed_node;
+  }
+  if (!touches) {
+    return;
+  }
+  protection->recovering = true;
+  const TimeNs detected_at = cluster_->loop().now();
+  const TimeNs lost_work = detected_at - protection->last_checkpoint_time;
+  stats_.lost_work_ns.Record(static_cast<double>(lost_work));
+
+  // Quiesce the surviving slices (vCPUs already paused — e.g. by an
+  // in-flight checkpoint — stay paused).
+  struct PauseCtx {
+    int pending = 0;
+  };
+  auto pause_ctx = std::make_shared<PauseCtx>();
+  auto after_pause = [this, protection, vm, failed_node, detected_at, lost_work]() {
+    checkpoints_.RestoreImage(
+        protection->last_image, config_.checkpoint_node,
+        [this, protection, vm, failed_node, detected_at, lost_work](CheckpointResult) {
+          // Pages whose owner died are re-homed from the image.
+          const NodeId target = PickTarget(*protection, failed_node);
+          vm->dsm().ReseedOwnedBy(failed_node, target);
+          stats_.recovery_time_ns.Record(
+              static_cast<double>(cluster_->loop().now() - detected_at));
+          // Replay the lost progress, then resume everyone (vCPUs from the
+          // failed node restart on the target).
+          cluster_->loop().ScheduleAfter(lost_work, [this, protection, vm, failed_node,
+                                                     target]() {
+            for (int v = 0; v < vm->num_vcpus(); ++v) {
+              VCpu& vc = vm->vcpu(v);
+              if (vc.life_state() != VCpu::LifeState::kPaused) {
+                continue;
+              }
+              if (vm->VcpuNode(v) == failed_node) {
+                const int pcpu = (v + 1) % cluster_->node(target).num_pcpus();
+                vm->RestartVcpuAt(v, target, pcpu);
+              } else {
+                vm->RestartVcpuAt(v, vm->VcpuNode(v), vc.pcpu()->index());
+              }
+            }
+            stats_.failovers.Add(1);
+            protection->recovering = false;
+            if (on_recovery_) {
+              on_recovery_(vm);
+            }
+          });
+        });
+  };
+
+  int to_pause = 0;
+  for (int v = 0; v < vm->num_vcpus(); ++v) {
+    const VCpu::LifeState state = vm->vcpu(v).life_state();
+    if (state != VCpu::LifeState::kPaused && state != VCpu::LifeState::kFinished) {
+      ++to_pause;
+    }
+  }
+  pause_ctx->pending = to_pause;
+  if (to_pause == 0) {
+    after_pause();
+    return;
+  }
+  for (int v = 0; v < vm->num_vcpus(); ++v) {
+    const VCpu::LifeState state = vm->vcpu(v).life_state();
+    if (state == VCpu::LifeState::kPaused || state == VCpu::LifeState::kFinished) {
+      continue;
+    }
+    vm->vcpu(v).PauseWhenOffCpu([pause_ctx, after_pause]() {
+      if (--pause_ctx->pending == 0) {
+        after_pause();
+      }
+    });
+  }
+}
+
+}  // namespace fragvisor

@@ -1,0 +1,89 @@
+// Checkpoint-based fault tolerance for Aggregate VMs (Sec. 4, "Reliability" +
+// Sec. 6.4).
+//
+// A FailoverManager protects Aggregate VMs with two mechanisms:
+//
+//  * preemptive evacuation — when the health monitor reports a node
+//    kDegraded (MCA correctable-error threshold), every protected vCPU on
+//    that node is live-migrated to a healthy node before the hardware dies;
+//
+//  * checkpoint/restart — periodic distributed checkpoints; when a node
+//    kFails, the VM is restored from the last image: surviving slices pause,
+//    the image is read back and redistributed, pages owned by the dead node
+//    are re-homed, vCPUs from the dead node restart on survivors, and the
+//    whole VM replays the work lost since the last checkpoint.
+//
+// Replay approximation: the simulator cannot rewind workload state, so lost
+// progress is modelled as a resume delay equal to the time since the last
+// checkpoint — completion times match a real re-execution.
+
+#ifndef FRAGVISOR_SRC_CKPT_FAILOVER_H_
+#define FRAGVISOR_SRC_CKPT_FAILOVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/host/health_monitor.h"
+
+namespace fragvisor {
+
+struct FailoverStats {
+  Counter checkpoints_taken;
+  Counter vcpus_evacuated;   // preemptive migrations off degraded nodes
+  Counter failovers;         // full restore-from-checkpoint recoveries
+  Summary recovery_time_ns;  // detection -> VM running again
+  Summary lost_work_ns;      // replayed progress per failover
+};
+
+class FailoverManager {
+ public:
+  struct Config {
+    TimeNs checkpoint_interval = Seconds(5);
+    NodeId checkpoint_node = 0;  // where images are written (its SSD)
+  };
+
+  FailoverManager(Cluster* cluster, HealthMonitor* health, const Config& config);
+
+  FailoverManager(const FailoverManager&) = delete;
+  FailoverManager& operator=(const FailoverManager&) = delete;
+
+  // Starts protecting `vm`: an immediate checkpoint, then periodic ones.
+  // The VM must outlive the manager's protection.
+  void Protect(AggregateVm* vm);
+
+  const FailoverStats& stats() const { return stats_; }
+
+  // Invoked after each completed recovery (tests/benches observe progress).
+  void set_on_recovery(std::function<void(AggregateVm*)> cb) { on_recovery_ = std::move(cb); }
+
+ private:
+  struct Protection {
+    AggregateVm* vm = nullptr;
+    CheckpointInventory last_image;
+    TimeNs last_checkpoint_time = 0;
+    bool checkpoint_in_flight = false;
+    bool recovering = false;
+  };
+
+  void TakeCheckpoint(Protection* protection);
+  void ScheduleNext(Protection* protection);
+  void OnHealthChange(NodeId node, NodeHealth health);
+  void Evacuate(Protection* protection, NodeId node);
+  void Failover(Protection* protection, NodeId failed_node);
+  NodeId PickTarget(const Protection& protection, NodeId avoid) const;
+
+  Cluster* cluster_;
+  HealthMonitor* health_;
+  CheckpointService checkpoints_;
+  Config config_;
+  std::vector<std::unique_ptr<Protection>> protections_;
+  FailoverStats stats_;
+  std::function<void(AggregateVm*)> on_recovery_;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_CKPT_FAILOVER_H_

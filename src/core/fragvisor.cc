@@ -1,0 +1,108 @@
+#include "src/core/fragvisor.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+std::vector<VcpuPlacement> DistributedPlacement(int num_vcpus) {
+  FV_CHECK_GT(num_vcpus, 0);
+  std::vector<VcpuPlacement> placement;
+  placement.reserve(static_cast<size_t>(num_vcpus));
+  for (int i = 0; i < num_vcpus; ++i) {
+    placement.push_back(VcpuPlacement{.node = i, .pcpu = 0});
+  }
+  return placement;
+}
+
+std::vector<VcpuPlacement> OvercommitPlacement(NodeId node, int num_vcpus, int num_pcpus) {
+  FV_CHECK_GT(num_vcpus, 0);
+  FV_CHECK_GT(num_pcpus, 0);
+  std::vector<VcpuPlacement> placement;
+  placement.reserve(static_cast<size_t>(num_vcpus));
+  for (int i = 0; i < num_vcpus; ++i) {
+    placement.push_back(VcpuPlacement{.node = node, .pcpu = i % num_pcpus});
+  }
+  return placement;
+}
+
+FragVisor::FragVisor(Cluster* cluster) : cluster_(cluster) { FV_CHECK(cluster != nullptr); }
+
+AggregateVm& FragVisor::CreateVm(AggregateVmConfig config) {
+  vms_.push_back(std::make_unique<AggregateVm>(cluster_, std::move(config)));
+  return *vms_.back();
+}
+
+namespace {
+
+// Shared state of one consolidation: vCPU moves first, then (optionally)
+// bulk memory pre-copy of each vacated slice.
+struct ConsolidateCtx {
+  AggregateVm* vm = nullptr;
+  NodeId target = kInvalidNode;
+  std::vector<int> to_move;
+  std::vector<int> pcpus;
+  std::vector<NodeId> vacated;
+  bool eager_memory = false;
+  std::function<void()> done;
+};
+
+void ConsolidateMemoryStep(const std::shared_ptr<ConsolidateCtx>& ctx) {
+  if (!ctx->eager_memory || ctx->vacated.empty()) {
+    if (ctx->done) {
+      ctx->done();
+    }
+    return;
+  }
+  const NodeId from = ctx->vacated.back();
+  ctx->vacated.pop_back();
+  // Live slice migration: bulk pre-copy the vacated slice's memory.
+  ctx->vm->dsm().MigrateOwnedPages(from, ctx->target,
+                                   [ctx](uint64_t) { ConsolidateMemoryStep(ctx); });
+}
+
+void ConsolidateVcpuStep(const std::shared_ptr<ConsolidateCtx>& ctx, size_t i) {
+  if (i >= ctx->to_move.size()) {
+    ConsolidateMemoryStep(ctx);
+    return;
+  }
+  ctx->vm->MigrateVcpu(ctx->to_move[i], ctx->target, ctx->pcpus[i],
+                       [ctx, i]() { ConsolidateVcpuStep(ctx, i + 1); });
+}
+
+}  // namespace
+
+void FragVisor::ConsolidateVm(AggregateVm& vm, NodeId target, std::vector<int> pcpus,
+                              std::function<void()> done, bool eager_memory) {
+  auto ctx = std::make_shared<ConsolidateCtx>();
+  ctx->vm = &vm;
+  ctx->target = target;
+  ctx->pcpus = std::move(pcpus);
+  ctx->eager_memory = eager_memory;
+  ctx->done = std::move(done);
+  for (int i = 0; i < vm.num_vcpus(); ++i) {
+    const NodeId node = vm.VcpuNode(i);
+    if (node != target) {
+      ctx->to_move.push_back(i);
+      if (std::find(ctx->vacated.begin(), ctx->vacated.end(), node) == ctx->vacated.end()) {
+        ctx->vacated.push_back(node);
+      }
+    }
+  }
+  FV_CHECK_GE(ctx->pcpus.size(), ctx->to_move.size());
+  ConsolidateVcpuStep(ctx, 0);
+}
+
+TimeNs RunUntilVmDone(Cluster& cluster, const AggregateVm& vm, TimeNs deadline) {
+  return RunUntil(cluster, [&vm]() { return vm.AllFinished(); }, deadline);
+}
+
+TimeNs RunUntil(Cluster& cluster, const std::function<bool()>& predicate, TimeNs deadline) {
+  EventLoop& loop = cluster.loop();
+  loop.RunWhile([&predicate]() { return !predicate(); }, deadline);
+  return loop.now();
+}
+
+}  // namespace fragvisor

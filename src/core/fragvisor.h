@@ -1,0 +1,60 @@
+// FragVisor: the resource-borrowing hypervisor facade.
+//
+// Creates and manages Aggregate VMs on a cluster, and implements the
+// consolidation operation the data-center scheduler drives: migrating a VM's
+// vCPUs onto fewer nodes as resources free up, until the VM is whole on one
+// machine and can be handed back to the plain scheduler.
+
+#ifndef FRAGVISOR_SRC_CORE_FRAGVISOR_H_
+#define FRAGVISOR_SRC_CORE_FRAGVISOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/aggregate_vm.h"
+#include "src/core/vm_config.h"
+#include "src/host/node.h"
+
+namespace fragvisor {
+
+class FragVisor {
+ public:
+  explicit FragVisor(Cluster* cluster);
+
+  FragVisor(const FragVisor&) = delete;
+  FragVisor& operator=(const FragVisor&) = delete;
+
+  Cluster& cluster() { return *cluster_; }
+
+  // Creates (but does not boot) an Aggregate VM. The returned reference stays
+  // valid for the lifetime of this FragVisor.
+  AggregateVm& CreateVm(AggregateVmConfig config);
+
+  size_t num_vms() const { return vms_.size(); }
+  AggregateVm& vm(size_t i) { return *vms_.at(i); }
+
+  // Migrates every vCPU of `vm` that is not already on `target` onto
+  // `target`, using the given pCPU indices (one per migrated vCPU, assigned
+  // in vCPU order). With `eager_memory`, each vacated slice's pages are then
+  // pre-copied to the target in bulk (live slice migration) instead of being
+  // left for demand paging. `done` fires after everything completes.
+  void ConsolidateVm(AggregateVm& vm, NodeId target, std::vector<int> pcpus,
+                     std::function<void()> done, bool eager_memory = false);
+
+ private:
+  Cluster* cluster_;
+  std::vector<std::unique_ptr<AggregateVm>> vms_;
+};
+
+// Drives the cluster's event loop until `vm` finishes or `deadline` passes;
+// returns the simulated time at which the VM finished (or `deadline`).
+TimeNs RunUntilVmDone(Cluster& cluster, const AggregateVm& vm, TimeNs deadline);
+
+// Drives the cluster's event loop until `predicate()` is true or `deadline`
+// passes; returns the simulated time when it stopped.
+TimeNs RunUntil(Cluster& cluster, const std::function<bool()>& predicate, TimeNs deadline);
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_CORE_FRAGVISOR_H_

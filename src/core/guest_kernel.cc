@@ -1,0 +1,69 @@
+#include "src/core/guest_kernel.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+GuestKernel::GuestKernel(const GuestKernelConfig& config, GuestAddressSpace* space,
+                         const CostModel* costs)
+    : config_(config), space_(space), costs_(costs) {
+  FV_CHECK(space != nullptr);
+  FV_CHECK(costs != nullptr);
+}
+
+void GuestKernel::ExpandAlloc(int vcpu_id, NodeId node, uint64_t count, std::deque<Op>* out) {
+  FV_CHECK(out != nullptr);
+  const NodeId numa_node = config_.numa_aware ? node : kInvalidNode;
+  uint64_t chunk_index = 0;
+  for (uint64_t done = 0; done < count; done += kAllocChunkPages, ++chunk_index) {
+    const uint64_t chunk = std::min(kAllocChunkPages, count - done);
+
+    // Hot shared mm state: the mm lock/counters and the LRU/page-cache lists
+    // live on different pages but are both taken per allocation step — true
+    // sharing, present in every kernel.
+    out->push_back(Op::MemWrite(space_->kernel_shared_page(0)));
+    out->push_back(Op::MemWrite(space_->kernel_shared_page(1)));
+    if (!config_.false_sharing_patched) {
+      // Uncorrelated structures that happen to share pages with the hot ones;
+      // the guest patch moves them to their own (then effectively private)
+      // pages, removing this traffic entirely.
+      out->push_back(Op::MemWrite(space_->kernel_shared_page(2 + chunk_index % 2)));
+    }
+
+    // Page-table update. NUMA-aware guests mostly touch per-vCPU regions
+    // (their own PT pages), but upper-level kernel mappings stay shared;
+    // vanilla guests hammer a small shared set every time.
+    uint64_t pt_index;
+    if (!config_.numa_aware || chunk_index % 8 == 7) {
+      pt_index = chunk_index % 4;  // shared kernel page tables
+    } else {
+      pt_index = 8 + static_cast<uint64_t>(vcpu_id) * 8 + chunk_index % 8;
+    }
+    out->push_back(Op::MemWrite(space_->page_table_page(pt_index % space_->layout().page_table_pages)));
+
+    // The allocator's own work.
+    out->push_back(Op::Compute(static_cast<TimeNs>(chunk) * costs_->local_page_alloc));
+
+    // First touch of every fresh page.
+    const PageNum first = space_->AllocHeapRange(chunk, numa_node);
+    for (uint64_t i = 0; i < chunk; ++i) {
+      out->push_back(Op::MemWrite(first + i));
+    }
+  }
+}
+
+Op GuestKernel::KernelTouch(int vcpu_id, uint64_t salt) const {
+  if (config_.false_sharing_patched) {
+    // Per-vCPU kernel pages: no cross-vCPU traffic.
+    const uint64_t per_vcpu =
+        4 + (static_cast<uint64_t>(vcpu_id) * 4 + salt % 4) %
+                (space_->layout().kernel_shared_pages - 4);
+    return Op::MemWrite(space_->kernel_shared_page(per_vcpu));
+  }
+  // Vanilla: everyone falsely shares the first few pages.
+  return Op::MemWrite(space_->kernel_shared_page(salt % 4));
+}
+
+}  // namespace fragvisor

@@ -1,0 +1,48 @@
+// Guest kernel behaviour model.
+//
+// Expands guest-level operations that involve the kernel (page allocation)
+// into the memory accesses the kernel actually performs, which is where the
+// DSM contention the paper measures comes from: hot shared mm state (true
+// sharing), falsely shared neighbours (removed by the false-sharing patch),
+// page-table updates (cheap under contextual DSM), and first touches of the
+// fresh pages (local under NUMA-aware allocation, origin-backed otherwise).
+
+#ifndef FRAGVISOR_SRC_CORE_GUEST_KERNEL_H_
+#define FRAGVISOR_SRC_CORE_GUEST_KERNEL_H_
+
+#include <deque>
+
+#include "src/core/vm_config.h"
+#include "src/cpu/op.h"
+#include "src/host/cost_model.h"
+#include "src/mem/gpa_space.h"
+
+namespace fragvisor {
+
+class GuestKernel {
+ public:
+  // Pages handled per kernel allocation step (one batched fault path: mm
+  // locks and counters are taken once per this many pages).
+  static constexpr uint64_t kAllocChunkPages = 16;
+
+  GuestKernel(const GuestKernelConfig& config, GuestAddressSpace* space, const CostModel* costs);
+
+  const GuestKernelConfig& config() const { return config_; }
+
+  // Expands an allocation of `count` pages by `vcpu_id`, currently running on
+  // `node`, into kernel micro-ops appended to `out`.
+  void ExpandAlloc(int vcpu_id, NodeId node, uint64_t count, std::deque<Op>* out);
+
+  // The kernel-page write a syscall-ish operation performs; workloads sprinkle
+  // these to model kernel-mediated activity (network stack, VFS).
+  Op KernelTouch(int vcpu_id, uint64_t salt) const;
+
+ private:
+  GuestKernelConfig config_;
+  GuestAddressSpace* space_;
+  const CostModel* costs_;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_CORE_GUEST_KERNEL_H_

@@ -1,0 +1,103 @@
+// Aggregate VM configuration: platform, slice/vCPU placement, guest kernel
+// behaviour, and device options.
+
+#ifndef FRAGVISOR_SRC_CORE_VM_CONFIG_H_
+#define FRAGVISOR_SRC_CORE_VM_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/giantvm/giantvm.h"
+#include "src/io/virtio_blk.h"
+#include "src/mem/gpa_space.h"
+#include "src/net/fabric.h"
+
+namespace fragvisor {
+
+// Which distributed hypervisor runs the VM.
+enum class Platform : uint8_t {
+  kFragVisor,  // this paper: kernel DSM, contextual DSM, mobility, bypass
+  kGiantVm,    // competitor: user-space DSM, helper threads, static placement
+};
+
+// Guest kernel behaviour knobs (Sec. 6.1: the optimized guest).
+struct GuestKernelConfig {
+  // Uncorrelated kernel structures separated onto distinct pages (the
+  // false-sharing patch). Vanilla kernels co-locate them.
+  bool false_sharing_patched = true;
+  // Allocate memory node-locally, driven by the exposed NUMA topology
+  // (updated at runtime on migration).
+  bool numa_aware = true;
+  // Hardware EPT dirty-bit tracking (redundant with DSM; disabled by the
+  // optimized configuration, on for the ablation).
+  bool ept_dirty_tracking = false;
+
+  static GuestKernelConfig Optimized() { return GuestKernelConfig{}; }
+  static GuestKernelConfig Vanilla() {
+    return GuestKernelConfig{.false_sharing_patched = false, .numa_aware = false,
+                             .ept_dirty_tracking = true};
+  }
+};
+
+// Where one vCPU runs.
+struct VcpuPlacement {
+  NodeId node = 0;
+  int pcpu = 0;
+};
+
+struct AggregateVmConfig {
+  std::string name = "vm";
+  Platform platform = Platform::kFragVisor;
+
+  // One entry per vCPU; placement[0] defines the bootstrap slice (DSM home).
+  std::vector<VcpuPlacement> placement;
+
+  // Memory-only companion slices (Sec. 4): nodes that contribute RAM but no
+  // vCPUs. Far-memory allocations (AggregateVm::AllocFarMemory) are placed
+  // on these nodes round-robin; the guest reaches them through the DSM — the
+  // memory-borrowing alternative to swapping to local disk.
+  std::vector<NodeId> memory_slices;
+
+  GuestKernelConfig guest = GuestKernelConfig::Optimized();
+  GuestAddressSpace::Layout layout;
+
+  // Devices. Backend defaults to the bootstrap node.
+  bool want_net = true;
+  bool want_blk = true;
+  bool want_console = true;
+  bool io_multiqueue = true;
+  bool io_dsm_bypass = true;
+  BlkBackend blk_backend = BlkBackend::kVhostBlk;
+  NodeId io_backend_node = kInvalidNode;
+  NodeId external_node = kInvalidNode;  // LAN client, if the workload has one
+
+  // Distributed I/O (Sec. 5.3): additional physical NICs on other slices.
+  // The guest's bonded interface routes each vCPU's traffic through the
+  // nearest NIC backend, avoiding the delegation hop entirely when a slice
+  // has its own device.
+  std::vector<NodeId> extra_nic_nodes;
+
+  // Hypervisor-side DSM options.
+  bool contextual_dsm = true;
+  // Sequential read prefetch depth (0 = off, the paper's configuration).
+  // An ablatable FragVisor extension: bulk page replies for streaming reads.
+  int dsm_read_prefetch = 0;
+
+  // Competitor profile (used when platform == kGiantVm).
+  GiantVmProfile giantvm;
+
+  int num_vcpus() const { return static_cast<int>(placement.size()); }
+  NodeId bootstrap_node() const { return placement.empty() ? kInvalidNode : placement[0].node; }
+};
+
+// One vCPU per node, each pinned on pCPU 0 of nodes [0, n) — the Aggregate VM
+// arrangement used throughout Sec. 7.
+std::vector<VcpuPlacement> DistributedPlacement(int num_vcpus);
+
+// All vCPUs on `node`, round-robin over `num_pcpus` pCPUs — the overcommit
+// baseline (num_pcpus < num_vcpus).
+std::vector<VcpuPlacement> OvercommitPlacement(NodeId node, int num_vcpus, int num_pcpus);
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_CORE_VM_CONFIG_H_

@@ -1,0 +1,63 @@
+// Services a vCPU needs from the surrounding Aggregate VM.
+//
+// The vCPU executor (src/cpu/vcpu.h) is independent of how memory coherence,
+// devices and guest sockets are implemented; the hypervisor (src/core)
+// provides this interface. Completion callbacks are invoked when the
+// operation can retire.
+
+#ifndef FRAGVISOR_SRC_CPU_GUEST_CONTEXT_H_
+#define FRAGVISOR_SRC_CPU_GUEST_CONTEXT_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/cpu/op.h"
+#include "src/net/fabric.h"
+
+namespace fragvisor {
+
+class GuestContext {
+ public:
+  virtual ~GuestContext() = default;
+
+  // Guest-physical access from a vCPU currently on `node`. Returns true on a
+  // local hit (access retires immediately, `done` is NOT called); on a fault
+  // returns false and calls `done` when it resolves.
+  virtual bool MemAccess(NodeId node, PageNum page, bool is_write, std::function<void()> done) = 0;
+
+  // Read-only residency probe (no protocol side effects).
+  virtual bool MemWouldHit(NodeId node, PageNum page, bool is_write) const = 0;
+
+  // Expands a guest page allocation into the micro-ops the guest kernel
+  // executes (hot shared kernel structures, page-table updates, first
+  // touches). Appends to `out`; the vCPU runs them before its next stream op.
+  virtual void ExpandAlloc(int vcpu_id, uint64_t count, std::deque<Op>* out) = 0;
+
+  // Guest-local socket hop to another vCPU's process. `done` fires when the
+  // payload is visible to the destination (which is then woken).
+  virtual void SocketSend(int from_vcpu, int to_vcpu, uint64_t bytes,
+                          std::function<void()> done) = 0;
+
+  // Blocks until a socket payload for `vcpu` is available; returns true and
+  // retires immediately if one is already queued (done is NOT called).
+  virtual bool SocketRecv(int vcpu, std::function<void()> done) = 0;
+
+  // Network TX: enqueue `bytes` on this vCPU's queue pair; `done` fires when
+  // the descriptor is enqueued and the backend kicked (not when transmitted).
+  virtual void NetSend(int vcpu, uint64_t bytes, std::function<void()> done) = 0;
+
+  // Blocks until a packet for `vcpu` arrives; returns true if one is queued.
+  virtual bool NetRecv(int vcpu, std::function<void()> done) = 0;
+
+  // Readiness wait: fires (or returns true) as soon as any input — network
+  // packet or socket payload — is pending for `vcpu`, without consuming it.
+  virtual bool PollAny(int vcpu, std::function<void()> done) = 0;
+
+  // Block storage, synchronous from the guest's point of view.
+  virtual void BlkWrite(int vcpu, uint64_t bytes, std::function<void()> done) = 0;
+  virtual void BlkRead(int vcpu, uint64_t bytes, std::function<void()> done) = 0;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_CPU_GUEST_CONTEXT_H_

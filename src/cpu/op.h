@@ -1,0 +1,70 @@
+// Guest instruction-stream abstraction.
+//
+// Workloads are op streams: sequences of compute bursts, guest-physical memory
+// accesses, allocations, device operations and guest-local socket hops. The
+// vCPU executor charges time for each op and routes memory/IO ops through the
+// DSM and delegated-device layers, which is where all distributed-VM effects
+// come from.
+
+#ifndef FRAGVISOR_SRC_CPU_OP_H_
+#define FRAGVISOR_SRC_CPU_OP_H_
+
+#include <cstdint>
+
+#include "src/mem/dsm.h"
+
+namespace fragvisor {
+
+struct Op {
+  enum class Kind : uint8_t {
+    kCompute,     // a = duration in nanoseconds of pure computation
+    kMemRead,     // a = guest page number
+    kMemWrite,    // a = guest page number
+    kAllocPages,  // a = page count; expands into kernel bookkeeping + touches
+    kSleep,       // a = nanoseconds
+    kNetSend,     // a = payload bytes (TX enqueue; returns once queued)
+    kNetRecv,     // blocks until a packet for this vCPU arrives; retires then
+    kBlkWrite,    // a = bytes; blocks until the backend completes
+    kBlkRead,     // a = bytes; blocks until the backend completes
+    kSocketSend,  // a = destination vCPU id, b = bytes (guest-local socket)
+    kSocketRecv,  // blocks until a socket message for this vCPU arrives
+    kPollAny,     // blocks until ANY input (net or socket) is pending; does
+                  // not consume it (epoll-style readiness)
+    kHalt,        // end of stream; the vCPU finishes
+  };
+
+  Kind kind = Kind::kHalt;
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  static Op Compute(TimeNs ns) { return {Kind::kCompute, static_cast<uint64_t>(ns), 0}; }
+  static Op MemRead(PageNum page) { return {Kind::kMemRead, page, 0}; }
+  static Op MemWrite(PageNum page) { return {Kind::kMemWrite, page, 0}; }
+  static Op AllocPages(uint64_t count) { return {Kind::kAllocPages, count, 0}; }
+  static Op Sleep(TimeNs ns) { return {Kind::kSleep, static_cast<uint64_t>(ns), 0}; }
+  static Op NetSend(uint64_t bytes) { return {Kind::kNetSend, bytes, 0}; }
+  static Op NetRecv() { return {Kind::kNetRecv, 0, 0}; }
+  static Op BlkWrite(uint64_t bytes) { return {Kind::kBlkWrite, bytes, 0}; }
+  static Op BlkRead(uint64_t bytes) { return {Kind::kBlkRead, bytes, 0}; }
+  static Op SocketSend(int to_vcpu, uint64_t bytes) {
+    return {Kind::kSocketSend, static_cast<uint64_t>(to_vcpu), bytes};
+  }
+  static Op SocketRecv() { return {Kind::kSocketRecv, 0, 0}; }
+  static Op PollAny() { return {Kind::kPollAny, 0, 0}; }
+  static Op Halt() { return {Kind::kHalt, 0, 0}; }
+};
+
+// A lazily generated instruction stream. Implementations live in
+// src/workload; streams may be stateful and are queried one op at a time.
+class OpStream {
+ public:
+  virtual ~OpStream() = default;
+
+  // Returns the next op. Must return Op::Halt() (repeatedly, if asked) once
+  // the workload is complete.
+  virtual Op Next() = 0;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_CPU_OP_H_

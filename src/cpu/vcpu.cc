@@ -1,0 +1,377 @@
+#include "src/cpu/vcpu.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+namespace {
+
+// Floor cost per retired non-compute op; keeps zero-cost op streams from
+// spinning inside one timeslice and stands in for instruction issue overhead.
+constexpr TimeNs kMinOpCost = 2;
+
+// Memory ops retired per dispatch before the vCPU voluntarily yields.
+// RunFor() executes against the coherence state observed at slice start; a
+// small burst bounds that staleness window so remote invalidations interleave
+// at sub-microsecond granularity (a page steal faults the very next burst),
+// which is what makes write ping-pong behave as on real hardware. Re-dispatch
+// of the same task costs no context switch, only an event.
+constexpr uint64_t kMemOpBurst = 8;
+
+}  // namespace
+
+VCpu::VCpu(EventLoop* loop, const CostModel* costs, GuestContext* ctx, int id, OpStream* stream)
+    : loop_(loop), costs_(costs), ctx_(ctx), id_(id), stream_(stream) {
+  FV_CHECK(loop != nullptr);
+  FV_CHECK(costs != nullptr);
+  FV_CHECK(ctx != nullptr);
+  FV_CHECK(stream != nullptr);
+}
+
+void VCpu::BindPCpu(PCpu* pcpu, NodeId node) {
+  FV_CHECK(pcpu != nullptr);
+  pcpu_ = pcpu;
+  node_ = node;
+}
+
+void VCpu::Start() {
+  FV_CHECK(life_state_ == LifeState::kCreated);
+  FV_CHECK(pcpu_ != nullptr);
+  life_state_ = LifeState::kReady;
+  pcpu_->Enqueue(this);
+}
+
+Op VCpu::FetchOp() {
+  if (!micro_ops_.empty()) {
+    Op op = micro_ops_.front();
+    micro_ops_.pop_front();
+    return op;
+  }
+  return stream_->Next();
+}
+
+void VCpu::RetireOp() {
+  ++regs_.pc;
+  ++exec_stats_.ops_retired;
+  // Churn a register so migrated/checkpointed state is non-trivial.
+  regs_.gp[regs_.pc % regs_.gp.size()] ^= regs_.pc;
+  cur_op_.reset();
+}
+
+void VCpu::PushMicroOpsFront(const std::vector<Op>& ops) {
+  micro_ops_.insert(micro_ops_.begin(), ops.begin(), ops.end());
+}
+
+void VCpu::BlockOn(std::function<void()> action) {
+  FV_CHECK(deferred_action_ == nullptr);
+  deferred_action_ = std::move(action);
+}
+
+void VCpu::Unblock() {
+  exec_stats_.blocked_time += loop_->now() - blocked_since_;
+  if (life_state_ == LifeState::kPaused) {
+    // The external wait completed while we were paused for migration; the
+    // resume will requeue us.
+    paused_wait_in_flight_ = false;
+    resume_pending_after_pause_ = true;
+    return;
+  }
+  FV_CHECK(life_state_ == LifeState::kBlocked);
+  // If we were paused-and-resumed while this wait was in flight, the pause
+  // bookkeeping is now satisfied.
+  paused_wait_in_flight_ = false;
+  life_state_ = LifeState::kReady;
+  pcpu_->Enqueue(this);
+}
+
+void VCpu::FinishStream() {
+  life_state_ = LifeState::kFinished;
+  if (on_finished_) {
+    on_finished_(this);
+  }
+}
+
+Schedulable::RunResult VCpu::RunFor(TimeNs budget) {
+  FV_CHECK(life_state_ == LifeState::kReady);
+  TimeNs used = 0;
+  uint64_t mem_ops_this_slice = 0;
+  while (budget - used >= kMinOpCost) {
+    const TimeNs quantum = costs_->yield_quantum;
+    if (mem_ops_this_slice >= kMemOpBurst || used >= quantum) {
+      return {used, RunState::kRunnableAgain};
+    }
+    if (!cur_op_.has_value()) {
+      cur_op_ = FetchOp();
+      if (cur_op_->kind == Op::Kind::kCompute) {
+        compute_remaining_ = static_cast<TimeNs>(static_cast<double>(cur_op_->a) *
+                                                 costs_->compute_dilation);
+      }
+    }
+    switch (cur_op_->kind) {
+      case Op::Kind::kCompute: {
+        const TimeNs take =
+            std::min({compute_remaining_, budget - used, quantum - used});
+        used += take;
+        compute_remaining_ -= take;
+        exec_stats_.compute_time += take;
+        regs_.apic_timer_ns += static_cast<uint64_t>(take);
+        if (compute_remaining_ > 0) {
+          return {used, RunState::kRunnableAgain};
+        }
+        RetireOp();
+        break;
+      }
+      case Op::Kind::kMemRead:
+      case Op::Kind::kMemWrite: {
+        const bool is_write = cur_op_->kind == Op::Kind::kMemWrite;
+        const PageNum page = cur_op_->a;
+        if (is_write) {
+          ++exec_stats_.mem_writes;
+        } else {
+          ++exec_stats_.mem_reads;
+        }
+        ++mem_ops_this_slice;
+        used += kMinOpCost;
+        if (ctx_->MemWouldHit(node_, page, is_write)) {
+          RetireOp();
+          break;
+        }
+        ++exec_stats_.faults;
+        BlockOn([this, page, is_write]() {
+          const bool hit = ctx_->MemAccess(node_, page, is_write, [this]() {
+            RetireOp();
+            Unblock();
+          });
+          if (hit) {
+            RetireOp();
+            Unblock();
+          }
+        });
+        return {used, RunState::kBlocked};
+      }
+      case Op::Kind::kAllocPages: {
+        const uint64_t count = cur_op_->a;
+        used += kMinOpCost;
+        RetireOp();
+        ctx_->ExpandAlloc(id_, count, &micro_ops_);
+        break;
+      }
+      case Op::Kind::kSleep: {
+        const TimeNs duration = static_cast<TimeNs>(cur_op_->a);
+        used += kMinOpCost;
+        BlockOn([this, duration]() {
+          loop_->ScheduleAfter(duration, [this]() {
+            RetireOp();
+            Unblock();
+          });
+        });
+        return {used, RunState::kBlocked};
+      }
+      case Op::Kind::kNetSend: {
+        const uint64_t bytes = cur_op_->a;
+        used += kMinOpCost;
+        BlockOn([this, bytes]() {
+          ctx_->NetSend(id_, bytes, [this]() {
+            RetireOp();
+            Unblock();
+          });
+        });
+        return {used, RunState::kBlocked};
+      }
+      case Op::Kind::kNetRecv: {
+        used += kMinOpCost;
+        BlockOn([this]() {
+          const bool ready = ctx_->NetRecv(id_, [this]() {
+            RetireOp();
+            Unblock();
+          });
+          if (ready) {
+            RetireOp();
+            Unblock();
+          }
+        });
+        return {used, RunState::kBlocked};
+      }
+      case Op::Kind::kBlkWrite:
+      case Op::Kind::kBlkRead: {
+        const bool is_write = cur_op_->kind == Op::Kind::kBlkWrite;
+        const uint64_t bytes = cur_op_->a;
+        used += kMinOpCost;
+        BlockOn([this, is_write, bytes]() {
+          auto done = [this]() {
+            RetireOp();
+            Unblock();
+          };
+          if (is_write) {
+            ctx_->BlkWrite(id_, bytes, done);
+          } else {
+            ctx_->BlkRead(id_, bytes, done);
+          }
+        });
+        return {used, RunState::kBlocked};
+      }
+      case Op::Kind::kSocketSend: {
+        const int peer = static_cast<int>(cur_op_->a);
+        const uint64_t bytes = cur_op_->b;
+        used += kMinOpCost;
+        BlockOn([this, peer, bytes]() {
+          ctx_->SocketSend(id_, peer, bytes, [this]() {
+            RetireOp();
+            Unblock();
+          });
+        });
+        return {used, RunState::kBlocked};
+      }
+      case Op::Kind::kSocketRecv: {
+        used += kMinOpCost;
+        BlockOn([this]() {
+          const bool ready = ctx_->SocketRecv(id_, [this]() {
+            RetireOp();
+            Unblock();
+          });
+          if (ready) {
+            RetireOp();
+            Unblock();
+          }
+        });
+        return {used, RunState::kBlocked};
+      }
+      case Op::Kind::kPollAny: {
+        used += kMinOpCost;
+        BlockOn([this]() {
+          const bool ready = ctx_->PollAny(id_, [this]() {
+            RetireOp();
+            Unblock();
+          });
+          if (ready) {
+            RetireOp();
+            Unblock();
+          }
+        });
+        return {used, RunState::kBlocked};
+      }
+      case Op::Kind::kHalt: {
+        return {used, RunState::kFinished};
+      }
+    }
+  }
+  return {used, RunState::kRunnableAgain};
+}
+
+void VCpu::OnDescheduled(RunState state) {
+  switch (state) {
+    case RunState::kFinished: {
+      FinishStream();
+      if (pause_pending_) {
+        pause_pending_ = false;
+        auto cb = std::move(pause_cb_);
+        pause_cb_ = nullptr;
+        cb();
+      }
+      return;
+    }
+    case RunState::kBlocked: {
+      blocked_since_ = loop_->now();
+      FV_CHECK(deferred_action_ != nullptr);
+      auto action = std::move(deferred_action_);
+      deferred_action_ = nullptr;
+      if (pause_pending_) {
+        // Pause wins: hold the action until resume so the fault/IO is issued
+        // from the destination node.
+        pause_pending_ = false;
+        life_state_ = LifeState::kPaused;
+        resume_action_ = std::move(action);
+        auto cb = std::move(pause_cb_);
+        pause_cb_ = nullptr;
+        cb();
+        return;
+      }
+      life_state_ = LifeState::kBlocked;
+      action();
+      return;
+    }
+    case RunState::kRunnableAgain: {
+      if (pause_pending_) {
+        pause_pending_ = false;
+        life_state_ = LifeState::kPaused;
+        auto cb = std::move(pause_cb_);
+        pause_cb_ = nullptr;
+        cb();
+      }
+      return;
+    }
+  }
+}
+
+bool VCpu::ShouldRequeue() const { return life_state_ == LifeState::kReady; }
+
+std::string VCpu::name() const { return "vcpu" + std::to_string(id_); }
+
+void VCpu::PauseWhenOffCpu(std::function<void()> cb) {
+  FV_CHECK(cb != nullptr);
+  switch (life_state_) {
+    case LifeState::kCreated: {
+      // Not yet started (e.g. boot-time state transfer still in flight);
+      // mark paused so a late Start() is superseded by the resume.
+      life_state_ = LifeState::kPaused;
+      cb();
+      return;
+    }
+    case LifeState::kFinished: {
+      cb();
+      return;
+    }
+    case LifeState::kReady: {
+      if (pcpu_->current() == this) {
+        FV_CHECK(!pause_pending_);
+        pause_pending_ = true;
+        pause_cb_ = std::move(cb);
+        return;
+      }
+      FV_CHECK(pcpu_->RemoveQueued(this));
+      life_state_ = LifeState::kPaused;
+      cb();
+      return;
+    }
+    case LifeState::kBlocked: {
+      life_state_ = LifeState::kPaused;
+      paused_wait_in_flight_ = true;
+      cb();
+      return;
+    }
+    case LifeState::kPaused: {
+      FV_CHECK(false);  // double pause
+      return;
+    }
+  }
+}
+
+void VCpu::ResumeOn(PCpu* pcpu, NodeId node) {
+  FV_CHECK(life_state_ == LifeState::kPaused || life_state_ == LifeState::kCreated ||
+           life_state_ == LifeState::kFinished);
+  if (life_state_ == LifeState::kFinished) {
+    return;
+  }
+  BindPCpu(pcpu, node);
+  if (resume_action_ != nullptr) {
+    // Re-issue the deferred fault/IO from the new node.
+    life_state_ = LifeState::kBlocked;
+    blocked_since_ = loop_->now();
+    auto action = std::move(resume_action_);
+    resume_action_ = nullptr;
+    action();
+    return;
+  }
+  if (paused_wait_in_flight_) {
+    // Still waiting on an external completion; it will requeue us here.
+    life_state_ = LifeState::kBlocked;
+    return;
+  }
+  resume_pending_after_pause_ = false;
+  life_state_ = LifeState::kReady;
+  pcpu_->Enqueue(this);
+}
+
+}  // namespace fragvisor

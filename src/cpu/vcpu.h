@@ -1,0 +1,139 @@
+// Virtual CPU: a schedulable guest execution context.
+//
+// A vCPU executes its op stream while scheduled on a pCPU. Memory accesses
+// consult the DSM for the node the vCPU *currently* runs on; coherence
+// faults, device waits and sleeps block the vCPU (the pCPU runs someone
+// else). Deferred actions (emitting the DSM request, kicking a device) are
+// issued at the precise simulated time of the triggering instruction, via
+// OnDescheduled().
+//
+// Mobility: a vCPU can be paused, its registers dumped, transferred to a
+// pCPU on another node and resumed — the paper's thread-migration mechanism.
+
+#ifndef FRAGVISOR_SRC_CPU_VCPU_H_
+#define FRAGVISOR_SRC_CPU_VCPU_H_
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/cpu/guest_context.h"
+#include "src/cpu/op.h"
+#include "src/host/pcpu.h"
+#include "src/sim/event_loop.h"
+
+namespace fragvisor {
+
+class VCpu : public Schedulable {
+ public:
+  // Architectural state that travels on migration/checkpoint.
+  struct Regs {
+    uint64_t pc = 0;  // ops retired; stands in for RIP
+    std::array<uint64_t, 16> gp{};
+    uint64_t apic_timer_ns = 0;
+  };
+
+  struct ExecStats {
+    uint64_t ops_retired = 0;
+    uint64_t mem_reads = 0;
+    uint64_t mem_writes = 0;
+    uint64_t faults = 0;  // blocking memory faults observed by this vCPU
+    TimeNs compute_time = 0;
+    TimeNs blocked_time = 0;
+  };
+
+  enum class LifeState : uint8_t {
+    kCreated,   // not yet started
+    kReady,     // queued or running on a pCPU
+    kBlocked,   // waiting on fault/IO/sleep
+    kPaused,    // off-CPU for migration or checkpoint
+    kFinished,  // op stream halted
+  };
+
+  VCpu(EventLoop* loop, const CostModel* costs, GuestContext* ctx, int id, OpStream* stream);
+
+  VCpu(const VCpu&) = delete;
+  VCpu& operator=(const VCpu&) = delete;
+
+  int id() const { return id_; }
+  NodeId node() const { return node_; }
+  PCpu* pcpu() const { return pcpu_; }
+  LifeState life_state() const { return life_state_; }
+  bool finished() const { return life_state_ == LifeState::kFinished; }
+  Regs& regs() { return regs_; }
+  const Regs& regs() const { return regs_; }
+  const ExecStats& exec_stats() const { return exec_stats_; }
+
+  // Places the vCPU on a pCPU (before Start or as part of migration).
+  void BindPCpu(PCpu* pcpu, NodeId node);
+
+  // Starts execution (enqueues on the bound pCPU).
+  void Start();
+
+  // Runs `cb` once the vCPU is off-CPU and will not run again until resumed.
+  // Valid from kReady/kBlocked/kCreated. A blocked vCPU pauses immediately
+  // (its in-flight wait continues and re-enqueues after resume).
+  void PauseWhenOffCpu(std::function<void()> cb);
+
+  // Resumes a paused vCPU on (a possibly different) pCPU.
+  void ResumeOn(PCpu* pcpu, NodeId node);
+
+  void set_on_finished(std::function<void(VCpu*)> cb) { on_finished_ = std::move(cb); }
+
+  // Prepends ops to run before the next stream op (e.g. the guest-side copy
+  // of a payload that a recv just consumed). Preserves `ops` order.
+  void PushMicroOpsFront(const std::vector<Op>& ops);
+
+  // Debug: kind of the op currently in flight (-1 if none), and whether a
+  // deferred action is stashed across a pause.
+  int DebugCurOpKind() const { return cur_op_.has_value() ? static_cast<int>(cur_op_->kind) : -1; }
+  bool DebugHasResumeAction() const { return resume_action_ != nullptr; }
+  bool DebugPausedWaitInFlight() const { return paused_wait_in_flight_; }
+  size_t DebugMicroOps() const { return micro_ops_.size(); }
+
+  // Schedulable:
+  RunResult RunFor(TimeNs budget) override;
+  void OnDescheduled(RunState state) override;
+  bool ShouldRequeue() const override;
+  std::string name() const override;
+
+ private:
+  // Fetches the next op (micro-op queue first, then the stream).
+  Op FetchOp();
+  void RetireOp();
+  // Transition into blocked state; `action` runs at slice end.
+  void BlockOn(std::function<void()> action);
+  void Unblock();
+  void FinishStream();
+
+  EventLoop* loop_;
+  const CostModel* costs_;
+  GuestContext* ctx_;
+  int id_;
+  OpStream* stream_;
+
+  PCpu* pcpu_ = nullptr;
+  NodeId node_ = kInvalidNode;
+  LifeState life_state_ = LifeState::kCreated;
+
+  std::optional<Op> cur_op_;
+  TimeNs compute_remaining_ = 0;
+  std::deque<Op> micro_ops_;
+  std::function<void()> deferred_action_;
+  bool pause_pending_ = false;
+  std::function<void()> pause_cb_;
+  std::function<void()> resume_action_;      // deferred action held across a pause
+  bool paused_wait_in_flight_ = false;       // paused while an external wait is pending
+  bool resume_pending_after_pause_ = false;  // wait completed while paused
+  TimeNs blocked_since_ = 0;
+
+  Regs regs_;
+  ExecStats exec_stats_;
+  std::function<void(VCpu*)> on_finished_;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_CPU_VCPU_H_

@@ -1,0 +1,29 @@
+#include "src/giantvm/giantvm.h"
+
+namespace fragvisor {
+
+CostModel GiantVmProfile::AdjustCosts(const CostModel& base) const {
+  CostModel costs = base;
+  costs.dsm_userspace_extra = userspace_fault_extra;
+  costs.notify_wakeup = polling_notify_wakeup;
+  // IPIs are relayed through polling helper threads as well.
+  costs.ipi_to_message = polling_notify_wakeup;
+  costs.compute_dilation = qemu_exit_dilation * ComputeDilation();
+  costs.vhost_per_packet = userspace_virtio_per_op;
+  return costs;
+}
+
+DsmEngine::Options GiantVmProfile::AdjustDsmOptions(DsmEngine::Options base) const {
+  base.userspace_dsm = true;
+  base.contextual_dsm = false;
+  return base;
+}
+
+double GiantVmProfile::ComputeDilation() const {
+  if (helper_placement == HelperPlacement::kColocated) {
+    return 1.0 / (1.0 - colocated_cpu_tax);
+  }
+  return 1.0;
+}
+
+}  // namespace fragvisor

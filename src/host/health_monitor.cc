@@ -1,0 +1,129 @@
+#include "src/host/health_monitor.h"
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+const char* NodeHealthName(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kHealthy:
+      return "healthy";
+    case NodeHealth::kDegraded:
+      return "degraded";
+    case NodeHealth::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(Cluster* cluster, const Config& config)
+    : cluster_(cluster), config_(config) {
+  FV_CHECK(cluster != nullptr);
+  FV_CHECK_GT(config.degraded_error_threshold, 0);
+  FV_CHECK_GT(config.miss_threshold, 0);
+  nodes_.resize(static_cast<size_t>(cluster->num_nodes()));
+}
+
+NodeHealth HealthMonitor::health(NodeId node) const {
+  FV_CHECK_GE(node, 0);
+  FV_CHECK_LT(node, cluster_->num_nodes());
+  return nodes_[static_cast<size_t>(node)].health;
+}
+
+std::vector<NodeId> HealthMonitor::HealthyNodes() const {
+  std::vector<NodeId> healthy;
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    if (nodes_[static_cast<size_t>(n)].health == NodeHealth::kHealthy) {
+      healthy.push_back(n);
+    }
+  }
+  return healthy;
+}
+
+void HealthMonitor::SetHealth(NodeId node, NodeHealth health) {
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  if (st.health == health) {
+    return;
+  }
+  st.health = health;
+  for (const ChangeHandler& observer : observers_) {
+    observer(node, health);
+  }
+}
+
+void HealthMonitor::InjectCorrectableErrors(NodeId node, int count) {
+  FV_CHECK_GE(node, 0);
+  FV_CHECK_LT(node, cluster_->num_nodes());
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  if (st.health == NodeHealth::kFailed) {
+    return;
+  }
+  st.correctable_errors += count;
+  if (st.correctable_errors >= config_.degraded_error_threshold &&
+      st.health == NodeHealth::kHealthy) {
+    SetHealth(node, NodeHealth::kDegraded);
+  }
+}
+
+void HealthMonitor::InjectFailure(NodeId node) {
+  FV_CHECK_GE(node, 0);
+  FV_CHECK_LT(node, cluster_->num_nodes());
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  if (st.failed_injected) {
+    return;
+  }
+  st.failed_injected = true;
+  st.failed_at = cluster_->loop().now();
+  if (!heartbeats_running_) {
+    // No detector deployed: assume out-of-band notification.
+    failures_detected_.Add(1);
+    last_detection_latency_ = 0;
+    SetHealth(node, NodeHealth::kFailed);
+  }
+}
+
+void HealthMonitor::StartHeartbeats(NodeId monitor_node) {
+  FV_CHECK(!heartbeats_running_);
+  FV_CHECK_GE(monitor_node, 0);
+  FV_CHECK_LT(monitor_node, cluster_->num_nodes());
+  heartbeats_running_ = true;
+  monitor_node_ = monitor_node;
+  const TimeNs now = cluster_->loop().now();
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    nodes_[static_cast<size_t>(n)].last_heartbeat = now;
+    SendHeartbeat(n);
+  }
+  cluster_->loop().ScheduleAfter(config_.heartbeat_interval, [this]() { CheckHeartbeats(); });
+}
+
+void HealthMonitor::SendHeartbeat(NodeId node) {
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  if (st.failed_injected) {
+    return;  // dead nodes fall silent
+  }
+  cluster_->fabric().Send(node, monitor_node_, MsgKind::kControl, 64, [this, node]() {
+    nodes_[static_cast<size_t>(node)].last_heartbeat = cluster_->loop().now();
+  });
+  cluster_->loop().ScheduleAfter(config_.heartbeat_interval,
+                                 [this, node]() { SendHeartbeat(node); });
+}
+
+void HealthMonitor::CheckHeartbeats() {
+  const TimeNs now = cluster_->loop().now();
+  const TimeNs deadline =
+      static_cast<TimeNs>(config_.miss_threshold) * config_.heartbeat_interval;
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    NodeState& st = nodes_[static_cast<size_t>(n)];
+    if (st.health == NodeHealth::kFailed || n == monitor_node_) {
+      continue;
+    }
+    if (now - st.last_heartbeat > deadline) {
+      failures_detected_.Add(1);
+      last_detection_latency_ = st.failed_injected ? now - st.failed_at : 0;
+      SetHealth(n, NodeHealth::kFailed);
+    }
+  }
+  cluster_->loop().ScheduleAfter(config_.heartbeat_interval, [this]() { CheckHeartbeats(); });
+}
+
+}  // namespace fragvisor

@@ -1,0 +1,106 @@
+// Node health monitoring (Sec. 4, "Reliability").
+//
+// The resource-borrowing hypervisor cannot change hardware reliability, but
+// it can exploit hardware monitoring/logging (Intel MCA/AER) to preemptively
+// force-migrate VM slices off a likely-to-fail server, and detect outright
+// failures via heartbeats so checkpoint/restart can recover.
+//
+// Benches and tests play the role of the platform firmware by injecting
+// correctable-error bursts (-> kDegraded once past a threshold) and hard
+// failures (-> kFailed, detected after missed heartbeats).
+
+#ifndef FRAGVISOR_SRC_HOST_HEALTH_MONITOR_H_
+#define FRAGVISOR_SRC_HOST_HEALTH_MONITOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/host/node.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/stats.h"
+
+namespace fragvisor {
+
+enum class NodeHealth : uint8_t {
+  kHealthy,
+  kDegraded,  // correctable-error rate crossed the MCA threshold
+  kFailed,    // stopped responding (heartbeat loss / fatal error)
+};
+
+const char* NodeHealthName(NodeHealth health);
+
+class HealthMonitor {
+ public:
+  struct Config {
+    // Correctable errors before a node is reported degraded.
+    int degraded_error_threshold = 3;
+    // Heartbeat settings (StartHeartbeats enables them).
+    TimeNs heartbeat_interval = Millis(100);
+    int miss_threshold = 3;
+  };
+
+  using ChangeHandler = std::function<void(NodeId node, NodeHealth health)>;
+
+  HealthMonitor(Cluster* cluster, const Config& config);
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  // Registers an observer; all observers are invoked on every transition
+  // (the failover manager registers itself, logging/UIs can add more).
+  void AddObserver(ChangeHandler handler) { observers_.push_back(std::move(handler)); }
+
+  NodeHealth health(NodeId node) const;
+
+  // Nodes currently usable for placement/evacuation.
+  std::vector<NodeId> HealthyNodes() const;
+
+  // --- Platform-event injection (the MCA/AER side) ---
+
+  // Reports `count` correctable errors on `node`; crossing the threshold
+  // flips the node to kDegraded and notifies.
+  void InjectCorrectableErrors(NodeId node, int count);
+
+  // Hard-fails `node`. With heartbeats running, detection (and notification)
+  // happens after the configured misses; otherwise notification is
+  // immediate.
+  void InjectFailure(NodeId node);
+
+  // --- Heartbeats ---
+
+  // Every node sends periodic heartbeats to `monitor_node` over the fabric;
+  // a checker marks nodes kFailed after miss_threshold silent intervals.
+  void StartHeartbeats(NodeId monitor_node);
+
+  bool heartbeats_running() const { return heartbeats_running_; }
+
+  // Time from InjectFailure to detection, for the most recent failure.
+  TimeNs last_detection_latency() const { return last_detection_latency_; }
+  uint64_t failures_detected() const { return failures_detected_.value(); }
+
+ private:
+  struct NodeState {
+    NodeHealth health = NodeHealth::kHealthy;
+    int correctable_errors = 0;
+    bool failed_injected = false;
+    TimeNs failed_at = 0;
+    TimeNs last_heartbeat = 0;
+  };
+
+  void SetHealth(NodeId node, NodeHealth health);
+  void SendHeartbeat(NodeId node);
+  void CheckHeartbeats();
+
+  Cluster* cluster_;
+  Config config_;
+  std::vector<NodeState> nodes_;
+  std::vector<ChangeHandler> observers_;
+  bool heartbeats_running_ = false;
+  NodeId monitor_node_ = kInvalidNode;
+  TimeNs last_detection_latency_ = 0;
+  Counter failures_detected_;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_HOST_HEALTH_MONITOR_H_

@@ -1,0 +1,80 @@
+// Physical server model: a set of pCPUs, RAM capacity, and locally attached
+// devices. Hypervisor instances (core/hypervisor_instance.h) run on nodes.
+
+#ifndef FRAGVISOR_SRC_HOST_NODE_H_
+#define FRAGVISOR_SRC_HOST_NODE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/host/cost_model.h"
+#include "src/host/pcpu.h"
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+
+namespace fragvisor {
+
+class Node {
+ public:
+  Node(EventLoop* loop, NodeId id, int num_pcpus, uint64_t ram_bytes, const CostModel* costs);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  int num_pcpus() const { return static_cast<int>(pcpus_.size()); }
+  uint64_t ram_bytes() const { return ram_bytes_; }
+
+  PCpu& pcpu(int index) {
+    FV_CHECK_GE(index, 0);
+    FV_CHECK_LT(index, num_pcpus());
+    return *pcpus_[static_cast<size_t>(index)];
+  }
+
+  // Aggregate busy time across all pCPUs.
+  TimeNs total_busy_time() const;
+
+ private:
+  NodeId id_;
+  uint64_t ram_bytes_;
+  std::vector<std::unique_ptr<PCpu>> pcpus_;
+};
+
+// The simulated testbed: nodes + interconnect + shared cost model and clock.
+class Cluster {
+ public:
+  struct Config {
+    int num_nodes = 4;
+    int pcpus_per_node = 8;
+    uint64_t ram_per_node = 32ull << 30;  // 32 GiB, as in the paper's servers
+    LinkParams link = LinkParams::InfiniBand56G();
+    CostModel costs = CostModel::Default();
+  };
+
+  explicit Cluster(const Config& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  EventLoop& loop() { return loop_; }
+  Fabric& fabric() { return *fabric_; }
+  const CostModel& costs() const { return costs_; }
+  CostModel& mutable_costs() { return costs_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(NodeId id) {
+    FV_CHECK_GE(id, 0);
+    FV_CHECK_LT(id, num_nodes());
+    return *nodes_[static_cast<size_t>(id)];
+  }
+
+ private:
+  EventLoop loop_;
+  CostModel costs_;
+  std::unique_ptr<Fabric> fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_HOST_NODE_H_

@@ -1,0 +1,90 @@
+#include "src/host/pcpu.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+PCpu::PCpu(EventLoop* loop, NodeId node, int index, const CostModel* costs)
+    : loop_(loop), node_(node), index_(index), costs_(costs) {
+  FV_CHECK(loop != nullptr);
+  FV_CHECK(costs != nullptr);
+}
+
+void PCpu::Enqueue(Schedulable* task) {
+  FV_CHECK(task != nullptr);
+  FV_CHECK(!IsQueuedOrRunning(task));
+  run_queue_.push_back(task);
+  if (current_ == nullptr) {
+    DispatchNext();
+  }
+}
+
+bool PCpu::RemoveQueued(Schedulable* task) {
+  auto it = std::find(run_queue_.begin(), run_queue_.end(), task);
+  if (it == run_queue_.end()) {
+    return false;
+  }
+  run_queue_.erase(it);
+  return true;
+}
+
+bool PCpu::IsQueuedOrRunning(const Schedulable* task) const {
+  if (current_ == task) {
+    return true;
+  }
+  return std::find(run_queue_.begin(), run_queue_.end(), task) != run_queue_.end();
+}
+
+void PCpu::DispatchNext() {
+  // Callees (OnDescheduled -> Enqueue) may have already restarted dispatch.
+  if (current_ != nullptr || run_queue_.empty()) {
+    return;
+  }
+  current_ = run_queue_.front();
+  run_queue_.pop_front();
+  slice_remaining_ = costs_->timeslice;
+
+  // Charge a context switch when a different thread gets the core.
+  const TimeNs switch_cost = (last_ran_ != nullptr && last_ran_ != current_)
+                                 ? costs_->context_switch
+                                 : 0;
+  last_ran_ = current_;
+  RunCurrent(switch_cost);
+}
+
+void PCpu::RunCurrent(TimeNs switch_cost) {
+  const Schedulable::RunResult result = current_->RunFor(slice_remaining_);
+  FV_CHECK_GE(result.used, 0);
+  FV_CHECK_LE(result.used, slice_remaining_);
+
+  const TimeNs consumed = switch_cost + result.used;
+  busy_time_ += consumed;
+  slice_remaining_ -= result.used;
+  loop_->ScheduleAfter(consumed, [this, result]() {
+    Schedulable* task = current_;
+    // A voluntary yield with slice budget left continues the same task: no
+    // deschedule, no context switch — the task only re-synchronized with
+    // simulated time (coherence events, preemption requests).
+    if (result.state == Schedulable::RunState::kRunnableAgain && result.used > 0 &&
+        slice_remaining_ > 0) {
+      task->OnDescheduled(result.state);
+      if (task->ShouldRequeue()) {
+        RunCurrent(0);
+        return;
+      }
+      current_ = nullptr;
+      DispatchNext();
+      return;
+    }
+    current_ = nullptr;
+    task->OnDescheduled(result.state);
+    if (result.state == Schedulable::RunState::kRunnableAgain && task->ShouldRequeue()) {
+      run_queue_.push_back(task);
+    }
+    DispatchNext();
+  });
+}
+
+}  // namespace fragvisor

@@ -1,0 +1,103 @@
+// Physical CPU model with a round-robin timeslice scheduler.
+//
+// A PCpu owns a run queue of Schedulable tasks (vCPU threads, vhost workers).
+// Resource overcommitment — the paper's baseline — is literally several vCPUs
+// sharing one PCpu's run queue; an Aggregate VM pins one vCPU per PCpu across
+// nodes.
+
+#ifndef FRAGVISOR_SRC_HOST_PCPU_H_
+#define FRAGVISOR_SRC_HOST_PCPU_H_
+
+#include <deque>
+#include <string>
+
+#include "src/host/cost_model.h"
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/stats.h"
+
+namespace fragvisor {
+
+// A host thread that can be scheduled on a PCpu.
+class Schedulable {
+ public:
+  enum class RunState {
+    kRunnableAgain,  // used its budget, wants more CPU
+    kBlocked,        // waiting on an external event; re-Enqueue() to resume
+    kFinished,       // will never run again
+  };
+
+  struct RunResult {
+    TimeNs used = 0;
+    RunState state = RunState::kFinished;
+  };
+
+  virtual ~Schedulable() = default;
+
+  // Executes up to `budget` of CPU time; returns how much was consumed and the
+  // resulting state. Must not consume more than `budget`. Side effects that
+  // should happen at the *end* of the consumed interval (e.g. emitting a DSM
+  // request at the fault point) must be deferred to OnDescheduled(), which the
+  // PCpu invokes once simulated time has advanced past the consumed interval.
+  virtual RunResult RunFor(TimeNs budget) = 0;
+
+  // Invoked at slice end (simulated time == slice start + used).
+  virtual void OnDescheduled(RunState state) { (void)state; }
+
+  // Consulted after OnDescheduled() when the state was kRunnableAgain; a task
+  // can decline requeueing (e.g. a vCPU pausing for migration).
+  virtual bool ShouldRequeue() const { return true; }
+
+  virtual std::string name() const = 0;
+};
+
+class PCpu {
+ public:
+  PCpu(EventLoop* loop, NodeId node, int index, const CostModel* costs);
+
+  PCpu(const PCpu&) = delete;
+  PCpu& operator=(const PCpu&) = delete;
+
+  NodeId node() const { return node_; }
+  int index() const { return index_; }
+
+  // Adds `task` to the tail of the run queue and starts dispatching if idle.
+  void Enqueue(Schedulable* task);
+
+  // Removes a queued (not currently running) task; returns false if absent.
+  bool RemoveQueued(Schedulable* task);
+
+  bool IsQueuedOrRunning(const Schedulable* task) const;
+
+  // True when nothing is running or queued.
+  bool idle() const { return current_ == nullptr && run_queue_.empty(); }
+
+  Schedulable* current() const { return current_; }
+  size_t queue_depth() const { return run_queue_.size(); }
+
+  // Accumulated busy time (for utilization accounting).
+  TimeNs busy_time() const { return busy_time_; }
+
+ private:
+  void DispatchNext();
+  // Runs one micro-dispatch of current_ against the remaining slice budget.
+  // Tasks may voluntarily yield mid-slice (to observe coherence events or to
+  // allow preemption for migration); the same task continues its slice
+  // without a context switch until the budget is exhausted.
+  void RunCurrent(TimeNs switch_cost);
+
+  EventLoop* loop_;
+  NodeId node_;
+  int index_;
+  const CostModel* costs_;
+
+  std::deque<Schedulable*> run_queue_;
+  Schedulable* current_ = nullptr;
+  Schedulable* last_ran_ = nullptr;  // to charge context switches on change
+  TimeNs slice_remaining_ = 0;
+  TimeNs busy_time_ = 0;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_HOST_PCPU_H_

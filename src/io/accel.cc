@@ -1,0 +1,122 @@
+#include "src/io/accel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/io/dsm_transfer.h"
+#include "src/sim/check.h"
+
+namespace fragvisor {
+namespace {
+
+constexpr uint64_t kDoorbellBytes = 64;
+
+}  // namespace
+
+AccelDev::AccelDev(EventLoop* loop, Fabric* fabric, DsmEngine* dsm, GuestAddressSpace* space,
+                   const CostModel* costs, const AccelConfig& config, LocatorFn locator)
+    : loop_(loop),
+      fabric_(fabric),
+      dsm_(dsm),
+      space_(space),
+      costs_(costs),
+      config_(config),
+      locator_(std::move(locator)) {
+  FV_CHECK(loop != nullptr);
+  FV_CHECK(fabric != nullptr);
+  FV_CHECK(dsm != nullptr);
+  FV_CHECK(space != nullptr);
+  FV_CHECK(costs != nullptr);
+  FV_CHECK(locator_ != nullptr);
+  FV_CHECK_GT(config.device_speedup, 0.0);
+}
+
+TimeNs AccelDev::DeviceService(TimeNs execution) {
+  const TimeNs start = std::max(loop_->now(), device_busy_until_);
+  device_busy_until_ = start + execution;
+  stats_.device_busy += execution;
+  return device_busy_until_ - loop_->now();
+}
+
+void AccelDev::Submit(int vcpu, uint64_t input_bytes, TimeNs cpu_equiv_work,
+                      uint64_t output_bytes, std::function<void()> done) {
+  FV_CHECK(done != nullptr);
+  const NodeId src = locator_(vcpu);
+  const bool remote = src != config_.backend_node;
+  const TimeNs t0 = loop_->now();
+
+  stats_.kernels.Add(1);
+  stats_.input_bytes.Add(input_bytes);
+  stats_.output_bytes.Add(output_bytes);
+  if (remote) {
+    stats_.delegated_kernels.Add(1);
+  }
+
+  const TimeNs dma_in =
+      FromSeconds(static_cast<double>(input_bytes) / config_.dma_bytes_per_second);
+  const TimeNs dma_out =
+      FromSeconds(static_cast<double>(output_bytes) / config_.dma_bytes_per_second);
+  const TimeNs execution =
+      static_cast<TimeNs>(static_cast<double>(cpu_equiv_work) / config_.device_speedup) +
+      dma_in + dma_out;
+
+  auto complete = [this, t0, done = std::move(done)]() mutable {
+    stats_.kernel_latency_ns.Record(static_cast<double>(loop_->now() - t0));
+    done();
+  };
+
+  auto run_kernel = [this, src, remote, output_bytes, execution,
+                     complete = std::move(complete)]() mutable {
+    loop_->ScheduleAfter(DeviceService(execution), [this, src, remote, output_bytes,
+                                                    complete = std::move(complete)]() mutable {
+      if (!remote) {
+        loop_->ScheduleAfter(costs_->irq_inject, std::move(complete));
+        return;
+      }
+      if (config_.dsm_bypass) {
+        // Results piggybacked on the completion message.
+        fabric_->Send(config_.backend_node, src, MsgKind::kIoCompletion,
+                      kDoorbellBytes + output_bytes,
+                      [this, complete = std::move(complete)]() mutable {
+                        loop_->ScheduleAfter(costs_->irq_inject, std::move(complete));
+                      });
+        return;
+      }
+      // Results written into guest memory at the accelerator's slice; the
+      // submitter demand-faults them back through the DSM.
+      const uint64_t pages = PagesFor(output_bytes);
+      const PageNum first = space_->AllocTransferRange(std::max<uint64_t>(pages, 1),
+                                                       config_.backend_node);
+      fabric_->Send(config_.backend_node, src, MsgKind::kIoCompletion, kDoorbellBytes,
+                    [this, src, first, pages, complete = std::move(complete)]() mutable {
+                      DsmSequentialAccess(dsm_, src, first, pages, /*is_write=*/false,
+                                          std::move(complete));
+                    });
+    });
+  };
+
+  loop_->ScheduleAfter(config_.submit_overhead, [this, src, remote, input_bytes,
+                                                 run_kernel = std::move(run_kernel)]() mutable {
+    if (!remote) {
+      run_kernel();
+      return;
+    }
+    if (config_.dsm_bypass) {
+      // Operands ride the submission message over the fabric.
+      fabric_->Send(src, config_.backend_node, MsgKind::kIoPayload,
+                    kDoorbellBytes + input_bytes, std::move(run_kernel));
+      return;
+    }
+    // Doorbell only; the backend demand-faults the operand pages.
+    const uint64_t pages = PagesFor(input_bytes);
+    const PageNum first =
+        space_->AllocTransferRange(std::max<uint64_t>(pages, 1), src);
+    fabric_->Send(src, config_.backend_node, MsgKind::kIoDoorbell, kDoorbellBytes,
+                  [this, first, pages, run_kernel = std::move(run_kernel)]() mutable {
+                    DsmSequentialAccess(dsm_, config_.backend_node, first, pages,
+                                        /*is_write=*/false, std::move(run_kernel));
+                  });
+  });
+}
+
+}  // namespace fragvisor

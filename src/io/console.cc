@@ -1,0 +1,39 @@
+#include "src/io/console.h"
+
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+ConsoleDev::ConsoleDev(EventLoop* loop, Fabric* fabric, const CostModel* costs,
+                       NodeId worker_node, LocatorFn locator)
+    : loop_(loop),
+      fabric_(fabric),
+      costs_(costs),
+      worker_node_(worker_node),
+      locator_(std::move(locator)) {
+  FV_CHECK(loop != nullptr);
+  FV_CHECK(fabric != nullptr);
+  FV_CHECK(costs != nullptr);
+  FV_CHECK(locator_ != nullptr);
+}
+
+void ConsoleDev::GuestWrite(int vcpu, std::string line, std::function<void()> done) {
+  const NodeId src = locator_(vcpu);
+  auto consume = [this, line = std::move(line), done = std::move(done)]() mutable {
+    loop_->ScheduleAfter(costs_->vhost_per_packet, [this, line = std::move(line),
+                                                    done = std::move(done)]() mutable {
+      lines_.push_back(std::move(line));
+      done();
+    });
+  };
+  if (src == worker_node_) {
+    consume();
+    return;
+  }
+  delegated_writes_.Add(1);
+  fabric_->Send(src, worker_node_, MsgKind::kIoPayload, 64 + line.size(), std::move(consume));
+}
+
+}  // namespace fragvisor

@@ -1,0 +1,48 @@
+// Distributed serial console (Sec. 6.3, "Serial Console").
+//
+// One pseudo-terminal worker emulates the UART on the origin node; guest
+// writes from remote slices are forwarded as messages. Kept deliberately
+// simple — it exists so every device class the prototype rewrote has a
+// delegated counterpart.
+
+#ifndef FRAGVISOR_SRC_IO_CONSOLE_H_
+#define FRAGVISOR_SRC_IO_CONSOLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/host/cost_model.h"
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/stats.h"
+
+namespace fragvisor {
+
+class ConsoleDev {
+ public:
+  using LocatorFn = std::function<NodeId(int vcpu)>;
+
+  ConsoleDev(EventLoop* loop, Fabric* fabric, const CostModel* costs, NodeId worker_node,
+             LocatorFn locator);
+
+  // Emits a console line from `vcpu`; `done` fires when the UART worker has
+  // consumed it.
+  void GuestWrite(int vcpu, std::string line, std::function<void()> done);
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  uint64_t delegated_writes() const { return delegated_writes_.value(); }
+
+ private:
+  EventLoop* loop_;
+  Fabric* fabric_;
+  const CostModel* costs_;
+  NodeId worker_node_;
+  LocatorFn locator_;
+  std::vector<std::string> lines_;
+  Counter delegated_writes_;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_IO_CONSOLE_H_

@@ -1,0 +1,50 @@
+#include "src/io/dsm_transfer.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+uint64_t PagesFor(uint64_t bytes) { return bytes == 0 ? 0 : (bytes + 4095) / 4096; }
+
+namespace {
+
+struct SeqState {
+  DsmEngine* dsm = nullptr;
+  NodeId node = kInvalidNode;
+  PageNum next = 0;
+  PageNum end = 0;
+  bool is_write = false;
+  std::function<void()> done;
+};
+
+void Step(std::shared_ptr<SeqState> st) {
+  while (st->next < st->end) {
+    const PageNum page = st->next++;
+    const bool hit = st->dsm->Access(st->node, page, st->is_write, [st]() { Step(st); });
+    if (!hit) {
+      return;  // resumes from the DSM completion callback
+    }
+  }
+  st->done();
+}
+
+}  // namespace
+
+void DsmSequentialAccess(DsmEngine* dsm, NodeId node, PageNum first, uint64_t count,
+                         bool is_write, std::function<void()> done) {
+  FV_CHECK(dsm != nullptr);
+  FV_CHECK(done != nullptr);
+  auto st = std::make_shared<SeqState>();
+  st->dsm = dsm;
+  st->node = node;
+  st->next = first;
+  st->end = first + count;
+  st->is_write = is_write;
+  st->done = std::move(done);
+  Step(std::move(st));
+}
+
+}  // namespace fragvisor

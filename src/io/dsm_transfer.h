@@ -1,0 +1,26 @@
+// Helper for device backends that move multi-page payloads through the DSM:
+// issues page accesses one after another (a single vhost worker walks the
+// scatter-gather list sequentially) and fires a callback when all retire.
+
+#ifndef FRAGVISOR_SRC_IO_DSM_TRANSFER_H_
+#define FRAGVISOR_SRC_IO_DSM_TRANSFER_H_
+
+#include <functional>
+
+#include "src/mem/dsm.h"
+
+namespace fragvisor {
+
+// Accesses pages [first, first + count) from `node` with the given mode,
+// strictly in order; `done` runs when the last access retires. count == 0
+// completes immediately.
+void DsmSequentialAccess(DsmEngine* dsm, NodeId node, PageNum first, uint64_t count,
+                         bool is_write, std::function<void()> done);
+
+// Number of 4 KiB pages needed for `bytes` of payload (at least 1 for a
+// non-empty payload).
+uint64_t PagesFor(uint64_t bytes);
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_IO_DSM_TRANSFER_H_

@@ -1,0 +1,197 @@
+#include "src/io/virtio_blk.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/io/dsm_transfer.h"
+#include "src/sim/check.h"
+
+namespace fragvisor {
+namespace {
+
+constexpr uint64_t kDoorbellBytes = 64;
+
+}  // namespace
+
+VirtioBlkDev::VirtioBlkDev(EventLoop* loop, Fabric* fabric, DsmEngine* dsm,
+                           GuestAddressSpace* space, const CostModel* costs,
+                           const VirtioBlkConfig& config, LocatorFn locator)
+    : loop_(loop),
+      fabric_(fabric),
+      dsm_(dsm),
+      space_(space),
+      costs_(costs),
+      config_(config),
+      locator_(std::move(locator)) {
+  FV_CHECK(loop != nullptr);
+  FV_CHECK(fabric != nullptr);
+  FV_CHECK(dsm != nullptr);
+  FV_CHECK(space != nullptr);
+  FV_CHECK(costs != nullptr);
+  FV_CHECK(locator_ != nullptr);
+  FV_CHECK_GT(config.num_vcpus, 0);
+  const int queues = config_.multiqueue ? config_.num_vcpus : 1;
+  ring_base_ = space_->AllocIoRingPages(static_cast<uint64_t>(queues));
+}
+
+TimeNs VirtioBlkDev::DiskService(uint64_t bytes) {
+  const TimeNs start = std::max(loop_->now(), disk_busy_until_);
+  const TimeNs service =
+      costs_->disk_op_latency +
+      FromSeconds(static_cast<double>(bytes) / costs_->disk_bytes_per_second);
+  disk_busy_until_ = start + service;
+  return disk_busy_until_ - loop_->now();
+}
+
+void VirtioBlkDev::GuestWrite(int vcpu, uint64_t bytes, std::function<void()> done) {
+  stats_.writes.Add(1);
+  stats_.write_bytes.Add(bytes);
+  GuestIo(vcpu, bytes, /*is_write=*/true, std::move(done));
+}
+
+void VirtioBlkDev::GuestRead(int vcpu, uint64_t bytes, std::function<void()> done) {
+  stats_.reads.Add(1);
+  stats_.read_bytes.Add(bytes);
+  GuestIo(vcpu, bytes, /*is_write=*/false, std::move(done));
+}
+
+void VirtioBlkDev::GuestIo(int vcpu, uint64_t bytes, bool is_write, std::function<void()> done) {
+  FV_CHECK_GE(vcpu, 0);
+  FV_CHECK_LT(vcpu, config_.num_vcpus);
+  const NodeId issuer = locator_(vcpu);
+  const TimeNs t0 = loop_->now();
+  auto complete = [this, t0, done = std::move(done)]() mutable {
+    stats_.op_latency_ns.Record(static_cast<double>(loop_->now() - t0));
+    done();
+  };
+
+  if (config_.backend == BlkBackend::kTmpfs) {
+    TmpfsIo(issuer, bytes, is_write, std::move(complete));
+    return;
+  }
+
+  const bool remote = issuer != config_.backend_node;
+  if (remote) {
+    stats_.delegated_ops.Add(1);
+  }
+
+  auto submit = [this, issuer, bytes, is_write, remote,
+                 complete = std::move(complete)]() mutable {
+    if (!remote) {
+      loop_->ScheduleAfter(costs_->vhost_kick,
+                           [this, issuer, bytes, is_write, complete = std::move(complete)]() mutable {
+                             VhostIo(issuer, bytes, is_write, std::move(complete));
+                           });
+      return;
+    }
+    // Delegated request. Bypass piggybacks write payloads on the doorbell.
+    const uint64_t req_bytes =
+        (config_.dsm_bypass && is_write) ? kDoorbellBytes + bytes : kDoorbellBytes;
+    const MsgKind kind = (config_.dsm_bypass && is_write) ? MsgKind::kIoPayload
+                                                          : MsgKind::kIoDoorbell;
+    fabric_->Send(issuer, config_.backend_node, kind, req_bytes,
+                  [this, issuer, bytes, is_write, complete = std::move(complete)]() mutable {
+                    loop_->ScheduleAfter(
+                        costs_->notify_wakeup,
+                        [this, issuer, bytes, is_write, complete = std::move(complete)]() mutable {
+                          VhostIo(issuer, bytes, is_write, std::move(complete));
+                        });
+                  });
+  };
+
+  if (config_.dsm_bypass) {
+    submit();
+    return;
+  }
+  // Ring descriptor through the DSM (issuer writes, backend reads).
+  const int queue = config_.multiqueue ? vcpu : 0;
+  const PageNum ring = ring_base_ + static_cast<uint64_t>(queue);
+  auto backend_fetch = [this, ring, submit = std::move(submit)]() mutable {
+    const bool hit = dsm_->Access(config_.backend_node, ring, false, submit);
+    if (hit) {
+      submit();
+    }
+  };
+  const bool hit = dsm_->Access(issuer, ring, true, backend_fetch);
+  if (hit) {
+    backend_fetch();
+  }
+}
+
+void VirtioBlkDev::VhostIo(NodeId issuer, uint64_t bytes, bool is_write,
+                           std::function<void()> done) {
+  const bool remote = issuer != config_.backend_node;
+  const uint64_t pages = PagesFor(bytes);
+
+  auto complete_back = [this, issuer, remote, done = std::move(done)]() mutable {
+    if (!remote) {
+      loop_->ScheduleAfter(costs_->irq_inject, std::move(done));
+      return;
+    }
+    loop_->ScheduleAfter(costs_->ipi_to_message, [this, issuer, done = std::move(done)]() mutable {
+      fabric_->Send(config_.backend_node, issuer, MsgKind::kIoCompletion, kDoorbellBytes,
+                    [this, done = std::move(done)]() mutable {
+                      loop_->ScheduleAfter(costs_->irq_inject, std::move(done));
+                    });
+    });
+  };
+
+  auto disk_op = [this, bytes, issuer, remote, pages,
+                  is_write, complete_back = std::move(complete_back)]() mutable {
+    const TimeNs wait = DiskService(bytes) + costs_->vhost_per_packet;
+    loop_->ScheduleAfter(wait, [this, bytes, issuer, remote, pages, is_write,
+                                complete_back = std::move(complete_back)]() mutable {
+      if (is_write) {
+        complete_back();
+        return;
+      }
+      // Read: data must reach the issuing slice.
+      if (!remote) {
+        complete_back();
+        return;
+      }
+      if (config_.dsm_bypass) {
+        fabric_->Send(config_.backend_node, issuer, MsgKind::kIoPayload, bytes + kDoorbellBytes,
+                      [this, complete_back = std::move(complete_back)]() mutable {
+                        loop_->ScheduleAfter(costs_->irq_inject, std::move(complete_back));
+                      });
+        return;
+      }
+      // vhost writes into guest buffers at the backend; the remote guest then
+      // demand-faults them over.
+      const PageNum first = space_->AllocTransferRange(pages, config_.backend_node);
+      DsmSequentialAccess(dsm_, issuer, first, pages, /*is_write=*/false,
+                          std::move(complete_back));
+    });
+  };
+
+  if (is_write && remote && !config_.dsm_bypass && pages > 0) {
+    // Fetch the write payload from the issuer through the DSM first.
+    const PageNum first = space_->AllocTransferRange(pages, issuer);
+    DsmSequentialAccess(dsm_, config_.backend_node, first, pages, /*is_write=*/false,
+                        std::move(disk_op));
+    return;
+  }
+  const TimeNs copy =
+      FromSeconds(static_cast<double>(bytes) / costs_->memcpy_bytes_per_second);
+  loop_->ScheduleAfter(copy, std::move(disk_op));
+}
+
+void VirtioBlkDev::TmpfsIo(NodeId issuer, uint64_t bytes, bool is_write,
+                           std::function<void()> done) {
+  // tmpfs: the "disk" is guest RAM, origin-backed; consistency via DSM.
+  const uint64_t pages = PagesFor(bytes);
+  if (pages == 0) {
+    loop_->ScheduleAfter(0, std::move(done));
+    return;
+  }
+  const PageNum first = space_->AllocHeapRange(pages, -1);
+  const TimeNs copy =
+      FromSeconds(static_cast<double>(bytes) / costs_->memcpy_bytes_per_second);
+  DsmSequentialAccess(dsm_, issuer, first, pages, is_write,
+                      [this, copy, done = std::move(done)]() mutable {
+                        loop_->ScheduleAfter(copy, std::move(done));
+                      });
+}
+
+}  // namespace fragvisor

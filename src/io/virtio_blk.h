@@ -1,0 +1,91 @@
+// Paravirtualized block device with delegation (Sec. 6.3, "Storage").
+//
+// Two backends, as in the prototype:
+//  * vhost-blk: a physical SSD on the backend node (500 MB/s streaming, FIFO
+//    serialized), reached via the same delegation / multiqueue / DSM-bypass
+//    machinery as virtio-net;
+//  * tmpfs: guest RAM is the backing store; reads and writes are plain DSM
+//    accesses from wherever the vCPU runs (the DSM provides consistency).
+//
+// Guest block I/O is synchronous: the vCPU blocks until the completion IRQ.
+
+#ifndef FRAGVISOR_SRC_IO_VIRTIO_BLK_H_
+#define FRAGVISOR_SRC_IO_VIRTIO_BLK_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/host/cost_model.h"
+#include "src/mem/dsm.h"
+#include "src/mem/gpa_space.h"
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/stats.h"
+
+namespace fragvisor {
+
+enum class BlkBackend : uint8_t {
+  kVhostBlk,  // SSD on the backend node
+  kTmpfs,     // guest RAM over DSM
+};
+
+struct VirtioBlkConfig {
+  NodeId backend_node = 0;
+  BlkBackend backend = BlkBackend::kVhostBlk;
+  bool multiqueue = true;
+  bool dsm_bypass = true;
+  int num_vcpus = 1;
+};
+
+struct VirtioBlkStats {
+  Counter reads;
+  Counter writes;
+  Counter read_bytes;
+  Counter write_bytes;
+  Counter delegated_ops;
+  Summary op_latency_ns;
+};
+
+class VirtioBlkDev {
+ public:
+  using LocatorFn = std::function<NodeId(int vcpu)>;
+
+  VirtioBlkDev(EventLoop* loop, Fabric* fabric, DsmEngine* dsm, GuestAddressSpace* space,
+               const CostModel* costs, const VirtioBlkConfig& config, LocatorFn locator);
+
+  VirtioBlkDev(const VirtioBlkDev&) = delete;
+  VirtioBlkDev& operator=(const VirtioBlkDev&) = delete;
+
+  const VirtioBlkConfig& config() const { return config_; }
+  const VirtioBlkStats& stats() const { return stats_; }
+
+  // Synchronous guest I/O: `done` fires when the completion IRQ reaches the
+  // issuing vCPU.
+  void GuestWrite(int vcpu, uint64_t bytes, std::function<void()> done);
+  void GuestRead(int vcpu, uint64_t bytes, std::function<void()> done);
+
+ private:
+  void GuestIo(int vcpu, uint64_t bytes, bool is_write, std::function<void()> done);
+  void VhostIo(NodeId issuer, uint64_t bytes, bool is_write, std::function<void()> done);
+  void TmpfsIo(NodeId issuer, uint64_t bytes, bool is_write, std::function<void()> done);
+
+  // SSD with FIFO serialization.
+  TimeNs DiskService(uint64_t bytes);
+
+  EventLoop* loop_;
+  Fabric* fabric_;
+  DsmEngine* dsm_;
+  GuestAddressSpace* space_;
+  const CostModel* costs_;
+  VirtioBlkConfig config_;
+  LocatorFn locator_;
+
+  PageNum ring_base_ = 0;
+  TimeNs disk_busy_until_ = 0;
+
+  VirtioBlkStats stats_;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_IO_VIRTIO_BLK_H_

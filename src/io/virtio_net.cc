@@ -1,0 +1,238 @@
+#include "src/io/virtio_net.h"
+
+#include <utility>
+
+#include "src/io/dsm_transfer.h"
+#include "src/sim/check.h"
+
+namespace fragvisor {
+namespace {
+
+constexpr uint64_t kDoorbellBytes = 64;
+constexpr uint64_t kCompletionBytes = 64;
+
+}  // namespace
+
+VirtioNetDev::VirtioNetDev(EventLoop* loop, Fabric* fabric, DsmEngine* dsm,
+                           GuestAddressSpace* space, const CostModel* costs,
+                           const VirtioNetConfig& config, LocatorFn locator)
+    : loop_(loop),
+      fabric_(fabric),
+      dsm_(dsm),
+      space_(space),
+      costs_(costs),
+      config_(config),
+      locator_(std::move(locator)) {
+  FV_CHECK(loop != nullptr);
+  FV_CHECK(fabric != nullptr);
+  FV_CHECK(dsm != nullptr);
+  FV_CHECK(space != nullptr);
+  FV_CHECK(costs != nullptr);
+  FV_CHECK(locator_ != nullptr);
+  FV_CHECK_GT(config.num_vcpus, 0);
+  const int queues = config_.multiqueue ? config_.num_vcpus : 1;
+  ring_base_ = space_->AllocIoRingPages(static_cast<uint64_t>(queues));
+  worker_busy_until_.assign(static_cast<size_t>(queues), 0);
+}
+
+TimeNs VirtioNetDev::WorkerService(int queue, TimeNs cost) {
+  TimeNs& busy = worker_busy_until_[static_cast<size_t>(queue)];
+  const TimeNs start = std::max(loop_->now(), busy);
+  busy = start + cost;
+  return busy - loop_->now();
+}
+
+PageNum VirtioNetDev::RingPage(int queue) const {
+  return ring_base_ + static_cast<uint64_t>(queue);
+}
+
+void VirtioNetDev::GuestSend(int vcpu, uint64_t bytes, std::function<void()> done) {
+  FV_CHECK_GE(vcpu, 0);
+  FV_CHECK_LT(vcpu, config_.num_vcpus);
+  const NodeId src = locator_(vcpu);
+  const bool remote = src != config_.backend_node;
+  const TimeNs t0 = loop_->now();
+
+  stats_.tx_packets.Add(1);
+  stats_.tx_bytes.Add(bytes);
+  if (remote) {
+    stats_.delegated_tx.Add(1);
+  }
+
+  // The payload sits in guest memory the sender just produced: fresh pages
+  // resident on the sender's node.
+  const uint64_t payload_pages = PagesFor(bytes);
+  const PageNum payload_first =
+      payload_pages > 0 ? space_->AllocTransferRange(payload_pages, src) : 0;
+
+  const int queue = QueueFor(vcpu);
+  auto kick = [this, queue, src, remote, bytes, payload_first, payload_pages, t0,
+               done = std::move(done)]() mutable {
+    if (!remote) {
+      // Local backend: ioeventfd + vhost dispatch.
+      loop_->ScheduleAfter(costs_->vhost_kick, [this, queue, src, bytes, payload_first,
+                                                payload_pages, t0,
+                                                done = std::move(done)]() mutable {
+        stats_.tx_enqueue_latency_ns.Record(static_cast<double>(loop_->now() - t0));
+        done();
+        BackendTransmit(queue, src, bytes, payload_first, payload_pages);
+      });
+      return;
+    }
+    // Delegated: notify the backend slice. With DSM-bypass the payload rides
+    // the notification; otherwise only a doorbell crosses the wire and the
+    // backend demand-faults the payload through the DSM. The guest still
+    // pays the ioeventfd VM exit before resuming.
+    const uint64_t msg_bytes = config_.dsm_bypass ? kDoorbellBytes + bytes : kDoorbellBytes;
+    const MsgKind kind = config_.dsm_bypass ? MsgKind::kIoPayload : MsgKind::kIoDoorbell;
+    loop_->ScheduleAfter(costs_->vhost_kick, [this, queue, src, bytes, payload_first,
+                                              payload_pages, msg_bytes, kind, t0,
+                                              done = std::move(done)]() mutable {
+      fabric_->Send(src, config_.backend_node, kind, msg_bytes,
+                    [this, queue, src, bytes, payload_first, payload_pages]() {
+                      loop_->ScheduleAfter(costs_->notify_wakeup,
+                                           [this, queue, src, bytes, payload_first,
+                                            payload_pages]() {
+                                             BackendTransmit(queue, src, bytes, payload_first,
+                                                             payload_pages);
+                                           });
+                    });
+      stats_.tx_enqueue_latency_ns.Record(static_cast<double>(loop_->now() - t0));
+      done();
+    });
+  };
+
+  if (config_.dsm_bypass) {
+    // Rings are not DSM-replicated; the enqueue is purely local.
+    kick();
+    return;
+  }
+  // Ring descriptor write through the DSM (the shared single-queue ring is
+  // where non-multiqueue configurations bleed).
+  const PageNum ring = RingPage(QueueFor(vcpu));
+  auto after_ring_write = [this, ring, kick = std::move(kick)]() mutable {
+    // Backend fetches the descriptor through the DSM as well.
+    const bool hit = dsm_->Access(config_.backend_node, ring, false, kick);
+    if (hit) {
+      kick();
+    }
+  };
+  const bool hit = dsm_->Access(src, ring, true, after_ring_write);
+  if (hit) {
+    after_ring_write();
+  }
+}
+
+void VirtioNetDev::BackendTransmit(int queue, NodeId src_node, uint64_t bytes,
+                                   PageNum payload_first, uint64_t payload_pages) {
+  auto transmit = [this, queue, bytes]() {
+    const TimeNs copy = FromSeconds(static_cast<double>(bytes) / costs_->memcpy_bytes_per_second);
+    // TX processing serializes on the owning queue's backend worker.
+    loop_->ScheduleAfter(WorkerService(queue, costs_->vhost_per_packet + copy), [this, bytes]() {
+      if (config_.external_node != kInvalidNode) {
+        fabric_->Send(config_.backend_node, config_.external_node, MsgKind::kIoPayload,
+                      bytes + kDoorbellBytes, [this, bytes]() {
+                        if (on_wire_tx_) {
+                          on_wire_tx_(bytes);
+                        }
+                      });
+      } else if (on_wire_tx_) {
+        on_wire_tx_(bytes);
+      }
+    });
+  };
+
+  if (!config_.dsm_bypass && src_node != config_.backend_node && payload_pages > 0) {
+    // Demand-fault the payload pages from the sender's slice.
+    DsmSequentialAccess(dsm_, config_.backend_node, payload_first, payload_pages,
+                        /*is_write=*/false, std::move(transmit));
+    return;
+  }
+  transmit();
+}
+
+void VirtioNetDev::DeliverToGuest(int vcpu, uint64_t bytes, PageNum copy_first,
+                                  uint64_t copy_pages) {
+  FV_CHECK(rx_sink_ != nullptr);
+  rx_sink_(vcpu, bytes, copy_first, copy_pages);
+}
+
+void VirtioNetDev::ReceiveFromExternal(int vcpu, uint64_t bytes) {
+  FV_CHECK_GE(vcpu, 0);
+  FV_CHECK_LT(vcpu, config_.num_vcpus);
+  const NodeId dst = locator_(vcpu);
+  const bool remote = dst != config_.backend_node;
+  stats_.rx_packets.Add(1);
+  stats_.rx_bytes.Add(bytes);
+  if (remote) {
+    stats_.delegated_rx.Add(1);
+  }
+
+  auto inject = [this, vcpu, dst, remote, bytes](PageNum copy_first, uint64_t copy_pages) {
+    if (!remote) {
+      loop_->ScheduleAfter(costs_->irq_inject, [this, vcpu, bytes]() {
+        DeliverToGuest(vcpu, bytes, 0, 0);
+      });
+      return;
+    }
+    // Interrupt for a vCPU on another slice: irqfd turned into a message.
+    const uint64_t msg_bytes =
+        config_.dsm_bypass ? kCompletionBytes + bytes : kCompletionBytes;
+    loop_->ScheduleAfter(costs_->ipi_to_message, [this, vcpu, dst, msg_bytes, bytes, copy_first,
+                                                  copy_pages]() {
+      fabric_->Send(config_.backend_node, dst, MsgKind::kIoCompletion, msg_bytes,
+                    [this, vcpu, bytes, copy_first, copy_pages]() {
+                      loop_->ScheduleAfter(costs_->irq_inject,
+                                           [this, vcpu, bytes, copy_first, copy_pages]() {
+                                             DeliverToGuest(vcpu, bytes, copy_first, copy_pages);
+                                           });
+                    });
+    });
+  };
+
+  const TimeNs copy = FromSeconds(static_cast<double>(bytes) / costs_->memcpy_bytes_per_second);
+  loop_->ScheduleAfter(WorkerService(QueueFor(vcpu), costs_->vhost_per_packet + copy),
+                       [this, vcpu, dst, remote, bytes, inject = std::move(inject)]() mutable {
+    if (!config_.dsm_bypass && remote) {
+      // Used/avail ring updates go through the DSM: the backend writes the
+      // ring page, the receiving slice reads it. With a single shared queue
+      // every delivery bounces the same page between all slices.
+      const PageNum ring = RingPage(QueueFor(vcpu));
+      // vhost then writes the payload into guest RX buffers posted by the
+      // remote vCPU (resident there): write faults pull them to the backend;
+      // after the IRQ the guest reads them back (charged to the vCPU by the
+      // inbox layer) — the DSM moves the data twice.
+      const uint64_t pages = PagesFor(bytes);
+      const PageNum first = space_->AllocTransferRange(pages, dst);
+      auto after_ring = [this, dst, ring, first, pages, bytes,
+                         inject = std::move(inject)]() mutable {
+        auto guest_ring_read = [this, dst, ring, first, pages,
+                                inject = std::move(inject)]() mutable {
+          const bool hit = dsm_->Access(dst, ring, false, [first, pages, inject]() mutable {
+            inject(first, pages);
+          });
+          if (hit) {
+            inject(first, pages);
+          }
+        };
+        DsmSequentialAccess(dsm_, config_.backend_node, first, pages, /*is_write=*/true,
+                            std::move(guest_ring_read));
+      };
+      const bool ring_hit = dsm_->Access(config_.backend_node, ring, true, after_ring);
+      if (ring_hit) {
+        after_ring();
+      }
+      return;
+    }
+    inject(0, 0);
+  });
+}
+
+void VirtioNetDev::SendFromExternal(int vcpu, uint64_t bytes) {
+  FV_CHECK_NE(config_.external_node, kInvalidNode);
+  fabric_->Send(config_.external_node, config_.backend_node, MsgKind::kIoPayload,
+                bytes + kDoorbellBytes,
+                [this, vcpu, bytes]() { ReceiveFromExternal(vcpu, bytes); });
+}
+
+}  // namespace fragvisor

@@ -1,0 +1,129 @@
+// Paravirtualized network device with I/O delegation (Sec. 5.3 / 6.3).
+//
+// The physical NIC (and the vhost-net backend) lives on exactly one node of
+// the Aggregate VM; every VM slice can use the device. Three mechanisms shape
+// the data path, each individually toggleable for the ablation benches:
+//
+//  * delegation    — a guest on a remote slice enqueues a packet and notifies
+//                    the backend slice, which talks to the physical NIC;
+//  * multiqueue    — one TX/RX queue pair per vCPU, so slices never contend
+//                    on the same ring page through the DSM;
+//  * DSM-bypass    — ring updates and payloads are piggybacked on the
+//                    notification message instead of being kept coherent by
+//                    the DSM (the rings are not replicated at all).
+//
+// Without bypass, the payload moves by demand faulting: the backend's vhost
+// worker reads the guest buffer pages through the DSM (TX), or writes guest
+// RX buffers remotely and the guest then reads them back — the double
+// transfer that motivates the optimization.
+
+#ifndef FRAGVISOR_SRC_IO_VIRTIO_NET_H_
+#define FRAGVISOR_SRC_IO_VIRTIO_NET_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/host/cost_model.h"
+#include "src/mem/dsm.h"
+#include "src/mem/gpa_space.h"
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/stats.h"
+
+namespace fragvisor {
+
+struct VirtioNetConfig {
+  NodeId backend_node = 0;           // slice owning the physical NIC
+  bool multiqueue = true;
+  bool dsm_bypass = true;
+  int num_vcpus = 1;
+  NodeId external_node = kInvalidNode;  // LAN client endpoint, if any
+};
+
+struct VirtioNetStats {
+  Counter tx_packets;
+  Counter tx_bytes;
+  Counter rx_packets;
+  Counter rx_bytes;
+  Counter delegated_tx;   // TX initiated from a non-backend slice
+  Counter delegated_rx;   // RX destined to a non-backend slice
+  Summary tx_enqueue_latency_ns;  // guest-visible send cost
+};
+
+class VirtioNetDev {
+ public:
+  // Maps a vCPU id to the node it currently runs on (the location table).
+  using LocatorFn = std::function<NodeId(int vcpu)>;
+
+  VirtioNetDev(EventLoop* loop, Fabric* fabric, DsmEngine* dsm, GuestAddressSpace* space,
+               const CostModel* costs, const VirtioNetConfig& config, LocatorFn locator);
+
+  VirtioNetDev(const VirtioNetDev&) = delete;
+  VirtioNetDev& operator=(const VirtioNetDev&) = delete;
+
+  const VirtioNetConfig& config() const { return config_; }
+  const VirtioNetStats& stats() const { return stats_; }
+
+  // --- Guest-facing API (wired through GuestContext) ---
+
+  // TX: enqueue `bytes` from `vcpu`. `done` fires when the descriptors are
+  // posted and the backend kicked — the guest does not wait for the wire.
+  void GuestSend(int vcpu, uint64_t bytes, std::function<void()> done);
+
+  // Receives packets delivered to the guest (post-IRQ). `copy_first`/
+  // `copy_pages` describe guest buffer pages the *receiving vCPU* still has
+  // to read through the DSM (zero under DSM-bypass or for a local vCPU). The
+  // Aggregate VM routes these into its per-vCPU inbox and charges the copy to
+  // the consumer.
+  using RxSink =
+      std::function<void(int vcpu, uint64_t bytes, PageNum copy_first, uint64_t copy_pages)>;
+  void set_rx_sink(RxSink sink) { rx_sink_ = std::move(sink); }
+
+  // --- Wire-facing API ---
+
+  // Invoked for every payload fully delivered to the external endpoint.
+  void set_on_wire_tx(std::function<void(uint64_t bytes)> cb) { on_wire_tx_ = std::move(cb); }
+
+  // A packet for `vcpu` has arrived at the backend node (the bench models the
+  // client->backend wire itself, or uses SendFromExternal below).
+  void ReceiveFromExternal(int vcpu, uint64_t bytes);
+
+  // Full client path: external node -> backend wire -> guest delivery.
+  void SendFromExternal(int vcpu, uint64_t bytes);
+
+ private:
+  int QueueFor(int vcpu) const { return config_.multiqueue ? vcpu : 0; }
+  PageNum RingPage(int queue) const;
+
+  // Stage 2 of TX, running on the backend: payload fetch + wire transmit.
+  void BackendTransmit(int queue, NodeId src_node, uint64_t bytes, PageNum payload_first,
+                       uint64_t payload_pages);
+  // Final delivery into the guest: enqueue + wake any waiter.
+  void DeliverToGuest(int vcpu, uint64_t bytes, PageNum copy_first, uint64_t copy_pages);
+
+  // Serializes per-packet backend processing on the queue's worker thread
+  // (vhost kthread per queue with multiqueue; a single QEMU iothread
+  // otherwise). Returns the delay until this packet's processing completes.
+  TimeNs WorkerService(int queue, TimeNs cost);
+
+  EventLoop* loop_;
+  Fabric* fabric_;
+  DsmEngine* dsm_;
+  GuestAddressSpace* space_;
+  const CostModel* costs_;
+  VirtioNetConfig config_;
+  LocatorFn locator_;
+  std::vector<TimeNs> worker_busy_until_;
+
+  PageNum ring_base_;  // one ring page per queue, from the IO-ring region
+  RxSink rx_sink_;
+  std::function<void(uint64_t)> on_wire_tx_;
+
+  VirtioNetStats stats_;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_IO_VIRTIO_NET_H_

@@ -1,0 +1,576 @@
+#include "src/mem/dsm.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+namespace {
+
+// Protocol message sizes on the wire.
+constexpr uint64_t kMsgHeaderBytes = 64;
+constexpr uint64_t kPageDataBytes = 4096 + kMsgHeaderBytes;
+constexpr uint64_t kPteDeltaBytes = 256;  // piggybacked page-table delta
+
+}  // namespace
+
+const char* PageClassName(PageClass cls) {
+  switch (cls) {
+    case PageClass::kGuestPrivate:
+      return "guest_private";
+    case PageClass::kKernelShared:
+      return "kernel_shared";
+    case PageClass::kPageTable:
+      return "page_table";
+    case PageClass::kIoRing:
+      return "io_ring";
+    case PageClass::kReadMostly:
+      return "read_mostly";
+    case PageClass::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+DsmEngine::DsmEngine(EventLoop* loop, Fabric* fabric, const CostModel* costs,
+                     const Options& options)
+    : loop_(loop), fabric_(fabric), costs_(costs), options_(options) {
+  FV_CHECK(loop != nullptr);
+  FV_CHECK(fabric != nullptr);
+  FV_CHECK(costs != nullptr);
+  FV_CHECK_GT(options.num_nodes, 0);
+  FV_CHECK_LE(options.num_nodes, 32);
+  FV_CHECK_GE(options.home, 0);
+  FV_CHECK_LT(options.home, options.num_nodes);
+  resident_.resize(static_cast<size_t>(options.num_nodes));
+  node_faults_.resize(static_cast<size_t>(options.num_nodes));
+}
+
+void DsmEngine::SeedRange(PageNum start, uint64_t count, NodeId owner) {
+  FV_CHECK_GE(owner, 0);
+  FV_CHECK_LT(owner, options_.num_nodes);
+  for (PageNum p = start; p < start + count; ++p) {
+    PageState& st = pages_[p];
+    FV_CHECK(!st.busy);
+    st.owner = owner;
+    st.sharer_mask = Bit(owner);
+    resident_[static_cast<size_t>(owner)][p] = PageAccess::kWrite;
+    // Clear any stale residency on other nodes (re-seeding in tests).
+    for (int n = 0; n < options_.num_nodes; ++n) {
+      if (n != owner) {
+        resident_[static_cast<size_t>(n)].erase(p);
+      }
+    }
+  }
+}
+
+void DsmEngine::SetPageClass(PageNum start, uint64_t count, PageClass cls) {
+  FV_CHECK_GT(count, 0u);
+  class_ranges_[start] = {start + count, cls};
+}
+
+PageClass DsmEngine::ClassOf(PageNum page) const {
+  auto it = class_ranges_.upper_bound(page);
+  if (it == class_ranges_.begin()) {
+    return PageClass::kGuestPrivate;
+  }
+  --it;
+  if (page < it->second.first) {
+    return it->second.second;
+  }
+  return PageClass::kGuestPrivate;
+}
+
+DsmEngine::PageState& DsmEngine::EnsurePage(PageNum page) {
+  auto [it, inserted] = pages_.try_emplace(page);
+  if (inserted) {
+    // First touch anywhere: the origin backs the boot image and all fresh
+    // anonymous memory, exactly like Popcorn's origin node.
+    it->second.owner = options_.home;
+    it->second.sharer_mask = Bit(options_.home);
+    resident_[static_cast<size_t>(options_.home)][page] = PageAccess::kWrite;
+  }
+  return it->second;
+}
+
+PageAccess& DsmEngine::ResidentSlot(NodeId node, PageNum page) {
+  return resident_[static_cast<size_t>(node)][page];
+}
+
+PageAccess DsmEngine::ResidentAccess(NodeId node, PageNum page) const {
+  FV_CHECK_GE(node, 0);
+  FV_CHECK_LT(node, options_.num_nodes);
+  const auto& m = resident_[static_cast<size_t>(node)];
+  auto it = m.find(page);
+  return it == m.end() ? PageAccess::kNone : it->second;
+}
+
+NodeId DsmEngine::OwnerOf(PageNum page) const {
+  auto it = pages_.find(page);
+  return it == pages_.end() ? kInvalidNode : it->second.owner;
+}
+
+std::vector<PageNum> DsmEngine::PagesOwnedBy(NodeId node) const {
+  std::vector<PageNum> out;
+  for (const auto& [page, st] : pages_) {
+    if (st.owner == node) {
+      out.push_back(page);
+    }
+  }
+  return out;
+}
+
+uint64_t DsmEngine::ReseedOwnedBy(NodeId from, NodeId to) {
+  FV_CHECK_GE(to, 0);
+  FV_CHECK_LT(to, options_.num_nodes);
+  uint64_t moved = 0;
+  for (auto& [page, st] : pages_) {
+    if (st.owner != from || st.busy) {
+      continue;
+    }
+    st.owner = to;
+    st.sharer_mask = Bit(to);
+    st.hold_until = 0;
+    for (int n = 0; n < options_.num_nodes; ++n) {
+      if (n != to) {
+        resident_[static_cast<size_t>(n)].erase(page);
+      }
+    }
+    resident_[static_cast<size_t>(to)][page] = PageAccess::kWrite;
+    ++moved;
+  }
+  return moved;
+}
+
+uint64_t DsmEngine::FaultsByNode(NodeId node) const {
+  FV_CHECK_GE(node, 0);
+  FV_CHECK_LT(node, options_.num_nodes);
+  return node_faults_[static_cast<size_t>(node)].value();
+}
+
+uint64_t DsmEngine::ResidentPageCount(NodeId node) const {
+  FV_CHECK_GE(node, 0);
+  FV_CHECK_LT(node, options_.num_nodes);
+  uint64_t count = 0;
+  for (const auto& [page, acc] : resident_[static_cast<size_t>(node)]) {
+    (void)page;
+    if (acc != PageAccess::kNone) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void DsmEngine::MigrateOwnedPages(NodeId from, NodeId to,
+                                  std::function<void(uint64_t moved)> done) {
+  FV_CHECK_GE(to, 0);
+  FV_CHECK_LT(to, options_.num_nodes);
+  FV_CHECK_NE(from, to);
+  FV_CHECK(done != nullptr);
+  // Snapshot the candidate set now; pages that become busy before their
+  // batch ships stay behind (demand paging will move them later).
+  auto candidates = std::make_shared<std::vector<PageNum>>(PagesOwnedBy(from));
+  auto moved = std::make_shared<uint64_t>(0);
+  constexpr size_t kBatchPages = 256;  // 1 MiB wire batches
+
+  auto ship_batch = std::make_shared<std::function<void(size_t)>>();
+  *ship_batch = [this, from, to, candidates, moved, ship_batch,
+                 done = std::move(done)](size_t start) mutable {
+    if (start >= candidates->size()) {
+      done(*moved);
+      return;
+    }
+    const size_t end = std::min(start + kBatchPages, candidates->size());
+    // Claim eligible pages for this batch: still owned by `from`, idle.
+    auto batch = std::make_shared<std::vector<PageNum>>();
+    for (size_t i = start; i < end; ++i) {
+      const PageNum page = (*candidates)[i];
+      auto it = pages_.find(page);
+      if (it == pages_.end() || it->second.busy || it->second.owner != from) {
+        continue;
+      }
+      // Mark busy so racing faults queue behind the migration.
+      it->second.busy = true;
+      batch->push_back(page);
+    }
+    if (batch->empty()) {
+      loop_->ScheduleAfter(0, [ship_batch, end]() { (*ship_batch)(end); });
+      return;
+    }
+    const uint64_t bytes = 4096 * batch->size() + 256;
+    SendProto(from, to, MsgKind::kDsmPageData, bytes,
+              [this, to, batch, moved, ship_batch, end]() {
+                for (const PageNum page : *batch) {
+                  PageState& st = pages_[page];
+                  st.owner = to;
+                  st.sharer_mask = Bit(to);
+                  st.hold_until = 0;
+                  for (int n = 0; n < options_.num_nodes; ++n) {
+                    if (n != to) {
+                      resident_[static_cast<size_t>(n)].erase(page);
+                    }
+                  }
+                  resident_[static_cast<size_t>(to)][page] = PageAccess::kWrite;
+                  st.busy = false;
+                  // Wake any fault that queued while the batch was in flight.
+                  if (!st.waiters.empty()) {
+                    Transaction next = std::move(st.waiters.front());
+                    st.waiters.pop_front();
+                    st.busy = true;
+                    loop_->ScheduleAfter(0, [this, page, next = std::move(next)]() mutable {
+                      ExecuteTransaction(page, std::move(next));
+                    });
+                  }
+                }
+                *moved += batch->size();
+                (*ship_batch)(end);
+              });
+  };
+  (*ship_batch)(0);
+}
+
+bool DsmEngine::WouldHit(NodeId node, PageNum page, bool is_write) const {
+  const PageAccess acc = ResidentAccess(node, page);
+  if (is_write) {
+    return acc == PageAccess::kWrite;
+  }
+  return acc != PageAccess::kNone;
+}
+
+TimeNs DsmEngine::HandlerCost() const {
+  TimeNs cost = costs_->dsm_handler;
+  if (options_.userspace_dsm) {
+    cost += costs_->dsm_userspace_extra;
+  }
+  return cost;
+}
+
+void DsmEngine::SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
+                          std::function<void()> cb) {
+  stats_.protocol_messages.Add(1);
+  stats_.protocol_bytes.Add(bytes);
+  fabric_->Send(src, dst, kind, bytes, [this, cb = std::move(cb)]() mutable {
+    loop_->ScheduleAfter(HandlerCost(), std::move(cb));
+  });
+}
+
+bool DsmEngine::Access(NodeId node, PageNum page, bool is_write, std::function<void()> done) {
+  FV_CHECK_GE(node, 0);
+  FV_CHECK_LT(node, options_.num_nodes);
+  EnsurePage(page);
+  if (WouldHit(node, page, is_write)) {
+    return true;
+  }
+
+  const PageClass cls = ClassOf(page);
+  if (is_write) {
+    stats_.write_faults.Add(1);
+  } else {
+    stats_.read_faults.Add(1);
+  }
+  stats_.faults_by_class[static_cast<size_t>(cls)].Add(1);
+  node_faults_[static_cast<size_t>(node)].Add(1);
+
+  Transaction txn;
+  txn.requester = node;
+  txn.is_write = is_write;
+  txn.start_time = loop_->now();
+  txn.done = std::move(done);
+  loop_->Trace(TraceCategory::kDsm, is_write ? "write_fault" : "read_fault",
+               "node=" + std::to_string(node) + " page=" + std::to_string(page) + " class=" +
+                   PageClassName(cls));
+
+  // Requester side: VM exit, fault decode, request dispatch.
+  const TimeNs local = costs_->ept_fault_vmexit + HandlerCost();
+  const MsgKind kind = is_write ? MsgKind::kDsmWriteReq : MsgKind::kDsmReadReq;
+  loop_->ScheduleAfter(local, [this, node, page, kind, txn = std::move(txn)]() mutable {
+    SendProto(node, options_.home, kind, kMsgHeaderBytes,
+              [this, page, txn = std::move(txn)]() mutable {
+                StartTransaction(page, std::move(txn));
+              });
+  });
+  return false;
+}
+
+void DsmEngine::StartTransaction(PageNum page, Transaction txn) {
+  PageState& st = pages_[page];
+  if (st.busy) {
+    st.waiters.push_back(std::move(txn));
+    return;
+  }
+  st.busy = true;
+  ExecuteTransaction(page, std::move(txn));
+}
+
+void DsmEngine::ExecuteTransaction(PageNum page, Transaction txn) {
+  // The access may have been satisfied while this transaction queued (another
+  // vCPU on the same node faulted first).
+  if (WouldHit(txn.requester, page, txn.is_write)) {
+    CompleteFault(page, txn);
+    FinishTransaction(page);
+    return;
+  }
+  // Anti-ping-pong hold: let a freshly granted owner make progress before a
+  // competitor takes the page away. The directory entry stays busy.
+  PageState& st = pages_[page];
+  if (txn.requester != st.owner && loop_->now() < st.hold_until) {
+    loop_->ScheduleAt(st.hold_until, [this, page, txn = std::move(txn)]() mutable {
+      ExecuteTransaction(page, std::move(txn));
+    });
+    return;
+  }
+  if (!txn.is_write) {
+    RunReadProtocol(page, std::move(txn));
+    return;
+  }
+  if (options_.contextual_dsm && ClassOf(page) == PageClass::kPageTable) {
+    RunPageTablePiggyback(page, std::move(txn));
+    return;
+  }
+  RunWriteProtocol(page, std::move(txn));
+}
+
+void DsmEngine::FinishTransaction(PageNum page) {
+  PageState& st = pages_[page];
+  FV_CHECK(st.busy);
+  if (st.waiters.empty()) {
+    st.busy = false;
+    return;
+  }
+  Transaction next = std::move(st.waiters.front());
+  st.waiters.pop_front();
+  // Dispatch asynchronously to bound stack depth under heavy contention.
+  loop_->ScheduleAfter(0, [this, page, next = std::move(next)]() mutable {
+    ExecuteTransaction(page, std::move(next));
+  });
+}
+
+void DsmEngine::CompleteFault(PageNum page, const Transaction& txn) {
+  loop_->Trace(TraceCategory::kDsm, "fault_resolved",
+               "node=" + std::to_string(txn.requester) + " page=" + std::to_string(page) +
+                   " latency_us=" + std::to_string(ToMicros(loop_->now() - txn.start_time)));
+  stats_.fault_latency_ns.Record(static_cast<double>(loop_->now() - txn.start_time));
+  if (txn.done) {
+    txn.done();
+  }
+}
+
+void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
+  PageState& st = pages_[page];
+  const NodeId requester = txn.requester;
+  const NodeId owner = st.owner;
+  FV_CHECK_NE(owner, kInvalidNode);
+  FV_CHECK_NE(owner, requester);  // owner always holds >= read; would have hit
+
+  stats_.page_transfers.Add(1);
+
+  // Sequential read prefetch: ship idle same-owner follower pages on the
+  // same reply. Selected now; granted together with the main page.
+  std::vector<PageNum> prefetch;
+  for (int k = 1; k <= options_.read_prefetch_pages; ++k) {
+    const PageNum next = page + static_cast<PageNum>(k);
+    auto it = pages_.find(next);
+    if (it == pages_.end() || it->second.busy || it->second.owner != owner ||
+        (it->second.sharer_mask & Bit(requester)) != 0 ||
+        ClassOf(next) != PageClass::kGuestPrivate) {
+      break;  // only a contiguous same-owner run is worth piggybacking
+    }
+    prefetch.push_back(next);
+  }
+
+  const uint64_t reply_bytes = kPageDataBytes + 4096 * prefetch.size();
+  auto deliver = [this, page, requester, owner, prefetch = std::move(prefetch), reply_bytes,
+                  txn = std::move(txn)]() mutable {
+    // Owner downgrades to read (single-writer protocol) and ships the pages.
+    PageAccess& owner_acc = ResidentSlot(owner, page);
+    if (owner_acc == PageAccess::kWrite) {
+      owner_acc = PageAccess::kRead;
+    }
+    for (const PageNum p : prefetch) {
+      PageAccess& acc = ResidentSlot(owner, p);
+      if (acc == PageAccess::kWrite) {
+        acc = PageAccess::kRead;
+      }
+    }
+    SendProto(owner, requester, MsgKind::kDsmPageData, reply_bytes,
+              [this, page, requester, owner, prefetch = std::move(prefetch),
+               txn = std::move(txn)]() mutable {
+                loop_->ScheduleAfter(
+                    costs_->dsm_map_page,
+                    [this, page, requester, owner, prefetch = std::move(prefetch),
+                     txn = std::move(txn)]() mutable {
+                      PageState& dir = pages_[page];
+                      dir.sharer_mask |= Bit(requester);
+                      ResidentSlot(requester, page) = PageAccess::kRead;
+                      for (const PageNum p : prefetch) {
+                        // Skip any page a racing transaction touched while
+                        // the reply was in flight (stale speculative data).
+                        PageState& pdir = pages_[p];
+                        if (pdir.busy || pdir.owner != owner ||
+                            ResidentAccess(owner, p) != PageAccess::kRead) {
+                          continue;
+                        }
+                        pdir.sharer_mask |= Bit(requester);
+                        ResidentSlot(requester, p) = PageAccess::kRead;
+                        stats_.prefetched_pages.Add(1);
+                      }
+                      CompleteFault(page, txn);
+                      FinishTransaction(page);
+                    });
+              });
+  };
+
+  if (owner == options_.home) {
+    deliver();
+  } else {
+    // Home forwards the request to the current owner.
+    SendProto(options_.home, owner, MsgKind::kControl, kMsgHeaderBytes, std::move(deliver));
+  }
+}
+
+void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
+  PageState& st = pages_[page];
+  const NodeId requester = txn.requester;
+  const NodeId owner = st.owner;
+  FV_CHECK_NE(owner, kInvalidNode);
+
+  const bool upgrade = ResidentAccess(requester, page) == PageAccess::kRead;
+
+  std::vector<NodeId> targets;
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    if (n != requester && (st.sharer_mask & Bit(n)) != 0) {
+      targets.push_back(n);
+    }
+  }
+
+  struct WriteCtx {
+    int acks_pending = 0;
+    bool page_pending = false;
+    Transaction txn;
+  };
+  auto ctx = std::make_shared<WriteCtx>();
+  ctx->txn = std::move(txn);
+  ctx->acks_pending = static_cast<int>(targets.size());
+  ctx->page_pending = !upgrade && !targets.empty();
+
+  auto maybe_finish = [this, page, requester, ctx]() {
+    if (ctx->acks_pending > 0 || ctx->page_pending) {
+      return;
+    }
+    PageState& dir = pages_[page];
+    dir.owner = requester;
+    dir.sharer_mask = Bit(requester);
+    dir.hold_until = loop_->now() + costs_->dsm_ownership_hold;
+    ResidentSlot(requester, page) = PageAccess::kWrite;
+    if (options_.ept_dirty_tracking) {
+      // A/D-bit updates generate one extra (asynchronous) sync message.
+      SendProto(requester, options_.home, MsgKind::kDsmAck, kMsgHeaderBytes, []() {});
+    }
+    CompleteFault(page, ctx->txn);
+    FinishTransaction(page);
+  };
+
+  if (targets.empty()) {
+    // Sole (or no) sharer: home grants directly.
+    stats_.page_transfers.Add(upgrade ? 0 : 1);
+    const uint64_t bytes = upgrade ? kMsgHeaderBytes : kPageDataBytes;
+    const MsgKind kind = upgrade ? MsgKind::kDsmAck : MsgKind::kDsmPageData;
+    SendProto(options_.home, requester, kind, bytes,
+              [this, maybe_finish]() mutable { loop_->ScheduleAfter(costs_->dsm_map_page, maybe_finish); });
+    return;
+  }
+
+  for (const NodeId s : targets) {
+    stats_.invalidations.Add(1);
+    SendProto(options_.home, s, MsgKind::kDsmInvalidate, kMsgHeaderBytes,
+              [this, page, s, owner, requester, upgrade, ctx, maybe_finish]() mutable {
+                ResidentSlot(s, page) = PageAccess::kNone;
+                const bool ships_page = (s == owner) && !upgrade;
+                if (ships_page) {
+                  stats_.page_transfers.Add(1);
+                  SendProto(s, requester, MsgKind::kDsmPageData, kPageDataBytes,
+                            [this, ctx, maybe_finish]() mutable {
+                              loop_->ScheduleAfter(costs_->dsm_map_page,
+                                                   [ctx, maybe_finish]() mutable {
+                                                     ctx->page_pending = false;
+                                                     maybe_finish();
+                                                   });
+                            });
+                }
+                SendProto(s, options_.home, MsgKind::kDsmAck, kMsgHeaderBytes,
+                          [ctx, maybe_finish]() mutable {
+                            --ctx->acks_pending;
+                            maybe_finish();
+                          });
+              });
+  }
+}
+
+void DsmEngine::RunPageTablePiggyback(PageNum page, Transaction txn) {
+  // Contextual DSM: the PTE delta rides on the TLB-shootdown interrupt the
+  // guest sends anyway. No invalidation round, no full-page transfer; sharers
+  // keep their (delta-updated) replicas.
+  PageState& st = pages_[page];
+  const NodeId requester = txn.requester;
+
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    if (n != requester && (st.sharer_mask & Bit(n)) != 0) {
+      SendProto(options_.home, n, MsgKind::kTlbShootdown, kPteDeltaBytes, []() {});
+    }
+  }
+
+  SendProto(options_.home, requester, MsgKind::kDsmAck, kMsgHeaderBytes,
+            [this, page, requester, txn = std::move(txn)]() mutable {
+              PageState& dir = pages_[page];
+              dir.owner = requester;
+              dir.sharer_mask |= Bit(requester);
+              dir.hold_until = loop_->now() + costs_->dsm_ownership_hold;
+              ResidentSlot(requester, page) = PageAccess::kWrite;
+              CompleteFault(page, txn);
+              FinishTransaction(page);
+            });
+}
+
+uint64_t DsmEngine::CheckInvariants() const {
+  uint64_t checked = 0;
+  for (const auto& [page, st] : pages_) {
+    if (st.busy) {
+      continue;  // transient protocol state; only quiescent pages are checked
+    }
+    ++checked;
+    FV_CHECK_NE(st.owner, kInvalidNode);
+    FV_CHECK((st.sharer_mask & Bit(st.owner)) != 0);
+    const PageClass cls = ClassOf(page);
+    // Delta-replicated classes (contextual DSM): page-table pages receive
+    // piggybacked updates in place, so several nodes may legitimately hold
+    // writable replicas; the same goes for bypassed IO rings.
+    const bool relaxed = cls == PageClass::kPageTable || cls == PageClass::kIoRing;
+    int writers = 0;
+    for (int n = 0; n < options_.num_nodes; ++n) {
+      const PageAccess acc = ResidentAccess(n, page);
+      const bool in_mask = (st.sharer_mask & Bit(n)) != 0;
+      if (acc == PageAccess::kNone) {
+        FV_CHECK(!in_mask);
+        continue;
+      }
+      FV_CHECK(in_mask);
+      if (acc == PageAccess::kWrite) {
+        ++writers;
+        if (!relaxed) {
+          FV_CHECK_EQ(n, st.owner);
+        }
+      }
+    }
+    if (!relaxed) {
+      FV_CHECK_LE(writers, 1);
+      if (writers == 1) {
+        // Strict classes: a writer excludes all other copies.
+        FV_CHECK_EQ(st.sharer_mask, Bit(st.owner));
+      }
+    }
+  }
+  return checked;
+}
+
+}  // namespace fragvisor

@@ -1,0 +1,204 @@
+// Distributed shared memory engine for the guest pseudo-physical address
+// space of one Aggregate VM.
+//
+// Protocol: directory-based single-writer/multiple-reader write-invalidate
+// coherence at 4 KiB page granularity with ownership migration, in the style
+// of the Popcorn Linux DSM that FragVisor builds on. The *origin* (bootstrap)
+// node hosts the directory for every page — faults from the origin save a
+// network hop, exactly as in the real system.
+//
+// Fault walk-through (requester R, home H, owner O, sharers S):
+//   read  R!=H : R --req--> H --forward--> O --page--> R   (2-3 hops)
+//   write R!=H : R --req--> H --inval--> each s in S\{R}; O piggybacks the
+//                page on its invalidation ack straight to R; H completes when
+//                all acks arrive and R has the page.
+// Every message delivery pays a handler cost on the receiving host kernel
+// (dsm_handler); user-space DSM implementations (GiantVM) additionally pay
+// dsm_userspace_extra per handler — that single knob is most of Fig. 9.
+//
+// Contextual DSM (Sec. 5.1/6.1): the hypervisor knows what certain guest
+// pages contain. Page-table pages piggyback their deltas on the TLB-shootdown
+// interrupt the guest must send anyway, skipping the invalidation round and
+// the full-page transfer.
+
+#ifndef FRAGVISOR_SRC_MEM_DSM_H_
+#define FRAGVISOR_SRC_MEM_DSM_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/host/cost_model.h"
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/stats.h"
+
+namespace fragvisor {
+
+// Guest pseudo-physical page number (GPA >> 12).
+using PageNum = uint64_t;
+
+// Local access rights a node currently holds for a page.
+enum class PageAccess : uint8_t { kNone = 0, kRead = 1, kWrite = 2 };
+
+// What the hypervisor knows the page contains (contextual DSM).
+enum class PageClass : uint8_t {
+  kGuestPrivate,  // application anonymous memory
+  kKernelShared,  // hot kernel data structures shared by all vCPUs
+  kPageTable,     // guest page tables (piggybacked with TLB shootdowns)
+  kIoRing,        // virtio TX/RX rings (bypassable)
+  kReadMostly,    // kernel text, ACPI/interrupt tables
+  kCount,
+};
+
+const char* PageClassName(PageClass cls);
+
+// Aggregated DSM measurements.
+struct DsmStats {
+  Counter read_faults;
+  Counter write_faults;
+  Counter invalidations;
+  Counter page_transfers;
+  Counter prefetched_pages;
+  Counter protocol_messages;
+  Counter protocol_bytes;
+  std::array<Counter, static_cast<size_t>(PageClass::kCount)> faults_by_class;
+  Summary fault_latency_ns;
+
+  uint64_t total_faults() const { return read_faults.value() + write_faults.value(); }
+};
+
+class DsmEngine {
+ public:
+  struct Options {
+    NodeId home = 0;      // origin node: hosts the directory
+    int num_nodes = 1;    // max node id + 1 (<= 32)
+    bool contextual_dsm = true;
+    bool userspace_dsm = false;     // GiantVM-style: pay dsm_userspace_extra per handler
+    bool ept_dirty_tracking = false;  // hardware A/D bits generating extra traffic
+    // Sequential read prefetch: on a read fault, the owner piggybacks up to
+    // this many following pages (same owner, idle, absent at the requester)
+    // onto the reply — bulk transfers amortize the protocol round trips for
+    // streaming access patterns (socket copies, scans). 0 disables.
+    int read_prefetch_pages = 0;
+  };
+
+  DsmEngine(EventLoop* loop, Fabric* fabric, const CostModel* costs, const Options& options);
+
+  DsmEngine(const DsmEngine&) = delete;
+  DsmEngine& operator=(const DsmEngine&) = delete;
+
+  NodeId home() const { return options_.home; }
+  const Options& options() const { return options_; }
+
+  // --- Address-space setup ---
+
+  // Declares `count` pages starting at `start` resident with write access on
+  // `owner` (initial population; boot-time memory image lives at the origin).
+  void SeedRange(PageNum start, uint64_t count, NodeId owner);
+
+  // Tags a page range with a content class for contextual DSM.
+  void SetPageClass(PageNum start, uint64_t count, PageClass cls);
+
+  PageClass ClassOf(PageNum page) const;
+
+  // --- The access path ---
+
+  // Checks an access by a vCPU currently running on `node`. Returns true on a
+  // local hit (access allowed; no callback). On a coherence fault returns
+  // false, starts the protocol, and calls `done` when the access can retire.
+  bool Access(NodeId node, PageNum page, bool is_write, std::function<void()> done);
+
+  // True if `node` could access the page right now without faulting.
+  bool WouldHit(NodeId node, PageNum page, bool is_write) const;
+
+  // --- Introspection (tests, checkpoint, migration) ---
+
+  PageAccess ResidentAccess(NodeId node, PageNum page) const;
+  NodeId OwnerOf(PageNum page) const;
+  uint64_t known_pages() const { return pages_.size(); }
+  std::vector<PageNum> PagesOwnedBy(NodeId node) const;
+
+  // Per-node accounting (for slice reports).
+  uint64_t FaultsByNode(NodeId node) const;
+  uint64_t ResidentPageCount(NodeId node) const;
+
+  // Failover recovery: re-homes every quiescent page owned by `from` onto
+  // `to` (their content comes from the restored checkpoint image). Pages
+  // with in-flight transactions are skipped; returns the number moved.
+  uint64_t ReseedOwnedBy(NodeId from, NodeId to);
+
+  // Live memory-slice migration (Sec. 5.2 "live slice migration"): eagerly
+  // pre-copies every page `from` owns to `to` in large batches over the
+  // fabric, re-homing each batch on arrival (in-flight transactions make a
+  // page ineligible for its batch; it stays behind for demand paging).
+  // `done` receives the number of pages moved.
+  void MigrateOwnedPages(NodeId from, NodeId to, std::function<void(uint64_t moved)> done);
+
+  // Verifies directory/residency invariants; aborts on violation. Returns the
+  // number of pages checked (for test assertions).
+  uint64_t CheckInvariants() const;
+
+  const DsmStats& stats() const { return stats_; }
+  DsmStats& mutable_stats() { return stats_; }
+
+ private:
+  struct Transaction {
+    NodeId requester = kInvalidNode;
+    bool is_write = false;
+    TimeNs start_time = 0;
+    std::function<void()> done;
+  };
+
+  struct PageState {
+    NodeId owner = kInvalidNode;
+    uint32_t sharer_mask = 0;
+    bool busy = false;       // a transaction holds the directory entry
+    TimeNs hold_until = 0;   // anti-ping-pong: owner keeps the page until then
+    std::deque<Transaction> waiters;
+  };
+
+  static uint32_t Bit(NodeId n) { return 1u << static_cast<uint32_t>(n); }
+
+  PageState& EnsurePage(PageNum page);
+  PageAccess& ResidentSlot(NodeId node, PageNum page);
+
+  // Per-message handler cost on a receiving host (kernel vs user-space DSM).
+  TimeNs HandlerCost() const;
+
+  // Directory-side entry points. `txn.done` fires on the requester when the
+  // access can retire.
+  void StartTransaction(PageNum page, Transaction txn);
+  void ExecuteTransaction(PageNum page, Transaction txn);
+  void FinishTransaction(PageNum page);
+
+  void RunReadProtocol(PageNum page, Transaction txn);
+  void RunWriteProtocol(PageNum page, Transaction txn);
+  void RunPageTablePiggyback(PageNum page, Transaction txn);
+
+  void SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes, std::function<void()> cb);
+
+  void CompleteFault(PageNum page, const Transaction& txn);
+
+  EventLoop* loop_;
+  Fabric* fabric_;
+  const CostModel* costs_;
+  Options options_;
+
+  std::unordered_map<PageNum, PageState> pages_;
+  // resident_[node][page] -> access. Dense outer vector, sparse inner map.
+  std::vector<std::unordered_map<PageNum, PageAccess>> resident_;
+  // Ordered class ranges: start -> (end_exclusive, class).
+  std::map<PageNum, std::pair<PageNum, PageClass>> class_ranges_;
+  std::vector<Counter> node_faults_;  // faults initiated by each node
+
+  DsmStats stats_;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_MEM_DSM_H_

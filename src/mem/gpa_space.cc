@@ -1,0 +1,97 @@
+#include "src/mem/gpa_space.h"
+
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+GuestAddressSpace::GuestAddressSpace(DsmEngine* dsm, const Layout& layout,
+                                     std::vector<NodeId> slice_nodes)
+    : dsm_(dsm), layout_(layout), slice_nodes_(std::move(slice_nodes)) {
+  FV_CHECK(dsm != nullptr);
+  FV_CHECK(!slice_nodes_.empty());
+
+  kernel_text_base_ = 0;
+  kernel_shared_base_ = kernel_text_base_ + layout_.kernel_text_pages;
+  page_table_base_ = kernel_shared_base_ + layout_.kernel_shared_pages;
+  io_ring_base_ = page_table_base_ + layout_.page_table_pages;
+  transfer_base_ = io_ring_base_ + layout_.io_ring_pages;
+  transfer_next_ = transfer_base_;
+  heap_base_ = transfer_base_ + layout_.transfer_pages;
+  heap_next_ = heap_base_;
+
+  dsm_->SetPageClass(kernel_text_base_, layout_.kernel_text_pages, PageClass::kReadMostly);
+  dsm_->SetPageClass(kernel_shared_base_, layout_.kernel_shared_pages, PageClass::kKernelShared);
+  dsm_->SetPageClass(page_table_base_, layout_.page_table_pages, PageClass::kPageTable);
+  dsm_->SetPageClass(io_ring_base_, layout_.io_ring_pages, PageClass::kIoRing);
+
+  // The boot image (kernel text + initial data) is resident at the origin.
+  const NodeId home = slice_nodes_.front();
+  dsm_->SeedRange(kernel_text_base_, layout_.kernel_text_pages, home);
+  dsm_->SeedRange(kernel_shared_base_, layout_.kernel_shared_pages, home);
+  dsm_->SeedRange(page_table_base_, layout_.page_table_pages, home);
+  dsm_->SeedRange(io_ring_base_, layout_.io_ring_pages, home);
+}
+
+NodeId GuestAddressSpace::slice_node(int slice) const {
+  FV_CHECK_GE(slice, 0);
+  FV_CHECK_LT(slice, num_slices());
+  return slice_nodes_[static_cast<size_t>(slice)];
+}
+
+PageNum GuestAddressSpace::kernel_text_page(uint64_t i) const {
+  FV_CHECK_LT(i, layout_.kernel_text_pages);
+  return kernel_text_base_ + i;
+}
+
+PageNum GuestAddressSpace::kernel_shared_page(uint64_t i) const {
+  FV_CHECK_LT(i, layout_.kernel_shared_pages);
+  return kernel_shared_base_ + i;
+}
+
+PageNum GuestAddressSpace::page_table_page(uint64_t i) const {
+  FV_CHECK_LT(i, layout_.page_table_pages);
+  return page_table_base_ + i;
+}
+
+PageNum GuestAddressSpace::io_ring_page(uint64_t i) const {
+  FV_CHECK_LT(i, layout_.io_ring_pages);
+  return io_ring_base_ + i;
+}
+
+PageNum GuestAddressSpace::AllocIoRingPages(uint64_t count) {
+  FV_CHECK_LE(io_ring_next_ + count, layout_.io_ring_pages);
+  const PageNum first = io_ring_base_ + io_ring_next_;
+  io_ring_next_ += count;
+  return first;
+}
+
+PageNum GuestAddressSpace::AllocTransferRange(uint64_t count, NodeId node) {
+  FV_CHECK_GT(count, 0u);
+  FV_CHECK_LE(count, layout_.transfer_pages);
+  if (transfer_next_ + count > transfer_base_ + layout_.transfer_pages) {
+    transfer_next_ = transfer_base_;  // recycle the arena
+  }
+  const PageNum first = transfer_next_;
+  transfer_next_ += count;
+  dsm_->SeedRange(first, count, node);
+  return first;
+}
+
+PageNum GuestAddressSpace::AllocHeapPage(NodeId numa_node) {
+  return AllocHeapRange(1, numa_node);
+}
+
+PageNum GuestAddressSpace::AllocHeapRange(uint64_t count, NodeId numa_node) {
+  FV_CHECK_GT(count, 0u);
+  FV_CHECK_LE(heap_next_ + count, heap_base_ + layout_.heap_pages);
+  const PageNum first = heap_next_;
+  heap_next_ += count;
+  if (numa_node != kInvalidNode) {
+    dsm_->SeedRange(first, count, numa_node);
+  }
+  return first;
+}
+
+}  // namespace fragvisor

@@ -1,0 +1,92 @@
+// Guest pseudo-physical address-space layout and page allocator.
+//
+// Carves the Aggregate VM's pseudo-physical space into the regions the
+// contextual DSM cares about (kernel text, hot shared kernel data, page
+// tables, virtio rings, heap) and provides the allocation policy lever that
+// distinguishes the vanilla from the optimized guest kernel:
+//
+//  * vanilla guest: fresh anonymous pages are backed by the origin node (all
+//    first writes from companion slices fault remotely);
+//  * NUMA-aware optimized guest: each slice allocates from a local arena, so
+//    first touches hit (the paper's runtime NUMA topology updates).
+
+#ifndef FRAGVISOR_SRC_MEM_GPA_SPACE_H_
+#define FRAGVISOR_SRC_MEM_GPA_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/dsm.h"
+
+namespace fragvisor {
+
+class GuestAddressSpace {
+ public:
+  struct Layout {
+    uint64_t kernel_text_pages = 2048;   // 8 MiB, read-mostly
+    uint64_t kernel_shared_pages = 64;   // hot shared kernel structures
+    uint64_t page_table_pages = 512;
+    uint64_t io_ring_pages = 64;         // virtio queue rings (one page each)
+    // Circular arena for transient transfer buffers (socket payloads, IO
+    // bounce buffers): recycled like real kernel socket/skb memory.
+    uint64_t transfer_pages = 1 << 17;   // 512 MiB window
+    uint64_t heap_pages = 1 << 20;       // 4 GiB of allocatable guest memory
+  };
+
+  // `slice_nodes[i]` is the physical node backing slice i; slice 0 is the
+  // bootstrap slice (DSM home).
+  GuestAddressSpace(DsmEngine* dsm, const Layout& layout, std::vector<NodeId> slice_nodes);
+
+  GuestAddressSpace(const GuestAddressSpace&) = delete;
+  GuestAddressSpace& operator=(const GuestAddressSpace&) = delete;
+
+  const Layout& layout() const { return layout_; }
+  int num_slices() const { return static_cast<int>(slice_nodes_.size()); }
+  NodeId slice_node(int slice) const;
+
+  // --- Region accessors (page numbers) ---
+  PageNum kernel_text_page(uint64_t i) const;
+  PageNum kernel_shared_page(uint64_t i) const;
+  PageNum page_table_page(uint64_t i) const;
+  PageNum io_ring_page(uint64_t i) const;
+
+  // Reserves `count` ring pages for a device (one per queue).
+  PageNum AllocIoRingPages(uint64_t count);
+
+  // --- Heap allocation ---
+
+  // Allocates one fresh heap page. If `numa_node` is a valid node, the page
+  // is seeded resident there (NUMA-aware first touch); with kInvalidNode it
+  // is origin-backed and the first remote write will fault.
+  PageNum AllocHeapPage(NodeId numa_node);
+
+  // Allocates `count` contiguous heap pages under the same policy.
+  PageNum AllocHeapRange(uint64_t count, NodeId numa_node);
+
+  // Allocates `count` transfer-buffer pages seeded resident on `node`,
+  // recycling the circular arena (old buffers are overwritten, exactly like
+  // kernel socket buffers). count must fit in the arena.
+  PageNum AllocTransferRange(uint64_t count, NodeId node);
+
+  uint64_t heap_pages_allocated() const { return heap_next_ - heap_base_; }
+  uint64_t total_pages() const { return heap_base_ + layout_.heap_pages; }
+
+ private:
+  DsmEngine* dsm_;
+  Layout layout_;
+  std::vector<NodeId> slice_nodes_;
+
+  PageNum kernel_text_base_ = 0;
+  PageNum kernel_shared_base_ = 0;
+  PageNum page_table_base_ = 0;
+  PageNum io_ring_base_ = 0;
+  PageNum transfer_base_ = 0;
+  PageNum transfer_next_ = 0;
+  PageNum heap_base_ = 0;
+  PageNum heap_next_ = 0;
+  uint64_t io_ring_next_ = 0;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_MEM_GPA_SPACE_H_

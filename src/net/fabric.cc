@@ -1,0 +1,123 @@
+#include "src/net/fabric.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+const char* MsgKindName(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kDsmReadReq:
+      return "dsm_read_req";
+    case MsgKind::kDsmWriteReq:
+      return "dsm_write_req";
+    case MsgKind::kDsmPageData:
+      return "dsm_page_data";
+    case MsgKind::kDsmInvalidate:
+      return "dsm_invalidate";
+    case MsgKind::kDsmAck:
+      return "dsm_ack";
+    case MsgKind::kIpi:
+      return "ipi";
+    case MsgKind::kTlbShootdown:
+      return "tlb_shootdown";
+    case MsgKind::kIoDoorbell:
+      return "io_doorbell";
+    case MsgKind::kIoPayload:
+      return "io_payload";
+    case MsgKind::kIoCompletion:
+      return "io_completion";
+    case MsgKind::kVcpuMigration:
+      return "vcpu_migration";
+    case MsgKind::kCheckpointData:
+      return "checkpoint_data";
+    case MsgKind::kControl:
+      return "control";
+    case MsgKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+LinkParams LinkParams::InfiniBand56G() {
+  return LinkParams{
+      .latency = Nanos(1500),
+      .bytes_per_second = 56e9 / 8.0,
+  };
+}
+
+LinkParams LinkParams::Ethernet1G() {
+  return LinkParams{
+      .latency = Micros(100),
+      .bytes_per_second = 1e9 / 8.0,
+  };
+}
+
+void FabricStats::Account(MsgKind kind, uint64_t size) {
+  const auto idx = static_cast<size_t>(kind);
+  messages[idx].Add(1);
+  bytes[idx].Add(size);
+  total_messages.Add(1);
+  total_bytes.Add(size);
+}
+
+TimeNs WireTime(const LinkParams& params, uint64_t size) {
+  FV_CHECK_GT(params.bytes_per_second, 0.0);
+  return FromSeconds(static_cast<double>(size) / params.bytes_per_second);
+}
+
+Fabric::Fabric(EventLoop* loop, int num_nodes, LinkParams defaults)
+    : loop_(loop), num_nodes_(num_nodes), defaults_(defaults) {
+  FV_CHECK(loop != nullptr);
+  FV_CHECK_GT(num_nodes, 0);
+}
+
+void Fabric::ValidateNode(NodeId n) const {
+  FV_CHECK_GE(n, 0);
+  FV_CHECK_LT(n, num_nodes_);
+}
+
+Fabric::LinkState& Fabric::LinkFor(NodeId src, NodeId dst) {
+  auto [it, inserted] = links_.try_emplace({src, dst});
+  if (inserted) {
+    it->second.params = defaults_;
+  }
+  return it->second;
+}
+
+void Fabric::SetLinkParams(NodeId src, NodeId dst, LinkParams params) {
+  ValidateNode(src);
+  ValidateNode(dst);
+  LinkFor(src, dst).params = params;
+}
+
+void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery) {
+  ValidateNode(src);
+  ValidateNode(dst);
+  FV_CHECK(on_delivery != nullptr);
+  if (src == dst) {
+    // Loopback never hits the wire: deliver in-order at the current time.
+    loop_->ScheduleAfter(0, std::move(on_delivery));
+    return;
+  }
+  LinkState& link = LinkFor(src, dst);
+  stats_.Account(kind, size);
+  const TimeNs start = std::max(loop_->now(), link.busy_until);
+  const TimeNs depart = start + WireTime(link.params, size);
+  link.busy_until = depart;
+  loop_->ScheduleAt(depart + link.params.latency, std::move(on_delivery));
+}
+
+void Fabric::SendRequestResponse(NodeId src, NodeId dst, MsgKind kind, uint64_t req_size,
+                                 uint64_t resp_size, TimeNs server_time, DeliveryFn on_response) {
+  Send(src, dst, kind, req_size,
+       [this, src, dst, kind, resp_size, server_time, cb = std::move(on_response)]() mutable {
+         loop_->ScheduleAfter(server_time, [this, src, dst, kind, resp_size,
+                                            cb2 = std::move(cb)]() mutable {
+           Send(dst, src, kind, resp_size, std::move(cb2));
+         });
+       });
+}
+
+}  // namespace fragvisor

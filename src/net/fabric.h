@@ -1,0 +1,129 @@
+// Simulated cluster interconnect.
+//
+// The fabric connects hypervisor instances (one per node) with directed
+// point-to-point links. Each link has a propagation latency and a bandwidth;
+// messages on the same directed link serialize FIFO (a 4 KiB DSM page and a
+// doorbell racing on the same link queue behind each other, as on a real NIC).
+//
+// Two link profiles matter for the paper's testbed: the 56 Gbps InfiniBand
+// fabric between compute nodes, and the 1 Gbps Ethernet link to the external
+// client/load generator.
+
+#ifndef FRAGVISOR_SRC_NET_FABRIC_H_
+#define FRAGVISOR_SRC_NET_FABRIC_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace fragvisor {
+
+// Identifies a physical server in the cluster. Dense, starting at 0.
+using NodeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+// Message classes, for traffic accounting and debugging. The protocols define
+// the payload semantics; the fabric only needs sizes.
+enum class MsgKind : uint8_t {
+  kDsmReadReq,
+  kDsmWriteReq,
+  kDsmPageData,
+  kDsmInvalidate,
+  kDsmAck,
+  kIpi,
+  kTlbShootdown,
+  kIoDoorbell,
+  kIoPayload,
+  kIoCompletion,
+  kVcpuMigration,
+  kCheckpointData,
+  kControl,
+  kCount,
+};
+
+const char* MsgKindName(MsgKind kind);
+
+// Latency/bandwidth description of a directed link.
+struct LinkParams {
+  TimeNs latency = 0;            // one-way propagation + switch + NIC latency
+  double bytes_per_second = 0;   // serialization bandwidth
+
+  // 56 Gbps InfiniBand (Mellanox ConnectX-4 class): ~1.5 us one-way for small
+  // messages through one switch.
+  static LinkParams InfiniBand56G();
+  // 1 Gbps Ethernet to the client LAN: ~100 us one-way (kernel stack + switch).
+  static LinkParams Ethernet1G();
+};
+
+// Per-kind traffic counters for one fabric.
+struct FabricStats {
+  std::array<Counter, static_cast<size_t>(MsgKind::kCount)> messages;
+  std::array<Counter, static_cast<size_t>(MsgKind::kCount)> bytes;
+  Counter total_messages;
+  Counter total_bytes;
+
+  void Account(MsgKind kind, uint64_t size);
+};
+
+class Fabric {
+ public:
+  using DeliveryFn = std::function<void()>;
+
+  // Creates a fabric over `num_nodes` nodes; all links default to `defaults`.
+  Fabric(EventLoop* loop, int num_nodes, LinkParams defaults);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int num_nodes() const { return num_nodes_; }
+
+  // Overrides the parameters of the directed link src -> dst.
+  void SetLinkParams(NodeId src, NodeId dst, LinkParams params);
+
+  // Sends `size` bytes from `src` to `dst`; `on_delivery` runs when the last
+  // byte arrives at `dst`. src == dst is allowed and models a loopback with
+  // zero wire time (delivered on the next event-loop dispatch at now()).
+  void Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery);
+
+  // Convenience round-trip: request then response, invoking `on_response`
+  // after `server_time` of processing at the destination.
+  void SendRequestResponse(NodeId src, NodeId dst, MsgKind kind, uint64_t req_size,
+                           uint64_t resp_size, TimeNs server_time, DeliveryFn on_response);
+
+  const FabricStats& stats() const { return stats_; }
+  FabricStats& mutable_stats() { return stats_; }
+
+  // Total payload bytes placed on the wire so far (excludes loopback).
+  uint64_t wire_bytes() const { return stats_.total_bytes.value(); }
+
+ private:
+  struct LinkState {
+    LinkParams params;
+    TimeNs busy_until = 0;
+  };
+
+  LinkState& LinkFor(NodeId src, NodeId dst);
+  void ValidateNode(NodeId n) const;
+
+  EventLoop* loop_;
+  int num_nodes_;
+  LinkParams defaults_;
+  std::map<std::pair<NodeId, NodeId>, LinkState> links_;
+  FabricStats stats_;
+};
+
+// Serialization time of `size` bytes at `params.bytes_per_second`.
+TimeNs WireTime(const LinkParams& params, uint64_t size);
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_NET_FABRIC_H_

@@ -1,0 +1,44 @@
+// Invariant checking macros.
+//
+// FV_CHECK* are always-on assertions for invariants whose violation means the
+// simulation state is corrupt; they abort with a source location. FV_DCHECK*
+// compile out in NDEBUG builds and guard hot paths.
+
+#ifndef FRAGVISOR_SRC_SIM_CHECK_H_
+#define FRAGVISOR_SRC_SIM_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fragvisor {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "FV_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace fragvisor
+
+#define FV_CHECK(cond)                                       \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::fragvisor::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                        \
+  } while (0)
+
+#define FV_CHECK_EQ(a, b) FV_CHECK((a) == (b))
+#define FV_CHECK_NE(a, b) FV_CHECK((a) != (b))
+#define FV_CHECK_LT(a, b) FV_CHECK((a) < (b))
+#define FV_CHECK_LE(a, b) FV_CHECK((a) <= (b))
+#define FV_CHECK_GT(a, b) FV_CHECK((a) > (b))
+#define FV_CHECK_GE(a, b) FV_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define FV_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define FV_DCHECK(cond) FV_CHECK(cond)
+#endif
+
+#endif  // FRAGVISOR_SRC_SIM_CHECK_H_

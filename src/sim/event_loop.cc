@@ -1,0 +1,105 @@
+#include "src/sim/event_loop.h"
+
+#include <utility>
+
+namespace fragvisor {
+
+EventId EventLoop::ScheduleAt(TimeNs when, Callback cb) {
+  FV_CHECK_GE(when, now_);
+  FV_CHECK(cb != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(cb)});
+  ++pending_;
+  return id;
+}
+
+bool EventLoop::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) {
+    return false;
+  }
+  // We cannot remove from the middle of a binary heap; mark the id dead and
+  // skip it at pop time. The pending_ counter only tracks live events.
+  const bool inserted = cancelled_.insert(id).second;
+  if (!inserted) {
+    return false;
+  }
+  if (pending_ == 0) {
+    // Event already ran; undo the tombstone.
+    cancelled_.erase(id);
+    return false;
+  }
+  --pending_;
+  return true;
+}
+
+bool EventLoop::DispatchOne() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    FV_CHECK_GE(ev.time, now_);
+    now_ = ev.time;
+    FV_CHECK_GT(pending_, 0u);
+    --pending_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+size_t EventLoop::Run() {
+  stopped_ = false;
+  size_t dispatched = 0;
+  while (!stopped_ && DispatchOne()) {
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+size_t EventLoop::RunWhile(const std::function<bool()>& keep_going, TimeNs deadline) {
+  FV_CHECK(keep_going != nullptr);
+  stopped_ = false;
+  size_t dispatched = 0;
+  while (!stopped_ && keep_going()) {
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().time > deadline) {
+      break;
+    }
+    if (DispatchOne()) {
+      ++dispatched;
+    }
+  }
+  return dispatched;
+}
+
+size_t EventLoop::RunUntil(TimeNs deadline) {
+  FV_CHECK_GE(deadline, now_);
+  stopped_ = false;
+  size_t dispatched = 0;
+  while (!stopped_) {
+    // Peek the next live event without dispatching past the deadline.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().time > deadline) {
+      break;
+    }
+    if (DispatchOne()) {
+      ++dispatched;
+    }
+  }
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+  return dispatched;
+}
+
+}  // namespace fragvisor

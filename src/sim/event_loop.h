@@ -1,0 +1,116 @@
+// Deterministic discrete-event loop.
+//
+// The entire simulation — pCPU scheduling, DSM protocol messages, device
+// notifications, scheduler arrivals — is driven by one single-threaded event
+// loop. Events at equal timestamps fire in insertion order (stable sequence
+// numbers), so runs are bit-reproducible.
+
+#ifndef FRAGVISOR_SRC_SIM_EVENT_LOOP_H_
+#define FRAGVISOR_SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/check.h"
+#include "src/sim/time.h"
+#include "src/sim/trace.h"
+
+namespace fragvisor {
+
+// Opaque handle for a scheduled event, usable with Cancel().
+using EventId = uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Current simulated time. Starts at 0.
+  TimeNs now() const { return now_; }
+
+  // Schedules `cb` to run at absolute simulated time `when` (>= now()).
+  EventId ScheduleAt(TimeNs when, Callback cb);
+
+  // Schedules `cb` to run `delay` nanoseconds from now (delay >= 0).
+  EventId ScheduleAfter(TimeNs delay, Callback cb) { return ScheduleAt(now_ + delay, std::move(cb)); }
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty or Stop() is called.
+  // Returns the number of events dispatched.
+  size_t Run();
+
+  // Runs events with timestamp <= `deadline`; afterwards now() == deadline
+  // (unless Stop() was called or the queue drained earlier, in which case
+  // now() is the time of the last event dispatched).
+  size_t RunUntil(TimeNs deadline);
+
+  // Runs for `duration` of simulated time from now().
+  size_t RunFor(TimeNs duration) { return RunUntil(now_ + duration); }
+
+  // Dispatches events while `keep_going()` returns true and events with
+  // timestamp <= deadline remain. Unlike RunUntil, now() is left at the last
+  // dispatched event when the predicate flips (no artificial advance).
+  size_t RunWhile(const std::function<bool()>& keep_going, TimeNs deadline);
+
+  // Makes Run()/RunUntil() return after the currently dispatching event.
+  void Stop() { stopped_ = true; }
+
+  bool empty() const { return pending_ == 0; }
+  size_t pending_count() const { return pending_; }
+
+  // Optional tracer: subsystems holding a loop pointer emit events through
+  // it. Null (the default) disables all instrumentation.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
+  // Convenience: record if a tracer is attached and the category enabled.
+  void Trace(uint32_t category, const char* event, std::string detail) {
+    if (tracer_ != nullptr && tracer_->enabled(category)) {
+      tracer_->Record(now_, category, event, std::move(detail));
+    }
+  }
+
+ private:
+  struct Event {
+    TimeNs time = 0;
+    EventId id = kInvalidEventId;
+    Callback cb;
+  };
+
+  struct EventOrder {
+    // std::priority_queue is a max-heap; invert so earliest (time, id) pops
+    // first. Lower id == scheduled earlier, giving FIFO among equal times.
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  // Pops and dispatches the next live event. Returns false if none remain.
+  bool DispatchOne();
+
+  Tracer* tracer_ = nullptr;
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  size_t pending_ = 0;  // live (non-cancelled) events in the queue
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_SIM_EVENT_LOOP_H_

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation (xoshiro256**, SplitMix64
+// seeded). The simulator never touches std::random_device or wall-clock time,
+// so every run with the same seed is bit-identical.
+
+#ifndef FRAGVISOR_SRC_SIM_RNG_H_
+#define FRAGVISOR_SRC_SIM_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform over [0.0, 1.0).
+  double NextDouble();
+
+  // Uniform integer over [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double over [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Standard normal via Box-Muller, scaled to (mean, stddev).
+  double Normal(double mean, double stddev);
+
+  // Bounded Pareto-ish heavy tail used for job lifetimes: returns a sample in
+  // [lo, hi] with density proportional to x^-(alpha+1).
+  double BoundedPareto(double lo, double hi, double alpha);
+
+  // Bernoulli trial.
+  bool Chance(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derives an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_SIM_RNG_H_

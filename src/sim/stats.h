@@ -1,0 +1,95 @@
+// Measurement primitives: counters, summaries, log-bucketed histograms, and
+// time series. Every experiment quantity reported by the bench harness flows
+// through these.
+
+#ifndef FRAGVISOR_SRC_SIM_STATS_H_
+#define FRAGVISOR_SRC_SIM_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/check.h"
+#include "src/sim/time.h"
+
+namespace fragvisor {
+
+// Monotonically increasing event count (DSM faults, messages, bytes, ...).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  void Reset() { value_ = 0; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Running min/max/mean/sum of a stream of samples.
+class Summary {
+ public:
+  void Record(double sample);
+  void Reset() { *this = Summary(); }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Log2-bucketed histogram over non-negative samples; supports approximate
+// percentiles (bucket upper bound). Enough resolution for latency tails.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(double sample);
+  void Reset() { *this = Histogram(); }
+
+  uint64_t count() const { return summary_.count(); }
+  double mean() const { return summary_.mean(); }
+  double min() const { return summary_.min(); }
+  double max() const { return summary_.max(); }
+
+  // Approximate p-th percentile (p in [0, 100]); returns the upper bound of
+  // the bucket containing the rank, clamped to [min, max].
+  double Percentile(double p) const;
+
+ private:
+  static int BucketFor(double sample);
+
+  Summary summary_;
+  std::array<uint64_t, kBuckets> buckets_{};
+};
+
+// (time, value) samples, e.g. per-node free CPUs over a scheduler run.
+class TimeSeries {
+ public:
+  void Append(TimeNs t, double v) { points_.emplace_back(t, v); }
+  void Reset() { points_.clear(); }
+  const std::vector<std::pair<TimeNs, double>>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Mean of values over the series (unweighted).
+  double MeanValue() const;
+
+ private:
+  std::vector<std::pair<TimeNs, double>> points_;
+};
+
+// Pretty-prints a rate (events per simulated second).
+double RatePerSecond(uint64_t events, TimeNs elapsed);
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_SIM_STATS_H_

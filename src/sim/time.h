@@ -1,0 +1,44 @@
+// Simulated time base for FragVisor-Sim.
+//
+// All simulated durations and instants are integer nanoseconds. Using a single
+// integral unit keeps event ordering exact and runs bit-reproducible.
+
+#ifndef FRAGVISOR_SRC_SIM_TIME_H_
+#define FRAGVISOR_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace fragvisor {
+
+// A point in simulated time, or a duration, in nanoseconds.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1000;
+inline constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+inline constexpr TimeNs kSecond = 1000 * kMillisecond;
+
+// Convenience constructors so call sites read as `Micros(38)` instead of raw
+// integer arithmetic.
+constexpr TimeNs Nanos(int64_t n) { return n; }
+constexpr TimeNs Micros(int64_t n) { return n * kMicrosecond; }
+constexpr TimeNs Millis(int64_t n) { return n * kMillisecond; }
+constexpr TimeNs Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) / static_cast<double>(kSecond); }
+constexpr double ToMillis(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+constexpr double ToMicros(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+// Converts a double duration in seconds to TimeNs, rounding to the nearest
+// nanosecond. Used when deriving transfer times from bandwidth models.
+constexpr TimeNs FromSeconds(double seconds) {
+  return static_cast<TimeNs>(seconds * static_cast<double>(kSecond) + 0.5);
+}
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_SIM_TIME_H_

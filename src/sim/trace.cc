@@ -1,0 +1,77 @@
+#include "src/sim/trace.h"
+
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+const char* TraceCategoryName(uint32_t category) {
+  switch (category) {
+    case TraceCategory::kDsm:
+      return "dsm";
+    case TraceCategory::kVcpu:
+      return "vcpu";
+    case TraceCategory::kIo:
+      return "io";
+    case TraceCategory::kMigration:
+      return "migration";
+    case TraceCategory::kSched:
+      return "sched";
+    case TraceCategory::kCkpt:
+      return "ckpt";
+    default:
+      return "multi";
+  }
+}
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity) {
+  FV_CHECK_GT(capacity, 0u);
+  ring_.reserve(capacity);
+}
+
+void Tracer::Record(TimeNs time, uint32_t category, const char* event, std::string detail) {
+  if (!enabled(category)) {
+    return;
+  }
+  TraceEvent ev{time, category, event, std::move(detail)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[next_] = std::move(ev);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+void Tracer::Dump(std::FILE* out) const {
+  for (const TraceEvent& ev : Snapshot()) {
+    std::fprintf(out, "%12.3f us  %-9s %-24s %s\n", ToMicros(ev.time),
+                 TraceCategoryName(ev.category), ev.event, ev.detail.c_str());
+  }
+  if (dropped() > 0) {
+    std::fprintf(out, "(%llu earlier events dropped)\n",
+                 static_cast<unsigned long long>(dropped()));
+  }
+}
+
+}  // namespace fragvisor

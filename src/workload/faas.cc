@@ -1,0 +1,88 @@
+#include "src/workload/faas.h"
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+namespace {
+
+constexpr TimeNs kDetectChunk = Micros(200);  // between picture-buffer reads
+
+}  // namespace
+
+FaasWorkerStream::FaasWorkerStream(AggregateVm* vm, int vcpu, const FaasConfig& config,
+                                   FaasPhaseStats* stats)
+    : vm_(vm), vcpu_(vcpu), config_(config), stats_(stats) {
+  FV_CHECK(vm != nullptr);
+  FV_CHECK(stats != nullptr);
+  working_pages_ = 256;
+  working_first_ = vm_->space().AllocHeapRange(working_pages_, vm_->VcpuNode(vcpu));
+}
+
+void FaasWorkerStream::Replan() {
+  const TimeNs now = vm_->loop().now();
+  switch (phase_) {
+    case Phase::kIdle: {
+      if (requests_done_ >= config_.requests_per_worker) {
+        return;  // halt
+      }
+      request_start_ = now;
+      phase_start_ = now;
+      phase_ = Phase::kDownload;
+      const uint64_t chunks = (config_.download_bytes + config_.net_chunk_bytes - 1) /
+                              config_.net_chunk_bytes;
+      for (uint64_t c = 0; c < chunks; ++c) {
+        Push(Op::NetRecv());
+      }
+      return;
+    }
+    case Phase::kDownload: {
+      stats_->download_ns.Record(static_cast<double>(now - phase_start_));
+      phase_start_ = now;
+      phase_ = Phase::kExtract;
+      const uint64_t chunks =
+          (config_.extract_bytes + config_.fs_chunk_bytes - 1) / config_.fs_chunk_bytes;
+      // unzip: decompression compute interleaved with tmpfs writes.
+      for (uint64_t c = 0; c < chunks; ++c) {
+        Push(Op::Compute(Micros(40)));
+        Push(Op::BlkWrite(config_.fs_chunk_bytes));
+      }
+      return;
+    }
+    case Phase::kExtract: {
+      stats_->extract_ns.Record(static_cast<double>(now - phase_start_));
+      phase_start_ = now;
+      phase_ = Phase::kDetect;
+      const int iters = static_cast<int>(config_.detect_compute / kDetectChunk);
+      for (int i = 0; i < iters; ++i) {
+        Push(Op::Compute(kDetectChunk));
+        Push(Op::MemRead(working_first_ + salt_++ % working_pages_));
+      }
+      return;
+    }
+    case Phase::kDetect: {
+      stats_->detect_ns.Record(static_cast<double>(now - phase_start_));
+      stats_->total_ns.Record(static_cast<double>(now - request_start_));
+      ++requests_done_;
+      phase_ = Phase::kIdle;
+      Replan();
+      return;
+    }
+  }
+}
+
+void FaasStartDownloads(AggregateVm& vm, const FaasConfig& config, int num_workers) {
+  FV_CHECK(vm.net() != nullptr);
+  const uint64_t chunks =
+      (config.download_bytes + config.net_chunk_bytes - 1) / config.net_chunk_bytes;
+  // Interleave workers packet by packet: the database serves all functions
+  // concurrently over the shared LAN link.
+  for (uint64_t c = 0; c < chunks; ++c) {
+    for (int w = 0; w < num_workers; ++w) {
+      for (int r = 0; r < config.requests_per_worker; ++r) {
+        vm.net()->SendFromExternal(w, config.net_chunk_bytes);
+      }
+    }
+  }
+}
+
+}  // namespace fragvisor

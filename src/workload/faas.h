@@ -1,0 +1,64 @@
+// OpenLambda-style serverless workload, Fig. 13.
+//
+// Each vCPU hosts one FaaS worker running the paper's face-detection
+// function: (1) download a compressed picture archive from a database on the
+// same network (virtio-net RX in chunks), (2) extract it to the tmpfs root
+// filesystem (block writes — DSM writes to origin-backed pages), (3) run the
+// face-detection kernel (compute over a local working set). Phase times are
+// recorded per request.
+
+#ifndef FRAGVISOR_SRC_WORKLOAD_FAAS_H_
+#define FRAGVISOR_SRC_WORKLOAD_FAAS_H_
+
+#include "src/core/aggregate_vm.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+
+struct FaasConfig {
+  int requests_per_worker = 1;
+  uint64_t download_bytes = 8ull << 20;   // compressed archive
+  uint64_t extract_bytes = 24ull << 20;   // decompressed pictures
+  uint64_t net_chunk_bytes = 1500;        // MTU-sized packets on the wire
+  uint64_t fs_chunk_bytes = 64 * 1024;    // filesystem write granularity
+  TimeNs detect_compute = Millis(400);    // face detection per request
+};
+
+// Per-phase measurements, aggregated across workers and requests.
+struct FaasPhaseStats {
+  Summary download_ns;
+  Summary extract_ns;
+  Summary detect_ns;
+  Summary total_ns;
+};
+
+class FaasWorkerStream : public PlannedStream {
+ public:
+  FaasWorkerStream(AggregateVm* vm, int vcpu, const FaasConfig& config, FaasPhaseStats* stats);
+
+ protected:
+  void Replan() override;
+
+ private:
+  enum class Phase : uint8_t { kIdle, kDownload, kExtract, kDetect };
+
+  AggregateVm* vm_;
+  int vcpu_;
+  FaasConfig config_;
+  FaasPhaseStats* stats_;
+
+  Phase phase_ = Phase::kIdle;
+  int requests_done_ = 0;
+  TimeNs request_start_ = 0;
+  TimeNs phase_start_ = 0;
+  PageNum working_first_ = 0;
+  uint64_t working_pages_ = 0;
+  uint64_t salt_ = 0;
+};
+
+// The database client: pushes each worker's archive chunks onto the wire.
+void FaasStartDownloads(AggregateVm& vm, const FaasConfig& config, int num_workers);
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_WORKLOAD_FAAS_H_

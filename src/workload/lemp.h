@@ -1,0 +1,116 @@
+// LEMP stack (Linux + (E)nginx + MySQL + PHP) workload, Fig. 12.
+//
+// One NGINX worker runs on vCPU0 and one PHP-FPM worker on every other vCPU
+// (exactly the paper's pinning). A client outside the data center (1 GbE)
+// runs an ApacheBench-style closed loop: `concurrency` outstanding requests,
+// a new one issued per completed response. Per request: client -> nginx
+// (virtio-net RX), nginx -> php (guest-local socket), php computes for the
+// configured processing time, php -> nginx (2 MB response over the socket),
+// nginx -> client (virtio-net TX).
+//
+// On an Aggregate VM the nginx->php socket hops and the 2 MB response cross
+// slices through the DSM — the effect that makes short requests lose and
+// long requests win.
+
+#ifndef FRAGVISOR_SRC_WORKLOAD_LEMP_H_
+#define FRAGVISOR_SRC_WORKLOAD_LEMP_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/core/aggregate_vm.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+
+struct LempConfig {
+  int nginx_vcpu = 0;
+  int num_php_workers = 3;            // on vCPUs 1..num_php_workers
+  uint64_t client_request_bytes = 512;
+  uint64_t fcgi_request_bytes = 4 * 1024;
+  uint64_t response_bytes = 2 * 1024 * 1024;  // the average web page
+  TimeNs processing_time = Millis(100);
+  // NGINX-side CPU per response byte (header assembly, copies, checksums,
+  // writev): ~67 MB/s of effective per-core response-path throughput.
+  TimeNs response_cpu_ns_per_byte = 15;
+  int total_requests = 100;
+  int concurrency = 10;
+};
+
+// NGINX worker: event loop multiplexing client requests and PHP responses.
+class LempNginxStream : public PlannedStream {
+ public:
+  LempNginxStream(AggregateVm* vm, const LempConfig& config);
+
+ protected:
+  void Replan() override;
+
+ private:
+  AggregateVm* vm_;
+  LempConfig config_;
+  int responses_planned_ = 0;
+  int next_php_ = 0;
+  uint64_t salt_ = 0;
+};
+
+// PHP-FPM worker: serve requests until stopped.
+class LempPhpStream : public PlannedStream {
+ public:
+  LempPhpStream(AggregateVm* vm, int vcpu, const LempConfig& config,
+                std::shared_ptr<bool> stop);
+
+ protected:
+  void Replan() override;
+
+ private:
+  AggregateVm* vm_;
+  int vcpu_;
+  LempConfig config_;
+  std::shared_ptr<bool> stop_;
+  PageNum private_first_ = 0;
+  uint64_t private_pages_ = 0;
+  uint64_t salt_ = 0;
+};
+
+// ApacheBench-style closed-loop client on the external LAN node.
+class LempClient {
+ public:
+  LempClient(AggregateVm* vm, const LempConfig& config);
+
+  // Issues the initial `concurrency` requests and keeps the pipe full.
+  void Start();
+
+  int completed() const { return completed_; }
+  bool Done() const { return completed_ >= config_.total_requests; }
+  TimeNs first_send_time() const { return first_send_; }
+  TimeNs last_completion_time() const { return last_completion_; }
+  const Summary& request_latency_ns() const { return latency_ns_; }
+
+  // Requests per second over the measurement window.
+  double Throughput() const;
+
+ private:
+  void SendOne();
+  void OnResponse(uint64_t bytes);
+
+  AggregateVm* vm_;
+  LempConfig config_;
+  int sent_ = 0;
+  int completed_ = 0;
+  TimeNs first_send_ = 0;
+  TimeNs last_completion_ = 0;
+  std::deque<TimeNs> in_flight_sends_;
+  Summary latency_ns_;
+};
+
+// Convenience: installs nginx + php streams on `vm` and returns the client
+// (not yet started) plus the php stop flag.
+struct LempDeployment {
+  std::unique_ptr<LempClient> client;
+  std::shared_ptr<bool> php_stop;
+};
+LempDeployment DeployLemp(AggregateVm& vm, const LempConfig& config);
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_WORKLOAD_LEMP_H_

@@ -1,0 +1,37 @@
+#include "src/workload/microbench.h"
+
+namespace fragvisor {
+
+Op SharingLoopStream::Next() {
+  if (remaining_ == 0) {
+    return Op::Halt();
+  }
+  switch (phase_) {
+    case 0:
+      phase_ = 1;
+      return Op::Compute(compute_per_iter_);
+    case 1:
+      // Write first: the access faults with write intent (one coherence
+      // transaction per ownership handoff), and the read then hits.
+      phase_ = 2;
+      return Op::MemWrite(page_);
+    default:
+      phase_ = 0;
+      --remaining_;
+      return Op::MemRead(page_);
+  }
+}
+
+Op ConcurrentWriteStream::Next() {
+  if (loop_->now() >= end_time_) {
+    return Op::Halt();
+  }
+  if (compute_turn_) {
+    compute_turn_ = false;
+    return Op::Compute(compute_per_iter_);
+  }
+  compute_turn_ = true;
+  return Op::MemWrite(page_);
+}
+
+}  // namespace fragvisor

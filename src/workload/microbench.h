@@ -1,0 +1,49 @@
+// Microbenchmark op streams (Sec. 7.1).
+
+#ifndef FRAGVISOR_SRC_WORKLOAD_MICROBENCH_H_
+#define FRAGVISOR_SRC_WORKLOAD_MICROBENCH_H_
+
+#include <cstdint>
+
+#include "src/sim/event_loop.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+
+// Fig. 4 ("DSM Fault Traffic"): each thread reads and writes a configurable
+// location in a loop. The location (page) decides the sharing mode: same page
+// for all vCPUs = true/false sharing, distinct pages = no sharing.
+class SharingLoopStream : public OpStream {
+ public:
+  SharingLoopStream(PageNum page, uint64_t iterations, TimeNs compute_per_iter)
+      : page_(page), remaining_(iterations), compute_per_iter_(compute_per_iter) {}
+
+  Op Next() override;
+
+ private:
+  PageNum page_;
+  uint64_t remaining_;
+  TimeNs compute_per_iter_;
+  int phase_ = 0;  // compute -> read -> write per iteration
+};
+
+// Fig. 5 ("DSM Concurrent Writes"): unsynchronized writes to a fixed page
+// until a deadline; work done is read off the vCPU's mem_writes counter.
+class ConcurrentWriteStream : public OpStream {
+ public:
+  ConcurrentWriteStream(EventLoop* loop, PageNum page, TimeNs end_time, TimeNs compute_per_iter)
+      : loop_(loop), page_(page), end_time_(end_time), compute_per_iter_(compute_per_iter) {}
+
+  Op Next() override;
+
+ private:
+  EventLoop* loop_;
+  PageNum page_;
+  TimeNs end_time_;
+  TimeNs compute_per_iter_;
+  bool compute_turn_ = true;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_WORKLOAD_MICROBENCH_H_

@@ -1,0 +1,67 @@
+#include "src/workload/omp.h"
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+const std::vector<OmpProfile>& OmpSuite() {
+  static const std::vector<OmpProfile> suite = {
+      // name, sharing, shared_pages, compute_total, per_iter.
+      // Higher-sharing kernels also synchronize at finer granularity, which
+      // is what makes them DSM-hostile (Sec. 2: up to 95% slowdown).
+      {"EP-OMP", 0.002, 16, Millis(1500), Micros(40)},
+      {"LU-OMP", 0.08, 48, Millis(1200), Micros(15)},
+      {"CG-OMP", 0.25, 32, Millis(1000), Micros(8)},
+      {"MG-OMP", 0.40, 32, Millis(1000), Micros(6)},
+      {"FT-OMP", 0.55, 24, Millis(800), Micros(5)},
+  };
+  return suite;
+}
+
+const OmpProfile& OmpByName(const std::string& name) {
+  for (const OmpProfile& p : OmpSuite()) {
+    if (p.name == name) {
+      return p;
+    }
+  }
+  FV_CHECK(false);  // unknown benchmark name
+  __builtin_unreachable();
+}
+
+OmpSharedRegion OmpSharedRegion::Create(AggregateVm& vm, uint64_t pages) {
+  OmpSharedRegion region;
+  region.pages = pages;
+  region.first = vm.space().AllocHeapRange(pages, vm.config().bootstrap_node());
+  return region;
+}
+
+OmpThreadStream::OmpThreadStream(AggregateVm* vm, int vcpu, const OmpProfile& profile,
+                                 const OmpSharedRegion& shared, uint64_t seed)
+    : vm_(vm), vcpu_(vcpu), profile_(profile), shared_(shared), rng_(seed) {
+  FV_CHECK(vm != nullptr);
+  FV_CHECK_GT(shared.pages, 0u);
+  private_pages_ = 64;
+  private_first_ = vm_->space().AllocHeapRange(private_pages_, vm_->VcpuNode(vcpu));
+}
+
+void OmpThreadStream::Replan() {
+  if (compute_done_ >= profile_.compute_total) {
+    return;
+  }
+  compute_done_ += profile_.compute_per_iter;
+  Push(Op::Compute(profile_.compute_per_iter));
+  if (rng_.Chance(profile_.sharing_fraction)) {
+    const PageNum page = shared_.first + static_cast<uint64_t>(rng_.UniformInt(
+                                             0, static_cast<int64_t>(shared_.pages) - 1));
+    // Shared-array updates: read-modify-write.
+    Push(Op::MemRead(page));
+    Push(Op::MemWrite(page));
+  } else {
+    const PageNum page =
+        private_first_ + static_cast<uint64_t>(rng_.UniformInt(
+                             0, static_cast<int64_t>(private_pages_) - 1));
+    Push(Op::MemWrite(page));
+  }
+}
+
+}  // namespace fragvisor

@@ -1,0 +1,63 @@
+// OpenMP-style scale-up multithreaded workloads (Figs. 1 and the
+// shared-memory SLO discussion): one thread per vCPU over a common shared
+// array, with a tunable degree of sharing. The sharing fraction is the
+// probability that an iteration touches the shared region (write-invalidate
+// ping-pong across slices) instead of thread-private data.
+
+#ifndef FRAGVISOR_SRC_WORKLOAD_OMP_H_
+#define FRAGVISOR_SRC_WORKLOAD_OMP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/aggregate_vm.h"
+#include "src/sim/rng.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+
+struct OmpProfile {
+  std::string name;
+  double sharing_fraction;   // probability an iteration hits shared pages
+  uint64_t shared_pages;     // size of the shared hot region
+  TimeNs compute_total;      // per-thread computation
+  TimeNs compute_per_iter;
+};
+
+// OMP workload characterizations used in the Sec. 2 study: EP is
+// embarrassingly parallel; CG/MG/FT exhibit medium-to-high sharing.
+const std::vector<OmpProfile>& OmpSuite();
+const OmpProfile& OmpByName(const std::string& name);
+
+// The shared region is allocated once (origin-backed) and passed to every
+// thread's stream.
+struct OmpSharedRegion {
+  PageNum first = 0;
+  uint64_t pages = 0;
+
+  static OmpSharedRegion Create(AggregateVm& vm, uint64_t pages);
+};
+
+class OmpThreadStream : public PlannedStream {
+ public:
+  OmpThreadStream(AggregateVm* vm, int vcpu, const OmpProfile& profile,
+                  const OmpSharedRegion& shared, uint64_t seed);
+
+ protected:
+  void Replan() override;
+
+ private:
+  AggregateVm* vm_;
+  int vcpu_;
+  OmpProfile profile_;
+  OmpSharedRegion shared_;
+  Rng rng_;
+
+  TimeNs compute_done_ = 0;
+  PageNum private_first_ = 0;
+  uint64_t private_pages_ = 0;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_WORKLOAD_OMP_H_

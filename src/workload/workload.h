@@ -1,0 +1,72 @@
+// Basic op-stream building blocks shared by all workloads.
+
+#ifndef FRAGVISOR_SRC_WORKLOAD_WORKLOAD_H_
+#define FRAGVISOR_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/cpu/op.h"
+
+namespace fragvisor {
+
+// Plays back a fixed op vector, then halts.
+class ScriptedStream : public OpStream {
+ public:
+  explicit ScriptedStream(std::vector<Op> ops) : ops_(std::move(ops)) {}
+
+  Op Next() override {
+    if (index_ >= ops_.size()) {
+      return Op::Halt();
+    }
+    return ops_[index_++];
+  }
+
+ private:
+  std::vector<Op> ops_;
+  size_t index_ = 0;
+};
+
+// Pulls ops from a generator callable; the generator returns Op::Halt() to
+// finish. Useful for closed-form loops in tests and microbenches.
+class GeneratorStream : public OpStream {
+ public:
+  explicit GeneratorStream(std::function<Op()> gen) : gen_(std::move(gen)) {}
+
+  Op Next() override { return gen_(); }
+
+ private:
+  std::function<Op()> gen_;
+};
+
+// Base for stateful streams that plan several ops at a time: subclasses
+// implement Replan() to refill the plan when it drains.
+class PlannedStream : public OpStream {
+ public:
+  Op Next() override {
+    if (plan_.empty()) {
+      Replan();
+    }
+    if (plan_.empty()) {
+      return Op::Halt();
+    }
+    Op op = plan_.front();
+    plan_.pop_front();
+    return op;
+  }
+
+ protected:
+  // Refills plan_; leaving it empty halts the stream.
+  virtual void Replan() = 0;
+
+  void Push(Op op) { plan_.push_back(op); }
+
+ private:
+  std::deque<Op> plan_;
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_WORKLOAD_WORKLOAD_H_

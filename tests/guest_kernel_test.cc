@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/core/guest_kernel.h"
+#include "src/giantvm/giantvm.h"
+#include "src/mem/gpa_space.h"
+
+namespace fragvisor {
+namespace {
+
+class GuestKernelTest : public ::testing::Test {
+ protected:
+  GuestKernelTest()
+      : fabric_(&loop_, 2, LinkParams::InfiniBand56G()), costs_(CostModel::Default()) {
+    DsmEngine::Options opts;
+    opts.home = 0;
+    opts.num_nodes = 2;
+    dsm_ = std::make_unique<DsmEngine>(&loop_, &fabric_, &costs_, opts);
+    GuestAddressSpace::Layout layout;
+    layout.heap_pages = 1 << 16;
+    space_ = std::make_unique<GuestAddressSpace>(dsm_.get(), layout, std::vector<NodeId>{0, 1});
+  }
+
+  std::set<PageNum> KernelSharedWrites(const std::deque<Op>& ops) const {
+    std::set<PageNum> pages;
+    const PageNum lo = space_->kernel_shared_page(0);
+    const PageNum hi = lo + space_->layout().kernel_shared_pages;
+    for (const Op& op : ops) {
+      if (op.kind == Op::Kind::kMemWrite && op.a >= lo && op.a < hi) {
+        pages.insert(op.a);
+      }
+    }
+    return pages;
+  }
+
+  std::set<PageNum> PageTableWrites(const std::deque<Op>& ops) const {
+    std::set<PageNum> pages;
+    const PageNum lo = space_->page_table_page(0);
+    const PageNum hi = lo + space_->layout().page_table_pages;
+    for (const Op& op : ops) {
+      if (op.kind == Op::Kind::kMemWrite && op.a >= lo && op.a < hi) {
+        pages.insert(op.a);
+      }
+    }
+    return pages;
+  }
+
+  EventLoop loop_;
+  Fabric fabric_;
+  CostModel costs_;
+  std::unique_ptr<DsmEngine> dsm_;
+  std::unique_ptr<GuestAddressSpace> space_;
+};
+
+TEST_F(GuestKernelTest, PatchedKernelTouchesFewerSharedPages) {
+  GuestKernel patched(GuestKernelConfig::Optimized(), space_.get(), &costs_);
+  GuestKernel vanilla(GuestKernelConfig::Vanilla(), space_.get(), &costs_);
+  std::deque<Op> patched_ops;
+  std::deque<Op> vanilla_ops;
+  patched.ExpandAlloc(1, 1, 256, &patched_ops);
+  vanilla.ExpandAlloc(1, 1, 256, &vanilla_ops);
+  // The false-sharing patch removes the extra falsely-shared pages.
+  EXPECT_LT(KernelSharedWrites(patched_ops).size(), KernelSharedWrites(vanilla_ops).size());
+}
+
+TEST_F(GuestKernelTest, NumaAwareUsesPerVcpuPageTables) {
+  GuestKernel aware(GuestKernelConfig::Optimized(), space_.get(), &costs_);
+  std::deque<Op> ops_v0;
+  std::deque<Op> ops_v1;
+  aware.ExpandAlloc(0, 0, 256, &ops_v0);
+  aware.ExpandAlloc(1, 1, 256, &ops_v1);
+  const std::set<PageNum> pt0 = PageTableWrites(ops_v0);
+  const std::set<PageNum> pt1 = PageTableWrites(ops_v1);
+  // Mostly disjoint per-vCPU PT pages; only the shared kernel mappings
+  // (every 8th chunk) overlap.
+  std::set<PageNum> shared;
+  for (const PageNum p : pt0) {
+    if (pt1.count(p) > 0) {
+      shared.insert(p);
+    }
+  }
+  EXPECT_LT(shared.size(), pt0.size());
+
+  GuestKernel vanilla(GuestKernelConfig::Vanilla(), space_.get(), &costs_);
+  std::deque<Op> ops_van0;
+  std::deque<Op> ops_van1;
+  vanilla.ExpandAlloc(0, 0, 256, &ops_van0);
+  vanilla.ExpandAlloc(1, 1, 256, &ops_van1);
+  // Vanilla: both vCPUs hammer the same small shared set.
+  EXPECT_EQ(PageTableWrites(ops_van0), PageTableWrites(ops_van1));
+}
+
+TEST_F(GuestKernelTest, KernelTouchIsPerVcpuWhenPatched) {
+  GuestKernel patched(GuestKernelConfig::Optimized(), space_.get(), &costs_);
+  std::set<PageNum> v0;
+  std::set<PageNum> v1;
+  for (uint64_t salt = 0; salt < 16; ++salt) {
+    v0.insert(patched.KernelTouch(0, salt).a);
+    v1.insert(patched.KernelTouch(1, salt).a);
+  }
+  for (const PageNum p : v0) {
+    EXPECT_EQ(v1.count(p), 0u) << "patched kernels must not share touch pages";
+  }
+
+  GuestKernel vanilla(GuestKernelConfig::Vanilla(), space_.get(), &costs_);
+  std::set<PageNum> shared0;
+  std::set<PageNum> shared1;
+  for (uint64_t salt = 0; salt < 16; ++salt) {
+    shared0.insert(vanilla.KernelTouch(0, salt).a);
+    shared1.insert(vanilla.KernelTouch(1, salt).a);
+  }
+  EXPECT_EQ(shared0, shared1);  // vanilla: everyone on the same hot pages
+}
+
+TEST_F(GuestKernelTest, AllocComputeMatchesPageCount) {
+  GuestKernel kernel(GuestKernelConfig::Optimized(), space_.get(), &costs_);
+  std::deque<Op> ops;
+  kernel.ExpandAlloc(0, 0, 100, &ops);
+  TimeNs compute = 0;
+  for (const Op& op : ops) {
+    if (op.kind == Op::Kind::kCompute) {
+      compute += static_cast<TimeNs>(op.a);
+    }
+  }
+  EXPECT_EQ(compute, 100 * costs_.local_page_alloc);
+}
+
+TEST(GiantVmProfileTest, AdjustCosts) {
+  GiantVmProfile profile;
+  const CostModel base = CostModel::Default();
+  const CostModel adjusted = profile.AdjustCosts(base);
+  EXPECT_EQ(adjusted.dsm_userspace_extra, profile.userspace_fault_extra);
+  EXPECT_EQ(adjusted.notify_wakeup, profile.polling_notify_wakeup);
+  EXPECT_EQ(adjusted.ipi_to_message, profile.polling_notify_wakeup);
+  EXPECT_DOUBLE_EQ(adjusted.compute_dilation, profile.qemu_exit_dilation);
+  EXPECT_EQ(adjusted.vhost_per_packet, profile.userspace_virtio_per_op);
+  // Untouched fields stay untouched.
+  EXPECT_EQ(adjusted.dsm_handler, base.dsm_handler);
+  EXPECT_EQ(adjusted.timeslice, base.timeslice);
+}
+
+TEST(GiantVmProfileTest, ColocatedHelpersDilateFurther) {
+  GiantVmProfile colocated;
+  colocated.helper_placement = GiantVmProfile::HelperPlacement::kColocated;
+  EXPECT_GT(colocated.ComputeDilation(), 1.0);
+  const CostModel adjusted = colocated.AdjustCosts(CostModel::Default());
+  EXPECT_GT(adjusted.compute_dilation, colocated.qemu_exit_dilation);
+
+  GiantVmProfile extra;
+  EXPECT_DOUBLE_EQ(extra.ComputeDilation(), 1.0);
+}
+
+TEST(GiantVmProfileTest, AdjustDsmOptions) {
+  GiantVmProfile profile;
+  DsmEngine::Options opts;
+  opts.contextual_dsm = true;
+  opts.userspace_dsm = false;
+  opts = profile.AdjustDsmOptions(opts);
+  EXPECT_TRUE(opts.userspace_dsm);
+  EXPECT_FALSE(opts.contextual_dsm);
+}
+
+}  // namespace
+}  // namespace fragvisor

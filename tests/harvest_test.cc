@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/sched/harvest.h"
+
+namespace fragvisor {
+namespace {
+
+// A hand-built scenario on 2 nodes x 8 CPUs:
+//   t=0s:  VM A (6 cpus, 100 s) -> node0 (best fit leaves 2)
+//   t=0s:  VM B (4 cpus, 20 s)  -> node1
+//   t=5s:  VM C (4 cpus, 30 s)  -> node1 (fills it: free 0)
+//   t=20s: B departs (node1 free 4)
+//   t=35s: C departs (node1 free 8)
+std::vector<VmRequest> Scenario() {
+  return {
+      {0, 6, Seconds(100), Seconds(0)},
+      {1, 4, Seconds(20), Seconds(0)},
+      {2, 4, Seconds(30), Seconds(5)},
+  };
+}
+
+class TransientStudyTest : public ::testing::Test {
+ protected:
+  TransientStudyTest() : study_(2, 8) { study_.LoadPrimaries(Scenario(), Seconds(200)); }
+
+  TransientStudy study_;
+};
+
+TEST_F(TransientStudyTest, TimelineMatchesHandComputation) {
+  EXPECT_EQ(study_.FreeAt(0, Seconds(1)), 2);
+  EXPECT_EQ(study_.FreeAt(1, Seconds(1)), 4);
+  EXPECT_EQ(study_.FreeAt(1, Seconds(6)), 0);
+  EXPECT_EQ(study_.FreeAt(1, Seconds(21)), 4);
+  EXPECT_EQ(study_.FreeAt(1, Seconds(36)), 8);
+  EXPECT_EQ(study_.TotalFreeAt(Seconds(6)), 2);
+  EXPECT_EQ(study_.TotalFreeAt(Seconds(36)), 10);
+}
+
+TEST_F(TransientStudyTest, DelayedWholeWaitsForAWholeNode) {
+  JobSpec job;
+  job.cpus = 4;
+  job.cpu_seconds = 40;  // 10 s on 4 cpus
+  const JobOutcome outcome = study_.RunDelayedWhole(job, Seconds(1));
+  ASSERT_TRUE(outcome.completed);
+  // No node has 4 free until t=20 s (B departs): completes at 30 s -> 29 s
+  // after the t=1 s submission.
+  EXPECT_EQ(outcome.completion_time, Seconds(29));
+}
+
+TEST_F(TransientStudyTest, HarvestIsEvictedWhenNodeFills) {
+  JobSpec job;
+  job.cpus = 4;
+  job.cpu_seconds = 400;  // long enough to still be running at t=5 s
+  job.harvest_min_cpus = 1;
+  job.eviction_restart = Seconds(2);
+  // Submitted at t=1 s: node1 has the most idle (4); at t=5 s VM C takes all
+  // of node1 -> idle < min -> eviction, work lost.
+  const JobOutcome outcome = study_.RunHarvest(job, Seconds(1));
+  EXPECT_GE(outcome.evictions, 1);
+}
+
+TEST_F(TransientStudyTest, HarvestReclaimSlowsButNoEvictionWhenMinHolds) {
+  JobSpec job;
+  job.cpus = 2;
+  job.cpu_seconds = 30;
+  job.harvest_min_cpus = 1;
+  // Submitted at t=21 s on node1 (4 free). No later arrivals: runs at 2 cpus.
+  const JobOutcome outcome = study_.RunHarvest(job, Seconds(21));
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.evictions, 0);
+  EXPECT_EQ(outcome.completion_time, Seconds(15));
+}
+
+TEST_F(TransientStudyTest, AggregateStartsOnFragments) {
+  JobSpec job;
+  job.cpus = 4;
+  job.cpu_seconds = 40;
+  job.aggregate_efficiency = 1.0;
+  // At t=1 s the cluster has 2+4=6 free but no node has 4: the Aggregate VM
+  // starts immediately on fragments and finishes 10 s later.
+  const JobOutcome outcome = study_.RunAggregate(job, Seconds(1));
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.completion_time, Seconds(10));
+  EXPECT_EQ(outcome.evictions, 0);
+}
+
+TEST_F(TransientStudyTest, AggregateEfficiencyStretchesRuntime) {
+  JobSpec job;
+  job.cpus = 4;
+  job.cpu_seconds = 40;
+  job.aggregate_efficiency = 0.5;
+  const JobOutcome outcome = study_.RunAggregate(job, Seconds(1));
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.completion_time, Seconds(20));
+}
+
+TEST_F(TransientStudyTest, AggregateWaitsWhenEvenFragmentsMissing) {
+  TransientStudy tight(1, 8);
+  tight.LoadPrimaries({{0, 8, Seconds(50), Seconds(0)}}, Seconds(200));
+  JobSpec job;
+  job.cpus = 4;
+  job.cpu_seconds = 4;
+  job.aggregate_efficiency = 1.0;
+  const JobOutcome outcome = tight.RunAggregate(job, Seconds(1));
+  ASSERT_TRUE(outcome.completed);
+  // Must wait for the t=50 s departure.
+  EXPECT_EQ(outcome.completion_time, Seconds(50));
+}
+
+TEST_F(TransientStudyTest, JobsBeyondHorizonDoNotComplete) {
+  JobSpec job;
+  job.cpus = 4;
+  job.cpu_seconds = 10000;
+  EXPECT_FALSE(study_.RunDelayedWhole(job, 0).completed);
+  EXPECT_FALSE(study_.RunAggregate(job, 0).completed);
+  EXPECT_FALSE(study_.RunHarvest(job, 0).completed);
+}
+
+}  // namespace
+}  // namespace fragvisor

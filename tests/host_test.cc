@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/host/node.h"
+#include "src/host/pcpu.h"
+#include "src/sim/event_loop.h"
+
+namespace fragvisor {
+namespace {
+
+// A schedulable that computes for a fixed total, in budget-limited slices.
+class FakeTask : public Schedulable {
+ public:
+  FakeTask(std::string label, TimeNs total) : label_(std::move(label)), remaining_(total) {}
+
+  RunResult RunFor(TimeNs budget) override {
+    const TimeNs take = std::min(remaining_, budget);
+    remaining_ -= take;
+    slices_.push_back(take);
+    return {take, remaining_ > 0 ? RunState::kRunnableAgain : RunState::kFinished};
+  }
+
+  void OnDescheduled(RunState state) override {
+    if (state == RunState::kFinished) {
+      finished_at_ = slices_.size();
+    }
+  }
+
+  std::string name() const override { return label_; }
+
+  const std::vector<TimeNs>& slices() const { return slices_; }
+  bool finished() const { return finished_at_ != 0; }
+  TimeNs remaining() const { return remaining_; }
+
+ private:
+  std::string label_;
+  TimeNs remaining_;
+  std::vector<TimeNs> slices_;
+  size_t finished_at_ = 0;
+};
+
+class PCpuTest : public ::testing::Test {
+ protected:
+  PCpuTest() : costs_(CostModel::Default()), pcpu_(&loop_, 0, 0, &costs_) {}
+
+  EventLoop loop_;
+  CostModel costs_;
+  PCpu pcpu_;
+};
+
+TEST_F(PCpuTest, RunsSingleTaskToCompletion) {
+  FakeTask t("a", Millis(10));
+  pcpu_.Enqueue(&t);
+  loop_.Run();
+  EXPECT_TRUE(t.finished());
+  EXPECT_EQ(t.remaining(), 0);
+  // 10 ms in 4 ms slices: 4+4+2.
+  EXPECT_EQ(t.slices().size(), 3u);
+  EXPECT_EQ(t.slices()[0], Millis(4));
+  EXPECT_EQ(t.slices()[2], Millis(2));
+}
+
+TEST_F(PCpuTest, SingleTaskPaysNoContextSwitch) {
+  FakeTask t("a", Millis(8));
+  pcpu_.Enqueue(&t);
+  loop_.Run();
+  // Re-dispatching the same task charges no switch.
+  EXPECT_EQ(loop_.now(), Millis(8));
+  EXPECT_EQ(pcpu_.busy_time(), Millis(8));
+}
+
+TEST_F(PCpuTest, TwoTasksRoundRobinWithSwitchCost) {
+  FakeTask a("a", Millis(8));
+  FakeTask b("b", Millis(8));
+  pcpu_.Enqueue(&a);
+  pcpu_.Enqueue(&b);
+  loop_.Run();
+  EXPECT_TRUE(a.finished());
+  EXPECT_TRUE(b.finished());
+  // 16 ms of work + 3 switches (a->b, b->a, a->b) x 2 us.
+  EXPECT_EQ(loop_.now(), Millis(16) + 3 * costs_.context_switch);
+}
+
+TEST_F(PCpuTest, OvercommitSerializesWork) {
+  // The overcommit baseline: N tasks on one pCPU take ~N times as long.
+  std::vector<std::unique_ptr<FakeTask>> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(std::make_unique<FakeTask>("t", Millis(20)));
+    pcpu_.Enqueue(tasks.back().get());
+  }
+  loop_.Run();
+  EXPECT_GE(loop_.now(), Millis(80));
+  EXPECT_LE(loop_.now(), Millis(81));
+}
+
+TEST_F(PCpuTest, RemoveQueuedTaskNeverRuns) {
+  FakeTask a("a", Millis(4));
+  FakeTask b("b", Millis(4));
+  pcpu_.Enqueue(&a);  // starts running immediately
+  pcpu_.Enqueue(&b);  // queued
+  EXPECT_TRUE(pcpu_.RemoveQueued(&b));
+  EXPECT_FALSE(pcpu_.RemoveQueued(&b));
+  loop_.Run();
+  EXPECT_TRUE(a.finished());
+  EXPECT_TRUE(b.slices().empty());
+}
+
+TEST_F(PCpuTest, CannotRemoveRunningTask) {
+  FakeTask a("a", Millis(4));
+  pcpu_.Enqueue(&a);
+  EXPECT_EQ(pcpu_.current(), &a);
+  EXPECT_FALSE(pcpu_.RemoveQueued(&a));
+  loop_.Run();
+}
+
+TEST_F(PCpuTest, IsQueuedOrRunning) {
+  FakeTask a("a", Millis(4));
+  FakeTask b("b", Millis(4));
+  EXPECT_FALSE(pcpu_.IsQueuedOrRunning(&a));
+  pcpu_.Enqueue(&a);
+  pcpu_.Enqueue(&b);
+  EXPECT_TRUE(pcpu_.IsQueuedOrRunning(&a));
+  EXPECT_TRUE(pcpu_.IsQueuedOrRunning(&b));
+  loop_.Run();
+  EXPECT_FALSE(pcpu_.IsQueuedOrRunning(&a));
+  EXPECT_TRUE(pcpu_.idle());
+}
+
+// A task that blocks once and is re-enqueued externally.
+class BlockingTask : public Schedulable {
+ public:
+  BlockingTask(EventLoop* loop, PCpu* pcpu) : loop_(loop), pcpu_(pcpu) {}
+
+  RunResult RunFor(TimeNs budget) override {
+    (void)budget;
+    if (!blocked_once_) {
+      blocked_once_ = true;
+      return {Millis(1), RunState::kBlocked};
+    }
+    return {Millis(1), RunState::kFinished};
+  }
+
+  void OnDescheduled(RunState state) override {
+    if (state == RunState::kBlocked) {
+      // Simulate an IO wait completing 5 ms later.
+      loop_->ScheduleAfter(Millis(5), [this]() { pcpu_->Enqueue(this); });
+    }
+    if (state == RunState::kFinished) {
+      finished_ = true;
+    }
+  }
+
+  std::string name() const override { return "blocking"; }
+  bool finished() const { return finished_; }
+
+ private:
+  EventLoop* loop_;
+  PCpu* pcpu_;
+  bool blocked_once_ = false;
+  bool finished_ = false;
+};
+
+TEST_F(PCpuTest, BlockedTaskFreesPcpuForOthers) {
+  BlockingTask blocker(&loop_, &pcpu_);
+  FakeTask filler("filler", Millis(3));
+  pcpu_.Enqueue(&blocker);
+  pcpu_.Enqueue(&filler);
+  loop_.Run();
+  EXPECT_TRUE(blocker.finished());
+  EXPECT_TRUE(filler.finished());
+  // blocker: 1ms, filler runs during the 5 ms wait, blocker finishes at ~7ms.
+  EXPECT_LT(loop_.now(), Millis(8));
+}
+
+// A task that declines requeueing after its first slice.
+class DecliningTask : public FakeTask {
+ public:
+  using FakeTask::FakeTask;
+  bool ShouldRequeue() const override { return false; }
+};
+
+TEST_F(PCpuTest, ShouldRequeueHonored) {
+  DecliningTask t("decline", Millis(20));
+  pcpu_.Enqueue(&t);
+  loop_.Run();
+  EXPECT_EQ(t.slices().size(), 1u);
+  EXPECT_GT(t.remaining(), 0);
+  EXPECT_TRUE(pcpu_.idle());
+}
+
+TEST(NodeTest, ConstructionAndAccess) {
+  EventLoop loop;
+  CostModel costs = CostModel::Default();
+  Node node(&loop, 2, 8, 32ull << 30, &costs);
+  EXPECT_EQ(node.id(), 2);
+  EXPECT_EQ(node.num_pcpus(), 8);
+  EXPECT_EQ(node.ram_bytes(), 32ull << 30);
+  EXPECT_EQ(node.pcpu(3).index(), 3);
+  EXPECT_EQ(node.pcpu(3).node(), 2);
+  EXPECT_EQ(node.total_busy_time(), 0);
+}
+
+TEST(ClusterTest, DefaultConfig) {
+  Cluster::Config config;
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.num_nodes(), 4);
+  EXPECT_EQ(cluster.node(0).num_pcpus(), 8);
+  EXPECT_EQ(cluster.fabric().num_nodes(), 4);
+  EXPECT_EQ(cluster.loop().now(), 0);
+}
+
+TEST(ClusterTest, CustomConfig) {
+  Cluster::Config config;
+  config.num_nodes = 2;
+  config.pcpus_per_node = 16;
+  config.costs.timeslice = Millis(1);
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.num_nodes(), 2);
+  EXPECT_EQ(cluster.node(1).num_pcpus(), 16);
+  EXPECT_EQ(cluster.costs().timeslice, Millis(1));
+}
+
+TEST(CostModelTest, ComputeTime) {
+  CostModel costs;
+  costs.cpu_hz = 2e9;
+  EXPECT_EQ(costs.ComputeTime(2000), Micros(1));
+}
+
+}  // namespace
+}  // namespace fragvisor

@@ -1,0 +1,265 @@
+// Full-stack integration tests: multiple subsystems exercised together, the
+// way the benches drive them.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/core/fragvisor.h"
+#include "src/sched/fragbff.h"
+#include "src/workload/faas.h"
+#include "src/workload/lemp.h"
+#include "src/workload/microbench.h"
+#include "src/workload/npb.h"
+
+namespace fragvisor {
+namespace {
+
+Cluster::Config BigCluster() {
+  Cluster::Config config;
+  config.num_nodes = 5;  // 4 compute + 1 client
+  config.pcpus_per_node = 8;
+  return config;
+}
+
+void WireClient(Cluster& cluster, NodeId client) {
+  for (NodeId n = 0; n < client; ++n) {
+    cluster.fabric().SetLinkParams(n, client, LinkParams::Ethernet1G());
+    cluster.fabric().SetLinkParams(client, n, LinkParams::Ethernet1G());
+  }
+}
+
+TEST(IntegrationTest, NpbAggregateBeatsOvercommitEndToEnd) {
+  const NpbProfile profile = ScaleNpb(NpbByName("CG"), 0.1);
+
+  auto run = [&](std::vector<VcpuPlacement> placement) {
+    Cluster cluster(BigCluster());
+    AggregateVmConfig config;
+    config.placement = std::move(placement);
+    AggregateVm vm(&cluster, config);
+    for (int v = 0; v < vm.num_vcpus(); ++v) {
+      vm.SetWorkload(v, std::make_unique<NpbSerialStream>(&vm, v, profile, 7 + v));
+    }
+    vm.Boot();
+    const TimeNs end = RunUntilVmDone(cluster, vm, Seconds(600));
+    EXPECT_TRUE(vm.AllFinished());
+    return end;
+  };
+
+  const TimeNs aggregate = run(DistributedPlacement(4));
+  const TimeNs overcommit = run(OvercommitPlacement(0, 4, 1));
+  const double speedup = static_cast<double>(overcommit) / static_cast<double>(aggregate);
+  // Fig. 8's range for a mostly-compute benchmark.
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LT(speedup, 4.2);
+}
+
+TEST(IntegrationTest, GiantVmSlowerOnAllocationHeavyWork) {
+  const NpbProfile profile = ScaleNpb(NpbByName("IS"), 0.1);
+  auto run = [&](Platform platform) {
+    Cluster cluster(BigCluster());
+    AggregateVmConfig config;
+    config.platform = platform;
+    config.placement = DistributedPlacement(4);
+    AggregateVm vm(&cluster, config);
+    for (int v = 0; v < vm.num_vcpus(); ++v) {
+      vm.SetWorkload(v, std::make_unique<NpbSerialStream>(&vm, v, profile, 7 + v));
+    }
+    vm.Boot();
+    const TimeNs end = RunUntilVmDone(cluster, vm, Seconds(600));
+    EXPECT_TRUE(vm.AllFinished());
+    return end;
+  };
+  const TimeNs fragvisor_time = run(Platform::kFragVisor);
+  const TimeNs giantvm_time = run(Platform::kGiantVm);
+  // Fig. 9: IS is ~2x on the real systems.
+  EXPECT_GT(static_cast<double>(giantvm_time) / static_cast<double>(fragvisor_time), 1.5);
+}
+
+TEST(IntegrationTest, LempServesWhileVcpuMigrates) {
+  Cluster cluster(BigCluster());
+  WireClient(cluster, 4);
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(3);
+  config.external_node = 4;
+  AggregateVm vm(&cluster, config);
+
+  LempConfig lemp;
+  lemp.num_php_workers = 2;
+  lemp.processing_time = Millis(20);
+  lemp.response_bytes = 256 * 1024;
+  lemp.total_requests = 30;
+  LempDeployment deployment = DeployLemp(vm, lemp);
+  vm.Boot();
+  deployment.client->Start();
+
+  // Migrate a PHP worker twice while traffic flows.
+  int migrations = 0;
+  cluster.loop().ScheduleAt(Millis(200), [&]() {
+    vm.MigrateVcpu(2, 3, 1, [&]() { ++migrations; });
+  });
+  cluster.loop().ScheduleAt(Millis(600), [&]() {
+    vm.MigrateVcpu(2, 0, 2, [&]() { ++migrations; });
+  });
+
+  RunUntil(cluster, [&]() { return deployment.client->Done(); }, Seconds(600));
+  EXPECT_TRUE(deployment.client->Done());
+  // The second migration may still be in flight when the last response lands.
+  RunUntil(cluster, [&]() { return migrations == 2; }, Seconds(600));
+  EXPECT_EQ(migrations, 2);
+  EXPECT_EQ(deployment.client->completed(), 30);
+  *deployment.php_stop = true;
+}
+
+TEST(IntegrationTest, CheckpointDuringLempThenFinish) {
+  Cluster cluster(BigCluster());
+  WireClient(cluster, 4);
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(3);
+  config.external_node = 4;
+  AggregateVm vm(&cluster, config);
+
+  LempConfig lemp;
+  lemp.num_php_workers = 2;
+  lemp.processing_time = Millis(10);
+  lemp.response_bytes = 64 * 1024;
+  lemp.total_requests = 20;
+  LempDeployment deployment = DeployLemp(vm, lemp);
+  vm.Boot();
+  deployment.client->Start();
+
+  CheckpointService service(&cluster);
+  bool checkpointed = false;
+  cluster.loop().ScheduleAt(Millis(100), [&]() {
+    service.CheckpointVm(vm, 0, [&](CheckpointResult r) {
+      EXPECT_GT(r.bytes_written, 0u);
+      checkpointed = true;
+    });
+  });
+
+  RunUntil(cluster, [&]() { return deployment.client->Done() && checkpointed; }, Seconds(600));
+  EXPECT_TRUE(checkpointed);
+  EXPECT_TRUE(deployment.client->Done());
+  *deployment.php_stop = true;
+}
+
+TEST(IntegrationTest, SchedulerDrivesRealMigrations) {
+  Cluster::Config cc;
+  cc.num_nodes = 4;
+  cc.pcpus_per_node = 12;
+  Cluster cluster(cc);
+  FragVisor hypervisor(&cluster);
+
+  FragBffScheduler::Config sc;
+  sc.num_nodes = 4;
+  sc.cpus_per_node = 12;
+  sc.policy = SchedPolicy::kMinNodes;
+  FragBffScheduler sched(&cluster.loop(), sc);
+
+  AggregateVm* vm = nullptr;
+  std::vector<NodeId> vcpu_node;
+  int mirrored = 0;
+  sched.set_on_place([&](int id, const std::map<NodeId, int>& alloc) {
+    if (id != 100) {
+      return;
+    }
+    AggregateVmConfig config;
+    for (const auto& [node, count] : alloc) {
+      for (int i = 0; i < count; ++i) {
+        config.placement.push_back(VcpuPlacement{node, i});
+        vcpu_node.push_back(node);
+      }
+    }
+    vm = &hypervisor.CreateVm(config);
+    for (int v = 0; v < vm->num_vcpus(); ++v) {
+      vm->SetWorkload(v, std::make_unique<ScriptedStream>(
+                             std::vector<Op>{Op::Compute(Seconds(20))}));
+    }
+    vm->Boot();
+  });
+  sched.set_on_migrate([&](int id, NodeId from, NodeId to, int count) {
+    if (id != 100 || vm == nullptr) {
+      return;
+    }
+    for (int moved = 0; moved < count; ++moved) {
+      for (size_t v = 0; v < vcpu_node.size(); ++v) {
+        if (vcpu_node[v] == from) {
+          vcpu_node[v] = to;
+          vm->MigrateVcpu(static_cast<int>(v), to, 4 + moved, [&]() { ++mirrored; });
+          break;
+        }
+      }
+    }
+  });
+
+  // Fragment, then a 4-vCPU request that must aggregate; one blocker departs.
+  sched.Submit(VmRequest{0, 10, Seconds(60), Seconds(0)});
+  sched.Submit(VmRequest{1, 10, Seconds(5), Seconds(0)});
+  sched.Submit(VmRequest{2, 12, Seconds(60), Seconds(0)});
+  sched.Submit(VmRequest{3, 12, Seconds(60), Seconds(0)});
+  sched.Submit(VmRequest{100, 4, Seconds(60), Seconds(1)});
+  cluster.loop().RunUntil(Seconds(10));
+
+  ASSERT_NE(vm, nullptr);
+  EXPECT_EQ(sched.AllocationOf(100).size(), 1u);  // consolidated by the scheduler
+  RunUntil(cluster, [&]() { return mirrored >= 2; }, Seconds(30));
+  EXPECT_GE(mirrored, 2);
+  EXPECT_EQ(vm->NodesInUse().size(), 1u);  // and the real VM followed
+}
+
+TEST(IntegrationTest, ConcurrentWritesMatchFig5Shape) {
+  auto run = [](bool shared) {
+    Cluster cluster(BigCluster());
+    AggregateVmConfig config;
+    config.placement = DistributedPlacement(4);
+    AggregateVm vm(&cluster, config);
+    const PageNum page = vm.space().AllocHeapRange(1, 0);
+    for (int v = 0; v < 4; ++v) {
+      const PageNum target = shared ? page : vm.space().AllocHeapRange(1, 0);
+      vm.SetWorkload(v, std::make_unique<ConcurrentWriteStream>(&cluster.loop(), target,
+                                                                Millis(21), Nanos(60)));
+    }
+    vm.Boot();
+    RunUntilVmDone(cluster, vm, Seconds(60));
+    uint64_t writes = 0;
+    for (int v = 0; v < 4; ++v) {
+      writes += vm.vcpu(v).exec_stats().mem_writes;
+    }
+    return writes;
+  };
+  const uint64_t no_sharing = run(false);
+  const uint64_t max_sharing = run(true);
+  EXPECT_GT(no_sharing, 3 * max_sharing);  // sharing destroys the aggregate rate
+}
+
+TEST(IntegrationTest, FaasDeterministicAcrossRuns) {
+  auto run = []() {
+    Cluster cluster(BigCluster());
+    WireClient(cluster, 4);
+    AggregateVmConfig config;
+    config.placement = DistributedPlacement(2);
+    config.external_node = 4;
+    config.blk_backend = BlkBackend::kTmpfs;
+    AggregateVm vm(&cluster, config);
+    FaasConfig faas;
+    faas.download_bytes = 1 << 20;
+    faas.extract_bytes = 2 << 20;
+    faas.detect_compute = Millis(20);
+    auto stats = std::make_shared<FaasPhaseStats>();
+    vm.SetWorkload(0, std::make_unique<FaasWorkerStream>(&vm, 0, faas, stats.get()));
+    vm.SetWorkload(1, std::make_unique<FaasWorkerStream>(&vm, 1, faas, stats.get()));
+    vm.Boot();
+    FaasStartDownloads(vm, faas, 2);
+    const TimeNs end = RunUntilVmDone(cluster, vm, Seconds(600));
+    EXPECT_TRUE(vm.AllFinished());
+    return std::make_pair(end, vm.dsm().stats().protocol_messages.value());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace fragvisor

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/io/console.h"
+#include "src/io/dsm_transfer.h"
+#include "src/io/virtio_blk.h"
+#include "src/io/virtio_net.h"
+#include "src/mem/gpa_space.h"
+
+namespace fragvisor {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  static constexpr NodeId kBackend = 0;
+  static constexpr NodeId kExternal = 3;
+
+  IoTest() : fabric_(&loop_, 4, LinkParams::InfiniBand56G()), costs_(CostModel::Default()) {
+    fabric_.SetLinkParams(kBackend, kExternal, LinkParams::Ethernet1G());
+    fabric_.SetLinkParams(kExternal, kBackend, LinkParams::Ethernet1G());
+    DsmEngine::Options opts;
+    opts.home = 0;
+    opts.num_nodes = 4;
+    dsm_ = std::make_unique<DsmEngine>(&loop_, &fabric_, &costs_, opts);
+    GuestAddressSpace::Layout layout;
+    layout.heap_pages = 1 << 16;
+    space_ = std::make_unique<GuestAddressSpace>(dsm_.get(), layout, std::vector<NodeId>{0, 1, 2});
+    // vCPU i on node i.
+    locator_ = [](int vcpu) { return static_cast<NodeId>(vcpu); };
+  }
+
+  std::unique_ptr<VirtioNetDev> MakeNet(bool multiqueue, bool bypass) {
+    VirtioNetConfig config;
+    config.backend_node = kBackend;
+    config.multiqueue = multiqueue;
+    config.dsm_bypass = bypass;
+    config.num_vcpus = 3;
+    config.external_node = kExternal;
+    auto dev = std::make_unique<VirtioNetDev>(&loop_, &fabric_, dsm_.get(), space_.get(),
+                                              &costs_, config, locator_);
+    dev->set_rx_sink([this](int vcpu, uint64_t bytes, PageNum first, uint64_t pages) {
+      rx_events_.push_back({vcpu, bytes, first, pages});
+    });
+    return dev;
+  }
+
+  struct RxEvent {
+    int vcpu;
+    uint64_t bytes;
+    PageNum copy_first;
+    uint64_t copy_pages;
+  };
+
+  EventLoop loop_;
+  Fabric fabric_;
+  CostModel costs_;
+  std::unique_ptr<DsmEngine> dsm_;
+  std::unique_ptr<GuestAddressSpace> space_;
+  VirtioNetDev::LocatorFn locator_;
+  std::vector<RxEvent> rx_events_;
+};
+
+TEST_F(IoTest, PagesFor) {
+  EXPECT_EQ(PagesFor(0), 0u);
+  EXPECT_EQ(PagesFor(1), 1u);
+  EXPECT_EQ(PagesFor(4096), 1u);
+  EXPECT_EQ(PagesFor(4097), 2u);
+  EXPECT_EQ(PagesFor(2 << 20), 512u);
+}
+
+TEST_F(IoTest, DsmSequentialAccessAllHits) {
+  dsm_->SeedRange(1000, 8, 1);
+  bool done = false;
+  DsmSequentialAccess(dsm_.get(), 1, 1000, 8, false, [&]() { done = true; });
+  EXPECT_TRUE(done);  // all local: completes synchronously
+}
+
+TEST_F(IoTest, DsmSequentialAccessFaultsInOrder) {
+  dsm_->SeedRange(1000, 4, 0);
+  bool done = false;
+  DsmSequentialAccess(dsm_.get(), 2, 1000, 4, false, [&]() { done = true; });
+  EXPECT_FALSE(done);
+  loop_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dsm_->stats().read_faults.value(), 4u);
+  for (PageNum p = 1000; p < 1004; ++p) {
+    EXPECT_NE(dsm_->ResidentAccess(2, p), PageAccess::kNone);
+  }
+}
+
+TEST_F(IoTest, DsmSequentialAccessZeroCount) {
+  bool done = false;
+  DsmSequentialAccess(dsm_.get(), 1, 0, 0, true, [&]() { done = true; });
+  EXPECT_TRUE(done);
+}
+
+TEST_F(IoTest, LocalTxReachesExternal) {
+  auto net = MakeNet(true, true);
+  uint64_t wire_bytes = 0;
+  net->set_on_wire_tx([&](uint64_t b) { wire_bytes += b; });
+  bool sent = false;
+  net->GuestSend(0, 100000, [&]() { sent = true; });
+  loop_.Run();
+  EXPECT_TRUE(sent);
+  EXPECT_EQ(wire_bytes, 100000u);
+  EXPECT_EQ(net->stats().tx_packets.value(), 1u);
+  EXPECT_EQ(net->stats().delegated_tx.value(), 0u);
+}
+
+TEST_F(IoTest, DelegatedTxCountsAndDelivers) {
+  auto net = MakeNet(true, true);
+  uint64_t wire_bytes = 0;
+  net->set_on_wire_tx([&](uint64_t b) { wire_bytes += b; });
+  net->GuestSend(2, 50000, []() {});
+  loop_.Run();
+  EXPECT_EQ(wire_bytes, 50000u);
+  EXPECT_EQ(net->stats().delegated_tx.value(), 1u);
+}
+
+TEST_F(IoTest, GuestSendReturnsBeforeWireDelivery) {
+  auto net = MakeNet(true, true);
+  TimeNs sent_at = -1;
+  TimeNs delivered_at = -1;
+  net->set_on_wire_tx([&](uint64_t) { delivered_at = loop_.now(); });
+  net->GuestSend(1, 1 << 20, [&]() { sent_at = loop_.now(); });
+  loop_.Run();
+  EXPECT_GE(sent_at, 0);
+  EXPECT_GT(delivered_at, sent_at);  // guest resumed long before the 1GbE wire finished
+  EXPECT_GE(delivered_at - sent_at, Millis(5));
+}
+
+TEST_F(IoTest, NonBypassDelegatedTxMovesPayloadViaDsm) {
+  auto net = MakeNet(true, false);
+  const uint64_t faults_before = dsm_->stats().read_faults.value();
+  bool wire = false;
+  net->set_on_wire_tx([&](uint64_t) { wire = true; });
+  net->GuestSend(1, 16 * 4096, []() {});
+  loop_.Run();
+  EXPECT_TRUE(wire);
+  // Backend demand-faulted 16 payload pages (plus ring traffic).
+  EXPECT_GE(dsm_->stats().read_faults.value() - faults_before, 16u);
+}
+
+TEST_F(IoTest, BypassTxSkipsDsmEntirely) {
+  auto net = MakeNet(true, true);
+  net->GuestSend(1, 16 * 4096, []() {});
+  loop_.Run();
+  EXPECT_EQ(dsm_->stats().total_faults(), 0u);
+}
+
+TEST_F(IoTest, SingleQueueSharesOneRingPage) {
+  auto net = MakeNet(false, false);
+  // Sends from two different remote vCPUs contend on the queue-0 ring.
+  net->GuestSend(1, 4096, []() {});
+  net->GuestSend(2, 4096, []() {});
+  loop_.Run();
+  // Ring page bounced: write faults from nodes 1 and 2.
+  EXPECT_GE(dsm_->stats().write_faults.value(), 2u);
+}
+
+TEST_F(IoTest, MultiqueueUsesPerVcpuRings) {
+  auto net = MakeNet(true, false);
+  net->GuestSend(1, 4096, []() {});
+  net->GuestSend(2, 4096, []() {});
+  loop_.Run();
+  const uint64_t contended = dsm_->stats().write_faults.value();
+  // Each vCPU's first ring write faults once (pages start at origin), but
+  // there is no ping-pong between 1 and 2.
+  auto net2 = MakeNet(true, false);
+  net2->GuestSend(1, 4096, []() {});
+  net2->GuestSend(1, 4096, []() {});
+  loop_.Run();
+  EXPECT_GE(contended, 2u);
+}
+
+TEST_F(IoTest, RxLocalDeliversWithoutCopyPages) {
+  auto net = MakeNet(true, true);
+  net->ReceiveFromExternal(0, 9000);
+  loop_.Run();
+  ASSERT_EQ(rx_events_.size(), 1u);
+  EXPECT_EQ(rx_events_[0].vcpu, 0);
+  EXPECT_EQ(rx_events_[0].bytes, 9000u);
+  EXPECT_EQ(rx_events_[0].copy_pages, 0u);
+  EXPECT_EQ(net->stats().delegated_rx.value(), 0u);
+}
+
+TEST_F(IoTest, RxDelegatedBypassPiggybacksPayload) {
+  auto net = MakeNet(true, true);
+  net->ReceiveFromExternal(2, 9000);
+  loop_.Run();
+  ASSERT_EQ(rx_events_.size(), 1u);
+  EXPECT_EQ(rx_events_[0].copy_pages, 0u);
+  EXPECT_EQ(net->stats().delegated_rx.value(), 1u);
+  EXPECT_EQ(dsm_->stats().total_faults(), 0u);
+}
+
+TEST_F(IoTest, RxDelegatedNoBypassChargesGuestCopy) {
+  auto net = MakeNet(true, false);
+  net->ReceiveFromExternal(2, 3 * 4096);
+  loop_.Run();
+  ASSERT_EQ(rx_events_.size(), 1u);
+  EXPECT_EQ(rx_events_[0].copy_pages, 3u);
+  // Backend wrote the pages remotely already (write faults happened).
+  EXPECT_GE(dsm_->stats().write_faults.value(), 3u);
+}
+
+TEST_F(IoTest, SendFromExternalTraversesClientLink) {
+  auto net = MakeNet(true, true);
+  net->SendFromExternal(0, 125000);
+  TimeNs delivered = -1;
+  loop_.Run();
+  ASSERT_EQ(rx_events_.size(), 1u);
+  delivered = loop_.now();
+  // 1 Gbps wire: 1 ms serialization + 100 us latency dominate.
+  EXPECT_GE(delivered, Millis(1));
+}
+
+// --- Block device ---
+
+std::unique_ptr<VirtioBlkDev> MakeBlk(IoTest& t, EventLoop* loop, Fabric* fabric, DsmEngine* dsm,
+                                      GuestAddressSpace* space, const CostModel* costs,
+                                      BlkBackend backend, bool bypass) {
+  (void)t;
+  VirtioBlkConfig config;
+  config.backend_node = 0;
+  config.backend = backend;
+  config.multiqueue = true;
+  config.dsm_bypass = bypass;
+  config.num_vcpus = 3;
+  return std::make_unique<VirtioBlkDev>(loop, fabric, dsm, space, costs, config,
+                                        [](int vcpu) { return static_cast<NodeId>(vcpu); });
+}
+
+TEST_F(IoTest, LocalBlkWriteLatency) {
+  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+                     BlkBackend::kVhostBlk, true);
+  bool done = false;
+  blk->GuestWrite(0, 500000, [&]() { done = true; });
+  loop_.Run();
+  EXPECT_TRUE(done);
+  // 500 KB at 500 MB/s = 1 ms (+ op latency).
+  EXPECT_GE(loop_.now(), Millis(1));
+  EXPECT_LT(loop_.now(), Millis(2));
+  EXPECT_EQ(blk->stats().writes.value(), 1u);
+}
+
+TEST_F(IoTest, DiskOpsSerialize) {
+  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+                     BlkBackend::kVhostBlk, true);
+  int done = 0;
+  blk->GuestWrite(0, 500000, [&]() { ++done; });
+  blk->GuestWrite(0, 500000, [&]() { ++done; });
+  loop_.Run();
+  EXPECT_EQ(done, 2);
+  EXPECT_GE(loop_.now(), Millis(2));  // two 1 ms ops back-to-back
+}
+
+TEST_F(IoTest, DelegatedBlkOpIsSlowerThanLocal) {
+  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+                     BlkBackend::kVhostBlk, true);
+  TimeNs local_done = -1;
+  blk->GuestWrite(0, 4096, [&]() { local_done = loop_.now(); });
+  loop_.Run();
+  const TimeNs local_latency = local_done;
+
+  auto blk2 = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+                      BlkBackend::kVhostBlk, true);
+  const TimeNs t0 = loop_.now();
+  TimeNs remote_done = -1;
+  blk2->GuestWrite(1, 4096, [&]() { remote_done = loop_.now(); });
+  loop_.Run();
+  EXPECT_GT(remote_done - t0, local_latency);
+  EXPECT_EQ(blk2->stats().delegated_ops.value(), 1u);
+}
+
+TEST_F(IoTest, BlkReadDelegatedNoBypassDoubleTransfers) {
+  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+                     BlkBackend::kVhostBlk, false);
+  bool done = false;
+  blk->GuestRead(2, 4 * 4096, [&]() { done = true; });
+  loop_.Run();
+  EXPECT_TRUE(done);
+  // The guest demand-faulted the 4 pages the backend wrote.
+  EXPECT_GE(dsm_->stats().read_faults.value(), 4u);
+}
+
+TEST_F(IoTest, TmpfsWriteFromRemoteFaults) {
+  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+                     BlkBackend::kTmpfs, true);
+  bool done = false;
+  blk->GuestWrite(1, 2 * 4096, [&]() { done = true; });
+  loop_.Run();
+  EXPECT_TRUE(done);
+  // tmpfs pages are origin-backed: remote writes fault.
+  EXPECT_GE(dsm_->stats().write_faults.value(), 2u);
+}
+
+TEST_F(IoTest, TmpfsLocalWriteIsCheap) {
+  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+                     BlkBackend::kTmpfs, true);
+  bool done = false;
+  blk->GuestWrite(0, 2 * 4096, [&]() { done = true; });
+  loop_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dsm_->stats().write_faults.value(), 0u);
+  EXPECT_LT(loop_.now(), Micros(10));
+}
+
+// --- Console ---
+
+TEST_F(IoTest, ConsoleLocalAndDelegated) {
+  ConsoleDev console(&loop_, &fabric_, &costs_, 0,
+                     [](int vcpu) { return static_cast<NodeId>(vcpu); });
+  int done = 0;
+  console.GuestWrite(0, "boot: hello", [&]() { ++done; });
+  console.GuestWrite(2, "remote: world", [&]() { ++done; });
+  loop_.Run();
+  EXPECT_EQ(done, 2);
+  ASSERT_EQ(console.lines().size(), 2u);
+  EXPECT_EQ(console.delegated_writes(), 1u);
+  EXPECT_EQ(console.lines()[0], "boot: hello");
+  EXPECT_EQ(console.lines()[1], "remote: world");
+}
+
+}  // namespace
+}  // namespace fragvisor

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+
+namespace fragvisor {
+namespace {
+
+TEST(LinkParamsTest, Profiles) {
+  const LinkParams ib = LinkParams::InfiniBand56G();
+  EXPECT_EQ(ib.latency, Nanos(1500));
+  EXPECT_DOUBLE_EQ(ib.bytes_per_second, 7e9);
+  const LinkParams eth = LinkParams::Ethernet1G();
+  EXPECT_EQ(eth.latency, Micros(100));
+  EXPECT_DOUBLE_EQ(eth.bytes_per_second, 1.25e8);
+}
+
+TEST(WireTimeTest, Computation) {
+  LinkParams p;
+  p.bytes_per_second = 1e9;
+  EXPECT_EQ(WireTime(p, 1000), Micros(1));
+  EXPECT_EQ(WireTime(p, 0), 0);
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : fabric_(&loop_, 4, LinkParams::InfiniBand56G()) {}
+
+  EventLoop loop_;
+  Fabric fabric_;
+};
+
+TEST_F(FabricTest, DeliveryTimeIsWirePlusLatency) {
+  TimeNs delivered = -1;
+  fabric_.Send(0, 1, MsgKind::kControl, 7000, [&]() { delivered = loop_.now(); });
+  loop_.Run();
+  // 7000 B at 7 GB/s = 1 us serialization + 1.5 us latency.
+  EXPECT_EQ(delivered, Micros(1) + Nanos(1500));
+}
+
+TEST_F(FabricTest, SameLinkSerializesFifo) {
+  std::vector<TimeNs> times;
+  for (int i = 0; i < 3; ++i) {
+    fabric_.Send(0, 1, MsgKind::kDsmPageData, 7000, [&]() { times.push_back(loop_.now()); });
+  }
+  loop_.Run();
+  ASSERT_EQ(times.size(), 3u);
+  // Serialization accumulates: 1us, 2us, 3us (+ fixed latency each).
+  EXPECT_EQ(times[0], Micros(1) + Nanos(1500));
+  EXPECT_EQ(times[1], Micros(2) + Nanos(1500));
+  EXPECT_EQ(times[2], Micros(3) + Nanos(1500));
+}
+
+TEST_F(FabricTest, DistinctLinksDoNotSerialize) {
+  std::vector<TimeNs> times;
+  fabric_.Send(0, 1, MsgKind::kControl, 7000, [&]() { times.push_back(loop_.now()); });
+  fabric_.Send(0, 2, MsgKind::kControl, 7000, [&]() { times.push_back(loop_.now()); });
+  fabric_.Send(2, 1, MsgKind::kControl, 7000, [&]() { times.push_back(loop_.now()); });
+  loop_.Run();
+  for (const TimeNs t : times) {
+    EXPECT_EQ(t, Micros(1) + Nanos(1500));
+  }
+}
+
+TEST_F(FabricTest, ReverseDirectionIsSeparateLink) {
+  TimeNs t01 = -1;
+  TimeNs t10 = -1;
+  fabric_.Send(0, 1, MsgKind::kControl, 7000, [&]() { t01 = loop_.now(); });
+  fabric_.Send(1, 0, MsgKind::kControl, 7000, [&]() { t10 = loop_.now(); });
+  loop_.Run();
+  EXPECT_EQ(t01, t10);  // full duplex
+}
+
+TEST_F(FabricTest, LoopbackIsImmediateAndUnaccounted) {
+  TimeNs delivered = -1;
+  fabric_.Send(2, 2, MsgKind::kDsmPageData, 1 << 20, [&]() { delivered = loop_.now(); });
+  loop_.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(fabric_.wire_bytes(), 0u);
+  EXPECT_EQ(fabric_.stats().total_messages.value(), 0u);
+}
+
+TEST_F(FabricTest, PerKindAccounting) {
+  fabric_.Send(0, 1, MsgKind::kIpi, 64, []() {});
+  fabric_.Send(0, 1, MsgKind::kIpi, 64, []() {});
+  fabric_.Send(1, 0, MsgKind::kDsmPageData, 4160, []() {});
+  loop_.Run();
+  const auto& stats = fabric_.stats();
+  EXPECT_EQ(stats.messages[static_cast<size_t>(MsgKind::kIpi)].value(), 2u);
+  EXPECT_EQ(stats.bytes[static_cast<size_t>(MsgKind::kIpi)].value(), 128u);
+  EXPECT_EQ(stats.messages[static_cast<size_t>(MsgKind::kDsmPageData)].value(), 1u);
+  EXPECT_EQ(stats.total_bytes.value(), 128u + 4160u);
+}
+
+TEST_F(FabricTest, LinkParamsOverride) {
+  fabric_.SetLinkParams(0, 3, LinkParams::Ethernet1G());
+  TimeNs slow = -1;
+  TimeNs fast = -1;
+  fabric_.Send(0, 3, MsgKind::kIoPayload, 125000, [&]() { slow = loop_.now(); });
+  fabric_.Send(0, 1, MsgKind::kIoPayload, 125000, [&]() { fast = loop_.now(); });
+  loop_.Run();
+  // 125000 B at 125 MB/s = 1 ms + 100 us latency on the slow link.
+  EXPECT_EQ(slow, Millis(1) + Micros(100));
+  EXPECT_LT(fast, Micros(20));
+}
+
+TEST_F(FabricTest, RequestResponseRoundTrip) {
+  TimeNs responded = -1;
+  fabric_.SendRequestResponse(0, 1, MsgKind::kControl, 64, 64, Micros(10),
+                              [&]() { responded = loop_.now(); });
+  loop_.Run();
+  const TimeNs one_way = WireTime(LinkParams::InfiniBand56G(), 64) + Nanos(1500);
+  EXPECT_EQ(responded, 2 * one_way + Micros(10));
+}
+
+TEST_F(FabricTest, MsgKindNames) {
+  EXPECT_STREQ(MsgKindName(MsgKind::kIpi), "ipi");
+  EXPECT_STREQ(MsgKindName(MsgKind::kDsmPageData), "dsm_page_data");
+  EXPECT_STREQ(MsgKindName(MsgKind::kVcpuMigration), "vcpu_migration");
+  EXPECT_STREQ(MsgKindName(MsgKind::kCount), "unknown");
+}
+
+}  // namespace
+}  // namespace fragvisor

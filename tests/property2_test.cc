@@ -1,0 +1,188 @@
+// Second property/parameterized batch: fabric ordering, pCPU fairness,
+// DSM at the node-count limit, prefetch safety under storms, and failover
+// under every failing node.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/ckpt/failover.h"
+#include "src/sim/rng.h"
+#include "src/core/fragvisor.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+namespace {
+
+// --- Fabric: FIFO per directed link, for any message size pattern ---
+
+class FabricFifoTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FabricFifoTest, DeliveriesPreserveSendOrderPerLink) {
+  EventLoop loop;
+  Fabric fabric(&loop, 3, LinkParams::InfiniBand56G());
+  Rng rng(GetParam());
+  std::vector<int> delivered_01;
+  std::vector<int> delivered_02;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t size = static_cast<uint64_t>(rng.UniformInt(1, 1 << 20));
+    const NodeId dst = rng.Chance(0.5) ? 1 : 2;
+    auto& log = dst == 1 ? delivered_01 : delivered_02;
+    fabric.Send(0, dst, MsgKind::kControl, size, [&log, i]() { log.push_back(i); });
+  }
+  loop.Run();
+  // Per-link delivery order equals send order (FIFO serialization), even
+  // though a small message sent after a huge one would be "faster" alone.
+  for (size_t i = 1; i < delivered_01.size(); ++i) {
+    ASSERT_LT(delivered_01[i - 1], delivered_01[i]);
+  }
+  for (size_t i = 1; i < delivered_02.size(); ++i) {
+    ASSERT_LT(delivered_02[i - 1], delivered_02[i]);
+  }
+  EXPECT_EQ(delivered_01.size() + delivered_02.size(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricFifoTest, ::testing::Values(1u, 7u, 99u));
+
+// --- PCpu: long-run fairness among equal tasks ---
+
+class PcpuFairnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PcpuFairnessTest, EqualTasksProgressEqually) {
+  const int tasks = GetParam();
+  Cluster::Config cc;
+  cc.num_nodes = 1;
+  Cluster cluster(cc);
+  AggregateVmConfig config;
+  config.placement = OvercommitPlacement(0, tasks, 1);
+  AggregateVm vm(&cluster, config);
+  for (int i = 0; i < tasks; ++i) {
+    vm.SetWorkload(i, std::make_unique<ScriptedStream>(
+                          std::vector<Op>{Op::Compute(Seconds(10))}));
+  }
+  vm.Boot();
+  cluster.loop().RunFor(Millis(400));
+  TimeNs min_progress = Seconds(100);
+  TimeNs max_progress = 0;
+  for (int i = 0; i < tasks; ++i) {
+    const TimeNs progress = vm.vcpu(i).exec_stats().compute_time;
+    min_progress = std::min(min_progress, progress);
+    max_progress = std::max(max_progress, progress);
+  }
+  EXPECT_GT(min_progress, 0);
+  // Round-robin: nobody is more than one timeslice ahead.
+  EXPECT_LE(max_progress - min_progress, cluster.costs().timeslice + Millis(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskCounts, PcpuFairnessTest, ::testing::Values(2, 3, 5, 8));
+
+// --- DSM at the supported node-count limit ---
+
+TEST(DsmLimitsTest, ThirtyTwoNodeStormKeepsInvariants) {
+  EventLoop loop;
+  Fabric fabric(&loop, 32, LinkParams::InfiniBand56G());
+  CostModel costs = CostModel::Default();
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 32;
+  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  dsm.SeedRange(0, 8, 0);
+  Rng rng(5);
+  int outstanding = 0;
+  for (int i = 0; i < 500; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.UniformInt(0, 31));
+    const PageNum page = static_cast<PageNum>(rng.UniformInt(0, 7));
+    ++outstanding;
+    if (dsm.Access(node, page, rng.Chance(0.5), [&outstanding]() { --outstanding; })) {
+      --outstanding;
+    }
+  }
+  loop.Run();
+  EXPECT_EQ(outstanding, 0);
+  EXPECT_EQ(dsm.CheckInvariants(), 8u);
+}
+
+// --- Prefetch safety: storms with prefetch on preserve invariants ---
+
+class PrefetchStormTest : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(PrefetchStormTest, InvariantsHoldWithPrefetch) {
+  const auto [depth, seed] = GetParam();
+  EventLoop loop;
+  Fabric fabric(&loop, 4, LinkParams::InfiniBand56G());
+  CostModel costs = CostModel::Default();
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 4;
+  opts.read_prefetch_pages = depth;
+  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  constexpr PageNum kPages = 64;
+  dsm.SeedRange(0, kPages, 0);
+  Rng rng(seed);
+  int outstanding = 0;
+  for (int i = 0; i < 500; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.UniformInt(0, 3));
+    const PageNum page = static_cast<PageNum>(rng.UniformInt(0, kPages - 1));
+    ++outstanding;
+    if (dsm.Access(node, page, rng.Chance(0.4), [&outstanding]() { --outstanding; })) {
+      --outstanding;
+    }
+    if (rng.Chance(0.3)) {
+      loop.RunFor(Micros(static_cast<int64_t>(rng.UniformInt(1, 30))));
+    }
+  }
+  loop.Run();
+  EXPECT_EQ(outstanding, 0);
+  EXPECT_EQ(dsm.CheckInvariants(), kPages);
+}
+
+INSTANTIATE_TEST_SUITE_P(DepthsAndSeeds, PrefetchStormTest,
+                         ::testing::Combine(::testing::Values(2, 8, 16),
+                                            ::testing::Values(3u, 17u)));
+
+// --- Failover works whichever node dies ---
+
+class FailoverSweepTest : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(FailoverSweepTest, RecoveryFromAnyNodeFailure) {
+  const NodeId victim = GetParam();
+  Cluster::Config cc;
+  cc.num_nodes = 4;
+  cc.pcpus_per_node = 4;
+  Cluster cluster(cc);
+  HealthMonitor::Config hc;
+  hc.heartbeat_interval = Millis(10);
+  HealthMonitor monitor(&cluster, hc);
+  monitor.StartHeartbeats((victim + 1) % 4);  // monitor must survive
+  FailoverManager::Config fc;
+  fc.checkpoint_interval = Millis(100);
+  fc.checkpoint_node = (victim + 1) % 4;  // image must survive too
+  FailoverManager manager(&cluster, &monitor, fc);
+
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(4);
+  config.layout.heap_pages = 1 << 16;
+  AggregateVm vm(&cluster, config);
+  for (int v = 0; v < 4; ++v) {
+    vm.SetWorkload(v, std::make_unique<ScriptedStream>(
+                          std::vector<Op>{Op::Compute(Millis(400))}));
+  }
+  vm.Boot();
+  manager.Protect(&vm);
+  cluster.loop().ScheduleAt(Millis(150), [&]() { monitor.InjectFailure(victim); });
+
+  RunUntilVmDone(cluster, vm, Seconds(120));
+  EXPECT_TRUE(vm.AllFinished());
+  EXPECT_EQ(manager.stats().failovers.value(), 1u);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_NE(vm.VcpuNode(v), victim);
+    EXPECT_EQ(vm.vcpu(v).exec_stats().compute_time, Millis(400));
+  }
+  EXPECT_EQ(vm.dsm().PagesOwnedBy(victim).size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Victims, FailoverSweepTest, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace fragvisor

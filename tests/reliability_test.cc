@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/ckpt/failover.h"
+#include "src/core/fragvisor.h"
+#include "src/host/health_monitor.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+namespace {
+
+Cluster::Config TestCluster() {
+  Cluster::Config config;
+  config.num_nodes = 4;
+  config.pcpus_per_node = 4;
+  return config;
+}
+
+TEST(HealthMonitorTest, StartsHealthy) {
+  Cluster cluster(TestCluster());
+  HealthMonitor monitor(&cluster, HealthMonitor::Config{});
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(monitor.health(n), NodeHealth::kHealthy);
+  }
+  EXPECT_EQ(monitor.HealthyNodes().size(), 4u);
+}
+
+TEST(HealthMonitorTest, NodeHealthNames) {
+  EXPECT_STREQ(NodeHealthName(NodeHealth::kHealthy), "healthy");
+  EXPECT_STREQ(NodeHealthName(NodeHealth::kDegraded), "degraded");
+  EXPECT_STREQ(NodeHealthName(NodeHealth::kFailed), "failed");
+}
+
+TEST(HealthMonitorTest, CorrectableErrorsDegradeAtThreshold) {
+  Cluster cluster(TestCluster());
+  HealthMonitor::Config config;
+  config.degraded_error_threshold = 3;
+  HealthMonitor monitor(&cluster, config);
+  NodeId degraded = kInvalidNode;
+  monitor.AddObserver([&](NodeId n, NodeHealth h) {
+    if (h == NodeHealth::kDegraded) {
+      degraded = n;
+    }
+  });
+  monitor.InjectCorrectableErrors(2, 2);
+  EXPECT_EQ(monitor.health(2), NodeHealth::kHealthy);
+  monitor.InjectCorrectableErrors(2, 1);
+  EXPECT_EQ(monitor.health(2), NodeHealth::kDegraded);
+  EXPECT_EQ(degraded, 2);
+  EXPECT_EQ(monitor.HealthyNodes().size(), 3u);
+}
+
+TEST(HealthMonitorTest, FailureWithoutHeartbeatsIsImmediate) {
+  Cluster cluster(TestCluster());
+  HealthMonitor monitor(&cluster, HealthMonitor::Config{});
+  int notified = 0;
+  monitor.AddObserver([&](NodeId, NodeHealth h) {
+    if (h == NodeHealth::kFailed) {
+      ++notified;
+    }
+  });
+  monitor.InjectFailure(1);
+  monitor.InjectFailure(1);  // idempotent
+  EXPECT_EQ(monitor.health(1), NodeHealth::kFailed);
+  EXPECT_EQ(notified, 1);
+  EXPECT_EQ(monitor.failures_detected(), 1u);
+}
+
+TEST(HealthMonitorTest, HeartbeatsDetectSilentNode) {
+  Cluster cluster(TestCluster());
+  HealthMonitor::Config config;
+  config.heartbeat_interval = Millis(10);
+  config.miss_threshold = 3;
+  HealthMonitor monitor(&cluster, config);
+  monitor.StartHeartbeats(0);
+  NodeId failed = kInvalidNode;
+  monitor.AddObserver([&](NodeId n, NodeHealth h) {
+    if (h == NodeHealth::kFailed) {
+      failed = n;
+    }
+  });
+  cluster.loop().RunUntil(Millis(100));
+  EXPECT_EQ(failed, kInvalidNode);  // everyone alive
+
+  monitor.InjectFailure(3);
+  EXPECT_EQ(monitor.health(3), NodeHealth::kHealthy);  // not yet detected
+  cluster.loop().RunUntil(Millis(200));
+  EXPECT_EQ(failed, 3);
+  EXPECT_EQ(monitor.health(3), NodeHealth::kFailed);
+  // Detection within ~miss_threshold+1 heartbeat intervals.
+  EXPECT_GT(monitor.last_detection_latency(), Millis(30) - Millis(11));
+  EXPECT_LT(monitor.last_detection_latency(), Millis(50));
+}
+
+TEST(DsmReseedTest, ReseedOwnedByMovesPages) {
+  Cluster cluster(TestCluster());
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 4;
+  CostModel costs = CostModel::Default();
+  DsmEngine dsm(&cluster.loop(), &cluster.fabric(), &costs, opts);
+  dsm.SeedRange(0, 10, 2);
+  dsm.SeedRange(10, 5, 1);
+  EXPECT_EQ(dsm.ReseedOwnedBy(2, 3), 10u);
+  EXPECT_EQ(dsm.PagesOwnedBy(2).size(), 0u);
+  EXPECT_EQ(dsm.PagesOwnedBy(3).size(), 10u);
+  EXPECT_EQ(dsm.PagesOwnedBy(1).size(), 5u);
+  dsm.CheckInvariants();
+}
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  FailoverTest()
+      : cluster_(TestCluster()),
+        monitor_(&cluster_, FastHealthConfig()),
+        manager_(&cluster_, &monitor_, FastFailoverConfig()) {}
+
+  static HealthMonitor::Config FastHealthConfig() {
+    HealthMonitor::Config config;
+    config.heartbeat_interval = Millis(10);
+    config.miss_threshold = 3;
+    return config;
+  }
+
+  static FailoverManager::Config FastFailoverConfig() {
+    FailoverManager::Config config;
+    config.checkpoint_interval = Millis(200);
+    config.checkpoint_node = 0;
+    return config;
+  }
+
+  AggregateVm& MakeVm(TimeNs per_vcpu_compute) {
+    AggregateVmConfig config;
+    config.placement = DistributedPlacement(3);
+    config.layout.heap_pages = 1 << 16;
+    vm_ = std::make_unique<AggregateVm>(&cluster_, config);
+    for (int v = 0; v < 3; ++v) {
+      vm_->SetWorkload(v, std::make_unique<ScriptedStream>(
+                              std::vector<Op>{Op::Compute(per_vcpu_compute)}));
+    }
+    vm_->Boot();
+    return *vm_;
+  }
+
+  Cluster cluster_;
+  HealthMonitor monitor_;
+  FailoverManager manager_;
+  std::unique_ptr<AggregateVm> vm_;
+};
+
+TEST_F(FailoverTest, PeriodicCheckpointsAreTaken) {
+  AggregateVm& vm = MakeVm(Millis(800));
+  manager_.Protect(&vm);
+  RunUntilVmDone(cluster_, vm, Seconds(30));
+  EXPECT_TRUE(vm.AllFinished());
+  EXPECT_GE(manager_.stats().checkpoints_taken.value(), 3u);
+}
+
+TEST_F(FailoverTest, DegradedNodeIsEvacuatedPreemptively) {
+  AggregateVm& vm = MakeVm(Millis(300));
+  manager_.Protect(&vm);
+  cluster_.loop().RunFor(Millis(50));
+  ASSERT_EQ(vm.VcpuNode(2), 2);
+
+  monitor_.InjectCorrectableErrors(2, 5);
+  RunUntil(cluster_, [&]() { return manager_.stats().vcpus_evacuated.value() >= 1; },
+           Seconds(10));
+  EXPECT_EQ(manager_.stats().vcpus_evacuated.value(), 1u);
+  EXPECT_NE(vm.VcpuNode(2), 2);  // moved off the degraded node
+  RunUntilVmDone(cluster_, vm, Seconds(30));
+  EXPECT_TRUE(vm.AllFinished());
+  // Evacuation is not a failover.
+  EXPECT_EQ(manager_.stats().failovers.value(), 0u);
+}
+
+TEST_F(FailoverTest, NodeFailureRecoversFromCheckpoint) {
+  monitor_.StartHeartbeats(0);
+  AggregateVm& vm = MakeVm(Millis(600));
+  manager_.Protect(&vm);
+
+  bool recovered = false;
+  manager_.set_on_recovery([&](AggregateVm*) { recovered = true; });
+
+  // Kill node 2 (hosting vCPU 2) mid-run.
+  cluster_.loop().ScheduleAt(Millis(300), [&]() { monitor_.InjectFailure(2); });
+  RunUntil(cluster_, [&]() { return recovered; }, Seconds(30));
+  ASSERT_TRUE(recovered);
+  EXPECT_EQ(manager_.stats().failovers.value(), 1u);
+  EXPECT_NE(vm.VcpuNode(2), 2);  // restarted on a survivor
+  EXPECT_EQ(vm.dsm().PagesOwnedBy(2).size(), 0u);  // pages re-homed
+
+  RunUntilVmDone(cluster_, vm, Seconds(60));
+  EXPECT_TRUE(vm.AllFinished());
+  // All compute completed despite the failure.
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(vm.vcpu(v).exec_stats().compute_time, Millis(600));
+  }
+  // Lost work is bounded by the checkpoint interval (+ detection).
+  EXPECT_GT(manager_.stats().lost_work_ns.mean(), 0.0);
+  EXPECT_LT(manager_.stats().lost_work_ns.mean(), 4.0e8);
+  EXPECT_GT(manager_.stats().recovery_time_ns.mean(), 0.0);
+}
+
+TEST_F(FailoverTest, FailureDuringCheckpointQuiesceIsHandled) {
+  monitor_.StartHeartbeats(0);
+  AggregateVm& vm = MakeVm(Millis(400));
+  manager_.Protect(&vm);  // immediate checkpoint: quiesce window right now
+  bool recovered = false;
+  manager_.set_on_recovery([&](AggregateVm*) { recovered = true; });
+  // The failure lands while the first checkpoint holds the vCPUs paused.
+  cluster_.loop().ScheduleAt(Micros(100), [&]() { monitor_.InjectFailure(2); });
+  RunUntilVmDone(cluster_, vm, Seconds(60));
+  EXPECT_TRUE(vm.AllFinished());
+  EXPECT_TRUE(recovered);
+  EXPECT_NE(vm.VcpuNode(2), 2);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(vm.vcpu(v).exec_stats().compute_time, Millis(400));
+  }
+}
+
+TEST_F(FailoverTest, DegradationDuringCheckpointQuiesceIsHandled) {
+  AggregateVm& vm = MakeVm(Millis(300));
+  manager_.Protect(&vm);
+  // Degradation arrives while the first checkpoint's quiesce is in progress.
+  cluster_.loop().ScheduleAt(Micros(100), [&]() { monitor_.InjectCorrectableErrors(2, 5); });
+  RunUntilVmDone(cluster_, vm, Seconds(60));
+  EXPECT_TRUE(vm.AllFinished());
+  EXPECT_NE(vm.VcpuNode(2), 2);  // evacuated, just a little later
+  EXPECT_EQ(manager_.stats().vcpus_evacuated.value(), 1u);
+}
+
+TEST_F(FailoverTest, FailureOfUntouchedNodeIsIgnored) {
+  monitor_.StartHeartbeats(0);
+  AggregateVm& vm = MakeVm(Millis(200));
+  manager_.Protect(&vm);
+  // Node 3 hosts no slice of this 3-vCPU VM (nodes 0-2) and owns no pages.
+  cluster_.loop().ScheduleAt(Millis(50), [&]() { monitor_.InjectFailure(3); });
+  RunUntilVmDone(cluster_, vm, Seconds(30));
+  EXPECT_TRUE(vm.AllFinished());
+  EXPECT_EQ(manager_.stats().failovers.value(), 0u);
+}
+
+}  // namespace
+}  // namespace fragvisor

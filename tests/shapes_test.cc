@@ -1,0 +1,123 @@
+// Reproduction-shape regression tests: the paper's headline claims, asserted
+// end-to-end with tolerances. If a calibration or protocol change breaks a
+// figure's shape, these fail before the bench output ever gets eyeballed.
+// (Scaled-down datasets; see EXPERIMENTS.md for the full sweeps.)
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace fragvisor {
+namespace bench {
+namespace {
+
+constexpr double kScale = 0.1;  // small datasets: shapes, not sweeps
+
+TimeNs RunSystem(System system, const char* bench_name, int vcpus, int pcpus = 1) {
+  bench::Setup setup;
+  setup.system = system;
+  setup.vcpus = vcpus;
+  setup.overcommit_pcpus = pcpus;
+  return RunNpbMultiProcess(setup, ScaleNpb(NpbByName(bench_name), kScale));
+}
+
+// Fig. 8: compute-bound NPB speedup vs overcommit-on-1-pCPU is near-linear.
+TEST(ShapeTest, Fig8ComputeBoundNearLinear) {
+  const double speedup = static_cast<double>(RunSystem(System::kOvercommit, "EP", 4)) /
+                         static_cast<double>(RunSystem(System::kFragVisor, "EP", 4));
+  EXPECT_GT(speedup, 3.7);
+  EXPECT_LT(speedup, 4.1);
+}
+
+// Fig. 8: IS is sub-linear (allocation-phase kernel contention) and the
+// worst scaler of the suite.
+TEST(ShapeTest, Fig8IsSubLinear) {
+  const double is_speedup = static_cast<double>(RunSystem(System::kOvercommit, "IS", 4)) /
+                            static_cast<double>(RunSystem(System::kFragVisor, "IS", 4));
+  EXPECT_GT(is_speedup, 1.5);
+  EXPECT_LT(is_speedup, 3.2);
+  const double ep_speedup = static_cast<double>(RunSystem(System::kOvercommit, "EP", 4)) /
+                            static_cast<double>(RunSystem(System::kFragVisor, "EP", 4));
+  EXPECT_LT(is_speedup, ep_speedup);
+}
+
+// Fig. 9: FragVisor beats GiantVM, modestly on compute-bound benchmarks and
+// by ~2x on IS.
+TEST(ShapeTest, Fig9FragVisorBeatsGiantVm) {
+  const double ep = static_cast<double>(RunSystem(System::kGiantVm, "EP", 4)) /
+                    static_cast<double>(RunSystem(System::kFragVisor, "EP", 4));
+  EXPECT_GT(ep, 1.2);
+  EXPECT_LT(ep, 1.7);
+  const double is = static_cast<double>(RunSystem(System::kGiantVm, "IS", 4)) /
+                    static_cast<double>(RunSystem(System::kFragVisor, "IS", 4));
+  EXPECT_GT(is, 1.5);
+  EXPECT_GT(is, ep);
+}
+
+// Sec. 7.2 optimized guest: vanilla guest costs allocation-heavy benchmarks
+// dearly on a distributed VM.
+TEST(ShapeTest, OptimizedGuestMattersForIs) {
+  bench::Setup optimized;
+  optimized.system = System::kFragVisor;
+  optimized.vcpus = 4;
+  bench::Setup vanilla = optimized;
+  vanilla.guest = GuestKernelConfig::Vanilla();
+  const NpbProfile profile = ScaleNpb(NpbByName("IS"), kScale);
+  const double gain = static_cast<double>(RunNpbMultiProcess(vanilla, profile)) /
+                      static_cast<double>(RunNpbMultiProcess(optimized, profile));
+  EXPECT_GT(gain, 2.0);
+}
+
+// Fig. 12: the LEMP crossover — FragVisor at or below overcommit for short
+// requests, clearly above for long ones; GiantVM ahead at the short end.
+TEST(ShapeTest, Fig12LempCrossover) {
+  auto run = [](System system, TimeNs processing) {
+    bench::Setup setup;
+    setup.system = system;
+    setup.vcpus = 4;
+    LempConfig lemp;
+    lemp.num_php_workers = 3;
+    lemp.processing_time = processing;
+    lemp.total_requests = 20;
+    return RunLemp(setup, lemp);
+  };
+  const double frag_25 = run(System::kFragVisor, Millis(25));
+  const double over_25 = run(System::kOvercommit, Millis(25));
+  const double giant_25 = run(System::kGiantVm, Millis(25));
+  EXPECT_LE(frag_25 / over_25, 1.05);   // no win for short requests
+  EXPECT_LT(frag_25, giant_25);         // GiantVM ahead at the short end
+
+  const double frag_250 = run(System::kFragVisor, Millis(250));
+  const double over_250 = run(System::kOvercommit, Millis(250));
+  const double giant_250 = run(System::kGiantVm, Millis(250));
+  EXPECT_GT(frag_250 / over_250, 2.0);  // clear win for long requests
+  EXPECT_GT(frag_250 / giant_250, 1.1); // and ahead of GiantVM
+}
+
+// Fig. 13: FaaS overall ordering and the download gap.
+TEST(ShapeTest, Fig13FaasOrderingAndDownloadGap) {
+  auto run = [](System system) {
+    bench::Setup setup;
+    setup.system = system;
+    setup.vcpus = 3;
+    FaasConfig faas;
+    faas.download_bytes = 2ull << 20;
+    faas.extract_bytes = 8ull << 20;
+    faas.detect_compute = Millis(300);
+    return RunFaas(setup, faas);
+  };
+  const FaasPhaseStats frag = run(System::kFragVisor);
+  const FaasPhaseStats over = run(System::kOvercommit);
+  const FaasPhaseStats giant = run(System::kGiantVm);
+  // FragVisor wins overall against both alternatives (whether GiantVM beats
+  // overcommit depends on the download/detect ratio; at the paper's scale it
+  // does, at this reduced scale its download cost can dominate).
+  EXPECT_LT(frag.total_ns.mean(), giant.total_ns.mean());
+  EXPECT_LT(frag.total_ns.mean(), over.total_ns.mean());
+  // Download: GiantVM's single user-space queue is several times slower.
+  EXPECT_GT(giant.download_ns.mean() / frag.download_ns.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fragvisor

@@ -1,0 +1,116 @@
+// Second sim batch: RunWhile semantics, cancellation edge cases, RNG fork
+// determinism, and stats edges.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+
+namespace fragvisor {
+namespace {
+
+TEST(EventLoop2Test, RunWhileStopsWithoutAdvancingTime) {
+  EventLoop loop;
+  int fired = 0;
+  loop.ScheduleAt(Micros(10), [&]() { ++fired; });
+  loop.ScheduleAt(Micros(20), [&]() { ++fired; });
+  loop.ScheduleAt(Micros(30), [&]() { ++fired; });
+  loop.RunWhile([&]() { return fired < 2; }, Seconds(1));
+  EXPECT_EQ(fired, 2);
+  // Time sits at the last dispatched event, not at some artificial deadline.
+  EXPECT_EQ(loop.now(), Micros(20));
+  EXPECT_EQ(loop.pending_count(), 1u);
+}
+
+TEST(EventLoop2Test, RunWhileHonorsDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.ScheduleAt(Micros(10), [&]() { ++fired; });
+  loop.ScheduleAt(Micros(100), [&]() { ++fired; });
+  loop.RunWhile([]() { return true; }, Micros(50));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoop2Test, RunWhileFalsePredicateRunsNothing) {
+  EventLoop loop;
+  bool fired = false;
+  loop.ScheduleAt(Micros(10), [&]() { fired = true; });
+  EXPECT_EQ(loop.RunWhile([]() { return false; }, Seconds(1)), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(loop.now(), 0);
+}
+
+TEST(EventLoop2Test, CancelledEventsSkippedByRunUntil) {
+  EventLoop loop;
+  int fired = 0;
+  const EventId a = loop.ScheduleAt(Micros(10), [&]() { ++fired; });
+  loop.ScheduleAt(Micros(20), [&]() { ++fired; });
+  const EventId c = loop.ScheduleAt(Micros(30), [&]() { ++fired; });
+  EXPECT_TRUE(loop.Cancel(a));
+  EXPECT_TRUE(loop.Cancel(c));
+  loop.RunUntil(Micros(100));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop2Test, CancelInsideCallback) {
+  EventLoop loop;
+  int fired = 0;
+  EventId later = kInvalidEventId;
+  later = loop.ScheduleAt(Micros(20), [&]() { ++fired; });
+  loop.ScheduleAt(Micros(10), [&]() { EXPECT_TRUE(loop.Cancel(later)); });
+  loop.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Rng2Test, ForkedStreamsAreReproducible) {
+  Rng parent_a(42);
+  Rng parent_b(42);
+  Rng child_a = parent_a.Fork();
+  Rng child_b = parent_b.Fork();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(child_a.NextU64(), child_b.NextU64());
+  }
+  // Parent streams stay in lockstep after the fork too.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(parent_a.NextU64(), parent_b.NextU64());
+  }
+}
+
+TEST(Stats2Test, SummaryResetAndSingleSample) {
+  Summary s;
+  s.Record(7.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Stats2Test, HistogramSmallSamplesLandInBucketZero) {
+  Histogram h;
+  h.Record(0.0);
+  h.Record(0.5);
+  h.Record(0.99);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_LE(h.Percentile(99), 0.99);
+}
+
+TEST(Stats2Test, HistogramHugeSamplesClampToLastBucket) {
+  Histogram h;
+  h.Record(1e30);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1e30);  // clamped to max
+}
+
+TEST(Stats2Test, TimeSeriesReset) {
+  TimeSeries ts;
+  ts.Append(1, 2.0);
+  ts.Reset();
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.MeanValue(), 0.0);
+}
+
+}  // namespace
+}  // namespace fragvisor

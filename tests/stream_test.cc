@@ -1,0 +1,181 @@
+// Op-level unit tests for the LEMP and FaaS workload streams (the
+// higher-level end-to-end behaviour is covered in workload_test.cc and
+// integration_test.cc).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/fragvisor.h"
+#include "src/workload/faas.h"
+#include "src/workload/lemp.h"
+
+namespace fragvisor {
+namespace {
+
+Cluster::Config TestCluster() {
+  Cluster::Config config;
+  config.num_nodes = 5;
+  config.pcpus_per_node = 4;
+  return config;
+}
+
+class LempStreamTest : public ::testing::Test {
+ protected:
+  LempStreamTest() : cluster_(TestCluster()) {
+    AggregateVmConfig config;
+    config.placement = DistributedPlacement(3);
+    config.external_node = 4;
+    for (NodeId n = 0; n < 4; ++n) {
+      cluster_.fabric().SetLinkParams(n, 4, LinkParams::Ethernet1G());
+      cluster_.fabric().SetLinkParams(4, n, LinkParams::Ethernet1G());
+    }
+    vm_ = std::make_unique<AggregateVm>(&cluster_, config);
+  }
+
+  Cluster cluster_;
+  std::unique_ptr<AggregateVm> vm_;
+};
+
+TEST_F(LempStreamTest, NginxIdlesWithPollAny) {
+  LempConfig config;
+  config.num_php_workers = 2;
+  config.total_requests = 5;
+  LempNginxStream nginx(vm_.get(), config);
+  // No input at all: the stream parks in PollAny.
+  EXPECT_EQ(nginx.Next().kind, Op::Kind::kPollAny);
+  EXPECT_EQ(nginx.Next().kind, Op::Kind::kPollAny);
+}
+
+TEST_F(LempStreamTest, NginxHaltsAfterServingAllRequests) {
+  LempConfig config;
+  config.num_php_workers = 2;
+  config.total_requests = 0;  // nothing to serve
+  LempNginxStream nginx(vm_.get(), config);
+  EXPECT_EQ(nginx.Next().kind, Op::Kind::kHalt);
+}
+
+TEST_F(LempStreamTest, PhpServesRequestShape) {
+  LempConfig config;
+  config.num_php_workers = 2;
+  config.processing_time = Millis(80);
+  auto stop = std::make_shared<bool>(false);
+  LempPhpStream php(vm_.get(), 1, config, stop);
+
+  EXPECT_EQ(php.Next().kind, Op::Kind::kSocketRecv);
+  // 8 processing chunks, each followed by kernel + private touches.
+  TimeNs compute = 0;
+  Op op = php.Next();
+  int mem_ops = 0;
+  while (op.kind != Op::Kind::kSocketSend) {
+    if (op.kind == Op::Kind::kCompute) {
+      compute += static_cast<TimeNs>(op.a);
+    } else if (op.kind == Op::Kind::kMemWrite) {
+      ++mem_ops;
+    }
+    op = php.Next();
+  }
+  EXPECT_EQ(compute, Millis(80));
+  EXPECT_GE(mem_ops, 8);
+  EXPECT_EQ(static_cast<int>(op.a), config.nginx_vcpu);
+  EXPECT_EQ(op.b, config.response_bytes);
+
+  // Stop flag halts before the next request.
+  *stop = true;
+  EXPECT_EQ(php.Next().kind, Op::Kind::kHalt);
+}
+
+TEST_F(LempStreamTest, ClientThroughputZeroBeforeCompletion) {
+  LempConfig config;
+  config.num_php_workers = 2;
+  LempClient client(vm_.get(), config);
+  EXPECT_EQ(client.completed(), 0);
+  EXPECT_FALSE(client.Done());
+  EXPECT_DOUBLE_EQ(client.Throughput(), 0.0);
+}
+
+class FaasStreamTest : public ::testing::Test {
+ protected:
+  FaasStreamTest() : cluster_(TestCluster()) {
+    AggregateVmConfig config;
+    config.placement = DistributedPlacement(2);
+    config.external_node = 4;
+    config.blk_backend = BlkBackend::kTmpfs;
+    vm_ = std::make_unique<AggregateVm>(&cluster_, config);
+  }
+
+  Cluster cluster_;
+  std::unique_ptr<AggregateVm> vm_;
+};
+
+TEST_F(FaasStreamTest, PhaseOpSequence) {
+  FaasConfig config;
+  config.download_bytes = 3000;  // 2 MTU packets
+  config.net_chunk_bytes = 1500;
+  config.extract_bytes = 128 * 1024;  // 2 fs chunks
+  config.fs_chunk_bytes = 64 * 1024;
+  config.detect_compute = Millis(1);
+  FaasPhaseStats stats;
+  FaasWorkerStream worker(vm_.get(), 0, config, &stats);
+
+  // Download: one NetRecv per packet.
+  EXPECT_EQ(worker.Next().kind, Op::Kind::kNetRecv);
+  EXPECT_EQ(worker.Next().kind, Op::Kind::kNetRecv);
+  // Extract: compute + BlkWrite pairs.
+  Op op = worker.Next();
+  EXPECT_EQ(op.kind, Op::Kind::kCompute);
+  op = worker.Next();
+  EXPECT_EQ(op.kind, Op::Kind::kBlkWrite);
+  EXPECT_EQ(op.a, config.fs_chunk_bytes);
+  worker.Next();
+  worker.Next();
+  // Detect: compute + reads until the request completes, then halt.
+  int detect_computes = 0;
+  op = worker.Next();
+  while (op.kind != Op::Kind::kHalt) {
+    if (op.kind == Op::Kind::kCompute) {
+      ++detect_computes;
+    } else {
+      EXPECT_EQ(op.kind, Op::Kind::kMemRead);
+    }
+    op = worker.Next();
+  }
+  EXPECT_EQ(detect_computes, 5);  // 1 ms / 200 us chunks
+  // Phase stats recorded exactly once per phase.
+  EXPECT_EQ(stats.download_ns.count(), 1u);
+  EXPECT_EQ(stats.extract_ns.count(), 1u);
+  EXPECT_EQ(stats.detect_ns.count(), 1u);
+  EXPECT_EQ(stats.total_ns.count(), 1u);
+}
+
+TEST_F(FaasStreamTest, MultipleRequestsRepeatThePipeline) {
+  FaasConfig config;
+  config.requests_per_worker = 3;
+  config.download_bytes = 1500;
+  config.extract_bytes = 64 * 1024;
+  config.detect_compute = Micros(200);
+  FaasPhaseStats stats;
+  FaasWorkerStream worker(vm_.get(), 0, config, &stats);
+  int recvs = 0;
+  Op op = worker.Next();
+  while (op.kind != Op::Kind::kHalt) {
+    if (op.kind == Op::Kind::kNetRecv) {
+      ++recvs;
+    }
+    op = worker.Next();
+  }
+  EXPECT_EQ(recvs, 3);
+  EXPECT_EQ(stats.total_ns.count(), 3u);
+}
+
+TEST_F(FaasStreamTest, StartDownloadsPushesAllPackets) {
+  FaasConfig config;
+  config.download_bytes = 6000;  // 4 packets
+  config.net_chunk_bytes = 1500;
+  FaasStartDownloads(*vm_, config, 2);
+  cluster_.loop().Run();
+  EXPECT_EQ(vm_->net()->stats().rx_packets.value(), 8u);  // 4 packets x 2 workers
+}
+
+}  // namespace
+}  // namespace fragvisor

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/cpu/guest_context.h"
+#include "src/cpu/vcpu.h"
+#include "src/host/node.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+namespace {
+
+// Guest context with scriptable behaviour: configurable hit set, fault
+// latency, and recording of every call.
+class FakeGuestContext : public GuestContext {
+ public:
+  explicit FakeGuestContext(EventLoop* loop) : loop_(loop) {}
+
+  bool MemAccess(NodeId node, PageNum page, bool is_write, std::function<void()> done) override {
+    ++accesses;
+    if (MemWouldHit(node, page, is_write)) {
+      return true;
+    }
+    ++faults;
+    // Resolve after fault_latency and grant residency.
+    loop_->ScheduleAfter(fault_latency, [this, page, done = std::move(done)]() {
+      resident[page] = true;
+      done();
+    });
+    return false;
+  }
+
+  bool MemWouldHit(NodeId node, PageNum page, bool is_write) const override {
+    (void)node;
+    (void)is_write;
+    auto it = resident.find(page);
+    return it != resident.end() && it->second;
+  }
+
+  void ExpandAlloc(int vcpu_id, uint64_t count, std::deque<Op>* out) override {
+    (void)vcpu_id;
+    ++allocs;
+    out->push_back(Op::Compute(static_cast<TimeNs>(count) * Nanos(100)));
+  }
+
+  void SocketSend(int from_vcpu, int to_vcpu, uint64_t bytes,
+                  std::function<void()> done) override {
+    (void)from_vcpu;
+    socket_sent[to_vcpu] += bytes;
+    loop_->ScheduleAfter(Micros(15), std::move(done));
+  }
+
+  bool SocketRecv(int vcpu, std::function<void()> done) override {
+    if (socket_ready) {
+      return true;
+    }
+    socket_waiter[vcpu] = std::move(done);
+    return false;
+  }
+
+  void NetSend(int vcpu, uint64_t bytes, std::function<void()> done) override {
+    (void)vcpu;
+    net_sent += bytes;
+    loop_->ScheduleAfter(Micros(3), std::move(done));
+  }
+
+  bool NetRecv(int vcpu, std::function<void()> done) override {
+    if (net_ready-- > 0) {
+      return true;
+    }
+    net_ready = 0;
+    net_waiter[vcpu] = std::move(done);
+    return false;
+  }
+
+  bool PollAny(int vcpu, std::function<void()> done) override {
+    (void)vcpu;
+    if (poll_ready) {
+      return true;
+    }
+    poll_waiter = std::move(done);
+    return false;
+  }
+
+  void BlkWrite(int vcpu, uint64_t bytes, std::function<void()> done) override {
+    (void)vcpu;
+    blk_written += bytes;
+    loop_->ScheduleAfter(Micros(100), std::move(done));
+  }
+
+  void BlkRead(int vcpu, uint64_t bytes, std::function<void()> done) override {
+    (void)vcpu;
+    blk_read += bytes;
+    loop_->ScheduleAfter(Micros(100), std::move(done));
+  }
+
+  EventLoop* loop_;
+  std::map<PageNum, bool> resident;
+  TimeNs fault_latency = Micros(20);
+  int accesses = 0;
+  int faults = 0;
+  int allocs = 0;
+  uint64_t net_sent = 0;
+  uint64_t blk_written = 0;
+  uint64_t blk_read = 0;
+  int net_ready = 0;
+  bool socket_ready = false;
+  bool poll_ready = false;
+  std::map<int, uint64_t> socket_sent;
+  std::map<int, std::function<void()>> socket_waiter;
+  std::map<int, std::function<void()>> net_waiter;
+  std::function<void()> poll_waiter;
+};
+
+class VCpuTest : public ::testing::Test {
+ protected:
+  VCpuTest() : costs_(CostModel::Default()), ctx_(&loop_), pcpu_(&loop_, 0, 0, &costs_) {}
+
+  VCpu& MakeVcpu(std::vector<Op> ops) {
+    streams_.push_back(std::make_unique<ScriptedStream>(std::move(ops)));
+    vcpus_.push_back(
+        std::make_unique<VCpu>(&loop_, &costs_, &ctx_, static_cast<int>(vcpus_.size()),
+                               streams_.back().get()));
+    vcpus_.back()->BindPCpu(&pcpu_, 0);
+    return *vcpus_.back();
+  }
+
+  EventLoop loop_;
+  CostModel costs_;
+  FakeGuestContext ctx_;
+  PCpu pcpu_;
+  std::vector<std::unique_ptr<ScriptedStream>> streams_;
+  std::vector<std::unique_ptr<VCpu>> vcpus_;
+};
+
+TEST_F(VCpuTest, ComputeConsumesExactTime) {
+  VCpu& v = MakeVcpu({Op::Compute(Millis(10))});
+  v.Start();
+  loop_.Run();
+  EXPECT_TRUE(v.finished());
+  EXPECT_EQ(loop_.now(), Millis(10));
+  EXPECT_EQ(v.exec_stats().compute_time, Millis(10));
+  EXPECT_EQ(v.exec_stats().ops_retired, 1u);
+}
+
+TEST_F(VCpuTest, ComputeSpansTimeslices) {
+  VCpu& v = MakeVcpu({Op::Compute(Millis(9))});
+  v.Start();
+  loop_.Run();
+  // 9 ms across 4 ms slices; single runnable task, no switch cost.
+  EXPECT_EQ(loop_.now(), Millis(9));
+}
+
+TEST_F(VCpuTest, MemHitIsCheap) {
+  ctx_.resident[7] = true;
+  VCpu& v = MakeVcpu({Op::MemRead(7), Op::MemWrite(7)});
+  v.Start();
+  loop_.Run();
+  EXPECT_TRUE(v.finished());
+  EXPECT_EQ(v.exec_stats().faults, 0u);
+  EXPECT_EQ(v.exec_stats().mem_reads, 1u);
+  EXPECT_EQ(v.exec_stats().mem_writes, 1u);
+  EXPECT_LT(loop_.now(), Micros(1));
+}
+
+TEST_F(VCpuTest, MemFaultBlocksForLatency) {
+  VCpu& v = MakeVcpu({Op::MemRead(9)});
+  v.Start();
+  loop_.Run();
+  EXPECT_TRUE(v.finished());
+  EXPECT_EQ(v.exec_stats().faults, 1u);
+  EXPECT_GE(loop_.now(), Micros(20));
+  EXPECT_GE(v.exec_stats().blocked_time, Micros(20));
+}
+
+TEST_F(VCpuTest, FaultedPageHitsAfterResolution) {
+  VCpu& v = MakeVcpu({Op::MemWrite(9), Op::MemWrite(9), Op::MemWrite(9)});
+  v.Start();
+  loop_.Run();
+  EXPECT_EQ(v.exec_stats().faults, 1u);
+  EXPECT_EQ(v.exec_stats().mem_writes, 3u);
+}
+
+TEST_F(VCpuTest, BlockedVcpuYieldsPcpu) {
+  VCpu& faulter = MakeVcpu({Op::MemRead(9)});
+  VCpu& computer = MakeVcpu({Op::Compute(Micros(5))});
+  faulter.Start();
+  computer.Start();
+  loop_.Run();
+  EXPECT_TRUE(faulter.finished());
+  EXPECT_TRUE(computer.finished());
+  // The compute vCPU ran during the fault: total well under fault + compute
+  // run serially on the 20us fault path.
+  EXPECT_LT(loop_.now(), Micros(20) + Micros(5) + Micros(5));
+}
+
+TEST_F(VCpuTest, SleepBlocksForDuration) {
+  VCpu& v = MakeVcpu({Op::Sleep(Millis(3))});
+  v.Start();
+  loop_.Run();
+  EXPECT_GE(loop_.now(), Millis(3));
+  EXPECT_TRUE(v.finished());
+}
+
+TEST_F(VCpuTest, AllocExpandsViaContext) {
+  VCpu& v = MakeVcpu({Op::AllocPages(100)});
+  v.Start();
+  loop_.Run();
+  EXPECT_EQ(ctx_.allocs, 1);
+  EXPECT_TRUE(v.finished());
+  // Expansion compute (100 * 100ns) executed.
+  EXPECT_GE(v.exec_stats().compute_time, Micros(10));
+}
+
+TEST_F(VCpuTest, NetSendAndBlkOps) {
+  VCpu& v = MakeVcpu({Op::NetSend(1500), Op::BlkWrite(4096), Op::BlkRead(8192)});
+  v.Start();
+  loop_.Run();
+  EXPECT_TRUE(v.finished());
+  EXPECT_EQ(ctx_.net_sent, 1500u);
+  EXPECT_EQ(ctx_.blk_written, 4096u);
+  EXPECT_EQ(ctx_.blk_read, 8192u);
+  EXPECT_GE(loop_.now(), Micros(203));
+}
+
+TEST_F(VCpuTest, NetRecvBlocksUntilDelivery) {
+  VCpu& v = MakeVcpu({Op::NetRecv(), Op::Compute(Micros(1))});
+  v.Start();
+  loop_.RunFor(Millis(1));
+  EXPECT_FALSE(v.finished());
+  EXPECT_EQ(v.life_state(), VCpu::LifeState::kBlocked);
+  // Deliver.
+  ASSERT_TRUE(ctx_.net_waiter.count(0));
+  ctx_.net_waiter[0]();
+  loop_.Run();
+  EXPECT_TRUE(v.finished());
+}
+
+TEST_F(VCpuTest, SocketRoundTrip) {
+  ctx_.socket_ready = true;
+  VCpu& v = MakeVcpu({Op::SocketSend(3, 1024), Op::SocketRecv()});
+  v.Start();
+  loop_.Run();
+  EXPECT_TRUE(v.finished());
+  EXPECT_EQ(ctx_.socket_sent[3], 1024u);
+}
+
+TEST_F(VCpuTest, PollAnyReadyRetiresImmediately) {
+  ctx_.poll_ready = true;
+  VCpu& v = MakeVcpu({Op::PollAny()});
+  v.Start();
+  loop_.Run();
+  EXPECT_TRUE(v.finished());
+}
+
+TEST_F(VCpuTest, RegsChangeAsOpsRetire) {
+  VCpu& v = MakeVcpu({Op::Compute(Micros(1)), Op::Compute(Micros(1))});
+  v.Start();
+  loop_.Run();
+  EXPECT_EQ(v.regs().pc, 2u);
+}
+
+TEST_F(VCpuTest, PushMicroOpsFrontRunBeforeStream) {
+  VCpu& v = MakeVcpu({Op::Compute(Micros(1))});
+  ctx_.resident[55] = true;
+  v.PushMicroOpsFront({Op::MemRead(55), Op::MemRead(55)});
+  v.Start();
+  loop_.Run();
+  EXPECT_EQ(v.exec_stats().mem_reads, 2u);
+  EXPECT_EQ(v.exec_stats().ops_retired, 3u);
+}
+
+TEST_F(VCpuTest, PauseWhileQueuedThenResume) {
+  VCpu& running = MakeVcpu({Op::Compute(Millis(20))});
+  VCpu& queued = MakeVcpu({Op::Compute(Millis(1))});
+  running.Start();
+  queued.Start();
+  bool paused = false;
+  queued.PauseWhenOffCpu([&]() { paused = true; });
+  EXPECT_TRUE(paused);  // it was only queued: pause is immediate
+  EXPECT_EQ(queued.life_state(), VCpu::LifeState::kPaused);
+  loop_.RunFor(Millis(30));
+  EXPECT_TRUE(running.finished());
+  EXPECT_FALSE(queued.finished());
+  queued.ResumeOn(&pcpu_, 0);
+  loop_.Run();
+  EXPECT_TRUE(queued.finished());
+}
+
+TEST_F(VCpuTest, PauseWhileRunningWaitsForSliceEnd) {
+  VCpu& v = MakeVcpu({Op::Compute(Millis(20))});
+  v.Start();
+  bool paused = false;
+  v.PauseWhenOffCpu([&]() { paused = true; });
+  EXPECT_FALSE(paused);  // currently on-CPU: pause lands at slice end
+  loop_.RunFor(costs_.timeslice + Micros(1));
+  EXPECT_TRUE(paused);
+  EXPECT_EQ(v.life_state(), VCpu::LifeState::kPaused);
+  v.ResumeOn(&pcpu_, 0);
+  loop_.Run();
+  EXPECT_TRUE(v.finished());
+  // Total compute preserved across the pause.
+  EXPECT_EQ(v.exec_stats().compute_time, Millis(20));
+}
+
+TEST_F(VCpuTest, PauseWhileBlockedResumesWaitOnNewPcpu) {
+  PCpu other(&loop_, 1, 0, &costs_);
+  ctx_.fault_latency = Millis(2);
+  VCpu& v = MakeVcpu({Op::MemRead(9), Op::Compute(Micros(1))});
+  v.Start();
+  loop_.RunFor(Micros(10));  // enter the fault
+  EXPECT_EQ(v.life_state(), VCpu::LifeState::kBlocked);
+  bool paused = false;
+  v.PauseWhenOffCpu([&]() { paused = true; });
+  EXPECT_TRUE(paused);
+  v.ResumeOn(&other, 1);
+  loop_.Run();
+  EXPECT_TRUE(v.finished());
+  EXPECT_EQ(v.node(), 1);
+  EXPECT_GT(other.busy_time(), 0);
+}
+
+TEST_F(VCpuTest, FinishedVcpuPauseAndResumeAreNoOps) {
+  VCpu& v = MakeVcpu({Op::Compute(Micros(1))});
+  v.Start();
+  loop_.Run();
+  EXPECT_TRUE(v.finished());
+  bool cb = false;
+  v.PauseWhenOffCpu([&]() { cb = true; });
+  EXPECT_TRUE(cb);
+  v.ResumeOn(&pcpu_, 0);  // no crash, stays finished
+  EXPECT_TRUE(v.finished());
+}
+
+TEST_F(VCpuTest, OnFinishedCallbackFires) {
+  VCpu& v = MakeVcpu({Op::Compute(Micros(1))});
+  VCpu* reported = nullptr;
+  v.set_on_finished([&](VCpu* done) { reported = done; });
+  v.Start();
+  loop_.Run();
+  EXPECT_EQ(reported, &v);
+}
+
+TEST_F(VCpuTest, NameIncludesId) {
+  VCpu& v0 = MakeVcpu({Op::Halt()});
+  VCpu& v1 = MakeVcpu({Op::Halt()});
+  EXPECT_EQ(v0.name(), "vcpu0");
+  EXPECT_EQ(v1.name(), "vcpu1");
+}
+
+TEST_F(VCpuTest, HaltWithoutStartStaysCreated) {
+  VCpu& v = MakeVcpu({Op::Halt()});
+  EXPECT_EQ(v.life_state(), VCpu::LifeState::kCreated);
+  v.Start();
+  loop_.Run();
+  EXPECT_TRUE(v.finished());
+}
+
+}  // namespace
+}  // namespace fragvisor

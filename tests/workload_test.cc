@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/fragvisor.h"
+#include "src/workload/faas.h"
+#include "src/workload/lemp.h"
+#include "src/workload/microbench.h"
+#include "src/workload/npb.h"
+#include "src/workload/omp.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+namespace {
+
+Cluster::Config TestCluster(int nodes = 4) {
+  Cluster::Config config;
+  config.num_nodes = nodes;
+  config.pcpus_per_node = 4;
+  return config;
+}
+
+TEST(StreamTest, ScriptedPlaysBackAndHalts) {
+  ScriptedStream s({Op::Compute(10), Op::MemRead(5)});
+  EXPECT_EQ(s.Next().kind, Op::Kind::kCompute);
+  EXPECT_EQ(s.Next().kind, Op::Kind::kMemRead);
+  EXPECT_EQ(s.Next().kind, Op::Kind::kHalt);
+  EXPECT_EQ(s.Next().kind, Op::Kind::kHalt);
+}
+
+TEST(StreamTest, GeneratorDelegates) {
+  int calls = 0;
+  GeneratorStream s([&]() {
+    ++calls;
+    return calls <= 2 ? Op::Compute(1) : Op::Halt();
+  });
+  EXPECT_EQ(s.Next().kind, Op::Kind::kCompute);
+  EXPECT_EQ(s.Next().kind, Op::Kind::kCompute);
+  EXPECT_EQ(s.Next().kind, Op::Kind::kHalt);
+}
+
+TEST(MicrobenchTest, SharingLoopEmitsComputeWriteRead) {
+  SharingLoopStream s(42, 2, Nanos(100));
+  EXPECT_EQ(s.Next().kind, Op::Kind::kCompute);
+  EXPECT_EQ(s.Next().kind, Op::Kind::kMemWrite);
+  Op w = s.Next();
+  EXPECT_EQ(w.kind, Op::Kind::kMemRead);
+  EXPECT_EQ(w.a, 42u);
+  // Second iteration then halt.
+  s.Next();
+  s.Next();
+  s.Next();
+  EXPECT_EQ(s.Next().kind, Op::Kind::kHalt);
+}
+
+TEST(MicrobenchTest, ConcurrentWriteStopsAtDeadline) {
+  EventLoop loop;
+  ConcurrentWriteStream s(&loop, 7, Micros(10), Nanos(10));
+  int ops = 0;
+  while (s.Next().kind != Op::Kind::kHalt) {
+    ++ops;
+    if (ops > 10) {
+      break;
+    }
+  }
+  EXPECT_GT(ops, 4);  // time hasn't advanced: keeps emitting
+  loop.ScheduleAt(Micros(11), []() {});
+  loop.Run();
+  EXPECT_EQ(s.Next().kind, Op::Kind::kHalt);
+}
+
+TEST(NpbTest, SuiteHasNineBenchmarks) {
+  EXPECT_EQ(NpbSuite().size(), 9u);
+  EXPECT_EQ(NpbByName("IS").name, "IS");
+  EXPECT_EQ(NpbByName("EP").alloc_pages, 128u);
+  EXPECT_GT(NpbByName("IS").alloc_pages, NpbByName("EP").alloc_pages);
+  EXPECT_GT(NpbByName("EP").compute_total, NpbByName("IS").compute_total);
+}
+
+TEST(NpbTest, SerialStreamRunsToCompletion) {
+  Cluster cluster(TestCluster());
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(2);
+  AggregateVm vm(&cluster, config);
+  NpbProfile tiny{"tiny", 64, Millis(5), Micros(20), 4, 0.5};
+  vm.SetWorkload(0, std::make_unique<NpbSerialStream>(&vm, 0, tiny, 1));
+  vm.SetWorkload(1, std::make_unique<NpbSerialStream>(&vm, 1, tiny, 2));
+  vm.Boot();
+  RunUntilVmDone(cluster, vm, Seconds(30));
+  ASSERT_TRUE(vm.AllFinished());
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_GE(vm.vcpu(i).exec_stats().compute_time, Millis(5));
+    EXPECT_GT(vm.vcpu(i).exec_stats().mem_writes, 64u);  // first touches + loop writes
+  }
+}
+
+TEST(OmpTest, SuiteSharingOrder) {
+  EXPECT_EQ(OmpSuite().size(), 5u);
+  EXPECT_LT(OmpByName("EP-OMP").sharing_fraction, 0.01);
+  EXPECT_GT(OmpByName("FT-OMP").sharing_fraction, OmpByName("CG-OMP").sharing_fraction);
+}
+
+TEST(OmpTest, HighSharingIsSlowerDistributed) {
+  auto run = [](double sharing) {
+    Cluster cluster(TestCluster());
+    AggregateVmConfig config;
+    config.placement = DistributedPlacement(2);
+    AggregateVm vm(&cluster, config);
+    OmpProfile p{"test", sharing, 8, Millis(5), Micros(5)};
+    OmpSharedRegion region = OmpSharedRegion::Create(vm, p.shared_pages);
+    vm.SetWorkload(0, std::make_unique<OmpThreadStream>(&vm, 0, p, region, 1));
+    vm.SetWorkload(1, std::make_unique<OmpThreadStream>(&vm, 1, p, region, 2));
+    vm.Boot();
+    return RunUntilVmDone(cluster, vm, Seconds(60));
+  };
+  const TimeNs low = run(0.002);
+  const TimeNs high = run(0.6);
+  EXPECT_GT(high, low * 2);
+}
+
+TEST(LempTest, EndToEndServesAllRequests) {
+  Cluster::Config cc = TestCluster(5);  // node 4 = client
+  Cluster cluster(cc);
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(3);
+  config.external_node = 4;
+  AggregateVm vm(&cluster, config);
+
+  LempConfig lemp;
+  lemp.num_php_workers = 2;
+  lemp.total_requests = 8;
+  lemp.concurrency = 4;
+  lemp.processing_time = Millis(5);
+  lemp.response_bytes = 256 * 1024;
+  LempDeployment deployment = DeployLemp(vm, lemp);
+  vm.Boot();
+  deployment.client->Start();
+  RunUntil(cluster, [&]() { return deployment.client->Done(); }, Seconds(120));
+  EXPECT_EQ(deployment.client->completed(), 8);
+  EXPECT_GT(deployment.client->Throughput(), 0.0);
+  EXPECT_EQ(deployment.client->request_latency_ns().count(), 8u);
+  EXPECT_GT(deployment.client->request_latency_ns().mean(), 0.0);
+  *deployment.php_stop = true;
+}
+
+TEST(LempTest, LongerProcessingLowersThroughput) {
+  auto run = [](TimeNs processing) {
+    Cluster cluster(TestCluster(5));
+    AggregateVmConfig config;
+    config.placement = DistributedPlacement(3);
+    config.external_node = 4;
+    AggregateVm vm(&cluster, config);
+    LempConfig lemp;
+    lemp.num_php_workers = 2;
+    lemp.total_requests = 6;
+    lemp.concurrency = 3;
+    lemp.processing_time = processing;
+    lemp.response_bytes = 64 * 1024;
+    LempDeployment d = DeployLemp(vm, lemp);
+    vm.Boot();
+    d.client->Start();
+    RunUntil(cluster, [&]() { return d.client->Done(); }, Seconds(300));
+    EXPECT_TRUE(d.client->Done());
+    return d.client->Throughput();
+  };
+  const double fast = run(Millis(5));
+  const double slow = run(Millis(50));
+  EXPECT_GT(fast, slow);
+}
+
+TEST(FaasTest, PhasesRecorded) {
+  Cluster cluster(TestCluster(5));
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(2);
+  config.external_node = 4;
+  config.blk_backend = BlkBackend::kTmpfs;
+  AggregateVm vm(&cluster, config);
+
+  FaasConfig faas;
+  faas.download_bytes = 1 << 20;
+  faas.extract_bytes = 2 << 20;
+  faas.detect_compute = Millis(10);
+  FaasPhaseStats stats;
+  vm.SetWorkload(0, std::make_unique<FaasWorkerStream>(&vm, 0, faas, &stats));
+  vm.SetWorkload(1, std::make_unique<FaasWorkerStream>(&vm, 1, faas, &stats));
+  vm.Boot();
+  FaasStartDownloads(vm, faas, 2);
+  RunUntilVmDone(cluster, vm, Seconds(300));
+  ASSERT_TRUE(vm.AllFinished());
+  EXPECT_EQ(stats.download_ns.count(), 2u);
+  EXPECT_EQ(stats.extract_ns.count(), 2u);
+  EXPECT_EQ(stats.detect_ns.count(), 2u);
+  EXPECT_EQ(stats.total_ns.count(), 2u);
+  EXPECT_GT(stats.download_ns.mean(), 0.0);
+  // Detection dominated by configured compute.
+  EXPECT_GE(stats.detect_ns.mean(), ToSeconds(Millis(10)) * 1e9 * 0.9);
+  // The remote worker's tmpfs extract writes faulted to the origin.
+  EXPECT_GT(vm.dsm().stats().write_faults.value(), 100u);
+}
+
+TEST(FaasTest, DownloadSlowerWithoutBypass) {
+  auto run = [](bool bypass) {
+    Cluster cluster(TestCluster(5));
+    AggregateVmConfig config;
+    config.placement = DistributedPlacement(2);
+    config.external_node = 4;
+    config.blk_backend = BlkBackend::kTmpfs;
+    config.io_multiqueue = bypass;
+    config.io_dsm_bypass = bypass;
+    AggregateVm vm(&cluster, config);
+    FaasConfig faas;
+    faas.download_bytes = 1 << 20;
+    faas.extract_bytes = 1 << 20;
+    faas.detect_compute = Millis(1);
+    auto stats = std::make_shared<FaasPhaseStats>();
+    vm.SetWorkload(0, std::make_unique<FaasWorkerStream>(&vm, 0, faas, stats.get()));
+    vm.SetWorkload(1, std::make_unique<FaasWorkerStream>(&vm, 1, faas, stats.get()));
+    vm.Boot();
+    FaasStartDownloads(vm, faas, 2);
+    RunUntilVmDone(cluster, vm, Seconds(300));
+    EXPECT_TRUE(vm.AllFinished());
+    return stats->download_ns.mean();
+  };
+  const double with_bypass = run(true);
+  const double without = run(false);
+  EXPECT_GT(without, with_bypass);
+}
+
+}  // namespace
+}  // namespace fragvisor

@@ -1,0 +1,190 @@
+// fvsim — command-line driver for ad-hoc FragVisor-Sim experiments.
+//
+// The bench/ binaries regenerate the paper's figures with fixed parameters;
+// this tool runs one configuration chosen on the command line, for quick
+// exploration:
+//
+//   fvsim npb  --bench IS --system fragvisor --vcpus 4 [--scale 0.25]
+//   fvsim lemp --system giantvm --vcpus 4 --processing-ms 100 --requests 40
+//   fvsim faas --system overcommit --vcpus 3 --detect-ms 400
+//   fvsim list
+//
+// Systems: fragvisor | giantvm | overcommit[:P]   (P = pCPUs, default 1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench/harness.h"
+#include "src/sim/trace.h"
+
+namespace fragvisor {
+namespace {
+
+using bench::Setup;
+using bench::System;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args.options[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args.options[arg] = argv[++i];
+    } else {
+      args.options[arg] = "1";
+    }
+  }
+  return args;
+}
+
+Setup MakeSetup(const Args& args) {
+  Setup setup;
+  setup.vcpus = args.GetInt("vcpus", 4);
+  const std::string system = args.Get("system", "fragvisor");
+  if (system == "fragvisor") {
+    setup.system = System::kFragVisor;
+  } else if (system == "giantvm") {
+    setup.system = System::kGiantVm;
+  } else if (system.rfind("overcommit", 0) == 0) {
+    setup.system = System::kOvercommit;
+    const size_t colon = system.find(':');
+    setup.overcommit_pcpus = colon == std::string::npos
+                                 ? 1
+                                 : std::atoi(system.substr(colon + 1).c_str());
+  } else {
+    std::fprintf(stderr, "unknown system '%s' (fragvisor|giantvm|overcommit[:P])\n",
+                 system.c_str());
+    std::exit(2);
+  }
+  if (args.Has("vanilla-guest")) {
+    setup.guest = GuestKernelConfig::Vanilla();
+  }
+  if (args.Has("no-multiqueue")) {
+    setup.io_multiqueue = false;
+  }
+  if (args.Has("no-bypass")) {
+    setup.io_dsm_bypass = false;
+  }
+  if (args.Has("no-contextual-dsm")) {
+    setup.contextual_dsm = false;
+  }
+  return setup;
+}
+
+int RunNpb(const Args& args) {
+  const Setup setup = MakeSetup(args);
+  const NpbProfile profile =
+      ScaleNpb(NpbByName(args.Get("bench", "CG")), args.GetDouble("scale", 0.25));
+  double faults = 0;
+  const TimeNs end = bench::RunNpbMultiProcess(setup, profile,
+                                               static_cast<uint64_t>(args.GetInt("seed", 1)),
+                                               &faults);
+  std::printf("%s x%d on %s: %.2f ms (%.0f DSM faults/s)\n", profile.name.c_str(), setup.vcpus,
+              bench::SystemName(setup.system), ToMillis(end), faults);
+  return 0;
+}
+
+int RunLempCmd(const Args& args) {
+  const Setup setup = MakeSetup(args);
+  LempConfig lemp;
+  lemp.num_php_workers = setup.vcpus - 1;
+  lemp.processing_time = Millis(args.GetInt("processing-ms", 100));
+  lemp.total_requests = args.GetInt("requests", 40);
+  lemp.concurrency = args.GetInt("concurrency", 10);
+  double faults = 0;
+  const double tput = bench::RunLemp(setup, lemp, &faults);
+  std::printf("LEMP %d vCPUs on %s, %d ms requests: %.1f req/s (%.0f DSM faults/s)\n",
+              setup.vcpus, bench::SystemName(setup.system),
+              args.GetInt("processing-ms", 100), tput, faults);
+  return 0;
+}
+
+int RunFaasCmd(const Args& args) {
+  const Setup setup = MakeSetup(args);
+  FaasConfig faas;
+  faas.download_bytes = static_cast<uint64_t>(args.GetInt("download-mb", 4)) << 20;
+  faas.extract_bytes = static_cast<uint64_t>(args.GetInt("extract-mb", 16)) << 20;
+  faas.detect_compute = Millis(args.GetInt("detect-ms", 400));
+  const FaasPhaseStats stats = bench::RunFaas(setup, faas);
+  std::printf("OpenLambda %d workers on %s: download %.1f ms, extract %.1f ms, "
+              "detect %.1f ms, total %.1f ms\n",
+              setup.vcpus, bench::SystemName(setup.system), stats.download_ns.mean() / 1e6,
+              stats.extract_ns.mean() / 1e6, stats.detect_ns.mean() / 1e6,
+              stats.total_ns.mean() / 1e6);
+  return 0;
+}
+
+int List() {
+  std::printf("commands:\n");
+  std::printf("  npb   --bench <name> --system <sys> --vcpus N [--scale F] [--seed N]\n");
+  std::printf("  lemp  --system <sys> --vcpus N [--processing-ms T] [--requests N]\n");
+  std::printf("  faas  --system <sys> --vcpus N [--detect-ms T] [--download-mb M]\n");
+  std::printf("  list\n\n");
+  std::printf("systems: fragvisor | giantvm | overcommit[:pcpus]\n");
+  std::printf("flags:   --vanilla-guest --no-multiqueue --no-bypass --no-contextual-dsm\n\n");
+  std::printf("NPB benchmarks:");
+  for (const NpbProfile& p : NpbSuite()) {
+    std::printf(" %s", p.name.c_str());
+  }
+  std::printf("\nOMP profiles:  ");
+  for (const OmpProfile& p : OmpSuite()) {
+    std::printf(" %s", p.name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (args.command == "npb") {
+    return RunNpb(args);
+  }
+  if (args.command == "lemp") {
+    return RunLempCmd(args);
+  }
+  if (args.command == "faas") {
+    return RunFaasCmd(args);
+  }
+  if (args.command == "list" || args.command.empty()) {
+    return List();
+  }
+  std::fprintf(stderr, "unknown command '%s'; try 'fvsim list'\n", args.command.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace fragvisor
+
+int main(int argc, char** argv) { return fragvisor::Main(argc, argv); }
