@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dsm_opts.dir/ablation_dsm_opts.cc.o"
+  "CMakeFiles/ablation_dsm_opts.dir/ablation_dsm_opts.cc.o.d"
+  "ablation_dsm_opts"
+  "ablation_dsm_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dsm_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_dsm_opts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dsm_prefetch.dir/ablation_dsm_prefetch.cc.o"
+  "CMakeFiles/ablation_dsm_prefetch.dir/ablation_dsm_prefetch.cc.o.d"
+  "ablation_dsm_prefetch"
+  "ablation_dsm_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dsm_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_giantvm_helpers.dir/ablation_giantvm_helpers.cc.o"
+  "CMakeFiles/ablation_giantvm_helpers.dir/ablation_giantvm_helpers.cc.o.d"
+  "ablation_giantvm_helpers"
+  "ablation_giantvm_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_giantvm_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_io_path.dir/ablation_io_path.cc.o"
+  "CMakeFiles/ablation_io_path.dir/ablation_io_path.cc.o.d"
+  "ablation_io_path"
+  "ablation_io_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_io_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

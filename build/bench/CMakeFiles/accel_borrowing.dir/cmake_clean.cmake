@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_borrowing.dir/accel_borrowing.cc.o"
+  "CMakeFiles/accel_borrowing.dir/accel_borrowing.cc.o.d"
+  "accel_borrowing"
+  "accel_borrowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_borrowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

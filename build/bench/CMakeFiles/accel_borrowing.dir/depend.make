@@ -1,0 +1,2 @@
+# Empty dependencies file for accel_borrowing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidation_memory.dir/consolidation_memory.cc.o"
+  "CMakeFiles/consolidation_memory.dir/consolidation_memory.cc.o.d"
+  "consolidation_memory"
+  "consolidation_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidation_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_io.dir/distributed_io.cc.o"
+  "CMakeFiles/distributed_io.dir/distributed_io.cc.o.d"
+  "distributed_io"
+  "distributed_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

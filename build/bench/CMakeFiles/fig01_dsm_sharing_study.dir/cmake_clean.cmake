@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_dsm_sharing_study.dir/fig01_dsm_sharing_study.cc.o"
+  "CMakeFiles/fig01_dsm_sharing_study.dir/fig01_dsm_sharing_study.cc.o.d"
+  "fig01_dsm_sharing_study"
+  "fig01_dsm_sharing_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_dsm_sharing_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_dsm_sharing_study.
+# This may be replaced when dependencies are built.

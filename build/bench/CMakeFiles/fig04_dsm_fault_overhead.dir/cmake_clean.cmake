@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_dsm_fault_overhead.dir/fig04_dsm_fault_overhead.cc.o"
+  "CMakeFiles/fig04_dsm_fault_overhead.dir/fig04_dsm_fault_overhead.cc.o.d"
+  "fig04_dsm_fault_overhead"
+  "fig04_dsm_fault_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_dsm_fault_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_dsm_fault_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_concurrent_writes.dir/fig05_concurrent_writes.cc.o"
+  "CMakeFiles/fig05_concurrent_writes.dir/fig05_concurrent_writes.cc.o.d"
+  "fig05_concurrent_writes"
+  "fig05_concurrent_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_concurrent_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_net_delegation.dir/fig06_net_delegation.cc.o"
+  "CMakeFiles/fig06_net_delegation.dir/fig06_net_delegation.cc.o.d"
+  "fig06_net_delegation"
+  "fig06_net_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_net_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_storage_delegation.cc" "bench/CMakeFiles/fig07_storage_delegation.dir/fig07_storage_delegation.cc.o" "gcc" "bench/CMakeFiles/fig07_storage_delegation.dir/fig07_storage_delegation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/fv_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/fv_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fv_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/giantvm/CMakeFiles/fv_giantvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/fv_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fv_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_storage_delegation.dir/fig07_storage_delegation.cc.o"
+  "CMakeFiles/fig07_storage_delegation.dir/fig07_storage_delegation.cc.o.d"
+  "fig07_storage_delegation"
+  "fig07_storage_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_storage_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_npb_vs_overcommit.dir/fig08_npb_vs_overcommit.cc.o"
+  "CMakeFiles/fig08_npb_vs_overcommit.dir/fig08_npb_vs_overcommit.cc.o.d"
+  "fig08_npb_vs_overcommit"
+  "fig08_npb_vs_overcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_npb_vs_overcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

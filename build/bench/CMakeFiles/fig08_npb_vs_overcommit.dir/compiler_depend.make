@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_npb_vs_overcommit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_npb_vs_overcommit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_npb_vs_giantvm.dir/fig09_npb_vs_giantvm.cc.o"
+  "CMakeFiles/fig09_npb_vs_giantvm.dir/fig09_npb_vs_giantvm.cc.o.d"
+  "fig09_npb_vs_giantvm"
+  "fig09_npb_vs_giantvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_npb_vs_giantvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_optimized_guest.dir/fig10_optimized_guest.cc.o"
+  "CMakeFiles/fig10_optimized_guest.dir/fig10_optimized_guest.cc.o.d"
+  "fig10_optimized_guest"
+  "fig10_optimized_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_optimized_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_checkpoint.dir/fig11_checkpoint.cc.o"
+  "CMakeFiles/fig11_checkpoint.dir/fig11_checkpoint.cc.o.d"
+  "fig11_checkpoint"
+  "fig11_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

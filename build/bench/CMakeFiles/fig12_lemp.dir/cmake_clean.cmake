@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_lemp.dir/fig12_lemp.cc.o"
+  "CMakeFiles/fig12_lemp.dir/fig12_lemp.cc.o.d"
+  "fig12_lemp"
+  "fig12_lemp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_lemp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_openlambda.dir/fig13_openlambda.cc.o"
+  "CMakeFiles/fig13_openlambda.dir/fig13_openlambda.cc.o.d"
+  "fig13_openlambda"
+  "fig13_openlambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_openlambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

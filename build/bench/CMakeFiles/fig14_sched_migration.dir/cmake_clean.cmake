@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sched_migration.dir/fig14_sched_migration.cc.o"
+  "CMakeFiles/fig14_sched_migration.dir/fig14_sched_migration.cc.o.d"
+  "fig14_sched_migration"
+  "fig14_sched_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sched_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/fv_bench_harness.dir/harness.cc.o.d"
+  "libfv_bench_harness.a"
+  "libfv_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

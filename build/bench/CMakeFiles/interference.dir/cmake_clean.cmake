@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference.dir/interference.cc.o"
+  "CMakeFiles/interference.dir/interference.cc.o.d"
+  "interference"
+  "interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m1_vcpu_migration_cost.dir/m1_vcpu_migration_cost.cc.o"
+  "CMakeFiles/m1_vcpu_migration_cost.dir/m1_vcpu_migration_cost.cc.o.d"
+  "m1_vcpu_migration_cost"
+  "m1_vcpu_migration_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m1_vcpu_migration_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for m1_vcpu_migration_cost.
+# This may be replaced when dependencies are built.

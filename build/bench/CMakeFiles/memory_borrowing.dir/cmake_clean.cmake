@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_borrowing.dir/memory_borrowing.cc.o"
+  "CMakeFiles/memory_borrowing.dir/memory_borrowing.cc.o.d"
+  "memory_borrowing"
+  "memory_borrowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_borrowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

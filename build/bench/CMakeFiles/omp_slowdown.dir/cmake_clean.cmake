@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omp_slowdown.dir/omp_slowdown.cc.o"
+  "CMakeFiles/omp_slowdown.dir/omp_slowdown.cc.o.d"
+  "omp_slowdown"
+  "omp_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omp_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omp_slowdown.
+# This may be replaced when dependencies are built.

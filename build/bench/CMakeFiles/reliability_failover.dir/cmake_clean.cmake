@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_failover.dir/reliability_failover.cc.o"
+  "CMakeFiles/reliability_failover.dir/reliability_failover.cc.o.d"
+  "reliability_failover"
+  "reliability_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

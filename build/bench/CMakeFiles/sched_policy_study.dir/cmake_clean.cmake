@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_policy_study.dir/sched_policy_study.cc.o"
+  "CMakeFiles/sched_policy_study.dir/sched_policy_study.cc.o.d"
+  "sched_policy_study"
+  "sched_policy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_policy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

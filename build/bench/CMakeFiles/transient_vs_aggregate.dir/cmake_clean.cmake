@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_vs_aggregate.dir/transient_vs_aggregate.cc.o"
+  "CMakeFiles/transient_vs_aggregate.dir/transient_vs_aggregate.cc.o.d"
+  "transient_vs_aggregate"
+  "transient_vs_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_vs_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

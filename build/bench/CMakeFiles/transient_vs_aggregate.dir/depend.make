@@ -1,0 +1,2 @@
+# Empty dependencies file for transient_vs_aggregate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_defrag.dir/datacenter_defrag.cpp.o"
+  "CMakeFiles/datacenter_defrag.dir/datacenter_defrag.cpp.o.d"
+  "datacenter_defrag"
+  "datacenter_defrag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_defrag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

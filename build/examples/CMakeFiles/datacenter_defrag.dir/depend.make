@@ -1,0 +1,2 @@
+# Empty dependencies file for datacenter_defrag.
+# This may be replaced when dependencies are built.

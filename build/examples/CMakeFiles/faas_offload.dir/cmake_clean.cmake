@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_offload.dir/faas_offload.cpp.o"
+  "CMakeFiles/faas_offload.dir/faas_offload.cpp.o.d"
+  "faas_offload"
+  "faas_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

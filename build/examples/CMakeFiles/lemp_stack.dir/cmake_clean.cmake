@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemp_stack.dir/lemp_stack.cpp.o"
+  "CMakeFiles/lemp_stack.dir/lemp_stack.cpp.o.d"
+  "lemp_stack"
+  "lemp_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemp_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

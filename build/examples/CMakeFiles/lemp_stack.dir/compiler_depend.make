@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lemp_stack.
+# This may be replaced when dependencies are built.

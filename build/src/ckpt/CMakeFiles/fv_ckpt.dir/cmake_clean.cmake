@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_ckpt.dir/checkpoint.cc.o"
+  "CMakeFiles/fv_ckpt.dir/checkpoint.cc.o.d"
+  "CMakeFiles/fv_ckpt.dir/failover.cc.o"
+  "CMakeFiles/fv_ckpt.dir/failover.cc.o.d"
+  "libfv_ckpt.a"
+  "libfv_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

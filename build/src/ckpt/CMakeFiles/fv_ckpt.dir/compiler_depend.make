@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fv_ckpt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_core.dir/aggregate_vm.cc.o"
+  "CMakeFiles/fv_core.dir/aggregate_vm.cc.o.d"
+  "CMakeFiles/fv_core.dir/fragvisor.cc.o"
+  "CMakeFiles/fv_core.dir/fragvisor.cc.o.d"
+  "CMakeFiles/fv_core.dir/guest_kernel.cc.o"
+  "CMakeFiles/fv_core.dir/guest_kernel.cc.o.d"
+  "libfv_core.a"
+  "libfv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

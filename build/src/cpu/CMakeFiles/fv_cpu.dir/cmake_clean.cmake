@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_cpu.dir/vcpu.cc.o"
+  "CMakeFiles/fv_cpu.dir/vcpu.cc.o.d"
+  "libfv_cpu.a"
+  "libfv_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

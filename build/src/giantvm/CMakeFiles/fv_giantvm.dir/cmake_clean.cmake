@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_giantvm.dir/giantvm.cc.o"
+  "CMakeFiles/fv_giantvm.dir/giantvm.cc.o.d"
+  "libfv_giantvm.a"
+  "libfv_giantvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_giantvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

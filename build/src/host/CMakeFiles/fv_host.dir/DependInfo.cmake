@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/health_monitor.cc" "src/host/CMakeFiles/fv_host.dir/health_monitor.cc.o" "gcc" "src/host/CMakeFiles/fv_host.dir/health_monitor.cc.o.d"
+  "/root/repo/src/host/node.cc" "src/host/CMakeFiles/fv_host.dir/node.cc.o" "gcc" "src/host/CMakeFiles/fv_host.dir/node.cc.o.d"
+  "/root/repo/src/host/pcpu.cc" "src/host/CMakeFiles/fv_host.dir/pcpu.cc.o" "gcc" "src/host/CMakeFiles/fv_host.dir/pcpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_host.dir/health_monitor.cc.o"
+  "CMakeFiles/fv_host.dir/health_monitor.cc.o.d"
+  "CMakeFiles/fv_host.dir/node.cc.o"
+  "CMakeFiles/fv_host.dir/node.cc.o.d"
+  "CMakeFiles/fv_host.dir/pcpu.cc.o"
+  "CMakeFiles/fv_host.dir/pcpu.cc.o.d"
+  "libfv_host.a"
+  "libfv_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

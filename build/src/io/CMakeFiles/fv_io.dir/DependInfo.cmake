@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/accel.cc" "src/io/CMakeFiles/fv_io.dir/accel.cc.o" "gcc" "src/io/CMakeFiles/fv_io.dir/accel.cc.o.d"
+  "/root/repo/src/io/console.cc" "src/io/CMakeFiles/fv_io.dir/console.cc.o" "gcc" "src/io/CMakeFiles/fv_io.dir/console.cc.o.d"
+  "/root/repo/src/io/dsm_transfer.cc" "src/io/CMakeFiles/fv_io.dir/dsm_transfer.cc.o" "gcc" "src/io/CMakeFiles/fv_io.dir/dsm_transfer.cc.o.d"
+  "/root/repo/src/io/virtio_blk.cc" "src/io/CMakeFiles/fv_io.dir/virtio_blk.cc.o" "gcc" "src/io/CMakeFiles/fv_io.dir/virtio_blk.cc.o.d"
+  "/root/repo/src/io/virtio_net.cc" "src/io/CMakeFiles/fv_io.dir/virtio_net.cc.o" "gcc" "src/io/CMakeFiles/fv_io.dir/virtio_net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/fv_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fv_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_io.dir/accel.cc.o"
+  "CMakeFiles/fv_io.dir/accel.cc.o.d"
+  "CMakeFiles/fv_io.dir/console.cc.o"
+  "CMakeFiles/fv_io.dir/console.cc.o.d"
+  "CMakeFiles/fv_io.dir/dsm_transfer.cc.o"
+  "CMakeFiles/fv_io.dir/dsm_transfer.cc.o.d"
+  "CMakeFiles/fv_io.dir/virtio_blk.cc.o"
+  "CMakeFiles/fv_io.dir/virtio_blk.cc.o.d"
+  "CMakeFiles/fv_io.dir/virtio_net.cc.o"
+  "CMakeFiles/fv_io.dir/virtio_net.cc.o.d"
+  "libfv_io.a"
+  "libfv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_mem.dir/dsm.cc.o"
+  "CMakeFiles/fv_mem.dir/dsm.cc.o.d"
+  "CMakeFiles/fv_mem.dir/gpa_space.cc.o"
+  "CMakeFiles/fv_mem.dir/gpa_space.cc.o.d"
+  "libfv_mem.a"
+  "libfv_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_net.dir/fabric.cc.o"
+  "CMakeFiles/fv_net.dir/fabric.cc.o.d"
+  "libfv_net.a"
+  "libfv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

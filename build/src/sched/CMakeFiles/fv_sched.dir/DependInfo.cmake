@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/fragbff.cc" "src/sched/CMakeFiles/fv_sched.dir/fragbff.cc.o" "gcc" "src/sched/CMakeFiles/fv_sched.dir/fragbff.cc.o.d"
+  "/root/repo/src/sched/harvest.cc" "src/sched/CMakeFiles/fv_sched.dir/harvest.cc.o" "gcc" "src/sched/CMakeFiles/fv_sched.dir/harvest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_sched.dir/fragbff.cc.o"
+  "CMakeFiles/fv_sched.dir/fragbff.cc.o.d"
+  "CMakeFiles/fv_sched.dir/harvest.cc.o"
+  "CMakeFiles/fv_sched.dir/harvest.cc.o.d"
+  "libfv_sched.a"
+  "libfv_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

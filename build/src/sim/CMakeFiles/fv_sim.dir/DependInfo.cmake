@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_loop.cc" "src/sim/CMakeFiles/fv_sim.dir/event_loop.cc.o" "gcc" "src/sim/CMakeFiles/fv_sim.dir/event_loop.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/fv_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/fv_sim.dir/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/fv_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/fv_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/fv_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/fv_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_sim.dir/event_loop.cc.o"
+  "CMakeFiles/fv_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/fv_sim.dir/rng.cc.o"
+  "CMakeFiles/fv_sim.dir/rng.cc.o.d"
+  "CMakeFiles/fv_sim.dir/stats.cc.o"
+  "CMakeFiles/fv_sim.dir/stats.cc.o.d"
+  "CMakeFiles/fv_sim.dir/trace.cc.o"
+  "CMakeFiles/fv_sim.dir/trace.cc.o.d"
+  "libfv_sim.a"
+  "libfv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfv_sim.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_workload.dir/faas.cc.o"
+  "CMakeFiles/fv_workload.dir/faas.cc.o.d"
+  "CMakeFiles/fv_workload.dir/lemp.cc.o"
+  "CMakeFiles/fv_workload.dir/lemp.cc.o.d"
+  "CMakeFiles/fv_workload.dir/microbench.cc.o"
+  "CMakeFiles/fv_workload.dir/microbench.cc.o.d"
+  "CMakeFiles/fv_workload.dir/npb.cc.o"
+  "CMakeFiles/fv_workload.dir/npb.cc.o.d"
+  "CMakeFiles/fv_workload.dir/omp.cc.o"
+  "CMakeFiles/fv_workload.dir/omp.cc.o.d"
+  "libfv_workload.a"
+  "libfv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accel_test.cc" "tests/CMakeFiles/fv_tests.dir/accel_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/accel_test.cc.o.d"
+  "/root/repo/tests/ckpt_test.cc" "tests/CMakeFiles/fv_tests.dir/ckpt_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/ckpt_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/fv_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/dsm_test.cc" "tests/CMakeFiles/fv_tests.dir/dsm_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/dsm_test.cc.o.d"
+  "/root/repo/tests/grand_tour_test.cc" "tests/CMakeFiles/fv_tests.dir/grand_tour_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/grand_tour_test.cc.o.d"
+  "/root/repo/tests/guest_kernel_test.cc" "tests/CMakeFiles/fv_tests.dir/guest_kernel_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/guest_kernel_test.cc.o.d"
+  "/root/repo/tests/harvest_test.cc" "tests/CMakeFiles/fv_tests.dir/harvest_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/harvest_test.cc.o.d"
+  "/root/repo/tests/host_test.cc" "tests/CMakeFiles/fv_tests.dir/host_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/host_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/fv_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io2_test.cc" "tests/CMakeFiles/fv_tests.dir/io2_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/io2_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/fv_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/fv_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/property2_test.cc" "tests/CMakeFiles/fv_tests.dir/property2_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/property2_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/fv_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/reliability_test.cc" "tests/CMakeFiles/fv_tests.dir/reliability_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/reliability_test.cc.o.d"
+  "/root/repo/tests/sched_test.cc" "tests/CMakeFiles/fv_tests.dir/sched_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/sched_test.cc.o.d"
+  "/root/repo/tests/shapes_test.cc" "tests/CMakeFiles/fv_tests.dir/shapes_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/shapes_test.cc.o.d"
+  "/root/repo/tests/sim2_test.cc" "tests/CMakeFiles/fv_tests.dir/sim2_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/sim2_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/fv_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/stream_test.cc" "tests/CMakeFiles/fv_tests.dir/stream_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/stream_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/fv_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/vcpu_test.cc" "tests/CMakeFiles/fv_tests.dir/vcpu_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/vcpu_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/fv_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/fv_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/fv_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fv_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/fv_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fv_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/giantvm/CMakeFiles/fv_giantvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fv_core.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/fv_bench_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsim.dir/fvsim.cc.o"
+  "CMakeFiles/fvsim.dir/fvsim.cc.o.d"
+  "fvsim"
+  "fvsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
