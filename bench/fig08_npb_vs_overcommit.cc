@@ -9,10 +9,17 @@
 // most benchmarks, with IS (and, less so, FT) scaling worst because of
 // kernel-data-structure DSM contention in their allocation phases; vs 2-3
 // pCPUs, speedups around 1.75x; no gain from 3->4 vCPUs against 2 pCPUs.
+//
+// Cells of the (benchmark, vCPUs) grid are independent simulations; pass
+// --jobs N to compute them on N threads. Output is identical at any job
+// count (rows print in submission order).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/harness.h"
+#include "bench/runner.h"
 
 namespace fragvisor {
 namespace bench {
@@ -20,35 +27,42 @@ namespace {
 
 constexpr double kScale = 0.25;  // uniform dataset/compute scale for sweep speed
 
-void Run() {
+std::string RunCell(const NpbProfile& base, int vcpus) {
+  const NpbProfile profile = ScaleNpb(base, kScale);
+  Setup frag;
+  frag.system = System::kFragVisor;
+  frag.vcpus = vcpus;
+  const TimeNs aggregate_time = RunNpbMultiProcess(frag, profile);
+
+  std::vector<std::string> cells = {base.name, std::to_string(vcpus),
+                                    Fmt(ToMillis(aggregate_time))};
+  for (int pcpus = 1; pcpus <= 3; ++pcpus) {
+    if (pcpus >= vcpus) {
+      cells.push_back("-");
+      continue;
+    }
+    Setup over;
+    over.system = System::kOvercommit;
+    over.vcpus = vcpus;
+    over.overcommit_pcpus = pcpus;
+    const TimeNs overcommit_time = RunNpbMultiProcess(over, profile);
+    cells.push_back(
+        Fmt(static_cast<double>(overcommit_time) / static_cast<double>(aggregate_time)) + "x");
+  }
+  return FormatRow(cells, 14);
+}
+
+void Run(int jobs) {
   PrintHeader("Figure 8: multi-process NPB, Aggregate VM speedup over overcommit");
   PrintRow({"bench", "vCPUs", "aggregate(ms)", "vs 1 pCPU", "vs 2 pCPUs", "vs 3 pCPUs"}, 14);
-  for (const NpbProfile& base : NpbSuite()) {
-    const NpbProfile profile = ScaleNpb(base, kScale);
+  ParallelRunner runner(jobs);
+  const std::vector<NpbProfile> suite = NpbSuite();  // outlives the in-flight tasks
+  for (const NpbProfile& base : suite) {
     for (int vcpus = 2; vcpus <= 4; ++vcpus) {
-      Setup frag;
-      frag.system = System::kFragVisor;
-      frag.vcpus = vcpus;
-      const TimeNs aggregate_time = RunNpbMultiProcess(frag, profile);
-
-      std::vector<std::string> cells = {base.name, std::to_string(vcpus),
-                                        Fmt(ToMillis(aggregate_time))};
-      for (int pcpus = 1; pcpus <= 3; ++pcpus) {
-        if (pcpus >= vcpus) {
-          cells.push_back("-");
-          continue;
-        }
-        Setup over;
-        over.system = System::kOvercommit;
-        over.vcpus = vcpus;
-        over.overcommit_pcpus = pcpus;
-        const TimeNs overcommit_time = RunNpbMultiProcess(over, profile);
-        cells.push_back(
-            Fmt(static_cast<double>(overcommit_time) / static_cast<double>(aggregate_time)) + "x");
-      }
-      PrintRow(cells, 14);
+      runner.Submit([&base, vcpus]() { return RunCell(base, vcpus); });
     }
   }
+  runner.Finish();
   std::printf(
       "\nExpected shape (paper): 1.8x-3.9x vs 1 pCPU, IS/FT sub-linear (allocation-phase\n"
       "DSM contention); ~1.75x vs 2-3 pCPUs; 4 vCPUs vs 2 pCPUs ~= 3 vCPUs vs 2 pCPUs.\n");
@@ -58,7 +72,7 @@ void Run() {
 }  // namespace bench
 }  // namespace fragvisor
 
-int main() {
-  fragvisor::bench::Run();
+int main(int argc, char** argv) {
+  fragvisor::bench::Run(fragvisor::bench::ParseJobsFlag(argc, argv));
   return 0;
 }

@@ -1,0 +1,98 @@
+#include "bench/runner.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fragvisor {
+namespace bench {
+
+ParallelRunner::ParallelRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ParallelRunner::StartWorkers() {
+  // Called under mu_.
+  while (workers_.size() < static_cast<size_t>(jobs_)) {
+    workers_.emplace_back([this]() { WorkerMain(); });
+  }
+}
+
+void ParallelRunner::Submit(std::function<std::string()> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  tasks_.push_back(std::move(task));
+  results_.emplace_back();
+  StartWorkers();
+  lock.unlock();
+  work_cv_.notify_one();
+}
+
+void ParallelRunner::WorkerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this]() { return shutdown_ || next_task_ < tasks_.size(); });
+    if (next_task_ >= tasks_.size()) {
+      return;  // shutdown with the queue drained
+    }
+    const size_t idx = next_task_++;
+    // Move the task out under the lock (Submit may grow the vector), then
+    // run unlocked: tasks are independent simulations.
+    std::function<std::string()> task = std::move(tasks_[idx]);
+    lock.unlock();
+    std::string result = task();
+    lock.lock();
+    results_[idx] = std::move(result);
+    ++completed_;
+    if (completed_ == tasks_.size()) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelRunner::Finish(std::FILE* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this]() { return completed_ == tasks_.size(); });
+  for (const std::string& result : results_) {
+    std::fwrite(result.data(), 1, result.size(), out);
+  }
+  std::fflush(out);
+  tasks_.clear();
+  results_.clear();
+  next_task_ = 0;
+  completed_ = 0;
+}
+
+std::string FormatRow(const std::vector<std::string>& cells, int width) {
+  std::string row;
+  for (const std::string& cell : cells) {
+    row += cell;
+    const size_t pad =
+        cell.size() < static_cast<size_t>(width) ? static_cast<size_t>(width) - cell.size() : 0;
+    row.append(pad, ' ');
+  }
+  row += '\n';
+  return row;
+}
+
+int ParseJobsFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      return std::atoi(argv[i] + 7);
+    }
+  }
+  return 1;
+}
+
+}  // namespace bench
+}  // namespace fragvisor

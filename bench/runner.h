@@ -1,0 +1,74 @@
+// Thread-pool runner for independent bench configurations.
+//
+// Every simulation is single-threaded and deterministic, and the bench
+// programs sweep grids of independent configurations (benchmark x vCPUs x
+// system) — embarrassingly parallel work. ParallelRunner farms the cells out
+// to worker threads while keeping the *output* exactly what a serial run
+// would print: tasks return their output as a string, and Finish() prints
+// the results strictly in submission order. `--jobs 8` is byte-identical to
+// `--jobs 1`.
+//
+// Tasks must not touch shared mutable state; a simulation (EventLoop, VM,
+// Fabric...) built inside the task body is private to it.
+
+#ifndef FRAGVISOR_BENCH_RUNNER_H_
+#define FRAGVISOR_BENCH_RUNNER_H_
+
+#include <condition_variable>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fragvisor {
+namespace bench {
+
+class ParallelRunner {
+ public:
+  // `jobs` worker threads (clamped to >= 1). Workers start lazily on the
+  // first Submit().
+  explicit ParallelRunner(int jobs);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  // Enqueues a task. The returned string is this task's entire output.
+  void Submit(std::function<std::string()> task);
+
+  // Waits for every submitted task and writes each result to `out` in
+  // submission order. The runner is reusable after Finish() returns.
+  void Finish(std::FILE* out = stdout);
+
+  int jobs() const { return jobs_; }
+
+ private:
+  void WorkerMain();
+  void StartWorkers();
+
+  const int jobs_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable done_cv_;   // Finish waits for completion
+  std::vector<std::function<std::string()>> tasks_;  // indexed by submission slot
+  std::vector<std::string> results_;
+  size_t next_task_ = 0;     // first unclaimed task index
+  size_t completed_ = 0;     // finished task count
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Renders one table row exactly like PrintRow(), but into a string, so a
+// task's output can be buffered and replayed in deterministic order.
+std::string FormatRow(const std::vector<std::string>& cells, int width = 14);
+
+// Parses a trailing "--jobs N" / "--jobs=N" flag from a bench binary's argv
+// (the figure programs otherwise take no arguments). Returns 1 if absent.
+int ParseJobsFlag(int argc, char** argv);
+
+}  // namespace bench
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_BENCH_RUNNER_H_

@@ -1,5 +1,6 @@
 #include "src/mem/dsm.h"
 
+#include <bit>
 #include <memory>
 #include <utility>
 
@@ -40,28 +41,82 @@ DsmEngine::DsmEngine(EventLoop* loop, Fabric* fabric, const CostModel* costs,
   FV_CHECK(fabric != nullptr);
   FV_CHECK(costs != nullptr);
   FV_CHECK_GT(options.num_nodes, 0);
-  FV_CHECK_LE(options.num_nodes, 32);
+  FV_CHECK_LE(options.num_nodes, kMaxNodes);
   FV_CHECK_GE(options.home, 0);
   FV_CHECK_LT(options.home, options.num_nodes);
-  resident_.resize(static_cast<size_t>(options.num_nodes));
   node_faults_.resize(static_cast<size_t>(options.num_nodes));
+}
+
+DsmEngine::Leaf& DsmEngine::EnsureLeaf(PageNum page) {
+  FV_CHECK_LT(page, kMaxPages);
+  const size_t li = page >> kLeafBits;
+  if (li >= leaves_.size()) {
+    leaves_.resize(li + 1);
+  }
+  if (leaves_[li] == nullptr) {
+    leaves_[li] = std::make_unique<Leaf>();
+  }
+  return *leaves_[li];
+}
+
+DsmEngine::Leaf& DsmEngine::EnsurePage(PageNum page) {
+  Leaf& leaf = EnsureLeaf(page);
+  const uint32_t i = Index(page);
+  if (!TestBit(leaf.known, i)) {
+    // First touch anywhere: the origin backs the boot image and all fresh
+    // anonymous memory, exactly like Popcorn's origin node.
+    SetBit(leaf.known, i);
+    ++known_pages_;
+    leaf.owner[i] = static_cast<int16_t>(options_.home);
+    leaf.sharers[i] = Bit(options_.home);
+    SetBit(leaf.present[static_cast<size_t>(options_.home)], i);
+    SetBit(leaf.writable[static_cast<size_t>(options_.home)], i);
+  }
+  return leaf;
+}
+
+void DsmEngine::SetResident(Leaf& leaf, uint32_t i, NodeId node, PageAccess acc) {
+  const auto n = static_cast<size_t>(node);
+  switch (acc) {
+    case PageAccess::kNone:
+      ClearBit(leaf.present[n], i);
+      ClearBit(leaf.writable[n], i);
+      break;
+    case PageAccess::kRead:
+      SetBit(leaf.present[n], i);
+      ClearBit(leaf.writable[n], i);
+      break;
+    case PageAccess::kWrite:
+      SetBit(leaf.present[n], i);
+      SetBit(leaf.writable[n], i);
+      break;
+  }
+}
+
+void DsmEngine::ResetResidency(Leaf& leaf, uint32_t i, NodeId keep) {
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    if (n != keep) {
+      SetResident(leaf, i, n, PageAccess::kNone);
+    }
+  }
+  SetResident(leaf, i, keep, PageAccess::kWrite);
 }
 
 void DsmEngine::SeedRange(PageNum start, uint64_t count, NodeId owner) {
   FV_CHECK_GE(owner, 0);
   FV_CHECK_LT(owner, options_.num_nodes);
   for (PageNum p = start; p < start + count; ++p) {
-    PageState& st = pages_[p];
-    FV_CHECK(!st.busy);
-    st.owner = owner;
-    st.sharer_mask = Bit(owner);
-    resident_[static_cast<size_t>(owner)][p] = PageAccess::kWrite;
-    // Clear any stale residency on other nodes (re-seeding in tests).
-    for (int n = 0; n < options_.num_nodes; ++n) {
-      if (n != owner) {
-        resident_[static_cast<size_t>(n)].erase(p);
-      }
+    Leaf& leaf = EnsureLeaf(p);
+    const uint32_t i = Index(p);
+    FV_CHECK(!TestBit(leaf.busy, i));
+    if (!TestBit(leaf.known, i)) {
+      SetBit(leaf.known, i);
+      ++known_pages_;
     }
+    leaf.owner[i] = static_cast<int16_t>(owner);
+    leaf.sharers[i] = Bit(owner);
+    // Clear any stale residency on other nodes (re-seeding in tests).
+    ResetResidency(leaf, i, owner);
   }
 }
 
@@ -82,40 +137,37 @@ PageClass DsmEngine::ClassOf(PageNum page) const {
   return PageClass::kGuestPrivate;
 }
 
-DsmEngine::PageState& DsmEngine::EnsurePage(PageNum page) {
-  auto [it, inserted] = pages_.try_emplace(page);
-  if (inserted) {
-    // First touch anywhere: the origin backs the boot image and all fresh
-    // anonymous memory, exactly like Popcorn's origin node.
-    it->second.owner = options_.home;
-    it->second.sharer_mask = Bit(options_.home);
-    resident_[static_cast<size_t>(options_.home)][page] = PageAccess::kWrite;
-  }
-  return it->second;
-}
-
-PageAccess& DsmEngine::ResidentSlot(NodeId node, PageNum page) {
-  return resident_[static_cast<size_t>(node)][page];
-}
-
 PageAccess DsmEngine::ResidentAccess(NodeId node, PageNum page) const {
   FV_CHECK_GE(node, 0);
   FV_CHECK_LT(node, options_.num_nodes);
-  const auto& m = resident_[static_cast<size_t>(node)];
-  auto it = m.find(page);
-  return it == m.end() ? PageAccess::kNone : it->second;
+  const Leaf* leaf = FindLeaf(page);
+  return leaf == nullptr ? PageAccess::kNone : AccessOf(*leaf, Index(page), node);
 }
 
 NodeId DsmEngine::OwnerOf(PageNum page) const {
-  auto it = pages_.find(page);
-  return it == pages_.end() ? kInvalidNode : it->second.owner;
+  const Leaf* leaf = FindLeaf(page);
+  if (leaf == nullptr || !TestBit(leaf->known, Index(page))) {
+    return kInvalidNode;
+  }
+  return leaf->owner[Index(page)];
 }
 
 std::vector<PageNum> DsmEngine::PagesOwnedBy(NodeId node) const {
   std::vector<PageNum> out;
-  for (const auto& [page, st] : pages_) {
-    if (st.owner == node) {
-      out.push_back(page);
+  for (size_t li = 0; li < leaves_.size(); ++li) {
+    const Leaf* leaf = leaves_[li].get();
+    if (leaf == nullptr) {
+      continue;
+    }
+    for (uint32_t w = 0; w < kLeafWords; ++w) {
+      uint64_t bits = leaf->known[w];
+      while (bits != 0) {
+        const uint32_t i = w * 64 + static_cast<uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (leaf->owner[i] == node) {
+          out.push_back((static_cast<PageNum>(li) << kLeafBits) | i);
+        }
+      }
     }
   }
   return out;
@@ -125,20 +177,26 @@ uint64_t DsmEngine::ReseedOwnedBy(NodeId from, NodeId to) {
   FV_CHECK_GE(to, 0);
   FV_CHECK_LT(to, options_.num_nodes);
   uint64_t moved = 0;
-  for (auto& [page, st] : pages_) {
-    if (st.owner != from || st.busy) {
+  for (auto& leaf_ptr : leaves_) {
+    Leaf* leaf = leaf_ptr.get();
+    if (leaf == nullptr) {
       continue;
     }
-    st.owner = to;
-    st.sharer_mask = Bit(to);
-    st.hold_until = 0;
-    for (int n = 0; n < options_.num_nodes; ++n) {
-      if (n != to) {
-        resident_[static_cast<size_t>(n)].erase(page);
+    for (uint32_t w = 0; w < kLeafWords; ++w) {
+      uint64_t bits = leaf->known[w] & ~leaf->busy[w];
+      while (bits != 0) {
+        const uint32_t i = w * 64 + static_cast<uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (leaf->owner[i] != from) {
+          continue;
+        }
+        leaf->owner[i] = static_cast<int16_t>(to);
+        leaf->sharers[i] = Bit(to);
+        leaf->hold_until[i] = 0;
+        ResetResidency(*leaf, i, to);
+        ++moved;
       }
     }
-    resident_[static_cast<size_t>(to)][page] = PageAccess::kWrite;
-    ++moved;
   }
   return moved;
 }
@@ -153,10 +211,13 @@ uint64_t DsmEngine::ResidentPageCount(NodeId node) const {
   FV_CHECK_GE(node, 0);
   FV_CHECK_LT(node, options_.num_nodes);
   uint64_t count = 0;
-  for (const auto& [page, acc] : resident_[static_cast<size_t>(node)]) {
-    (void)page;
-    if (acc != PageAccess::kNone) {
-      ++count;
+  for (const auto& leaf_ptr : leaves_) {
+    const Leaf* leaf = leaf_ptr.get();
+    if (leaf == nullptr) {
+      continue;
+    }
+    for (uint32_t w = 0; w < kLeafWords; ++w) {
+      count += static_cast<uint64_t>(std::popcount(leaf->present[static_cast<size_t>(node)][w]));
     }
   }
   return count;
@@ -175,8 +236,13 @@ void DsmEngine::MigrateOwnedPages(NodeId from, NodeId to,
   constexpr size_t kBatchPages = 256;  // 1 MiB wire batches
 
   auto ship_batch = std::make_shared<std::function<void(size_t)>>();
-  *ship_batch = [this, from, to, candidates, moved, ship_batch,
+  // The stored lambda refers to itself only weakly (continuation callbacks
+  // hold the strong references) so the self-referential std::function does
+  // not leak through a shared_ptr cycle.
+  std::weak_ptr<std::function<void(size_t)>> weak_ship = ship_batch;
+  *ship_batch = [this, from, to, candidates, moved, weak_ship,
                  done = std::move(done)](size_t start) mutable {
+    auto self = weak_ship.lock();
     if (start >= candidates->size()) {
       done(*moved);
       return;
@@ -186,56 +252,63 @@ void DsmEngine::MigrateOwnedPages(NodeId from, NodeId to,
     auto batch = std::make_shared<std::vector<PageNum>>();
     for (size_t i = start; i < end; ++i) {
       const PageNum page = (*candidates)[i];
-      auto it = pages_.find(page);
-      if (it == pages_.end() || it->second.busy || it->second.owner != from) {
+      Leaf* leaf = FindLeaf(page);
+      const uint32_t pi = Index(page);
+      if (leaf == nullptr || !TestBit(leaf->known, pi) || TestBit(leaf->busy, pi) ||
+          leaf->owner[pi] != from) {
         continue;
       }
       // Mark busy so racing faults queue behind the migration.
-      it->second.busy = true;
+      SetBit(leaf->busy, pi);
       batch->push_back(page);
     }
     if (batch->empty()) {
-      loop_->ScheduleAfter(0, [ship_batch, end]() { (*ship_batch)(end); });
+      loop_->ScheduleAfter(0, [self, end]() { (*self)(end); });
       return;
     }
     const uint64_t bytes = 4096 * batch->size() + 256;
     SendProto(from, to, MsgKind::kDsmPageData, bytes,
-              [this, to, batch, moved, ship_batch, end]() {
+              [this, to, batch, moved, self, end]() {
                 for (const PageNum page : *batch) {
-                  PageState& st = pages_[page];
-                  st.owner = to;
-                  st.sharer_mask = Bit(to);
-                  st.hold_until = 0;
-                  for (int n = 0; n < options_.num_nodes; ++n) {
-                    if (n != to) {
-                      resident_[static_cast<size_t>(n)].erase(page);
-                    }
-                  }
-                  resident_[static_cast<size_t>(to)][page] = PageAccess::kWrite;
-                  st.busy = false;
+                  Leaf& leaf = EnsurePage(page);
+                  const uint32_t pi = Index(page);
+                  leaf.owner[pi] = static_cast<int16_t>(to);
+                  leaf.sharers[pi] = Bit(to);
+                  leaf.hold_until[pi] = 0;
+                  ResetResidency(leaf, pi, to);
+                  ClearBit(leaf.busy, pi);
                   // Wake any fault that queued while the batch was in flight.
-                  if (!st.waiters.empty()) {
-                    Transaction next = std::move(st.waiters.front());
-                    st.waiters.pop_front();
-                    st.busy = true;
+                  auto wit = waiters_.find(page);
+                  if (wit != waiters_.end() && !wit->second.empty()) {
+                    Transaction next = std::move(wit->second.front());
+                    wit->second.pop_front();
+                    if (wit->second.empty()) {
+                      waiters_.erase(wit);
+                    }
+                    SetBit(leaf.busy, pi);
                     loop_->ScheduleAfter(0, [this, page, next = std::move(next)]() mutable {
                       ExecuteTransaction(page, std::move(next));
                     });
                   }
                 }
                 *moved += batch->size();
-                (*ship_batch)(end);
+                (*self)(end);
               });
   };
   (*ship_batch)(0);
 }
 
 bool DsmEngine::WouldHit(NodeId node, PageNum page, bool is_write) const {
-  const PageAccess acc = ResidentAccess(node, page);
-  if (is_write) {
-    return acc == PageAccess::kWrite;
+  const Leaf* leaf = FindLeaf(page);
+  if (leaf == nullptr) {
+    return false;
   }
-  return acc != PageAccess::kNone;
+  const auto n = static_cast<size_t>(node);
+  const uint32_t i = Index(page);
+  if (is_write) {
+    return TestBit(leaf->writable[n], i);
+  }
+  return TestBit(leaf->present[n], i);
 }
 
 TimeNs DsmEngine::HandlerCost() const {
@@ -247,19 +320,22 @@ TimeNs DsmEngine::HandlerCost() const {
 }
 
 void DsmEngine::SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
-                          std::function<void()> cb) {
+                          EventLoop::Callback cb) {
   stats_.protocol_messages.Add(1);
   stats_.protocol_bytes.Add(bytes);
-  fabric_->Send(src, dst, kind, bytes, [this, cb = std::move(cb)]() mutable {
-    loop_->ScheduleAfter(HandlerCost(), std::move(cb));
-  });
+  // The receiver-side handler cost rides on the delivery event as a relay:
+  // no nested callback, no allocation per protocol hop.
+  fabric_->Send(src, dst, kind, bytes, std::move(cb), HandlerCost());
 }
 
 bool DsmEngine::Access(NodeId node, PageNum page, bool is_write, std::function<void()> done) {
   FV_CHECK_GE(node, 0);
   FV_CHECK_LT(node, options_.num_nodes);
-  EnsurePage(page);
-  if (WouldHit(node, page, is_write)) {
+  // Fast path: two array indexes and a bit test.
+  Leaf& leaf = EnsurePage(page);
+  const uint32_t i = Index(page);
+  const auto n = static_cast<size_t>(node);
+  if (is_write ? TestBit(leaf.writable[n], i) : TestBit(leaf.present[n], i)) {
     return true;
   }
 
@@ -270,7 +346,7 @@ bool DsmEngine::Access(NodeId node, PageNum page, bool is_write, std::function<v
     stats_.read_faults.Add(1);
   }
   stats_.faults_by_class[static_cast<size_t>(cls)].Add(1);
-  node_faults_[static_cast<size_t>(node)].Add(1);
+  node_faults_[n].Add(1);
 
   Transaction txn;
   txn.requester = node;
@@ -294,12 +370,13 @@ bool DsmEngine::Access(NodeId node, PageNum page, bool is_write, std::function<v
 }
 
 void DsmEngine::StartTransaction(PageNum page, Transaction txn) {
-  PageState& st = pages_[page];
-  if (st.busy) {
-    st.waiters.push_back(std::move(txn));
+  Leaf& leaf = EnsurePage(page);
+  const uint32_t i = Index(page);
+  if (TestBit(leaf.busy, i)) {
+    waiters_[page].push_back(std::move(txn));
     return;
   }
-  st.busy = true;
+  SetBit(leaf.busy, i);
   ExecuteTransaction(page, std::move(txn));
 }
 
@@ -313,9 +390,10 @@ void DsmEngine::ExecuteTransaction(PageNum page, Transaction txn) {
   }
   // Anti-ping-pong hold: let a freshly granted owner make progress before a
   // competitor takes the page away. The directory entry stays busy.
-  PageState& st = pages_[page];
-  if (txn.requester != st.owner && loop_->now() < st.hold_until) {
-    loop_->ScheduleAt(st.hold_until, [this, page, txn = std::move(txn)]() mutable {
+  Leaf& leaf = EnsurePage(page);
+  const uint32_t i = Index(page);
+  if (txn.requester != leaf.owner[i] && loop_->now() < leaf.hold_until[i]) {
+    loop_->ScheduleAt(leaf.hold_until[i], [this, page, txn = std::move(txn)]() mutable {
       ExecuteTransaction(page, std::move(txn));
     });
     return;
@@ -332,14 +410,22 @@ void DsmEngine::ExecuteTransaction(PageNum page, Transaction txn) {
 }
 
 void DsmEngine::FinishTransaction(PageNum page) {
-  PageState& st = pages_[page];
-  FV_CHECK(st.busy);
-  if (st.waiters.empty()) {
-    st.busy = false;
+  Leaf& leaf = EnsurePage(page);
+  const uint32_t i = Index(page);
+  FV_CHECK(TestBit(leaf.busy, i));
+  auto wit = waiters_.find(page);
+  if (wit == waiters_.end() || wit->second.empty()) {
+    if (wit != waiters_.end()) {
+      waiters_.erase(wit);
+    }
+    ClearBit(leaf.busy, i);
     return;
   }
-  Transaction next = std::move(st.waiters.front());
-  st.waiters.pop_front();
+  Transaction next = std::move(wit->second.front());
+  wit->second.pop_front();
+  if (wit->second.empty()) {
+    waiters_.erase(wit);
+  }
   // Dispatch asynchronously to bound stack depth under heavy contention.
   loop_->ScheduleAfter(0, [this, page, next = std::move(next)]() mutable {
     ExecuteTransaction(page, std::move(next));
@@ -357,9 +443,10 @@ void DsmEngine::CompleteFault(PageNum page, const Transaction& txn) {
 }
 
 void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
-  PageState& st = pages_[page];
+  Leaf& leaf = EnsurePage(page);
+  const uint32_t pi = Index(page);
   const NodeId requester = txn.requester;
-  const NodeId owner = st.owner;
+  const NodeId owner = leaf.owner[pi];
   FV_CHECK_NE(owner, kInvalidNode);
   FV_CHECK_NE(owner, requester);  // owner always holds >= read; would have hit
 
@@ -370,9 +457,10 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
   std::vector<PageNum> prefetch;
   for (int k = 1; k <= options_.read_prefetch_pages; ++k) {
     const PageNum next = page + static_cast<PageNum>(k);
-    auto it = pages_.find(next);
-    if (it == pages_.end() || it->second.busy || it->second.owner != owner ||
-        (it->second.sharer_mask & Bit(requester)) != 0 ||
+    const Leaf* nl = FindLeaf(next);
+    const uint32_t ni = Index(next);
+    if (nl == nullptr || !TestBit(nl->known, ni) || TestBit(nl->busy, ni) ||
+        nl->owner[ni] != owner || (nl->sharers[ni] & Bit(requester)) != 0 ||
         ClassOf(next) != PageClass::kGuestPrivate) {
       break;  // only a contiguous same-owner run is worth piggybacking
     }
@@ -383,14 +471,14 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
   auto deliver = [this, page, requester, owner, prefetch = std::move(prefetch), reply_bytes,
                   txn = std::move(txn)]() mutable {
     // Owner downgrades to read (single-writer protocol) and ships the pages.
-    PageAccess& owner_acc = ResidentSlot(owner, page);
-    if (owner_acc == PageAccess::kWrite) {
-      owner_acc = PageAccess::kRead;
+    Leaf& l = EnsurePage(page);
+    if (AccessOf(l, Index(page), owner) == PageAccess::kWrite) {
+      SetResident(l, Index(page), owner, PageAccess::kRead);
     }
     for (const PageNum p : prefetch) {
-      PageAccess& acc = ResidentSlot(owner, p);
-      if (acc == PageAccess::kWrite) {
-        acc = PageAccess::kRead;
+      Leaf& pl = EnsurePage(p);
+      if (AccessOf(pl, Index(p), owner) == PageAccess::kWrite) {
+        SetResident(pl, Index(p), owner, PageAccess::kRead);
       }
     }
     SendProto(owner, requester, MsgKind::kDsmPageData, reply_bytes,
@@ -400,19 +488,20 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
                     costs_->dsm_map_page,
                     [this, page, requester, owner, prefetch = std::move(prefetch),
                      txn = std::move(txn)]() mutable {
-                      PageState& dir = pages_[page];
-                      dir.sharer_mask |= Bit(requester);
-                      ResidentSlot(requester, page) = PageAccess::kRead;
+                      Leaf& dir = EnsurePage(page);
+                      dir.sharers[Index(page)] |= Bit(requester);
+                      SetResident(dir, Index(page), requester, PageAccess::kRead);
                       for (const PageNum p : prefetch) {
                         // Skip any page a racing transaction touched while
                         // the reply was in flight (stale speculative data).
-                        PageState& pdir = pages_[p];
-                        if (pdir.busy || pdir.owner != owner ||
-                            ResidentAccess(owner, p) != PageAccess::kRead) {
+                        Leaf& pdir = EnsurePage(p);
+                        const uint32_t pj = Index(p);
+                        if (TestBit(pdir.busy, pj) || pdir.owner[pj] != owner ||
+                            AccessOf(pdir, pj, owner) != PageAccess::kRead) {
                           continue;
                         }
-                        pdir.sharer_mask |= Bit(requester);
-                        ResidentSlot(requester, p) = PageAccess::kRead;
+                        pdir.sharers[pj] |= Bit(requester);
+                        SetResident(pdir, pj, requester, PageAccess::kRead);
                         stats_.prefetched_pages.Add(1);
                       }
                       CompleteFault(page, txn);
@@ -430,16 +519,17 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
 }
 
 void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
-  PageState& st = pages_[page];
+  Leaf& leaf = EnsurePage(page);
+  const uint32_t pi = Index(page);
   const NodeId requester = txn.requester;
-  const NodeId owner = st.owner;
+  const NodeId owner = leaf.owner[pi];
   FV_CHECK_NE(owner, kInvalidNode);
 
-  const bool upgrade = ResidentAccess(requester, page) == PageAccess::kRead;
+  const bool upgrade = AccessOf(leaf, pi, requester) == PageAccess::kRead;
 
   std::vector<NodeId> targets;
   for (int n = 0; n < options_.num_nodes; ++n) {
-    if (n != requester && (st.sharer_mask & Bit(n)) != 0) {
+    if (n != requester && (leaf.sharers[pi] & Bit(n)) != 0) {
       targets.push_back(n);
     }
   }
@@ -458,11 +548,12 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
     if (ctx->acks_pending > 0 || ctx->page_pending) {
       return;
     }
-    PageState& dir = pages_[page];
-    dir.owner = requester;
-    dir.sharer_mask = Bit(requester);
-    dir.hold_until = loop_->now() + costs_->dsm_ownership_hold;
-    ResidentSlot(requester, page) = PageAccess::kWrite;
+    Leaf& dir = EnsurePage(page);
+    const uint32_t di = Index(page);
+    dir.owner[di] = static_cast<int16_t>(requester);
+    dir.sharers[di] = Bit(requester);
+    dir.hold_until[di] = loop_->now() + costs_->dsm_ownership_hold;
+    SetResident(dir, di, requester, PageAccess::kWrite);
     if (options_.ept_dirty_tracking) {
       // A/D-bit updates generate one extra (asynchronous) sync message.
       SendProto(requester, options_.home, MsgKind::kDsmAck, kMsgHeaderBytes, []() {});
@@ -485,7 +576,7 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
     stats_.invalidations.Add(1);
     SendProto(options_.home, s, MsgKind::kDsmInvalidate, kMsgHeaderBytes,
               [this, page, s, owner, requester, upgrade, ctx, maybe_finish]() mutable {
-                ResidentSlot(s, page) = PageAccess::kNone;
+                SetResident(EnsurePage(page), Index(page), s, PageAccess::kNone);
                 const bool ships_page = (s == owner) && !upgrade;
                 if (ships_page) {
                   stats_.page_transfers.Add(1);
@@ -511,22 +602,24 @@ void DsmEngine::RunPageTablePiggyback(PageNum page, Transaction txn) {
   // Contextual DSM: the PTE delta rides on the TLB-shootdown interrupt the
   // guest sends anyway. No invalidation round, no full-page transfer; sharers
   // keep their (delta-updated) replicas.
-  PageState& st = pages_[page];
+  Leaf& leaf = EnsurePage(page);
+  const uint32_t pi = Index(page);
   const NodeId requester = txn.requester;
 
   for (int n = 0; n < options_.num_nodes; ++n) {
-    if (n != requester && (st.sharer_mask & Bit(n)) != 0) {
+    if (n != requester && (leaf.sharers[pi] & Bit(n)) != 0) {
       SendProto(options_.home, n, MsgKind::kTlbShootdown, kPteDeltaBytes, []() {});
     }
   }
 
   SendProto(options_.home, requester, MsgKind::kDsmAck, kMsgHeaderBytes,
             [this, page, requester, txn = std::move(txn)]() mutable {
-              PageState& dir = pages_[page];
-              dir.owner = requester;
-              dir.sharer_mask |= Bit(requester);
-              dir.hold_until = loop_->now() + costs_->dsm_ownership_hold;
-              ResidentSlot(requester, page) = PageAccess::kWrite;
+              Leaf& dir = EnsurePage(page);
+              const uint32_t di = Index(page);
+              dir.owner[di] = static_cast<int16_t>(requester);
+              dir.sharers[di] |= Bit(requester);
+              dir.hold_until[di] = loop_->now() + costs_->dsm_ownership_hold;
+              SetResident(dir, di, requester, PageAccess::kWrite);
               CompleteFault(page, txn);
               FinishTransaction(page);
             });
@@ -534,39 +627,50 @@ void DsmEngine::RunPageTablePiggyback(PageNum page, Transaction txn) {
 
 uint64_t DsmEngine::CheckInvariants() const {
   uint64_t checked = 0;
-  for (const auto& [page, st] : pages_) {
-    if (st.busy) {
-      continue;  // transient protocol state; only quiescent pages are checked
+  for (size_t li = 0; li < leaves_.size(); ++li) {
+    const Leaf* leaf = leaves_[li].get();
+    if (leaf == nullptr) {
+      continue;
     }
-    ++checked;
-    FV_CHECK_NE(st.owner, kInvalidNode);
-    FV_CHECK((st.sharer_mask & Bit(st.owner)) != 0);
-    const PageClass cls = ClassOf(page);
-    // Delta-replicated classes (contextual DSM): page-table pages receive
-    // piggybacked updates in place, so several nodes may legitimately hold
-    // writable replicas; the same goes for bypassed IO rings.
-    const bool relaxed = cls == PageClass::kPageTable || cls == PageClass::kIoRing;
-    int writers = 0;
-    for (int n = 0; n < options_.num_nodes; ++n) {
-      const PageAccess acc = ResidentAccess(n, page);
-      const bool in_mask = (st.sharer_mask & Bit(n)) != 0;
-      if (acc == PageAccess::kNone) {
-        FV_CHECK(!in_mask);
-        continue;
-      }
-      FV_CHECK(in_mask);
-      if (acc == PageAccess::kWrite) {
-        ++writers;
-        if (!relaxed) {
-          FV_CHECK_EQ(n, st.owner);
+    for (uint32_t w = 0; w < kLeafWords; ++w) {
+      // Transient protocol state; only quiescent pages are checked.
+      uint64_t bits = leaf->known[w] & ~leaf->busy[w];
+      while (bits != 0) {
+        const uint32_t i = w * 64 + static_cast<uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const PageNum page = (static_cast<PageNum>(li) << kLeafBits) | i;
+        ++checked;
+        const NodeId owner = leaf->owner[i];
+        FV_CHECK_NE(owner, kInvalidNode);
+        FV_CHECK((leaf->sharers[i] & Bit(owner)) != 0);
+        const PageClass cls = ClassOf(page);
+        // Delta-replicated classes (contextual DSM): page-table pages receive
+        // piggybacked updates in place, so several nodes may legitimately hold
+        // writable replicas; the same goes for bypassed IO rings.
+        const bool relaxed = cls == PageClass::kPageTable || cls == PageClass::kIoRing;
+        int writers = 0;
+        for (int n = 0; n < options_.num_nodes; ++n) {
+          const PageAccess acc = AccessOf(*leaf, i, n);
+          const bool in_mask = (leaf->sharers[i] & Bit(n)) != 0;
+          if (acc == PageAccess::kNone) {
+            FV_CHECK(!in_mask);
+            continue;
+          }
+          FV_CHECK(in_mask);
+          if (acc == PageAccess::kWrite) {
+            ++writers;
+            if (!relaxed) {
+              FV_CHECK_EQ(n, owner);
+            }
+          }
         }
-      }
-    }
-    if (!relaxed) {
-      FV_CHECK_LE(writers, 1);
-      if (writers == 1) {
-        // Strict classes: a writer excludes all other copies.
-        FV_CHECK_EQ(st.sharer_mask, Bit(st.owner));
+        if (!relaxed) {
+          FV_CHECK_LE(writers, 1);
+          if (writers == 1) {
+            // Strict classes: a writer excludes all other copies.
+            FV_CHECK_EQ(leaf->sharers[i], Bit(owner));
+          }
+        }
       }
     }
   }

@@ -20,6 +20,14 @@
 // pages contain. Page-table pages piggyback their deltas on the TLB-shootdown
 // interrupt the guest must send anyway, skipping the invalidation round and
 // the full-page transfer.
+//
+// State layout: directory state (owner, sharer mask, hold timer) and per-node
+// residency rights live in one two-level radix page table — a root array of
+// 512-page leaves. The local-hit fast path in Access/WouldHit is two array
+// indexes and a bit test; per-node access rights are packed into per-leaf
+// present/writable bitmaps (one bit per page per node) instead of one hash
+// entry per (node, page). Transaction waiter queues hang off a side map keyed
+// by page — only contended pages ever touch it.
 
 #ifndef FRAGVISOR_SRC_MEM_DSM_H_
 #define FRAGVISOR_SRC_MEM_DSM_H_
@@ -29,6 +37,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -120,7 +129,8 @@ class DsmEngine {
 
   PageAccess ResidentAccess(NodeId node, PageNum page) const;
   NodeId OwnerOf(PageNum page) const;
-  uint64_t known_pages() const { return pages_.size(); }
+  uint64_t known_pages() const { return known_pages_; }
+  // Pages owned by `node`, in ascending page order.
   std::vector<PageNum> PagesOwnedBy(NodeId node) const;
 
   // Per-node accounting (for slice reports).
@@ -154,18 +164,56 @@ class DsmEngine {
     std::function<void()> done;
   };
 
-  struct PageState {
-    NodeId owner = kInvalidNode;
-    uint32_t sharer_mask = 0;
-    bool busy = false;       // a transaction holds the directory entry
-    TimeNs hold_until = 0;   // anti-ping-pong: owner keeps the page until then
-    std::deque<Transaction> waiters;
+  // --- Radix page table ---
+
+  static constexpr uint32_t kLeafBits = 9;
+  static constexpr uint32_t kLeafPages = 1u << kLeafBits;       // 512 pages per leaf
+  static constexpr uint32_t kLeafWords = kLeafPages / 64;
+  static constexpr int kMaxNodes = 32;
+  static constexpr PageNum kMaxPages = PageNum{1} << 28;        // 1 TiB of guest memory
+
+  // One radix leaf: flat directory arrays plus packed per-node residency
+  // bitmaps, all indexed by the low 9 bits of the page number.
+  struct Leaf {
+    std::array<int16_t, kLeafPages> owner;       // -1 == kInvalidNode
+    std::array<uint32_t, kLeafPages> sharers;    // directory sharer masks
+    std::array<TimeNs, kLeafPages> hold_until;   // anti-ping-pong hold
+    uint64_t known[kLeafWords] = {};             // page exists in the directory
+    uint64_t busy[kLeafWords] = {};              // a transaction holds the entry
+    uint64_t present[kMaxNodes][kLeafWords] = {};   // residency: access != none
+    uint64_t writable[kMaxNodes][kLeafWords] = {};  // residency: access == write
+
+    Leaf() {
+      owner.fill(-1);
+      sharers.fill(0);
+      hold_until.fill(0);
+    }
   };
 
   static uint32_t Bit(NodeId n) { return 1u << static_cast<uint32_t>(n); }
+  static uint32_t Index(PageNum page) { return static_cast<uint32_t>(page) & (kLeafPages - 1); }
+  static bool TestBit(const uint64_t* bm, uint32_t i) { return (bm[i >> 6] >> (i & 63)) & 1u; }
+  static void SetBit(uint64_t* bm, uint32_t i) { bm[i >> 6] |= uint64_t{1} << (i & 63); }
+  static void ClearBit(uint64_t* bm, uint32_t i) { bm[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
 
-  PageState& EnsurePage(PageNum page);
-  PageAccess& ResidentSlot(NodeId node, PageNum page);
+  Leaf* FindLeaf(PageNum page) const {
+    const size_t li = page >> kLeafBits;
+    return li < leaves_.size() ? leaves_[li].get() : nullptr;
+  }
+  Leaf& EnsureLeaf(PageNum page);
+  // Ensures the page has a directory entry (first touch seeds at the origin).
+  Leaf& EnsurePage(PageNum page);
+
+  PageAccess AccessOf(const Leaf& leaf, uint32_t i, NodeId node) const {
+    const auto n = static_cast<size_t>(node);
+    if (TestBit(leaf.writable[n], i)) {
+      return PageAccess::kWrite;
+    }
+    return TestBit(leaf.present[n], i) ? PageAccess::kRead : PageAccess::kNone;
+  }
+  void SetResident(Leaf& leaf, uint32_t i, NodeId node, PageAccess acc);
+  // Drops every node's residency except `keep`, which gets write access.
+  void ResetResidency(Leaf& leaf, uint32_t i, NodeId keep);
 
   // Per-message handler cost on a receiving host (kernel vs user-space DSM).
   TimeNs HandlerCost() const;
@@ -180,7 +228,7 @@ class DsmEngine {
   void RunWriteProtocol(PageNum page, Transaction txn);
   void RunPageTablePiggyback(PageNum page, Transaction txn);
 
-  void SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes, std::function<void()> cb);
+  void SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes, EventLoop::Callback cb);
 
   void CompleteFault(PageNum page, const Transaction& txn);
 
@@ -189,9 +237,11 @@ class DsmEngine {
   const CostModel* costs_;
   Options options_;
 
-  std::unordered_map<PageNum, PageState> pages_;
-  // resident_[node][page] -> access. Dense outer vector, sparse inner map.
-  std::vector<std::unordered_map<PageNum, PageAccess>> resident_;
+  // Radix root: leaves_[page >> kLeafBits], allocated on first touch.
+  std::vector<std::unique_ptr<Leaf>> leaves_;
+  uint64_t known_pages_ = 0;
+  // Waiter queues for contended pages only (side table off the hot path).
+  std::unordered_map<PageNum, std::deque<Transaction>> waiters_;
   // Ordered class ranges: start -> (end_exclusive, class).
   std::map<PageNum, std::pair<PageNum, PageClass>> class_ranges_;
   std::vector<Counter> node_faults_;  // faults initiated by each node

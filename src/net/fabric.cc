@@ -92,13 +92,18 @@ void Fabric::SetLinkParams(NodeId src, NodeId dst, LinkParams params) {
   LinkFor(src, dst).params = params;
 }
 
-void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery) {
+void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery,
+                  TimeNs receiver_delay) {
   ValidateNode(src);
   ValidateNode(dst);
   FV_CHECK(on_delivery != nullptr);
   if (src == dst) {
     // Loopback never hits the wire: deliver in-order at the current time.
-    loop_->ScheduleAfter(0, std::move(on_delivery));
+    if (receiver_delay > 0) {
+      loop_->ScheduleRelay(loop_->now(), receiver_delay, std::move(on_delivery));
+    } else {
+      loop_->ScheduleAfter(0, std::move(on_delivery));
+    }
     return;
   }
   LinkState& link = LinkFor(src, dst);
@@ -106,7 +111,12 @@ void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryF
   const TimeNs start = std::max(loop_->now(), link.busy_until);
   const TimeNs depart = start + WireTime(link.params, size);
   link.busy_until = depart;
-  loop_->ScheduleAt(depart + link.params.latency, std::move(on_delivery));
+  const TimeNs arrival = depart + link.params.latency;
+  if (receiver_delay > 0) {
+    loop_->ScheduleRelay(arrival, receiver_delay, std::move(on_delivery));
+  } else {
+    loop_->ScheduleAt(arrival, std::move(on_delivery));
+  }
 }
 
 void Fabric::SendRequestResponse(NodeId src, NodeId dst, MsgKind kind, uint64_t req_size,

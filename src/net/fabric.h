@@ -76,7 +76,7 @@ struct FabricStats {
 
 class Fabric {
  public:
-  using DeliveryFn = std::function<void()>;
+  using DeliveryFn = EventLoop::Callback;
 
   // Creates a fabric over `num_nodes` nodes; all links default to `defaults`.
   Fabric(EventLoop* loop, int num_nodes, LinkParams defaults);
@@ -92,7 +92,11 @@ class Fabric {
   // Sends `size` bytes from `src` to `dst`; `on_delivery` runs when the last
   // byte arrives at `dst`. src == dst is allowed and models a loopback with
   // zero wire time (delivered on the next event-loop dispatch at now()).
-  void Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery);
+  // A nonzero `receiver_delay` charges that much receiver-side processing
+  // after arrival before `on_delivery` runs (delivery and handler are two
+  // event-loop hops, like a NIC interrupt followed by a softirq handler).
+  void Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery,
+            TimeNs receiver_delay = 0);
 
   // Convenience round-trip: request then response, invoking `on_response`
   // after `server_time` of processing at the destination.

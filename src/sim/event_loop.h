@@ -4,30 +4,39 @@
 // notifications, scheduler arrivals — is driven by one single-threaded event
 // loop. Events at equal timestamps fire in insertion order (stable sequence
 // numbers), so runs are bit-reproducible.
+//
+// Implementation: a 4-ary indexed min-heap over a slot arena. The heap holds
+// 4-byte slot indices (sift operations move indices, not callbacks); each
+// slot carries a generation counter, so Cancel() is a true O(log n) removal
+// validated against stale handles — no tombstone set, no lazy-pop scans, and
+// a handle for an event that already fired is simply rejected. Callbacks are
+// InlineFunction, so scheduling does not heap-allocate for captures up to
+// kInlineFunctionBytes.
 
 #ifndef FRAGVISOR_SRC_SIM_EVENT_LOOP_H_
 #define FRAGVISOR_SRC_SIM_EVENT_LOOP_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/sim/check.h"
+#include "src/sim/inline_function.h"
 #include "src/sim/time.h"
 #include "src/sim/trace.h"
 
 namespace fragvisor {
 
-// Opaque handle for a scheduled event, usable with Cancel().
+// Opaque handle for a scheduled event, usable with Cancel(). Encodes the
+// arena slot and its generation; handles of fired or cancelled events go
+// stale automatically.
 using EventId = uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction<void()>;
 
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
@@ -41,6 +50,14 @@ class EventLoop {
 
   // Schedules `cb` to run `delay` nanoseconds from now (delay >= 0).
   EventId ScheduleAfter(TimeNs delay, Callback cb) { return ScheduleAt(now_ + delay, std::move(cb)); }
+
+  // Schedules a two-phase event: it first fires at `when` as a plain
+  // time-advancing hop (a message delivery), then re-arms itself for
+  // `relay_delay` later — taking its place in FIFO order as if it had been
+  // scheduled from inside a delivery callback — and runs `cb` on the second
+  // firing. This models "deliver, then pay a handler cost on the receiver"
+  // without nesting one callback inside another.
+  EventId ScheduleRelay(TimeNs when, TimeNs relay_delay, Callback cb);
 
   // Cancels a pending event. Returns false if the event already ran, was
   // already cancelled, or never existed.
@@ -66,8 +83,8 @@ class EventLoop {
   // Makes Run()/RunUntil() return after the currently dispatching event.
   void Stop() { stopped_ = true; }
 
-  bool empty() const { return pending_ == 0; }
-  size_t pending_count() const { return pending_; }
+  bool empty() const { return heap_.empty(); }
+  size_t pending_count() const { return heap_.size(); }
 
   // Optional tracer: subsystems holding a loop pointer emit events through
   // it. Null (the default) disables all instrumentation.
@@ -82,33 +99,47 @@ class EventLoop {
   }
 
  private:
-  struct Event {
+  static constexpr uint32_t kNpos = 0xffffffffu;
+
+  struct Slot {
     TimeNs time = 0;
-    EventId id = kInvalidEventId;
+    uint64_t seq = 0;        // FIFO tiebreak among equal times
+    TimeNs relay = 0;        // pending second phase (0 = plain event)
+    uint32_t gen = 0;        // bumped whenever the slot is freed
+    uint32_t heap_pos = kNpos;
+    uint32_t next_free = kNpos;
     Callback cb;
   };
 
-  struct EventOrder {
-    // std::priority_queue is a max-heap; invert so earliest (time, id) pops
-    // first. Lower id == scheduled earlier, giving FIFO among equal times.
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.id > b.id;
-    }
-  };
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | (slot + 1);
+  }
 
-  // Pops and dispatches the next live event. Returns false if none remain.
+  // (time, seq) strict weak order over slot indices; seq is unique, so this
+  // is a total order and FIFO among equal timestamps.
+  bool Earlier(uint32_t a, uint32_t b) const {
+    const Slot& x = slots_[a];
+    const Slot& y = slots_[b];
+    return x.time != y.time ? x.time < y.time : x.seq < y.seq;
+  }
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t s);
+  void HeapPush(uint32_t s);
+  void HeapRemoveAt(size_t pos);
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+
+  // Pops and dispatches the next event. Returns false if none remain.
   bool DispatchOne();
 
   Tracer* tracer_ = nullptr;
   TimeNs now_ = 0;
-  EventId next_id_ = 1;
-  size_t pending_ = 0;  // live (non-cancelled) events in the queue
+  uint64_t next_seq_ = 1;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> heap_;  // slot indices, 4-ary min-heap on (time, seq)
+  uint32_t free_head_ = kNpos;
 };
 
 }  // namespace fragvisor

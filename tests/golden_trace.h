@@ -1,0 +1,91 @@
+// Deterministic randomized DSM trace used as a golden-stats regression.
+//
+// The trace drives ~30k accesses from 4 nodes over a 10k-page space through
+// every protocol path (read/write faults, upgrades, waiters, prefetch,
+// contextual page-table writes, live slice migration, failover reseed). Its
+// counters and final simulated time were captured from the pre-radix
+// hash-map implementation; the radix page table must reproduce them exactly.
+
+#ifndef FRAGVISOR_TESTS_GOLDEN_TRACE_H_
+#define FRAGVISOR_TESTS_GOLDEN_TRACE_H_
+
+#include <cstdint>
+
+#include "src/host/cost_model.h"
+#include "src/mem/dsm.h"
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/rng.h"
+
+namespace fragvisor {
+
+struct GoldenTraceResult {
+  uint64_t hits = 0;
+  uint64_t resolved = 0;
+  uint64_t read_faults = 0;
+  uint64_t write_faults = 0;
+  uint64_t invalidations = 0;
+  uint64_t page_transfers = 0;
+  uint64_t prefetched_pages = 0;
+  uint64_t protocol_messages = 0;
+  uint64_t protocol_bytes = 0;
+  uint64_t migrated = 0;
+  uint64_t reseeded = 0;
+  uint64_t pages_checked = 0;
+  TimeNs final_time = 0;
+};
+
+inline GoldenTraceResult RunGoldenTrace() {
+  constexpr int kNodes = 4;
+  constexpr PageNum kPages = 10000;
+
+  EventLoop loop;
+  Fabric fabric(&loop, kNodes, LinkParams::InfiniBand56G());
+  const CostModel costs = CostModel::Default();
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = kNodes;
+  opts.read_prefetch_pages = 2;
+  DsmEngine dsm(&loop, &fabric, &costs, opts);
+
+  dsm.SetPageClass(0, 512, PageClass::kReadMostly);
+  dsm.SetPageClass(512, 128, PageClass::kPageTable);
+  for (int n = 0; n < kNodes; ++n) {
+    dsm.SeedRange(static_cast<PageNum>(n) * (kPages / kNodes), kPages / kNodes, n);
+  }
+
+  GoldenTraceResult out;
+  Rng rng(0xC0FFEE);
+  for (int round = 0; round < 300; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      const NodeId node = static_cast<NodeId>(rng.UniformInt(0, kNodes - 1));
+      const PageNum page = static_cast<PageNum>(rng.UniformInt(0, kPages - 1));
+      const bool is_write = rng.Chance(0.35);
+      if (dsm.Access(node, page, is_write, [&out]() { ++out.resolved; })) {
+        ++out.hits;
+      }
+    }
+    loop.Run();
+    if (round == 100) {
+      dsm.MigrateOwnedPages(0, 3, [&out](uint64_t moved) { out.migrated = moved; });
+      loop.Run();
+    }
+    if (round == 200) {
+      out.reseeded = dsm.ReseedOwnedBy(1, 0);
+    }
+  }
+  out.pages_checked = dsm.CheckInvariants();
+  out.read_faults = dsm.stats().read_faults.value();
+  out.write_faults = dsm.stats().write_faults.value();
+  out.invalidations = dsm.stats().invalidations.value();
+  out.page_transfers = dsm.stats().page_transfers.value();
+  out.prefetched_pages = dsm.stats().prefetched_pages.value();
+  out.protocol_messages = dsm.stats().protocol_messages.value();
+  out.protocol_bytes = dsm.stats().protocol_bytes.value();
+  out.final_time = loop.now();
+  return out;
+}
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_TESTS_GOLDEN_TRACE_H_

@@ -1,0 +1,155 @@
+// Regression tests for EventLoop::Cancel accounting.
+//
+// The seed implementation (binary heap + tombstone set) had a bookkeeping
+// bug: cancelling an id that had *already fired* inserted a tombstone for a
+// dead event and decremented the pending count, so empty() could report true
+// with live events queued (or false forever after). The indexed-heap
+// implementation rejects stale handles via slot generations; these tests pin
+// that behavior and the pending-count bookkeeping around every cancel path.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_loop.h"
+
+namespace fragvisor {
+namespace {
+
+TEST(EventLoopCancelRegressionTest, CancelAfterFireIsRejectedAndKeepsAccounting) {
+  EventLoop loop;
+  const EventId fired = loop.ScheduleAt(10, []() {});
+  loop.ScheduleAt(20, []() {});
+  loop.ScheduleAt(30, []() {});
+
+  loop.RunUntil(15);  // fires the first event only
+  ASSERT_EQ(loop.pending_count(), 2u);
+
+  // Seed bug: this returned true, leaked a tombstone, and dropped the
+  // pending count to 1 while two live events were still queued.
+  EXPECT_FALSE(loop.Cancel(fired));
+  EXPECT_EQ(loop.pending_count(), 2u);
+  EXPECT_FALSE(loop.empty());
+
+  EXPECT_EQ(loop.Run(), 2u);  // both remaining events actually fire
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.pending_count(), 0u);
+}
+
+TEST(EventLoopCancelRegressionTest, DoubleCancelSecondCallFails) {
+  EventLoop loop;
+  const EventId id = loop.ScheduleAt(10, []() { FAIL() << "cancelled event fired"; });
+  loop.ScheduleAt(20, []() {});
+
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_EQ(loop.pending_count(), 1u);
+  EXPECT_FALSE(loop.Cancel(id));  // second cancel of the same handle
+  EXPECT_EQ(loop.pending_count(), 1u);
+  EXPECT_FALSE(loop.empty());
+
+  EXPECT_EQ(loop.Run(), 1u);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopCancelRegressionTest, StaleHandleAfterSlotReuseIsRejected) {
+  EventLoop loop;
+  const EventId first = loop.ScheduleAt(10, []() {});
+  ASSERT_TRUE(loop.Cancel(first));
+  // The freed slot is recycled for the next event; the old handle must not
+  // cancel the new occupant.
+  int fired = 0;
+  loop.ScheduleAt(10, [&fired]() { ++fired; });
+  EXPECT_FALSE(loop.Cancel(first));
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopCancelRegressionTest, EmptyStaysTruthfulUnderCancelChurn) {
+  EventLoop loop;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(loop.ScheduleAt(100 + i, []() {}));
+  }
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_TRUE(loop.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  EXPECT_EQ(loop.pending_count(), 50u);
+  EXPECT_FALSE(loop.empty());
+  EXPECT_EQ(loop.Run(), 50u);
+  EXPECT_TRUE(loop.empty());
+
+  // empty() must flip back cleanly for a second generation of events.
+  loop.ScheduleAfter(5, []() {});
+  EXPECT_FALSE(loop.empty());
+  loop.Run();
+  EXPECT_TRUE(loop.empty());
+}
+
+// Property test: a random schedule/cancel/fire workload agrees with a
+// trivial reference model on which events fire and in what order.
+TEST(EventLoopCancelRegressionTest, ChurnMatchesReferenceModel) {
+  EventLoop loop;
+  struct Pending {
+    EventId id;
+    int tag;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  std::vector<Pending> events;
+  std::vector<int> fired_order;
+
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const uint64_t roll = next() % 100;
+    if (roll < 60 || events.empty()) {
+      const TimeNs when = loop.now() + static_cast<TimeNs>(next() % 50);
+      const int tag = static_cast<int>(events.size());
+      events.push_back({0, tag});
+      events.back().id = loop.ScheduleAt(when, [&events, &fired_order, tag]() {
+        events[static_cast<size_t>(tag)].fired = true;
+        fired_order.push_back(tag);
+      });
+    } else if (roll < 85) {
+      // Cancel a random event: succeeds iff it is still pending.
+      Pending& p = events[next() % events.size()];
+      const bool was_pending = !p.cancelled && !p.fired;
+      EXPECT_EQ(loop.Cancel(p.id), was_pending) << "tag " << p.tag;
+      if (was_pending) {
+        p.cancelled = true;
+      }
+    } else {
+      loop.RunFor(static_cast<TimeNs>(next() % 20));
+    }
+  }
+  loop.Run();
+
+  size_t expected_fired = 0;
+  for (const Pending& p : events) {
+    EXPECT_NE(p.cancelled, p.fired) << "tag " << p.tag;  // exactly one outcome
+    expected_fired += p.fired ? 1 : 0;
+  }
+  EXPECT_EQ(fired_order.size(), expected_fired);
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.pending_count(), 0u);
+}
+
+TEST(EventLoopCancelRegressionTest, CancelInsideCallbackOfSameTimestamp) {
+  EventLoop loop;
+  int second_fired = 0;
+  EventId second = 0;
+  loop.ScheduleAt(10, [&loop, &second]() { EXPECT_TRUE(loop.Cancel(second)); });
+  second = loop.ScheduleAt(10, [&second_fired]() { ++second_fired; });
+  loop.Run();
+  EXPECT_EQ(second_fired, 0);
+  EXPECT_TRUE(loop.empty());
+}
+
+}  // namespace
+}  // namespace fragvisor

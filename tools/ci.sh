@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Local CI: builds the Release and sanitizer configurations and runs the
+# full test suite under each.
+#
+#   tools/ci.sh            # release + asan + ubsan
+#   tools/ci.sh release    # just one configuration
+#
+# Build trees live under build-ci/<config> so they never collide with the
+# default ./build developer tree.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+configs=("$@")
+if [ ${#configs[@]} -eq 0 ]; then
+  configs=(release asan ubsan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+for config in "${configs[@]}"; do
+  case "$config" in
+    release) cmake_args=(-DCMAKE_BUILD_TYPE=Release -DFRAGVISOR_SANITIZE=) ;;
+    asan)    cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DFRAGVISOR_SANITIZE=address) ;;
+    ubsan)   cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DFRAGVISOR_SANITIZE=undefined) ;;
+    *) echo "unknown config '$config' (release|asan|ubsan)" >&2; exit 2 ;;
+  esac
+
+  build_dir="build-ci/$config"
+  echo "=== [$config] configure ==="
+  cmake -B "$build_dir" -S . "${cmake_args[@]}" >/dev/null
+  echo "=== [$config] build ==="
+  cmake --build "$build_dir" -j "$jobs" >/dev/null
+  echo "=== [$config] ctest ==="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+done
+
+echo "ci: all configurations passed (${configs[*]})"

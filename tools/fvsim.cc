@@ -7,17 +7,24 @@
 //   fvsim npb  --bench IS --system fragvisor --vcpus 4 [--scale 0.25]
 //   fvsim lemp --system giantvm --vcpus 4 --processing-ms 100 --requests 40
 //   fvsim faas --system overcommit --vcpus 3 --detect-ms 400
+//   fvsim sweep --bench CG --systems fragvisor,giantvm,overcommit:1 --jobs 8
 //   fvsim list
 //
 // Systems: fragvisor | giantvm | overcommit[:P]   (P = pCPUs, default 1)
+//
+// `sweep` runs the systems x vCPUs grid for one NPB benchmark; each cell is
+// an independent simulation, computed on --jobs threads. Output order (and
+// every byte of it) is independent of the job count.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "bench/harness.h"
+#include "bench/runner.h"
 #include "src/sim/trace.h"
 
 namespace fragvisor {
@@ -69,21 +76,29 @@ Args Parse(int argc, char** argv) {
   return args;
 }
 
+// Parses "fragvisor" | "giantvm" | "overcommit[:P]" into `setup`.
+bool ParseSystem(const std::string& system, Setup* setup) {
+  if (system == "fragvisor") {
+    setup->system = System::kFragVisor;
+  } else if (system == "giantvm") {
+    setup->system = System::kGiantVm;
+  } else if (system.rfind("overcommit", 0) == 0) {
+    setup->system = System::kOvercommit;
+    const size_t colon = system.find(':');
+    setup->overcommit_pcpus = colon == std::string::npos
+                                  ? 1
+                                  : std::atoi(system.substr(colon + 1).c_str());
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Setup MakeSetup(const Args& args) {
   Setup setup;
   setup.vcpus = args.GetInt("vcpus", 4);
   const std::string system = args.Get("system", "fragvisor");
-  if (system == "fragvisor") {
-    setup.system = System::kFragVisor;
-  } else if (system == "giantvm") {
-    setup.system = System::kGiantVm;
-  } else if (system.rfind("overcommit", 0) == 0) {
-    setup.system = System::kOvercommit;
-    const size_t colon = system.find(':');
-    setup.overcommit_pcpus = colon == std::string::npos
-                                 ? 1
-                                 : std::atoi(system.substr(colon + 1).c_str());
-  } else {
+  if (!ParseSystem(system, &setup)) {
     std::fprintf(stderr, "unknown system '%s' (fragvisor|giantvm|overcommit[:P])\n",
                  system.c_str());
     std::exit(2);
@@ -146,11 +161,58 @@ int RunFaasCmd(const Args& args) {
   return 0;
 }
 
+int RunSweep(const Args& args) {
+  const NpbProfile profile =
+      ScaleNpb(NpbByName(args.Get("bench", "CG")), args.GetDouble("scale", 0.25));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const int vcpus_min = args.GetInt("vcpus-min", 2);
+  const int vcpus_max = args.GetInt("vcpus-max", 4);
+
+  std::vector<std::string> systems;
+  std::string list = args.Get("systems", "fragvisor,giantvm,overcommit:1,overcommit:2");
+  for (size_t pos = 0; pos <= list.size();) {
+    const size_t comma = list.find(',', pos);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > pos) {
+      systems.push_back(list.substr(pos, end - pos));
+    }
+    pos = end + 1;
+  }
+
+  std::printf("%s sweep (scale %.2f, seed %llu)\n", profile.name.c_str(),
+              args.GetDouble("scale", 0.25), static_cast<unsigned long long>(seed));
+  bench::PrintRow({"system", "vCPUs", "time(ms)", "faults/s"}, 14);
+
+  bench::ParallelRunner runner(args.GetInt("jobs", 1));
+  for (const std::string& system : systems) {
+    Setup base;
+    if (!ParseSystem(system, &base)) {
+      std::fprintf(stderr, "unknown system '%s' (fragvisor|giantvm|overcommit[:P])\n",
+                   system.c_str());
+      return 2;
+    }
+    for (int vcpus = vcpus_min; vcpus <= vcpus_max; ++vcpus) {
+      runner.Submit([setup = base, system, vcpus, profile, seed]() mutable {
+        setup.vcpus = vcpus;
+        double faults = 0;
+        const TimeNs end = bench::RunNpbMultiProcess(setup, profile, seed, &faults);
+        return bench::FormatRow(
+            {system, std::to_string(vcpus), bench::Fmt(ToMillis(end)), bench::Fmt(faults, 0)},
+            14);
+      });
+    }
+  }
+  runner.Finish();
+  return 0;
+}
+
 int List() {
   std::printf("commands:\n");
   std::printf("  npb   --bench <name> --system <sys> --vcpus N [--scale F] [--seed N]\n");
   std::printf("  lemp  --system <sys> --vcpus N [--processing-ms T] [--requests N]\n");
   std::printf("  faas  --system <sys> --vcpus N [--detect-ms T] [--download-mb M]\n");
+  std::printf("  sweep --bench <name> [--systems a,b,...] [--vcpus-min N] [--vcpus-max N]\n");
+  std::printf("        [--scale F] [--seed N] [--jobs N]\n");
   std::printf("  list\n\n");
   std::printf("systems: fragvisor | giantvm | overcommit[:pcpus]\n");
   std::printf("flags:   --vanilla-guest --no-multiqueue --no-bypass --no-contextual-dsm\n\n");
@@ -176,6 +238,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "faas") {
     return RunFaasCmd(args);
+  }
+  if (args.command == "sweep") {
+    return RunSweep(args);
   }
   if (args.command == "list" || args.command.empty()) {
     return List();
