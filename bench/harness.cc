@@ -19,6 +19,35 @@ const char* SystemName(System system) {
   return "unknown";
 }
 
+namespace {
+
+std::unique_ptr<FaultPlan> BuildFaultPlan(const FaultSpec& spec, int num_nodes) {
+  auto plan = std::make_unique<FaultPlan>(spec.seed);
+  if (spec.drop_prob > 0.0 || spec.dup_prob > 0.0 || spec.extra_delay_max > 0) {
+    LinkFaultProfile profile;
+    profile.drop_prob = spec.drop_prob;
+    profile.dup_prob = spec.dup_prob;
+    profile.extra_delay_max = spec.extra_delay_max;
+    plan->SetDefaultLinkFaults(profile);
+  }
+  for (const FaultSpec::NodeEvent& e : spec.crashes) {
+    FV_CHECK_GE(e.node, 0);
+    FV_CHECK_LT(e.node, num_nodes);
+    plan->CrashNode(e.node, e.at);
+  }
+  for (const FaultSpec::NodeEvent& e : spec.restarts) {
+    FV_CHECK_GE(e.node, 0);
+    FV_CHECK_LT(e.node, num_nodes);
+    plan->RestartNode(e.node, e.at);
+  }
+  for (const FaultSpec::Partition& p : spec.partitions) {
+    plan->PartitionLink(p.a, p.b, p.from, p.until);
+  }
+  return plan;
+}
+
+}  // namespace
+
 TestBed MakeTestBed(const Setup& setup) {
   FV_CHECK_GT(setup.vcpus, 0);
   TestBed bed;
@@ -31,6 +60,11 @@ TestBed MakeTestBed(const Setup& setup) {
   cc.num_nodes = std::max(cc.num_nodes, 2);
   cc.pcpus_per_node = 8;
   bed.cluster = std::make_unique<Cluster>(cc);
+
+  if (setup.faults.enabled()) {
+    bed.fault_plan = BuildFaultPlan(setup.faults, cc.num_nodes);
+    bed.cluster->fabric().AttachFaultPlan(bed.fault_plan.get());
+  }
 
   if (setup.with_client) {
     bed.client_node = cc.num_nodes - 1;
@@ -68,8 +102,62 @@ TestBed MakeTestBed(const Setup& setup) {
   return bed;
 }
 
+bool FaultReport::operator==(const FaultReport& other) const {
+  return dropped == other.dropped && duplicated == other.duplicated && delayed == other.delayed &&
+         crashes == other.crashes && restarts == other.restarts &&
+         retransmits == other.retransmits && timeouts == other.timeouts &&
+         send_failures == other.send_failures && dups_suppressed == other.dups_suppressed &&
+         dsm_retries == other.dsm_retries && dsm_absorbed == other.dsm_absorbed &&
+         dsm_write_aborts == other.dsm_write_aborts &&
+         dsm_pages_reclaimed == other.dsm_pages_reclaimed;
+}
+
+FaultReport CollectFaultReport(const Fabric& fabric, const DsmEngine* dsm,
+                               const FaultPlan* plan) {
+  FaultReport report;
+  if (plan != nullptr) {
+    const FaultPlanStats& ps = plan->stats();
+    report.dropped = ps.messages_dropped.value();
+    report.duplicated = ps.messages_duplicated.value();
+    report.delayed = ps.messages_delayed.value();
+    report.crashes = ps.node_crashes.value();
+    report.restarts = ps.node_restarts.value();
+  }
+  const RetryStats& rs = fabric.retry_stats();
+  report.retransmits = rs.retransmits.total();
+  report.timeouts = rs.timeouts.total();
+  report.send_failures = rs.send_failures.total();
+  report.dups_suppressed = rs.dups_suppressed.total();
+  if (dsm != nullptr) {
+    const DsmStats& ds = dsm->stats();
+    report.dsm_retries = ds.txn_retries.total();
+    report.dsm_absorbed = ds.txn_absorbed.total();
+    report.dsm_write_aborts = ds.write_aborts.total();
+    report.dsm_pages_reclaimed = ds.pages_reclaimed.value();
+  }
+  return report;
+}
+
+FaultReport CollectFaultReport(const TestBed& bed) {
+  return CollectFaultReport(bed.cluster->fabric(),
+                            bed.vm != nullptr ? &bed.vm->dsm() : nullptr, bed.fault_plan.get());
+}
+
+void PrintFaultReport(const FaultReport& r) {
+  PrintRow({"injected", "drop=" + std::to_string(r.dropped), "dup=" + std::to_string(r.duplicated),
+            "delay=" + std::to_string(r.delayed), "crash=" + std::to_string(r.crashes),
+            "restart=" + std::to_string(r.restarts)});
+  PrintRow({"channel", "retx=" + std::to_string(r.retransmits),
+            "timeout=" + std::to_string(r.timeouts), "fail=" + std::to_string(r.send_failures),
+            "dupsup=" + std::to_string(r.dups_suppressed)});
+  PrintRow({"dsm", "retry=" + std::to_string(r.dsm_retries),
+            "absorb=" + std::to_string(r.dsm_absorbed),
+            "abort=" + std::to_string(r.dsm_write_aborts),
+            "reclaim=" + std::to_string(r.dsm_pages_reclaimed)});
+}
+
 TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_t seed,
-                          double* faults_per_sec) {
+                          double* faults_per_sec, FaultReport* fault_report) {
   TestBed bed = MakeTestBed(setup);
   for (int v = 0; v < setup.vcpus; ++v) {
     bed.vm->SetWorkload(v, std::make_unique<NpbSerialStream>(bed.vm.get(), v, profile,
@@ -80,6 +168,9 @@ TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_
   FV_CHECK(bed.vm->AllFinished());
   if (faults_per_sec != nullptr) {
     *faults_per_sec = RatePerSecond(bed.vm->dsm().stats().total_faults(), end);
+  }
+  if (fault_report != nullptr) {
+    *fault_report = CollectFaultReport(bed);
   }
   return end;
 }

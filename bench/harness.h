@@ -15,6 +15,7 @@
 
 #include "src/core/aggregate_vm.h"
 #include "src/core/fragvisor.h"
+#include "src/sim/fault_plan.h"
 #include "src/workload/faas.h"
 #include "src/workload/lemp.h"
 #include "src/workload/npb.h"
@@ -32,6 +33,37 @@ enum class System : uint8_t {
 
 const char* SystemName(System system);
 
+// Declarative fault-injection request for a bench run; MakeTestBed turns it
+// into a seeded FaultPlan attached to the fabric. Everything defaults off, so
+// existing benches are untouched (no plan is attached at all).
+struct FaultSpec {
+  uint64_t seed = 1;            // FaultPlan RNG seed (link-fault draws)
+  double drop_prob = 0.0;       // per-message drop probability, every link
+  double dup_prob = 0.0;        // per-message duplication probability
+  TimeNs extra_delay_max = 0;   // uniform extra delivery jitter in [0, max]
+  struct NodeEvent {
+    NodeId node = kInvalidNode;
+    TimeNs at = 0;
+  };
+  std::vector<NodeEvent> crashes;
+  std::vector<NodeEvent> restarts;
+  struct Partition {
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    TimeNs from = 0;
+    TimeNs until = 0;
+  };
+  std::vector<Partition> partitions;
+  // Attach a FaultPlan even if no faults are requested (the empty-plan
+  // bit-identity guard exercises exactly this).
+  bool attach_empty = false;
+
+  bool enabled() const {
+    return attach_empty || drop_prob > 0.0 || dup_prob > 0.0 || extra_delay_max > 0 ||
+           !crashes.empty() || !restarts.empty() || !partitions.empty();
+  }
+};
+
 struct Setup {
   System system = System::kFragVisor;
   int vcpus = 4;
@@ -46,6 +78,7 @@ struct Setup {
   // of giving them extra pCPUs (the paper reports GiantVM's best case, i.e.
   // extra pCPUs; co-location is the honest-accounting alternative).
   bool giantvm_colocated_helpers = false;
+  FaultSpec faults;
 };
 
 // A cluster plus one VM configured per `setup`. The client node (if any) is
@@ -54,16 +87,47 @@ struct TestBed {
   std::unique_ptr<Cluster> cluster;
   std::unique_ptr<AggregateVm> vm;
   NodeId client_node = kInvalidNode;
+  // Present iff setup.faults.enabled(); attached to the cluster fabric (which
+  // does not take ownership, so the plan must outlive the cluster's loop).
+  std::unique_ptr<FaultPlan> fault_plan;
 };
 
 TestBed MakeTestBed(const Setup& setup);
 
+// Flattened injected-fault / recovery counters for printing and for the
+// same-seed reproducibility assertions.
+struct FaultReport {
+  // Injected by the plan.
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t delayed = 0;
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+  // Reliable-channel reactions (summed over nodes).
+  uint64_t retransmits = 0;
+  uint64_t timeouts = 0;
+  uint64_t send_failures = 0;
+  uint64_t dups_suppressed = 0;
+  // DSM protocol reactions.
+  uint64_t dsm_retries = 0;
+  uint64_t dsm_absorbed = 0;
+  uint64_t dsm_write_aborts = 0;
+  uint64_t dsm_pages_reclaimed = 0;
+
+  bool operator==(const FaultReport& other) const;
+};
+
+FaultReport CollectFaultReport(const Fabric& fabric, const DsmEngine* dsm, const FaultPlan* plan);
+FaultReport CollectFaultReport(const TestBed& bed);
+void PrintFaultReport(const FaultReport& report);
+
 // --- Workload runners (return what the figures plot) ---
 
 // One serial NPB instance per vCPU; returns total completion time of the set.
-// Optionally reports the DSM fault rate over the run.
+// Optionally reports the DSM fault rate and the fault/retry counters.
 TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_t seed = 1,
-                          double* faults_per_sec = nullptr);
+                          double* faults_per_sec = nullptr,
+                          FaultReport* fault_report = nullptr);
 
 // OMP-style multithreaded run (one thread per vCPU over a shared region);
 // returns completion time and DSM faults/second via out-params.

@@ -85,9 +85,16 @@ void CheckpointService::WriteImage(const CheckpointInventory& inventory, NodeId 
       if (n == ckpt_node) {
         disk_write(batch);
       } else {
-        // Remote slice streams the batch; the write starts on arrival.
+        // Remote slice streams the batch; the write starts on arrival. A
+        // batch the fabric gives up on (the slice node died) is counted and
+        // skipped — the checkpoint must drain, or failover deadlocks behind
+        // checkpoint_in_flight.
         cluster_->fabric().Send(n, ckpt_node, MsgKind::kCheckpointData, batch,
-                                [disk_write, batch]() { disk_write(batch); });
+                                [disk_write, batch]() { disk_write(batch); }, 0,
+                                [ctx, finish_one]() {
+                                  ++ctx->result.lost_batches;
+                                  finish_one();
+                                });
       }
     }
   }
@@ -183,12 +190,17 @@ void CheckpointService::RestoreImage(const CheckpointInventory& inventory, NodeI
       // Disk read, then ship to the destination slice.
       const NodeId dest = n;
       cluster_->loop().ScheduleAfter(
-          DiskService(ckpt_node, batch), [this, ckpt_node, dest, batch, finish_one]() {
+          DiskService(ckpt_node, batch), [this, ckpt_node, dest, batch, ctx, finish_one]() {
             if (dest == ckpt_node) {
               finish_one();
             } else {
+              // An undeliverable restore batch (dead destination slice) is
+              // counted and skipped so the restore always completes.
               cluster_->fabric().Send(ckpt_node, dest, MsgKind::kCheckpointData, batch,
-                                      finish_one);
+                                      finish_one, 0, [ctx, finish_one]() {
+                                        ++ctx->result.lost_batches;
+                                        finish_one();
+                                      });
             }
           });
     }

@@ -42,6 +42,10 @@ struct CheckpointResult {
   uint64_t bytes_written = 0;
   uint64_t local_pages = 0;
   uint64_t remote_pages = 0;
+  // Fabric batches abandoned by the reliable channel (a slice node died mid
+  // checkpoint/restore). The image is incomplete but the operation still
+  // completes — a wedged checkpoint would block failover forever.
+  uint64_t lost_batches = 0;
 };
 
 class CheckpointService {

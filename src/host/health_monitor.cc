@@ -99,9 +99,13 @@ void HealthMonitor::StartHeartbeats(NodeId monitor_node) {
 void HealthMonitor::SendHeartbeat(NodeId node) {
   NodeState& st = nodes_[static_cast<size_t>(node)];
   if (st.failed_injected) {
-    return;  // dead nodes fall silent
+    return;  // dead nodes fall silent (InjectFailure is permanent)
   }
-  cluster_->fabric().Send(node, monitor_node_, MsgKind::kControl, 64, [this, node]() {
+  // Heartbeats are datagrams on purpose: their loss IS the failure signal,
+  // so they must not ride the reliable channel's retransmits. A node the
+  // fault plan has crashed falls silent here too (the fabric suppresses the
+  // send), and resumes once the plan restarts it.
+  cluster_->fabric().SendDatagram(node, monitor_node_, MsgKind::kControl, 64, [this, node]() {
     nodes_[static_cast<size_t>(node)].last_heartbeat = cluster_->loop().now();
   });
   cluster_->loop().ScheduleAfter(config_.heartbeat_interval,
@@ -112,14 +116,37 @@ void HealthMonitor::CheckHeartbeats() {
   const TimeNs now = cluster_->loop().now();
   const TimeNs deadline =
       static_cast<TimeNs>(config_.miss_threshold) * config_.heartbeat_interval;
+  // A crashed monitor cannot observe anything; it picks back up on restart.
+  if (!cluster_->fabric().NodeUp(monitor_node_)) {
+    cluster_->loop().ScheduleAfter(config_.heartbeat_interval, [this]() { CheckHeartbeats(); });
+    return;
+  }
   for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
     NodeState& st = nodes_[static_cast<size_t>(n)];
-    if (st.health == NodeHealth::kFailed || n == monitor_node_) {
+    if (n == monitor_node_) {
+      continue;
+    }
+    if (st.health == NodeHealth::kFailed) {
+      // Heartbeats that resumed after the failure mark mean the node was
+      // restarted (fault-plan crashes are revivable; InjectFailure is not).
+      if (!st.failed_injected && st.last_heartbeat > st.failed_marked_at) {
+        recoveries_detected_.Add(1);
+        st.correctable_errors = 0;
+        SetHealth(n, NodeHealth::kHealthy);
+      }
       continue;
     }
     if (now - st.last_heartbeat > deadline) {
       failures_detected_.Add(1);
-      last_detection_latency_ = st.failed_injected ? now - st.failed_at : 0;
+      if (st.failed_injected) {
+        last_detection_latency_ = now - st.failed_at;
+      } else if (const FaultPlan* plan = cluster_->fabric().fault_plan();
+                 plan != nullptr && plan->LastCrashBefore(n, now) >= 0) {
+        last_detection_latency_ = now - plan->LastCrashBefore(n, now);
+      } else {
+        last_detection_latency_ = 0;
+      }
+      st.failed_marked_at = now;
       SetHealth(n, NodeHealth::kFailed);
     }
   }

@@ -74,9 +74,13 @@ class HealthMonitor {
 
   bool heartbeats_running() const { return heartbeats_running_; }
 
-  // Time from InjectFailure to detection, for the most recent failure.
+  // Time from the failure (InjectFailure, or a FaultPlan crash) to detection,
+  // for the most recent failure.
   TimeNs last_detection_latency() const { return last_detection_latency_; }
   uint64_t failures_detected() const { return failures_detected_.value(); }
+  // Nodes that came back: a previously-failed node whose heartbeats resumed
+  // (FaultPlan restarts; InjectFailure is permanent) flips back to kHealthy.
+  uint64_t recoveries_detected() const { return recoveries_detected_.value(); }
 
  private:
   struct NodeState {
@@ -84,6 +88,7 @@ class HealthMonitor {
     int correctable_errors = 0;
     bool failed_injected = false;
     TimeNs failed_at = 0;
+    TimeNs failed_marked_at = 0;  // when the detector flipped us to kFailed
     TimeNs last_heartbeat = 0;
   };
 
@@ -99,6 +104,7 @@ class HealthMonitor {
   NodeId monitor_node_ = kInvalidNode;
   TimeNs last_detection_latency_ = 0;
   Counter failures_detected_;
+  Counter recoveries_detected_;
 };
 
 }  // namespace fragvisor

@@ -1,6 +1,8 @@
 #include "src/io/accel.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <utility>
 
 #include "src/io/dsm_transfer.h"
@@ -60,26 +62,36 @@ void AccelDev::Submit(int vcpu, uint64_t input_bytes, TimeNs cpu_equiv_work,
       static_cast<TimeNs>(static_cast<double>(cpu_equiv_work) / config_.device_speedup) +
       dma_in + dma_out;
 
-  auto complete = [this, t0, done = std::move(done)]() mutable {
-    stats_.kernel_latency_ns.Record(static_cast<double>(loop_->now() - t0));
-    done();
+  // Shared so the fault-abort path can resolve the submission too: exactly
+  // one of the delivery / abort continuations fires per Send.
+  auto complete = std::make_shared<std::function<void()>>(
+      [this, t0, done = std::move(done)]() mutable {
+        stats_.kernel_latency_ns.Record(static_cast<double>(loop_->now() - t0));
+        done();
+      });
+  auto abort_kernel = [this, complete](const char* stage) {
+    stats_.delegation_aborts.Add(1);
+    loop_->Trace(TraceCategory::kFault, "accel_delegation_abort",
+                 std::string("stage=") + stage);
+    (*complete)();
   };
 
-  auto run_kernel = [this, src, remote, output_bytes, execution,
-                     complete = std::move(complete)]() mutable {
-    loop_->ScheduleAfter(DeviceService(execution), [this, src, remote, output_bytes,
-                                                    complete = std::move(complete)]() mutable {
+  auto run_kernel = [this, src, remote, output_bytes, execution, complete,
+                     abort_kernel]() mutable {
+    loop_->ScheduleAfter(DeviceService(execution), [this, src, remote, output_bytes, complete,
+                                                    abort_kernel]() mutable {
       if (!remote) {
-        loop_->ScheduleAfter(costs_->irq_inject, std::move(complete));
+        loop_->ScheduleAfter(costs_->irq_inject, [complete]() { (*complete)(); });
         return;
       }
       if (config_.dsm_bypass) {
         // Results piggybacked on the completion message.
         fabric_->Send(config_.backend_node, src, MsgKind::kIoCompletion,
                       kDoorbellBytes + output_bytes,
-                      [this, complete = std::move(complete)]() mutable {
-                        loop_->ScheduleAfter(costs_->irq_inject, std::move(complete));
-                      });
+                      [this, complete]() {
+                        loop_->ScheduleAfter(costs_->irq_inject, [complete]() { (*complete)(); });
+                      },
+                      0, [abort_kernel]() mutable { abort_kernel("completion"); });
         return;
       }
       // Results written into guest memory at the accelerator's slice; the
@@ -88,14 +100,15 @@ void AccelDev::Submit(int vcpu, uint64_t input_bytes, TimeNs cpu_equiv_work,
       const PageNum first = space_->AllocTransferRange(std::max<uint64_t>(pages, 1),
                                                        config_.backend_node);
       fabric_->Send(config_.backend_node, src, MsgKind::kIoCompletion, kDoorbellBytes,
-                    [this, src, first, pages, complete = std::move(complete)]() mutable {
+                    [this, src, first, pages, complete]() {
                       DsmSequentialAccess(dsm_, src, first, pages, /*is_write=*/false,
-                                          std::move(complete));
-                    });
+                                          [complete]() { (*complete)(); });
+                    },
+                    0, [abort_kernel]() mutable { abort_kernel("completion"); });
     });
   };
 
-  loop_->ScheduleAfter(config_.submit_overhead, [this, src, remote, input_bytes,
+  loop_->ScheduleAfter(config_.submit_overhead, [this, src, remote, input_bytes, abort_kernel,
                                                  run_kernel = std::move(run_kernel)]() mutable {
     if (!remote) {
       run_kernel();
@@ -104,7 +117,8 @@ void AccelDev::Submit(int vcpu, uint64_t input_bytes, TimeNs cpu_equiv_work,
     if (config_.dsm_bypass) {
       // Operands ride the submission message over the fabric.
       fabric_->Send(src, config_.backend_node, MsgKind::kIoPayload,
-                    kDoorbellBytes + input_bytes, std::move(run_kernel));
+                    kDoorbellBytes + input_bytes, std::move(run_kernel), 0,
+                    [abort_kernel]() mutable { abort_kernel("submit"); });
       return;
     }
     // Doorbell only; the backend demand-faults the operand pages.
@@ -115,7 +129,8 @@ void AccelDev::Submit(int vcpu, uint64_t input_bytes, TimeNs cpu_equiv_work,
                   [this, first, pages, run_kernel = std::move(run_kernel)]() mutable {
                     DsmSequentialAccess(dsm_, config_.backend_node, first, pages,
                                         /*is_write=*/false, std::move(run_kernel));
-                  });
+                  },
+                  0, [abort_kernel]() mutable { abort_kernel("submit"); });
   });
 }
 

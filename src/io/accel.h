@@ -38,6 +38,10 @@ struct AccelStats {
   Counter delegated_kernels;
   Counter input_bytes;
   Counter output_bytes;
+  // Kernel submissions/completions the reliable fabric gave up on (the
+  // accelerator slice or the submitter died). The submission resolves with an
+  // error so the submitting vCPU never wedges.
+  Counter delegation_aborts;
   Summary kernel_latency_ns;  // submit -> results visible at the submitter
   TimeNs device_busy = 0;
 };

@@ -89,6 +89,13 @@ void VirtioBlkDev::GuestIo(int vcpu, uint64_t bytes, bool is_write, std::functio
         (config_.dsm_bypass && is_write) ? kDoorbellBytes + bytes : kDoorbellBytes;
     const MsgKind kind = (config_.dsm_bypass && is_write) ? MsgKind::kIoPayload
                                                           : MsgKind::kIoDoorbell;
+    // If the fabric gives up (backend slice died), the op fails back to the
+    // guest instead of blocking the vCPU forever.
+    auto abort_io = [this, complete]() mutable {
+      stats_.delegation_aborts.Add(1);
+      loop_->Trace(TraceCategory::kFault, "blk_delegation_abort", "stage=doorbell");
+      complete();
+    };
     fabric_->Send(issuer, config_.backend_node, kind, req_bytes,
                   [this, issuer, bytes, is_write, complete = std::move(complete)]() mutable {
                     loop_->ScheduleAfter(
@@ -96,7 +103,8 @@ void VirtioBlkDev::GuestIo(int vcpu, uint64_t bytes, bool is_write, std::functio
                         [this, issuer, bytes, is_write, complete = std::move(complete)]() mutable {
                           VhostIo(issuer, bytes, is_write, std::move(complete));
                         });
-                  });
+                  },
+                  0, std::move(abort_io));
   };
 
   if (config_.dsm_bypass) {
@@ -129,10 +137,18 @@ void VirtioBlkDev::VhostIo(NodeId issuer, uint64_t bytes, bool is_write,
       return;
     }
     loop_->ScheduleAfter(costs_->ipi_to_message, [this, issuer, done = std::move(done)]() mutable {
+      // A dead issuer slice cannot take the IRQ; resolve the op anyway (its
+      // vCPUs are being failed over).
+      auto abort_io = [this, done]() mutable {
+        stats_.delegation_aborts.Add(1);
+        loop_->Trace(TraceCategory::kFault, "blk_delegation_abort", "stage=completion");
+        done();
+      };
       fabric_->Send(config_.backend_node, issuer, MsgKind::kIoCompletion, kDoorbellBytes,
                     [this, done = std::move(done)]() mutable {
                       loop_->ScheduleAfter(costs_->irq_inject, std::move(done));
-                    });
+                    },
+                    0, std::move(abort_io));
     });
   };
 
@@ -151,10 +167,18 @@ void VirtioBlkDev::VhostIo(NodeId issuer, uint64_t bytes, bool is_write,
         return;
       }
       if (config_.dsm_bypass) {
+        // Undeliverable read payload (issuer died): count the abort and fall
+        // through to the completion path, which resolves or aborts in turn.
+        auto abort_io = [this, complete_back]() mutable {
+          stats_.delegation_aborts.Add(1);
+          loop_->Trace(TraceCategory::kFault, "blk_delegation_abort", "stage=read_payload");
+          complete_back();
+        };
         fabric_->Send(config_.backend_node, issuer, MsgKind::kIoPayload, bytes + kDoorbellBytes,
                       [this, complete_back = std::move(complete_back)]() mutable {
                         loop_->ScheduleAfter(costs_->irq_inject, std::move(complete_back));
-                      });
+                      },
+                      0, std::move(abort_io));
         return;
       }
       // vhost writes into guest buffers at the backend; the remote guest then

@@ -43,6 +43,9 @@ struct VirtioBlkStats {
   Counter read_bytes;
   Counter write_bytes;
   Counter delegated_ops;
+  // Delegation RPCs the reliable fabric gave up on (peer slice died). The op
+  // completes with an error so the issuing vCPU never wedges.
+  Counter delegation_aborts;
   Summary op_latency_ns;
 };
 

@@ -96,6 +96,12 @@ void VirtioNetDev::GuestSend(int vcpu, uint64_t bytes, std::function<void()> don
                                              BackendTransmit(queue, src, bytes, payload_first,
                                                              payload_pages);
                                            });
+                    },
+                    0, [this]() {
+                      // Backend slice died: the packet is dropped on the
+                      // floor, exactly as a real NIC outage would.
+                      stats_.delegation_aborts.Add(1);
+                      loop_->Trace(TraceCategory::kFault, "net_delegation_abort", "stage=tx");
                     });
       stats_.tx_enqueue_latency_ns.Record(static_cast<double>(loop_->now() - t0));
       done();
@@ -135,6 +141,10 @@ void VirtioNetDev::BackendTransmit(int queue, NodeId src_node, uint64_t bytes,
                         if (on_wire_tx_) {
                           on_wire_tx_(bytes);
                         }
+                      },
+                      0, [this]() {
+                        stats_.delegation_aborts.Add(1);
+                        loop_->Trace(TraceCategory::kFault, "net_delegation_abort", "stage=wire");
                       });
       } else if (on_wire_tx_) {
         on_wire_tx_(bytes);
@@ -186,6 +196,12 @@ void VirtioNetDev::ReceiveFromExternal(int vcpu, uint64_t bytes) {
                                            [this, vcpu, bytes, copy_first, copy_pages]() {
                                              DeliverToGuest(vcpu, bytes, copy_first, copy_pages);
                                            });
+                    },
+                    0, [this]() {
+                      // Receiving slice died mid-delivery; its vCPUs are
+                      // being failed over, the packet is lost.
+                      stats_.delegation_aborts.Add(1);
+                      loop_->Trace(TraceCategory::kFault, "net_delegation_abort", "stage=rx");
                     });
     });
   };
@@ -232,7 +248,10 @@ void VirtioNetDev::SendFromExternal(int vcpu, uint64_t bytes) {
   FV_CHECK_NE(config_.external_node, kInvalidNode);
   fabric_->Send(config_.external_node, config_.backend_node, MsgKind::kIoPayload,
                 bytes + kDoorbellBytes,
-                [this, vcpu, bytes]() { ReceiveFromExternal(vcpu, bytes); });
+                [this, vcpu, bytes]() { ReceiveFromExternal(vcpu, bytes); }, 0, [this]() {
+                  stats_.delegation_aborts.Add(1);
+                  loop_->Trace(TraceCategory::kFault, "net_delegation_abort", "stage=external");
+                });
 }
 
 }  // namespace fragvisor

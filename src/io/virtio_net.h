@@ -49,6 +49,9 @@ struct VirtioNetStats {
   Counter rx_bytes;
   Counter delegated_tx;   // TX initiated from a non-backend slice
   Counter delegated_rx;   // RX destined to a non-backend slice
+  // Delegation/wire RPCs the reliable fabric gave up on (peer slice died);
+  // the packet is lost, which is fine — guests treat the NIC as lossy.
+  Counter delegation_aborts;
   Summary tx_enqueue_latency_ns;  // guest-visible send cost
 };
 

@@ -45,6 +45,9 @@ DsmEngine::DsmEngine(EventLoop* loop, Fabric* fabric, const CostModel* costs,
   FV_CHECK_GE(options.home, 0);
   FV_CHECK_LT(options.home, options.num_nodes);
   node_faults_.resize(static_cast<size_t>(options.num_nodes));
+  stats_.txn_retries.Init(options.num_nodes);
+  stats_.txn_absorbed.Init(options.num_nodes);
+  stats_.write_aborts.Init(options.num_nodes);
 }
 
 DsmEngine::Leaf& DsmEngine::EnsureLeaf(PageNum page) {
@@ -267,6 +270,29 @@ void DsmEngine::MigrateOwnedPages(NodeId from, NodeId to,
       return;
     }
     const uint64_t bytes = 4096 * batch->size() + 256;
+    // If the fabric abandons the batch (dead/partitioned target), the pages
+    // stay behind for demand paging: release their busy bits, wake waiters,
+    // and keep walking the candidate list.
+    auto release_batch = [this, batch, self, end]() {
+      for (const PageNum page : *batch) {
+        Leaf& leaf = EnsurePage(page);
+        const uint32_t pi = Index(page);
+        ClearBit(leaf.busy, pi);
+        auto wit = waiters_.find(page);
+        if (wit != waiters_.end() && !wit->second.empty()) {
+          Transaction next = std::move(wit->second.front());
+          wit->second.pop_front();
+          if (wit->second.empty()) {
+            waiters_.erase(wit);
+          }
+          SetBit(leaf.busy, pi);
+          loop_->ScheduleAfter(0, [this, page, next = std::move(next)]() mutable {
+            ExecuteTransaction(page, std::move(next));
+          });
+        }
+      }
+      (*self)(end);
+    };
     SendProto(from, to, MsgKind::kDsmPageData, bytes,
               [this, to, batch, moved, self, end]() {
                 for (const PageNum page : *batch) {
@@ -293,7 +319,8 @@ void DsmEngine::MigrateOwnedPages(NodeId from, NodeId to,
                 }
                 *moved += batch->size();
                 (*self)(end);
-              });
+              },
+              std::move(release_batch));
   };
   (*ship_batch)(0);
 }
@@ -320,12 +347,13 @@ TimeNs DsmEngine::HandlerCost() const {
 }
 
 void DsmEngine::SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
-                          EventLoop::Callback cb) {
+                          EventLoop::Callback cb, EventLoop::Callback on_fail) {
   stats_.protocol_messages.Add(1);
   stats_.protocol_bytes.Add(bytes);
   // The receiver-side handler cost rides on the delivery event as a relay:
-  // no nested callback, no allocation per protocol hop.
-  fabric_->Send(src, dst, kind, bytes, std::move(cb), HandlerCost());
+  // no nested callback, no allocation per protocol hop. Retransmissions (with
+  // a fault plan attached) count once here and per-attempt in FabricStats.
+  fabric_->Send(src, dst, kind, bytes, std::move(cb), HandlerCost(), std::move(on_fail));
 }
 
 bool DsmEngine::Access(NodeId node, PageNum page, bool is_write, std::function<void()> done) {
@@ -360,13 +388,138 @@ bool DsmEngine::Access(NodeId node, PageNum page, bool is_write, std::function<v
   // Requester side: VM exit, fault decode, request dispatch.
   const TimeNs local = costs_->ept_fault_vmexit + HandlerCost();
   const MsgKind kind = is_write ? MsgKind::kDsmWriteReq : MsgKind::kDsmReadReq;
-  loop_->ScheduleAfter(local, [this, node, page, kind, txn = std::move(txn)]() mutable {
+  loop_->ScheduleAfter(local, [this, page, kind, txn = std::move(txn)]() mutable {
+    DispatchFaultRequest(page, kind, std::move(txn));
+  });
+  return false;
+}
+
+void DsmEngine::DispatchFaultRequest(PageNum page, MsgKind kind, Transaction txn) {
+  const NodeId node = txn.requester;
+  if (fabric_->fault_plan() == nullptr) {
+    // No faults possible: keep the request allocation-free.
     SendProto(node, options_.home, kind, kMsgHeaderBytes,
               [this, page, txn = std::move(txn)]() mutable {
                 StartTransaction(page, std::move(txn));
               });
+    return;
+  }
+  auto txp = std::make_shared<Transaction>(std::move(txn));
+  SendProto(
+      node, options_.home, kind, kMsgHeaderBytes,
+      [this, page, txp]() mutable { StartTransaction(page, std::move(*txp)); },
+      [this, page, kind, txp]() mutable {
+        // The request never reached the directory; no busy bit is held.
+        Transaction t = std::move(*txp);
+        if (!fabric_->NodeUp(t.requester)) {
+          stats_.txn_absorbed.Add(t.requester);
+          loop_->Trace(TraceCategory::kFault, "dsm_req_absorbed",
+                       "node=" + std::to_string(t.requester) + " page=" + std::to_string(page));
+          if (t.done) {
+            t.done();
+          }
+          return;
+        }
+        ++t.attempts;
+        stats_.txn_retries.Add(t.requester);
+        loop_->Trace(TraceCategory::kFault, "dsm_req_retry",
+                     "node=" + std::to_string(t.requester) + " page=" + std::to_string(page) +
+                         " attempt=" + std::to_string(t.attempts));
+        loop_->ScheduleAfter(RetryBackoff(t.attempts),
+                             [this, page, kind, t = std::move(t)]() mutable {
+                               DispatchFaultRequest(page, kind, std::move(t));
+                             });
+      });
+}
+
+TimeNs DsmEngine::RetryBackoff(int attempts) const {
+  const TimeNs base = Micros(500);
+  const TimeNs cap = Millis(50);
+  const int shift = std::min(attempts, 7);
+  return std::min(base << shift, cap);
+}
+
+void DsmEngine::HandleTxnSendFailure(PageNum page, Transaction txn) {
+  if (!fabric_->NodeUp(txn.requester)) {
+    AbsorbTransaction(page, std::move(txn));
+    return;
+  }
+  ScheduleTxnRetry(page, std::move(txn));
+}
+
+void DsmEngine::ScheduleTxnRetry(PageNum page, Transaction txn) {
+  ++txn.attempts;
+  const TimeNs backoff = RetryBackoff(txn.attempts);
+  loop_->ScheduleAfter(backoff, [this, page, txn = std::move(txn)]() mutable {
+    RetryTransaction(page, std::move(txn));
   });
-  return false;
+}
+
+void DsmEngine::RetryTransaction(PageNum page, Transaction txn) {
+  if (!fabric_->NodeUp(txn.requester)) {
+    AbsorbTransaction(page, std::move(txn));
+    return;
+  }
+  stats_.txn_retries.Add(txn.requester);
+  loop_->Trace(TraceCategory::kFault, "dsm_txn_retry",
+               "node=" + std::to_string(txn.requester) + " page=" + std::to_string(page) +
+                   " attempt=" + std::to_string(txn.attempts));
+  ReclaimDeadPeers(page);
+  RepairPage(page);
+  ExecuteTransaction(page, std::move(txn));
+}
+
+void DsmEngine::AbsorbTransaction(PageNum page, Transaction txn) {
+  stats_.txn_absorbed.Add(txn.requester);
+  loop_->Trace(TraceCategory::kFault, "dsm_txn_absorbed",
+               "node=" + std::to_string(txn.requester) + " page=" + std::to_string(page));
+  ReclaimDeadPeers(page);
+  RepairPage(page);
+  if (txn.done) {
+    txn.done();
+  }
+  FinishTransaction(page);
+}
+
+void DsmEngine::ReclaimDeadPeers(PageNum page) {
+  Leaf& leaf = EnsurePage(page);
+  const uint32_t i = Index(page);
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    if (n == options_.home) {
+      continue;  // the directory host is never reclaimed from below
+    }
+    if ((leaf.sharers[i] & Bit(n)) != 0 && !fabric_->NodeUp(n)) {
+      SetResident(leaf, i, n, PageAccess::kNone);
+      leaf.sharers[i] &= ~Bit(n);
+      stats_.pages_reclaimed.Add(1);
+      loop_->Trace(TraceCategory::kFault, "dsm_reclaim",
+                   "dead=" + std::to_string(n) + " page=" + std::to_string(page));
+    }
+  }
+}
+
+void DsmEngine::RepairPage(PageNum page) {
+  Leaf& leaf = EnsurePage(page);
+  const uint32_t i = Index(page);
+  // Drop mask bits for nodes whose residency an aborted attempt already
+  // revoked (their invalidate landed but the round never committed).
+  uint32_t mask = leaf.sharers[i];
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    if ((mask & Bit(n)) != 0 && AccessOf(leaf, i, n) == PageAccess::kNone) {
+      mask &= ~Bit(n);
+    }
+  }
+  leaf.sharers[i] = mask;
+  const NodeId owner = leaf.owner[i];
+  if (owner == kInvalidNode || (mask & Bit(owner)) == 0) {
+    // The owning copy is gone — dead owner or an abandoned transfer. The
+    // directory re-homes the page; content comes from the checkpoint image
+    // on the recovery path.
+    leaf.owner[i] = static_cast<int16_t>(options_.home);
+    leaf.sharers[i] = Bit(options_.home);
+    leaf.hold_until[i] = 0;
+    ResetResidency(leaf, i, options_.home);
+  }
 }
 
 void DsmEngine::StartTransaction(PageNum page, Transaction txn) {
@@ -381,6 +534,13 @@ void DsmEngine::StartTransaction(PageNum page, Transaction txn) {
 }
 
 void DsmEngine::ExecuteTransaction(PageNum page, Transaction txn) {
+  // A transaction for a crashed requester is absorbed instead of executed:
+  // granting residency to a dead node would strand the page there, and every
+  // message toward the requester would burn a full retry budget first.
+  if (!fabric_->NodeUp(txn.requester)) {
+    AbsorbTransaction(page, std::move(txn));
+    return;
+  }
   // The access may have been satisfied while this transaction queued (another
   // vCPU on the same node faulted first).
   if (WouldHit(txn.requester, page, txn.is_write)) {
@@ -468,8 +628,13 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
   }
 
   const uint64_t reply_bytes = kPageDataBytes + 4096 * prefetch.size();
+  auto txp = std::make_shared<Transaction>(std::move(txn));
+  // Fires when the fabric abandons a hop of this round (dead or partitioned
+  // peer after the full retransmit budget). Exactly one of {hop failure,
+  // final grant} consumes the transaction.
+  auto on_fail = [this, page, txp]() { HandleTxnSendFailure(page, std::move(*txp)); };
   auto deliver = [this, page, requester, owner, prefetch = std::move(prefetch), reply_bytes,
-                  txn = std::move(txn)]() mutable {
+                  txp, on_fail]() mutable {
     // Owner downgrades to read (single-writer protocol) and ships the pages.
     Leaf& l = EnsurePage(page);
     if (AccessOf(l, Index(page), owner) == PageAccess::kWrite) {
@@ -482,12 +647,11 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
       }
     }
     SendProto(owner, requester, MsgKind::kDsmPageData, reply_bytes,
-              [this, page, requester, owner, prefetch = std::move(prefetch),
-               txn = std::move(txn)]() mutable {
+              [this, page, requester, owner, prefetch = std::move(prefetch), txp]() mutable {
                 loop_->ScheduleAfter(
                     costs_->dsm_map_page,
                     [this, page, requester, owner, prefetch = std::move(prefetch),
-                     txn = std::move(txn)]() mutable {
+                     txp]() mutable {
                       Leaf& dir = EnsurePage(page);
                       dir.sharers[Index(page)] |= Bit(requester);
                       SetResident(dir, Index(page), requester, PageAccess::kRead);
@@ -504,17 +668,19 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
                         SetResident(pdir, pj, requester, PageAccess::kRead);
                         stats_.prefetched_pages.Add(1);
                       }
-                      CompleteFault(page, txn);
+                      CompleteFault(page, *txp);
                       FinishTransaction(page);
                     });
-              });
+              },
+              on_fail);
   };
 
   if (owner == options_.home) {
     deliver();
   } else {
     // Home forwards the request to the current owner.
-    SendProto(options_.home, owner, MsgKind::kControl, kMsgHeaderBytes, std::move(deliver));
+    SendProto(options_.home, owner, MsgKind::kControl, kMsgHeaderBytes, std::move(deliver),
+              std::move(on_fail));
   }
 }
 
@@ -537,6 +703,7 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
   struct WriteCtx {
     int acks_pending = 0;
     bool page_pending = false;
+    bool aborted = false;  // a hop failed; the round is void, the txn retried
     Transaction txn;
   };
   auto ctx = std::make_shared<WriteCtx>();
@@ -544,8 +711,24 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
   ctx->acks_pending = static_cast<int>(targets.size());
   ctx->page_pending = !upgrade && !targets.empty();
 
+  // A failed hop voids the whole round: committing with a missed invalidate
+  // would leave a stale readable copy behind a partition. The transaction is
+  // re-executed after backoff against the (idempotently re-invalidatable)
+  // sharer mask. Only the first failure consumes the transaction; straggler
+  // acks from the voided round find `aborted` set and fall through.
+  auto abort_round = [this, page, ctx]() {
+    if (ctx->aborted) {
+      return;
+    }
+    ctx->aborted = true;
+    stats_.write_aborts.Add(ctx->txn.requester);
+    loop_->Trace(TraceCategory::kFault, "dsm_write_abort",
+                 "node=" + std::to_string(ctx->txn.requester) + " page=" + std::to_string(page));
+    HandleTxnSendFailure(page, std::move(ctx->txn));
+  };
+
   auto maybe_finish = [this, page, requester, ctx]() {
-    if (ctx->acks_pending > 0 || ctx->page_pending) {
+    if (ctx->aborted || ctx->acks_pending > 0 || ctx->page_pending) {
       return;
     }
     Leaf& dir = EnsurePage(page);
@@ -568,14 +751,16 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
     const uint64_t bytes = upgrade ? kMsgHeaderBytes : kPageDataBytes;
     const MsgKind kind = upgrade ? MsgKind::kDsmAck : MsgKind::kDsmPageData;
     SendProto(options_.home, requester, kind, bytes,
-              [this, maybe_finish]() mutable { loop_->ScheduleAfter(costs_->dsm_map_page, maybe_finish); });
+              [this, maybe_finish]() mutable { loop_->ScheduleAfter(costs_->dsm_map_page, maybe_finish); },
+              abort_round);
     return;
   }
 
   for (const NodeId s : targets) {
     stats_.invalidations.Add(1);
     SendProto(options_.home, s, MsgKind::kDsmInvalidate, kMsgHeaderBytes,
-              [this, page, s, owner, requester, upgrade, ctx, maybe_finish]() mutable {
+              [this, page, s, owner, requester, upgrade, ctx, maybe_finish,
+               abort_round]() mutable {
                 SetResident(EnsurePage(page), Index(page), s, PageAccess::kNone);
                 const bool ships_page = (s == owner) && !upgrade;
                 if (ships_page) {
@@ -587,14 +772,17 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
                                                      ctx->page_pending = false;
                                                      maybe_finish();
                                                    });
-                            });
+                            },
+                            abort_round);
                 }
                 SendProto(s, options_.home, MsgKind::kDsmAck, kMsgHeaderBytes,
                           [ctx, maybe_finish]() mutable {
                             --ctx->acks_pending;
                             maybe_finish();
-                          });
-              });
+                          },
+                          abort_round);
+              },
+              abort_round);
   }
 }
 
@@ -608,21 +796,25 @@ void DsmEngine::RunPageTablePiggyback(PageNum page, Transaction txn) {
 
   for (int n = 0; n < options_.num_nodes; ++n) {
     if (n != requester && (leaf.sharers[pi] & Bit(n)) != 0) {
+      // Deltas are idempotent and a dead sharer needs none; losses are fine.
       SendProto(options_.home, n, MsgKind::kTlbShootdown, kPteDeltaBytes, []() {});
     }
   }
 
-  SendProto(options_.home, requester, MsgKind::kDsmAck, kMsgHeaderBytes,
-            [this, page, requester, txn = std::move(txn)]() mutable {
-              Leaf& dir = EnsurePage(page);
-              const uint32_t di = Index(page);
-              dir.owner[di] = static_cast<int16_t>(requester);
-              dir.sharers[di] |= Bit(requester);
-              dir.hold_until[di] = loop_->now() + costs_->dsm_ownership_hold;
-              SetResident(dir, di, requester, PageAccess::kWrite);
-              CompleteFault(page, txn);
-              FinishTransaction(page);
-            });
+  auto txp = std::make_shared<Transaction>(std::move(txn));
+  SendProto(
+      options_.home, requester, MsgKind::kDsmAck, kMsgHeaderBytes,
+      [this, page, requester, txp]() mutable {
+        Leaf& dir = EnsurePage(page);
+        const uint32_t di = Index(page);
+        dir.owner[di] = static_cast<int16_t>(requester);
+        dir.sharers[di] |= Bit(requester);
+        dir.hold_until[di] = loop_->now() + costs_->dsm_ownership_hold;
+        SetResident(dir, di, requester, PageAccess::kWrite);
+        CompleteFault(page, *txp);
+        FinishTransaction(page);
+      },
+      [this, page, txp]() { HandleTxnSendFailure(page, std::move(*txp)); });
 }
 
 uint64_t DsmEngine::CheckInvariants() const {

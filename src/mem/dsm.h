@@ -78,6 +78,14 @@ struct DsmStats {
   std::array<Counter, static_cast<size_t>(PageClass::kCount)> faults_by_class;
   Summary fault_latency_ns;
 
+  // Fault-tolerance counters (all zero unless a FaultPlan is attached to the
+  // fabric). Attribution is to the transaction's requester.
+  NodeCounterSet txn_retries;    // protocol attempts re-executed after a loss
+  NodeCounterSet txn_absorbed;   // transactions retired without a grant: the
+                                 // requester died; its vCPU refaults or fails over
+  NodeCounterSet write_aborts;   // write rounds abandoned on a failed invalidate
+  Counter pages_reclaimed;       // dead peers stripped from directory entries
+
   uint64_t total_faults() const { return read_faults.value() + write_faults.value(); }
 };
 
@@ -161,6 +169,7 @@ class DsmEngine {
     NodeId requester = kInvalidNode;
     bool is_write = false;
     TimeNs start_time = 0;
+    int attempts = 0;  // protocol-level retries so far (fault plans only)
     std::function<void()> done;
   };
 
@@ -228,7 +237,29 @@ class DsmEngine {
   void RunWriteProtocol(PageNum page, Transaction txn);
   void RunPageTablePiggyback(PageNum page, Transaction txn);
 
-  void SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes, EventLoop::Callback cb);
+  // --- Fault tolerance (active only with a FaultPlan on the fabric) ---
+
+  // Requester-side request dispatch with its own retry loop: the request has
+  // not reached the directory yet, so no busy bit is held.
+  void DispatchFaultRequest(PageNum page, MsgKind kind, Transaction txn);
+  // A directory-side protocol hop was abandoned by the fabric. Retries the
+  // transaction (with backoff) or absorbs it if the requester is dead.
+  void HandleTxnSendFailure(PageNum page, Transaction txn);
+  void ScheduleTxnRetry(PageNum page, Transaction txn);
+  void RetryTransaction(PageNum page, Transaction txn);
+  // Retires a transaction whose requester crashed: done() fires with no
+  // residency granted (the vCPU refaults or is failed over), the busy bit is
+  // released, waiters continue.
+  void AbsorbTransaction(PageNum page, Transaction txn);
+  // Strips crashed nodes from the page's sharer mask/residency.
+  void ReclaimDeadPeers(PageNum page);
+  // Reconciles sharer mask with residency after an aborted attempt; re-homes
+  // the page if the owning copy was lost.
+  void RepairPage(PageNum page);
+  TimeNs RetryBackoff(int attempts) const;
+
+  void SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes, EventLoop::Callback cb,
+                 EventLoop::Callback on_fail = nullptr);
 
   void CompleteFault(PageNum page, const Transaction& txn);
 

@@ -1,6 +1,7 @@
 #include "src/net/fabric.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/sim/check.h"
 
@@ -71,6 +72,7 @@ Fabric::Fabric(EventLoop* loop, int num_nodes, LinkParams defaults)
     : loop_(loop), num_nodes_(num_nodes), defaults_(defaults) {
   FV_CHECK(loop != nullptr);
   FV_CHECK_GT(num_nodes, 0);
+  retry_stats_.Init(num_nodes);
 }
 
 void Fabric::ValidateNode(NodeId n) const {
@@ -92,13 +94,37 @@ void Fabric::SetLinkParams(NodeId src, NodeId dst, LinkParams params) {
   LinkFor(src, dst).params = params;
 }
 
+void Fabric::AttachFaultPlan(FaultPlan* plan, RetryPolicy policy) {
+  FV_CHECK(plan != nullptr);
+  FV_CHECK(plan_ == nullptr);
+  FV_CHECK_GT(policy.ack_grace, 0);
+  FV_CHECK_GE(policy.max_grace, policy.ack_grace);
+  FV_CHECK_GT(policy.max_attempts, 0);
+  plan_ = plan;
+  policy_ = policy;
+  plan_->Arm(loop_);
+}
+
+bool Fabric::NodeUp(NodeId node) const {
+  ValidateNode(node);
+  return plan_ == nullptr || plan_->NodeUp(node, loop_->now());
+}
+
+TimeNs Fabric::WireArrival(LinkState& link, uint64_t size) {
+  const TimeNs start = std::max(loop_->now(), link.busy_until);
+  const TimeNs depart = start + WireTime(link.params, size);
+  link.busy_until = depart;
+  return depart + link.params.latency;
+}
+
 void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery,
-                  TimeNs receiver_delay) {
+                  TimeNs receiver_delay, DeliveryFn on_fail) {
   ValidateNode(src);
   ValidateNode(dst);
   FV_CHECK(on_delivery != nullptr);
   if (src == dst) {
-    // Loopback never hits the wire: deliver in-order at the current time.
+    // Loopback never hits the wire (and never faults): deliver in-order at
+    // the current time.
     if (receiver_delay > 0) {
       loop_->ScheduleRelay(loop_->now(), receiver_delay, std::move(on_delivery));
     } else {
@@ -106,28 +132,272 @@ void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryF
     }
     return;
   }
+  if (plan_ == nullptr) {
+    LinkState& link = LinkFor(src, dst);
+    stats_.Account(kind, size);
+    const TimeNs arrival = WireArrival(link, size);
+    if (receiver_delay > 0) {
+      loop_->ScheduleRelay(arrival, receiver_delay, std::move(on_delivery));
+    } else {
+      loop_->ScheduleAt(arrival, std::move(on_delivery));
+    }
+    return;
+  }
+  const uint32_t slot = AllocPending();
+  Pending& p = pending_[slot];
+  p.src = src;
+  p.dst = dst;
+  p.kind = kind;
+  p.size = size;
+  p.receiver_delay = receiver_delay;
+  p.on_delivery = std::move(on_delivery);
+  p.on_fail = std::move(on_fail);
+  Attempt(MakePendingId(slot, p.gen));
+}
+
+uint32_t Fabric::AllocPending() {
+  if (pending_free_head_ != kNpos) {
+    const uint32_t slot = pending_free_head_;
+    pending_free_head_ = pending_[slot].next_free;
+    pending_[slot].next_free = kNpos;
+    return slot;
+  }
+  pending_.emplace_back();
+  return static_cast<uint32_t>(pending_.size() - 1);
+}
+
+void Fabric::FreePending(uint32_t slot) {
+  Pending& p = pending_[slot];
+  p.on_delivery = nullptr;
+  p.on_fail = nullptr;
+  p.attempts = 0;
+  p.copies_in_flight = 0;
+  p.delivered = false;
+  p.failed = false;
+  p.timer = kInvalidEventId;
+  ++p.gen;
+  p.next_free = pending_free_head_;
+  pending_free_head_ = slot;
+}
+
+Fabric::Pending* Fabric::PendingFor(PendingId id, uint32_t* slot_out) {
+  const uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu) - 1;
+  FV_CHECK_LT(slot, pending_.size());
+  Pending& p = pending_[slot];
+  if (p.gen != static_cast<uint32_t>(id >> 32)) {
+    return nullptr;  // slot was retired and reused; the copy is a ghost
+  }
+  if (slot_out != nullptr) {
+    *slot_out = slot;
+  }
+  return &p;
+}
+
+void Fabric::MaybeReleasePending(uint32_t slot) {
+  Pending& p = pending_[slot];
+  if ((p.delivered || p.failed) && p.copies_in_flight == 0) {
+    FreePending(slot);
+  }
+}
+
+TimeNs Fabric::GraceFor(int attempt) const {
+  FV_CHECK_GE(attempt, 1);
+  const int shift = std::min(attempt - 1, 20);
+  return std::min(policy_.ack_grace << shift, policy_.max_grace);
+}
+
+void Fabric::Attempt(PendingId id) {
+  uint32_t slot = 0;
+  Pending* p = PendingFor(id, &slot);
+  FV_CHECK(p != nullptr);
+  ++p->attempts;
+  const TimeNs now = loop_->now();
+  if (!plan_->NodeUp(p->src, now)) {
+    // The sender itself is down; nothing reaches the wire.
+    FailPending(id);
+    return;
+  }
+  LinkState& link = LinkFor(p->src, p->dst);
+  stats_.Account(p->kind, p->size);
+  const TimeNs base_arrival = WireArrival(link, p->size);
+  bool lost = plan_->LinkCut(p->src, p->dst, now) || !plan_->NodeUp(p->dst, base_arrival);
+  FaultPlan::Perturbation pert;
+  if (lost) {
+    plan_->mutable_stats().messages_dropped.Add();
+  } else {
+    pert = plan_->Perturb(p->src, p->dst, now);
+    lost = pert.drop;
+  }
+  if (!lost) {
+    TimeNs arrival = std::max(base_arrival + pert.extra_delay, link.last_arrival);
+    link.last_arrival = arrival;
+    ++p->copies_in_flight;
+    loop_->ScheduleAt(arrival, [this, id] { DeliverReliable(id); });
+    if (pert.duplicate) {
+      const TimeNs dup_arrival = std::max(arrival + pert.duplicate_lag, link.last_arrival);
+      link.last_arrival = dup_arrival;
+      ++p->copies_in_flight;
+      loop_->ScheduleAt(dup_arrival, [this, id] { DeliverReliable(id); });
+    }
+  }
+  // The retransmit clock runs against the unperturbed schedule: the sender
+  // knows the link and knows when the ack should have been back.
+  p->timer = loop_->ScheduleAt(base_arrival + GraceFor(p->attempts),
+                               [this, id] { OnRetryTimeout(id); });
+}
+
+void Fabric::DeliverReliable(PendingId id) {
+  uint32_t slot = 0;
+  Pending* p = PendingFor(id, &slot);
+  if (p == nullptr) {
+    stale_deliveries_.Add();
+    return;
+  }
+  --p->copies_in_flight;
+  if (p->delivered || p->failed) {
+    // A duplicate or a straggler from an earlier attempt; the receiver has
+    // seen this request id already (or the sender gave up on it).
+    retry_stats_.dups_suppressed.Add(p->dst);
+    MaybeReleasePending(slot);
+    return;
+  }
+  p->delivered = true;
+  if (p->timer != kInvalidEventId) {
+    loop_->Cancel(p->timer);
+    p->timer = kInvalidEventId;
+  }
+  DeliveryFn cb = std::move(p->on_delivery);
+  const TimeNs receiver_delay = p->receiver_delay;
+  MaybeReleasePending(slot);
+  if (receiver_delay > 0) {
+    loop_->ScheduleAfter(receiver_delay, std::move(cb));
+  } else {
+    cb();
+  }
+}
+
+void Fabric::OnRetryTimeout(PendingId id) {
+  uint32_t slot = 0;
+  Pending* p = PendingFor(id, &slot);
+  FV_CHECK(p != nullptr);  // the timer is cancelled before the slot retires
+  p->timer = kInvalidEventId;
+  retry_stats_.timeouts.Add(p->src);
+  if (p->attempts >= policy_.max_attempts) {
+    FailPending(id);
+    return;
+  }
+  retry_stats_.retransmits.Add(p->src);
+  Attempt(id);
+}
+
+void Fabric::FailPending(PendingId id) {
+  uint32_t slot = 0;
+  Pending* p = PendingFor(id, &slot);
+  FV_CHECK(p != nullptr);
+  retry_stats_.send_failures.Add(p->src);
+  p->failed = true;
+  if (p->timer != kInvalidEventId) {
+    loop_->Cancel(p->timer);
+    p->timer = kInvalidEventId;
+  }
+  if (p->on_fail != nullptr) {
+    // Asynchronously, so a failure surfacing inside Send() cannot reenter the
+    // caller mid-construction.
+    loop_->ScheduleAfter(0, std::move(p->on_fail));
+  }
+  p->on_fail = nullptr;
+  MaybeReleasePending(slot);
+}
+
+void Fabric::SendDatagram(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
+                          DeliveryFn on_delivery, TimeNs receiver_delay) {
+  ValidateNode(src);
+  ValidateNode(dst);
+  FV_CHECK(on_delivery != nullptr);
+  if (src == dst) {
+    if (receiver_delay > 0) {
+      loop_->ScheduleRelay(loop_->now(), receiver_delay, std::move(on_delivery));
+    } else {
+      loop_->ScheduleAfter(0, std::move(on_delivery));
+    }
+    return;
+  }
+  const TimeNs now = loop_->now();
+  if (plan_ != nullptr && !plan_->NodeUp(src, now)) {
+    return;  // a crashed node emits nothing, and nobody is told
+  }
   LinkState& link = LinkFor(src, dst);
   stats_.Account(kind, size);
-  const TimeNs start = std::max(loop_->now(), link.busy_until);
-  const TimeNs depart = start + WireTime(link.params, size);
-  link.busy_until = depart;
-  const TimeNs arrival = depart + link.params.latency;
-  if (receiver_delay > 0) {
-    loop_->ScheduleRelay(arrival, receiver_delay, std::move(on_delivery));
+  const TimeNs base_arrival = WireArrival(link, size);
+  if (plan_ == nullptr) {
+    if (receiver_delay > 0) {
+      loop_->ScheduleRelay(base_arrival, receiver_delay, std::move(on_delivery));
+    } else {
+      loop_->ScheduleAt(base_arrival, std::move(on_delivery));
+    }
+    return;
+  }
+  bool lost = plan_->LinkCut(src, dst, now) || !plan_->NodeUp(dst, base_arrival);
+  FaultPlan::Perturbation pert;
+  if (lost) {
+    plan_->mutable_stats().messages_dropped.Add();
   } else {
-    loop_->ScheduleAt(arrival, std::move(on_delivery));
+    pert = plan_->Perturb(src, dst, now);
+    lost = pert.drop;
+  }
+  if (lost) {
+    return;
+  }
+  TimeNs arrival = std::max(base_arrival + pert.extra_delay, link.last_arrival);
+  link.last_arrival = arrival;
+  if (!pert.duplicate) {
+    if (receiver_delay > 0) {
+      loop_->ScheduleRelay(arrival, receiver_delay, std::move(on_delivery));
+    } else {
+      loop_->ScheduleAt(arrival, std::move(on_delivery));
+    }
+    return;
+  }
+  // Duplicated datagram: the callback fires twice. InlineFunction is
+  // move-only, so both copies share one heap slot.
+  auto shared = std::make_shared<DeliveryFn>(std::move(on_delivery));
+  const TimeNs dup_arrival = std::max(arrival + pert.duplicate_lag, link.last_arrival);
+  link.last_arrival = dup_arrival;
+  if (receiver_delay > 0) {
+    loop_->ScheduleRelay(arrival, receiver_delay, [shared] { (*shared)(); });
+    loop_->ScheduleRelay(dup_arrival, receiver_delay, [shared] { (*shared)(); });
+  } else {
+    loop_->ScheduleAt(arrival, [shared] { (*shared)(); });
+    loop_->ScheduleAt(dup_arrival, [shared] { (*shared)(); });
   }
 }
 
 void Fabric::SendRequestResponse(NodeId src, NodeId dst, MsgKind kind, uint64_t req_size,
-                                 uint64_t resp_size, TimeNs server_time, DeliveryFn on_response) {
-  Send(src, dst, kind, req_size,
-       [this, src, dst, kind, resp_size, server_time, cb = std::move(on_response)]() mutable {
-         loop_->ScheduleAfter(server_time, [this, src, dst, kind, resp_size,
-                                            cb2 = std::move(cb)]() mutable {
-           Send(dst, src, kind, resp_size, std::move(cb2));
+                                 uint64_t resp_size, TimeNs server_time, DeliveryFn on_response,
+                                 DeliveryFn on_fail) {
+  if (on_fail == nullptr) {
+    Send(src, dst, kind, req_size,
+         [this, src, dst, kind, resp_size, server_time, cb = std::move(on_response)]() mutable {
+           loop_->ScheduleAfter(server_time, [this, src, dst, kind, resp_size,
+                                              cb2 = std::move(cb)]() mutable {
+             Send(dst, src, kind, resp_size, std::move(cb2));
+           });
          });
-       });
+    return;
+  }
+  // Either leg may fail, but at most one does; share the failure callback
+  // across them.
+  auto fail = std::make_shared<DeliveryFn>(std::move(on_fail));
+  Send(
+      src, dst, kind, req_size,
+      [this, src, dst, kind, resp_size, server_time, fail,
+       cb = std::move(on_response)]() mutable {
+        loop_->ScheduleAfter(server_time, [this, src, dst, kind, resp_size, fail,
+                                           cb2 = std::move(cb)]() mutable {
+          Send(dst, src, kind, resp_size, std::move(cb2), 0, [fail] { (*fail)(); });
+        });
+      },
+      0, [fail] { (*fail)(); });
 }
 
 }  // namespace fragvisor

@@ -8,6 +8,19 @@
 // Two link profiles matter for the paper's testbed: the 56 Gbps InfiniBand
 // fabric between compute nodes, and the 1 Gbps Ethernet link to the external
 // client/load generator.
+//
+// Fault injection: AttachFaultPlan() puts a sim::FaultPlan between Send and
+// the wire. With a plan attached, Send() becomes a reliable channel — each
+// message gets a request id, an ack-grace retransmit timer with bounded
+// exponential backoff, and duplicate suppression at the receiver, so the
+// callback runs exactly once (or `on_fail` runs, once, after the attempt
+// budget is spent against a dead or partitioned peer). SendDatagram() skips
+// all of that: fire-and-forget, faults land unfiltered (heartbeats want
+// exactly this). An *empty* attached plan is observationally free: the
+// retransmit timers it arms are cancelled in-place on delivery (true heap
+// removal, no time advance), no ack messages exist, and the byte/message
+// accounting is untouched, so every output stays bit-identical to a run with
+// no plan at all.
 
 #ifndef FRAGVISOR_SRC_NET_FABRIC_H_
 #define FRAGVISOR_SRC_NET_FABRIC_H_
@@ -21,6 +34,7 @@
 #include <vector>
 
 #include "src/sim/event_loop.h"
+#include "src/sim/fault_plan.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -74,6 +88,31 @@ struct FabricStats {
   void Account(MsgKind kind, uint64_t size);
 };
 
+// Retransmission behavior of the reliable channel (active only with a fault
+// plan attached). The grace period doubles per attempt up to `max_grace`;
+// after `max_attempts` unacknowledged tries the send fails over to on_fail.
+struct RetryPolicy {
+  TimeNs ack_grace = Micros(200);  // wait past expected arrival before resend
+  TimeNs max_grace = Millis(20);   // backoff ceiling
+  int max_attempts = 8;
+};
+
+// Reliability counters, attributed per node: retransmits/timeouts/failures to
+// the sender, suppressed duplicates to the receiver.
+struct RetryStats {
+  NodeCounterSet retransmits;      // resends after a missed ack grace
+  NodeCounterSet timeouts;         // grace periods that expired
+  NodeCounterSet send_failures;    // sends abandoned after max_attempts
+  NodeCounterSet dups_suppressed;  // duplicate arrivals dropped at receiver
+
+  void Init(int num_nodes) {
+    retransmits.Init(num_nodes);
+    timeouts.Init(num_nodes);
+    send_failures.Init(num_nodes);
+    dups_suppressed.Init(num_nodes);
+  }
+};
+
 class Fabric {
  public:
   using DeliveryFn = EventLoop::Callback;
@@ -89,40 +128,118 @@ class Fabric {
   // Overrides the parameters of the directed link src -> dst.
   void SetLinkParams(NodeId src, NodeId dst, LinkParams params);
 
+  // Routes every subsequent Send/SendDatagram through `plan` (not owned; must
+  // outlive the fabric). Arms the plan's transition markers on the loop and
+  // turns Send() into the reliable channel described above.
+  void AttachFaultPlan(FaultPlan* plan, RetryPolicy policy = RetryPolicy());
+  const FaultPlan* fault_plan() const { return plan_; }
+  FaultPlan* mutable_fault_plan() { return plan_; }
+
+  // True unless an attached plan says `node` is crashed right now.
+  bool NodeUp(NodeId node) const;
+
   // Sends `size` bytes from `src` to `dst`; `on_delivery` runs when the last
   // byte arrives at `dst`. src == dst is allowed and models a loopback with
   // zero wire time (delivered on the next event-loop dispatch at now()).
   // A nonzero `receiver_delay` charges that much receiver-side processing
   // after arrival before `on_delivery` runs (delivery and handler are two
   // event-loop hops, like a NIC interrupt followed by a softirq handler).
+  //
+  // With a fault plan attached this is a reliable send: on_delivery runs
+  // exactly once even under drops/duplicates (retransmits fill the gaps), or
+  // `on_fail` runs once if every attempt is lost — a crashed peer, an
+  // unhealed partition. A null on_fail means the caller has its own recovery
+  // (or none: legacy callers silently lose the message, as before the plan).
   void Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery,
-            TimeNs receiver_delay = 0);
+            TimeNs receiver_delay = 0, DeliveryFn on_fail = nullptr);
+
+  // Unreliable send: no retries, no duplicate suppression — a drop loses the
+  // message and a duplication runs `on_delivery` twice. Use for traffic whose
+  // loss is the signal (heartbeats) or that is idempotent by construction.
+  void SendDatagram(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery,
+                    TimeNs receiver_delay = 0);
 
   // Convenience round-trip: request then response, invoking `on_response`
-  // after `server_time` of processing at the destination.
+  // after `server_time` of processing at the destination. `on_fail` (if any)
+  // fires once if either leg is abandoned.
   void SendRequestResponse(NodeId src, NodeId dst, MsgKind kind, uint64_t req_size,
-                           uint64_t resp_size, TimeNs server_time, DeliveryFn on_response);
+                           uint64_t resp_size, TimeNs server_time, DeliveryFn on_response,
+                           DeliveryFn on_fail = nullptr);
 
   const FabricStats& stats() const { return stats_; }
   FabricStats& mutable_stats() { return stats_; }
+  const RetryStats& retry_stats() const { return retry_stats_; }
 
   // Total payload bytes placed on the wire so far (excludes loopback).
   uint64_t wire_bytes() const { return stats_.total_bytes.value(); }
 
  private:
+  static constexpr uint32_t kNpos = 0xffffffffu;
+
   struct LinkState {
     LinkParams params;
     TimeNs busy_until = 0;
+    // Latest arrival handed out on this link while a plan is attached; jittered
+    // and duplicated deliveries clamp to it so FIFO order survives the plan.
+    TimeNs last_arrival = 0;
   };
+
+  // One in-flight reliable message. Lives until the sender sees delivery or
+  // gives up, and until every scheduled copy of it has reached the receiver
+  // (late copies must be recognized as duplicates, not ghosts).
+  struct Pending {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    MsgKind kind = MsgKind::kControl;
+    uint64_t size = 0;
+    TimeNs receiver_delay = 0;
+    DeliveryFn on_delivery;
+    DeliveryFn on_fail;
+    int attempts = 0;
+    int copies_in_flight = 0;  // delivery events currently scheduled
+    bool delivered = false;
+    bool failed = false;
+    EventId timer = kInvalidEventId;
+    uint32_t gen = 0;
+    uint32_t next_free = kNpos;
+  };
+
+  using PendingId = uint64_t;
+
+  static PendingId MakePendingId(uint32_t slot, uint32_t gen) {
+    return (static_cast<PendingId>(gen) << 32) | (slot + 1);
+  }
 
   LinkState& LinkFor(NodeId src, NodeId dst);
   void ValidateNode(NodeId n) const;
+
+  // Computes the arrival time of `size` bytes put on `link` now, advancing
+  // the link's serialization horizon. Identical for raw and reliable paths.
+  TimeNs WireArrival(LinkState& link, uint64_t size);
+
+  uint32_t AllocPending();
+  void FreePending(uint32_t slot);
+  Pending* PendingFor(PendingId id, uint32_t* slot_out);
+  void MaybeReleasePending(uint32_t slot);
+
+  TimeNs GraceFor(int attempt) const;
+  void Attempt(PendingId id);
+  void DeliverReliable(PendingId id);
+  void OnRetryTimeout(PendingId id);
+  void FailPending(PendingId id);
 
   EventLoop* loop_;
   int num_nodes_;
   LinkParams defaults_;
   std::map<std::pair<NodeId, NodeId>, LinkState> links_;
   FabricStats stats_;
+
+  FaultPlan* plan_ = nullptr;
+  RetryPolicy policy_;
+  RetryStats retry_stats_;
+  Counter stale_deliveries_;  // copies arriving after their slot was retired
+  std::vector<Pending> pending_;
+  uint32_t pending_free_head_ = kNpos;
 };
 
 // Serialization time of `size` bytes at `params.bytes_per_second`.

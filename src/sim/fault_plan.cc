@@ -1,0 +1,202 @@
+#include "src/sim/fault_plan.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/sim/check.h"
+#include "src/sim/event_loop.h"
+
+namespace fragvisor {
+
+FaultPlan::FaultPlan(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+bool FaultPlan::empty() const {
+  return !have_default_profile_ && link_profiles_.empty() && transitions_.empty() &&
+         partitions_.empty();
+}
+
+void FaultPlan::SetDefaultLinkFaults(const LinkFaultProfile& profile) {
+  FV_CHECK_GE(profile.drop_prob, 0.0);
+  FV_CHECK_LE(profile.drop_prob, 1.0);
+  FV_CHECK_GE(profile.dup_prob, 0.0);
+  FV_CHECK_LE(profile.dup_prob, 1.0);
+  FV_CHECK_GE(profile.extra_delay_max, 0);
+  default_profile_ = profile;
+  have_default_profile_ = true;
+}
+
+void FaultPlan::SetLinkFaults(int32_t src, int32_t dst, const LinkFaultProfile& profile) {
+  FV_CHECK_GE(profile.drop_prob, 0.0);
+  FV_CHECK_LE(profile.drop_prob, 1.0);
+  FV_CHECK_GE(profile.dup_prob, 0.0);
+  FV_CHECK_LE(profile.dup_prob, 1.0);
+  FV_CHECK_GE(profile.extra_delay_max, 0);
+  link_profiles_[{src, dst}] = profile;
+}
+
+void FaultPlan::CrashNode(int32_t node, TimeNs at) {
+  FV_CHECK_GE(node, 0);
+  FV_CHECK_GE(at, 0);
+  NodeTransition t{at, /*up=*/false};
+  std::vector<NodeTransition>& v = transitions_[node];
+  v.push_back(t);
+  std::sort(v.begin(), v.end(),
+            [](const NodeTransition& x, const NodeTransition& y) { return x.at < y.at; });
+  ArmNodeTransition(node, t);
+}
+
+void FaultPlan::RestartNode(int32_t node, TimeNs at) {
+  FV_CHECK_GE(node, 0);
+  FV_CHECK_GE(at, 0);
+  NodeTransition t{at, /*up=*/true};
+  std::vector<NodeTransition>& v = transitions_[node];
+  v.push_back(t);
+  std::sort(v.begin(), v.end(),
+            [](const NodeTransition& x, const NodeTransition& y) { return x.at < y.at; });
+  ArmNodeTransition(node, t);
+}
+
+void FaultPlan::PartitionLink(int32_t a, int32_t b, TimeNs from, TimeNs until) {
+  FV_CHECK_GE(a, 0);
+  FV_CHECK_GE(b, 0);
+  FV_CHECK_LT(from, until);
+  Partition p{a, b, from, until};
+  partitions_.push_back(p);
+  ArmPartition(p);
+}
+
+bool FaultPlan::NodeUp(int32_t node, TimeNs now) const {
+  auto it = transitions_.find(node);
+  if (it == transitions_.end()) {
+    return true;
+  }
+  // Transitions are sorted by time; the last one at or before `now` wins.
+  bool up = true;
+  for (const NodeTransition& t : it->second) {
+    if (t.at > now) {
+      break;
+    }
+    up = t.up;
+  }
+  return up;
+}
+
+bool FaultPlan::LinkCut(int32_t src, int32_t dst, TimeNs now) const {
+  for (const Partition& p : partitions_) {
+    const bool matches = (p.a == src && p.b == dst) || (p.a == dst && p.b == src);
+    if (matches && now >= p.from && now < p.until) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TimeNs FaultPlan::LastCrashBefore(int32_t node, TimeNs now) const {
+  auto it = transitions_.find(node);
+  if (it == transitions_.end()) {
+    return -1;
+  }
+  TimeNs last = -1;
+  for (const NodeTransition& t : it->second) {
+    if (t.at > now) {
+      break;
+    }
+    if (!t.up) {
+      last = t.at;
+    }
+  }
+  return last;
+}
+
+const LinkFaultProfile* FaultPlan::ProfileFor(int32_t src, int32_t dst) const {
+  auto it = link_profiles_.find({src, dst});
+  if (it != link_profiles_.end()) {
+    return &it->second;
+  }
+  return have_default_profile_ ? &default_profile_ : nullptr;
+}
+
+FaultPlan::Perturbation FaultPlan::Perturb(int32_t src, int32_t dst, TimeNs now) {
+  (void)now;
+  Perturbation out;
+  const LinkFaultProfile* profile = ProfileFor(src, dst);
+  if (profile == nullptr || !profile->active()) {
+    return out;  // no RNG draw: inactive links cost nothing
+  }
+  if (profile->drop_prob > 0.0 && rng_.Chance(profile->drop_prob)) {
+    out.drop = true;
+    stats_.messages_dropped.Add();
+    return out;  // a dropped message is neither duplicated nor delayed
+  }
+  if (profile->extra_delay_max > 0) {
+    out.extra_delay = rng_.UniformInt(0, profile->extra_delay_max);
+    if (out.extra_delay > 0) {
+      stats_.messages_delayed.Add();
+    }
+  }
+  if (profile->dup_prob > 0.0 && rng_.Chance(profile->dup_prob)) {
+    out.duplicate = true;
+    // The copy trails the original by a small sub-latency lag so it lands as
+    // a distinct later event on the same link.
+    out.duplicate_lag = rng_.UniformInt(1, profile->extra_delay_max > 0
+                                               ? profile->extra_delay_max
+                                               : TimeNs{1000});
+    stats_.messages_duplicated.Add();
+  }
+  return out;
+}
+
+void FaultPlan::Arm(EventLoop* loop) {
+  FV_CHECK(loop != nullptr);
+  if (loop_ == loop) {
+    return;
+  }
+  FV_CHECK(loop_ == nullptr);  // a plan arms against exactly one loop
+  loop_ = loop;
+  for (const auto& [node, v] : transitions_) {
+    for (const NodeTransition& t : v) {
+      ArmNodeTransition(node, t);
+    }
+  }
+  for (const Partition& p : partitions_) {
+    ArmPartition(p);
+  }
+}
+
+void FaultPlan::ArmNodeTransition(int32_t node, const NodeTransition& t) {
+  if (loop_ == nullptr) {
+    return;  // Arm() will schedule it later
+  }
+  const TimeNs when = std::max(t.at, loop_->now());
+  if (t.up) {
+    loop_->ScheduleAt(when, [this, node] {
+      stats_.node_restarts.Add();
+      loop_->Trace(TraceCategory::kFault, "node_restart", "node=" + std::to_string(node));
+    });
+  } else {
+    loop_->ScheduleAt(when, [this, node] {
+      stats_.node_crashes.Add();
+      loop_->Trace(TraceCategory::kFault, "node_crash", "node=" + std::to_string(node));
+    });
+  }
+}
+
+void FaultPlan::ArmPartition(const Partition& p) {
+  if (loop_ == nullptr) {
+    return;
+  }
+  const int32_t a = p.a;
+  const int32_t b = p.b;
+  loop_->ScheduleAt(std::max(p.from, loop_->now()), [this, a, b] {
+    stats_.partitions_cut.Add();
+    loop_->Trace(TraceCategory::kFault, "partition_cut",
+                 "link=" + std::to_string(a) + "<->" + std::to_string(b));
+  });
+  loop_->ScheduleAt(std::max(p.until, loop_->now()), [this, a, b] {
+    stats_.partitions_healed.Add();
+    loop_->Trace(TraceCategory::kFault, "partition_heal",
+                 "link=" + std::to_string(a) + "<->" + std::to_string(b));
+  });
+}
+
+}  // namespace fragvisor

@@ -72,6 +72,49 @@ class Histogram {
   std::array<uint64_t, kBuckets> buckets_{};
 };
 
+// A counter per cluster node plus a running total — the shape every
+// retry/timeout/abort statistic takes (failures are attributed to the node
+// that suffered them, and reports want both the breakdown and the sum).
+class NodeCounterSet {
+ public:
+  NodeCounterSet() = default;
+  explicit NodeCounterSet(int num_nodes) { Init(num_nodes); }
+
+  void Init(int num_nodes) {
+    FV_CHECK_GE(num_nodes, 0);
+    counters_.assign(static_cast<size_t>(num_nodes), Counter());
+    total_.Reset();
+  }
+
+  int num_nodes() const { return static_cast<int>(counters_.size()); }
+
+  void Add(int32_t node, uint64_t n = 1) {
+    FV_CHECK_GE(node, 0);
+    FV_CHECK_LT(static_cast<size_t>(node), counters_.size());
+    counters_[static_cast<size_t>(node)].Add(n);
+    total_.Add(n);
+  }
+
+  uint64_t value(int32_t node) const {
+    FV_CHECK_GE(node, 0);
+    FV_CHECK_LT(static_cast<size_t>(node), counters_.size());
+    return counters_[static_cast<size_t>(node)].value();
+  }
+
+  uint64_t total() const { return total_.value(); }
+
+  void Reset() {
+    for (Counter& c : counters_) {
+      c.Reset();
+    }
+    total_.Reset();
+  }
+
+ private:
+  std::vector<Counter> counters_;
+  Counter total_;
+};
+
 // (time, value) samples, e.g. per-node free CPUs over a scheduler run.
 class TimeSeries {
  public:

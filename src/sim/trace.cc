@@ -20,6 +20,8 @@ const char* TraceCategoryName(uint32_t category) {
       return "sched";
     case TraceCategory::kCkpt:
       return "ckpt";
+    case TraceCategory::kFault:
+      return "fault";
     default:
       return "multi";
   }

@@ -31,6 +31,7 @@ struct TraceCategory {
   static constexpr uint32_t kMigration = 1u << 3;
   static constexpr uint32_t kSched = 1u << 4;
   static constexpr uint32_t kCkpt = 1u << 5;
+  static constexpr uint32_t kFault = 1u << 6;
   static constexpr uint32_t kAll = ~0u;
 };
 

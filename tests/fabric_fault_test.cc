@@ -1,0 +1,238 @@
+// Fault-plan and reliable-channel properties of net::Fabric (tier 1):
+// timeline queries, FIFO preservation under injected jitter, duplicate
+// ordering, exactly-once delivery under drops, give-up after max attempts,
+// and the empty-plan bit-identity guards (golden DSM trace and a full NPB
+// harness run must not change by a single nanosecond when an empty FaultPlan
+// is attached).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/fault_plan.h"
+#include "tests/golden_trace.h"
+
+namespace fragvisor {
+namespace {
+
+TEST(FaultPlanTest, NodeTimelineQueries) {
+  FaultPlan plan(1);
+  plan.CrashNode(2, Micros(100));
+  plan.RestartNode(2, Micros(300));
+  EXPECT_TRUE(plan.NodeUp(2, 0));
+  EXPECT_TRUE(plan.NodeUp(2, Micros(100) - 1));
+  EXPECT_FALSE(plan.NodeUp(2, Micros(100)));
+  EXPECT_FALSE(plan.NodeUp(2, Micros(300) - 1));
+  EXPECT_TRUE(plan.NodeUp(2, Micros(300)));
+  EXPECT_TRUE(plan.NodeUp(1, Micros(200)));  // other nodes unaffected
+
+  EXPECT_EQ(plan.LastCrashBefore(2, Micros(50)), -1);
+  EXPECT_EQ(plan.LastCrashBefore(2, Micros(200)), Micros(100));
+  EXPECT_EQ(plan.LastCrashBefore(1, Micros(200)), -1);
+}
+
+TEST(FaultPlanTest, PartitionIsBidirectionalAndHeals) {
+  FaultPlan plan(1);
+  plan.PartitionLink(0, 1, Micros(10), Micros(20));
+  EXPECT_FALSE(plan.LinkCut(0, 1, Micros(10) - 1));
+  EXPECT_TRUE(plan.LinkCut(0, 1, Micros(10)));
+  EXPECT_TRUE(plan.LinkCut(1, 0, Micros(15)));
+  EXPECT_FALSE(plan.LinkCut(0, 1, Micros(20)));
+  EXPECT_FALSE(plan.LinkCut(0, 2, Micros(15)));
+}
+
+TEST(FabricFaultTest, EmptyPlanGoldenTraceBitIdentical) {
+  const GoldenTraceResult base = RunGoldenTrace();
+  FaultPlan plan(0xFEED);
+  const GoldenTraceResult with_plan = RunGoldenTrace(&plan);
+
+  EXPECT_EQ(base.hits, with_plan.hits);
+  EXPECT_EQ(base.resolved, with_plan.resolved);
+  EXPECT_EQ(base.read_faults, with_plan.read_faults);
+  EXPECT_EQ(base.write_faults, with_plan.write_faults);
+  EXPECT_EQ(base.invalidations, with_plan.invalidations);
+  EXPECT_EQ(base.page_transfers, with_plan.page_transfers);
+  EXPECT_EQ(base.prefetched_pages, with_plan.prefetched_pages);
+  EXPECT_EQ(base.protocol_messages, with_plan.protocol_messages);
+  EXPECT_EQ(base.protocol_bytes, with_plan.protocol_bytes);
+  EXPECT_EQ(base.migrated, with_plan.migrated);
+  EXPECT_EQ(base.reseeded, with_plan.reseeded);
+  EXPECT_EQ(base.pages_checked, with_plan.pages_checked);
+  EXPECT_EQ(base.final_time, with_plan.final_time);
+
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.stats().messages_dropped.value(), 0u);
+  EXPECT_EQ(plan.stats().messages_duplicated.value(), 0u);
+  EXPECT_EQ(plan.stats().messages_delayed.value(), 0u);
+}
+
+TEST(FabricFaultTest, EmptyPlanHarnessRunBitIdentical) {
+  const NpbProfile profile = ScaleNpb(NpbByName("CG"), 0.1);
+
+  bench::Setup plain;
+  plain.vcpus = 3;
+  double plain_faults = 0;
+  const TimeNs plain_end = bench::RunNpbMultiProcess(plain, profile, 1, &plain_faults);
+
+  bench::Setup with_plan = plain;
+  with_plan.faults.attach_empty = true;
+  double plan_faults = 0;
+  bench::FaultReport report;
+  const TimeNs plan_end =
+      bench::RunNpbMultiProcess(with_plan, profile, 1, &plan_faults, &report);
+
+  EXPECT_EQ(plain_end, plan_end);
+  EXPECT_EQ(plain_faults, plan_faults);
+  EXPECT_EQ(report, bench::FaultReport());  // every fault counter still zero
+}
+
+TEST(FabricFaultTest, FifoPreservedUnderJitter) {
+  EventLoop loop;
+  Fabric fabric(&loop, 2, LinkParams::InfiniBand56G());
+  FaultPlan plan(7);
+  LinkFaultProfile profile;
+  profile.extra_delay_max = Micros(3);
+  plan.SetDefaultLinkFaults(profile);
+  fabric.AttachFaultPlan(&plan);
+
+  constexpr int kMessages = 200;
+  std::vector<int> order;
+  for (int i = 0; i < kMessages; ++i) {
+    fabric.Send(0, 1, MsgKind::kControl, 4096, [&order, i]() { order.push_back(i); });
+  }
+  loop.Run();
+
+  ASSERT_EQ(order.size(), static_cast<size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i) << "reordered at position " << i;
+  }
+  EXPECT_GT(plan.stats().messages_delayed.value(), 0u);
+}
+
+TEST(FabricFaultTest, DatagramFifoPreservedUnderJitter) {
+  EventLoop loop;
+  Fabric fabric(&loop, 2, LinkParams::InfiniBand56G());
+  FaultPlan plan(11);
+  LinkFaultProfile profile;
+  profile.extra_delay_max = Micros(5);
+  plan.SetDefaultLinkFaults(profile);
+  fabric.AttachFaultPlan(&plan);
+
+  constexpr int kMessages = 200;
+  std::vector<int> order;
+  for (int i = 0; i < kMessages; ++i) {
+    fabric.SendDatagram(0, 1, MsgKind::kControl, 1024, [&order, i]() { order.push_back(i); });
+  }
+  loop.Run();
+
+  ASSERT_EQ(order.size(), static_cast<size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(FabricFaultTest, DuplicateNeverReordersAheadOfOriginal) {
+  EventLoop loop;
+  Fabric fabric(&loop, 2, LinkParams::InfiniBand56G());
+  FaultPlan plan(13);
+  LinkFaultProfile profile;
+  profile.dup_prob = 1.0;  // duplicate every datagram
+  plan.SetDefaultLinkFaults(profile);
+  fabric.AttachFaultPlan(&plan);
+
+  constexpr int kMessages = 100;
+  std::vector<int> order;
+  for (int i = 0; i < kMessages; ++i) {
+    fabric.SendDatagram(0, 1, MsgKind::kControl, 512, [&order, i]() { order.push_back(i); });
+  }
+  loop.Run();
+
+  // Every datagram delivered twice; with the per-link FIFO clamp the
+  // duplicate lands right behind its original, never ahead of it.
+  ASSERT_EQ(order.size(), static_cast<size_t>(2 * kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(2 * i)], i);
+    EXPECT_EQ(order[static_cast<size_t>(2 * i + 1)], i);
+  }
+  EXPECT_EQ(plan.stats().messages_duplicated.value(), static_cast<uint64_t>(kMessages));
+}
+
+TEST(FabricFaultTest, ReliableDeliveryIsExactlyOnceUnderDropsAndDups) {
+  EventLoop loop;
+  Fabric fabric(&loop, 2, LinkParams::InfiniBand56G());
+  FaultPlan plan(17);
+  LinkFaultProfile profile;
+  profile.drop_prob = 0.3;
+  profile.dup_prob = 0.3;
+  profile.extra_delay_max = Micros(2);
+  plan.SetDefaultLinkFaults(profile);
+  fabric.AttachFaultPlan(&plan);
+
+  constexpr int kMessages = 300;
+  std::vector<int> delivered(kMessages, 0);
+  int failed = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    fabric.Send(0, 1, MsgKind::kControl, 2048,
+                [&delivered, i]() { ++delivered[static_cast<size_t>(i)]; }, 0,
+                [&failed]() { ++failed; });
+  }
+  loop.Run();
+
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(delivered[static_cast<size_t>(i)], 1) << "message " << i;
+  }
+  EXPECT_EQ(failed, 0);
+  EXPECT_GT(fabric.retry_stats().retransmits.total(), 0u);
+  EXPECT_GT(fabric.retry_stats().timeouts.total(), 0u);
+  EXPECT_EQ(fabric.retry_stats().retransmits.value(0),
+            fabric.retry_stats().retransmits.total());  // all charged to the sender
+}
+
+TEST(FabricFaultTest, SendToCrashedNodeFailsAfterMaxAttempts) {
+  EventLoop loop;
+  Fabric fabric(&loop, 2, LinkParams::InfiniBand56G());
+  FaultPlan plan(19);
+  plan.CrashNode(1, 0);  // dead from the start, never restarts
+  RetryPolicy policy;
+  fabric.AttachFaultPlan(&plan, policy);
+
+  int delivered = 0;
+  int failed = 0;
+  fabric.Send(0, 1, MsgKind::kControl, 256, [&delivered]() { ++delivered; }, 0,
+              [&failed]() { ++failed; });
+  loop.Run();
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(fabric.retry_stats().send_failures.value(0), 1u);
+  EXPECT_EQ(fabric.retry_stats().timeouts.value(0), static_cast<uint64_t>(policy.max_attempts));
+  EXPECT_EQ(fabric.retry_stats().retransmits.value(0),
+            static_cast<uint64_t>(policy.max_attempts - 1));
+}
+
+TEST(FabricFaultTest, PartitionDelaysButDoesNotLoseReliableSends) {
+  EventLoop loop;
+  Fabric fabric(&loop, 2, LinkParams::InfiniBand56G());
+  FaultPlan plan(23);
+  // Cut 0<->1 for 2 ms starting immediately; retries carry the message over
+  // the heal.
+  plan.PartitionLink(0, 1, 0, Millis(2));
+  fabric.AttachFaultPlan(&plan);
+
+  int delivered = 0;
+  int failed = 0;
+  fabric.Send(0, 1, MsgKind::kControl, 256, [&delivered]() { ++delivered; }, 0,
+              [&failed]() { ++failed; });
+  loop.Run();
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(failed, 0);
+  EXPECT_GT(fabric.retry_stats().retransmits.value(0), 0u);
+  EXPECT_GE(loop.now(), Millis(2));  // delivery happened after the heal
+}
+
+}  // namespace
+}  // namespace fragvisor

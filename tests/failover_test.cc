@@ -1,0 +1,136 @@
+// Failover under fault injection (tier 2): kill each non-origin node at a
+// randomized time while a multi-process NPB run is in flight, with >= 1% of
+// all fabric messages dropped. The heartbeat detector must notice, the
+// checkpoint/restart failover must recover, the workload must complete the
+// exact same amount of work as a fault-free golden run, and the recovery time
+// must be accounted in the failover stats.
+//
+// FV_FAULT_SEED relocates the randomized crash times so CI can sweep seeds.
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/ckpt/failover.h"
+#include "src/core/fragvisor.h"
+#include "src/host/health_monitor.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/rng.h"
+#include "src/workload/npb.h"
+
+namespace fragvisor {
+namespace {
+
+uint64_t BaseSeed() {
+  const char* env = std::getenv("FV_FAULT_SEED");
+  if (env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+struct RunOutcome {
+  TimeNs end = 0;
+  std::vector<uint64_t> ops_retired;  // per vCPU
+  uint64_t failovers = 0;
+  uint64_t recoveries_recorded = 0;
+  double recovery_ms = 0;
+  TimeNs detection_latency = 0;
+};
+
+// victim < 0 runs fault-free (the golden run). One vCPU per node, so every
+// non-origin victim actually hosts part of the VM (FailoverManager skips
+// failures of nodes the VM does not touch).
+RunOutcome RunWorkload(NodeId victim, TimeNs crash_at) {
+  constexpr int kVcpus = 4;
+  Cluster::Config cc;
+  cc.num_nodes = 4;
+  cc.pcpus_per_node = 8;
+  Cluster cluster(cc);
+
+  std::unique_ptr<FaultPlan> plan;
+  if (victim >= 0) {
+    plan = std::make_unique<FaultPlan>(static_cast<uint64_t>(victim) * 97 + 3);
+    LinkFaultProfile profile;
+    profile.drop_prob = 0.012;  // >= 1% of every protocol message
+    plan->SetDefaultLinkFaults(profile);
+    plan->CrashNode(victim, crash_at);
+    cluster.fabric().AttachFaultPlan(plan.get());
+  }
+
+  HealthMonitor::Config hc;
+  hc.heartbeat_interval = Millis(20);
+  hc.miss_threshold = 3;
+  HealthMonitor monitor(&cluster, hc);
+  monitor.StartHeartbeats(0);
+
+  FailoverManager::Config fc;
+  fc.checkpoint_interval = Millis(50);
+  fc.checkpoint_node = 0;
+  FailoverManager manager(&cluster, &monitor, fc);
+
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(kVcpus);
+  AggregateVm vm(&cluster, config);
+  const NpbProfile profile = ScaleNpb(NpbByName("CG"), 0.15);
+  for (int v = 0; v < kVcpus; ++v) {
+    vm.SetWorkload(v, std::make_unique<NpbSerialStream>(&vm, v, profile, 11 + v));
+  }
+  vm.Boot();
+  manager.Protect(&vm);
+
+  RunOutcome out;
+  out.end = RunUntilVmDone(cluster, vm, Seconds(600));
+  EXPECT_TRUE(vm.AllFinished()) << "workload wedged (victim " << victim << ")";
+  for (int v = 0; v < kVcpus; ++v) {
+    out.ops_retired.push_back(vm.vcpu(v).regs().pc);
+  }
+  out.failovers = manager.stats().failovers.value();
+  out.recoveries_recorded = manager.stats().recovery_time_ns.count();
+  out.recovery_ms = manager.stats().recovery_time_ns.mean() / 1e6;
+  out.detection_latency = monitor.last_detection_latency();
+  return out;
+}
+
+TEST(FailoverTest, SurvivesKillingEachNonOriginNode) {
+  const RunOutcome golden = RunWorkload(kInvalidNode, 0);
+  ASSERT_EQ(golden.failovers, 0u);
+
+  Rng rng(BaseSeed() * 131 + 7);
+  for (NodeId victim = 1; victim < 4; ++victim) {
+    // Randomized crash time, strictly inside the golden run's lifetime.
+    const TimeNs crash_at =
+        Millis(40) + static_cast<TimeNs>(rng.UniformInt(0, 100)) * Millis(1);
+    SCOPED_TRACE("victim " + std::to_string(victim) + " crash at " +
+                 std::to_string(ToMillis(crash_at)) + " ms");
+
+    const RunOutcome o = RunWorkload(victim, crash_at);
+    EXPECT_GE(o.failovers, 1u) << "failover never triggered";
+    EXPECT_GE(o.recoveries_recorded, 1u) << "recovery time not accounted";
+    EXPECT_GT(o.recovery_ms, 0.0);
+    EXPECT_GT(o.detection_latency, 0) << "detection latency not measured from the crash";
+    EXPECT_GE(o.end, golden.end) << "faulted run finished faster than fault-free";
+
+    // Post-recovery the guest must have completed exactly the golden run's
+    // work: no vCPU lost or double-counted operations across the failover.
+    ASSERT_EQ(o.ops_retired.size(), golden.ops_retired.size());
+    for (size_t v = 0; v < golden.ops_retired.size(); ++v) {
+      EXPECT_EQ(o.ops_retired[v], golden.ops_retired[v]) << "vCPU " << v;
+    }
+  }
+}
+
+TEST(FailoverTest, CrashIsReproducibleFromTheSameSeed) {
+  const TimeNs crash_at = Millis(90);
+  const RunOutcome a = RunWorkload(2, crash_at);
+  const RunOutcome b = RunWorkload(2, crash_at);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.detection_latency, b.detection_latency);
+  EXPECT_EQ(a.ops_retired, b.ops_retired);
+}
+
+}  // namespace
+}  // namespace fragvisor

@@ -15,6 +15,7 @@
 #include "src/mem/dsm.h"
 #include "src/net/fabric.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/fault_plan.h"
 #include "src/sim/rng.h"
 
 namespace fragvisor {
@@ -35,12 +36,19 @@ struct GoldenTraceResult {
   TimeNs final_time = 0;
 };
 
-inline GoldenTraceResult RunGoldenTrace() {
+// With `plan` non-null the trace runs with the fault plan attached to the
+// fabric; an *empty* plan must leave every counter and the final time
+// bit-identical to the plan-less run (the reliable-channel bookkeeping is
+// observationally free when nothing fires).
+inline GoldenTraceResult RunGoldenTrace(FaultPlan* plan = nullptr) {
   constexpr int kNodes = 4;
   constexpr PageNum kPages = 10000;
 
   EventLoop loop;
   Fabric fabric(&loop, kNodes, LinkParams::InfiniBand56G());
+  if (plan != nullptr) {
+    fabric.AttachFaultPlan(plan);
+  }
   const CostModel costs = CostModel::Default();
   DsmEngine::Options opts;
   opts.home = 0;

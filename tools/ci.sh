@@ -31,8 +31,21 @@ for config in "${configs[@]}"; do
   cmake -B "$build_dir" -S . "${cmake_args[@]}" >/dev/null
   echo "=== [$config] build ==="
   cmake --build "$build_dir" -j "$jobs" >/dev/null
-  echo "=== [$config] ctest ==="
-  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  echo "=== [$config] ctest (tier1) ==="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -L tier1
+
+  if [ "$config" = "asan" ] || [ "$config" = "ubsan" ]; then
+    # Randomized fault-injection suites get extra mileage under the
+    # sanitizers: three distinct seeds per configuration.
+    for seed in 1 2 3; do
+      echo "=== [$config] ctest (tier2, FV_FAULT_SEED=$seed) ==="
+      FV_FAULT_SEED=$seed ctest --test-dir "$build_dir" --output-on-failure \
+        -j "$jobs" -L tier2
+    done
+  else
+    echo "=== [$config] ctest (tier2) ==="
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -L tier2
+  fi
 done
 
 echo "ci: all configurations passed (${configs[*]})"

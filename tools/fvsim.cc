@@ -94,6 +94,67 @@ bool ParseSystem(const std::string& system, Setup* setup) {
   return true;
 }
 
+std::vector<std::string> SplitList(const std::string& list) {
+  std::vector<std::string> items;
+  for (size_t pos = 0; pos <= list.size();) {
+    const size_t comma = list.find(',', pos);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > pos) {
+      items.push_back(list.substr(pos, end - pos));
+    }
+    pos = end + 1;
+  }
+  return items;
+}
+
+// Fault-injection flags, shared by every workload command:
+//   --fault-seed N        RNG seed for the plan's link-fault draws (default 1)
+//   --fault-drop P        per-message drop probability on every link
+//   --fault-dup P         per-message duplication probability
+//   --fault-delay-us U    uniform extra delivery jitter in [0, U] us
+//   --fault-crash n@ms[,n@ms...]      crash node n at t ms
+//   --fault-restart n@ms[,n@ms...]    restart node n at t ms
+//   --fault-partition a-b@ms-ms[,...] cut links a<->b during [from, until) ms
+//   --fault-empty         attach an (empty) plan even with no faults
+void ParseFaultSpec(const Args& args, Setup* setup) {
+  bench::FaultSpec& f = setup->faults;
+  f.seed = static_cast<uint64_t>(args.GetInt("fault-seed", 1));
+  f.drop_prob = args.GetDouble("fault-drop", 0.0);
+  f.dup_prob = args.GetDouble("fault-dup", 0.0);
+  f.extra_delay_max = Micros(args.GetInt("fault-delay-us", 0));
+  f.attach_empty = args.Has("fault-empty");
+  for (const std::string& item : SplitList(args.Get("fault-crash", ""))) {
+    int node = -1;
+    double ms = 0;
+    if (std::sscanf(item.c_str(), "%d@%lf", &node, &ms) != 2) {
+      std::fprintf(stderr, "bad --fault-crash entry '%s' (want n@ms)\n", item.c_str());
+      std::exit(2);
+    }
+    f.crashes.push_back({node, Millis(static_cast<TimeNs>(ms))});
+  }
+  for (const std::string& item : SplitList(args.Get("fault-restart", ""))) {
+    int node = -1;
+    double ms = 0;
+    if (std::sscanf(item.c_str(), "%d@%lf", &node, &ms) != 2) {
+      std::fprintf(stderr, "bad --fault-restart entry '%s' (want n@ms)\n", item.c_str());
+      std::exit(2);
+    }
+    f.restarts.push_back({node, Millis(static_cast<TimeNs>(ms))});
+  }
+  for (const std::string& item : SplitList(args.Get("fault-partition", ""))) {
+    int a = -1;
+    int b = -1;
+    double from_ms = 0;
+    double until_ms = 0;
+    if (std::sscanf(item.c_str(), "%d-%d@%lf-%lf", &a, &b, &from_ms, &until_ms) != 4) {
+      std::fprintf(stderr, "bad --fault-partition entry '%s' (want a-b@ms-ms)\n", item.c_str());
+      std::exit(2);
+    }
+    f.partitions.push_back({a, b, Millis(static_cast<TimeNs>(from_ms)),
+                            Millis(static_cast<TimeNs>(until_ms))});
+  }
+}
+
 Setup MakeSetup(const Args& args) {
   Setup setup;
   setup.vcpus = args.GetInt("vcpus", 4);
@@ -115,6 +176,7 @@ Setup MakeSetup(const Args& args) {
   if (args.Has("no-contextual-dsm")) {
     setup.contextual_dsm = false;
   }
+  ParseFaultSpec(args, &setup);
   return setup;
 }
 
@@ -123,11 +185,15 @@ int RunNpb(const Args& args) {
   const NpbProfile profile =
       ScaleNpb(NpbByName(args.Get("bench", "CG")), args.GetDouble("scale", 0.25));
   double faults = 0;
+  bench::FaultReport report;
   const TimeNs end = bench::RunNpbMultiProcess(setup, profile,
                                                static_cast<uint64_t>(args.GetInt("seed", 1)),
-                                               &faults);
+                                               &faults, &report);
   std::printf("%s x%d on %s: %.2f ms (%.0f DSM faults/s)\n", profile.name.c_str(), setup.vcpus,
               bench::SystemName(setup.system), ToMillis(end), faults);
+  if (setup.faults.enabled()) {
+    bench::PrintFaultReport(report);
+  }
   return 0;
 }
 
@@ -215,7 +281,10 @@ int List() {
   std::printf("        [--scale F] [--seed N] [--jobs N]\n");
   std::printf("  list\n\n");
   std::printf("systems: fragvisor | giantvm | overcommit[:pcpus]\n");
-  std::printf("flags:   --vanilla-guest --no-multiqueue --no-bypass --no-contextual-dsm\n\n");
+  std::printf("flags:   --vanilla-guest --no-multiqueue --no-bypass --no-contextual-dsm\n");
+  std::printf("faults:  --fault-seed N --fault-drop P --fault-dup P --fault-delay-us U\n");
+  std::printf("         --fault-crash n@ms[,..] --fault-restart n@ms[,..]\n");
+  std::printf("         --fault-partition a-b@ms-ms[,..] --fault-empty\n\n");
   std::printf("NPB benchmarks:");
   for (const NpbProfile& p : NpbSuite()) {
     std::printf(" %s", p.name.c_str());
