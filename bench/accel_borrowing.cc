@@ -47,7 +47,7 @@ AccelRun RunBatch(bool use_accel, bool remote, bool bypass) {
   AccelConfig ac;
   ac.backend_node = remote ? 1 : 0;
   ac.dsm_bypass = bypass;
-  AccelDev accel(&cluster.loop(), &cluster.fabric(), &vm.dsm(), &vm.space(), &vm.costs(), ac,
+  AccelDev accel(&cluster.loop(), &cluster.rpc(), &vm.dsm(), &vm.space(), &vm.costs(), ac,
                  [&vm](int v) { return vm.VcpuNode(v); });
 
   int completed = 0;

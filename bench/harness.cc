@@ -59,6 +59,7 @@ TestBed MakeTestBed(const Setup& setup) {
   }
   cc.num_nodes = std::max(cc.num_nodes, 2);
   cc.pcpus_per_node = 8;
+  cc.rpc = setup.rpc;
   bed.cluster = std::make_unique<Cluster>(cc);
 
   if (setup.faults.enabled()) {
@@ -143,6 +144,62 @@ FaultReport CollectFaultReport(const TestBed& bed) {
                             bed.vm != nullptr ? &bed.vm->dsm() : nullptr, bed.fault_plan.get());
 }
 
+MsgStatsReport CollectMsgStats(const TestBed& bed) {
+  MsgStatsReport report;
+  const FabricStats& fs = bed.cluster->fabric().stats();
+  for (size_t k = 0; k < static_cast<size_t>(MsgKind::kCount); ++k) {
+    report.messages[k] = fs.messages[k].value();
+    report.bytes[k] = fs.bytes[k].value();
+  }
+  report.total_messages = fs.total_messages.value();
+  report.total_bytes = fs.total_bytes.value();
+  const RpcStats& rs = bed.cluster->rpc().stats();
+  report.rpc_calls = rs.calls.value();
+  report.rpc_datagrams = rs.datagrams.value();
+  report.rpc_multicast_rounds = rs.multicast_rounds.value();
+  report.rpc_acks_coalesced = rs.acks_coalesced.value();
+  report.rpc_qos_deferred = rs.qos_deferred.value();
+  return report;
+}
+
+void PrintMsgStats(const MsgStatsReport& r) {
+  PrintRow({"msg kind", "messages", "bytes"}, 18);
+  for (size_t k = 0; k < static_cast<size_t>(MsgKind::kCount); ++k) {
+    if (r.messages[k] == 0) {
+      continue;
+    }
+    PrintRow({MsgKindName(static_cast<MsgKind>(k)), std::to_string(r.messages[k]),
+              std::to_string(r.bytes[k])},
+             18);
+  }
+  PrintRow({"total", std::to_string(r.total_messages), std::to_string(r.total_bytes)}, 18);
+  PrintRow({"rpc", "calls=" + std::to_string(r.rpc_calls),
+            "datagrams=" + std::to_string(r.rpc_datagrams),
+            "mcast=" + std::to_string(r.rpc_multicast_rounds),
+            "coalesced=" + std::to_string(r.rpc_acks_coalesced),
+            "qos_deferred=" + std::to_string(r.rpc_qos_deferred)},
+           18);
+}
+
+std::string MsgStatsJson(const MsgStatsReport& r) {
+  std::string json = "{\n  \"kinds\": {\n";
+  for (size_t k = 0; k < static_cast<size_t>(MsgKind::kCount); ++k) {
+    json += std::string("    \"") + MsgKindName(static_cast<MsgKind>(k)) +
+            "\": {\"messages\": " + std::to_string(r.messages[k]) +
+            ", \"bytes\": " + std::to_string(r.bytes[k]) + "}";
+    json += (k + 1 < static_cast<size_t>(MsgKind::kCount)) ? ",\n" : "\n";
+  }
+  json += "  },\n";
+  json += "  \"total_messages\": " + std::to_string(r.total_messages) + ",\n";
+  json += "  \"total_bytes\": " + std::to_string(r.total_bytes) + ",\n";
+  json += "  \"rpc\": {\"calls\": " + std::to_string(r.rpc_calls) +
+          ", \"datagrams\": " + std::to_string(r.rpc_datagrams) +
+          ", \"multicast_rounds\": " + std::to_string(r.rpc_multicast_rounds) +
+          ", \"acks_coalesced\": " + std::to_string(r.rpc_acks_coalesced) +
+          ", \"qos_deferred\": " + std::to_string(r.rpc_qos_deferred) + "}\n}\n";
+  return json;
+}
+
 void PrintFaultReport(const FaultReport& r) {
   PrintRow({"injected", "drop=" + std::to_string(r.dropped), "dup=" + std::to_string(r.duplicated),
             "delay=" + std::to_string(r.delayed), "crash=" + std::to_string(r.crashes),
@@ -157,7 +214,8 @@ void PrintFaultReport(const FaultReport& r) {
 }
 
 TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_t seed,
-                          double* faults_per_sec, FaultReport* fault_report) {
+                          double* faults_per_sec, FaultReport* fault_report,
+                          MsgStatsReport* msg_stats) {
   TestBed bed = MakeTestBed(setup);
   for (int v = 0; v < setup.vcpus; ++v) {
     bed.vm->SetWorkload(v, std::make_unique<NpbSerialStream>(bed.vm.get(), v, profile,
@@ -171,6 +229,9 @@ TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_
   }
   if (fault_report != nullptr) {
     *fault_report = CollectFaultReport(bed);
+  }
+  if (msg_stats != nullptr) {
+    *msg_stats = CollectMsgStats(bed);
   }
   return end;
 }
@@ -192,7 +253,8 @@ TimeNs RunOmp(const Setup& setup, const OmpProfile& profile, double* faults_per_
   return end;
 }
 
-double RunLemp(const Setup& setup, const LempConfig& lemp, double* faults_per_sec) {
+double RunLemp(const Setup& setup, const LempConfig& lemp, double* faults_per_sec,
+               MsgStatsReport* msg_stats) {
   Setup s = setup;
   s.with_client = true;
   FV_CHECK_GE(s.vcpus, lemp.num_php_workers + 1);
@@ -207,10 +269,14 @@ double RunLemp(const Setup& setup, const LempConfig& lemp, double* faults_per_se
   if (faults_per_sec != nullptr) {
     *faults_per_sec = RatePerSecond(bed.vm->dsm().stats().total_faults(), end);
   }
+  if (msg_stats != nullptr) {
+    *msg_stats = CollectMsgStats(bed);
+  }
   return deployment.client->Throughput();
 }
 
-FaasPhaseStats RunFaas(const Setup& setup, const FaasConfig& faas, double* faults_per_sec) {
+FaasPhaseStats RunFaas(const Setup& setup, const FaasConfig& faas, double* faults_per_sec,
+                       MsgStatsReport* msg_stats) {
   Setup s = setup;
   s.with_client = true;
   s.blk_backend = BlkBackend::kTmpfs;  // ramdisk root filesystem
@@ -225,6 +291,9 @@ FaasPhaseStats RunFaas(const Setup& setup, const FaasConfig& faas, double* fault
   FV_CHECK(bed.vm->AllFinished());
   if (faults_per_sec != nullptr) {
     *faults_per_sec = RatePerSecond(bed.vm->dsm().stats().total_faults(), end);
+  }
+  if (msg_stats != nullptr) {
+    *msg_stats = CollectMsgStats(bed);
   }
   return stats;
 }

@@ -78,6 +78,9 @@ struct Setup {
   // of giving them extra pCPUs (the paper reports GiantVM's best case, i.e.
   // extra pCPUs; co-location is the honest-accounting alternative).
   bool giantvm_colocated_helpers = false;
+  // Rpc layer features (multicast ack coalescing, QoS link scheduling). All
+  // off by default, keeping every existing bench bit-identical.
+  RpcConfig rpc;
   FaultSpec faults;
 };
 
@@ -121,13 +124,34 @@ FaultReport CollectFaultReport(const Fabric& fabric, const DsmEngine* dsm, const
 FaultReport CollectFaultReport(const TestBed& bed);
 void PrintFaultReport(const FaultReport& report);
 
+// Flattened per-MsgKind fabric traffic plus rpc-layer aggregates, for the
+// end-of-run reports and the fvsim --msg-stats JSON dump.
+struct MsgStatsReport {
+  uint64_t messages[static_cast<size_t>(MsgKind::kCount)] = {};
+  uint64_t bytes[static_cast<size_t>(MsgKind::kCount)] = {};
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
+  uint64_t rpc_calls = 0;
+  uint64_t rpc_datagrams = 0;
+  uint64_t rpc_multicast_rounds = 0;
+  uint64_t rpc_acks_coalesced = 0;
+  uint64_t rpc_qos_deferred = 0;
+};
+
+MsgStatsReport CollectMsgStats(const TestBed& bed);
+// Kinds with zero traffic are omitted from the table; the JSON lists all.
+void PrintMsgStats(const MsgStatsReport& report);
+std::string MsgStatsJson(const MsgStatsReport& report);
+
 // --- Workload runners (return what the figures plot) ---
 
 // One serial NPB instance per vCPU; returns total completion time of the set.
-// Optionally reports the DSM fault rate and the fault/retry counters.
+// Optionally reports the DSM fault rate, the fault/retry counters, and the
+// per-kind message traffic.
 TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_t seed = 1,
                           double* faults_per_sec = nullptr,
-                          FaultReport* fault_report = nullptr);
+                          FaultReport* fault_report = nullptr,
+                          MsgStatsReport* msg_stats = nullptr);
 
 // OMP-style multithreaded run (one thread per vCPU over a shared region);
 // returns completion time and DSM faults/second via out-params.
@@ -135,11 +159,12 @@ TimeNs RunOmp(const Setup& setup, const OmpProfile& profile, double* faults_per_
               uint64_t seed = 1);
 
 // LEMP closed loop; returns client-observed throughput (req/s).
-double RunLemp(const Setup& setup, const LempConfig& lemp, double* faults_per_sec = nullptr);
+double RunLemp(const Setup& setup, const LempConfig& lemp, double* faults_per_sec = nullptr,
+               MsgStatsReport* msg_stats = nullptr);
 
 // OpenLambda run; returns per-phase means.
 FaasPhaseStats RunFaas(const Setup& setup, const FaasConfig& faas,
-                       double* faults_per_sec = nullptr);
+                       double* faults_per_sec = nullptr, MsgStatsReport* msg_stats = nullptr);
 
 // --- Output helpers (paper-style rows) ---
 

@@ -96,7 +96,8 @@ DsmStormResult BenchDsmStorm(uint64_t target_accesses) {
   DsmEngine::Options opts;
   opts.home = 0;
   opts.num_nodes = kNodes;
-  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
   for (int n = 0; n < kNodes; ++n) {
     dsm.SeedRange(static_cast<PageNum>(n) * (kColdPages / kNodes), kColdPages / kNodes, n);
   }

@@ -67,7 +67,8 @@ void BM_DsmRemoteWriteFault(benchmark::State& state) {
   DsmEngine::Options opts;
   opts.home = 0;
   opts.num_nodes = 2;
-  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
   dsm.SeedRange(0, 1, 0);
   NodeId requester = 1;
   for (auto _ : state) {

@@ -88,13 +88,16 @@ void CheckpointService::WriteImage(const CheckpointInventory& inventory, NodeId 
         // Remote slice streams the batch; the write starts on arrival. A
         // batch the fabric gives up on (the slice node died) is counted and
         // skipped — the checkpoint must drain, or failover deadlocks behind
-        // checkpoint_in_flight.
-        cluster_->fabric().Send(n, ckpt_node, MsgKind::kCheckpointData, batch,
-                                [disk_write, batch]() { disk_write(batch); }, 0,
-                                [ctx, finish_one]() {
-                                  ++ctx->result.lost_batches;
-                                  finish_one();
-                                });
+        // checkpoint_in_flight. Batches are bulk-class: under the QoS
+        // scheduler they yield the links to latency-critical protocol traffic.
+        RpcLayer::CallOpts opts;
+        opts.qos = QosClass::kBulk;
+        opts.on_fail = [ctx, finish_one]() {
+          ++ctx->result.lost_batches;
+          finish_one();
+        };
+        cluster_->rpc().Call(n, ckpt_node, MsgKind::kCheckpointData, batch,
+                             [disk_write, batch]() { disk_write(batch); }, std::move(opts));
       }
     }
   }
@@ -196,11 +199,14 @@ void CheckpointService::RestoreImage(const CheckpointInventory& inventory, NodeI
             } else {
               // An undeliverable restore batch (dead destination slice) is
               // counted and skipped so the restore always completes.
-              cluster_->fabric().Send(ckpt_node, dest, MsgKind::kCheckpointData, batch,
-                                      finish_one, 0, [ctx, finish_one]() {
-                                        ++ctx->result.lost_batches;
-                                        finish_one();
-                                      });
+              RpcLayer::CallOpts opts;
+              opts.qos = QosClass::kBulk;
+              opts.on_fail = [ctx, finish_one]() {
+                ++ctx->result.lost_batches;
+                finish_one();
+              };
+              cluster_->rpc().Call(ckpt_node, dest, MsgKind::kCheckpointData, batch, finish_one,
+                                   std::move(opts));
             }
           });
     }

@@ -46,7 +46,7 @@ AggregateVm::AggregateVm(Cluster* cluster, AggregateVmConfig config)
   if (config_.platform == Platform::kGiantVm) {
     dsm_opts = config_.giantvm.AdjustDsmOptions(dsm_opts);
   }
-  dsm_ = std::make_unique<DsmEngine>(&cluster_->loop(), &cluster_->fabric(), &costs_, dsm_opts);
+  dsm_ = std::make_unique<DsmEngine>(&cluster_->loop(), &cluster_->rpc(), &costs_, dsm_opts);
 
   std::vector<NodeId> slice_nodes;
   for (const VcpuPlacement& p : config_.placement) {
@@ -67,7 +67,7 @@ AggregateVm::AggregateVm(Cluster* cluster, AggregateVmConfig config)
     net_cfg.dsm_bypass = config_.io_dsm_bypass;
     net_cfg.num_vcpus = config_.num_vcpus();
     net_cfg.external_node = config_.external_node;
-    net_ = std::make_unique<VirtioNetDev>(&cluster_->loop(), &cluster_->fabric(), dsm_.get(),
+    net_ = std::make_unique<VirtioNetDev>(&cluster_->loop(), &cluster_->rpc(), dsm_.get(),
                                           space_.get(), &costs_, net_cfg, locator);
     net_->set_rx_sink([this](int vcpu, uint64_t bytes, PageNum copy_first, uint64_t copy_pages) {
       DeliverInbox(vcpu, InboxItem{InboxType::kNet, bytes, -1, copy_first, copy_pages});
@@ -77,7 +77,7 @@ AggregateVm::AggregateVm(Cluster* cluster, AggregateVmConfig config)
     for (const NodeId nic_node : config_.extra_nic_nodes) {
       VirtioNetConfig extra_cfg = net_cfg;
       extra_cfg.backend_node = nic_node;
-      auto extra = std::make_unique<VirtioNetDev>(&cluster_->loop(), &cluster_->fabric(),
+      auto extra = std::make_unique<VirtioNetDev>(&cluster_->loop(), &cluster_->rpc(),
                                                   dsm_.get(), space_.get(), &costs_, extra_cfg,
                                                   locator);
       extra->set_rx_sink(
@@ -94,11 +94,11 @@ AggregateVm::AggregateVm(Cluster* cluster, AggregateVmConfig config)
     blk_cfg.multiqueue = config_.io_multiqueue;
     blk_cfg.dsm_bypass = config_.io_dsm_bypass;
     blk_cfg.num_vcpus = config_.num_vcpus();
-    blk_ = std::make_unique<VirtioBlkDev>(&cluster_->loop(), &cluster_->fabric(), dsm_.get(),
+    blk_ = std::make_unique<VirtioBlkDev>(&cluster_->loop(), &cluster_->rpc(), dsm_.get(),
                                           space_.get(), &costs_, blk_cfg, locator);
   }
   if (config_.want_console) {
-    console_ = std::make_unique<ConsoleDev>(&cluster_->loop(), &cluster_->fabric(), &costs_,
+    console_ = std::make_unique<ConsoleDev>(&cluster_->loop(), &cluster_->rpc(), &costs_,
                                             config_.bootstrap_node(), locator);
   }
 
@@ -145,7 +145,7 @@ void AggregateVm::Boot() {
       vc->Start();
       continue;
     }
-    cluster_->fabric().Send(origin, target, MsgKind::kVcpuMigration, kVcpuStateBytes, [vc]() {
+    cluster_->rpc().Call(origin, target, MsgKind::kVcpuMigration, kVcpuStateBytes, [vc]() {
       // A migration issued before boot completed supersedes this start.
       if (vc->life_state() == VCpu::LifeState::kCreated) {
         vc->Start();
@@ -213,7 +213,7 @@ void AggregateVm::MigrateVcpu(int vcpu_id, NodeId dest_node, int dest_pcpu,
       vcpu_node_[static_cast<size_t>(vcpu_id)] = dest_node;
       for (const NodeId n : NodesInUse()) {
         if (n != src && n != dest_node) {
-          cluster_->fabric().Send(src, n, MsgKind::kControl, kLocationUpdateBytes, []() {});
+          cluster_->rpc().Call(src, n, MsgKind::kControl, kLocationUpdateBytes, []() {});
         }
       }
       // Runtime NUMA topology update (ACPI SRAT notification) for aware guests.
@@ -221,12 +221,12 @@ void AggregateVm::MigrateVcpu(int vcpu_id, NodeId dest_node, int dest_pcpu,
         numa_updates_.Add(1);
         for (const NodeId n : NodesInUse()) {
           if (n != src) {
-            cluster_->fabric().Send(src, n, MsgKind::kControl, kLocationUpdateBytes, []() {});
+            cluster_->rpc().Call(src, n, MsgKind::kControl, kLocationUpdateBytes, []() {});
           }
         }
       }
       // Ship the vCPU state and resume at the destination.
-      cluster_->fabric().Send(src, dest_node, MsgKind::kVcpuMigration, kVcpuStateBytes,
+      cluster_->rpc().Call(src, dest_node, MsgKind::kVcpuMigration, kVcpuStateBytes,
                               [this, vc, vcpu_id, dest_node, dest_pcpu, t0,
                                done = std::move(done)]() mutable {
         const TimeNs restore = costs_.vcpu_state_restore + costs_.vcpu_migration_misc;
@@ -311,7 +311,7 @@ void AggregateVm::NotifyVcpu(NodeId from_node, int to_vcpu, std::function<void()
     return;
   }
   loop.ScheduleAfter(costs_.ipi_to_message, [this, from_node, dst, then = std::move(then)]() mutable {
-    cluster_->fabric().Send(from_node, dst, MsgKind::kIpi, kIpiBytes,
+    cluster_->rpc().Call(from_node, dst, MsgKind::kIpi, kIpiBytes,
                             [this, then = std::move(then)]() mutable {
                               cluster_->loop().ScheduleAfter(costs_.irq_inject, std::move(then));
                             });

@@ -88,6 +88,11 @@ void HealthMonitor::StartHeartbeats(NodeId monitor_node) {
   FV_CHECK_LT(monitor_node, cluster_->num_nodes());
   heartbeats_running_ = true;
   monitor_node_ = monitor_node;
+  // Typed endpoint: heartbeat datagrams carry the sender in the token, so one
+  // handler at the monitor serves every node.
+  cluster_->rpc().Bind(monitor_node, MsgKind::kControl, [this](const RpcLayer::Inbound& msg) {
+    nodes_[static_cast<size_t>(msg.token)].last_heartbeat = cluster_->loop().now();
+  });
   const TimeNs now = cluster_->loop().now();
   for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
     nodes_[static_cast<size_t>(n)].last_heartbeat = now;
@@ -105,9 +110,8 @@ void HealthMonitor::SendHeartbeat(NodeId node) {
   // so they must not ride the reliable channel's retransmits. A node the
   // fault plan has crashed falls silent here too (the fabric suppresses the
   // send), and resumes once the plan restarts it.
-  cluster_->fabric().SendDatagram(node, monitor_node_, MsgKind::kControl, 64, [this, node]() {
-    nodes_[static_cast<size_t>(node)].last_heartbeat = cluster_->loop().now();
-  });
+  cluster_->rpc().Datagram(node, monitor_node_, MsgKind::kControl, 64, nullptr,
+                           /*receiver_delay=*/0, /*token=*/static_cast<uint64_t>(node));
   cluster_->loop().ScheduleAfter(config_.heartbeat_interval,
                                  [this, node]() { SendHeartbeat(node); });
 }
@@ -117,7 +121,7 @@ void HealthMonitor::CheckHeartbeats() {
   const TimeNs deadline =
       static_cast<TimeNs>(config_.miss_threshold) * config_.heartbeat_interval;
   // A crashed monitor cannot observe anything; it picks back up on restart.
-  if (!cluster_->fabric().NodeUp(monitor_node_)) {
+  if (!cluster_->rpc().NodeUp(monitor_node_)) {
     cluster_->loop().ScheduleAfter(config_.heartbeat_interval, [this]() { CheckHeartbeats(); });
     return;
   }
@@ -140,7 +144,7 @@ void HealthMonitor::CheckHeartbeats() {
       failures_detected_.Add(1);
       if (st.failed_injected) {
         last_detection_latency_ = now - st.failed_at;
-      } else if (const FaultPlan* plan = cluster_->fabric().fault_plan();
+      } else if (const FaultPlan* plan = cluster_->rpc().fault_plan();
                  plan != nullptr && plan->LastCrashBefore(n, now) >= 0) {
         last_detection_latency_ = now - plan->LastCrashBefore(n, now);
       } else {

@@ -22,6 +22,7 @@ TimeNs Node::total_busy_time() const {
 Cluster::Cluster(const Config& config) : costs_(config.costs) {
   FV_CHECK_GT(config.num_nodes, 0);
   fabric_ = std::make_unique<Fabric>(&loop_, config.num_nodes, config.link);
+  rpc_ = std::make_unique<RpcLayer>(&loop_, fabric_.get(), config.rpc);
   nodes_.reserve(static_cast<size_t>(config.num_nodes));
   for (int i = 0; i < config.num_nodes; ++i) {
     nodes_.push_back(

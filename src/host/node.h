@@ -10,6 +10,7 @@
 #include "src/host/cost_model.h"
 #include "src/host/pcpu.h"
 #include "src/net/fabric.h"
+#include "src/net/rpc.h"
 #include "src/sim/event_loop.h"
 
 namespace fragvisor {
@@ -49,6 +50,7 @@ class Cluster {
     uint64_t ram_per_node = 32ull << 30;  // 32 GiB, as in the paper's servers
     LinkParams link = LinkParams::InfiniBand56G();
     CostModel costs = CostModel::Default();
+    RpcConfig rpc;  // messaging-layer features (coalescing/QoS), default off
   };
 
   explicit Cluster(const Config& config);
@@ -58,6 +60,7 @@ class Cluster {
 
   EventLoop& loop() { return loop_; }
   Fabric& fabric() { return *fabric_; }
+  RpcLayer& rpc() { return *rpc_; }
   const CostModel& costs() const { return costs_; }
   CostModel& mutable_costs() { return costs_; }
 
@@ -72,6 +75,7 @@ class Cluster {
   EventLoop loop_;
   CostModel costs_;
   std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<RpcLayer> rpc_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -15,17 +15,17 @@ constexpr uint64_t kDoorbellBytes = 64;
 
 }  // namespace
 
-AccelDev::AccelDev(EventLoop* loop, Fabric* fabric, DsmEngine* dsm, GuestAddressSpace* space,
+AccelDev::AccelDev(EventLoop* loop, RpcLayer* rpc, DsmEngine* dsm, GuestAddressSpace* space,
                    const CostModel* costs, const AccelConfig& config, LocatorFn locator)
     : loop_(loop),
-      fabric_(fabric),
+      rpc_(rpc),
       dsm_(dsm),
       space_(space),
       costs_(costs),
       config_(config),
       locator_(std::move(locator)) {
   FV_CHECK(loop != nullptr);
-  FV_CHECK(fabric != nullptr);
+  FV_CHECK(rpc != nullptr);
   FV_CHECK(dsm != nullptr);
   FV_CHECK(space != nullptr);
   FV_CHECK(costs != nullptr);
@@ -63,35 +63,37 @@ void AccelDev::Submit(int vcpu, uint64_t input_bytes, TimeNs cpu_equiv_work,
       dma_in + dma_out;
 
   // Shared so the fault-abort path can resolve the submission too: exactly
-  // one of the delivery / abort continuations fires per Send.
+  // one of the delivery / abort continuations fires per Call.
   auto complete = std::make_shared<std::function<void()>>(
       [this, t0, done = std::move(done)]() mutable {
         stats_.kernel_latency_ns.Record(static_cast<double>(loop_->now() - t0));
         done();
       });
-  auto abort_kernel = [this, complete](const char* stage) {
-    stats_.delegation_aborts.Add(1);
-    loop_->Trace(TraceCategory::kFault, "accel_delegation_abort",
-                 std::string("stage=") + stage);
-    (*complete)();
+  auto abort_opts = [this, complete](const char* detail) {
+    RpcLayer::CallOpts opts;
+    opts.abort_counter = &stats_.delegation_aborts;
+    opts.abort_event = "accel_delegation_abort";
+    opts.abort_detail = detail;
+    opts.on_fail = [complete]() { (*complete)(); };
+    return opts;
   };
 
   auto run_kernel = [this, src, remote, output_bytes, execution, complete,
-                     abort_kernel]() mutable {
+                     abort_opts]() mutable {
     loop_->ScheduleAfter(DeviceService(execution), [this, src, remote, output_bytes, complete,
-                                                    abort_kernel]() mutable {
+                                                    abort_opts]() mutable {
       if (!remote) {
         loop_->ScheduleAfter(costs_->irq_inject, [complete]() { (*complete)(); });
         return;
       }
       if (config_.dsm_bypass) {
         // Results piggybacked on the completion message.
-        fabric_->Send(config_.backend_node, src, MsgKind::kIoCompletion,
-                      kDoorbellBytes + output_bytes,
-                      [this, complete]() {
-                        loop_->ScheduleAfter(costs_->irq_inject, [complete]() { (*complete)(); });
-                      },
-                      0, [abort_kernel]() mutable { abort_kernel("completion"); });
+        rpc_->Call(config_.backend_node, src, MsgKind::kIoCompletion,
+                   kDoorbellBytes + output_bytes,
+                   [this, complete]() {
+                     loop_->ScheduleAfter(costs_->irq_inject, [complete]() { (*complete)(); });
+                   },
+                   abort_opts("stage=completion"));
         return;
       }
       // Results written into guest memory at the accelerator's slice; the
@@ -99,16 +101,16 @@ void AccelDev::Submit(int vcpu, uint64_t input_bytes, TimeNs cpu_equiv_work,
       const uint64_t pages = PagesFor(output_bytes);
       const PageNum first = space_->AllocTransferRange(std::max<uint64_t>(pages, 1),
                                                        config_.backend_node);
-      fabric_->Send(config_.backend_node, src, MsgKind::kIoCompletion, kDoorbellBytes,
-                    [this, src, first, pages, complete]() {
-                      DsmSequentialAccess(dsm_, src, first, pages, /*is_write=*/false,
-                                          [complete]() { (*complete)(); });
-                    },
-                    0, [abort_kernel]() mutable { abort_kernel("completion"); });
+      rpc_->Call(config_.backend_node, src, MsgKind::kIoCompletion, kDoorbellBytes,
+                 [this, src, first, pages, complete]() {
+                   DsmSequentialAccess(dsm_, src, first, pages, /*is_write=*/false,
+                                       [complete]() { (*complete)(); });
+                 },
+                 abort_opts("stage=completion"));
     });
   };
 
-  loop_->ScheduleAfter(config_.submit_overhead, [this, src, remote, input_bytes, abort_kernel,
+  loop_->ScheduleAfter(config_.submit_overhead, [this, src, remote, input_bytes, abort_opts,
                                                  run_kernel = std::move(run_kernel)]() mutable {
     if (!remote) {
       run_kernel();
@@ -116,21 +118,21 @@ void AccelDev::Submit(int vcpu, uint64_t input_bytes, TimeNs cpu_equiv_work,
     }
     if (config_.dsm_bypass) {
       // Operands ride the submission message over the fabric.
-      fabric_->Send(src, config_.backend_node, MsgKind::kIoPayload,
-                    kDoorbellBytes + input_bytes, std::move(run_kernel), 0,
-                    [abort_kernel]() mutable { abort_kernel("submit"); });
+      rpc_->Call(src, config_.backend_node, MsgKind::kIoPayload,
+                 kDoorbellBytes + input_bytes, std::move(run_kernel),
+                 abort_opts("stage=submit"));
       return;
     }
     // Doorbell only; the backend demand-faults the operand pages.
     const uint64_t pages = PagesFor(input_bytes);
     const PageNum first =
         space_->AllocTransferRange(std::max<uint64_t>(pages, 1), src);
-    fabric_->Send(src, config_.backend_node, MsgKind::kIoDoorbell, kDoorbellBytes,
-                  [this, first, pages, run_kernel = std::move(run_kernel)]() mutable {
-                    DsmSequentialAccess(dsm_, config_.backend_node, first, pages,
-                                        /*is_write=*/false, std::move(run_kernel));
-                  },
-                  0, [abort_kernel]() mutable { abort_kernel("submit"); });
+    rpc_->Call(src, config_.backend_node, MsgKind::kIoDoorbell, kDoorbellBytes,
+               [this, first, pages, run_kernel = std::move(run_kernel)]() mutable {
+                 DsmSequentialAccess(dsm_, config_.backend_node, first, pages,
+                                     /*is_write=*/false, std::move(run_kernel));
+               },
+               abort_opts("stage=submit"));
   });
 }
 

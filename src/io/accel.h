@@ -19,7 +19,7 @@
 #include "src/host/cost_model.h"
 #include "src/mem/dsm.h"
 #include "src/mem/gpa_space.h"
-#include "src/net/fabric.h"
+#include "src/net/rpc.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/stats.h"
 
@@ -50,7 +50,7 @@ class AccelDev {
  public:
   using LocatorFn = std::function<NodeId(int vcpu)>;
 
-  AccelDev(EventLoop* loop, Fabric* fabric, DsmEngine* dsm, GuestAddressSpace* space,
+  AccelDev(EventLoop* loop, RpcLayer* rpc, DsmEngine* dsm, GuestAddressSpace* space,
            const CostModel* costs, const AccelConfig& config, LocatorFn locator);
 
   AccelDev(const AccelDev&) = delete;
@@ -70,7 +70,7 @@ class AccelDev {
   TimeNs DeviceService(TimeNs execution);
 
   EventLoop* loop_;
-  Fabric* fabric_;
+  RpcLayer* rpc_;
   DsmEngine* dsm_;
   GuestAddressSpace* space_;
   const CostModel* costs_;

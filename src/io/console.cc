@@ -6,15 +6,15 @@
 
 namespace fragvisor {
 
-ConsoleDev::ConsoleDev(EventLoop* loop, Fabric* fabric, const CostModel* costs,
+ConsoleDev::ConsoleDev(EventLoop* loop, RpcLayer* rpc, const CostModel* costs,
                        NodeId worker_node, LocatorFn locator)
     : loop_(loop),
-      fabric_(fabric),
+      rpc_(rpc),
       costs_(costs),
       worker_node_(worker_node),
       locator_(std::move(locator)) {
   FV_CHECK(loop != nullptr);
-  FV_CHECK(fabric != nullptr);
+  FV_CHECK(rpc != nullptr);
   FV_CHECK(costs != nullptr);
   FV_CHECK(locator_ != nullptr);
 }
@@ -33,7 +33,7 @@ void ConsoleDev::GuestWrite(int vcpu, std::string line, std::function<void()> do
     return;
   }
   delegated_writes_.Add(1);
-  fabric_->Send(src, worker_node_, MsgKind::kIoPayload, 64 + line.size(), std::move(consume));
+  rpc_->Call(src, worker_node_, MsgKind::kIoPayload, 64 + line.size(), std::move(consume));
 }
 
 }  // namespace fragvisor

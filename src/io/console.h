@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "src/host/cost_model.h"
-#include "src/net/fabric.h"
+#include "src/net/rpc.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/stats.h"
 
@@ -23,7 +23,7 @@ class ConsoleDev {
  public:
   using LocatorFn = std::function<NodeId(int vcpu)>;
 
-  ConsoleDev(EventLoop* loop, Fabric* fabric, const CostModel* costs, NodeId worker_node,
+  ConsoleDev(EventLoop* loop, RpcLayer* rpc, const CostModel* costs, NodeId worker_node,
              LocatorFn locator);
 
   // Emits a console line from `vcpu`; `done` fires when the UART worker has
@@ -35,7 +35,7 @@ class ConsoleDev {
 
  private:
   EventLoop* loop_;
-  Fabric* fabric_;
+  RpcLayer* rpc_;
   const CostModel* costs_;
   NodeId worker_node_;
   LocatorFn locator_;

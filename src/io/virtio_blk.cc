@@ -13,18 +13,18 @@ constexpr uint64_t kDoorbellBytes = 64;
 
 }  // namespace
 
-VirtioBlkDev::VirtioBlkDev(EventLoop* loop, Fabric* fabric, DsmEngine* dsm,
+VirtioBlkDev::VirtioBlkDev(EventLoop* loop, RpcLayer* rpc, DsmEngine* dsm,
                            GuestAddressSpace* space, const CostModel* costs,
                            const VirtioBlkConfig& config, LocatorFn locator)
     : loop_(loop),
-      fabric_(fabric),
+      rpc_(rpc),
       dsm_(dsm),
       space_(space),
       costs_(costs),
       config_(config),
       locator_(std::move(locator)) {
   FV_CHECK(loop != nullptr);
-  FV_CHECK(fabric != nullptr);
+  FV_CHECK(rpc != nullptr);
   FV_CHECK(dsm != nullptr);
   FV_CHECK(space != nullptr);
   FV_CHECK(costs != nullptr);
@@ -91,20 +91,20 @@ void VirtioBlkDev::GuestIo(int vcpu, uint64_t bytes, bool is_write, std::functio
                                                           : MsgKind::kIoDoorbell;
     // If the fabric gives up (backend slice died), the op fails back to the
     // guest instead of blocking the vCPU forever.
-    auto abort_io = [this, complete]() mutable {
-      stats_.delegation_aborts.Add(1);
-      loop_->Trace(TraceCategory::kFault, "blk_delegation_abort", "stage=doorbell");
-      complete();
-    };
-    fabric_->Send(issuer, config_.backend_node, kind, req_bytes,
-                  [this, issuer, bytes, is_write, complete = std::move(complete)]() mutable {
-                    loop_->ScheduleAfter(
-                        costs_->notify_wakeup,
-                        [this, issuer, bytes, is_write, complete = std::move(complete)]() mutable {
-                          VhostIo(issuer, bytes, is_write, std::move(complete));
-                        });
-                  },
-                  0, std::move(abort_io));
+    RpcLayer::CallOpts opts;
+    opts.abort_counter = &stats_.delegation_aborts;
+    opts.abort_event = "blk_delegation_abort";
+    opts.abort_detail = "stage=doorbell";
+    opts.on_fail = complete;
+    rpc_->Call(issuer, config_.backend_node, kind, req_bytes,
+               [this, issuer, bytes, is_write, complete = std::move(complete)]() mutable {
+                 loop_->ScheduleAfter(
+                     costs_->notify_wakeup,
+                     [this, issuer, bytes, is_write, complete = std::move(complete)]() mutable {
+                       VhostIo(issuer, bytes, is_write, std::move(complete));
+                     });
+               },
+               std::move(opts));
   };
 
   if (config_.dsm_bypass) {
@@ -139,16 +139,16 @@ void VirtioBlkDev::VhostIo(NodeId issuer, uint64_t bytes, bool is_write,
     loop_->ScheduleAfter(costs_->ipi_to_message, [this, issuer, done = std::move(done)]() mutable {
       // A dead issuer slice cannot take the IRQ; resolve the op anyway (its
       // vCPUs are being failed over).
-      auto abort_io = [this, done]() mutable {
-        stats_.delegation_aborts.Add(1);
-        loop_->Trace(TraceCategory::kFault, "blk_delegation_abort", "stage=completion");
-        done();
-      };
-      fabric_->Send(config_.backend_node, issuer, MsgKind::kIoCompletion, kDoorbellBytes,
-                    [this, done = std::move(done)]() mutable {
-                      loop_->ScheduleAfter(costs_->irq_inject, std::move(done));
-                    },
-                    0, std::move(abort_io));
+      RpcLayer::CallOpts opts;
+      opts.abort_counter = &stats_.delegation_aborts;
+      opts.abort_event = "blk_delegation_abort";
+      opts.abort_detail = "stage=completion";
+      opts.on_fail = done;
+      rpc_->Call(config_.backend_node, issuer, MsgKind::kIoCompletion, kDoorbellBytes,
+                 [this, done = std::move(done)]() mutable {
+                   loop_->ScheduleAfter(costs_->irq_inject, std::move(done));
+                 },
+                 std::move(opts));
     });
   };
 
@@ -169,16 +169,16 @@ void VirtioBlkDev::VhostIo(NodeId issuer, uint64_t bytes, bool is_write,
       if (config_.dsm_bypass) {
         // Undeliverable read payload (issuer died): count the abort and fall
         // through to the completion path, which resolves or aborts in turn.
-        auto abort_io = [this, complete_back]() mutable {
-          stats_.delegation_aborts.Add(1);
-          loop_->Trace(TraceCategory::kFault, "blk_delegation_abort", "stage=read_payload");
-          complete_back();
-        };
-        fabric_->Send(config_.backend_node, issuer, MsgKind::kIoPayload, bytes + kDoorbellBytes,
-                      [this, complete_back = std::move(complete_back)]() mutable {
-                        loop_->ScheduleAfter(costs_->irq_inject, std::move(complete_back));
-                      },
-                      0, std::move(abort_io));
+        RpcLayer::CallOpts opts;
+        opts.abort_counter = &stats_.delegation_aborts;
+        opts.abort_event = "blk_delegation_abort";
+        opts.abort_detail = "stage=read_payload";
+        opts.on_fail = complete_back;
+        rpc_->Call(config_.backend_node, issuer, MsgKind::kIoPayload, bytes + kDoorbellBytes,
+                   [this, complete_back = std::move(complete_back)]() mutable {
+                     loop_->ScheduleAfter(costs_->irq_inject, std::move(complete_back));
+                   },
+                   std::move(opts));
         return;
       }
       // vhost writes into guest buffers at the backend; the remote guest then

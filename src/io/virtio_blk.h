@@ -18,7 +18,7 @@
 #include "src/host/cost_model.h"
 #include "src/mem/dsm.h"
 #include "src/mem/gpa_space.h"
-#include "src/net/fabric.h"
+#include "src/net/rpc.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/stats.h"
 
@@ -53,7 +53,7 @@ class VirtioBlkDev {
  public:
   using LocatorFn = std::function<NodeId(int vcpu)>;
 
-  VirtioBlkDev(EventLoop* loop, Fabric* fabric, DsmEngine* dsm, GuestAddressSpace* space,
+  VirtioBlkDev(EventLoop* loop, RpcLayer* rpc, DsmEngine* dsm, GuestAddressSpace* space,
                const CostModel* costs, const VirtioBlkConfig& config, LocatorFn locator);
 
   VirtioBlkDev(const VirtioBlkDev&) = delete;
@@ -76,7 +76,7 @@ class VirtioBlkDev {
   TimeNs DiskService(uint64_t bytes);
 
   EventLoop* loop_;
-  Fabric* fabric_;
+  RpcLayer* rpc_;
   DsmEngine* dsm_;
   GuestAddressSpace* space_;
   const CostModel* costs_;

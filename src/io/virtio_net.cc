@@ -13,18 +13,18 @@ constexpr uint64_t kCompletionBytes = 64;
 
 }  // namespace
 
-VirtioNetDev::VirtioNetDev(EventLoop* loop, Fabric* fabric, DsmEngine* dsm,
+VirtioNetDev::VirtioNetDev(EventLoop* loop, RpcLayer* rpc, DsmEngine* dsm,
                            GuestAddressSpace* space, const CostModel* costs,
                            const VirtioNetConfig& config, LocatorFn locator)
     : loop_(loop),
-      fabric_(fabric),
+      rpc_(rpc),
       dsm_(dsm),
       space_(space),
       costs_(costs),
       config_(config),
       locator_(std::move(locator)) {
   FV_CHECK(loop != nullptr);
-  FV_CHECK(fabric != nullptr);
+  FV_CHECK(rpc != nullptr);
   FV_CHECK(dsm != nullptr);
   FV_CHECK(space != nullptr);
   FV_CHECK(costs != nullptr);
@@ -88,21 +88,22 @@ void VirtioNetDev::GuestSend(int vcpu, uint64_t bytes, std::function<void()> don
     loop_->ScheduleAfter(costs_->vhost_kick, [this, queue, src, bytes, payload_first,
                                               payload_pages, msg_bytes, kind, t0,
                                               done = std::move(done)]() mutable {
-      fabric_->Send(src, config_.backend_node, kind, msg_bytes,
-                    [this, queue, src, bytes, payload_first, payload_pages]() {
-                      loop_->ScheduleAfter(costs_->notify_wakeup,
-                                           [this, queue, src, bytes, payload_first,
-                                            payload_pages]() {
-                                             BackendTransmit(queue, src, bytes, payload_first,
-                                                             payload_pages);
-                                           });
-                    },
-                    0, [this]() {
-                      // Backend slice died: the packet is dropped on the
-                      // floor, exactly as a real NIC outage would.
-                      stats_.delegation_aborts.Add(1);
-                      loop_->Trace(TraceCategory::kFault, "net_delegation_abort", "stage=tx");
-                    });
+      // Backend slice died: the packet is dropped on the floor, exactly as a
+      // real NIC outage would.
+      RpcLayer::CallOpts opts;
+      opts.abort_counter = &stats_.delegation_aborts;
+      opts.abort_event = "net_delegation_abort";
+      opts.abort_detail = "stage=tx";
+      rpc_->Call(src, config_.backend_node, kind, msg_bytes,
+                 [this, queue, src, bytes, payload_first, payload_pages]() {
+                   loop_->ScheduleAfter(costs_->notify_wakeup,
+                                        [this, queue, src, bytes, payload_first,
+                                         payload_pages]() {
+                                          BackendTransmit(queue, src, bytes, payload_first,
+                                                          payload_pages);
+                                        });
+                 },
+                 std::move(opts));
       stats_.tx_enqueue_latency_ns.Record(static_cast<double>(loop_->now() - t0));
       done();
     });
@@ -136,16 +137,18 @@ void VirtioNetDev::BackendTransmit(int queue, NodeId src_node, uint64_t bytes,
     // TX processing serializes on the owning queue's backend worker.
     loop_->ScheduleAfter(WorkerService(queue, costs_->vhost_per_packet + copy), [this, bytes]() {
       if (config_.external_node != kInvalidNode) {
-        fabric_->Send(config_.backend_node, config_.external_node, MsgKind::kIoPayload,
-                      bytes + kDoorbellBytes, [this, bytes]() {
-                        if (on_wire_tx_) {
-                          on_wire_tx_(bytes);
-                        }
-                      },
-                      0, [this]() {
-                        stats_.delegation_aborts.Add(1);
-                        loop_->Trace(TraceCategory::kFault, "net_delegation_abort", "stage=wire");
-                      });
+        RpcLayer::CallOpts opts;
+        opts.abort_counter = &stats_.delegation_aborts;
+        opts.abort_event = "net_delegation_abort";
+        opts.abort_detail = "stage=wire";
+        rpc_->Call(config_.backend_node, config_.external_node, MsgKind::kIoPayload,
+                   bytes + kDoorbellBytes,
+                   [this, bytes]() {
+                     if (on_wire_tx_) {
+                       on_wire_tx_(bytes);
+                     }
+                   },
+                   std::move(opts));
       } else if (on_wire_tx_) {
         on_wire_tx_(bytes);
       }
@@ -190,19 +193,20 @@ void VirtioNetDev::ReceiveFromExternal(int vcpu, uint64_t bytes) {
         config_.dsm_bypass ? kCompletionBytes + bytes : kCompletionBytes;
     loop_->ScheduleAfter(costs_->ipi_to_message, [this, vcpu, dst, msg_bytes, bytes, copy_first,
                                                   copy_pages]() {
-      fabric_->Send(config_.backend_node, dst, MsgKind::kIoCompletion, msg_bytes,
-                    [this, vcpu, bytes, copy_first, copy_pages]() {
-                      loop_->ScheduleAfter(costs_->irq_inject,
-                                           [this, vcpu, bytes, copy_first, copy_pages]() {
-                                             DeliverToGuest(vcpu, bytes, copy_first, copy_pages);
-                                           });
-                    },
-                    0, [this]() {
-                      // Receiving slice died mid-delivery; its vCPUs are
-                      // being failed over, the packet is lost.
-                      stats_.delegation_aborts.Add(1);
-                      loop_->Trace(TraceCategory::kFault, "net_delegation_abort", "stage=rx");
-                    });
+      // Receiving slice died mid-delivery; its vCPUs are being failed over,
+      // the packet is lost.
+      RpcLayer::CallOpts opts;
+      opts.abort_counter = &stats_.delegation_aborts;
+      opts.abort_event = "net_delegation_abort";
+      opts.abort_detail = "stage=rx";
+      rpc_->Call(config_.backend_node, dst, MsgKind::kIoCompletion, msg_bytes,
+                 [this, vcpu, bytes, copy_first, copy_pages]() {
+                   loop_->ScheduleAfter(costs_->irq_inject,
+                                        [this, vcpu, bytes, copy_first, copy_pages]() {
+                                          DeliverToGuest(vcpu, bytes, copy_first, copy_pages);
+                                        });
+                 },
+                 std::move(opts));
     });
   };
 
@@ -246,12 +250,13 @@ void VirtioNetDev::ReceiveFromExternal(int vcpu, uint64_t bytes) {
 
 void VirtioNetDev::SendFromExternal(int vcpu, uint64_t bytes) {
   FV_CHECK_NE(config_.external_node, kInvalidNode);
-  fabric_->Send(config_.external_node, config_.backend_node, MsgKind::kIoPayload,
-                bytes + kDoorbellBytes,
-                [this, vcpu, bytes]() { ReceiveFromExternal(vcpu, bytes); }, 0, [this]() {
-                  stats_.delegation_aborts.Add(1);
-                  loop_->Trace(TraceCategory::kFault, "net_delegation_abort", "stage=external");
-                });
+  RpcLayer::CallOpts opts;
+  opts.abort_counter = &stats_.delegation_aborts;
+  opts.abort_event = "net_delegation_abort";
+  opts.abort_detail = "stage=external";
+  rpc_->Call(config_.external_node, config_.backend_node, MsgKind::kIoPayload,
+             bytes + kDoorbellBytes, [this, vcpu, bytes]() { ReceiveFromExternal(vcpu, bytes); },
+             std::move(opts));
 }
 
 }  // namespace fragvisor

@@ -28,7 +28,7 @@
 #include "src/host/cost_model.h"
 #include "src/mem/dsm.h"
 #include "src/mem/gpa_space.h"
-#include "src/net/fabric.h"
+#include "src/net/rpc.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/stats.h"
 
@@ -60,7 +60,7 @@ class VirtioNetDev {
   // Maps a vCPU id to the node it currently runs on (the location table).
   using LocatorFn = std::function<NodeId(int vcpu)>;
 
-  VirtioNetDev(EventLoop* loop, Fabric* fabric, DsmEngine* dsm, GuestAddressSpace* space,
+  VirtioNetDev(EventLoop* loop, RpcLayer* rpc, DsmEngine* dsm, GuestAddressSpace* space,
                const CostModel* costs, const VirtioNetConfig& config, LocatorFn locator);
 
   VirtioNetDev(const VirtioNetDev&) = delete;
@@ -112,7 +112,7 @@ class VirtioNetDev {
   TimeNs WorkerService(int queue, TimeNs cost);
 
   EventLoop* loop_;
-  Fabric* fabric_;
+  RpcLayer* rpc_;
   DsmEngine* dsm_;
   GuestAddressSpace* space_;
   const CostModel* costs_;

@@ -34,11 +34,11 @@ const char* PageClassName(PageClass cls) {
   return "unknown";
 }
 
-DsmEngine::DsmEngine(EventLoop* loop, Fabric* fabric, const CostModel* costs,
+DsmEngine::DsmEngine(EventLoop* loop, RpcLayer* rpc, const CostModel* costs,
                      const Options& options)
-    : loop_(loop), fabric_(fabric), costs_(costs), options_(options) {
+    : loop_(loop), rpc_(rpc), costs_(costs), options_(options) {
   FV_CHECK(loop != nullptr);
-  FV_CHECK(fabric != nullptr);
+  FV_CHECK(rpc != nullptr);
   FV_CHECK(costs != nullptr);
   FV_CHECK_GT(options.num_nodes, 0);
   FV_CHECK_LE(options.num_nodes, kMaxNodes);
@@ -48,6 +48,8 @@ DsmEngine::DsmEngine(EventLoop* loop, Fabric* fabric, const CostModel* costs,
   stats_.txn_retries.Init(options.num_nodes);
   stats_.txn_absorbed.Init(options.num_nodes);
   stats_.write_aborts.Init(options.num_nodes);
+  proto_accounting_.messages = &stats_.protocol_messages;
+  proto_accounting_.bytes = &stats_.protocol_bytes;
 }
 
 DsmEngine::Leaf& DsmEngine::EnsureLeaf(PageNum page) {
@@ -293,6 +295,8 @@ void DsmEngine::MigrateOwnedPages(NodeId from, NodeId to,
       }
       (*self)(end);
     };
+    // Slice-migration batches are background traffic: under the QoS
+    // scheduler they yield the link to latency-critical protocol messages.
     SendProto(from, to, MsgKind::kDsmPageData, bytes,
               [this, to, batch, moved, self, end]() {
                 for (const PageNum page : *batch) {
@@ -320,7 +324,7 @@ void DsmEngine::MigrateOwnedPages(NodeId from, NodeId to,
                 *moved += batch->size();
                 (*self)(end);
               },
-              std::move(release_batch));
+              std::move(release_batch), QosClass::kBulk);
   };
   (*ship_batch)(0);
 }
@@ -347,13 +351,16 @@ TimeNs DsmEngine::HandlerCost() const {
 }
 
 void DsmEngine::SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
-                          EventLoop::Callback cb, EventLoop::Callback on_fail) {
-  stats_.protocol_messages.Add(1);
-  stats_.protocol_bytes.Add(bytes);
+                          EventLoop::Callback cb, EventLoop::Callback on_fail, QosClass qos) {
   // The receiver-side handler cost rides on the delivery event as a relay:
   // no nested callback, no allocation per protocol hop. Retransmissions (with
   // a fault plan attached) count once here and per-attempt in FabricStats.
-  fabric_->Send(src, dst, kind, bytes, std::move(cb), HandlerCost(), std::move(on_fail));
+  RpcLayer::CallOpts opts;
+  opts.qos = qos;
+  opts.receiver_delay = HandlerCost();
+  opts.account = &proto_accounting_;
+  opts.on_fail = std::move(on_fail);
+  rpc_->Call(src, dst, kind, bytes, std::move(cb), std::move(opts));
 }
 
 bool DsmEngine::Access(NodeId node, PageNum page, bool is_write, std::function<void()> done) {
@@ -395,8 +402,12 @@ bool DsmEngine::Access(NodeId node, PageNum page, bool is_write, std::function<v
 }
 
 void DsmEngine::DispatchFaultRequest(PageNum page, MsgKind kind, Transaction txn) {
+  // The rpc layer owns the requester-side retry state machine: if the fabric
+  // gives up on a request that never reached the directory (no busy bit is
+  // held), the call is re-issued after backoff while the requester is alive
+  // and abandoned once it is not.
   const NodeId node = txn.requester;
-  if (fabric_->fault_plan() == nullptr) {
+  if (rpc_->fault_plan() == nullptr) {
     // No faults possible: keep the request allocation-free.
     SendProto(node, options_.home, kind, kMsgHeaderBytes,
               [this, page, txn = std::move(txn)]() mutable {
@@ -404,32 +415,27 @@ void DsmEngine::DispatchFaultRequest(PageNum page, MsgKind kind, Transaction txn
               });
     return;
   }
+  RpcLayer::CallOpts opts;
+  opts.receiver_delay = HandlerCost();
+  opts.account = &proto_accounting_;
+  RpcLayer::RetrySpec spec;
+  spec.token = page;
+  spec.token_key = "page";
+  spec.retry_counter = &stats_.txn_retries;
+  spec.abandon_counter = &stats_.txn_absorbed;
+  spec.trace_retry = "dsm_req_retry";
+  spec.trace_abandon = "dsm_req_absorbed";
   auto txp = std::make_shared<Transaction>(std::move(txn));
-  SendProto(
+  rpc_->CallWithRetry(
       node, options_.home, kind, kMsgHeaderBytes,
       [this, page, txp]() mutable { StartTransaction(page, std::move(*txp)); },
-      [this, page, kind, txp]() mutable {
-        // The request never reached the directory; no busy bit is held.
+      [txp]() {
         Transaction t = std::move(*txp);
-        if (!fabric_->NodeUp(t.requester)) {
-          stats_.txn_absorbed.Add(t.requester);
-          loop_->Trace(TraceCategory::kFault, "dsm_req_absorbed",
-                       "node=" + std::to_string(t.requester) + " page=" + std::to_string(page));
-          if (t.done) {
-            t.done();
-          }
-          return;
+        if (t.done) {
+          t.done();
         }
-        ++t.attempts;
-        stats_.txn_retries.Add(t.requester);
-        loop_->Trace(TraceCategory::kFault, "dsm_req_retry",
-                     "node=" + std::to_string(t.requester) + " page=" + std::to_string(page) +
-                         " attempt=" + std::to_string(t.attempts));
-        loop_->ScheduleAfter(RetryBackoff(t.attempts),
-                             [this, page, kind, t = std::move(t)]() mutable {
-                               DispatchFaultRequest(page, kind, std::move(t));
-                             });
-      });
+      },
+      spec, std::move(opts));
 }
 
 TimeNs DsmEngine::RetryBackoff(int attempts) const {
@@ -440,7 +446,7 @@ TimeNs DsmEngine::RetryBackoff(int attempts) const {
 }
 
 void DsmEngine::HandleTxnSendFailure(PageNum page, Transaction txn) {
-  if (!fabric_->NodeUp(txn.requester)) {
+  if (!rpc_->NodeUp(txn.requester)) {
     AbsorbTransaction(page, std::move(txn));
     return;
   }
@@ -456,7 +462,7 @@ void DsmEngine::ScheduleTxnRetry(PageNum page, Transaction txn) {
 }
 
 void DsmEngine::RetryTransaction(PageNum page, Transaction txn) {
-  if (!fabric_->NodeUp(txn.requester)) {
+  if (!rpc_->NodeUp(txn.requester)) {
     AbsorbTransaction(page, std::move(txn));
     return;
   }
@@ -488,7 +494,7 @@ void DsmEngine::ReclaimDeadPeers(PageNum page) {
     if (n == options_.home) {
       continue;  // the directory host is never reclaimed from below
     }
-    if ((leaf.sharers[i] & Bit(n)) != 0 && !fabric_->NodeUp(n)) {
+    if ((leaf.sharers[i] & Bit(n)) != 0 && !rpc_->NodeUp(n)) {
       SetResident(leaf, i, n, PageAccess::kNone);
       leaf.sharers[i] &= ~Bit(n);
       stats_.pages_reclaimed.Add(1);
@@ -537,7 +543,7 @@ void DsmEngine::ExecuteTransaction(PageNum page, Transaction txn) {
   // A transaction for a crashed requester is absorbed instead of executed:
   // granting residency to a dead node would strand the page there, and every
   // message toward the requester would burn a full retry budget first.
-  if (!fabric_->NodeUp(txn.requester)) {
+  if (!rpc_->NodeUp(txn.requester)) {
     AbsorbTransaction(page, std::move(txn));
     return;
   }
@@ -701,14 +707,14 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
   }
 
   struct WriteCtx {
-    int acks_pending = 0;
+    bool acks_done = false;  // every sharer acknowledged its invalidate
     bool page_pending = false;
     bool aborted = false;  // a hop failed; the round is void, the txn retried
     Transaction txn;
   };
   auto ctx = std::make_shared<WriteCtx>();
   ctx->txn = std::move(txn);
-  ctx->acks_pending = static_cast<int>(targets.size());
+  ctx->acks_done = targets.empty();
   ctx->page_pending = !upgrade && !targets.empty();
 
   // A failed hop voids the whole round: committing with a missed invalidate
@@ -728,7 +734,7 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
   };
 
   auto maybe_finish = [this, page, requester, ctx]() {
-    if (ctx->aborted || ctx->acks_pending > 0 || ctx->page_pending) {
+    if (ctx->aborted || !ctx->acks_done || ctx->page_pending) {
       return;
     }
     Leaf& dir = EnsurePage(page);
@@ -756,34 +762,40 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
     return;
   }
 
-  for (const NodeId s : targets) {
-    stats_.invalidations.Add(1);
-    SendProto(options_.home, s, MsgKind::kDsmInvalidate, kMsgHeaderBytes,
-              [this, page, s, owner, requester, upgrade, ctx, maybe_finish,
-               abort_round]() mutable {
-                SetResident(EnsurePage(page), Index(page), s, PageAccess::kNone);
-                const bool ships_page = (s == owner) && !upgrade;
-                if (ships_page) {
-                  stats_.page_transfers.Add(1);
-                  SendProto(s, requester, MsgKind::kDsmPageData, kPageDataBytes,
-                            [this, ctx, maybe_finish]() mutable {
-                              loop_->ScheduleAfter(costs_->dsm_map_page,
-                                                   [ctx, maybe_finish]() mutable {
-                                                     ctx->page_pending = false;
-                                                     maybe_finish();
-                                                   });
-                            },
-                            abort_round);
-                }
-                SendProto(s, options_.home, MsgKind::kDsmAck, kMsgHeaderBytes,
-                          [ctx, maybe_finish]() mutable {
-                            --ctx->acks_pending;
-                            maybe_finish();
-                          },
-                          abort_round);
-              },
-              abort_round);
-  }
+  // One invalidation round over all sharers, with the rpc layer aggregating
+  // the per-target acks. In the default (uncoalesced) mode this reproduces
+  // the classic N invalidate + N ack exchange event-for-event; with
+  // coalesced_acks the delivery confirmations stand in for the acks.
+  stats_.invalidations.Add(targets.size());
+  RpcLayer::MulticastOpts mopts;
+  mopts.ack_kind = MsgKind::kDsmAck;
+  mopts.ack_bytes = kMsgHeaderBytes;
+  mopts.receiver_delay = HandlerCost();
+  mopts.ack_receiver_delay = HandlerCost();
+  mopts.account = &proto_accounting_;
+  mopts.on_fail = abort_round;
+  rpc_->Multicast(
+      options_.home, targets, MsgKind::kDsmInvalidate, kMsgHeaderBytes,
+      [this, page, owner, requester, upgrade, ctx, maybe_finish, abort_round](NodeId s) mutable {
+        SetResident(EnsurePage(page), Index(page), s, PageAccess::kNone);
+        const bool ships_page = (s == owner) && !upgrade;
+        if (ships_page) {
+          stats_.page_transfers.Add(1);
+          SendProto(s, requester, MsgKind::kDsmPageData, kPageDataBytes,
+                    [this, ctx, maybe_finish]() mutable {
+                      loop_->ScheduleAfter(costs_->dsm_map_page, [ctx, maybe_finish]() mutable {
+                        ctx->page_pending = false;
+                        maybe_finish();
+                      });
+                    },
+                    abort_round);
+        }
+      },
+      [ctx, maybe_finish]() mutable {
+        ctx->acks_done = true;
+        maybe_finish();
+      },
+      std::move(mopts));
 }
 
 void DsmEngine::RunPageTablePiggyback(PageNum page, Transaction txn) {

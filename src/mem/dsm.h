@@ -42,7 +42,7 @@
 #include <vector>
 
 #include "src/host/cost_model.h"
-#include "src/net/fabric.h"
+#include "src/net/rpc.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/stats.h"
 
@@ -104,7 +104,7 @@ class DsmEngine {
     int read_prefetch_pages = 0;
   };
 
-  DsmEngine(EventLoop* loop, Fabric* fabric, const CostModel* costs, const Options& options);
+  DsmEngine(EventLoop* loop, RpcLayer* rpc, const CostModel* costs, const Options& options);
 
   DsmEngine(const DsmEngine&) = delete;
   DsmEngine& operator=(const DsmEngine&) = delete;
@@ -259,12 +259,12 @@ class DsmEngine {
   TimeNs RetryBackoff(int attempts) const;
 
   void SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes, EventLoop::Callback cb,
-                 EventLoop::Callback on_fail = nullptr);
+                 EventLoop::Callback on_fail = nullptr, QosClass qos = QosClass::kLatency);
 
   void CompleteFault(PageNum page, const Transaction& txn);
 
   EventLoop* loop_;
-  Fabric* fabric_;
+  RpcLayer* rpc_;
   const CostModel* costs_;
   Options options_;
 
@@ -278,6 +278,9 @@ class DsmEngine {
   std::vector<Counter> node_faults_;  // faults initiated by each node
 
   DsmStats stats_;
+  // Per-send protocol accounting handed to the rpc layer (kept exactly as
+  // the hand-rolled SendProto counted: once per issue, including retries).
+  RpcLayer::ProtoAccounting proto_accounting_;
 };
 
 }  // namespace fragvisor

@@ -128,6 +128,10 @@ class Fabric {
   // Overrides the parameters of the directed link src -> dst.
   void SetLinkParams(NodeId src, NodeId dst, LinkParams params);
 
+  // Parameters of the directed link src -> dst (schedulers layered above the
+  // fabric need the serialization bandwidth).
+  LinkParams link_params(NodeId src, NodeId dst) { return LinkFor(src, dst).params; }
+
   // Routes every subsequent Send/SendDatagram through `plan` (not owned; must
   // outlive the fabric). Arms the plan's transition markers on the loop and
   // turns Send() into the reliable channel described above.

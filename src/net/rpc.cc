@@ -1,0 +1,310 @@
+#include "src/net/rpc.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+const char* QosClassName(QosClass cls) {
+  switch (cls) {
+    case QosClass::kLatency:
+      return "latency";
+    case QosClass::kBulk:
+      return "bulk";
+  }
+  return "unknown";
+}
+
+RpcLayer::RpcLayer(EventLoop* loop, Fabric* fabric, RpcConfig config)
+    : loop_(loop), fabric_(fabric), config_(config) {
+  FV_CHECK(loop != nullptr);
+  FV_CHECK(fabric != nullptr);
+  FV_CHECK_GT(config.qos.quantum_bytes, 0u);
+  for (const uint32_t w : config.qos.weights) {
+    FV_CHECK_GT(w, 0u);
+  }
+}
+
+void RpcLayer::Bind(NodeId node, MsgKind kind, Handler handler) {
+  FV_CHECK(handler != nullptr);
+  handlers_[{node, static_cast<uint8_t>(kind)}] = std::move(handler);
+}
+
+Fabric::DeliveryFn RpcLayer::ResolveDelivery(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
+                                             uint64_t token, EventLoop::Callback on_done) {
+  if (on_done != nullptr) {
+    return on_done;
+  }
+  // Typed endpoint: the receiver's bound handler is looked up at delivery
+  // time, so handlers registered after the send (but before arrival) work.
+  return [this, src, dst, kind, bytes, token]() {
+    auto it = handlers_.find({dst, static_cast<uint8_t>(kind)});
+    if (it != handlers_.end()) {
+      it->second(Inbound{src, dst, kind, bytes, token});
+    }
+  };
+}
+
+Fabric::DeliveryFn RpcLayer::MakeFailFn(CallOpts& opts) {
+  if (opts.abort_counter == nullptr && opts.abort_event == nullptr) {
+    // No declarative bookkeeping: hand the caller's continuation (possibly
+    // null — the fabric then drops silently) straight through, keeping hot
+    // protocol paths free of a wrapper closure.
+    return std::move(opts.on_fail);
+  }
+  return [this, counter = opts.abort_counter, event = opts.abort_event,
+          detail = opts.abort_detail, on_fail = std::move(opts.on_fail)]() mutable {
+    stats_.call_failures.Add(1);
+    if (counter != nullptr) {
+      counter->Add(1);
+    }
+    if (event != nullptr) {
+      loop_->Trace(TraceCategory::kFault, event, detail != nullptr ? detail : "");
+    }
+    if (on_fail != nullptr) {
+      on_fail();
+    }
+  };
+}
+
+void RpcLayer::Call(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
+                    EventLoop::Callback on_done, CallOpts opts) {
+  stats_.calls.Add(1);
+  Account(opts.account, bytes);
+  Fabric::DeliveryFn on_fail = MakeFailFn(opts);
+  Dispatch(src, dst, kind, bytes, ResolveDelivery(src, dst, kind, bytes, opts.token,
+                                                  std::move(on_done)),
+           opts.receiver_delay, std::move(on_fail), opts.qos);
+}
+
+void RpcLayer::CallWithRetry(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
+                             EventLoop::Callback on_done, EventLoop::Callback on_abandon,
+                             RetrySpec spec, CallOpts opts) {
+  if (fabric_->fault_plan() == nullptr) {
+    // No failures possible: keep the hot path allocation-free.
+    Call(src, dst, kind, bytes, std::move(on_done), std::move(opts));
+    return;
+  }
+  // The retry context outlives each individual attempt; exactly one of
+  // on_done / on_abandon consumes it.
+  struct RetryCtx {
+    EventLoop::Callback on_done;
+    EventLoop::Callback on_abandon;
+    RetrySpec spec;
+    int attempts = 0;
+  };
+  auto ctx = std::make_shared<RetryCtx>();
+  ctx->on_done = std::move(on_done);
+  ctx->on_abandon = std::move(on_abandon);
+  ctx->spec = spec;
+
+  auto issue = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_issue = issue;
+  *issue = [this, src, dst, kind, bytes, ctx, weak_issue, qos = opts.qos,
+            receiver_delay = opts.receiver_delay, account = opts.account]() {
+    auto self = weak_issue.lock();
+    stats_.calls.Add(1);
+    Account(account, bytes);
+    Dispatch(
+        src, dst, kind, bytes, [ctx]() { ctx->on_done(); }, receiver_delay,
+        [this, src, ctx, self]() {
+          const RetrySpec& s = ctx->spec;
+          if (!fabric_->NodeUp(src)) {
+            stats_.abandons.Add(1);
+            if (s.abandon_counter != nullptr) {
+              s.abandon_counter->Add(src);
+            }
+            if (s.trace_abandon != nullptr) {
+              loop_->Trace(TraceCategory::kFault, s.trace_abandon,
+                           "node=" + std::to_string(src) + " " + s.token_key + "=" +
+                               std::to_string(s.token));
+            }
+            if (ctx->on_abandon != nullptr) {
+              ctx->on_abandon();
+            }
+            return;
+          }
+          ++ctx->attempts;
+          stats_.retries.Add(1);
+          if (s.retry_counter != nullptr) {
+            s.retry_counter->Add(src);
+          }
+          if (s.trace_retry != nullptr) {
+            loop_->Trace(TraceCategory::kFault, s.trace_retry,
+                         "node=" + std::to_string(src) + " " + s.token_key + "=" +
+                             std::to_string(s.token) + " attempt=" +
+                             std::to_string(ctx->attempts));
+          }
+          const int shift = std::min(ctx->attempts, s.backoff_max_shift);
+          const TimeNs backoff = std::min(s.backoff_base << shift, s.backoff_cap);
+          loop_->ScheduleAfter(backoff, [self]() { (*self)(); });
+        },
+        qos);
+  };
+  (*issue)();
+}
+
+void RpcLayer::Datagram(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
+                        EventLoop::Callback on_done, TimeNs receiver_delay, uint64_t token) {
+  stats_.datagrams.Add(1);
+  fabric_->SendDatagram(src, dst, kind, bytes,
+                        ResolveDelivery(src, dst, kind, bytes, token, std::move(on_done)),
+                        receiver_delay);
+}
+
+void RpcLayer::Multicast(NodeId src, const std::vector<NodeId>& targets, MsgKind kind,
+                         uint64_t bytes, std::function<void(NodeId target)> on_target,
+                         EventLoop::Callback on_all_acked, MulticastOpts opts) {
+  FV_CHECK(!targets.empty());
+  FV_CHECK(on_target != nullptr);
+  stats_.multicast_rounds.Add(1);
+
+  // Shared round state: all per-hop closures reference it, keeping each one
+  // small enough for the event loop's inline storage.
+  struct McastCtx {
+    NodeId src = kInvalidNode;
+    int pending = 0;
+    bool failed = false;  // a hop was abandoned; the round never completes
+    MulticastOpts opts;
+    std::function<void(NodeId)> on_target;
+    EventLoop::Callback on_all_acked;
+  };
+  // Plain `new`: make_shared's construct_at can't name a function-local class.
+  std::shared_ptr<McastCtx> ctx(new McastCtx());
+  ctx->src = src;
+  ctx->pending = static_cast<int>(targets.size());
+  ctx->opts = std::move(opts);
+  ctx->on_target = std::move(on_target);
+  ctx->on_all_acked = std::move(on_all_acked);
+
+  // Per-hop failure: mark the round void, then run the caller's handler
+  // (which typically aborts/retries the whole transaction and guards itself
+  // against running twice).
+  auto hop_fail = [this, ctx]() {
+    stats_.call_failures.Add(1);
+    ctx->failed = true;
+    if (ctx->opts.on_fail) {
+      ctx->opts.on_fail();
+    }
+  };
+
+  for (const NodeId t : targets) {
+    stats_.multicast_targets.Add(1);
+    stats_.calls.Add(1);
+    Account(ctx->opts.account, bytes);
+    if (config_.coalesced_acks) {
+      // The reliable channel's delivery confirmation is the ack: the target
+      // does its work and the round bookkeeping settles without an explicit
+      // ack message crossing the wire.
+      Dispatch(src, t, kind, bytes,
+               [this, t, ctx]() {
+                 ctx->on_target(t);
+                 stats_.acks_coalesced.Add(1);
+                 if (!ctx->failed && --ctx->pending == 0) {
+                   ctx->on_all_acked();
+                 }
+               },
+               ctx->opts.receiver_delay, hop_fail, ctx->opts.qos);
+      continue;
+    }
+    // Classic exchange, bit-identical to N independent send/ack pairs: the
+    // target's work (which may itself send, e.g. a page shipped to a third
+    // node) precedes its ack send, exactly as the hand-rolled rounds did.
+    Dispatch(src, t, kind, bytes,
+             [this, t, ctx, hop_fail]() {
+               ctx->on_target(t);
+               stats_.calls.Add(1);
+               Account(ctx->opts.account, ctx->opts.ack_bytes);
+               Dispatch(t, ctx->src, ctx->opts.ack_kind, ctx->opts.ack_bytes,
+                        [ctx]() {
+                          if (!ctx->failed && --ctx->pending == 0) {
+                            ctx->on_all_acked();
+                          }
+                        },
+                        ctx->opts.ack_receiver_delay, hop_fail, ctx->opts.qos);
+             },
+             ctx->opts.receiver_delay, hop_fail, ctx->opts.qos);
+  }
+}
+
+void RpcLayer::Dispatch(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
+                        Fabric::DeliveryFn on_delivery, TimeNs receiver_delay,
+                        Fabric::DeliveryFn on_fail, QosClass qos) {
+  // Loopback never serializes on a wire, so there is nothing to arbitrate.
+  if (!config_.qos.enabled || src == dst) {
+    fabric_->Send(src, dst, kind, size, std::move(on_delivery), receiver_delay,
+                  std::move(on_fail));
+    return;
+  }
+  LinkQueue& lq = qos_links_[{src, dst}];
+  if (!lq.pump_armed && loop_->now() >= lq.next_free && lq.q[0].empty() && lq.q[1].empty()) {
+    // Idle link: send through immediately, tracking the serialization
+    // horizon so a burst arriving behind this message queues up.
+    lq.next_free = loop_->now() + WireTime(fabric_->link_params(src, dst), size);
+    fabric_->Send(src, dst, kind, size, std::move(on_delivery), receiver_delay,
+                  std::move(on_fail));
+    return;
+  }
+  stats_.qos_deferred.Add(1);
+  lq.q[static_cast<int>(qos)].push_back(
+      QueuedMsg{kind, size, receiver_delay, std::move(on_delivery), std::move(on_fail)});
+  ArmPump(src, dst, lq);
+}
+
+void RpcLayer::ArmPump(NodeId src, NodeId dst, LinkQueue& lq) {
+  if (lq.pump_armed) {
+    return;
+  }
+  lq.pump_armed = true;
+  const TimeNs when = std::max(loop_->now(), lq.next_free);
+  loop_->ScheduleAt(when, [this, src, dst]() { PumpLink(src, dst); });
+}
+
+void RpcLayer::PumpLink(NodeId src, NodeId dst) {
+  LinkQueue& lq = qos_links_[{src, dst}];
+  lq.pump_armed = false;
+  if (lq.q[0].empty() && lq.q[1].empty()) {
+    return;
+  }
+  QueuedMsg msg = PickNext(lq);
+  lq.next_free = loop_->now() + WireTime(fabric_->link_params(src, dst), msg.size);
+  fabric_->Send(src, dst, msg.kind, msg.size, std::move(msg.on_delivery), msg.receiver_delay,
+                std::move(msg.on_fail));
+  if (!lq.q[0].empty() || !lq.q[1].empty()) {
+    ArmPump(src, dst, lq);
+  }
+}
+
+RpcLayer::QueuedMsg RpcLayer::PickNext(LinkQueue& lq) {
+  // Deficit round robin, one message per drain: a class whose head fits its
+  // remaining deficit sends; otherwise the deficit grows by weight * quantum
+  // and the pointer rotates. Deficits reset when a class drains so an idle
+  // class cannot bank unbounded credit.
+  for (;;) {
+    const int c = lq.current;
+    if (lq.q[c].empty()) {
+      lq.deficit[c] = 0;
+      lq.current = (c + 1) % kNumQosClasses;
+      continue;
+    }
+    if (lq.q[c].front().size <= lq.deficit[c]) {
+      lq.deficit[c] -= lq.q[c].front().size;
+      QueuedMsg msg = std::move(lq.q[c].front());
+      lq.q[c].pop_front();
+      return msg;
+    }
+    lq.deficit[c] += static_cast<uint64_t>(config_.qos.weights[c]) * config_.qos.quantum_bytes;
+    if (lq.q[c].front().size <= lq.deficit[c]) {
+      lq.deficit[c] -= lq.q[c].front().size;
+      QueuedMsg msg = std::move(lq.q[c].front());
+      lq.q[c].pop_front();
+      return msg;
+    }
+    lq.current = (c + 1) % kNumQosClasses;
+  }
+}
+
+}  // namespace fragvisor

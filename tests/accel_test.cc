@@ -14,7 +14,7 @@ class AccelTest : public ::testing::Test {
     DsmEngine::Options opts;
     opts.home = 0;
     opts.num_nodes = 3;
-    dsm_ = std::make_unique<DsmEngine>(&loop_, &fabric_, &costs_, opts);
+    dsm_ = std::make_unique<DsmEngine>(&loop_, &rpc_, &costs_, opts);
     GuestAddressSpace::Layout layout;
     layout.heap_pages = 1 << 16;
     space_ = std::make_unique<GuestAddressSpace>(dsm_.get(), layout, std::vector<NodeId>{0, 1});
@@ -25,12 +25,13 @@ class AccelTest : public ::testing::Test {
     config.backend_node = backend;
     config.dsm_bypass = bypass;
     config.device_speedup = speedup;
-    return std::make_unique<AccelDev>(&loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+    return std::make_unique<AccelDev>(&loop_, &rpc_, dsm_.get(), space_.get(), &costs_,
                                       config, [](int vcpu) { return static_cast<NodeId>(vcpu); });
   }
 
   EventLoop loop_;
   Fabric fabric_;
+  RpcLayer rpc_{&loop_, &fabric_};
   CostModel costs_;
   std::unique_ptr<DsmEngine> dsm_;
   std::unique_ptr<GuestAddressSpace> space_;

@@ -50,7 +50,7 @@ class DsmRadixTest : public ::testing::Test {
     opts.home = 0;
     opts.num_nodes = kNodes;
     opts.read_prefetch_pages = 2;
-    dsm_ = std::make_unique<DsmEngine>(&loop_, &fabric_, &costs_, opts);
+    dsm_ = std::make_unique<DsmEngine>(&loop_, &rpc_, &costs_, opts);
   }
 
   // Cross-checks every introspection entry point against every other on the
@@ -75,6 +75,7 @@ class DsmRadixTest : public ::testing::Test {
 
   EventLoop loop_;
   Fabric fabric_;
+  RpcLayer rpc_{&loop_, &fabric_};
   CostModel costs_ = CostModel::Default();
   std::unique_ptr<DsmEngine> dsm_;
 };

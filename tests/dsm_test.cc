@@ -14,7 +14,7 @@ class DsmTest : public ::testing::Test {
     DsmEngine::Options opts;
     opts.home = 0;
     opts.num_nodes = 4;
-    dsm_ = std::make_unique<DsmEngine>(&loop_, &fabric_, &costs_, opts);
+    dsm_ = std::make_unique<DsmEngine>(&loop_, &rpc_, &costs_, opts);
   }
 
   // Synchronously runs an access to completion; returns the fault latency
@@ -33,6 +33,7 @@ class DsmTest : public ::testing::Test {
 
   EventLoop loop_;
   Fabric fabric_;
+  RpcLayer rpc_{&loop_, &fabric_};
   CostModel costs_;
   std::unique_ptr<DsmEngine> dsm_;
 };
@@ -227,7 +228,7 @@ TEST_F(DsmTest, ContextualDisabledTreatsPageTableNormally) {
   opts.home = 0;
   opts.num_nodes = 4;
   opts.contextual_dsm = false;
-  DsmEngine plain(&loop_, &fabric_, &costs_, opts);
+  DsmEngine plain(&loop_, &rpc_, &costs_, opts);
   plain.SetPageClass(500, 1, PageClass::kPageTable);
   plain.SeedRange(500, 1, 0);
   bool resolved = false;
@@ -245,7 +246,7 @@ TEST_F(DsmTest, UserspaceDsmIsSlower) {
   opts.userspace_dsm = true;
   CostModel giant_costs = costs_;
   giant_costs.dsm_userspace_extra = Micros(6);
-  DsmEngine giant(&loop_, &fabric_, &giant_costs, opts);
+  DsmEngine giant(&loop_, &rpc_, &giant_costs, opts);
   dsm_->SeedRange(10, 1, 0);
   giant.SeedRange(10, 1, 0);
 
@@ -275,7 +276,7 @@ TEST_F(DsmTest, DirtyBitTrackingAddsTraffic) {
   opts.home = 0;
   opts.num_nodes = 4;
   opts.ept_dirty_tracking = true;
-  DsmEngine tracking(&loop_, &fabric_, &costs_, opts);
+  DsmEngine tracking(&loop_, &rpc_, &costs_, opts);
   tracking.SeedRange(10, 1, 0);
   bool done = false;
   tracking.Access(1, 10, true, [&]() { done = true; });
@@ -297,7 +298,7 @@ TEST_F(DsmTest, ReadPrefetchGrantsFollowerPages) {
   opts.home = 0;
   opts.num_nodes = 4;
   opts.read_prefetch_pages = 4;
-  DsmEngine dsm(&loop_, &fabric_, &costs_, opts);
+  DsmEngine dsm(&loop_, &rpc_, &costs_, opts);
   dsm.SeedRange(100, 8, 0);
   bool done = false;
   dsm.Access(1, 100, false, [&]() { done = true; });
@@ -330,7 +331,7 @@ TEST_F(DsmTest, ReadPrefetchStopsAtOwnershipBoundary) {
   opts.home = 0;
   opts.num_nodes = 4;
   opts.read_prefetch_pages = 8;
-  DsmEngine dsm(&loop_, &fabric_, &costs_, opts);
+  DsmEngine dsm(&loop_, &rpc_, &costs_, opts);
   dsm.SeedRange(200, 2, 0);
   dsm.SeedRange(202, 2, 2);  // different owner: not prefetchable
   bool done = false;
@@ -348,7 +349,7 @@ TEST_F(DsmTest, ReadPrefetchSkipsNonPrivateClasses) {
   opts.home = 0;
   opts.num_nodes = 4;
   opts.read_prefetch_pages = 8;
-  DsmEngine dsm(&loop_, &fabric_, &costs_, opts);
+  DsmEngine dsm(&loop_, &rpc_, &costs_, opts);
   dsm.SetPageClass(301, 4, PageClass::kKernelShared);
   dsm.SeedRange(300, 5, 0);
   bool done = false;
@@ -425,7 +426,8 @@ TEST(GpaSpaceTest, LayoutAndClasses) {
   DsmEngine::Options opts;
   opts.home = 0;
   opts.num_nodes = 2;
-  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
 
   GuestAddressSpace::Layout layout;
   layout.kernel_text_pages = 100;

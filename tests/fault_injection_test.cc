@@ -105,7 +105,8 @@ TrialResult RunChaosTrial(uint64_t seed) {
   opts.home = 0;
   opts.num_nodes = kNodes;
   opts.read_prefetch_pages = 2;
-  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
 
   dsm.SetPageClass(0, 256, PageClass::kReadMostly);
   dsm.SetPageClass(256, 64, PageClass::kPageTable);

@@ -54,7 +54,8 @@ inline GoldenTraceResult RunGoldenTrace(FaultPlan* plan = nullptr) {
   opts.home = 0;
   opts.num_nodes = kNodes;
   opts.read_prefetch_pages = 2;
-  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
 
   dsm.SetPageClass(0, 512, PageClass::kReadMostly);
   dsm.SetPageClass(512, 128, PageClass::kPageTable);

@@ -17,7 +17,7 @@ class GuestKernelTest : public ::testing::Test {
     DsmEngine::Options opts;
     opts.home = 0;
     opts.num_nodes = 2;
-    dsm_ = std::make_unique<DsmEngine>(&loop_, &fabric_, &costs_, opts);
+    dsm_ = std::make_unique<DsmEngine>(&loop_, &rpc_, &costs_, opts);
     GuestAddressSpace::Layout layout;
     layout.heap_pages = 1 << 16;
     space_ = std::make_unique<GuestAddressSpace>(dsm_.get(), layout, std::vector<NodeId>{0, 1});
@@ -49,6 +49,7 @@ class GuestKernelTest : public ::testing::Test {
 
   EventLoop loop_;
   Fabric fabric_;
+  RpcLayer rpc_{&loop_, &fabric_};
   CostModel costs_;
   std::unique_ptr<DsmEngine> dsm_;
   std::unique_ptr<GuestAddressSpace> space_;

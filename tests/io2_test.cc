@@ -18,7 +18,7 @@ class Io2Test : public ::testing::Test {
     DsmEngine::Options opts;
     opts.home = 0;
     opts.num_nodes = 4;
-    dsm_ = std::make_unique<DsmEngine>(&loop_, &fabric_, &costs_, opts);
+    dsm_ = std::make_unique<DsmEngine>(&loop_, &rpc_, &costs_, opts);
     GuestAddressSpace::Layout layout;
     layout.heap_pages = 1 << 16;
     space_ = std::make_unique<GuestAddressSpace>(dsm_.get(), layout, std::vector<NodeId>{0, 1});
@@ -31,7 +31,7 @@ class Io2Test : public ::testing::Test {
     config.multiqueue = multiqueue;
     config.dsm_bypass = true;
     config.num_vcpus = 2;
-    auto dev = std::make_unique<VirtioNetDev>(&loop_, &fabric_, dsm_.get(), space_.get(),
+    auto dev = std::make_unique<VirtioNetDev>(&loop_, &rpc_, dsm_.get(), space_.get(),
                                               &costs_, config,
                                               [](int vcpu) { return static_cast<NodeId>(vcpu); });
     dev->set_rx_sink([this](int, uint64_t, PageNum, uint64_t) { ++delivered_; });
@@ -40,6 +40,7 @@ class Io2Test : public ::testing::Test {
 
   EventLoop loop_;
   Fabric fabric_;
+  RpcLayer rpc_{&loop_, &fabric_};
   CostModel costs_;
   std::unique_ptr<DsmEngine> dsm_;
   std::unique_ptr<GuestAddressSpace> space_;

@@ -22,7 +22,7 @@ class IoTest : public ::testing::Test {
     DsmEngine::Options opts;
     opts.home = 0;
     opts.num_nodes = 4;
-    dsm_ = std::make_unique<DsmEngine>(&loop_, &fabric_, &costs_, opts);
+    dsm_ = std::make_unique<DsmEngine>(&loop_, &rpc_, &costs_, opts);
     GuestAddressSpace::Layout layout;
     layout.heap_pages = 1 << 16;
     space_ = std::make_unique<GuestAddressSpace>(dsm_.get(), layout, std::vector<NodeId>{0, 1, 2});
@@ -37,7 +37,7 @@ class IoTest : public ::testing::Test {
     config.dsm_bypass = bypass;
     config.num_vcpus = 3;
     config.external_node = kExternal;
-    auto dev = std::make_unique<VirtioNetDev>(&loop_, &fabric_, dsm_.get(), space_.get(),
+    auto dev = std::make_unique<VirtioNetDev>(&loop_, &rpc_, dsm_.get(), space_.get(),
                                               &costs_, config, locator_);
     dev->set_rx_sink([this](int vcpu, uint64_t bytes, PageNum first, uint64_t pages) {
       rx_events_.push_back({vcpu, bytes, first, pages});
@@ -54,6 +54,7 @@ class IoTest : public ::testing::Test {
 
   EventLoop loop_;
   Fabric fabric_;
+  RpcLayer rpc_{&loop_, &fabric_};
   CostModel costs_;
   std::unique_ptr<DsmEngine> dsm_;
   std::unique_ptr<GuestAddressSpace> space_;
@@ -218,7 +219,7 @@ TEST_F(IoTest, SendFromExternalTraversesClientLink) {
 
 // --- Block device ---
 
-std::unique_ptr<VirtioBlkDev> MakeBlk(IoTest& t, EventLoop* loop, Fabric* fabric, DsmEngine* dsm,
+std::unique_ptr<VirtioBlkDev> MakeBlk(IoTest& t, EventLoop* loop, RpcLayer* rpc, DsmEngine* dsm,
                                       GuestAddressSpace* space, const CostModel* costs,
                                       BlkBackend backend, bool bypass) {
   (void)t;
@@ -228,12 +229,12 @@ std::unique_ptr<VirtioBlkDev> MakeBlk(IoTest& t, EventLoop* loop, Fabric* fabric
   config.multiqueue = true;
   config.dsm_bypass = bypass;
   config.num_vcpus = 3;
-  return std::make_unique<VirtioBlkDev>(loop, fabric, dsm, space, costs, config,
+  return std::make_unique<VirtioBlkDev>(loop, rpc, dsm, space, costs, config,
                                         [](int vcpu) { return static_cast<NodeId>(vcpu); });
 }
 
 TEST_F(IoTest, LocalBlkWriteLatency) {
-  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+  auto blk = MakeBlk(*this, &loop_, &rpc_, dsm_.get(), space_.get(), &costs_,
                      BlkBackend::kVhostBlk, true);
   bool done = false;
   blk->GuestWrite(0, 500000, [&]() { done = true; });
@@ -246,7 +247,7 @@ TEST_F(IoTest, LocalBlkWriteLatency) {
 }
 
 TEST_F(IoTest, DiskOpsSerialize) {
-  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+  auto blk = MakeBlk(*this, &loop_, &rpc_, dsm_.get(), space_.get(), &costs_,
                      BlkBackend::kVhostBlk, true);
   int done = 0;
   blk->GuestWrite(0, 500000, [&]() { ++done; });
@@ -257,14 +258,14 @@ TEST_F(IoTest, DiskOpsSerialize) {
 }
 
 TEST_F(IoTest, DelegatedBlkOpIsSlowerThanLocal) {
-  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+  auto blk = MakeBlk(*this, &loop_, &rpc_, dsm_.get(), space_.get(), &costs_,
                      BlkBackend::kVhostBlk, true);
   TimeNs local_done = -1;
   blk->GuestWrite(0, 4096, [&]() { local_done = loop_.now(); });
   loop_.Run();
   const TimeNs local_latency = local_done;
 
-  auto blk2 = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+  auto blk2 = MakeBlk(*this, &loop_, &rpc_, dsm_.get(), space_.get(), &costs_,
                       BlkBackend::kVhostBlk, true);
   const TimeNs t0 = loop_.now();
   TimeNs remote_done = -1;
@@ -275,7 +276,7 @@ TEST_F(IoTest, DelegatedBlkOpIsSlowerThanLocal) {
 }
 
 TEST_F(IoTest, BlkReadDelegatedNoBypassDoubleTransfers) {
-  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+  auto blk = MakeBlk(*this, &loop_, &rpc_, dsm_.get(), space_.get(), &costs_,
                      BlkBackend::kVhostBlk, false);
   bool done = false;
   blk->GuestRead(2, 4 * 4096, [&]() { done = true; });
@@ -286,7 +287,7 @@ TEST_F(IoTest, BlkReadDelegatedNoBypassDoubleTransfers) {
 }
 
 TEST_F(IoTest, TmpfsWriteFromRemoteFaults) {
-  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+  auto blk = MakeBlk(*this, &loop_, &rpc_, dsm_.get(), space_.get(), &costs_,
                      BlkBackend::kTmpfs, true);
   bool done = false;
   blk->GuestWrite(1, 2 * 4096, [&]() { done = true; });
@@ -297,7 +298,7 @@ TEST_F(IoTest, TmpfsWriteFromRemoteFaults) {
 }
 
 TEST_F(IoTest, TmpfsLocalWriteIsCheap) {
-  auto blk = MakeBlk(*this, &loop_, &fabric_, dsm_.get(), space_.get(), &costs_,
+  auto blk = MakeBlk(*this, &loop_, &rpc_, dsm_.get(), space_.get(), &costs_,
                      BlkBackend::kTmpfs, true);
   bool done = false;
   blk->GuestWrite(0, 2 * 4096, [&]() { done = true; });
@@ -310,7 +311,7 @@ TEST_F(IoTest, TmpfsLocalWriteIsCheap) {
 // --- Console ---
 
 TEST_F(IoTest, ConsoleLocalAndDelegated) {
-  ConsoleDev console(&loop_, &fabric_, &costs_, 0,
+  ConsoleDev console(&loop_, &rpc_, &costs_, 0,
                      [](int vcpu) { return static_cast<NodeId>(vcpu); });
   int done = 0;
   console.GuestWrite(0, "boot: hello", [&]() { ++done; });

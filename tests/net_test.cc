@@ -2,6 +2,7 @@
 
 #include "src/net/fabric.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/fault_plan.h"
 
 namespace fragvisor {
 namespace {
@@ -111,6 +112,40 @@ TEST_F(FabricTest, RequestResponseRoundTrip) {
   loop_.Run();
   const TimeNs one_way = WireTime(LinkParams::InfiniBand56G(), 64) + Nanos(1500);
   EXPECT_EQ(responded, 2 * one_way + Micros(10));
+}
+
+TEST_F(FabricTest, RequestResponseFailsOnceWhenPeerCrashesMidRequest) {
+  FaultPlan plan(1);
+  // The server dies while the request is on the wire (delivery would be at
+  // ~1.5 us); every retransmit is lost on arrival too.
+  plan.CrashNode(1, Nanos(500));
+  fabric_.AttachFaultPlan(&plan);
+  int responses = 0;
+  int failures = 0;
+  fabric_.SendRequestResponse(0, 1, MsgKind::kControl, 64, 64, Micros(10),
+                              [&]() { ++responses; }, [&]() { ++failures; });
+  loop_.Run();
+  EXPECT_EQ(responses, 0);
+  EXPECT_EQ(failures, 1);  // exactly once, never both callbacks
+  EXPECT_EQ(fabric_.retry_stats().send_failures.total(), 1u);
+}
+
+TEST_F(FabricTest, RequestResponseFailsOnceWhenResponseLostPastBudget) {
+  FaultPlan plan(1);
+  // Request leg 0->1 is clean; the response leg 1->0 loses every copy, so the
+  // server-side send burns its whole attempt budget.
+  LinkFaultProfile lossy;
+  lossy.drop_prob = 1.0;
+  plan.SetLinkFaults(1, 0, lossy);
+  fabric_.AttachFaultPlan(&plan);
+  int responses = 0;
+  int failures = 0;
+  fabric_.SendRequestResponse(0, 1, MsgKind::kControl, 64, 64, Micros(10),
+                              [&]() { ++responses; }, [&]() { ++failures; });
+  loop_.Run();
+  EXPECT_EQ(responses, 0);
+  EXPECT_EQ(failures, 1);
+  EXPECT_GT(fabric_.retry_stats().retransmits.total(), 0u);
 }
 
 TEST_F(FabricTest, MsgKindNames) {

@@ -86,7 +86,8 @@ TEST(DsmLimitsTest, ThirtyTwoNodeStormKeepsInvariants) {
   DsmEngine::Options opts;
   opts.home = 0;
   opts.num_nodes = 32;
-  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
   dsm.SeedRange(0, 8, 0);
   Rng rng(5);
   int outstanding = 0;
@@ -116,7 +117,8 @@ TEST_P(PrefetchStormTest, InvariantsHoldWithPrefetch) {
   opts.home = 0;
   opts.num_nodes = 4;
   opts.read_prefetch_pages = depth;
-  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
   constexpr PageNum kPages = 64;
   dsm.SeedRange(0, kPages, 0);
   Rng rng(seed);

@@ -28,7 +28,8 @@ TEST_P(DsmStormTest, InvariantsHoldAfterRandomStorm) {
   DsmEngine::Options opts;
   opts.home = 0;
   opts.num_nodes = num_nodes;
-  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
 
   constexpr PageNum kPages = 32;
   dsm.SeedRange(0, kPages, 0);
@@ -73,7 +74,8 @@ TEST_P(DsmGrantTest, ResolvedAccessIsUsable) {
   DsmEngine::Options opts;
   opts.home = 0;
   opts.num_nodes = num_nodes;
-  DsmEngine dsm(&loop, &fabric, &costs, opts);
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
   dsm.SeedRange(0, 4, 0);
 
   Rng rng(static_cast<uint64_t>(num_nodes) * 77);

@@ -99,7 +99,7 @@ TEST(DsmReseedTest, ReseedOwnedByMovesPages) {
   opts.home = 0;
   opts.num_nodes = 4;
   CostModel costs = CostModel::Default();
-  DsmEngine dsm(&cluster.loop(), &cluster.fabric(), &costs, opts);
+  DsmEngine dsm(&cluster.loop(), &cluster.rpc(), &costs, opts);
   dsm.SeedRange(0, 10, 2);
   dsm.SeedRange(10, 5, 1);
   EXPECT_EQ(dsm.ReseedOwnedBy(2, 3), 10u);

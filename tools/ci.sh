@@ -25,6 +25,8 @@ for config in "${configs[@]}"; do
     ubsan)   cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DFRAGVISOR_SANITIZE=undefined) ;;
     *) echo "unknown config '$config' (release|asan|ubsan)" >&2; exit 2 ;;
   esac
+  # CI builds are warning-clean by construction.
+  cmake_args+=(-DFRAGVISOR_WERROR=ON)
 
   build_dir="build-ci/$config"
   echo "=== [$config] configure ==="

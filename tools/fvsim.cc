@@ -68,9 +68,11 @@ Args Parse(int argc, char** argv) {
     if (eq != std::string::npos) {
       args.options[arg.substr(0, eq)] = arg.substr(eq + 1);
     } else if (i + 1 < argc && argv[i + 1][0] != '-') {
-      args.options[arg] = argv[++i];
+      args.options[arg] = std::string(argv[++i]);
     } else {
-      args.options[arg] = "1";
+      // Move-assign a temporary: GCC 12's -Wrestrict false-fires (PR105329)
+      // on basic_string::operator=(const char*) at -O3.
+      args.options[arg] = std::string("1");
     }
   }
   return args;
@@ -176,8 +178,37 @@ Setup MakeSetup(const Args& args) {
   if (args.Has("no-contextual-dsm")) {
     setup.contextual_dsm = false;
   }
+  if (args.Has("rpc-coalesce")) {
+    setup.rpc.coalesced_acks = true;
+  }
+  if (args.Has("rpc-qos")) {
+    setup.rpc.qos.enabled = true;
+  }
   ParseFaultSpec(args, &setup);
   return setup;
+}
+
+// End-of-run traffic report: the per-kind table always prints; --msg-stats
+// additionally dumps the full JSON to the given path ("-" for stdout).
+void ReportMsgStats(const Args& args, const bench::MsgStatsReport& stats) {
+  bench::PrintMsgStats(stats);
+  if (!args.Has("msg-stats")) {
+    return;
+  }
+  const std::string path = args.Get("msg-stats", "-");
+  const std::string json = bench::MsgStatsJson(stats);
+  if (path == "-" || path == "1") {
+    std::fputs(json.c_str(), stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write --msg-stats file '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("msg stats written to %s\n", path.c_str());
 }
 
 int RunNpb(const Args& args) {
@@ -186,14 +217,16 @@ int RunNpb(const Args& args) {
       ScaleNpb(NpbByName(args.Get("bench", "CG")), args.GetDouble("scale", 0.25));
   double faults = 0;
   bench::FaultReport report;
+  bench::MsgStatsReport msg_stats;
   const TimeNs end = bench::RunNpbMultiProcess(setup, profile,
                                                static_cast<uint64_t>(args.GetInt("seed", 1)),
-                                               &faults, &report);
+                                               &faults, &report, &msg_stats);
   std::printf("%s x%d on %s: %.2f ms (%.0f DSM faults/s)\n", profile.name.c_str(), setup.vcpus,
               bench::SystemName(setup.system), ToMillis(end), faults);
   if (setup.faults.enabled()) {
     bench::PrintFaultReport(report);
   }
+  ReportMsgStats(args, msg_stats);
   return 0;
 }
 
@@ -205,10 +238,12 @@ int RunLempCmd(const Args& args) {
   lemp.total_requests = args.GetInt("requests", 40);
   lemp.concurrency = args.GetInt("concurrency", 10);
   double faults = 0;
-  const double tput = bench::RunLemp(setup, lemp, &faults);
+  bench::MsgStatsReport msg_stats;
+  const double tput = bench::RunLemp(setup, lemp, &faults, &msg_stats);
   std::printf("LEMP %d vCPUs on %s, %d ms requests: %.1f req/s (%.0f DSM faults/s)\n",
               setup.vcpus, bench::SystemName(setup.system),
               args.GetInt("processing-ms", 100), tput, faults);
+  ReportMsgStats(args, msg_stats);
   return 0;
 }
 
@@ -218,12 +253,14 @@ int RunFaasCmd(const Args& args) {
   faas.download_bytes = static_cast<uint64_t>(args.GetInt("download-mb", 4)) << 20;
   faas.extract_bytes = static_cast<uint64_t>(args.GetInt("extract-mb", 16)) << 20;
   faas.detect_compute = Millis(args.GetInt("detect-ms", 400));
-  const FaasPhaseStats stats = bench::RunFaas(setup, faas);
+  bench::MsgStatsReport msg_stats;
+  const FaasPhaseStats stats = bench::RunFaas(setup, faas, nullptr, &msg_stats);
   std::printf("OpenLambda %d workers on %s: download %.1f ms, extract %.1f ms, "
               "detect %.1f ms, total %.1f ms\n",
               setup.vcpus, bench::SystemName(setup.system), stats.download_ns.mean() / 1e6,
               stats.extract_ns.mean() / 1e6, stats.detect_ns.mean() / 1e6,
               stats.total_ns.mean() / 1e6);
+  ReportMsgStats(args, msg_stats);
   return 0;
 }
 
@@ -282,6 +319,9 @@ int List() {
   std::printf("  list\n\n");
   std::printf("systems: fragvisor | giantvm | overcommit[:pcpus]\n");
   std::printf("flags:   --vanilla-guest --no-multiqueue --no-bypass --no-contextual-dsm\n");
+  std::printf("rpc:     --rpc-coalesce (multicast ack coalescing)\n");
+  std::printf("         --rpc-qos (weighted deficit link scheduler)\n");
+  std::printf("         --msg-stats [PATH] (per-kind traffic JSON; '-' = stdout)\n");
   std::printf("faults:  --fault-seed N --fault-drop P --fault-dup P --fault-delay-us U\n");
   std::printf("         --fault-crash n@ms[,..] --fault-restart n@ms[,..]\n");
   std::printf("         --fault-partition a-b@ms-ms[,..] --fault-empty\n\n");
