@@ -103,6 +103,119 @@ TestBed MakeTestBed(const Setup& setup) {
   return bed;
 }
 
+void AttachReliability(TestBed& bed, const Setup& setup) {
+  const ReliabilitySpec& rel = setup.reliability;
+  if (!rel.enabled()) {
+    return;
+  }
+  FV_CHECK(bed.vm->booted());
+  const NodeId home = bed.vm->dsm().home();
+
+  HealthMonitor::Config hc;
+  hc.heartbeat_interval = rel.heartbeat_interval;
+  hc.miss_threshold = rel.miss_threshold;
+  hc.detector = rel.detector;
+  bed.health = std::make_unique<HealthMonitor>(bed.cluster.get(), hc);
+
+  if (rel.protect) {
+    FailoverManager::Config fc;
+    fc.checkpoint_interval = rel.checkpoint_interval;
+    fc.checkpoint_node = home;
+    fc.partial_recovery = rel.partial_recovery;
+    bed.failover = std::make_unique<FailoverManager>(bed.cluster.get(), bed.health.get(), fc);
+    bed.failover->Protect(bed.vm.get());
+  }
+  if (rel.leases) {
+    LeaseManagerConfig lc;
+    lc.duration = rel.lease_duration;
+    lc.renew_interval = rel.lease_renew;
+    bed.leases = std::make_unique<LeaseManager>(&bed.cluster->rpc(), lc);
+    bed.vm->StartLeaseProtection(bed.leases.get());
+    LeaseManager* leases = bed.leases.get();
+    bed.health->AddObserver([leases](NodeId node, NodeHealth health) {
+      if (health == NodeHealth::kFailed) {
+        leases->OnNodeFailure(node);
+      }
+    });
+  }
+  bed.health->StartHeartbeats(home);
+}
+
+namespace {
+
+double PercentileMs(const Histogram& hist, double p) {
+  return hist.count() == 0 ? 0.0 : hist.Percentile(p) / 1e6;
+}
+
+}  // namespace
+
+ReliabilityReport CollectReliabilityReport(const TestBed& bed) {
+  ReliabilityReport r;
+  if (bed.health != nullptr) {
+    r.failures_detected = bed.health->failures_detected();
+    r.recoveries_detected = bed.health->recoveries_detected();
+    r.suspicions_raised = bed.health->suspicions_raised();
+    r.slow_marks = bed.health->slow_marks();
+    r.detection_p50_ms = PercentileMs(bed.health->detection_latency_hist(), 50.0);
+    r.detection_p99_ms = PercentileMs(bed.health->detection_latency_hist(), 99.0);
+  }
+  if (bed.failover != nullptr) {
+    const FailoverStats& fs = bed.failover->stats();
+    r.checkpoints = fs.checkpoints_taken.value();
+    r.vcpus_evacuated = fs.vcpus_evacuated.value();
+    r.failovers = fs.failovers.value();
+    r.partial_recoveries = fs.partial_recoveries.value();
+    r.evacuation_p50_ms = PercentileMs(fs.evacuation_time_hist, 50.0);
+    r.evacuation_p99_ms = PercentileMs(fs.evacuation_time_hist, 99.0);
+    r.full_recovery_p50_ms = PercentileMs(fs.recovery_time_hist, 50.0);
+    r.full_recovery_p99_ms = PercentileMs(fs.recovery_time_hist, 99.0);
+    r.partial_recovery_p50_ms = PercentileMs(fs.partial_recovery_time_hist, 50.0);
+    r.partial_recovery_p99_ms = PercentileMs(fs.partial_recovery_time_hist, 99.0);
+    r.full_lost_work_ms = fs.lost_work_ns.mean() / 1e6;
+    r.partial_lost_work_ms = fs.partial_lost_work_ns.mean() / 1e6;
+  }
+  if (bed.leases != nullptr) {
+    const LeaseStats& ls = bed.leases->stats();
+    r.leases_granted = ls.granted.value();
+    r.leases_renewed = ls.renewed.value();
+    r.leases_expired = ls.expired.value();
+    r.leases_revoked = ls.revoked.value();
+    r.lease_renew_failures = ls.renew_failures.value();
+    r.lease_handbacks = ls.handbacks.value();
+  }
+  return r;
+}
+
+void PrintReliabilityReport(const ReliabilityReport& r) {
+  PrintRow({"detect", "failures=" + std::to_string(r.failures_detected),
+            "recoveries=" + std::to_string(r.recoveries_detected),
+            "suspected=" + std::to_string(r.suspicions_raised),
+            "slow=" + std::to_string(r.slow_marks),
+            "p50=" + Fmt(r.detection_p50_ms) + "ms", "p99=" + Fmt(r.detection_p99_ms) + "ms"},
+           18);
+  PrintRow({"recover", "ckpts=" + std::to_string(r.checkpoints),
+            "evac=" + std::to_string(r.vcpus_evacuated),
+            "full=" + std::to_string(r.failovers),
+            "partial=" + std::to_string(r.partial_recoveries)},
+           18);
+  PrintRow({"latency", "evac_p99=" + Fmt(r.evacuation_p99_ms) + "ms",
+            "full_p99=" + Fmt(r.full_recovery_p99_ms) + "ms",
+            "partial_p99=" + Fmt(r.partial_recovery_p99_ms) + "ms"},
+           18);
+  PrintRow({"lost_work", "full=" + Fmt(r.full_lost_work_ms) + "ms",
+            "partial=" + Fmt(r.partial_lost_work_ms) + "ms"},
+           18);
+  if (r.leases_granted > 0 || r.lease_handbacks > 0) {
+    PrintRow({"leases", "granted=" + std::to_string(r.leases_granted),
+              "renewed=" + std::to_string(r.leases_renewed),
+              "expired=" + std::to_string(r.leases_expired),
+              "revoked=" + std::to_string(r.leases_revoked),
+              "renew_fail=" + std::to_string(r.lease_renew_failures),
+              "handbacks=" + std::to_string(r.lease_handbacks)},
+             18);
+  }
+}
+
 bool FaultReport::operator==(const FaultReport& other) const {
   return dropped == other.dropped && duplicated == other.duplicated && delayed == other.delayed &&
          crashes == other.crashes && restarts == other.restarts &&
@@ -215,13 +328,14 @@ void PrintFaultReport(const FaultReport& r) {
 
 TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_t seed,
                           double* faults_per_sec, FaultReport* fault_report,
-                          MsgStatsReport* msg_stats) {
+                          MsgStatsReport* msg_stats, ReliabilityReport* reliability) {
   TestBed bed = MakeTestBed(setup);
   for (int v = 0; v < setup.vcpus; ++v) {
     bed.vm->SetWorkload(v, std::make_unique<NpbSerialStream>(bed.vm.get(), v, profile,
                                                              seed * 1000 + static_cast<uint64_t>(v)));
   }
   bed.vm->Boot();
+  AttachReliability(bed, setup);
   const TimeNs end = RunUntilVmDone(*bed.cluster, *bed.vm, Seconds(600));
   FV_CHECK(bed.vm->AllFinished());
   if (faults_per_sec != nullptr) {
@@ -232,6 +346,9 @@ TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_
   }
   if (msg_stats != nullptr) {
     *msg_stats = CollectMsgStats(bed);
+  }
+  if (reliability != nullptr) {
+    *reliability = CollectReliabilityReport(bed);
   }
   return end;
 }

@@ -13,8 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "src/ckpt/failover.h"
 #include "src/core/aggregate_vm.h"
 #include "src/core/fragvisor.h"
+#include "src/host/health_monitor.h"
+#include "src/host/lease_manager.h"
 #include "src/sim/fault_plan.h"
 #include "src/workload/faas.h"
 #include "src/workload/lemp.h"
@@ -64,6 +67,23 @@ struct FaultSpec {
   }
 };
 
+// Reliability stack for a bench run: heartbeat health monitoring,
+// checkpoint/restart failover, and lease protection of borrowed resources.
+// Everything defaults off, so existing benches attach nothing.
+struct ReliabilitySpec {
+  bool protect = false;  // HealthMonitor + FailoverManager + checkpoints
+  TimeNs heartbeat_interval = Millis(20);
+  int miss_threshold = 3;
+  FailureDetector detector = FailureDetector::kFixedMiss;
+  TimeNs checkpoint_interval = Millis(100);
+  bool partial_recovery = false;  // surgical lender-death recovery
+  bool leases = false;            // lease-protect borrowed resources
+  TimeNs lease_duration = Millis(200);
+  TimeNs lease_renew = Millis(80);
+
+  bool enabled() const { return protect || leases; }
+};
+
 struct Setup {
   System system = System::kFragVisor;
   int vcpus = 4;
@@ -82,6 +102,7 @@ struct Setup {
   // off by default, keeping every existing bench bit-identical.
   RpcConfig rpc;
   FaultSpec faults;
+  ReliabilitySpec reliability;
 };
 
 // A cluster plus one VM configured per `setup`. The client node (if any) is
@@ -93,9 +114,20 @@ struct TestBed {
   // Present iff setup.faults.enabled(); attached to the cluster fabric (which
   // does not take ownership, so the plan must outlive the cluster's loop).
   std::unique_ptr<FaultPlan> fault_plan;
+  // Present iff setup.reliability asked for them (AttachReliability).
+  std::unique_ptr<HealthMonitor> health;
+  std::unique_ptr<FailoverManager> failover;
+  std::unique_ptr<LeaseManager> leases;
 };
 
 TestBed MakeTestBed(const Setup& setup);
+
+// Wires the reliability stack per setup.reliability: heartbeats from every
+// node to the DSM home, checkpoint protection with optional partial recovery,
+// and lease coverage of all borrowed resources. Must run after vm->Boot()
+// (the first checkpoint snapshots live vCPU state). No-op when
+// setup.reliability.enabled() is false.
+void AttachReliability(TestBed& bed, const Setup& setup);
 
 // Flattened injected-fault / recovery counters for printing and for the
 // same-seed reproducibility assertions.
@@ -124,6 +156,42 @@ FaultReport CollectFaultReport(const Fabric& fabric, const DsmEngine* dsm, const
 FaultReport CollectFaultReport(const TestBed& bed);
 void PrintFaultReport(const FaultReport& report);
 
+// Flattened detection/recovery/lease measurements for the end-of-run
+// reports and the fvsim --protect recovery report. Latencies in ms;
+// percentiles come from the underlying log2 histograms.
+struct ReliabilityReport {
+  // Detection.
+  uint64_t failures_detected = 0;
+  uint64_t recoveries_detected = 0;
+  uint64_t suspicions_raised = 0;
+  uint64_t slow_marks = 0;
+  double detection_p50_ms = 0.0;
+  double detection_p99_ms = 0.0;
+  // Recovery, per mechanism.
+  uint64_t checkpoints = 0;
+  uint64_t vcpus_evacuated = 0;
+  uint64_t failovers = 0;  // full restores
+  uint64_t partial_recoveries = 0;
+  double evacuation_p50_ms = 0.0;
+  double evacuation_p99_ms = 0.0;
+  double full_recovery_p50_ms = 0.0;
+  double full_recovery_p99_ms = 0.0;
+  double partial_recovery_p50_ms = 0.0;
+  double partial_recovery_p99_ms = 0.0;
+  double full_lost_work_ms = 0.0;     // mean replay per full restore
+  double partial_lost_work_ms = 0.0;  // mean replay per partial recovery
+  // Leases.
+  uint64_t leases_granted = 0;
+  uint64_t leases_renewed = 0;
+  uint64_t leases_expired = 0;
+  uint64_t leases_revoked = 0;
+  uint64_t lease_renew_failures = 0;
+  uint64_t lease_handbacks = 0;
+};
+
+ReliabilityReport CollectReliabilityReport(const TestBed& bed);
+void PrintReliabilityReport(const ReliabilityReport& report);
+
 // Flattened per-MsgKind fabric traffic plus rpc-layer aggregates, for the
 // end-of-run reports and the fvsim --msg-stats JSON dump.
 struct MsgStatsReport {
@@ -151,7 +219,8 @@ std::string MsgStatsJson(const MsgStatsReport& report);
 TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_t seed = 1,
                           double* faults_per_sec = nullptr,
                           FaultReport* fault_report = nullptr,
-                          MsgStatsReport* msg_stats = nullptr);
+                          MsgStatsReport* msg_stats = nullptr,
+                          ReliabilityReport* reliability = nullptr);
 
 // OMP-style multithreaded run (one thread per vCPU over a shared region);
 // returns completion time and DSM faults/second via out-params.

@@ -4,9 +4,20 @@
 // platform (a) reports a degrading node — triggering preemptive vCPU
 // evacuation — and (b) hard-fails a node — triggering checkpoint/restart.
 // Reports detection latency, evacuation cost, recovery time and lost work
-// as a function of the checkpoint interval.
+// as a function of the checkpoint interval. Two further comparisons:
+//
+//  * partial vs full recovery of the same lender-node crash — the surgical
+//    path must beat the full restore on both recovery time and lost work;
+//  * fixed-miss vs phi-accrual detection under a jitter-only fault plan
+//    (drops + delivery jitter, nobody actually dies) — the miss counter
+//    forges full failovers, the adaptive detector must not.
+//
+// Detection-latency and recovery-time percentiles per mechanism go to
+// BENCH_reliability_failover.json for trend tracking.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/harness.h"
 #include "src/ckpt/failover.h"
@@ -128,6 +139,183 @@ Outcome RunFaulted(uint64_t seed) {
   return outcome;
 }
 
+// One lender-node crash (node 2 at 150 ms, never restarted), recovered either
+// surgically or by the full restore; everything else identical.
+struct RecoveryOutcome {
+  double detection_ms = 0;
+  double recovery_ms = 0;   // mean of the mechanism that ran
+  double lost_work_ms = 0;  // ditto
+  double total_runtime_ms = 0;
+  double recovery_p50_ms = 0;
+  double recovery_p99_ms = 0;
+  double detection_p50_ms = 0;
+  double detection_p99_ms = 0;
+  double evacuation_p50_ms = 0;
+  double evacuation_p99_ms = 0;
+  uint64_t full_restores = 0;
+  uint64_t partial_recoveries = 0;
+};
+
+double P(const Histogram& h, double p) { return h.count() == 0 ? 0.0 : h.Percentile(p) / 1e6; }
+
+RecoveryOutcome RunLenderCrash(bool partial) {
+  Cluster::Config cc;
+  cc.num_nodes = 4;
+  cc.pcpus_per_node = 8;
+  Cluster cluster(cc);
+
+  FaultPlan plan(21);
+  plan.CrashNode(2, Millis(150));
+  cluster.fabric().AttachFaultPlan(&plan);
+
+  HealthMonitor::Config hc;
+  hc.heartbeat_interval = Millis(20);
+  hc.miss_threshold = 3;
+  HealthMonitor monitor(&cluster, hc);
+  monitor.StartHeartbeats(0);
+
+  FailoverManager::Config fc;
+  fc.checkpoint_interval = Millis(100);
+  fc.checkpoint_node = 0;
+  fc.partial_recovery = partial;
+  FailoverManager manager(&cluster, &monitor, fc);
+
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(3);
+  AggregateVm vm(&cluster, config);
+  const NpbProfile profile = ScaleNpb(NpbByName("CG"), 0.25);
+  for (int v = 0; v < 3; ++v) {
+    vm.SetWorkload(v, std::make_unique<NpbSerialStream>(&vm, v, profile, 11 + v));
+  }
+  vm.Boot();
+  manager.Protect(&vm);
+
+  const TimeNs end = RunUntilVmDone(cluster, vm, Seconds(600));
+  const FailoverStats& fs = manager.stats();
+  RecoveryOutcome o;
+  o.total_runtime_ms = ToMillis(end);
+  o.detection_ms = ToMillis(monitor.last_detection_latency());
+  o.full_restores = fs.failovers.value();
+  o.partial_recoveries = fs.partial_recoveries.value();
+  if (partial) {
+    o.recovery_ms = fs.partial_recovery_time_ns.mean() / 1e6;
+    o.lost_work_ms = fs.partial_lost_work_ns.mean() / 1e6;
+    o.recovery_p50_ms = P(fs.partial_recovery_time_hist, 50.0);
+    o.recovery_p99_ms = P(fs.partial_recovery_time_hist, 99.0);
+  } else {
+    o.recovery_ms = fs.recovery_time_ns.mean() / 1e6;
+    o.lost_work_ms = fs.lost_work_ns.mean() / 1e6;
+    o.recovery_p50_ms = P(fs.recovery_time_hist, 50.0);
+    o.recovery_p99_ms = P(fs.recovery_time_hist, 99.0);
+  }
+  o.detection_p50_ms = P(monitor.detection_latency_hist(), 50.0);
+  o.detection_p99_ms = P(monitor.detection_latency_hist(), 99.0);
+  o.evacuation_p50_ms = P(fs.evacuation_time_hist, 50.0);
+  o.evacuation_p99_ms = P(fs.evacuation_time_hist, 99.0);
+  return o;
+}
+
+// Jitter-only plan: heavy heartbeat loss and delivery jitter, no crash. Any
+// failover is a false positive.
+struct DetectorOutcome {
+  uint64_t false_failovers = 0;
+  uint64_t suspicions = 0;
+  uint64_t slow_marks = 0;
+  uint64_t recoveries = 0;  // false-failed nodes healing back
+  double total_runtime_ms = 0;
+};
+
+DetectorOutcome RunJitterOnly(FailureDetector detector, uint64_t seed) {
+  Cluster::Config cc;
+  cc.num_nodes = 4;
+  cc.pcpus_per_node = 8;
+  Cluster cluster(cc);
+
+  FaultPlan plan(seed);
+  LinkFaultProfile profile;
+  profile.drop_prob = 0.35;  // heartbeats are datagrams: drops forge silence
+  profile.dup_prob = 0.005;
+  profile.extra_delay_max = Micros(2000);
+  plan.SetDefaultLinkFaults(profile);
+  cluster.fabric().AttachFaultPlan(&plan);
+
+  HealthMonitor::Config hc;
+  hc.heartbeat_interval = Millis(20);
+  hc.miss_threshold = 3;
+  hc.detector = detector;
+  HealthMonitor monitor(&cluster, hc);
+  monitor.StartHeartbeats(0);
+
+  FailoverManager::Config fc;
+  fc.checkpoint_interval = Millis(100);
+  fc.checkpoint_node = 0;
+  FailoverManager manager(&cluster, &monitor, fc);
+
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(3);
+  AggregateVm vm(&cluster, config);
+  const NpbProfile npb = ScaleNpb(NpbByName("CG"), 0.25);
+  for (int v = 0; v < 3; ++v) {
+    vm.SetWorkload(v, std::make_unique<NpbSerialStream>(&vm, v, npb, 11 + v));
+  }
+  vm.Boot();
+  manager.Protect(&vm);
+
+  const TimeNs end = RunUntilVmDone(cluster, vm, Seconds(600));
+  DetectorOutcome o;
+  o.false_failovers = manager.stats().failovers.value() + manager.stats().partial_recoveries.value();
+  o.suspicions = monitor.suspicions_raised();
+  o.slow_marks = monitor.slow_marks();
+  o.recoveries = monitor.recoveries_detected();
+  o.total_runtime_ms = ToMillis(end);
+  return o;
+}
+
+void WriteJsonReport(const RecoveryOutcome& full, const RecoveryOutcome& partial,
+                     const DetectorOutcome& fixed, const DetectorOutcome& phi,
+                     const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  auto mechanism = [f](const char* name, const RecoveryOutcome& o, bool last) {
+    std::fprintf(f,
+                 "    \"%s\": {\n"
+                 "      \"recoveries\": %llu,\n"
+                 "      \"detection_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n"
+                 "      \"recovery_ms\": {\"mean\": %.3f, \"p50\": %.3f, \"p99\": %.3f},\n"
+                 "      \"evacuation_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n"
+                 "      \"lost_work_ms\": %.3f,\n"
+                 "      \"total_runtime_ms\": %.3f\n"
+                 "    }%s\n",
+                 name,
+                 static_cast<unsigned long long>(o.full_restores + o.partial_recoveries),
+                 o.detection_p50_ms, o.detection_p99_ms, o.recovery_ms, o.recovery_p50_ms,
+                 o.recovery_p99_ms, o.evacuation_p50_ms, o.evacuation_p99_ms, o.lost_work_ms,
+                 o.total_runtime_ms, last ? "" : ",");
+  };
+  std::fprintf(f, "{\n  \"bench\": \"reliability_failover\",\n  \"mechanisms\": {\n");
+  mechanism("full_restore", full, false);
+  mechanism("partial_recovery", partial, true);
+  std::fprintf(f, "  },\n  \"detectors\": {\n");
+  auto detector = [f](const char* name, const DetectorOutcome& o, bool last) {
+    std::fprintf(f,
+                 "    \"%s\": {\"false_failovers\": %llu, \"suspicions\": %llu, "
+                 "\"slow_marks\": %llu, \"recoveries\": %llu, \"runtime_ms\": %.3f}%s\n",
+                 name, static_cast<unsigned long long>(o.false_failovers),
+                 static_cast<unsigned long long>(o.suspicions),
+                 static_cast<unsigned long long>(o.slow_marks),
+                 static_cast<unsigned long long>(o.recoveries), o.total_runtime_ms,
+                 last ? "" : ",");
+  };
+  detector("fixed_miss", fixed, false);
+  detector("phi_accrual", phi, true);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("results written to %s\n", path.c_str());
+}
+
 void Run() {
   PrintHeader("Reliability: preemptive evacuation + checkpoint/restart failover");
   const Outcome unprotected = RunProtected(Millis(100), false, false);
@@ -165,6 +353,42 @@ void Run() {
               a.faults == b.faults && a.total_runtime_ms == b.total_runtime_ms ? "IDENTICAL"
                                                                               : "DIVERGED",
               b.total_runtime_ms - a.total_runtime_ms);
+
+  PrintHeader("Partial vs full recovery of the same lender crash (node 2 @ 150 ms)");
+  const RecoveryOutcome full = RunLenderCrash(false);
+  const RecoveryOutcome part = RunLenderCrash(true);
+  PrintRow({"mechanism", "recover (ms)", "p99 (ms)", "lost (ms)", "runtime (ms)", "count"}, 14);
+  PrintRow({"full restore", Fmt(full.recovery_ms, 2), Fmt(full.recovery_p99_ms, 2),
+            Fmt(full.lost_work_ms, 2), Fmt(full.total_runtime_ms, 1),
+            std::to_string(full.full_restores)},
+           14);
+  PrintRow({"partial", Fmt(part.recovery_ms, 2), Fmt(part.recovery_p99_ms, 2),
+            Fmt(part.lost_work_ms, 2), Fmt(part.total_runtime_ms, 1),
+            std::to_string(part.partial_recoveries)},
+           14);
+  const bool partial_wins =
+      part.partial_recoveries > 0 && full.full_restores > 0 &&
+      part.recovery_ms < full.recovery_ms && part.lost_work_ms < full.lost_work_ms;
+  std::printf("partial recovery %s the full restore on both recovery time and lost work\n",
+              partial_wins ? "BEATS" : "DOES NOT BEAT");
+
+  PrintHeader("Detector false positives under jitter only (35% drops, no crash)");
+  const DetectorOutcome fixed = RunJitterOnly(FailureDetector::kFixedMiss, 5);
+  const DetectorOutcome phi = RunJitterOnly(FailureDetector::kPhiAccrual, 5);
+  PrintRow({"detector", "false failovers", "suspected", "slow", "healed", "runtime (ms)"}, 16);
+  PrintRow({"fixed-miss", std::to_string(fixed.false_failovers), std::to_string(fixed.suspicions),
+            std::to_string(fixed.slow_marks), std::to_string(fixed.recoveries),
+            Fmt(fixed.total_runtime_ms, 1)},
+           16);
+  PrintRow({"phi-accrual", std::to_string(phi.false_failovers), std::to_string(phi.suspicions),
+            std::to_string(phi.slow_marks), std::to_string(phi.recoveries),
+            Fmt(phi.total_runtime_ms, 1)},
+           16);
+  std::printf("phi-accrual %s under jitter (fixed-miss forged %llu full recoveries)\n",
+              phi.false_failovers == 0 ? "never fails over" : "ALSO fails over",
+              static_cast<unsigned long long>(fixed.false_failovers));
+
+  WriteJsonReport(full, part, fixed, phi, "BENCH_reliability_failover.json");
 }
 
 }  // namespace

@@ -44,6 +44,9 @@ void FailoverManager::TakeCheckpoint(Protection* protection) {
                               protection->last_image =
                                   InventoryFromVm(*protection->vm, cluster_->num_nodes());
                               protection->last_checkpoint_time = cluster_->loop().now();
+                              // The image now covers every page; dirtiness is
+                              // measured relative to this checkpoint.
+                              protection->vm->dsm().ClearDirtyJournal();
                               stats_.checkpoints_taken.Add(1);
                               ScheduleNext(protection);
                             });
@@ -101,7 +104,11 @@ void FailoverManager::Evacuate(Protection* protection, NodeId node) {
       continue;
     }
     const int pcpu = (v + 1) % cluster_->node(target).num_pcpus();
-    vm->MigrateVcpu(v, target, pcpu, [this]() { stats_.vcpus_evacuated.Add(1); });
+    const TimeNs start = cluster_->loop().now();
+    vm->MigrateVcpu(v, target, pcpu, [this, start]() {
+      stats_.vcpus_evacuated.Add(1);
+      stats_.evacuation_time_hist.Record(static_cast<double>(cluster_->loop().now() - start));
+    });
   }
 }
 
@@ -126,6 +133,15 @@ void FailoverManager::Failover(Protection* protection, NodeId failed_node) {
   if (!touches) {
     return;
   }
+  if (config_.partial_recovery && failed_node != vm->dsm().home()) {
+    PartialRecover(protection, failed_node);
+    return;
+  }
+  FullRestore(protection, failed_node);
+}
+
+void FailoverManager::FullRestore(Protection* protection, NodeId failed_node) {
+  AggregateVm* vm = protection->vm;
   protection->recovering = true;
   const TimeNs detected_at = cluster_->loop().now();
   const TimeNs lost_work = detected_at - protection->last_checkpoint_time;
@@ -145,6 +161,8 @@ void FailoverManager::Failover(Protection* protection, NodeId failed_node) {
           const NodeId target = PickTarget(*protection, failed_node);
           vm->dsm().ReseedOwnedBy(failed_node, target);
           stats_.recovery_time_ns.Record(
+              static_cast<double>(cluster_->loop().now() - detected_at));
+          stats_.recovery_time_hist.Record(
               static_cast<double>(cluster_->loop().now() - detected_at));
           // Replay the lost progress, then resume everyone (vCPUs from the
           // failed node restart on the target).
@@ -184,6 +202,105 @@ void FailoverManager::Failover(Protection* protection, NodeId failed_node) {
     return;
   }
   for (int v = 0; v < vm->num_vcpus(); ++v) {
+    const VCpu::LifeState state = vm->vcpu(v).life_state();
+    if (state == VCpu::LifeState::kPaused || state == VCpu::LifeState::kFinished) {
+      continue;
+    }
+    vm->vcpu(v).PauseWhenOffCpu([pause_ctx, after_pause]() {
+      if (--pause_ctx->pending == 0) {
+        after_pause();
+      }
+    });
+  }
+}
+
+void FailoverManager::PartialRecover(Protection* protection, NodeId failed_node) {
+  AggregateVm* vm = protection->vm;
+  protection->recovering = true;
+  const TimeNs detected_at = cluster_->loop().now();
+  // What a full restore would replay; the partial path loses only the
+  // fraction of it trapped in dirty pages whose sole copy died.
+  const TimeNs full_lost = detected_at - protection->last_checkpoint_time;
+  uint64_t total_dirty = 0;
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    total_dirty += vm->dsm().DirtyPageCount(n);
+  }
+
+  auto after_pause = [this, protection, vm, failed_node, detected_at, full_lost, total_dirty]() {
+    const NodeId target = PickTarget(*protection, failed_node);
+    // Surviving replicas become owners in place; only sole-copy pages need
+    // the image, and only the dirty ones among those cost replayed work.
+    const DsmEngine::PartialLossReport report = vm->dsm().RecoverDeadOwner(failed_node, target);
+
+    CheckpointInventory partial = protection->last_image;
+    partial.vcpu_regs.clear();
+    for (auto& count : partial.pages_per_node) {
+      count = 0;
+    }
+    if (target < static_cast<NodeId>(partial.pages_per_node.size())) {
+      partial.pages_per_node[static_cast<size_t>(target)] =
+          report.rehomed_clean + report.lost_dirty;
+    }
+
+    checkpoints_.RestoreImage(
+        partial, config_.checkpoint_node,
+        [this, protection, vm, failed_node, detected_at, full_lost, total_dirty, target,
+         report](CheckpointResult) {
+          vm->RedelegateBackends(failed_node, target);
+          const TimeNs lost_work =
+              total_dirty == 0
+                  ? 0
+                  : static_cast<TimeNs>(static_cast<double>(full_lost) *
+                                        static_cast<double>(report.lost_dirty) /
+                                        static_cast<double>(total_dirty));
+          stats_.partial_lost_work_ns.Record(static_cast<double>(lost_work));
+          stats_.partial_recovery_time_ns.Record(
+              static_cast<double>(cluster_->loop().now() - detected_at));
+          stats_.partial_recovery_time_hist.Record(
+              static_cast<double>(cluster_->loop().now() - detected_at));
+          cluster_->loop().ScheduleAfter(lost_work, [this, protection, vm, failed_node,
+                                                     target]() {
+            for (int v = 0; v < vm->num_vcpus(); ++v) {
+              if (vm->VcpuNode(v) != failed_node ||
+                  vm->vcpu(v).life_state() != VCpu::LifeState::kPaused) {
+                continue;
+              }
+              const int pcpu = (v + 1) % cluster_->node(target).num_pcpus();
+              vm->RestartVcpuAt(v, target, pcpu);
+            }
+            stats_.partial_recoveries.Add(1);
+            protection->recovering = false;
+            if (on_recovery_) {
+              on_recovery_(vm);
+            }
+          });
+        });
+  };
+
+  // Quiesce only the dead node's vCPUs; survivors keep running.
+  struct PauseCtx {
+    int pending = 0;
+  };
+  auto pause_ctx = std::make_shared<PauseCtx>();
+  int to_pause = 0;
+  for (int v = 0; v < vm->num_vcpus(); ++v) {
+    if (vm->VcpuNode(v) != failed_node) {
+      continue;
+    }
+    const VCpu::LifeState state = vm->vcpu(v).life_state();
+    if (state != VCpu::LifeState::kPaused && state != VCpu::LifeState::kFinished) {
+      ++to_pause;
+    }
+  }
+  pause_ctx->pending = to_pause;
+  if (to_pause == 0) {
+    after_pause();
+    return;
+  }
+  for (int v = 0; v < vm->num_vcpus(); ++v) {
+    if (vm->VcpuNode(v) != failed_node) {
+      continue;
+    }
     const VCpu::LifeState state = vm->vcpu(v).life_state();
     if (state == VCpu::LifeState::kPaused || state == VCpu::LifeState::kFinished) {
       continue;

@@ -13,6 +13,16 @@
 //    are re-homed, vCPUs from the dead node restart on survivors, and the
 //    whole VM replays the work lost since the last checkpoint.
 //
+// With Config::partial_recovery, the death of a *lender* node (any node
+// except the DSM home/origin) takes a surgical path instead of the full
+// restore: only the dead node's vCPUs pause, pages it owned are recovered in
+// place — surviving read replicas are promoted to owners, and only pages
+// whose sole copy died are re-read from the checkpoint image (the per-node
+// dirty journal distinguishes pages actually written since the last
+// checkpoint from pages whose image copy is still current) — delegated I/O
+// backends re-home to a survivor, and only the lost fraction of recent work
+// replays. The origin's death still triggers the full restore.
+//
 // Replay approximation: the simulator cannot rewind workload state, so lost
 // progress is modelled as a resume delay equal to the time since the last
 // checkpoint — completion times match a real re-execution.
@@ -34,8 +44,15 @@ struct FailoverStats {
   Counter checkpoints_taken;
   Counter vcpus_evacuated;   // preemptive migrations off degraded nodes
   Counter failovers;         // full restore-from-checkpoint recoveries
-  Summary recovery_time_ns;  // detection -> VM running again
-  Summary lost_work_ns;      // replayed progress per failover
+  Summary recovery_time_ns;  // detection -> VM running again (full restore)
+  Summary lost_work_ns;      // replayed progress per failover (full restore)
+  Counter partial_recoveries;        // surgical lender-death recoveries
+  Summary partial_recovery_time_ns;  // detection -> VM running again (partial)
+  Summary partial_lost_work_ns;      // replayed progress per partial recovery
+  // Tail views of the same quantities, per mechanism (p50/p99 reporting).
+  Histogram evacuation_time_hist;
+  Histogram recovery_time_hist;
+  Histogram partial_recovery_time_hist;
 };
 
 class FailoverManager {
@@ -43,6 +60,9 @@ class FailoverManager {
   struct Config {
     TimeNs checkpoint_interval = Seconds(5);
     NodeId checkpoint_node = 0;  // where images are written (its SSD)
+    // Surgical recovery when a lender (non-origin) node dies; the full
+    // restore remains the path for origin death. Off by default.
+    bool partial_recovery = false;
   };
 
   FailoverManager(Cluster* cluster, HealthMonitor* health, const Config& config);
@@ -73,6 +93,8 @@ class FailoverManager {
   void OnHealthChange(NodeId node, NodeHealth health);
   void Evacuate(Protection* protection, NodeId node);
   void Failover(Protection* protection, NodeId failed_node);
+  void FullRestore(Protection* protection, NodeId failed_node);
+  void PartialRecover(Protection* protection, NodeId failed_node);
   NodeId PickTarget(const Protection& protection, NodeId avoid) const;
 
   Cluster* cluster_;

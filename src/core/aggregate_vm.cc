@@ -288,6 +288,89 @@ void AggregateVm::RestartVcpuAt(int vcpu_id, NodeId node, int pcpu) {
   vc.ResumeOn(&cluster_->node(node).pcpu(pcpu), node);
 }
 
+// --- Leases & recovery ---
+
+void AggregateVm::RedelegateBackends(NodeId from, NodeId to) {
+  if (blk_ != nullptr && blk_->config().backend_node == from) {
+    blk_->Redelegate(to);
+  }
+  if (net_ != nullptr && net_->config().backend_node == from) {
+    net_->Redelegate(to);
+  }
+  for (auto& extra : extra_nets_) {
+    if (extra->config().backend_node == from) {
+      extra->Redelegate(to);
+    }
+  }
+}
+
+int AggregateVm::StartLeaseProtection(LeaseManager* leases) {
+  FV_CHECK(booted_);
+  FV_CHECK(leases != nullptr);
+  const NodeId home = config_.bootstrap_node();
+  auto handback = [this, home](const Lease& lease, LeaseEvent event) {
+    if (event == LeaseEvent::kExpired || event == LeaseEvent::kRevoked) {
+      OrderlyHandback(lease, home);
+    }
+    // kLost: the lender died with the resource; failure recovery re-homes it.
+  };
+
+  int requested = 0;
+  for (int v = 0; v < num_vcpus(); ++v) {
+    const NodeId n = VcpuNode(v);
+    if (n == home) continue;
+    leases->Grant(n, home, LeaseKind::kVcpu, static_cast<uint64_t>(v), handback);
+    ++requested;
+  }
+  // Memory lenders: every non-bootstrap slice that hosts guest pages, whether
+  // a dedicated memory slice or a vCPU slice that owns pages it touched.
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    if (n == home) continue;
+    const bool memory_slice = std::find(config_.memory_slices.begin(),
+                                        config_.memory_slices.end(),
+                                        n) != config_.memory_slices.end();
+    if (!memory_slice && dsm_->PagesOwnedBy(n).empty()) continue;
+    leases->Grant(n, home, LeaseKind::kMemory, static_cast<uint64_t>(n), handback);
+    ++requested;
+  }
+  if (blk_ != nullptr && blk_->config().backend_node != home) {
+    leases->Grant(blk_->config().backend_node, home, LeaseKind::kIoBackend, 0, handback);
+    ++requested;
+  }
+  if (net_ != nullptr && net_->config().backend_node != home) {
+    leases->Grant(net_->config().backend_node, home, LeaseKind::kIoBackend, 1, handback);
+    ++requested;
+  }
+  for (size_t i = 0; i < extra_nets_.size(); ++i) {
+    const NodeId backend = extra_nets_[i]->config().backend_node;
+    if (backend == home) continue;
+    leases->Grant(backend, home, LeaseKind::kIoBackend, 2 + i, handback);
+    ++requested;
+  }
+  return requested;
+}
+
+void AggregateVm::OrderlyHandback(const Lease& lease, NodeId home) {
+  switch (lease.kind) {
+    case LeaseKind::kVcpu: {
+      const int v = static_cast<int>(lease.resource);
+      if (VcpuNode(v) != lease.lender) return;  // already moved elsewhere
+      if (vcpu(v).finished()) return;
+      const int pcpu = v % cluster_->node(home).num_pcpus();
+      MigrateVcpu(v, home, pcpu, nullptr);
+      return;
+    }
+    case LeaseKind::kMemory:
+      if (cluster_->rpc().NodeUp(lease.lender)) {
+        dsm_->MigrateOwnedPages(lease.lender, home, [](uint64_t) {});
+      }
+      return;
+    case LeaseKind::kIoBackend:
+      RedelegateBackends(lease.lender, home);
+      return;
+  }
+}
+
 // --- GuestContext ---
 
 bool AggregateVm::MemAccess(NodeId node, PageNum page, bool is_write,

@@ -29,6 +29,7 @@
 #include "src/core/vm_config.h"
 #include "src/cpu/guest_context.h"
 #include "src/cpu/vcpu.h"
+#include "src/host/lease_manager.h"
 #include "src/host/node.h"
 #include "src/io/console.h"
 #include "src/io/virtio_blk.h"
@@ -78,6 +79,22 @@ class AggregateVm : public GuestContext {
   // location, updating the location table without the live-migration
   // protocol — the state comes from a restored checkpoint image.
   void RestartVcpuAt(int vcpu, NodeId node, int pcpu);
+
+  // --- Leases & recovery ---
+
+  // Moves every delegated I/O backend currently on `from` (vhost-blk,
+  // primary NIC, distributed NICs) to `to`. Used by partial recovery when a
+  // backend slice dies and by lease handbacks.
+  void RedelegateBackends(NodeId from, NodeId to);
+
+  // Covers every resource this VM borrows from a non-bootstrap slice —
+  // remotely placed vCPUs, memory slices and remotely owned pages, delegated
+  // I/O backends — with a lease from `leases`. On expiry or revocation the
+  // resource is handed back to the bootstrap slice in an orderly fashion
+  // (vCPU migrates home, owned pages migrate home, backend redelegates);
+  // on loss (lender died) nothing happens here — failure recovery re-homes
+  // the resource surgically. Returns the number of leases requested.
+  int StartLeaseProtection(LeaseManager* leases);
 
   // --- Slice introspection ---
 
@@ -159,6 +176,9 @@ class AggregateVm : public GuestContext {
     uint64_t copy_pages = 0;
   };
   enum class WaitMode : uint8_t { kNone, kNet, kSocket, kAny };
+
+  // Returns a leased resource to the bootstrap slice (lease expired/revoked).
+  void OrderlyHandback(const Lease& lease, NodeId home);
 
   void DeliverInbox(int vcpu, InboxItem item);
   bool ConsumeInbox(int vcpu, InboxType type);

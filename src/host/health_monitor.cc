@@ -1,5 +1,8 @@
 #include "src/host/health_monitor.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/sim/check.h"
 
 namespace fragvisor {
@@ -12,6 +15,10 @@ const char* NodeHealthName(NodeHealth health) {
       return "degraded";
     case NodeHealth::kFailed:
       return "failed";
+    case NodeHealth::kSuspected:
+      return "suspected";
+    case NodeHealth::kSlow:
+      return "slow";
   }
   return "unknown";
 }
@@ -21,6 +28,8 @@ HealthMonitor::HealthMonitor(Cluster* cluster, const Config& config)
   FV_CHECK(cluster != nullptr);
   FV_CHECK_GT(config.degraded_error_threshold, 0);
   FV_CHECK_GT(config.miss_threshold, 0);
+  FV_CHECK_GT(config.phi_window, 1);
+  FV_CHECK_LT(config.suspect_phi, config.fail_phi);
   nodes_.resize(static_cast<size_t>(cluster->num_nodes()));
 }
 
@@ -33,7 +42,8 @@ NodeHealth HealthMonitor::health(NodeId node) const {
 std::vector<NodeId> HealthMonitor::HealthyNodes() const {
   std::vector<NodeId> healthy;
   for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
-    if (nodes_[static_cast<size_t>(n)].health == NodeHealth::kHealthy) {
+    const NodeHealth h = nodes_[static_cast<size_t>(n)].health;
+    if (h == NodeHealth::kHealthy || h == NodeHealth::kSuspected || h == NodeHealth::kSlow) {
       healthy.push_back(n);
     }
   }
@@ -46,7 +56,10 @@ void HealthMonitor::SetHealth(NodeId node, NodeHealth health) {
     return;
   }
   st.health = health;
-  for (const ChangeHandler& observer : observers_) {
+  // Snapshot before invoking: an observer may AddObserver (invalidating the
+  // vector) or inject a failure that recursively re-enters SetHealth.
+  const std::vector<ChangeHandler> snapshot = observers_;
+  for (const ChangeHandler& observer : snapshot) {
     observer(node, health);
   }
 }
@@ -60,7 +73,7 @@ void HealthMonitor::InjectCorrectableErrors(NodeId node, int count) {
   }
   st.correctable_errors += count;
   if (st.correctable_errors >= config_.degraded_error_threshold &&
-      st.health == NodeHealth::kHealthy) {
+      st.health != NodeHealth::kDegraded) {
     SetHealth(node, NodeHealth::kDegraded);
   }
 }
@@ -78,6 +91,7 @@ void HealthMonitor::InjectFailure(NodeId node) {
     // No detector deployed: assume out-of-band notification.
     failures_detected_.Add(1);
     last_detection_latency_ = 0;
+    detection_latency_hist_.Record(0.0);
     SetHealth(node, NodeHealth::kFailed);
   }
 }
@@ -91,7 +105,7 @@ void HealthMonitor::StartHeartbeats(NodeId monitor_node) {
   // Typed endpoint: heartbeat datagrams carry the sender in the token, so one
   // handler at the monitor serves every node.
   cluster_->rpc().Bind(monitor_node, MsgKind::kControl, [this](const RpcLayer::Inbound& msg) {
-    nodes_[static_cast<size_t>(msg.token)].last_heartbeat = cluster_->loop().now();
+    OnHeartbeat(static_cast<NodeId>(msg.token));
   });
   const TimeNs now = cluster_->loop().now();
   for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
@@ -99,6 +113,33 @@ void HealthMonitor::StartHeartbeats(NodeId monitor_node) {
     SendHeartbeat(n);
   }
   cluster_->loop().ScheduleAfter(config_.heartbeat_interval, [this]() { CheckHeartbeats(); });
+}
+
+void HealthMonitor::OnHeartbeat(NodeId node) {
+  NodeState& st = nodes_[static_cast<size_t>(node)];
+  if (st.failed_injected) {
+    // A hard-failed node is permanently down; a heartbeat that was already in
+    // flight when InjectFailure marked it must not refresh its liveness (nor
+    // flip a detected failure back to kHealthy).
+    return;
+  }
+  const TimeNs now = cluster_->loop().now();
+  if (config_.detector == FailureDetector::kPhiAccrual) {
+    const TimeNs gap = now - st.last_heartbeat;
+    if (st.gaps.size() < static_cast<size_t>(config_.phi_window)) {
+      st.gaps.push_back(gap);
+    } else {
+      st.gaps[st.gap_next] = gap;
+      st.gap_next = (st.gap_next + 1) % st.gaps.size();
+    }
+    // "On time" tolerates scheduling slack of half an interval.
+    if (gap <= config_.heartbeat_interval + config_.heartbeat_interval / 2) {
+      ++st.on_time_streak;
+    } else {
+      st.on_time_streak = 0;
+    }
+  }
+  st.last_heartbeat = now;
 }
 
 void HealthMonitor::SendHeartbeat(NodeId node) {
@@ -116,10 +157,142 @@ void HealthMonitor::SendHeartbeat(NodeId node) {
                                  [this, node]() { SendHeartbeat(node); });
 }
 
-void HealthMonitor::CheckHeartbeats() {
-  const TimeNs now = cluster_->loop().now();
+double HealthMonitor::PhiOfState(const NodeState& st, TimeNs now) const {
+  const TimeNs gap = now - st.last_heartbeat;
+  double mean = static_cast<double>(config_.heartbeat_interval);
+  double var = 0.0;
+  if (st.gaps.size() >= 2) {
+    double sum = 0.0;
+    for (const TimeNs g : st.gaps) {
+      sum += static_cast<double>(g);
+    }
+    mean = sum / static_cast<double>(st.gaps.size());
+    for (const TimeNs g : st.gaps) {
+      const double d = static_cast<double>(g) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(st.gaps.size());
+  }
+  // Floor sigma so a perfectly regular history does not make the detector
+  // hair-triggered (the Akka/Cassandra min-std-deviation guard).
+  const double min_sigma = static_cast<double>(config_.heartbeat_interval) * 0.1;
+  const double sigma = std::max(std::sqrt(var), min_sigma);
+  // Normal tail probability of a gap at least this long.
+  const double z = (static_cast<double>(gap) - mean) / sigma;
+  const double p = 0.5 * std::erfc(z / std::sqrt(2.0));
+  if (p <= 1e-30) {
+    return 30.0;
+  }
+  return -std::log10(p);
+}
+
+double HealthMonitor::PhiOf(NodeId node) const {
+  FV_CHECK_GE(node, 0);
+  FV_CHECK_LT(node, cluster_->num_nodes());
+  return PhiOfState(nodes_[static_cast<size_t>(node)], cluster_->loop().now());
+}
+
+bool HealthMonitor::DetectRecovery(NodeId n, NodeState& st) {
+  // Heartbeats that resumed after the failure mark mean the node was
+  // restarted (fault-plan crashes are revivable; InjectFailure is not).
+  if (!st.failed_injected && st.last_heartbeat > st.failed_marked_at) {
+    recoveries_detected_.Add(1);
+    st.correctable_errors = 0;
+    st.on_time_streak = 0;
+    SetHealth(n, NodeHealth::kHealthy);
+    return true;
+  }
+  return false;
+}
+
+void HealthMonitor::MarkFailed(NodeId n, NodeState& st, TimeNs now) {
+  failures_detected_.Add(1);
+  if (st.failed_injected) {
+    last_detection_latency_ = now - st.failed_at;
+  } else if (const FaultPlan* plan = cluster_->rpc().fault_plan();
+             plan != nullptr && plan->LastCrashBefore(n, now) >= 0) {
+    last_detection_latency_ = now - plan->LastCrashBefore(n, now);
+  } else {
+    last_detection_latency_ = 0;
+  }
+  detection_latency_hist_.Record(static_cast<double>(last_detection_latency_));
+  st.failed_marked_at = now;
+  SetHealth(n, NodeHealth::kFailed);
+}
+
+void HealthMonitor::CheckFixedMiss(NodeId n, NodeState& st, TimeNs now) {
   const TimeNs deadline =
       static_cast<TimeNs>(config_.miss_threshold) * config_.heartbeat_interval;
+  if (st.health == NodeHealth::kFailed) {
+    DetectRecovery(n, st);
+    return;
+  }
+  if (now - st.last_heartbeat > deadline) {
+    MarkFailed(n, st, now);
+  }
+}
+
+void HealthMonitor::CheckPhiAccrual(NodeId n, NodeState& st, TimeNs now) {
+  if (st.health == NodeHealth::kFailed) {
+    DetectRecovery(n, st);
+    return;
+  }
+  if (st.health == NodeHealth::kDegraded) {
+    return;  // MCA degradation outranks the heartbeat view
+  }
+  // Warm-up: with next to no inter-arrival history the normal model is
+  // meaningless (sigma collapses to the floor and one lost heartbeat scores
+  // phi ~ 30). Until the window has a few samples, only an extended absolute
+  // silence — far beyond any plausible loss streak — fails the node.
+  const auto warmup = static_cast<size_t>(std::max(2, config_.phi_window / 8));
+  if (st.gaps.size() < warmup) {
+    const TimeNs warmup_deadline =
+        3 * static_cast<TimeNs>(config_.miss_threshold) * config_.heartbeat_interval;
+    if (now - st.last_heartbeat > warmup_deadline) {
+      MarkFailed(n, st, now);
+    }
+    return;
+  }
+  const double phi = PhiOfState(st, now);
+  if (phi >= config_.fail_phi) {
+    MarkFailed(n, st, now);
+    return;
+  }
+  if (phi >= config_.suspect_phi) {
+    if (st.health != NodeHealth::kSuspected) {
+      suspicions_raised_.Add(1);
+      SetHealth(n, NodeHealth::kSuspected);
+    }
+    return;
+  }
+  // Below suspicion. Slow if the recent gap history is well above the send
+  // cadence (lossy/jittery link or overloaded host), else heal with
+  // hysteresis: only a streak of on-time beats clears a gray state.
+  double window_mean = static_cast<double>(config_.heartbeat_interval);
+  if (!st.gaps.empty()) {
+    double sum = 0.0;
+    for (const TimeNs g : st.gaps) {
+      sum += static_cast<double>(g);
+    }
+    window_mean = sum / static_cast<double>(st.gaps.size());
+  }
+  const bool slow =
+      window_mean > config_.slow_factor * static_cast<double>(config_.heartbeat_interval);
+  if (slow) {
+    if (st.health != NodeHealth::kSlow) {
+      slow_marks_.Add(1);
+      SetHealth(n, NodeHealth::kSlow);
+    }
+    return;
+  }
+  if ((st.health == NodeHealth::kSuspected || st.health == NodeHealth::kSlow) &&
+      st.on_time_streak >= config_.recovery_streak) {
+    SetHealth(n, NodeHealth::kHealthy);
+  }
+}
+
+void HealthMonitor::CheckHeartbeats() {
+  const TimeNs now = cluster_->loop().now();
   // A crashed monitor cannot observe anything; it picks back up on restart.
   if (!cluster_->rpc().NodeUp(monitor_node_)) {
     cluster_->loop().ScheduleAfter(config_.heartbeat_interval, [this]() { CheckHeartbeats(); });
@@ -130,28 +303,10 @@ void HealthMonitor::CheckHeartbeats() {
     if (n == monitor_node_) {
       continue;
     }
-    if (st.health == NodeHealth::kFailed) {
-      // Heartbeats that resumed after the failure mark mean the node was
-      // restarted (fault-plan crashes are revivable; InjectFailure is not).
-      if (!st.failed_injected && st.last_heartbeat > st.failed_marked_at) {
-        recoveries_detected_.Add(1);
-        st.correctable_errors = 0;
-        SetHealth(n, NodeHealth::kHealthy);
-      }
-      continue;
-    }
-    if (now - st.last_heartbeat > deadline) {
-      failures_detected_.Add(1);
-      if (st.failed_injected) {
-        last_detection_latency_ = now - st.failed_at;
-      } else if (const FaultPlan* plan = cluster_->rpc().fault_plan();
-                 plan != nullptr && plan->LastCrashBefore(n, now) >= 0) {
-        last_detection_latency_ = now - plan->LastCrashBefore(n, now);
-      } else {
-        last_detection_latency_ = 0;
-      }
-      st.failed_marked_at = now;
-      SetHealth(n, NodeHealth::kFailed);
+    if (config_.detector == FailureDetector::kPhiAccrual) {
+      CheckPhiAccrual(n, st, now);
+    } else {
+      CheckFixedMiss(n, st, now);
     }
   }
   cluster_->loop().ScheduleAfter(config_.heartbeat_interval, [this]() { CheckHeartbeats(); });

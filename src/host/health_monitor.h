@@ -5,6 +5,20 @@
 // force-migrate VM slices off a likely-to-fail server, and detect outright
 // failures via heartbeats so checkpoint/restart can recover.
 //
+// Two heartbeat detectors are available:
+//
+//  * kFixedMiss — the classic miss counter: a node is kFailed after
+//    miss_threshold silent heartbeat intervals. Cheap, but any transient
+//    jitter or partition longer than the deadline forges a full failover.
+//  * kPhiAccrual — an adaptive detector over the heartbeat inter-arrival
+//    history (Hayashibara et al.): the current silence is scored against a
+//    normal model of the observed gaps, phi = -log10 P(a heartbeat still
+//    arrives). Moderate phi marks the node kSuspected (gray failure: slow or
+//    flaky, not provably dead); only extreme phi marks it kFailed. A window
+//    mean well above the send interval marks the node kSlow. Both gray states
+//    heal back to kHealthy after a streak of on-time heartbeats (hysteresis),
+//    so jitter and short partitions never trigger restore-from-checkpoint.
+//
 // Benches and tests play the role of the platform firmware by injecting
 // correctable-error bursts (-> kDegraded once past a threshold) and hard
 // failures (-> kFailed, detected after missed heartbeats).
@@ -23,11 +37,16 @@ namespace fragvisor {
 
 enum class NodeHealth : uint8_t {
   kHealthy,
-  kDegraded,  // correctable-error rate crossed the MCA threshold
-  kFailed,    // stopped responding (heartbeat loss / fatal error)
+  kDegraded,   // correctable-error rate crossed the MCA threshold
+  kFailed,     // stopped responding (heartbeat loss / fatal error)
+  kSuspected,  // phi detector: likely failed, not yet past the fail threshold
+  kSlow,       // alive but heartbeat gaps well above the send interval
 };
 
 const char* NodeHealthName(NodeHealth health);
+
+// Which heartbeat failure detector CheckHeartbeats runs.
+enum class FailureDetector : uint8_t { kFixedMiss, kPhiAccrual };
 
 class HealthMonitor {
  public:
@@ -37,6 +56,16 @@ class HealthMonitor {
     // Heartbeat settings (StartHeartbeats enables them).
     TimeNs heartbeat_interval = Millis(100);
     int miss_threshold = 3;
+
+    // --- Phi-accrual detector (detector == kPhiAccrual only) ---
+    FailureDetector detector = FailureDetector::kFixedMiss;
+    double suspect_phi = 2.0;  // phi >= this -> kSuspected
+    double fail_phi = 10.0;    // phi >= this -> kFailed
+    int phi_window = 32;       // inter-arrival samples kept per node
+    // Window mean > slow_factor * heartbeat_interval -> kSlow.
+    double slow_factor = 2.0;
+    // On-time heartbeats in a row before kSuspected/kSlow heal to kHealthy.
+    int recovery_streak = 3;
   };
 
   using ChangeHandler = std::function<void(NodeId node, NodeHealth health)>;
@@ -52,7 +81,9 @@ class HealthMonitor {
 
   NodeHealth health(NodeId node) const;
 
-  // Nodes currently usable for placement/evacuation.
+  // Nodes currently usable for placement/evacuation. kSuspected/kSlow nodes
+  // still count — gray states must not shrink the placement pool, or a false
+  // suspicion would cascade into migrations.
   std::vector<NodeId> HealthyNodes() const;
 
   // --- Platform-event injection (the MCA/AER side) ---
@@ -69,10 +100,13 @@ class HealthMonitor {
   // --- Heartbeats ---
 
   // Every node sends periodic heartbeats to `monitor_node` over the fabric;
-  // a checker marks nodes kFailed after miss_threshold silent intervals.
+  // a checker marks nodes kFailed per the configured detector.
   void StartHeartbeats(NodeId monitor_node);
 
   bool heartbeats_running() const { return heartbeats_running_; }
+
+  // Current phi score of `node` (kPhiAccrual only; 0 before any history).
+  double PhiOf(NodeId node) const;
 
   // Time from the failure (InjectFailure, or a FaultPlan crash) to detection,
   // for the most recent failure.
@@ -81,6 +115,11 @@ class HealthMonitor {
   // Nodes that came back: a previously-failed node whose heartbeats resumed
   // (FaultPlan restarts; InjectFailure is permanent) flips back to kHealthy.
   uint64_t recoveries_detected() const { return recoveries_detected_.value(); }
+  // Gray-failure bookkeeping (kPhiAccrual only).
+  uint64_t suspicions_raised() const { return suspicions_raised_.value(); }
+  uint64_t slow_marks() const { return slow_marks_.value(); }
+  // Every detection latency, for percentile reports.
+  const Histogram& detection_latency_hist() const { return detection_latency_hist_; }
 
  private:
   struct NodeState {
@@ -90,11 +129,22 @@ class HealthMonitor {
     TimeNs failed_at = 0;
     TimeNs failed_marked_at = 0;  // when the detector flipped us to kFailed
     TimeNs last_heartbeat = 0;
+    // Phi-accrual inter-arrival window (ring buffer of the last gaps).
+    std::vector<TimeNs> gaps;
+    size_t gap_next = 0;
+    int on_time_streak = 0;
   };
 
   void SetHealth(NodeId node, NodeHealth health);
   void SendHeartbeat(NodeId node);
+  void OnHeartbeat(NodeId node);
   void CheckHeartbeats();
+  void CheckFixedMiss(NodeId n, NodeState& st, TimeNs now);
+  void CheckPhiAccrual(NodeId n, NodeState& st, TimeNs now);
+  // True if a failed node's heartbeats resumed (FaultPlan restart).
+  bool DetectRecovery(NodeId n, NodeState& st);
+  void MarkFailed(NodeId n, NodeState& st, TimeNs now);
+  double PhiOfState(const NodeState& st, TimeNs now) const;
 
   Cluster* cluster_;
   Config config_;
@@ -105,6 +155,9 @@ class HealthMonitor {
   TimeNs last_detection_latency_ = 0;
   Counter failures_detected_;
   Counter recoveries_detected_;
+  Counter suspicions_raised_;
+  Counter slow_marks_;
+  Histogram detection_latency_hist_;
 };
 
 }  // namespace fragvisor

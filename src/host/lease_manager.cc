@@ -1,0 +1,178 @@
+#include "src/host/lease_manager.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+
+const char* LeaseKindName(LeaseKind kind) {
+  switch (kind) {
+    case LeaseKind::kMemory: return "memory";
+    case LeaseKind::kVcpu: return "vcpu";
+    case LeaseKind::kIoBackend: return "io_backend";
+  }
+  return "?";
+}
+
+const char* LeaseEventName(LeaseEvent event) {
+  switch (event) {
+    case LeaseEvent::kExpired: return "expired";
+    case LeaseEvent::kRevoked: return "revoked";
+    case LeaseEvent::kReleased: return "released";
+    case LeaseEvent::kLost: return "lost";
+  }
+  return "?";
+}
+
+LeaseManager::LeaseManager(RpcLayer* rpc, LeaseManagerConfig config)
+    : rpc_(rpc), loop_(rpc->loop()), config_(config) {
+  FV_CHECK_GT(config_.duration, 0);
+  FV_CHECK_GT(config_.renew_interval, 0);
+  FV_CHECK_LT(config_.renew_interval, config_.duration);
+}
+
+LeaseId LeaseManager::Grant(NodeId lender, NodeId borrower, LeaseKind kind, uint64_t resource,
+                            HandbackFn handback) {
+  FV_CHECK_NE(lender, borrower);
+  const LeaseId id = next_id_++;
+  Lease& lease = leases_[id];
+  lease.id = id;
+  lease.lender = lender;
+  lease.borrower = borrower;
+  lease.kind = kind;
+  lease.resource = resource;
+  lease.granted_at = loop_->now();
+  handbacks_[id] = std::move(handback);
+
+  RpcLayer::CallOpts opts;
+  opts.token = id;
+  opts.on_fail = [this, id]() { Terminate(id, LeaseEvent::kLost); };
+  rpc_->Call(borrower, lender, MsgKind::kLease, config_.msg_bytes,
+             [this, id]() {
+               auto it = leases_.find(id);
+               if (it == leases_.end() || it->second.active) return;
+               it->second.active = true;
+               it->second.expires_at = loop_->now() + config_.duration;
+               stats_.granted.Add(1);
+               ArmExpiry(id);
+               if (config_.auto_renew) ArmRenewal(id);
+             },
+             std::move(opts));
+  return id;
+}
+
+void LeaseManager::ArmRenewal(LeaseId id) {
+  loop_->ScheduleAfter(config_.renew_interval, [this, id]() {
+    auto it = leases_.find(id);
+    if (it == leases_.end() || !it->second.active) return;
+    const Lease& lease = it->second;
+    RpcLayer::CallOpts opts;
+    opts.token = id;
+    opts.on_fail = [this, id]() {
+      stats_.renew_failures.Add(1);
+      Terminate(id, LeaseEvent::kLost);
+    };
+    rpc_->Call(lease.borrower, lease.lender, MsgKind::kLease, config_.msg_bytes,
+               [this, id]() {
+                 auto renewed = leases_.find(id);
+                 if (renewed == leases_.end() || !renewed->second.active) return;
+                 renewed->second.expires_at = loop_->now() + config_.duration;
+                 stats_.renewed.Add(1);
+                 ArmRenewal(id);
+               },
+               std::move(opts));
+  });
+}
+
+void LeaseManager::ArmExpiry(LeaseId id) {
+  auto it = leases_.find(id);
+  if (it == leases_.end() || !it->second.active) return;
+  const TimeNs expected = it->second.expires_at;
+  loop_->ScheduleAt(expected, [this, id, expected]() {
+    auto now_it = leases_.find(id);
+    if (now_it == leases_.end() || !now_it->second.active) return;
+    if (now_it->second.expires_at > expected) {
+      // A renewal landed since this check was armed; chase the new deadline.
+      ArmExpiry(id);
+      return;
+    }
+    Terminate(id, LeaseEvent::kExpired);
+  });
+}
+
+void LeaseManager::Revoke(LeaseId id) {
+  auto it = leases_.find(id);
+  if (it == leases_.end() || !it->second.active) return;
+  const Lease& lease = it->second;
+  RpcLayer::CallOpts opts;
+  opts.token = id;
+  opts.on_fail = [this, id]() { Terminate(id, LeaseEvent::kLost); };
+  rpc_->Call(lease.lender, lease.borrower, MsgKind::kLease, config_.msg_bytes,
+             [this, id]() { Terminate(id, LeaseEvent::kRevoked); }, std::move(opts));
+}
+
+void LeaseManager::Release(LeaseId id) {
+  auto it = leases_.find(id);
+  if (it == leases_.end() || !it->second.active) return;
+  const Lease& lease = it->second;
+  rpc_->Call(lease.borrower, lease.lender, MsgKind::kLease, config_.msg_bytes,
+             []() {});  // lender-side bookkeeping only; fire and forget
+  Terminate(id, LeaseEvent::kReleased);
+}
+
+void LeaseManager::OnNodeFailure(NodeId node) {
+  // Collect first: Terminate mutates the map and handbacks may grant anew.
+  std::vector<std::pair<LeaseId, bool>> doomed;  // (id, lent_by_failed_node)
+  for (const auto& [id, lease] : leases_) {
+    if (lease.lender == node || lease.borrower == node) {
+      doomed.emplace_back(id, lease.lender == node);
+    }
+  }
+  for (const auto& [id, lost] : doomed) {
+    if (lost) {
+      Terminate(id, LeaseEvent::kLost);
+    } else {
+      // Dead borrower: the lender reclaims out-of-band during recovery; no
+      // handback, the registered owner of the resource no longer exists.
+      leases_.erase(id);
+      handbacks_.erase(id);
+    }
+  }
+}
+
+void LeaseManager::Terminate(LeaseId id, LeaseEvent event) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return;
+  Lease lease = it->second;
+  HandbackFn handback;
+  auto hb = handbacks_.find(id);
+  if (hb != handbacks_.end()) handback = std::move(hb->second);
+  leases_.erase(it);
+  if (hb != handbacks_.end()) handbacks_.erase(hb);
+
+  switch (event) {
+    case LeaseEvent::kExpired: stats_.expired.Add(1); break;
+    case LeaseEvent::kRevoked: stats_.revoked.Add(1); break;
+    case LeaseEvent::kReleased: stats_.released.Add(1); break;
+    case LeaseEvent::kLost: break;
+  }
+  if (event != LeaseEvent::kReleased) stats_.handbacks.Add(1);
+  if (handback) handback(lease, event);
+}
+
+const Lease* LeaseManager::Find(LeaseId id) const {
+  auto it = leases_.find(id);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+int LeaseManager::ActiveLeases() const {
+  int n = 0;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.active) ++n;
+  }
+  return n;
+}
+
+}  // namespace fragvisor

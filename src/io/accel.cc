@@ -136,4 +136,13 @@ void AccelDev::Submit(int vcpu, uint64_t input_bytes, TimeNs cpu_equiv_work,
   });
 }
 
+void AccelDev::Redelegate(NodeId new_backend) {
+  FV_CHECK_GE(new_backend, 0);
+  if (new_backend == config_.backend_node) return;
+  config_.backend_node = new_backend;
+  // The replacement device starts idle; the old queue died with its slice.
+  device_busy_until_ = 0;
+  stats_.redelegations.Add(1);
+}
+
 }  // namespace fragvisor

@@ -42,6 +42,8 @@ struct AccelStats {
   // accelerator slice or the submitter died). The submission resolves with an
   // error so the submitting vCPU never wedges.
   Counter delegation_aborts;
+  // Backend moved to another node (lease handback / partial recovery).
+  Counter redelegations;
   Summary kernel_latency_ns;  // submit -> results visible at the submitter
   TimeNs device_busy = 0;
 };
@@ -65,6 +67,11 @@ class AccelDev {
   // serialize on the device queue.
   void Submit(int vcpu, uint64_t input_bytes, TimeNs cpu_equiv_work, uint64_t output_bytes,
               std::function<void()> done);
+
+  // Moves the accelerator backend to `new_backend` (an equivalent device on
+  // another slice takes over). New submissions route there immediately;
+  // in-flight kernels on a dead old backend abort, they do not wedge.
+  void Redelegate(NodeId new_backend);
 
  private:
   TimeNs DeviceService(TimeNs execution);

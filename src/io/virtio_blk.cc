@@ -201,6 +201,16 @@ void VirtioBlkDev::VhostIo(NodeId issuer, uint64_t bytes, bool is_write,
   loop_->ScheduleAfter(copy, std::move(disk_op));
 }
 
+void VirtioBlkDev::Redelegate(NodeId new_backend) {
+  FV_CHECK_GE(new_backend, 0);
+  if (new_backend == config_.backend_node) return;
+  config_.backend_node = new_backend;
+  // The new node's SSD starts idle; the old queue depth dies with the old
+  // backend, so the FIFO horizon must not carry over.
+  disk_busy_until_ = 0;
+  stats_.redelegations.Add(1);
+}
+
 void VirtioBlkDev::TmpfsIo(NodeId issuer, uint64_t bytes, bool is_write,
                            std::function<void()> done) {
   // tmpfs: the "disk" is guest RAM, origin-backed; consistency via DSM.

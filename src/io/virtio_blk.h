@@ -46,6 +46,8 @@ struct VirtioBlkStats {
   // Delegation RPCs the reliable fabric gave up on (peer slice died). The op
   // completes with an error so the issuing vCPU never wedges.
   Counter delegation_aborts;
+  // Backend moved to another node (lease handback / partial recovery).
+  Counter redelegations;
   Summary op_latency_ns;
 };
 
@@ -66,6 +68,11 @@ class VirtioBlkDev {
   // issuing vCPU.
   void GuestWrite(int vcpu, uint64_t bytes, std::function<void()> done);
   void GuestRead(int vcpu, uint64_t bytes, std::function<void()> done);
+
+  // Moves the vhost backend to `new_backend` (its SSD takes over; the old
+  // disk's queue is abandoned). New requests route there immediately;
+  // in-flight delegations to a dead old backend abort, they do not wedge.
+  void Redelegate(NodeId new_backend);
 
  private:
   void GuestIo(int vcpu, uint64_t bytes, bool is_write, std::function<void()> done);

@@ -248,6 +248,15 @@ void VirtioNetDev::ReceiveFromExternal(int vcpu, uint64_t bytes) {
   });
 }
 
+void VirtioNetDev::Redelegate(NodeId new_backend) {
+  FV_CHECK_GE(new_backend, 0);
+  if (new_backend == config_.backend_node) return;
+  config_.backend_node = new_backend;
+  // Fresh vhost workers on the new node; queued work died with the old ones.
+  for (TimeNs& busy : worker_busy_until_) busy = 0;
+  stats_.redelegations.Add(1);
+}
+
 void VirtioNetDev::SendFromExternal(int vcpu, uint64_t bytes) {
   FV_CHECK_NE(config_.external_node, kInvalidNode);
   RpcLayer::CallOpts opts;

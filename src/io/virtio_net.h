@@ -52,6 +52,8 @@ struct VirtioNetStats {
   // Delegation/wire RPCs the reliable fabric gave up on (peer slice died);
   // the packet is lost, which is fine — guests treat the NIC as lossy.
   Counter delegation_aborts;
+  // Backend moved to another node (lease handback / partial recovery).
+  Counter redelegations;
   Summary tx_enqueue_latency_ns;  // guest-visible send cost
 };
 
@@ -95,6 +97,11 @@ class VirtioNetDev {
 
   // Full client path: external node -> backend wire -> guest delivery.
   void SendFromExternal(int vcpu, uint64_t bytes);
+
+  // Moves the vhost backend (and the physical NIC role) to `new_backend`.
+  // New packets route there immediately; in-flight delegations to a dead old
+  // backend abort (lossy-NIC semantics), they do not wedge.
+  void Redelegate(NodeId new_backend);
 
  private:
   int QueueFor(int vcpu) const { return config_.multiqueue ? vcpu : 0; }

@@ -94,6 +94,9 @@ void DsmEngine::SetResident(Leaf& leaf, uint32_t i, NodeId node, PageAccess acc)
     case PageAccess::kWrite:
       SetBit(leaf.present[n], i);
       SetBit(leaf.writable[n], i);
+      // Journal: a write grant means the local copy diverges from the last
+      // checkpoint image the moment the node uses it.
+      SetBit(leaf.dirty[n], i);
       break;
   }
 }
@@ -204,6 +207,108 @@ uint64_t DsmEngine::ReseedOwnedBy(NodeId from, NodeId to) {
     }
   }
   return moved;
+}
+
+void DsmEngine::ClearDirtyJournal() {
+  for (auto& leaf_ptr : leaves_) {
+    Leaf* leaf = leaf_ptr.get();
+    if (leaf == nullptr) {
+      continue;
+    }
+    for (int n = 0; n < options_.num_nodes; ++n) {
+      for (uint32_t w = 0; w < kLeafWords; ++w) {
+        leaf->dirty[n][w] = 0;
+      }
+    }
+  }
+}
+
+uint64_t DsmEngine::DirtyPageCount(NodeId node) const {
+  FV_CHECK_GE(node, 0);
+  FV_CHECK_LT(node, options_.num_nodes);
+  uint64_t count = 0;
+  for (const auto& leaf_ptr : leaves_) {
+    const Leaf* leaf = leaf_ptr.get();
+    if (leaf == nullptr) {
+      continue;
+    }
+    for (uint32_t w = 0; w < kLeafWords; ++w) {
+      count += static_cast<uint64_t>(std::popcount(leaf->dirty[static_cast<size_t>(node)][w]));
+    }
+  }
+  return count;
+}
+
+bool DsmEngine::IsDirty(NodeId node, PageNum page) const {
+  const Leaf* leaf = FindLeaf(page);
+  return leaf != nullptr && TestBit(leaf->dirty[static_cast<size_t>(node)], Index(page));
+}
+
+DsmEngine::PartialLossReport DsmEngine::RecoverDeadOwner(NodeId dead, NodeId fallback) {
+  FV_CHECK_GE(dead, 0);
+  FV_CHECK_LT(dead, options_.num_nodes);
+  FV_CHECK_NE(dead, options_.home);  // home death means full restore, not surgery
+  FV_CHECK_GE(fallback, 0);
+  FV_CHECK_LT(fallback, options_.num_nodes);
+  FV_CHECK_NE(fallback, dead);
+  PartialLossReport report;
+  const auto d = static_cast<size_t>(dead);
+  for (auto& leaf_ptr : leaves_) {
+    Leaf* leaf = leaf_ptr.get();
+    if (leaf == nullptr) {
+      continue;
+    }
+    for (uint32_t w = 0; w < kLeafWords; ++w) {
+      uint64_t bits = leaf->known[w] & ~leaf->busy[w];
+      while (bits != 0) {
+        const uint32_t i = w * 64 + static_cast<uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const bool was_owner = leaf->owner[i] == dead;
+        const bool was_dirty = TestBit(leaf->dirty[d], i);
+        // Strip the dead node everywhere first (residency, mask, journal).
+        if ((leaf->sharers[i] & Bit(dead)) != 0 || TestBit(leaf->present[d], i)) {
+          SetResident(*leaf, i, dead, PageAccess::kNone);
+          leaf->sharers[i] &= ~Bit(dead);
+          stats_.pages_reclaimed.Add(1);
+        }
+        ClearBit(leaf->dirty[d], i);
+        if (!was_owner) {
+          continue;
+        }
+        ++report.pages_owned;
+        // A surviving read replica preserves the page's current content:
+        // promote the lowest surviving sharer to owner, no restore needed.
+        NodeId survivor = kInvalidNode;
+        for (int n = 0; n < options_.num_nodes; ++n) {
+          if ((leaf->sharers[i] & Bit(n)) != 0) {
+            survivor = n;
+            break;
+          }
+        }
+        if (survivor != kInvalidNode) {
+          leaf->owner[i] = static_cast<int16_t>(survivor);
+          leaf->hold_until[i] = 0;
+          ++report.promoted_sharers;
+          stats_.pages_promoted.Add(1);
+          continue;
+        }
+        // Only copy died. The checkpoint image is current unless the dead
+        // node wrote the page after it was taken — the journal knows.
+        leaf->owner[i] = static_cast<int16_t>(fallback);
+        leaf->sharers[i] = Bit(fallback);
+        leaf->hold_until[i] = 0;
+        ResetResidency(*leaf, i, fallback);
+        if (was_dirty) {
+          ++report.lost_dirty;
+          stats_.pages_lost_dirty.Add(1);
+        } else {
+          ++report.rehomed_clean;
+          stats_.pages_rehomed_clean.Add(1);
+        }
+      }
+    }
+  }
+  return report;
 }
 
 uint64_t DsmEngine::FaultsByNode(NodeId node) const {
@@ -370,7 +475,15 @@ bool DsmEngine::Access(NodeId node, PageNum page, bool is_write, std::function<v
   Leaf& leaf = EnsurePage(page);
   const uint32_t i = Index(page);
   const auto n = static_cast<size_t>(node);
-  if (is_write ? TestBit(leaf.writable[n], i) : TestBit(leaf.present[n], i)) {
+  if (is_write) {
+    if (TestBit(leaf.writable[n], i)) {
+      // Journal the store (a node can keep writing long after the grant that
+      // first set its dirty bit was cleared by a checkpoint). Pure
+      // bookkeeping: no message, no event, no timing change.
+      SetBit(leaf.dirty[n], i);
+      return true;
+    }
+  } else if (TestBit(leaf.present[n], i)) {
     return true;
   }
 

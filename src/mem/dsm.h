@@ -86,6 +86,11 @@ struct DsmStats {
   NodeCounterSet write_aborts;   // write rounds abandoned on a failed invalidate
   Counter pages_reclaimed;       // dead peers stripped from directory entries
 
+  // Surgical recovery counters (RecoverDeadOwner).
+  Counter pages_promoted;        // surviving read replica promoted to owner
+  Counter pages_rehomed_clean;   // only copy died, but the ckpt image is current
+  Counter pages_lost_dirty;      // only copy died AND was written since the ckpt
+
   uint64_t total_faults() const { return read_faults.value() + write_faults.value(); }
 };
 
@@ -150,6 +155,32 @@ class DsmEngine {
   // with in-flight transactions are skipped; returns the number moved.
   uint64_t ReseedOwnedBy(NodeId from, NodeId to);
 
+  // --- Dirty-page journal + surgical partial recovery ---
+
+  // The journal tracks, per node, which pages that node has written since the
+  // last ClearDirtyJournal() (bookkeeping only: no protocol messages, no
+  // timing). The failover manager clears it at every completed checkpoint, so
+  // a dirty bit means "this copy's content is newer than the image".
+  void ClearDirtyJournal();
+  uint64_t DirtyPageCount(NodeId node) const;
+  bool IsDirty(NodeId node, PageNum page) const;
+
+  // What a dead lender's loss actually cost, page by page.
+  struct PartialLossReport {
+    uint64_t pages_owned = 0;       // pages the dead node owned at failure
+    uint64_t promoted_sharers = 0;  // a surviving read replica became the owner
+    uint64_t rehomed_clean = 0;     // no copy left; image content still valid
+    uint64_t lost_dirty = 0;        // no copy left; written since the image
+  };
+
+  // Surgical repair after a single dead lender (`dead` must not be the home
+  // node, whose death forces a full restore): every page the dead node owned
+  // is re-owned by a surviving sharer when one exists (content preserved) or
+  // re-homed onto `fallback` for restore from the checkpoint image; the dead
+  // node's residency and sharer bits are stripped everywhere. Pages with
+  // in-flight transactions are skipped (their retry path repairs them).
+  PartialLossReport RecoverDeadOwner(NodeId dead, NodeId fallback);
+
   // Live memory-slice migration (Sec. 5.2 "live slice migration"): eagerly
   // pre-copies every page `from` owns to `to` in large batches over the
   // fabric, re-homing each batch on arrival (in-flight transactions make a
@@ -191,6 +222,7 @@ class DsmEngine {
     uint64_t busy[kLeafWords] = {};              // a transaction holds the entry
     uint64_t present[kMaxNodes][kLeafWords] = {};   // residency: access != none
     uint64_t writable[kMaxNodes][kLeafWords] = {};  // residency: access == write
+    uint64_t dirty[kMaxNodes][kLeafWords] = {};     // written since last journal clear
 
     Leaf() {
       owner.fill(-1);

@@ -35,6 +35,8 @@ const char* MsgKindName(MsgKind kind) {
       return "checkpoint_data";
     case MsgKind::kControl:
       return "control";
+    case MsgKind::kLease:
+      return "lease";
     case MsgKind::kCount:
       break;
   }

@@ -61,6 +61,7 @@ enum class MsgKind : uint8_t {
   kVcpuMigration,
   kCheckpointData,
   kControl,
+  kLease,
   kCount,
 };
 

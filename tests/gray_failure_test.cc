@@ -1,0 +1,357 @@
+// Gray-failure detection and surgical partial recovery, unit-level (tier 1):
+// the phi-accrual detector's crash detection / warm-up guard / jitter
+// tolerance / kSuspected-kSlow hysteresis, the stale-heartbeat and observer
+// re-entrancy fixes, heal-after-partition recovery without duplicate
+// failovers, the DSM dirty-page journal, RecoverDeadOwner's page
+// classification, and I/O backend redelegation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/ckpt/failover.h"
+#include "src/core/fragvisor.h"
+#include "src/host/health_monitor.h"
+#include "src/sim/fault_plan.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+namespace {
+
+Cluster::Config TestCluster() {
+  Cluster::Config config;
+  config.num_nodes = 4;
+  config.pcpus_per_node = 4;
+  return config;
+}
+
+HealthMonitor::Config PhiConfig() {
+  HealthMonitor::Config config;
+  config.heartbeat_interval = Millis(20);
+  config.miss_threshold = 3;
+  config.detector = FailureDetector::kPhiAccrual;
+  return config;
+}
+
+TEST(PhiAccrualTest, DetectsCrashAfterHistoryWarmsUp) {
+  Cluster cluster(TestCluster());
+  HealthMonitor monitor(&cluster, PhiConfig());
+  monitor.StartHeartbeats(0);
+
+  cluster.loop().RunUntil(Millis(300));
+  EXPECT_EQ(monitor.failures_detected(), 0u);  // quiet cluster, no alarms
+
+  monitor.InjectFailure(2);
+  RunUntil(cluster, [&]() { return monitor.failures_detected() >= 1; }, Seconds(5));
+  EXPECT_EQ(monitor.failures_detected(), 1u);
+  EXPECT_EQ(monitor.health(2), NodeHealth::kFailed);
+  // With a warmed-up window of regular gaps, phi crosses fail_phi within a
+  // few heartbeat intervals of the silence starting.
+  EXPECT_GT(monitor.last_detection_latency(), 0);
+  EXPECT_LT(monitor.last_detection_latency(), Millis(200));
+}
+
+TEST(PhiAccrualTest, WarmupGuardDelaysVerdictWithoutHistory) {
+  Cluster cluster(TestCluster());
+  HealthMonitor monitor(&cluster, PhiConfig());
+  monitor.StartHeartbeats(0);
+  // Node 2 dies before the detector has any inter-arrival history. The
+  // normal model is meaningless (sigma collapses to the floor), so only the
+  // extended absolute deadline — 3x the fixed-miss deadline — may fail it.
+  monitor.InjectFailure(2);
+  RunUntil(cluster, [&]() { return monitor.failures_detected() >= 1; }, Seconds(5));
+  EXPECT_EQ(monitor.health(2), NodeHealth::kFailed);
+  EXPECT_GT(monitor.last_detection_latency(),
+            3 * 3 * Millis(20) - Millis(1));  // 3 * miss_threshold * interval
+}
+
+// The whole point of the phi detector: a lossy, jittery link that silences
+// individual heartbeats must not be mistaken for a dead node. The fixed-miss
+// counter false-fires on the same trace.
+TEST(PhiAccrualTest, ToleratesLossyLinkWhereFixedMissFalseFires) {
+  auto run = [](FailureDetector detector) {
+    Cluster cluster(TestCluster());
+    FaultPlan plan(4);
+    LinkFaultProfile lossy;
+    lossy.drop_prob = 0.35;
+    lossy.dup_prob = 0.005;
+    lossy.extra_delay_max = Micros(2000);
+    plan.SetDefaultLinkFaults(lossy);
+    cluster.fabric().AttachFaultPlan(&plan);
+
+    HealthMonitor::Config config = PhiConfig();
+    config.detector = detector;
+    HealthMonitor monitor(&cluster, config);
+    monitor.StartHeartbeats(0);
+    cluster.loop().RunUntil(Seconds(3));
+    return monitor.failures_detected();
+  };
+
+  const uint64_t phi = run(FailureDetector::kPhiAccrual);
+  const uint64_t fixed = run(FailureDetector::kFixedMiss);
+  EXPECT_EQ(phi, 0u) << "phi false positive";
+  EXPECT_GE(fixed, 1u)
+      << "trace too tame: the fixed-miss detector was expected to false-fire";
+  EXPECT_LT(phi, fixed);  // the adaptive detector is strictly less trigger-happy
+}
+
+TEST(PhiAccrualTest, SuspicionHealsWithHysteresis) {
+  Cluster cluster(TestCluster());
+  FaultPlan plan(3);
+  // A 60 ms partition: long enough for phi to cross suspect_phi, far too
+  // short for a sane operator to restore from checkpoint.
+  plan.PartitionLink(0, 2, Millis(300), Millis(360));
+  cluster.fabric().AttachFaultPlan(&plan);
+
+  HealthMonitor::Config config = PhiConfig();
+  config.fail_phi = 100.0;  // out of reach (phi clamps at 30): gray states only
+  HealthMonitor monitor(&cluster, config);
+  std::vector<NodeHealth> transitions;
+  monitor.AddObserver([&](NodeId n, NodeHealth h) {
+    if (n == 2) {
+      transitions.push_back(h);
+    }
+  });
+  monitor.StartHeartbeats(0);
+
+  RunUntil(cluster, [&]() { return monitor.suspicions_raised() >= 1; }, Seconds(2));
+  EXPECT_EQ(monitor.suspicions_raised(), 1u);
+  EXPECT_EQ(monitor.health(2), NodeHealth::kSuspected);
+  // Gray states must not shrink the placement pool.
+  EXPECT_EQ(monitor.HealthyNodes().size(), 4u);
+
+  // Partition heals, heartbeats resume: an on-time streak clears the state.
+  cluster.loop().RunUntil(Millis(1000));
+  EXPECT_EQ(monitor.health(2), NodeHealth::kHealthy);
+  EXPECT_EQ(monitor.failures_detected(), 0u);
+  ASSERT_GE(transitions.size(), 2u);
+  EXPECT_EQ(transitions.front(), NodeHealth::kSuspected);
+  EXPECT_EQ(transitions.back(), NodeHealth::kHealthy);
+}
+
+TEST(PhiAccrualTest, PersistentLossMarksSlowThenHeals) {
+  Cluster cluster(TestCluster());
+  FaultPlan plan(3);
+  // Kill two of every three heartbeats from node 2 for ~600 ms: the gap
+  // window mean triples, which is kSlow, not kFailed.
+  for (int k = 0; k < 10; ++k) {
+    const TimeNs base = Millis(305) + k * Millis(60);
+    plan.PartitionLink(0, 2, base, base + Millis(50));
+  }
+  cluster.fabric().AttachFaultPlan(&plan);
+
+  HealthMonitor::Config config = PhiConfig();
+  config.fail_phi = 100.0;
+  config.phi_window = 8;  // small window so the mean tracks the loss quickly
+  HealthMonitor monitor(&cluster, config);
+  monitor.StartHeartbeats(0);
+
+  RunUntil(cluster, [&]() { return monitor.slow_marks() >= 1; }, Seconds(2));
+  EXPECT_GE(monitor.slow_marks(), 1u);
+  EXPECT_EQ(monitor.failures_detected(), 0u);
+  EXPECT_EQ(monitor.HealthyNodes().size(), 4u);
+
+  // Loss stops at ~905 ms; regular beats refill the window and heal the node.
+  cluster.loop().RunUntil(Seconds(2));
+  EXPECT_EQ(monitor.health(2), NodeHealth::kHealthy);
+  EXPECT_EQ(monitor.failures_detected(), 0u);
+}
+
+// A heartbeat already in flight when InjectFailure lands must not refresh the
+// dead node's liveness, delay detection, or flip a detected failure back to
+// kHealthy (InjectFailure is permanent, unlike fault-plan crashes).
+TEST(HealthMonitorTest, StaleHeartbeatCannotReviveInjectedFailure) {
+  Cluster cluster(TestCluster());
+  FaultPlan plan(9);
+  LinkFaultProfile slow_wire;
+  slow_wire.extra_delay_max = Millis(10);  // heartbeats linger in flight
+  plan.SetDefaultLinkFaults(slow_wire);
+  cluster.fabric().AttachFaultPlan(&plan);
+
+  HealthMonitor::Config config;
+  config.heartbeat_interval = Millis(20);
+  config.miss_threshold = 3;
+  HealthMonitor monitor(&cluster, config);
+  monitor.StartHeartbeats(0);
+  cluster.loop().RunUntil(Millis(200));
+
+  // Kill node 2 in the middle of a heartbeat interval: with up to 10 ms of
+  // wire delay, beats sent before the failure are still arriving after it.
+  cluster.loop().ScheduleAt(Millis(205), [&]() { monitor.InjectFailure(2); });
+  RunUntil(cluster, [&]() { return monitor.failures_detected() >= 1; }, Seconds(5));
+  EXPECT_EQ(monitor.health(2), NodeHealth::kFailed);
+  // Detection from the actual failure instant, within the fixed-miss window
+  // (a stale beat sneaking into last_heartbeat would stretch this).
+  EXPECT_LT(monitor.last_detection_latency(), Millis(100));
+
+  cluster.loop().RunFor(Millis(500));
+  EXPECT_EQ(monitor.health(2), NodeHealth::kFailed);  // stays dead
+  EXPECT_EQ(monitor.recoveries_detected(), 0u);
+  EXPECT_EQ(monitor.failures_detected(), 1u);
+}
+
+// Observers may AddObserver or re-enter SetHealth from inside the callback;
+// the monitor snapshots the list before invoking.
+TEST(HealthMonitorTest, ObserverMayRegisterObserversReentrantly) {
+  Cluster cluster(TestCluster());
+  HealthMonitor monitor(&cluster, HealthMonitor::Config{});
+  int outer = 0;
+  int inner = 0;
+  monitor.AddObserver([&](NodeId, NodeHealth) {
+    ++outer;
+    if (outer == 1) {
+      monitor.AddObserver([&](NodeId, NodeHealth) { ++inner; });
+    }
+  });
+  monitor.InjectCorrectableErrors(1, 5);  // -> kDegraded, first notification
+  EXPECT_EQ(outer, 1);
+  EXPECT_EQ(inner, 0);  // registered mid-notification, not invoked for it
+  monitor.InjectFailure(2);  // second notification reaches both
+  EXPECT_EQ(outer, 2);
+  EXPECT_EQ(inner, 1);
+}
+
+// Satellite: a timed partition that heals. The node is marked kFailed, a
+// single failover moves its slice, and when heartbeats resume the monitor
+// reports the recovery and flips the node back to kHealthy — without a
+// duplicate failover.
+TEST(HealthMonitorTest, PartitionHealRecoversWithoutDuplicateFailover) {
+  Cluster cluster(TestCluster());
+  FaultPlan plan(11);
+  plan.PartitionLink(0, 2, Millis(100), Millis(400));
+  cluster.fabric().AttachFaultPlan(&plan);
+
+  HealthMonitor::Config hc;
+  hc.heartbeat_interval = Millis(10);
+  hc.miss_threshold = 3;
+  HealthMonitor monitor(&cluster, hc);
+  monitor.StartHeartbeats(0);
+
+  FailoverManager::Config fc;
+  fc.checkpoint_interval = Millis(200);
+  fc.checkpoint_node = 0;
+  FailoverManager manager(&cluster, &monitor, fc);
+
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(3);
+  config.layout.heap_pages = 1 << 16;
+  AggregateVm vm(&cluster, config);
+  for (int v = 0; v < 3; ++v) {
+    vm.SetWorkload(v, std::make_unique<ScriptedStream>(
+                          std::vector<Op>{Op::Compute(Millis(600))}));
+  }
+  vm.Boot();
+  manager.Protect(&vm);
+
+  RunUntil(cluster, [&]() { return monitor.failures_detected() >= 1; }, Seconds(10));
+  EXPECT_EQ(monitor.health(2), NodeHealth::kFailed);
+
+  RunUntil(cluster, [&]() { return monitor.recoveries_detected() >= 1; }, Seconds(30));
+  EXPECT_EQ(monitor.recoveries_detected(), 1u);
+  EXPECT_EQ(monitor.health(2), NodeHealth::kHealthy);
+
+  RunUntilVmDone(cluster, vm, Seconds(60));
+  EXPECT_TRUE(vm.AllFinished());
+  EXPECT_EQ(monitor.failures_detected(), 1u);
+  EXPECT_EQ(manager.stats().failovers.value(), 1u) << "duplicate failover";
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(vm.vcpu(v).exec_stats().compute_time, Millis(600));
+  }
+}
+
+TEST(DirtyJournalTest, TracksWritesAndClears) {
+  Cluster cluster(TestCluster());
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 4;
+  CostModel costs = CostModel::Default();
+  DsmEngine dsm(&cluster.loop(), &cluster.rpc(), &costs, opts);
+
+  dsm.SeedRange(0, 8, 2);  // write grants: seeded pages start dirty
+  EXPECT_EQ(dsm.DirtyPageCount(2), 8u);
+  dsm.ClearDirtyJournal();  // the checkpoint image is now current
+  EXPECT_EQ(dsm.DirtyPageCount(2), 0u);
+
+  // A write on an already-writable page re-journals without any protocol.
+  EXPECT_TRUE(dsm.Access(2, 3, /*is_write=*/true, []() {}));
+  EXPECT_TRUE(dsm.IsDirty(2, 3));
+  EXPECT_EQ(dsm.DirtyPageCount(2), 1u);
+
+  // Reads never dirty.
+  EXPECT_TRUE(dsm.Access(2, 4, /*is_write=*/false, []() {}));
+  EXPECT_FALSE(dsm.IsDirty(2, 4));
+
+  dsm.ClearDirtyJournal();
+  EXPECT_EQ(dsm.DirtyPageCount(2), 0u);
+  EXPECT_FALSE(dsm.IsDirty(2, 3));
+}
+
+TEST(DirtyJournalTest, RecoverDeadOwnerClassifiesPages) {
+  Cluster cluster(TestCluster());
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = 4;
+  CostModel costs = CostModel::Default();
+  DsmEngine dsm(&cluster.loop(), &cluster.rpc(), &costs, opts);
+
+  dsm.SeedRange(0, 4, 2);  // node 2 owns pages 0-3
+  dsm.ClearDirtyJournal();
+
+  // Page 0: node 1 pulls a read replica (a surviving sharer).
+  bool read_done = false;
+  EXPECT_FALSE(dsm.Access(1, 0, /*is_write=*/false, [&]() { read_done = true; }));
+  RunUntil(cluster, [&]() { return read_done; }, Seconds(1));
+  ASSERT_TRUE(read_done);
+  // Page 1: node 2 writes after the checkpoint (dirty, sole copy).
+  EXPECT_TRUE(dsm.Access(2, 1, /*is_write=*/true, []() {}));
+  // Pages 2, 3: clean sole copies.
+  ASSERT_EQ(dsm.PagesOwnedBy(2).size(), 4u);
+
+  const DsmEngine::PartialLossReport report = dsm.RecoverDeadOwner(2, 3);
+  EXPECT_EQ(report.pages_owned, 4u);
+  EXPECT_EQ(report.promoted_sharers, 1u);  // page 0 lives on in node 1's copy
+  EXPECT_EQ(report.rehomed_clean, 2u);     // pages 2-3: the image is current
+  EXPECT_EQ(report.lost_dirty, 1u);        // page 1: written since the image
+
+  EXPECT_EQ(dsm.OwnerOf(0), 1);
+  EXPECT_EQ(dsm.OwnerOf(1), 3);
+  EXPECT_EQ(dsm.PagesOwnedBy(2).size(), 0u);
+  EXPECT_EQ(dsm.stats().pages_promoted.value(), 1u);
+  EXPECT_EQ(dsm.stats().pages_rehomed_clean.value(), 2u);
+  EXPECT_EQ(dsm.stats().pages_lost_dirty.value(), 1u);
+  dsm.CheckInvariants();
+}
+
+TEST(RedelegateTest, RedelegateBackendsMovesDelegatedDevices) {
+  Cluster cluster(TestCluster());
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(3);
+  AggregateVm vm(&cluster, config);
+  for (int v = 0; v < 3; ++v) {
+    vm.SetWorkload(v, std::make_unique<ScriptedStream>(
+                          std::vector<Op>{Op::Compute(Millis(1))}));
+  }
+  vm.Boot();
+  ASSERT_NE(vm.blk(), nullptr);
+  ASSERT_NE(vm.net(), nullptr);
+  ASSERT_EQ(vm.blk()->config().backend_node, 0);  // delegated to the bootstrap
+
+  vm.RedelegateBackends(0, 1);
+  EXPECT_EQ(vm.blk()->config().backend_node, 1);
+  EXPECT_EQ(vm.net()->config().backend_node, 1);
+  EXPECT_EQ(vm.blk()->stats().redelegations.value(), 1u);
+  EXPECT_EQ(vm.net()->stats().redelegations.value(), 1u);
+
+  // Nodes hosting no backend contribute nothing.
+  vm.RedelegateBackends(2, 3);
+  EXPECT_EQ(vm.blk()->stats().redelegations.value(), 1u);
+  EXPECT_EQ(vm.blk()->config().backend_node, 1);
+
+  // Re-delegating to the current backend is a no-op.
+  vm.blk()->Redelegate(1);
+  EXPECT_EQ(vm.blk()->stats().redelegations.value(), 1u);
+}
+
+}  // namespace
+}  // namespace fragvisor

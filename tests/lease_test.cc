@@ -1,0 +1,241 @@
+// LeaseManager (tier 1): the grant/renew/expire/revoke/release/lost state
+// machine over the simulated fabric, node-failure teardown, and the
+// AggregateVm integration (StartLeaseProtection + orderly handback).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/fragvisor.h"
+#include "src/host/lease_manager.h"
+#include "src/sim/fault_plan.h"
+#include "src/workload/workload.h"
+
+namespace fragvisor {
+namespace {
+
+Cluster::Config TestCluster() {
+  Cluster::Config config;
+  config.num_nodes = 4;
+  config.pcpus_per_node = 4;
+  return config;
+}
+
+struct Event {
+  LeaseId id = kInvalidLease;
+  LeaseEvent event = LeaseEvent::kExpired;
+};
+
+TEST(LeaseManagerTest, GrantActivatesAndAutoRenews) {
+  Cluster cluster(TestCluster());
+  LeaseManager leases(&cluster.rpc());
+  std::vector<Event> events;
+  const LeaseId id = leases.Grant(1, 0, LeaseKind::kMemory, 42,
+                                  [&](const Lease& l, LeaseEvent e) {
+                                    events.push_back({l.id, e});
+                                  });
+  ASSERT_NE(id, kInvalidLease);
+  const Lease* lease = leases.Find(id);
+  ASSERT_NE(lease, nullptr);
+  EXPECT_FALSE(lease->active);  // grant ack still in flight
+
+  cluster.loop().RunFor(Millis(5));
+  lease = leases.Find(id);
+  ASSERT_NE(lease, nullptr);
+  EXPECT_TRUE(lease->active);
+  EXPECT_EQ(lease->lender, 1);
+  EXPECT_EQ(lease->borrower, 0);
+  EXPECT_EQ(lease->kind, LeaseKind::kMemory);
+  EXPECT_EQ(lease->resource, 42u);
+
+  // A second of renewals at the default 80 ms cadence; the lease never lapses.
+  cluster.loop().RunFor(Seconds(1));
+  EXPECT_EQ(leases.ActiveLeases(), 1);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(leases.stats().granted.value(), 1u);
+  EXPECT_GE(leases.stats().renewed.value(), 10u);
+  EXPECT_EQ(leases.stats().expired.value(), 0u);
+  EXPECT_GT(leases.Find(id)->expires_at, cluster.loop().now());
+}
+
+TEST(LeaseManagerTest, ExpiresWithoutRenewal) {
+  Cluster cluster(TestCluster());
+  LeaseManagerConfig config;
+  config.duration = Millis(50);
+  config.renew_interval = Millis(20);
+  config.auto_renew = false;
+  LeaseManager leases(&cluster.rpc(), config);
+  std::vector<Event> events;
+  const LeaseId id = leases.Grant(1, 0, LeaseKind::kVcpu, 7,
+                                  [&](const Lease& l, LeaseEvent e) {
+                                    events.push_back({l.id, e});
+                                  });
+  cluster.loop().RunFor(Millis(200));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].id, id);
+  EXPECT_EQ(events[0].event, LeaseEvent::kExpired);
+  EXPECT_EQ(leases.Find(id), nullptr);
+  EXPECT_EQ(leases.ActiveLeases(), 0);
+  EXPECT_EQ(leases.stats().expired.value(), 1u);
+  EXPECT_EQ(leases.stats().renewed.value(), 0u);
+  EXPECT_EQ(leases.stats().handbacks.value(), 1u);
+}
+
+TEST(LeaseManagerTest, RevokeNotifiesBorrower) {
+  Cluster cluster(TestCluster());
+  LeaseManager leases(&cluster.rpc());
+  std::vector<Event> events;
+  const LeaseId id = leases.Grant(1, 0, LeaseKind::kIoBackend, 0,
+                                  [&](const Lease& l, LeaseEvent e) {
+                                    events.push_back({l.id, e});
+                                  });
+  cluster.loop().RunFor(Millis(10));
+  ASSERT_EQ(leases.ActiveLeases(), 1);
+  leases.Revoke(id);
+  cluster.loop().RunFor(Millis(10));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].event, LeaseEvent::kRevoked);
+  EXPECT_EQ(leases.ActiveLeases(), 0);
+  EXPECT_EQ(leases.stats().revoked.value(), 1u);
+  EXPECT_EQ(leases.stats().handbacks.value(), 1u);
+}
+
+TEST(LeaseManagerTest, ReleaseIsVoluntary) {
+  Cluster cluster(TestCluster());
+  LeaseManager leases(&cluster.rpc());
+  std::vector<Event> events;
+  const LeaseId id = leases.Grant(2, 0, LeaseKind::kMemory, 9,
+                                  [&](const Lease& l, LeaseEvent e) {
+                                    events.push_back({l.id, e});
+                                  });
+  cluster.loop().RunFor(Millis(10));
+  leases.Release(id);
+  cluster.loop().RunFor(Millis(10));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].event, LeaseEvent::kReleased);
+  EXPECT_EQ(leases.stats().released.value(), 1u);
+  // A voluntary return is not an involuntary handback.
+  EXPECT_EQ(leases.stats().handbacks.value(), 0u);
+}
+
+TEST(LeaseManagerTest, DeadLenderLosesLease) {
+  Cluster cluster(TestCluster());
+  FaultPlan plan(5);
+  plan.CrashNode(1, Millis(50));
+  cluster.fabric().AttachFaultPlan(&plan);
+
+  LeaseManager leases(&cluster.rpc());
+  std::vector<Event> events;
+  const LeaseId id = leases.Grant(1, 0, LeaseKind::kMemory, 3,
+                                  [&](const Lease& l, LeaseEvent e) {
+                                    events.push_back({l.id, e});
+                                  });
+  cluster.loop().RunFor(Millis(10));
+  ASSERT_EQ(leases.ActiveLeases(), 1);
+
+  // The lender dies at 50 ms; the next renewal can never be acked and the
+  // reliable channel's give-up turns into a kLost handback.
+  cluster.loop().RunUntil(Seconds(2));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].id, id);
+  EXPECT_EQ(events[0].event, LeaseEvent::kLost);
+  EXPECT_GE(leases.stats().renew_failures.value(), 1u);
+  EXPECT_EQ(leases.stats().handbacks.value(), 1u);
+  EXPECT_EQ(leases.ActiveLeases(), 0);
+}
+
+TEST(LeaseManagerTest, NodeFailureTearsDownTouchingLeases) {
+  Cluster cluster(TestCluster());
+  LeaseManager leases(&cluster.rpc());
+  std::vector<Event> events;
+  auto record = [&](const Lease& l, LeaseEvent e) { events.push_back({l.id, e}); };
+  const LeaseId lent = leases.Grant(1, 0, LeaseKind::kMemory, 1, record);
+  const LeaseId borrowed = leases.Grant(2, 1, LeaseKind::kVcpu, 0, record);
+  const LeaseId other = leases.Grant(3, 0, LeaseKind::kMemory, 3, record);
+  cluster.loop().RunFor(Millis(10));
+  ASSERT_EQ(leases.ActiveLeases(), 3);
+
+  leases.OnNodeFailure(1);
+  // Node 1's lent lease is lost (handback fires: the borrower must re-home);
+  // the lease it held as borrower is silently retired; node 3's is untouched.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].id, lent);
+  EXPECT_EQ(events[0].event, LeaseEvent::kLost);
+  EXPECT_EQ(leases.Find(borrowed), nullptr);
+  ASSERT_NE(leases.Find(other), nullptr);
+  EXPECT_TRUE(leases.Find(other)->active);
+  EXPECT_EQ(leases.ActiveLeases(), 1);
+  EXPECT_EQ(leases.stats().handbacks.value(), 1u);
+}
+
+class LeaseVmTest : public ::testing::Test {
+ protected:
+  LeaseVmTest() : cluster_(TestCluster()) {}
+
+  AggregateVm& MakeVm(TimeNs per_vcpu_compute) {
+    AggregateVmConfig config;
+    config.placement = DistributedPlacement(3);
+    config.layout.heap_pages = 1 << 16;
+    config.io_backend_node = 1;  // a delegated backend worth leasing
+    vm_ = std::make_unique<AggregateVm>(&cluster_, config);
+    for (int v = 0; v < 3; ++v) {
+      vm_->SetWorkload(v, std::make_unique<ScriptedStream>(
+                               std::vector<Op>{Op::Compute(per_vcpu_compute)}));
+    }
+    vm_->Boot();
+    return *vm_;
+  }
+
+  Cluster cluster_;
+  std::unique_ptr<AggregateVm> vm_;
+};
+
+TEST_F(LeaseVmTest, LeaseProtectionCoversBorrowedResources) {
+  AggregateVm& vm = MakeVm(Millis(300));
+  LeaseManager leases(&cluster_.rpc());
+  const int requested = vm.StartLeaseProtection(&leases);
+  // At least the two off-bootstrap vCPU slots and the two delegated I/O
+  // backends (blk + net on node 1).
+  EXPECT_GE(requested, 4);
+
+  cluster_.loop().RunFor(Millis(400));
+  EXPECT_EQ(leases.ActiveLeases(), requested);
+  EXPECT_EQ(leases.stats().granted.value(), static_cast<uint64_t>(requested));
+  EXPECT_GT(leases.stats().renewed.value(), 0u);
+  EXPECT_EQ(leases.stats().handbacks.value(), 0u);
+}
+
+TEST_F(LeaseVmTest, RevokedVcpuLeaseHandsTheSlotBack) {
+  AggregateVm& vm = MakeVm(Millis(800));
+  LeaseManager leases(&cluster_.rpc());
+  const int requested = vm.StartLeaseProtection(&leases);
+  cluster_.loop().RunFor(Millis(50));
+
+  // Find the lease covering vCPU 1's slot on node 1 (ids are dense from 1).
+  LeaseId vcpu_lease = kInvalidLease;
+  for (LeaseId id = 1; id <= static_cast<LeaseId>(requested); ++id) {
+    const Lease* l = leases.Find(id);
+    if (l != nullptr && l->kind == LeaseKind::kVcpu && l->resource == 1) {
+      vcpu_lease = id;
+    }
+  }
+  ASSERT_NE(vcpu_lease, kInvalidLease);
+  ASSERT_EQ(vm.VcpuNode(1), 1);
+
+  // The lender wants its pCPUs back: the orderly handback migrates the vCPU
+  // to the bootstrap node instead of wedging or killing it.
+  leases.Revoke(vcpu_lease);
+  RunUntil(cluster_, [&]() { return vm.VcpuNode(1) == 0; }, Seconds(10));
+  EXPECT_EQ(vm.VcpuNode(1), 0);
+  EXPECT_EQ(leases.stats().revoked.value(), 1u);
+
+  RunUntilVmDone(cluster_, vm, Seconds(30));
+  EXPECT_TRUE(vm.AllFinished());
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(vm.vcpu(v).exec_stats().compute_time, Millis(800));
+  }
+}
+
+}  // namespace
+}  // namespace fragvisor

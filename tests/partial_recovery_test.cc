@@ -1,0 +1,155 @@
+// Surgical partial recovery under fault injection (tier 2): kill each lender
+// (non-origin) node at a randomized time while a multi-process NPB run is in
+// flight, once with the classic full restore and once with partial recovery.
+// Both must complete the exact golden amount of work; the partial path must
+// never touch the failovers counter, must strip the dead node from the DSM
+// directory, and must beat the full restore on recovery time while losing no
+// more work.
+//
+// FV_FAULT_SEED relocates the randomized crash times so CI can sweep seeds.
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/ckpt/failover.h"
+#include "src/core/fragvisor.h"
+#include "src/host/health_monitor.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/rng.h"
+#include "src/workload/npb.h"
+
+namespace fragvisor {
+namespace {
+
+uint64_t BaseSeed() {
+  const char* env = std::getenv("FV_FAULT_SEED");
+  if (env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+struct RunOutcome {
+  TimeNs end = 0;
+  std::vector<uint64_t> ops_retired;  // per vCPU
+  uint64_t failovers = 0;
+  uint64_t partial_recoveries = 0;
+  double recovery_ms = 0;
+  double partial_recovery_ms = 0;
+  double lost_work_ms = 0;
+  double partial_lost_work_ms = 0;
+  uint64_t victim_pages = 0;  // directory entries still owned by the victim
+};
+
+// victim < 0 runs fault-free (the golden run). One vCPU per node, so every
+// non-origin victim hosts part of the VM.
+RunOutcome RunWorkload(NodeId victim, TimeNs crash_at, bool partial) {
+  constexpr int kVcpus = 4;
+  Cluster::Config cc;
+  cc.num_nodes = 4;
+  cc.pcpus_per_node = 8;
+  Cluster cluster(cc);
+
+  std::unique_ptr<FaultPlan> plan;
+  if (victim >= 0) {
+    plan = std::make_unique<FaultPlan>(static_cast<uint64_t>(victim) * 97 + 3);
+    LinkFaultProfile profile;
+    profile.drop_prob = 0.012;  // >= 1% of every protocol message
+    plan->SetDefaultLinkFaults(profile);
+    plan->CrashNode(victim, crash_at);
+    cluster.fabric().AttachFaultPlan(plan.get());
+  }
+
+  HealthMonitor::Config hc;
+  hc.heartbeat_interval = Millis(20);
+  hc.miss_threshold = 3;
+  HealthMonitor monitor(&cluster, hc);
+  monitor.StartHeartbeats(0);
+
+  FailoverManager::Config fc;
+  fc.checkpoint_interval = Millis(50);
+  fc.checkpoint_node = 0;
+  fc.partial_recovery = partial;
+  FailoverManager manager(&cluster, &monitor, fc);
+
+  AggregateVmConfig config;
+  config.placement = DistributedPlacement(kVcpus);
+  AggregateVm vm(&cluster, config);
+  const NpbProfile profile = ScaleNpb(NpbByName("CG"), 0.15);
+  for (int v = 0; v < kVcpus; ++v) {
+    vm.SetWorkload(v, std::make_unique<NpbSerialStream>(&vm, v, profile, 11 + v));
+  }
+  vm.Boot();
+  manager.Protect(&vm);
+
+  RunOutcome out;
+  out.end = RunUntilVmDone(cluster, vm, Seconds(600));
+  EXPECT_TRUE(vm.AllFinished()) << "workload wedged (victim " << victim << ")";
+  for (int v = 0; v < kVcpus; ++v) {
+    out.ops_retired.push_back(vm.vcpu(v).regs().pc);
+  }
+  out.failovers = manager.stats().failovers.value();
+  out.partial_recoveries = manager.stats().partial_recoveries.value();
+  out.recovery_ms = manager.stats().recovery_time_ns.mean() / 1e6;
+  out.partial_recovery_ms = manager.stats().partial_recovery_time_ns.mean() / 1e6;
+  out.lost_work_ms = manager.stats().lost_work_ns.mean() / 1e6;
+  out.partial_lost_work_ms = manager.stats().partial_lost_work_ns.mean() / 1e6;
+  if (victim >= 0) {
+    out.victim_pages = vm.dsm().PagesOwnedBy(victim).size();
+  }
+  vm.dsm().CheckInvariants();
+  return out;
+}
+
+TEST(PartialRecoveryTest, SurgicalRecoveryBeatsFullRestoreOnEveryLender) {
+  const RunOutcome golden = RunWorkload(kInvalidNode, 0, /*partial=*/true);
+  ASSERT_EQ(golden.failovers, 0u);
+  ASSERT_EQ(golden.partial_recoveries, 0u);
+
+  Rng rng(BaseSeed() * 131 + 7);
+  for (NodeId victim = 1; victim < 4; ++victim) {
+    // One randomized crash time per victim, shared by both mechanisms so the
+    // comparison is apples to apples.
+    const TimeNs crash_at =
+        Millis(40) + static_cast<TimeNs>(rng.UniformInt(0, 100)) * Millis(1);
+    SCOPED_TRACE("victim " + std::to_string(victim) + " crash at " +
+                 std::to_string(ToMillis(crash_at)) + " ms");
+
+    const RunOutcome full = RunWorkload(victim, crash_at, /*partial=*/false);
+    const RunOutcome part = RunWorkload(victim, crash_at, /*partial=*/true);
+
+    // Full restore pauses the world and bumps failovers; partial recovery
+    // bumps only its own counter.
+    EXPECT_EQ(full.failovers, 1u);
+    EXPECT_EQ(full.partial_recoveries, 0u);
+    EXPECT_EQ(part.partial_recoveries, 1u);
+    EXPECT_EQ(part.failovers, 0u);
+
+    // The dead lender must be stripped from the directory either way.
+    EXPECT_EQ(full.victim_pages, 0u);
+    EXPECT_EQ(part.victim_pages, 0u);
+
+    // Surgical: restore only what actually died, replay only the dirty
+    // fraction. Strictly faster, never more lost work.
+    EXPECT_GT(part.partial_recovery_ms, 0.0);
+    EXPECT_LT(part.partial_recovery_ms, full.recovery_ms);
+    EXPECT_LE(part.partial_lost_work_ms, full.lost_work_ms);
+
+    // Post-recovery both mechanisms complete exactly the golden run's work:
+    // no vCPU lost or double-counted operations.
+    EXPECT_GE(full.end, golden.end);
+    EXPECT_GE(part.end, golden.end);
+    ASSERT_EQ(full.ops_retired.size(), golden.ops_retired.size());
+    ASSERT_EQ(part.ops_retired.size(), golden.ops_retired.size());
+    for (size_t v = 0; v < golden.ops_retired.size(); ++v) {
+      EXPECT_EQ(full.ops_retired[v], golden.ops_retired[v]) << "full, vCPU " << v;
+      EXPECT_EQ(part.ops_retired[v], golden.ops_retired[v]) << "partial, vCPU " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fragvisor

@@ -30,6 +30,8 @@ TEST(HealthMonitorTest, NodeHealthNames) {
   EXPECT_STREQ(NodeHealthName(NodeHealth::kHealthy), "healthy");
   EXPECT_STREQ(NodeHealthName(NodeHealth::kDegraded), "degraded");
   EXPECT_STREQ(NodeHealthName(NodeHealth::kFailed), "failed");
+  EXPECT_STREQ(NodeHealthName(NodeHealth::kSuspected), "suspected");
+  EXPECT_STREQ(NodeHealthName(NodeHealth::kSlow), "slow");
 }
 
 TEST(HealthMonitorTest, CorrectableErrorsDegradeAtThreshold) {

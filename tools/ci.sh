@@ -38,7 +38,10 @@ for config in "${configs[@]}"; do
 
   if [ "$config" = "asan" ] || [ "$config" = "ubsan" ]; then
     # Randomized fault-injection suites get extra mileage under the
-    # sanitizers: three distinct seeds per configuration.
+    # sanitizers: three distinct seeds per configuration. Every seed run
+    # includes the partial-recovery sweep (PartialRecoveryTest relocates the
+    # crash times and kills each lender node in turn, comparing the surgical
+    # path against the full restore).
     for seed in 1 2 3; do
       echo "=== [$config] ctest (tier2, FV_FAULT_SEED=$seed) ==="
       FV_FAULT_SEED=$seed ctest --test-dir "$build_dir" --output-on-failure \
@@ -47,6 +50,12 @@ for config in "${configs[@]}"; do
   else
     echo "=== [$config] ctest (tier2) ==="
     ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -L tier2
+    # The partial-recovery sweep is cheap enough to seed-sweep in release too.
+    for seed in 1 2 3; do
+      echo "=== [$config] partial-recovery sweep (FV_FAULT_SEED=$seed) ==="
+      FV_FAULT_SEED=$seed ctest --test-dir "$build_dir" --output-on-failure \
+        -j "$jobs" -L tier2 -R PartialRecovery
+    done
   fi
 done
 

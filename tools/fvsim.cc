@@ -16,6 +16,7 @@
 // an independent simulation, computed on --jobs threads. Output order (and
 // every byte of it) is independent of the job count.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -157,6 +158,39 @@ void ParseFaultSpec(const Args& args, Setup* setup) {
   }
 }
 
+// Reliability flags, shared by every workload command:
+//   --protect             health monitoring + checkpoint/restart failover
+//   --detector phi|fixed  heartbeat failure detector (default fixed)
+//   --partial-recovery    surgical recovery when a lender node dies
+//   --ckpt-ms T           checkpoint interval (default 100 ms)
+//   --heartbeat-ms T      heartbeat interval (default 20 ms)
+//   --lease-ms T          lease-protect borrowed resources, T ms duration
+//   --lease-renew-ms T    lease renewal interval (default T/2)
+void ParseReliabilitySpec(const Args& args, Setup* setup) {
+  bench::ReliabilitySpec& rel = setup->reliability;
+  rel.protect = args.Has("protect");
+  const std::string detector = args.Get("detector", "fixed");
+  if (detector == "phi") {
+    rel.detector = FailureDetector::kPhiAccrual;
+  } else if (detector != "fixed") {
+    std::fprintf(stderr, "unknown --detector '%s' (phi|fixed)\n", detector.c_str());
+    std::exit(2);
+  }
+  rel.partial_recovery = args.Has("partial-recovery");
+  rel.checkpoint_interval = Millis(args.GetInt("ckpt-ms", 100));
+  rel.heartbeat_interval = Millis(args.GetInt("heartbeat-ms", 20));
+  if (args.Has("lease-ms")) {
+    rel.leases = true;
+    const int lease_ms = args.GetInt("lease-ms", 200);
+    rel.lease_duration = Millis(lease_ms);
+    rel.lease_renew = Millis(args.GetInt("lease-renew-ms", std::max(1, lease_ms / 2)));
+  }
+  if ((rel.partial_recovery || args.Has("detector")) && !rel.protect) {
+    std::fprintf(stderr, "--partial-recovery/--detector need --protect\n");
+    std::exit(2);
+  }
+}
+
 Setup MakeSetup(const Args& args) {
   Setup setup;
   setup.vcpus = args.GetInt("vcpus", 4);
@@ -185,6 +219,7 @@ Setup MakeSetup(const Args& args) {
     setup.rpc.qos.enabled = true;
   }
   ParseFaultSpec(args, &setup);
+  ParseReliabilitySpec(args, &setup);
   return setup;
 }
 
@@ -218,13 +253,18 @@ int RunNpb(const Args& args) {
   double faults = 0;
   bench::FaultReport report;
   bench::MsgStatsReport msg_stats;
+  bench::ReliabilityReport reliability;
   const TimeNs end = bench::RunNpbMultiProcess(setup, profile,
                                                static_cast<uint64_t>(args.GetInt("seed", 1)),
-                                               &faults, &report, &msg_stats);
+                                               &faults, &report, &msg_stats, &reliability);
   std::printf("%s x%d on %s: %.2f ms (%.0f DSM faults/s)\n", profile.name.c_str(), setup.vcpus,
               bench::SystemName(setup.system), ToMillis(end), faults);
   if (setup.faults.enabled()) {
     bench::PrintFaultReport(report);
+  }
+  if (setup.reliability.enabled()) {
+    bench::PrintHeader("recovery report");
+    bench::PrintReliabilityReport(reliability);
   }
   ReportMsgStats(args, msg_stats);
   return 0;
@@ -324,7 +364,12 @@ int List() {
   std::printf("         --msg-stats [PATH] (per-kind traffic JSON; '-' = stdout)\n");
   std::printf("faults:  --fault-seed N --fault-drop P --fault-dup P --fault-delay-us U\n");
   std::printf("         --fault-crash n@ms[,..] --fault-restart n@ms[,..]\n");
-  std::printf("         --fault-partition a-b@ms-ms[,..] --fault-empty\n\n");
+  std::printf("         --fault-partition a-b@ms-ms[,..] --fault-empty\n");
+  std::printf("protect: --protect (heartbeats + checkpoint/restart; npb only)\n");
+  std::printf("         --detector phi|fixed (gray-failure-aware vs miss counter)\n");
+  std::printf("         --partial-recovery (surgical lender-death recovery)\n");
+  std::printf("         --ckpt-ms T --heartbeat-ms T\n");
+  std::printf("leases:  --lease-ms T [--lease-renew-ms T] (lease borrowed resources)\n\n");
   std::printf("NPB benchmarks:");
   for (const NpbProfile& p : NpbSuite()) {
     std::printf(" %s", p.name.c_str());
