@@ -1,0 +1,459 @@
+// DSM fast-path ablation: owner hints, read-mostly replication, adaptive
+// transfer granularity — each feature alone and all together, over four
+// protocol-level microworkloads shaped to expose exactly one effect each:
+//
+//   streaming      sequential scans of home-owned pages (adaptive widening
+//                  should cut protocol messages per transferred byte);
+//   read_mostly    a shared page set owned off-home, re-read by every node
+//                  with a rare writer (replication should serve reads from
+//                  replicas and keep directory traffic near zero);
+//   pingpong       two nodes alternating writes to a tiny page set (the
+//                  adaptive ownership hold should escalate and batch writes);
+//   stable_owner   one stable writer re-read by two nodes (owner hints
+//                  should shave the home hop off every re-read fault).
+//
+// Every run drives a fixed per-node access script to completion, checks the
+// coherence invariants (FV_CHECK aborts the process on violation), and must
+// produce the same order-independent access checksum under every config —
+// fast paths may only change timing and message flow, never results.
+//
+// Results go to BENCH_dsm_fastpath.json (repo root by default); exit status
+// is non-zero when a config changes workload results or an expected
+// improvement fails to materialize.
+//
+//   ablation_dsm_fastpath [--quick] [--out PATH]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/host/cost_model.h"
+#include "src/mem/dsm.h"
+#include "src/net/fabric.h"
+#include "src/net/rpc.h"
+#include "src/sim/event_loop.h"
+
+namespace fragvisor {
+namespace {
+
+constexpr int kNodes = 4;
+
+struct AccessStep {
+  PageNum page = 0;
+  bool is_write = false;
+};
+
+// One node's deterministic access sequence; `pace` is the simulated delay
+// between an access retiring and the next one issuing (0 = back to back).
+struct Script {
+  NodeId node = 0;
+  TimeNs pace = 0;
+  std::vector<AccessStep> accesses;
+};
+
+struct DriveResult {
+  uint64_t completed = 0;
+  uint64_t checksum = 0;  // order-independent: summed per-access mix
+};
+
+uint64_t MixStep(NodeId node, PageNum page, size_t k) {
+  return static_cast<uint64_t>(node) * 1315423911ull + page * 2654435761ull +
+         static_cast<uint64_t>(k) * 97531ull;
+}
+
+// Runs every script to completion as concurrent closed loops over the DSM.
+DriveResult Drive(EventLoop* loop, DsmEngine* dsm, std::vector<Script> scripts) {
+  DriveResult res;
+  auto scr = std::make_shared<std::vector<Script>>(std::move(scripts));
+  auto cursors = std::make_shared<std::vector<size_t>>(scr->size(), 0);
+  auto pumps = std::make_shared<std::vector<std::function<void()>>>(scr->size());
+  for (size_t i = 0; i < scr->size(); ++i) {
+    (*pumps)[i] = [loop, dsm, &res, scr, cursors, pumps, i]() {
+      const Script& sc = (*scr)[i];
+      while (true) {
+        const size_t k = (*cursors)[i];
+        if (k >= sc.accesses.size()) {
+          return;
+        }
+        const AccessStep a = sc.accesses[k];
+        const NodeId node = sc.node;
+        const TimeNs pace = sc.pace;
+        const bool hit = dsm->Access(
+            node, a.page, a.is_write, [loop, &res, cursors, pumps, i, node, a, k, pace]() {
+              ++res.completed;
+              res.checksum += MixStep(node, a.page, k);
+              (*cursors)[i] = k + 1;
+              if (pace > 0) {
+                loop->ScheduleAfter(pace, [pumps, i]() { (*pumps)[i](); });
+              } else {
+                (*pumps)[i]();
+              }
+            });
+        if (!hit) {
+          return;  // fault in flight; its completion callback resumes the loop
+        }
+        ++res.completed;
+        res.checksum += MixStep(node, a.page, k);
+        (*cursors)[i] = k + 1;
+        if (pace > 0) {
+          loop->ScheduleAfter(pace, [pumps, i]() { (*pumps)[i](); });
+          return;
+        }
+      }
+    };
+  }
+  for (size_t i = 0; i < pumps->size(); ++i) {
+    (*pumps)[i]();
+  }
+  loop->Run();
+  return res;
+}
+
+struct Config {
+  const char* name;
+  bool hints = false;
+  bool replicate = false;
+  bool adaptive = false;
+};
+
+constexpr Config kConfigs[] = {
+    {"baseline", false, false, false},
+    {"hints", true, false, false},
+    {"replicate", false, true, false},
+    {"adaptive", false, false, true},
+    {"all", true, true, true},
+};
+
+struct Workload {
+  const char* name;
+  std::function<void(DsmEngine*, bool quick)> setup;
+  std::function<std::vector<Script>(bool quick)> scripts;
+};
+
+std::vector<AccessStep> SequentialReads(PageNum start, uint64_t count, int passes) {
+  std::vector<AccessStep> v;
+  v.reserve(count * static_cast<uint64_t>(passes));
+  for (int p = 0; p < passes; ++p) {
+    for (uint64_t i = 0; i < count; ++i) {
+      v.push_back({start + i, false});
+    }
+  }
+  return v;
+}
+
+std::vector<Workload> MakeWorkloads() {
+  std::vector<Workload> w;
+
+  // Sequential scans of disjoint home-owned ranges, one scanning node per
+  // range. Every page is a fresh read fault; the stream detector should
+  // widen the replies into regions.
+  w.push_back(Workload{
+      "streaming",
+      [](DsmEngine* dsm, bool) { dsm->SeedRange(0, 3 * 1024, 0); },
+      [](bool quick) {
+        const uint64_t span = quick ? 256 : 1024;
+        std::vector<Script> s;
+        for (NodeId n = 1; n < kNodes; ++n) {
+          s.push_back({n, 0, SequentialReads(static_cast<PageNum>(n - 1) * 1024, span, 1)});
+        }
+        return s;
+      }});
+
+  // A page set owned by node 1 (off-home, so directory-mediated reads pay
+  // the full forward hop), half statically kReadMostly and half left
+  // kGuestPrivate for the promotion detector. Three reader nodes make
+  // repeated passes while the owner rewrites a sparse subset between them.
+  w.push_back(Workload{
+      "read_mostly",
+      [](DsmEngine* dsm, bool quick) {
+        const uint64_t span = quick ? 512 : 2048;
+        dsm->SeedRange(0, span, 1);
+        dsm->SetPageClass(0, span / 2, PageClass::kReadMostly);
+      },
+      [](bool quick) {
+        const uint64_t span = quick ? 512 : 2048;
+        const int passes = 2;
+        std::vector<Script> s;
+        for (const NodeId reader : {NodeId{0}, NodeId{2}, NodeId{3}}) {
+          s.push_back({reader, Micros(1), SequentialReads(0, span, passes)});
+        }
+        Script writer{1, Micros(100), {}};
+        for (int p = 0; p < passes; ++p) {
+          for (PageNum page = 0; page < span; page += 32) {
+            writer.accesses.push_back({page, true});
+          }
+        }
+        s.push_back(std::move(writer));
+        return s;
+      }});
+
+  // Two nodes alternating writes over four pages, issuing a few microseconds
+  // apart — the canonical ping-pong the ownership hold exists for.
+  w.push_back(Workload{
+      "pingpong",
+      [](DsmEngine* dsm, bool) { dsm->SeedRange(0, 4, 0); },
+      [](bool quick) {
+        const int writes = quick ? 100 : 300;
+        std::vector<Script> s;
+        for (const NodeId n : {NodeId{1}, NodeId{2}}) {
+          Script sc{n, Micros(5), {}};
+          for (int k = 0; k < writes; ++k) {
+            sc.accesses.push_back({static_cast<PageNum>(k % 4), true});
+          }
+          s.push_back(std::move(sc));
+        }
+        return s;
+      }});
+
+  // Node 1 stably owns and periodically rewrites a range that nodes 2 and 3
+  // keep re-reading; every re-read fault is a hint-cache bullseye.
+  w.push_back(Workload{
+      "stable_owner",
+      [](DsmEngine* dsm, bool) { dsm->SeedRange(0, 256, 1); },
+      [](bool quick) {
+        const uint64_t span = quick ? 64 : 256;
+        const int passes = 4;
+        std::vector<Script> s;
+        Script writer{1, Micros(30), {}};
+        for (int p = 0; p < passes; ++p) {
+          for (PageNum page = 0; page < span; ++page) {
+            writer.accesses.push_back({page, true});
+          }
+        }
+        s.push_back(std::move(writer));
+        for (const NodeId reader : {NodeId{2}, NodeId{3}}) {
+          s.push_back({reader, Micros(10), SequentialReads(0, span, passes)});
+        }
+        return s;
+      }});
+
+  return w;
+}
+
+struct RunMetrics {
+  uint64_t completed = 0;
+  uint64_t expected = 0;
+  uint64_t checksum = 0;
+  uint64_t pages_checked = 0;
+  uint64_t read_faults = 0;
+  uint64_t write_faults = 0;
+  uint64_t invalidations = 0;
+  uint64_t page_transfers = 0;
+  uint64_t protocol_messages = 0;
+  uint64_t protocol_bytes = 0;
+  uint64_t prefetched_pages = 0;
+  uint64_t hint_hits = 0;
+  uint64_t hint_stale = 0;
+  uint64_t replica_reads = 0;
+  uint64_t region_transfers = 0;
+  uint64_t promotions = 0;
+  uint64_t hold_escalations = 0;
+  double fault_latency_mean_us = 0.0;
+  double sim_ms = 0.0;
+};
+
+RunMetrics RunOne(const Workload& workload, const Config& config, bool quick) {
+  EventLoop loop;
+  Fabric fabric(&loop, kNodes, LinkParams::InfiniBand56G());
+  const CostModel costs = CostModel::Default();
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = kNodes;
+  opts.owner_hints = config.hints;
+  opts.read_mostly_replication = config.replicate;
+  opts.adaptive_granularity = config.adaptive;
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
+  workload.setup(&dsm, quick);
+
+  std::vector<Script> scripts = workload.scripts(quick);
+  RunMetrics m;
+  for (const Script& s : scripts) {
+    m.expected += s.accesses.size();
+  }
+  const DriveResult drive = Drive(&loop, &dsm, std::move(scripts));
+  m.completed = drive.completed;
+  m.checksum = drive.checksum;
+  m.pages_checked = dsm.CheckInvariants();  // FV_CHECK-aborts on violation
+
+  const DsmStats& s = dsm.stats();
+  m.read_faults = s.read_faults.value();
+  m.write_faults = s.write_faults.value();
+  m.invalidations = s.invalidations.value();
+  m.page_transfers = s.page_transfers.value();
+  m.protocol_messages = s.protocol_messages.value();
+  m.protocol_bytes = s.protocol_bytes.value();
+  m.prefetched_pages = s.prefetched_pages.value();
+  m.hint_hits = s.hint_hits.value();
+  m.hint_stale = s.hint_stale.value();
+  m.replica_reads = s.replica_reads.value();
+  m.region_transfers = s.region_transfers.value();
+  m.promotions = s.read_mostly_promotions.value();
+  m.hold_escalations = s.hold_escalations.value();
+  m.fault_latency_mean_us = s.fault_latency_ns.mean() / 1000.0;
+  m.sim_ms = ToMillis(loop.now());
+  return m;
+}
+
+double MsgsPerMb(const RunMetrics& m) {
+  return m.protocol_bytes == 0
+             ? 0.0
+             : static_cast<double>(m.protocol_messages) /
+                   (static_cast<double>(m.protocol_bytes) / (1024.0 * 1024.0));
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_dsm_fastpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: ablation_dsm_fastpath [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<Workload> workloads = MakeWorkloads();
+  constexpr size_t kNumConfigs = sizeof(kConfigs) / sizeof(kConfigs[0]);
+  std::vector<std::vector<RunMetrics>> results(workloads.size());
+
+  int failures = 0;
+  auto fail = [&failures](const char* what) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  };
+
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    std::printf("%s:\n", workloads[w].name);
+    std::printf("  %-10s %9s %9s %9s %9s %8s %7s %7s %7s %7s %7s %8s\n", "config", "rd_fault",
+                "wr_fault", "msgs", "msg/MiB", "lat_us", "hint", "stale", "replica", "region",
+                "escal", "sim_ms");
+    for (size_t c = 0; c < kNumConfigs; ++c) {
+      const RunMetrics m = RunOne(workloads[w], kConfigs[c], quick);
+      results[w].push_back(m);
+      std::printf("  %-10s %9llu %9llu %9llu %9.1f %8.2f %7llu %7llu %7llu %7llu %7llu %8.2f\n",
+                  kConfigs[c].name, static_cast<unsigned long long>(m.read_faults),
+                  static_cast<unsigned long long>(m.write_faults),
+                  static_cast<unsigned long long>(m.protocol_messages), MsgsPerMb(m),
+                  m.fault_latency_mean_us, static_cast<unsigned long long>(m.hint_hits),
+                  static_cast<unsigned long long>(m.hint_stale),
+                  static_cast<unsigned long long>(m.replica_reads),
+                  static_cast<unsigned long long>(m.region_transfers),
+                  static_cast<unsigned long long>(m.hold_escalations), m.sim_ms);
+      if (m.completed != m.expected) {
+        fail("a config did not complete its full access script");
+      }
+      if (m.pages_checked == 0) {
+        fail("CheckInvariants saw an empty directory");
+      }
+      if (m.checksum != results[w][0].checksum) {
+        fail("workload result checksum diverged from baseline");
+      }
+    }
+  }
+
+  // Expected-improvement gates: each fast path must actually pay off on the
+  // workload shaped for it (and hints must be mostly right, not mostly
+  // forwarded).
+  const size_t iw_stream = 0, iw_rm = 1, iw_ping = 2, iw_stable = 3;
+  const size_t ic_base = 0, ic_hints = 1, ic_repl = 2, ic_adapt = 3;
+  {
+    const RunMetrics& base = results[iw_stable][ic_base];
+    const RunMetrics& hints = results[iw_stable][ic_hints];
+    if (!(hints.fault_latency_mean_us < base.fault_latency_mean_us)) {
+      fail("hints: stable_owner mean fault latency did not drop");
+    }
+    if (!(hints.hint_hits > hints.hint_stale)) {
+      fail("hints: stale dispatches outnumber hits on stable_owner");
+    }
+  }
+  {
+    const RunMetrics& base = results[iw_rm][ic_base];
+    const RunMetrics& repl = results[iw_rm][ic_repl];
+    if (!(repl.replica_reads * 2 >= repl.read_faults)) {
+      fail("replicate: under half of read_mostly read faults served by replicas");
+    }
+    if (!(repl.protocol_messages < base.protocol_messages)) {
+      fail("replicate: read_mostly protocol messages did not drop");
+    }
+    if (repl.promotions == 0) {
+      fail("replicate: fault-history detector promoted nothing");
+    }
+  }
+  {
+    const RunMetrics& base = results[iw_stream][ic_base];
+    const RunMetrics& adapt = results[iw_stream][ic_adapt];
+    if (!(MsgsPerMb(adapt) < MsgsPerMb(base))) {
+      fail("adaptive: streaming messages-per-MiB did not drop");
+    }
+    if (adapt.region_transfers == 0) {
+      fail("adaptive: stream detector widened no transfers");
+    }
+    if (results[iw_ping][ic_adapt].hold_escalations == 0) {
+      fail("adaptive: pingpong escalated no ownership holds");
+    }
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablation_dsm_fastpath\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"workloads\": {\n");
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    std::fprintf(f, "    \"%s\": {\n", workloads[w].name);
+    for (size_t c = 0; c < kNumConfigs; ++c) {
+      const RunMetrics& m = results[w][c];
+      std::fprintf(
+          f,
+          "      \"%s\": {\"completed\": %llu, \"checksum\": %llu, \"pages_checked\": %llu, "
+          "\"read_faults\": %llu, \"write_faults\": %llu, \"invalidations\": %llu, "
+          "\"page_transfers\": %llu, \"protocol_messages\": %llu, \"protocol_bytes\": %llu, "
+          "\"prefetched_pages\": %llu, \"hint_hits\": %llu, \"hint_stale\": %llu, "
+          "\"replica_reads\": %llu, \"region_transfers\": %llu, \"promotions\": %llu, "
+          "\"hold_escalations\": %llu, \"fault_latency_mean_us\": %.3f, \"sim_ms\": %.3f}%s\n",
+          kConfigs[c].name, static_cast<unsigned long long>(m.completed),
+          static_cast<unsigned long long>(m.checksum),
+          static_cast<unsigned long long>(m.pages_checked),
+          static_cast<unsigned long long>(m.read_faults),
+          static_cast<unsigned long long>(m.write_faults),
+          static_cast<unsigned long long>(m.invalidations),
+          static_cast<unsigned long long>(m.page_transfers),
+          static_cast<unsigned long long>(m.protocol_messages),
+          static_cast<unsigned long long>(m.protocol_bytes),
+          static_cast<unsigned long long>(m.prefetched_pages),
+          static_cast<unsigned long long>(m.hint_hits),
+          static_cast<unsigned long long>(m.hint_stale),
+          static_cast<unsigned long long>(m.replica_reads),
+          static_cast<unsigned long long>(m.region_transfers),
+          static_cast<unsigned long long>(m.promotions),
+          static_cast<unsigned long long>(m.hold_escalations), m.fault_latency_mean_us, m.sim_ms,
+          c + 1 < kNumConfigs ? "," : "");
+    }
+    std::fprintf(f, "    }%s\n", w + 1 < workloads.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"failures\": %d\n}\n", failures);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("all fast-path checks passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fragvisor
+
+int main(int argc, char** argv) { return fragvisor::Main(argc, argv); }

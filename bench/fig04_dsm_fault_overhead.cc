@@ -17,6 +17,21 @@ namespace fragvisor {
 namespace bench {
 namespace {
 
+// DSM fast-path configurations for the --dsm-fastpath-variants rows.
+struct FastPathVariant {
+  const char* name;
+  bool hints = false;
+  bool replicate = false;
+  bool adaptive = false;
+};
+
+constexpr FastPathVariant kFastPathVariants[] = {
+    {"baseline", false, false, false},
+    {"hints", true, false, false},
+    {"adaptive", false, false, true},
+    {"all", true, true, true},
+};
+
 enum class Mode { kNoSharing, kFalseSharing, kTrueSharing };
 
 const char* ModeName(Mode mode) {
@@ -31,10 +46,13 @@ const char* ModeName(Mode mode) {
   return "?";
 }
 
-TimeNs RunSharingLoop(int vcpus, Mode mode) {
+TimeNs RunSharingLoop(int vcpus, Mode mode, const FastPathVariant& fp = kFastPathVariants[0]) {
   Setup setup;
   setup.system = System::kFragVisor;
   setup.vcpus = vcpus;
+  setup.dsm_owner_hints = fp.hints;
+  setup.dsm_replicate = fp.replicate;
+  setup.dsm_adaptive = fp.adaptive;
   TestBed bed = MakeTestBed(setup);
 
   constexpr uint64_t kIterations = 1000;
@@ -54,6 +72,22 @@ TimeNs RunSharingLoop(int vcpus, Mode mode) {
   bed.vm->Boot();
   const TimeNs end = RunUntilVmDone(*bed.cluster, *bed.vm, Seconds(600));
   return end;
+}
+
+// Extra section behind --dsm-fastpath-variants: the 4-vCPU sharing loops
+// rerun under each DSM fast-path configuration. The default output (flag
+// absent) is untouched.
+void RunFastPathVariants() {
+  PrintHeader("Figure 4 variants: DSM fast paths on the 4-vCPU sharing loops");
+  PrintRow({"scenario", "config", "loop time (ms)", "vs baseline"});
+  for (const Mode mode : {Mode::kNoSharing, Mode::kFalseSharing, Mode::kTrueSharing}) {
+    const TimeNs baseline = RunSharingLoop(4, mode);
+    for (const FastPathVariant& fp : kFastPathVariants) {
+      const TimeNs t = RunSharingLoop(4, mode, fp);
+      PrintRow({ModeName(mode), fp.name, Fmt(ToMillis(t)),
+                Fmt(static_cast<double>(t) / static_cast<double>(baseline)) + "x"});
+    }
+  }
 }
 
 void Run() {
@@ -76,7 +110,13 @@ void Run() {
 }  // namespace bench
 }  // namespace fragvisor
 
-int main() {
+int main(int argc, char** argv) {
   fragvisor::bench::Run();
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--dsm-fastpath-variants") {
+      fragvisor::bench::RunFastPathVariants();
+      break;
+    }
+  }
   return 0;
 }

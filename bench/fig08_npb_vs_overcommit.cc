@@ -52,6 +52,46 @@ std::string RunCell(const NpbProfile& base, int vcpus) {
   return FormatRow(cells, 14);
 }
 
+// Extra section behind --dsm-fastpath-variants: 4-vCPU aggregate times under
+// each DSM fast-path configuration. The default output (flag absent) is
+// untouched.
+void RunFastPathVariants(int jobs) {
+  struct Variant {
+    const char* name;
+    bool hints, replicate, adaptive;
+  };
+  constexpr Variant kVariants[] = {
+      {"baseline", false, false, false}, {"hints", true, false, false},
+      {"replicate", false, true, false}, {"adaptive", false, false, true},
+      {"all", true, true, true},
+  };
+  PrintHeader("Figure 8 variants: DSM fast paths, 4-vCPU aggregate times (ms)");
+  std::vector<std::string> header = {"bench"};
+  for (const Variant& v : kVariants) {
+    header.push_back(v.name);
+  }
+  PrintRow(header, 14);
+  ParallelRunner runner(jobs);
+  const std::vector<NpbProfile> suite = NpbSuite();
+  for (const NpbProfile& base : suite) {
+    runner.Submit([&base, &kVariants]() {
+      const NpbProfile profile = ScaleNpb(base, kScale);
+      std::vector<std::string> cells = {base.name};
+      for (const Variant& v : kVariants) {
+        Setup frag;
+        frag.system = System::kFragVisor;
+        frag.vcpus = 4;
+        frag.dsm_owner_hints = v.hints;
+        frag.dsm_replicate = v.replicate;
+        frag.dsm_adaptive = v.adaptive;
+        cells.push_back(Fmt(ToMillis(RunNpbMultiProcess(frag, profile))));
+      }
+      return FormatRow(cells, 14);
+    });
+  }
+  runner.Finish();
+}
+
 void Run(int jobs) {
   PrintHeader("Figure 8: multi-process NPB, Aggregate VM speedup over overcommit");
   PrintRow({"bench", "vCPUs", "aggregate(ms)", "vs 1 pCPU", "vs 2 pCPUs", "vs 3 pCPUs"}, 14);
@@ -73,6 +113,13 @@ void Run(int jobs) {
 }  // namespace fragvisor
 
 int main(int argc, char** argv) {
-  fragvisor::bench::Run(fragvisor::bench::ParseJobsFlag(argc, argv));
+  const int jobs = fragvisor::bench::ParseJobsFlag(argc, argv);
+  fragvisor::bench::Run(jobs);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--dsm-fastpath-variants") {
+      fragvisor::bench::RunFastPathVariants(jobs);
+      break;
+    }
+  }
   return 0;
 }

@@ -80,6 +80,10 @@ TestBed MakeTestBed(const Setup& setup) {
   config.io_multiqueue = setup.io_multiqueue;
   config.io_dsm_bypass = setup.io_dsm_bypass;
   config.contextual_dsm = setup.contextual_dsm;
+  config.dsm_read_prefetch = setup.dsm_prefetch;
+  config.dsm_owner_hints = setup.dsm_owner_hints;
+  config.dsm_read_mostly_replication = setup.dsm_replicate;
+  config.dsm_adaptive_granularity = setup.dsm_adaptive;
   config.blk_backend = setup.blk_backend;
   config.external_node = bed.client_node;
   switch (setup.system) {
@@ -313,6 +317,42 @@ std::string MsgStatsJson(const MsgStatsReport& r) {
   return json;
 }
 
+DsmFastPathReport CollectDsmFastPathReport(const DsmEngine& dsm) {
+  DsmFastPathReport r;
+  const DsmStats& s = dsm.stats();
+  r.hint_hits = s.hint_hits.value();
+  r.hint_stale = s.hint_stale.value();
+  r.replica_reads = s.replica_reads.value();
+  r.region_transfers = s.region_transfers.value();
+  r.read_mostly_promotions = s.read_mostly_promotions.value();
+  r.hold_escalations = s.hold_escalations.value();
+  r.prefetched_pages = s.prefetched_pages.value();
+  r.read_faults = s.read_faults.value();
+  r.write_faults = s.write_faults.value();
+  r.fault_latency_mean_us = s.fault_latency_ns.mean() / 1000.0;
+  return r;
+}
+
+DsmFastPathReport CollectDsmFastPathReport(const TestBed& bed) {
+  if (bed.vm == nullptr) {
+    return DsmFastPathReport{};
+  }
+  return CollectDsmFastPathReport(bed.vm->dsm());
+}
+
+void PrintDsmFastPathReport(const DsmFastPathReport& r) {
+  PrintRow({"hints", "hit=" + std::to_string(r.hint_hits),
+            "stale=" + std::to_string(r.hint_stale)});
+  PrintRow({"replicate", "replica_reads=" + std::to_string(r.replica_reads),
+            "promotions=" + std::to_string(r.read_mostly_promotions)});
+  PrintRow({"adaptive", "regions=" + std::to_string(r.region_transfers),
+            "prefetched=" + std::to_string(r.prefetched_pages),
+            "hold_escal=" + std::to_string(r.hold_escalations)});
+  PrintRow({"faults", "read=" + std::to_string(r.read_faults),
+            "write=" + std::to_string(r.write_faults),
+            "lat_us=" + Fmt(r.fault_latency_mean_us)});
+}
+
 void PrintFaultReport(const FaultReport& r) {
   PrintRow({"injected", "drop=" + std::to_string(r.dropped), "dup=" + std::to_string(r.duplicated),
             "delay=" + std::to_string(r.delayed), "crash=" + std::to_string(r.crashes),
@@ -328,7 +368,8 @@ void PrintFaultReport(const FaultReport& r) {
 
 TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_t seed,
                           double* faults_per_sec, FaultReport* fault_report,
-                          MsgStatsReport* msg_stats, ReliabilityReport* reliability) {
+                          MsgStatsReport* msg_stats, ReliabilityReport* reliability,
+                          DsmFastPathReport* fastpath) {
   TestBed bed = MakeTestBed(setup);
   for (int v = 0; v < setup.vcpus; ++v) {
     bed.vm->SetWorkload(v, std::make_unique<NpbSerialStream>(bed.vm.get(), v, profile,
@@ -349,6 +390,9 @@ TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_
   }
   if (reliability != nullptr) {
     *reliability = CollectReliabilityReport(bed);
+  }
+  if (fastpath != nullptr) {
+    *fastpath = CollectDsmFastPathReport(bed);
   }
   return end;
 }

@@ -101,6 +101,12 @@ struct Setup {
   // Rpc layer features (multicast ack coalescing, QoS link scheduling). All
   // off by default, keeping every existing bench bit-identical.
   RpcConfig rpc;
+  // DSM fast paths + sequential read prefetch depth (fvsim --dsm-* flags).
+  // All off by default, keeping every existing bench bit-identical.
+  int dsm_prefetch = 0;
+  bool dsm_owner_hints = false;
+  bool dsm_replicate = false;
+  bool dsm_adaptive = false;
   FaultSpec faults;
   ReliabilitySpec reliability;
 };
@@ -211,6 +217,25 @@ MsgStatsReport CollectMsgStats(const TestBed& bed);
 void PrintMsgStats(const MsgStatsReport& report);
 std::string MsgStatsJson(const MsgStatsReport& report);
 
+// Flattened DSM fast-path counters (owner hints / read-mostly replication /
+// adaptive granularity), for the fvsim per-fast-path report columns.
+struct DsmFastPathReport {
+  uint64_t hint_hits = 0;
+  uint64_t hint_stale = 0;
+  uint64_t replica_reads = 0;
+  uint64_t region_transfers = 0;
+  uint64_t read_mostly_promotions = 0;
+  uint64_t hold_escalations = 0;
+  uint64_t prefetched_pages = 0;
+  uint64_t read_faults = 0;
+  uint64_t write_faults = 0;
+  double fault_latency_mean_us = 0.0;
+};
+
+DsmFastPathReport CollectDsmFastPathReport(const DsmEngine& dsm);
+DsmFastPathReport CollectDsmFastPathReport(const TestBed& bed);
+void PrintDsmFastPathReport(const DsmFastPathReport& report);
+
 // --- Workload runners (return what the figures plot) ---
 
 // One serial NPB instance per vCPU; returns total completion time of the set.
@@ -220,7 +245,8 @@ TimeNs RunNpbMultiProcess(const Setup& setup, const NpbProfile& profile, uint64_
                           double* faults_per_sec = nullptr,
                           FaultReport* fault_report = nullptr,
                           MsgStatsReport* msg_stats = nullptr,
-                          ReliabilityReport* reliability = nullptr);
+                          ReliabilityReport* reliability = nullptr,
+                          DsmFastPathReport* fastpath = nullptr);
 
 // OMP-style multithreaded run (one thread per vCPU over a shared region);
 // returns completion time and DSM faults/second via out-params.

@@ -5,8 +5,9 @@
 //   2. DsmEngine access storm — the page-table walk every guest memory
 //      access goes through, plus the full coherence protocol on misses.
 //
-// Results are printed as a table and written to BENCH_core.json so the
-// events/s and faults/s figures can be tracked across PRs.
+// Results are printed as a table and written to BENCH_core_hotpath.json so
+// the events/s, faults/s, and DSM fault-counter figures can be tracked
+// across PRs (tools/ci.sh collects the file as a build artifact).
 //
 //   micro_core_hotpath [--events N] [--accesses N] [--out PATH]
 
@@ -76,6 +77,12 @@ struct DsmStormResult {
   uint64_t accesses = 0;
   uint64_t faults = 0;
   uint64_t hits = 0;
+  uint64_t read_faults = 0;
+  uint64_t write_faults = 0;
+  uint64_t invalidations = 0;
+  uint64_t page_transfers = 0;
+  uint64_t protocol_messages = 0;
+  uint64_t protocol_bytes = 0;
   double wall_s = 0;
   double faults_per_s = 0;
   double accesses_per_s = 0;
@@ -136,6 +143,12 @@ DsmStormResult BenchDsmStorm(uint64_t target_accesses) {
   res.accesses = per_node * kNodes;
   res.hits = hits;
   res.faults = dsm.stats().total_faults();
+  res.read_faults = dsm.stats().read_faults.value();
+  res.write_faults = dsm.stats().write_faults.value();
+  res.invalidations = dsm.stats().invalidations.value();
+  res.page_transfers = dsm.stats().page_transfers.value();
+  res.protocol_messages = dsm.stats().protocol_messages.value();
+  res.protocol_bytes = dsm.stats().protocol_bytes.value();
   res.wall_s = WallSeconds(t0);
   res.faults_per_s = static_cast<double>(res.faults) / res.wall_s;
   res.accesses_per_s = static_cast<double>(res.accesses) / res.wall_s;
@@ -146,7 +159,7 @@ DsmStormResult BenchDsmStorm(uint64_t target_accesses) {
 int Main(int argc, char** argv) {
   uint64_t events = 3000000;
   uint64_t accesses = 2000000;
-  std::string out_path = "BENCH_core.json";
+  std::string out_path = "BENCH_core_hotpath.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
       events = static_cast<uint64_t>(std::atoll(argv[++i]));
@@ -189,6 +202,12 @@ int Main(int argc, char** argv) {
                "    \"accesses\": %llu,\n"
                "    \"faults\": %llu,\n"
                "    \"hits\": %llu,\n"
+               "    \"read_faults\": %llu,\n"
+               "    \"write_faults\": %llu,\n"
+               "    \"invalidations\": %llu,\n"
+               "    \"page_transfers\": %llu,\n"
+               "    \"protocol_messages\": %llu,\n"
+               "    \"protocol_bytes\": %llu,\n"
                "    \"wall_s\": %.6f,\n"
                "    \"faults_per_s\": %.1f,\n"
                "    \"accesses_per_s\": %.1f,\n"
@@ -198,8 +217,14 @@ int Main(int argc, char** argv) {
                static_cast<unsigned long long>(ev.dispatched), ev.wall_s, ev.events_per_s,
                static_cast<unsigned long long>(storm.accesses),
                static_cast<unsigned long long>(storm.faults),
-               static_cast<unsigned long long>(storm.hits), storm.wall_s, storm.faults_per_s,
-               storm.accesses_per_s, storm.sim_time_s);
+               static_cast<unsigned long long>(storm.hits),
+               static_cast<unsigned long long>(storm.read_faults),
+               static_cast<unsigned long long>(storm.write_faults),
+               static_cast<unsigned long long>(storm.invalidations),
+               static_cast<unsigned long long>(storm.page_transfers),
+               static_cast<unsigned long long>(storm.protocol_messages),
+               static_cast<unsigned long long>(storm.protocol_bytes), storm.wall_s,
+               storm.faults_per_s, storm.accesses_per_s, storm.sim_time_s);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

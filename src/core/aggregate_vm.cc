@@ -30,6 +30,9 @@ AggregateVm::AggregateVm(Cluster* cluster, AggregateVmConfig config)
     config_.io_dsm_bypass = false;
     config_.contextual_dsm = false;
     config_.dsm_read_prefetch = 0;
+    config_.dsm_owner_hints = false;
+    config_.dsm_read_mostly_replication = false;
+    config_.dsm_adaptive_granularity = false;
     config_.guest = GuestKernelConfig::Vanilla();
     // GiantVM exposes a static virtual NUMA topology, so an unmodified guest
     // still allocates node-locally; what it lacks is the false-sharing patch,
@@ -43,6 +46,9 @@ AggregateVm::AggregateVm(Cluster* cluster, AggregateVmConfig config)
   dsm_opts.contextual_dsm = config_.contextual_dsm;
   dsm_opts.ept_dirty_tracking = config_.guest.ept_dirty_tracking;
   dsm_opts.read_prefetch_pages = config_.dsm_read_prefetch;
+  dsm_opts.owner_hints = config_.dsm_owner_hints;
+  dsm_opts.read_mostly_replication = config_.dsm_read_mostly_replication;
+  dsm_opts.adaptive_granularity = config_.dsm_adaptive_granularity;
   if (config_.platform == Platform::kGiantVm) {
     dsm_opts = config_.giantvm.AdjustDsmOptions(dsm_opts);
   }

@@ -82,6 +82,11 @@ struct AggregateVmConfig {
   // Sequential read prefetch depth (0 = off, the paper's configuration).
   // An ablatable FragVisor extension: bulk page replies for streaming reads.
   int dsm_read_prefetch = 0;
+  // DSM protocol fast paths (FragVisor extensions beyond the paper; all off
+  // by default and force-disabled on GiantVM). See DsmEngine::Options.
+  bool dsm_owner_hints = false;
+  bool dsm_read_mostly_replication = false;
+  bool dsm_adaptive_granularity = false;
 
   // Competitor profile (used when platform == kGiantVm).
   GiantVmProfile giantvm;

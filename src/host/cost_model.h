@@ -46,6 +46,11 @@ struct CostModel {
   // the directory so the new owner makes progress before losing the page
   // (standard DSM livelock avoidance; Popcorn does the same).
   TimeNs dsm_ownership_hold = Micros(45);
+  // Ceiling for the adaptive ownership hold (DsmEngine::Options::
+  // adaptive_granularity): under detected ping-pong the hold doubles per
+  // escalation but never past this cap, so a mispredicted page cannot be
+  // parked away from other writers for more than ~8 base holds.
+  TimeNs dsm_ownership_hold_max = Micros(360);
 
   // --- Memory ---
   uint64_t page_size = 4096;

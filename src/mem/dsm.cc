@@ -1,5 +1,6 @@
 #include "src/mem/dsm.h"
 
+#include <algorithm>
 #include <bit>
 #include <memory>
 #include <utility>
@@ -44,7 +45,11 @@ DsmEngine::DsmEngine(EventLoop* loop, RpcLayer* rpc, const CostModel* costs,
   FV_CHECK_LE(options.num_nodes, kMaxNodes);
   FV_CHECK_GE(options.home, 0);
   FV_CHECK_LT(options.home, options.num_nodes);
+  FV_CHECK_GE(options.max_region_pages, 1);
   node_faults_.resize(static_cast<size_t>(options.num_nodes));
+  if (options_.owner_hints) {
+    hints_.resize(static_cast<size_t>(options_.num_nodes));
+  }
   stats_.txn_retries.Init(options.num_nodes);
   stats_.txn_absorbed.Init(options.num_nodes);
   stats_.write_aborts.Init(options.num_nodes);
@@ -495,6 +500,9 @@ bool DsmEngine::Access(NodeId node, PageNum page, bool is_write, std::function<v
   }
   stats_.faults_by_class[static_cast<size_t>(cls)].Add(1);
   node_faults_[n].Add(1);
+  if (options_.read_mostly_replication && cls == PageClass::kGuestPrivate) {
+    UpdateReadMostlyDetector(leaf, is_write);
+  }
 
   Transaction txn;
   txn.requester = node;
@@ -514,7 +522,182 @@ bool DsmEngine::Access(NodeId node, PageNum page, bool is_write, std::function<v
   return false;
 }
 
+NodeId DsmEngine::HintFor(NodeId node, PageNum page) const {
+  if (hints_.empty()) {
+    return kInvalidNode;
+  }
+  const auto& per_node = hints_[static_cast<size_t>(node)];
+  const size_t li = page >> kLeafBits;
+  if (li >= per_node.size() || per_node[li] == nullptr) {
+    return kInvalidNode;
+  }
+  const int16_t pred = per_node[li]->pred[Index(page)];
+  return pred < 0 ? kInvalidNode : static_cast<NodeId>(pred);
+}
+
+void DsmEngine::SetHint(NodeId node, PageNum page, NodeId owner) {
+  if (!options_.owner_hints) {
+    return;
+  }
+  auto& per_node = hints_[static_cast<size_t>(node)];
+  const size_t li = page >> kLeafBits;
+  if (li >= per_node.size()) {
+    per_node.resize(li + 1);
+  }
+  if (per_node[li] == nullptr) {
+    per_node[li] = std::make_unique<HintLeaf>();
+  }
+  per_node[li]->pred[Index(page)] = static_cast<int16_t>(owner);
+}
+
+bool DsmEngine::IsReadMostly(const Leaf& leaf, PageNum page) const {
+  if (!options_.read_mostly_replication) {
+    return false;
+  }
+  return ClassOf(page) == PageClass::kReadMostly ||
+         (leaf.rm_promoted && ClassOf(page) == PageClass::kGuestPrivate);
+}
+
+NodeId DsmEngine::PickReadReplica(NodeId requester, PageNum page) const {
+  const Leaf* leaf = FindLeaf(page);
+  const uint32_t i = Index(page);
+  if (leaf == nullptr || !TestBit(leaf->known, i) || !IsReadMostly(*leaf, page)) {
+    return kInvalidNode;
+  }
+  uint32_t mask = leaf->sharers[i] & ~Bit(requester);
+  while (mask != 0) {
+    const NodeId n = static_cast<NodeId>(std::countr_zero(mask));
+    mask &= mask - 1;
+    if (rpc_->NodeUp(n)) {
+      return n;
+    }
+  }
+  return kInvalidNode;
+}
+
+void DsmEngine::UpdateReadMostlyDetector(Leaf& leaf, bool is_write) {
+  if (is_write) {
+    ++leaf.rm_writes;
+    // Write pressure demotes the leaf and restarts the history: a phase
+    // change (initialization -> read-mostly -> update burst) re-learns.
+    if (leaf.rm_promoted && leaf.rm_writes * 4 >= leaf.rm_reads) {
+      leaf.rm_promoted = false;
+      leaf.rm_reads = 0;
+      leaf.rm_writes = 0;
+    }
+    return;
+  }
+  ++leaf.rm_reads;
+  if (!leaf.rm_promoted && leaf.rm_reads >= 64 && leaf.rm_writes * 8 <= leaf.rm_reads) {
+    leaf.rm_promoted = true;
+    stats_.read_mostly_promotions.Add(1);
+  }
+}
+
+TimeNs DsmEngine::OwnershipHold(Leaf& leaf, uint32_t i, bool ownership_moved) {
+  const TimeNs base = costs_->dsm_ownership_hold;
+  if (!options_.adaptive_granularity) {
+    return base;
+  }
+  uint8_t boost = leaf.hold_boost[i];
+  if (ownership_moved && leaf.hold_until[i] != 0) {
+    const TimeNs now = loop_->now();
+    const TimeNs since_expiry = now > leaf.hold_until[i] ? now - leaf.hold_until[i] : 0;
+    if (since_expiry < base) {
+      // Ping-pong signature: a competitor was already queued and took the
+      // page the moment the previous hold expired. Double the hold so each
+      // owner amortizes the transfer over more local work.
+      if ((base << (boost + 1)) <= costs_->dsm_ownership_hold_max) {
+        ++boost;
+        stats_.hold_escalations.Add(1);
+      }
+    } else if (since_expiry > 4 * base && boost > 0) {
+      // Contention cleared: decay back toward the paper's fixed hold.
+      --boost;
+    }
+  }
+  leaf.hold_boost[i] = boost;
+  return base << boost;
+}
+
+int DsmEngine::StreamRegionPages(Leaf& leaf, uint32_t i, NodeId node) {
+  const auto n = static_cast<size_t>(node);
+  uint8_t run = 1;
+  if (leaf.stream_next[n] == i && leaf.stream_run[n] < 15) {
+    run = static_cast<uint8_t>(leaf.stream_run[n] + 1);
+  }
+  leaf.stream_run[n] = run;
+  // i + 1 == kLeafPages falls off the leaf: kStreamIdle-like, never matches.
+  leaf.stream_next[n] = static_cast<uint16_t>(i + 1);
+  if (run < 2) {
+    return 1;
+  }
+  const int width = 1 << std::min<int>(run, 30);
+  return std::min(width, options_.max_region_pages);
+}
+
 void DsmEngine::DispatchFaultRequest(PageNum page, MsgKind kind, Transaction txn) {
+  // --- Fast-path routing (inert with the options off) ---
+  if (options_.read_mostly_replication && kind == MsgKind::kDsmReadReq) {
+    const NodeId replica = PickReadReplica(txn.requester, page);
+    if (replica != kInvalidNode) {
+      txn.via = replica;
+      txn.via_replica = true;
+      SendViaRequest(page, kind, replica, std::move(txn));
+      return;
+    }
+  }
+  if (options_.owner_hints && ClassOf(page) != PageClass::kPageTable &&
+      !(kind == MsgKind::kDsmWriteReq && options_.read_mostly_replication &&
+        IsReadMostly(EnsurePage(page), page))) {
+    const NodeId hint = HintFor(txn.requester, page);
+    if (hint != kInvalidNode && hint != txn.requester && hint != options_.home &&
+        rpc_->NodeUp(hint)) {
+      txn.via = hint;
+      txn.via_replica = false;
+      SendViaRequest(page, kind, hint, std::move(txn));
+      return;
+    }
+  }
+  DispatchHomeRequest(page, kind, std::move(txn));
+}
+
+void DsmEngine::SendViaRequest(PageNum page, MsgKind kind, NodeId target, Transaction txn) {
+  auto txp = std::make_shared<Transaction>(std::move(txn));
+  SendProto(txp->requester, target, kind, kMsgHeaderBytes,
+            [this, page, txp]() mutable { StartTransaction(page, std::move(*txp)); },
+            [this, page, kind, txp]() mutable {
+              // The predicted owner / replica became unreachable mid-flight:
+              // drop the prediction and fall back onto the home-directed
+              // path, which owns the full retry state machine. No busy bit
+              // is held yet, so the fallback is a fresh dispatch.
+              Transaction t = std::move(*txp);
+              const bool was_hint = !t.via_replica;
+              t.via = kInvalidNode;
+              t.via_replica = false;
+              if (was_hint) {
+                SetHint(t.requester, page, kInvalidNode);
+                stats_.hint_stale.Add(1);
+              }
+              if (!rpc_->NodeUp(t.requester)) {
+                stats_.txn_absorbed.Add(t.requester);
+                loop_->Trace(TraceCategory::kFault, "dsm_req_absorbed",
+                             "node=" + std::to_string(t.requester) +
+                                 " page=" + std::to_string(page));
+                if (t.done) {
+                  t.done();
+                }
+                return;
+              }
+              stats_.txn_retries.Add(t.requester);
+              loop_->Trace(TraceCategory::kFault, "dsm_hint_redirect",
+                           "node=" + std::to_string(t.requester) + " page=" +
+                               std::to_string(page));
+              DispatchHomeRequest(page, kind, std::move(t));
+            });
+}
+
+void DsmEngine::DispatchHomeRequest(PageNum page, MsgKind kind, Transaction txn) {
   // The rpc layer owns the requester-side retry state machine: if the fabric
   // gives up on a request that never reached the directory (no busy bit is
   // held), the call is re-issued after backoff while the requester is alive
@@ -585,6 +768,10 @@ void DsmEngine::RetryTransaction(PageNum page, Transaction txn) {
                    " attempt=" + std::to_string(txn.attempts));
   ReclaimDeadPeers(page);
   RepairPage(page);
+  // Any fast-path routing from the original dispatch is void after a failed
+  // round: the retry re-executes against the repaired directory state.
+  txn.via = kInvalidNode;
+  txn.via_replica = false;
   ExecuteTransaction(page, std::move(txn));
 }
 
@@ -729,21 +916,71 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
   FV_CHECK_NE(owner, kInvalidNode);
   FV_CHECK_NE(owner, requester);  // owner always holds >= read; would have hit
 
+  // Resolve fast-path routing: the request may already sit at the predicted
+  // owner or at a chosen read replica instead of at the home.
+  NodeId server = owner;
+  bool direct = false;       // the request is already at `server`; no forward
+  bool notify_home = false;  // hinted serve: the home learns asynchronously
+  if (txn.via != kInvalidNode) {
+    const NodeId via = txn.via;
+    const bool via_replica = txn.via_replica;
+    txn.via = kInvalidNode;
+    txn.via_replica = false;
+    if (via_replica && via != requester && AccessOf(leaf, pi, via) != PageAccess::kNone) {
+      // Read-mostly replication: any live replica serves; the directory
+      // never hears about this fault.
+      server = via;
+      direct = true;
+      stats_.replica_reads.Add(1);
+    } else if (!via_replica && via == owner) {
+      // Correct owner prediction: serve right here; the home is told off
+      // the critical path.
+      direct = true;
+      notify_home = true;
+      stats_.hint_hits.Add(1);
+    } else {
+      // Stale prediction (ownership moved, or the replica lost its copy
+      // while the request was in flight): forward to the home — exactly
+      // Popcorn's stale-hint forwarding path — and rejoin the normal
+      // protocol there.
+      if (!via_replica) {
+        stats_.hint_stale.Add(1);
+      }
+      auto txp = std::make_shared<Transaction>(std::move(txn));
+      SendProto(via, options_.home, MsgKind::kControl, kMsgHeaderBytes,
+                [this, page, txp]() mutable { RunReadProtocol(page, std::move(*txp)); },
+                [this, page, txp]() { HandleTxnSendFailure(page, std::move(*txp)); });
+      return;
+    }
+  }
+
   stats_.page_transfers.Add(1);
 
   // Sequential read prefetch: ship idle same-owner follower pages on the
-  // same reply. Selected now; granted together with the main page.
+  // same reply. Selected now; granted together with the main page. The
+  // adaptive stream detector can widen the region past the static depth —
+  // only when the owner itself serves (a replica holds just the pages it
+  // happens to share, so replica serves stay single-page).
+  int prefetch_limit = options_.read_prefetch_pages;
+  if (options_.adaptive_granularity && server == owner) {
+    prefetch_limit = std::max(prefetch_limit, StreamRegionPages(leaf, pi, requester) - 1);
+  }
   std::vector<PageNum> prefetch;
-  for (int k = 1; k <= options_.read_prefetch_pages; ++k) {
-    const PageNum next = page + static_cast<PageNum>(k);
-    const Leaf* nl = FindLeaf(next);
-    const uint32_t ni = Index(next);
-    if (nl == nullptr || !TestBit(nl->known, ni) || TestBit(nl->busy, ni) ||
-        nl->owner[ni] != owner || (nl->sharers[ni] & Bit(requester)) != 0 ||
-        ClassOf(next) != PageClass::kGuestPrivate) {
-      break;  // only a contiguous same-owner run is worth piggybacking
+  if (server == owner) {
+    for (int k = 1; k <= prefetch_limit; ++k) {
+      const PageNum next = page + static_cast<PageNum>(k);
+      const Leaf* nl = FindLeaf(next);
+      const uint32_t ni = Index(next);
+      if (nl == nullptr || !TestBit(nl->known, ni) || TestBit(nl->busy, ni) ||
+          nl->owner[ni] != owner || (nl->sharers[ni] & Bit(requester)) != 0 ||
+          ClassOf(next) != PageClass::kGuestPrivate) {
+        break;  // only a contiguous same-owner run is worth piggybacking
+      }
+      prefetch.push_back(next);
     }
-    prefetch.push_back(next);
+  }
+  if (prefetch.size() > static_cast<size_t>(options_.read_prefetch_pages)) {
+    stats_.region_transfers.Add(1);
   }
 
   const uint64_t reply_bytes = kPageDataBytes + 4096 * prefetch.size();
@@ -752,20 +989,33 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
   // peer after the full retransmit budget). Exactly one of {hop failure,
   // final grant} consumes the transaction.
   auto on_fail = [this, page, txp]() { HandleTxnSendFailure(page, std::move(*txp)); };
-  auto deliver = [this, page, requester, owner, prefetch = std::move(prefetch), reply_bytes,
-                  txp, on_fail]() mutable {
-    // Owner downgrades to read (single-writer protocol) and ships the pages.
+  auto deliver = [this, page, requester, owner, server, notify_home,
+                  prefetch = std::move(prefetch), reply_bytes, txp, on_fail]() mutable {
+    // The serving node downgrades any writable copy it holds (single-writer
+    // protocol) and ships the pages.
     Leaf& l = EnsurePage(page);
-    if (AccessOf(l, Index(page), owner) == PageAccess::kWrite) {
-      SetResident(l, Index(page), owner, PageAccess::kRead);
+    if (AccessOf(l, Index(page), server) == PageAccess::kWrite) {
+      SetResident(l, Index(page), server, PageAccess::kRead);
     }
     for (const PageNum p : prefetch) {
       Leaf& pl = EnsurePage(p);
-      if (AccessOf(pl, Index(p), owner) == PageAccess::kWrite) {
-        SetResident(pl, Index(p), owner, PageAccess::kRead);
+      if (AccessOf(pl, Index(p), server) == PageAccess::kWrite) {
+        SetResident(pl, Index(p), server, PageAccess::kRead);
       }
     }
-    SendProto(owner, requester, MsgKind::kDsmPageData, reply_bytes,
+    if (notify_home) {
+      // The hinted serve bypassed the directory; the home hears about the
+      // new sharer asynchronously. The simulator's directory state is
+      // centralized, so the notify is pure (accounted) traffic and losing
+      // it under a fault plan is harmless — the real protocol makes it
+      // idempotent for the same reason a duplicate grant is.
+      RpcLayer::CallOpts nopts;
+      nopts.receiver_delay = HandlerCost();
+      nopts.account = &proto_accounting_;
+      rpc_->Notify(server, options_.home, MsgKind::kDsmOwnerNotify, kMsgHeaderBytes,
+                   std::move(nopts));
+    }
+    SendProto(server, requester, MsgKind::kDsmPageData, reply_bytes,
               [this, page, requester, owner, prefetch = std::move(prefetch), txp]() mutable {
                 loop_->ScheduleAfter(
                     costs_->dsm_map_page,
@@ -774,6 +1024,9 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
                       Leaf& dir = EnsurePage(page);
                       dir.sharers[Index(page)] |= Bit(requester);
                       SetResident(dir, Index(page), requester, PageAccess::kRead);
+                      // Hint refresh: every grant piggybacks the current
+                      // owner (no-op unless owner_hints).
+                      SetHint(requester, page, dir.owner[Index(page)]);
                       for (const PageNum p : prefetch) {
                         // Skip any page a racing transaction touched while
                         // the reply was in flight (stale speculative data).
@@ -785,6 +1038,7 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
                         }
                         pdir.sharers[pj] |= Bit(requester);
                         SetResident(pdir, pj, requester, PageAccess::kRead);
+                        SetHint(requester, p, owner);
                         stats_.prefetched_pages.Add(1);
                       }
                       CompleteFault(page, *txp);
@@ -794,11 +1048,11 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
               on_fail);
   };
 
-  if (owner == options_.home) {
+  if (direct || server == options_.home) {
     deliver();
   } else {
     // Home forwards the request to the current owner.
-    SendProto(options_.home, owner, MsgKind::kControl, kMsgHeaderBytes, std::move(deliver),
+    SendProto(options_.home, server, MsgKind::kControl, kMsgHeaderBytes, std::move(deliver),
               std::move(on_fail));
   }
 }
@@ -812,9 +1066,79 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
 
   const bool upgrade = AccessOf(leaf, pi, requester) == PageAccess::kRead;
 
+  if (txn.via != kInvalidNode) {
+    const NodeId via = txn.via;
+    txn.via = kInvalidNode;
+    txn.via_replica = false;
+    const bool sole_holder =
+        via == owner && (leaf.sharers[pi] & ~(Bit(via) | Bit(requester))) == 0;
+    if (!sole_holder) {
+      // Wrong prediction, or other sharers exist: only the home can run the
+      // invalidation round. Forward the request — the stale-hint path.
+      stats_.hint_stale.Add(1);
+      auto txp = std::make_shared<Transaction>(std::move(txn));
+      SendProto(via, options_.home, MsgKind::kControl, kMsgHeaderBytes,
+                [this, page, txp]() mutable { RunWriteProtocol(page, std::move(*txp)); },
+                [this, page, txp]() { HandleTxnSendFailure(page, std::move(*txp)); });
+      return;
+    }
+    // The predicted owner holds the only other copy: it invalidates itself,
+    // ships page + ownership straight to the requester, and notifies the
+    // home asynchronously — the whole directory round disappears.
+    stats_.hint_hits.Add(1);
+    SetResident(leaf, pi, via, PageAccess::kNone);
+    RpcLayer::CallOpts nopts;
+    nopts.receiver_delay = HandlerCost();
+    nopts.account = &proto_accounting_;
+    rpc_->Notify(via, options_.home, MsgKind::kDsmOwnerNotify, kMsgHeaderBytes,
+                 std::move(nopts));
+    stats_.page_transfers.Add(upgrade ? 0 : 1);
+    auto txp = std::make_shared<Transaction>(std::move(txn));
+    SendProto(via, requester, upgrade ? MsgKind::kDsmAck : MsgKind::kDsmPageData,
+              upgrade ? kMsgHeaderBytes : kPageDataBytes,
+              [this, page, requester, txp]() mutable {
+                loop_->ScheduleAfter(
+                    costs_->dsm_map_page, [this, page, requester, txp]() mutable {
+                      Leaf& dir = EnsurePage(page);
+                      const uint32_t di = Index(page);
+                      const TimeNs hold = OwnershipHold(dir, di, dir.owner[di] != requester);
+                      dir.owner[di] = static_cast<int16_t>(requester);
+                      dir.sharers[di] = Bit(requester);
+                      dir.hold_until[di] = loop_->now() + hold;
+                      SetResident(dir, di, requester, PageAccess::kWrite);
+                      if (options_.ept_dirty_tracking) {
+                        SendProto(requester, options_.home, MsgKind::kDsmAck, kMsgHeaderBytes,
+                                  []() {});
+                      }
+                      CompleteFault(page, *txp);
+                      FinishTransaction(page);
+                    });
+              },
+              [this, page, txp]() {
+                // The direct transfer never arrived: void the round. The
+                // retry path reconciles the self-invalidated old owner
+                // (RepairPage re-homes a page whose owning copy is gone).
+                stats_.write_aborts.Add(txp->requester);
+                loop_->Trace(TraceCategory::kFault, "dsm_write_abort",
+                             "node=" + std::to_string(txp->requester) +
+                                 " page=" + std::to_string(page));
+                HandleTxnSendFailure(page, std::move(*txp));
+              });
+    return;
+  }
+
+  // Read-mostly epoch bump: replica reads bypass the directory, so the
+  // sharer mask under-counts the copies in the field. A write invalidates
+  // every live node, not just the recorded sharers (dead recorded sharers
+  // still get their — retried, then reclaimed — invalidate, as baseline).
+  const bool epoch_bump = IsReadMostly(leaf, page);
   std::vector<NodeId> targets;
   for (int n = 0; n < options_.num_nodes; ++n) {
-    if (n != requester && (leaf.sharers[pi] & Bit(n)) != 0) {
+    if (n == requester) {
+      continue;
+    }
+    const bool in_mask = (leaf.sharers[pi] & Bit(n)) != 0;
+    if (in_mask || (epoch_bump && rpc_->NodeUp(n))) {
       targets.push_back(n);
     }
   }
@@ -852,9 +1176,10 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
     }
     Leaf& dir = EnsurePage(page);
     const uint32_t di = Index(page);
+    const TimeNs hold = OwnershipHold(dir, di, dir.owner[di] != requester);
     dir.owner[di] = static_cast<int16_t>(requester);
     dir.sharers[di] = Bit(requester);
-    dir.hold_until[di] = loop_->now() + costs_->dsm_ownership_hold;
+    dir.hold_until[di] = loop_->now() + hold;
     SetResident(dir, di, requester, PageAccess::kWrite);
     if (options_.ept_dirty_tracking) {
       // A/D-bit updates generate one extra (asynchronous) sync message.
@@ -891,6 +1216,9 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
       options_.home, targets, MsgKind::kDsmInvalidate, kMsgHeaderBytes,
       [this, page, owner, requester, upgrade, ctx, maybe_finish, abort_round](NodeId s) mutable {
         SetResident(EnsurePage(page), Index(page), s, PageAccess::kNone);
+        // Hint refresh: the invalidation names the incoming owner (no-op
+        // unless owner_hints).
+        SetHint(s, page, requester);
         const bool ships_page = (s == owner) && !upgrade;
         if (ships_page) {
           stats_.page_transfers.Add(1);

@@ -78,6 +78,18 @@ struct DsmStats {
   std::array<Counter, static_cast<size_t>(PageClass::kCount)> faults_by_class;
   Summary fault_latency_ns;
 
+  // Fast-path counters (all zero unless the corresponding Options flag is
+  // on). hint_hits + hint_stale equals the number of hinted dispatches: a
+  // hinted request either is served directly by the predicted owner or is
+  // forwarded to the home (wrong/dead prediction, or a write that needs the
+  // directory's invalidation round).
+  Counter hint_hits;
+  Counter hint_stale;
+  Counter replica_reads;        // read faults served by a replica, no directory
+  Counter region_transfers;     // read replies widened beyond read_prefetch_pages
+  Counter read_mostly_promotions;  // leaves promoted by the fault-history detector
+  Counter hold_escalations;        // adaptive ownership-hold scale-ups
+
   // Fault-tolerance counters (all zero unless a FaultPlan is attached to the
   // fabric). Attribution is to the transaction's requester.
   NodeCounterSet txn_retries;    // protocol attempts re-executed after a loss
@@ -107,6 +119,30 @@ class DsmEngine {
     // onto the reply — bulk transfers amortize the protocol round trips for
     // streaming access patterns (socket copies, scans). 0 disables.
     int read_prefetch_pages = 0;
+
+    // --- Protocol fast paths (all off by default; off is an exact
+    // pass-through, proven byte-identical by the golden-trace guards) ---
+
+    // Per-node owner-hint cache: a requester with a hint sends its fault
+    // request straight to the predicted owner, who serves the page and
+    // notifies the home asynchronously (kDsmOwnerNotify). A stale hint
+    // forwards the request to the home, exactly Popcorn's forwarding path.
+    // Hints are refreshed by piggybacking the current owner on every read
+    // grant and on every invalidation delivery.
+    bool owner_hints = false;
+    // Read-mostly replication: pages classed kReadMostly (or promoted by the
+    // per-leaf fault-history detector) serve read faults from any live
+    // replica without touching the directory; writes pay an epoch-bump
+    // invalidation multicast over every live node instead of just the
+    // recorded sharers.
+    bool read_mostly_replication = false;
+    // Adaptive transfer granularity: a per-leaf sequential-stream detector
+    // widens read replies into multi-page regions (generalizing
+    // read_prefetch_pages), and the anti-ping-pong ownership hold scales up
+    // under detected ping-pong and back down when contention clears.
+    bool adaptive_granularity = false;
+    // Widest region the stream detector may ship on one reply.
+    int max_region_pages = 16;
   };
 
   DsmEngine(EventLoop* loop, RpcLayer* rpc, const CostModel* costs, const Options& options);
@@ -201,6 +237,11 @@ class DsmEngine {
     bool is_write = false;
     TimeNs start_time = 0;
     int attempts = 0;  // protocol-level retries so far (fault plans only)
+    // Fast-path routing: the node the request was sent to directly (predicted
+    // owner or read replica) instead of the home. kInvalidNode on the normal
+    // home-directed path and after any forward/retry.
+    NodeId via = kInvalidNode;
+    bool via_replica = false;  // via was chosen by read-mostly replication
     std::function<void()> done;
   };
 
@@ -224,10 +265,27 @@ class DsmEngine {
     uint64_t writable[kMaxNodes][kLeafWords] = {};  // residency: access == write
     uint64_t dirty[kMaxNodes][kLeafWords] = {};     // written since last journal clear
 
+    // --- Fast-path state (updated only when the matching option is on) ---
+    // Read-mostly promotion detector: leaf-granularity fault history.
+    uint32_t rm_reads = 0;
+    uint32_t rm_writes = 0;
+    bool rm_promoted = false;
+    // Adaptive ownership hold: per-page doubling shift over the base hold.
+    std::array<uint8_t, kLeafPages> hold_boost;
+    // Sequential-stream detector: per requesting node, the leaf index the
+    // next fault would hit if the stream continues, and the run length so
+    // far. kStreamIdle marks "no stream in progress".
+    static constexpr uint16_t kStreamIdle = 0xFFFF;
+    std::array<uint16_t, kMaxNodes> stream_next;
+    std::array<uint8_t, kMaxNodes> stream_run;
+
     Leaf() {
       owner.fill(-1);
       sharers.fill(0);
       hold_until.fill(0);
+      hold_boost.fill(0);
+      stream_next.fill(kStreamIdle);
+      stream_run.fill(0);
     }
   };
 
@@ -269,6 +327,42 @@ class DsmEngine {
   void RunWriteProtocol(PageNum page, Transaction txn);
   void RunPageTablePiggyback(PageNum page, Transaction txn);
 
+  // --- Fast-path machinery (inert with all Options flags off) ---
+
+  // Owner-hint side table: one lazily allocated int16 leaf per (node, leaf).
+  struct HintLeaf {
+    std::array<int16_t, kLeafPages> pred;
+    HintLeaf() { pred.fill(-1); }
+  };
+  NodeId HintFor(NodeId node, PageNum page) const;
+  // Records `owner` as node's prediction for the page. No-op unless
+  // owner_hints is on (keeps the off configuration allocation-identical).
+  void SetHint(NodeId node, PageNum page, NodeId owner);
+
+  // True when read-mostly replication applies to the page: statically classed
+  // kReadMostly, or its leaf was promoted by the fault-history detector.
+  bool IsReadMostly(const Leaf& leaf, PageNum page) const;
+  // Lowest-id live replica other than the requester, or kInvalidNode.
+  NodeId PickReadReplica(NodeId requester, PageNum page) const;
+  // Leaf-granularity promotion/demotion on every fault (replication only).
+  void UpdateReadMostlyDetector(Leaf& leaf, bool is_write);
+
+  // Sends a hinted/replica-directed fault request straight to `target`;
+  // a fabric give-up falls back to the home-directed dispatch.
+  void SendViaRequest(PageNum page, MsgKind kind, NodeId target, Transaction txn);
+  // The unconditional home-directed tail of DispatchFaultRequest.
+  void DispatchHomeRequest(PageNum page, MsgKind kind, Transaction txn);
+
+  // Adaptive ownership hold for a write grant: doubles the base hold per
+  // detected ping-pong takeover (capped at dsm_ownership_hold_max), decays
+  // when the page stops changing hands under pressure. Reads and updates
+  // leaf.hold_boost; plain dsm_ownership_hold when adaptive_granularity is
+  // off.
+  TimeNs OwnershipHold(Leaf& leaf, uint32_t i, bool ownership_moved);
+  // Sequential-stream detector: returns how many pages (>= 1, including the
+  // faulting one) this read should carry, updating the per-node stream state.
+  int StreamRegionPages(Leaf& leaf, uint32_t i, NodeId node);
+
   // --- Fault tolerance (active only with a FaultPlan on the fabric) ---
 
   // Requester-side request dispatch with its own retry loop: the request has
@@ -305,6 +399,9 @@ class DsmEngine {
   uint64_t known_pages_ = 0;
   // Waiter queues for contended pages only (side table off the hot path).
   std::unordered_map<PageNum, std::deque<Transaction>> waiters_;
+  // Owner-hint cache: hints_[node][page >> kLeafBits], allocated on first
+  // hint write. Empty unless owner_hints is on.
+  std::vector<std::vector<std::unique_ptr<HintLeaf>>> hints_;
   // Ordered class ranges: start -> (end_exclusive, class).
   std::map<PageNum, std::pair<PageNum, PageClass>> class_ranges_;
   std::vector<Counter> node_faults_;  // faults initiated by each node

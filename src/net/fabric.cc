@@ -37,6 +37,8 @@ const char* MsgKindName(MsgKind kind) {
       return "control";
     case MsgKind::kLease:
       return "lease";
+    case MsgKind::kDsmOwnerNotify:
+      return "dsm_owner_notify";
     case MsgKind::kCount:
       break;
   }

@@ -62,6 +62,7 @@ enum class MsgKind : uint8_t {
   kCheckpointData,
   kControl,
   kLease,
+  kDsmOwnerNotify,  // async owner-hint home notify (fast-path serves)
   kCount,
 };
 

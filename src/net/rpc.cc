@@ -80,6 +80,11 @@ void RpcLayer::Call(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
            opts.receiver_delay, std::move(on_fail), opts.qos);
 }
 
+void RpcLayer::Notify(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes, CallOpts opts) {
+  stats_.notifies.Add(1);
+  Call(src, dst, kind, bytes, nullptr, std::move(opts));
+}
+
 void RpcLayer::CallWithRetry(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
                              EventLoop::Callback on_done, EventLoop::Callback on_abandon,
                              RetrySpec spec, CallOpts opts) {

@@ -75,6 +75,7 @@ struct RpcStats {
   Counter call_failures;      // failure bookkeeping invocations
   Counter retries;            // CallWithRetry re-issues
   Counter abandons;           // CallWithRetry give-ups (dead requester)
+  Counter notifies;           // one-way Notify() sends
   Counter multicast_rounds;
   Counter multicast_targets;
   Counter acks_coalesced;     // explicit ack messages elided by coalescing
@@ -170,6 +171,17 @@ class RpcLayer {
   void CallWithRetry(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
                      EventLoop::Callback on_done, EventLoop::Callback on_abandon, RetrySpec spec,
                      CallOpts opts);
+
+  // One-way asynchronous notification: a reliable send whose delivery needs
+  // no caller continuation — delivery dispatches to the handler bound for
+  // (dst, kind), if any. Used for off-critical-path protocol updates such as
+  // the DSM owner-hint home notify. Failure handling is opts.on_fail, as with
+  // Call; by default a lost notify is simply dropped after the retransmit
+  // budget.
+  void Notify(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes, CallOpts opts);
+  void Notify(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes) {
+    Notify(src, dst, kind, bytes, CallOpts());
+  }
 
   // Unreliable send: no retries, no duplicate suppression; loss is silent
   // (heartbeats want exactly this). Bypasses the QoS scheduler — losing or

@@ -1,0 +1,189 @@
+// Randomized DSM fast-path property test (tier 2, FV_FAULT_SEED-swept).
+//
+// Every fast-path combination (owner hints x replication x adaptive
+// granularity) drives the same randomized workload, with and without a
+// randomized fault plan (message drops/dups/delays plus healing partitions
+// that cut predicted owners off mid-run). Properties:
+//  * every access retires (hits + resolved == issued) — no combination may
+//    wedge a transaction, even when hinted requests hit dead links;
+//  * CheckInvariants() passes after quiesce under every combination;
+//  * the issued workload is identical across combinations (fast paths may
+//    change timing and routing, never what the workload does or observes);
+//  * the same seed replays the same combination bit-identically.
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/host/cost_model.h"
+#include "src/mem/dsm.h"
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/rng.h"
+
+namespace fragvisor {
+namespace {
+
+uint64_t BaseSeed() {
+  const char* env = std::getenv("FV_FAULT_SEED");
+  if (env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+struct ComboResult {
+  uint64_t issued = 0;
+  uint64_t hits = 0;
+  uint64_t resolved = 0;
+  uint64_t issue_checksum = 0;  // order-independent digest of the issued stream
+  uint64_t pages_checked = 0;
+  uint64_t hint_hits = 0;
+  uint64_t hint_stale = 0;
+  uint64_t replica_reads = 0;
+  uint64_t region_transfers = 0;
+  uint64_t hold_escalations = 0;
+  uint64_t dropped = 0;
+  uint64_t dsm_retries = 0;
+  TimeNs final_time = 0;
+
+  bool operator==(const ComboResult& o) const {
+    return issued == o.issued && hits == o.hits && resolved == o.resolved &&
+           issue_checksum == o.issue_checksum && pages_checked == o.pages_checked &&
+           hint_hits == o.hint_hits && hint_stale == o.hint_stale &&
+           replica_reads == o.replica_reads && region_transfers == o.region_transfers &&
+           hold_escalations == o.hold_escalations && dropped == o.dropped &&
+           dsm_retries == o.dsm_retries && final_time == o.final_time;
+  }
+};
+
+// One trial: `mask` selects the fast-path combination (bit0 hints, bit1
+// replication, bit2 adaptive); `with_faults` attaches a seeded plan.
+ComboResult RunComboTrial(uint64_t seed, int mask, bool with_faults) {
+  constexpr int kNodes = 4;
+  constexpr PageNum kPages = 2048;
+  constexpr int kRounds = 50;
+  constexpr int kAccessesPerRound = 50;
+
+  EventLoop loop;
+  Fabric fabric(&loop, kNodes, LinkParams::InfiniBand56G());
+  FaultPlan plan(seed * 131 + 7);
+  if (with_faults) {
+    Rng meta(seed * 7919 + 23);
+    LinkFaultProfile profile;
+    profile.drop_prob = 0.004 * static_cast<double>(meta.UniformInt(1, 6));
+    profile.dup_prob = 0.004 * static_cast<double>(meta.UniformInt(0, 4));
+    profile.extra_delay_max = Micros(static_cast<TimeNs>(meta.UniformInt(0, 8)));
+    plan.SetDefaultLinkFaults(profile);
+    // Two healing partitions; at least one isolates a non-home node that
+    // owns pages (and will be a predicted owner once hints warm up).
+    plan.PartitionLink(2, 1, Millis(3), Millis(3 + static_cast<TimeNs>(meta.UniformInt(2, 8))));
+    const int32_t a = static_cast<int32_t>(meta.UniformInt(0, kNodes - 1));
+    int32_t b = static_cast<int32_t>(meta.UniformInt(0, kNodes - 2));
+    if (b >= a) {
+      ++b;
+    }
+    const TimeNs from = Millis(static_cast<TimeNs>(meta.UniformInt(8, 25)));
+    plan.PartitionLink(a, b, from, from + Millis(static_cast<TimeNs>(meta.UniformInt(1, 6))));
+    fabric.AttachFaultPlan(&plan);
+  }
+
+  const CostModel costs = CostModel::Default();
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = kNodes;
+  opts.read_prefetch_pages = 2;
+  opts.owner_hints = (mask & 1) != 0;
+  opts.read_mostly_replication = (mask & 2) != 0;
+  opts.adaptive_granularity = (mask & 4) != 0;
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
+
+  dsm.SetPageClass(0, 256, PageClass::kReadMostly);
+  dsm.SetPageClass(256, 64, PageClass::kPageTable);
+  for (int n = 0; n < kNodes; ++n) {
+    dsm.SeedRange(static_cast<PageNum>(n) * (kPages / kNodes), kPages / kNodes, n);
+  }
+
+  ComboResult out;
+  Rng rng(seed * 31 + 11);
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kAccessesPerRound; ++i) {
+      const NodeId node = static_cast<NodeId>(rng.UniformInt(0, kNodes - 1));
+      const PageNum page = static_cast<PageNum>(rng.UniformInt(0, kPages - 1));
+      const bool is_write = rng.Chance(0.35);
+      ++out.issued;
+      out.issue_checksum +=
+          static_cast<uint64_t>(node) * 1315423911ull + page * 2654435761ull + (is_write ? 1 : 0);
+      if (dsm.Access(node, page, is_write, [&out]() { ++out.resolved; })) {
+        ++out.hits;
+      }
+    }
+    loop.Run();
+  }
+
+  out.pages_checked = dsm.CheckInvariants();
+  out.hint_hits = dsm.stats().hint_hits.value();
+  out.hint_stale = dsm.stats().hint_stale.value();
+  out.replica_reads = dsm.stats().replica_reads.value();
+  out.region_transfers = dsm.stats().region_transfers.value();
+  out.hold_escalations = dsm.stats().hold_escalations.value();
+  out.dropped = plan.stats().messages_dropped.value();
+  out.dsm_retries = dsm.stats().txn_retries.total();
+  out.final_time = loop.now();
+  return out;
+}
+
+TEST(DsmFastPathPropertyTest, AllCombinationsResolveAndStayCoherent) {
+  const uint64_t base = BaseSeed();
+  for (const bool with_faults : {false, true}) {
+    ComboResult baseline;
+    for (int mask = 0; mask < 8; ++mask) {
+      SCOPED_TRACE("seed " + std::to_string(base) + " mask " + std::to_string(mask) +
+                   (with_faults ? " faults" : " clean"));
+      const ComboResult r = RunComboTrial(base, mask, with_faults);
+      EXPECT_EQ(r.hits + r.resolved, r.issued) << "accesses wedged after quiesce";
+      EXPECT_GT(r.pages_checked, 0u);
+      if (mask == 0) {
+        baseline = r;
+        // The baseline must not touch any fast-path machinery.
+        EXPECT_EQ(r.hint_hits + r.hint_stale + r.replica_reads + r.region_transfers +
+                      r.hold_escalations,
+                  0u);
+      } else {
+        // Fast paths change routing and timing, never the workload itself.
+        EXPECT_EQ(r.issued, baseline.issued);
+        EXPECT_EQ(r.issue_checksum, baseline.issue_checksum);
+      }
+      if (with_faults) {
+        EXPECT_GT(r.dropped, 0u) << "the fault plan never bit";
+      }
+    }
+  }
+}
+
+TEST(DsmFastPathPropertyTest, HintsSurviveFaultsViaRetryPath) {
+  // With hints on and the plan cutting 2<->1 (node 1 owns a quarter of the
+  // space and is the natural predicted owner for its pages), hinted sends
+  // fail mid-run and must fall back through the retry machinery.
+  const uint64_t base = BaseSeed();
+  const ComboResult r = RunComboTrial(base, /*mask=*/1, /*with_faults=*/true);
+  EXPECT_EQ(r.hits + r.resolved, r.issued);
+  EXPECT_GT(r.hint_hits + r.hint_stale, 0u) << "hints never engaged";
+  EXPECT_GT(r.pages_checked, 0u);
+}
+
+TEST(DsmFastPathPropertyTest, SameSeedReplaysBitIdentically) {
+  const uint64_t base = BaseSeed();
+  for (const int mask : {1, 7}) {
+    SCOPED_TRACE("mask " + std::to_string(mask));
+    const ComboResult first = RunComboTrial(base, mask, /*with_faults=*/true);
+    const ComboResult second = RunComboTrial(base, mask, /*with_faults=*/true);
+    EXPECT_TRUE(first == second) << "fast-path run diverged across identical replays";
+  }
+}
+
+}  // namespace
+}  // namespace fragvisor

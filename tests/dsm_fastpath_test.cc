@@ -1,0 +1,242 @@
+// DSM fast-path tests (tier 1).
+//
+// Two guard families plus directed protocol scenarios:
+//  * pass-through guard: with all three fast paths off (defaulted or set
+//    explicitly) the 10k-page golden trace reproduces the pinned constants
+//    and every fast-path counter stays zero — the features are proven
+//    observationally absent, which is what keeps fig04/fig05/fig08 outputs
+//    byte-identical;
+//  * determinism guard: every fast-path combination replays the golden
+//    trace bit-identically run to run;
+//  * directed scenarios: hint hits and refreshes, stale-hint forwarding,
+//    partitioned/dead predicted owners falling back through the retry path,
+//    replica reads, the read-mostly promotion detector, stream-region
+//    widening, and adaptive ownership-hold escalation.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/host/cost_model.h"
+#include "src/mem/dsm.h"
+#include "src/net/fabric.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/fault_plan.h"
+#include "tests/golden_trace.h"
+
+namespace fragvisor {
+namespace {
+
+TEST(DsmFastPathGuardTest, ExplicitOffMatchesDefaultAndGoldenConstants) {
+  const GoldenTraceResult def = RunGoldenTrace();
+  const GoldenTraceResult off =
+      RunGoldenTrace(nullptr, [](DsmEngine::Options& o) {
+        o.owner_hints = false;
+        o.read_mostly_replication = false;
+        o.adaptive_granularity = false;
+      });
+  EXPECT_TRUE(def == off) << "explicitly-off fast paths perturbed the golden trace";
+
+  // Anchor against the pinned constants (full set lives in dsm_radix_test).
+  EXPECT_EQ(off.protocol_messages, 73293u);
+  EXPECT_EQ(off.protocol_bytes, 122078656u);
+  EXPECT_EQ(off.final_time, 20001464);
+
+  // Off means off: no fast-path machinery may even count.
+  EXPECT_EQ(off.hint_hits, 0u);
+  EXPECT_EQ(off.hint_stale, 0u);
+  EXPECT_EQ(off.replica_reads, 0u);
+  EXPECT_EQ(off.region_transfers, 0u);
+  EXPECT_EQ(off.read_mostly_promotions, 0u);
+  EXPECT_EQ(off.hold_escalations, 0u);
+}
+
+TEST(DsmFastPathGuardTest, EveryCombinationIsRunToRunDeterministic) {
+  for (int mask = 1; mask < 8; ++mask) {
+    SCOPED_TRACE("combo mask " + std::to_string(mask));
+    const auto mutate = [mask](DsmEngine::Options& o) {
+      o.owner_hints = (mask & 1) != 0;
+      o.read_mostly_replication = (mask & 2) != 0;
+      o.adaptive_granularity = (mask & 4) != 0;
+    };
+    const GoldenTraceResult first = RunGoldenTrace(nullptr, mutate);
+    const GoldenTraceResult second = RunGoldenTrace(nullptr, mutate);
+    EXPECT_TRUE(first == second) << "fast-path combination diverged across identical runs";
+    EXPECT_EQ(first.hits + first.resolved, 30000u) << "accesses wedged";
+    EXPECT_GT(first.pages_checked, 0u);
+  }
+}
+
+// Small directed-scenario harness: 4 nodes, home 0, one engine per test.
+class DsmFastPathScenarioTest : public ::testing::Test {
+ protected:
+  static constexpr int kNodes = 4;
+
+  void Build(const std::function<void(DsmEngine::Options&)>& mutate,
+             FaultPlan* plan = nullptr) {
+    if (plan != nullptr) {
+      fabric_.AttachFaultPlan(plan);
+    }
+    DsmEngine::Options opts;
+    opts.home = 0;
+    opts.num_nodes = kNodes;
+    mutate(opts);
+    dsm_ = std::make_unique<DsmEngine>(&loop_, &rpc_, &costs_, opts);
+  }
+
+  // Runs one access to completion; returns true when it retired (hit or
+  // resolved fault).
+  bool Do(NodeId node, PageNum page, bool is_write) {
+    bool done = false;
+    if (dsm_->Access(node, page, is_write, [&done]() { done = true; })) {
+      done = true;
+    }
+    loop_.Run();
+    return done;
+  }
+
+  EventLoop loop_;
+  Fabric fabric_{&loop_, kNodes, LinkParams::InfiniBand56G()};
+  RpcLayer rpc_{&loop_, &fabric_};
+  CostModel costs_ = CostModel::Default();
+  std::unique_ptr<DsmEngine> dsm_;
+};
+
+TEST_F(DsmFastPathScenarioTest, HintFromInvalidationServesNextFaultDirectly) {
+  Build([](DsmEngine::Options& o) { o.owner_hints = true; });
+  dsm_->SeedRange(100, 8, /*owner=*/1);
+
+  // First read goes through the home (no hint yet) and learns the owner
+  // from the grant piggyback.
+  EXPECT_TRUE(Do(2, 100, false));
+  EXPECT_EQ(dsm_->stats().hint_hits.value(), 0u);
+
+  // The owner's write-upgrade invalidates node 2, refreshing its hint.
+  EXPECT_TRUE(Do(1, 100, true));
+
+  // The re-read dispatches straight to the predicted owner: a hint hit.
+  EXPECT_TRUE(Do(2, 100, false));
+  EXPECT_EQ(dsm_->stats().hint_hits.value(), 1u);
+  EXPECT_EQ(dsm_->stats().hint_stale.value(), 0u);
+  EXPECT_GT(dsm_->CheckInvariants(), 0u);
+}
+
+TEST_F(DsmFastPathScenarioTest, StaleHintForwardsToHomeAndResolves) {
+  Build([](DsmEngine::Options& o) { o.owner_hints = true; });
+  dsm_->SeedRange(200, 4, /*owner=*/1);
+
+  EXPECT_TRUE(Do(2, 200, false));  // learn hint = 1
+  EXPECT_TRUE(Do(1, 200, true));   // owner strips node 2 (hint stays 1)
+  EXPECT_TRUE(Do(3, 200, true));   // ownership moves 1 -> 3 behind node 2's back
+  EXPECT_EQ(dsm_->OwnerOf(200), 3);
+
+  // Node 2 still predicts 1: the request is forwarded to the home, exactly
+  // Popcorn's stale-hint path, and still resolves.
+  EXPECT_TRUE(Do(2, 200, false));
+  EXPECT_EQ(dsm_->stats().hint_stale.value(), 1u);
+  EXPECT_EQ(dsm_->stats().hint_hits.value(), 0u);
+  EXPECT_GT(dsm_->CheckInvariants(), 0u);
+}
+
+TEST_F(DsmFastPathScenarioTest, PartitionedPredictedOwnerFallsBackThroughRetryPath) {
+  FaultPlan plan(42);
+  Build([](DsmEngine::Options& o) { o.owner_hints = true; }, &plan);
+  dsm_->SeedRange(300, 4, /*owner=*/1);
+
+  EXPECT_TRUE(Do(2, 300, false));  // learn hint = 1
+  EXPECT_TRUE(Do(1, 300, true));   // strip node 2 so the re-read faults
+
+  // Cut 2<->1: the hinted request cannot reach the predicted owner. The
+  // fabric burns its retransmit budget, the dispatch falls back to the
+  // home, and the transaction retries until the partition heals.
+  const TimeNs now = loop_.now();
+  plan.PartitionLink(2, 1, now, now + Millis(120));
+  EXPECT_TRUE(Do(2, 300, false));
+  EXPECT_GE(dsm_->stats().hint_stale.value(), 1u);
+  EXPECT_GE(dsm_->stats().txn_retries.total(), 1u);
+  EXPECT_GT(dsm_->CheckInvariants(), 0u);
+}
+
+TEST_F(DsmFastPathScenarioTest, DeadPredictedOwnerIsSkippedAtDispatch) {
+  FaultPlan plan(43);
+  Build([](DsmEngine::Options& o) { o.owner_hints = true; }, &plan);
+  dsm_->SeedRange(400, 4, /*owner=*/1);
+
+  EXPECT_TRUE(Do(2, 400, false));  // learn hint = 1
+  EXPECT_TRUE(Do(1, 400, true));   // strip node 2
+
+  // Node 1 dies. The dispatcher must not even try the hinted path (NodeUp
+  // guard); the home-directed request reclaims the dead owner and re-homes
+  // the page through the existing repair machinery.
+  plan.CrashNode(1, loop_.now() + Micros(1));
+  loop_.ScheduleAfter(Micros(2), []() {});
+  loop_.Run();
+  ASSERT_FALSE(fabric_.NodeUp(1));
+
+  EXPECT_TRUE(Do(2, 400, false));
+  EXPECT_EQ(dsm_->stats().hint_stale.value(), 0u) << "hinted send was attempted at a dead node";
+  EXPECT_GT(dsm_->CheckInvariants(), 0u);
+}
+
+TEST_F(DsmFastPathScenarioTest, ReadMostlyPageServesFromReplicaWithoutDirectory) {
+  Build([](DsmEngine::Options& o) { o.read_mostly_replication = true; });
+  dsm_->SeedRange(500, 8, /*owner=*/1);
+  dsm_->SetPageClass(500, 8, PageClass::kReadMostly);
+
+  const uint64_t msgs_before = dsm_->stats().protocol_messages.value();
+  EXPECT_TRUE(Do(2, 500, false));
+  EXPECT_EQ(dsm_->stats().replica_reads.value(), 1u);
+  // Replica serve: request + data, no home forward.
+  EXPECT_EQ(dsm_->stats().protocol_messages.value() - msgs_before, 2u);
+
+  // A write still pays the directory's epoch-bump invalidation round and
+  // the page stays coherent.
+  EXPECT_TRUE(Do(3, 500, true));
+  EXPECT_EQ(dsm_->OwnerOf(500), 3);
+  EXPECT_TRUE(Do(2, 500, false));
+  EXPECT_GT(dsm_->CheckInvariants(), 0u);
+}
+
+TEST_F(DsmFastPathScenarioTest, FaultHistoryDetectorPromotesQuietLeaves) {
+  Build([](DsmEngine::Options& o) { o.read_mostly_replication = true; });
+  dsm_->SeedRange(0, 128, /*owner=*/1);  // kGuestPrivate by default
+
+  for (PageNum p = 0; p < 128; ++p) {
+    EXPECT_TRUE(Do(2, p, false));
+  }
+  EXPECT_GE(dsm_->stats().read_mostly_promotions.value(), 1u);
+
+  // A promoted leaf serves later readers from a replica.
+  EXPECT_TRUE(Do(3, 0, false));
+  EXPECT_GE(dsm_->stats().replica_reads.value(), 1u);
+  EXPECT_GT(dsm_->CheckInvariants(), 0u);
+}
+
+TEST_F(DsmFastPathScenarioTest, StreamDetectorWidensSequentialReads) {
+  Build([](DsmEngine::Options& o) { o.adaptive_granularity = true; });
+  dsm_->SeedRange(0, 64, /*owner=*/0);  // home-owned scan source
+
+  for (PageNum p = 0; p < 64; ++p) {
+    EXPECT_TRUE(Do(1, p, false));
+  }
+  EXPECT_GE(dsm_->stats().region_transfers.value(), 1u);
+  EXPECT_GT(dsm_->stats().prefetched_pages.value(), 0u);
+  // Widened replies leave fewer faults than pages.
+  EXPECT_LT(dsm_->stats().read_faults.value(), 64u);
+  EXPECT_GT(dsm_->CheckInvariants(), 0u);
+}
+
+TEST_F(DsmFastPathScenarioTest, PingPongEscalatesOwnershipHold) {
+  Build([](DsmEngine::Options& o) { o.adaptive_granularity = true; });
+  dsm_->SeedRange(600, 1, /*owner=*/0);
+
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_TRUE(Do(1, 600, true));
+    EXPECT_TRUE(Do(2, 600, true));
+  }
+  EXPECT_GE(dsm_->stats().hold_escalations.value(), 1u);
+  EXPECT_GT(dsm_->CheckInvariants(), 0u);
+}
+
+}  // namespace
+}  // namespace fragvisor

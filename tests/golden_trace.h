@@ -10,6 +10,7 @@
 #define FRAGVISOR_TESTS_GOLDEN_TRACE_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "src/host/cost_model.h"
 #include "src/mem/dsm.h"
@@ -34,13 +35,39 @@ struct GoldenTraceResult {
   uint64_t reseeded = 0;
   uint64_t pages_checked = 0;
   TimeNs final_time = 0;
+  // Fast-path counters; all zero with the default (all-off) options.
+  uint64_t hint_hits = 0;
+  uint64_t hint_stale = 0;
+  uint64_t replica_reads = 0;
+  uint64_t region_transfers = 0;
+  uint64_t read_mostly_promotions = 0;
+  uint64_t hold_escalations = 0;
+
+  // Full-state equality, for run-to-run determinism assertions.
+  bool operator==(const GoldenTraceResult& o) const {
+    return hits == o.hits && resolved == o.resolved && read_faults == o.read_faults &&
+           write_faults == o.write_faults && invalidations == o.invalidations &&
+           page_transfers == o.page_transfers && prefetched_pages == o.prefetched_pages &&
+           protocol_messages == o.protocol_messages && protocol_bytes == o.protocol_bytes &&
+           migrated == o.migrated && reseeded == o.reseeded && pages_checked == o.pages_checked &&
+           final_time == o.final_time && hint_hits == o.hint_hits &&
+           hint_stale == o.hint_stale && replica_reads == o.replica_reads &&
+           region_transfers == o.region_transfers &&
+           read_mostly_promotions == o.read_mostly_promotions &&
+           hold_escalations == o.hold_escalations;
+  }
+  bool operator!=(const GoldenTraceResult& o) const { return !(*this == o); }
 };
 
 // With `plan` non-null the trace runs with the fault plan attached to the
 // fabric; an *empty* plan must leave every counter and the final time
 // bit-identical to the plan-less run (the reliable-channel bookkeeping is
-// observationally free when nothing fires).
-inline GoldenTraceResult RunGoldenTrace(FaultPlan* plan = nullptr) {
+// observationally free when nothing fires). `mutate` edits the engine
+// options before construction (fast-path sweeps); null runs the canonical
+// all-off configuration the golden constants were captured from.
+inline GoldenTraceResult RunGoldenTrace(
+    FaultPlan* plan = nullptr,
+    const std::function<void(DsmEngine::Options&)>& mutate = nullptr) {
   constexpr int kNodes = 4;
   constexpr PageNum kPages = 10000;
 
@@ -54,6 +81,9 @@ inline GoldenTraceResult RunGoldenTrace(FaultPlan* plan = nullptr) {
   opts.home = 0;
   opts.num_nodes = kNodes;
   opts.read_prefetch_pages = 2;
+  if (mutate) {
+    mutate(opts);
+  }
   RpcLayer rpc(&loop, &fabric);
   DsmEngine dsm(&loop, &rpc, &costs, opts);
 
@@ -92,6 +122,12 @@ inline GoldenTraceResult RunGoldenTrace(FaultPlan* plan = nullptr) {
   out.protocol_messages = dsm.stats().protocol_messages.value();
   out.protocol_bytes = dsm.stats().protocol_bytes.value();
   out.final_time = loop.now();
+  out.hint_hits = dsm.stats().hint_hits.value();
+  out.hint_stale = dsm.stats().hint_stale.value();
+  out.replica_reads = dsm.stats().replica_reads.value();
+  out.region_transfers = dsm.stats().region_transfers.value();
+  out.read_mostly_promotions = dsm.stats().read_mostly_promotions.value();
+  out.hold_escalations = dsm.stats().hold_escalations.value();
   return out;
 }
 

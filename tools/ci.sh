@@ -56,6 +56,29 @@ for config in "${configs[@]}"; do
       FV_FAULT_SEED=$seed ctest --test-dir "$build_dir" --output-on-failure \
         -j "$jobs" -L tier2 -R PartialRecovery
     done
+
+    # Perf trajectory + fast-path gates, release only. Both benches write
+    # BENCH_*.json artifacts into build-ci/artifacts/; ablation_dsm_fastpath
+    # exits non-zero (failing CI here) when any swept configuration violates
+    # the coherence invariants or changes workload results.
+    artifacts="build-ci/artifacts"
+    mkdir -p "$artifacts"
+    echo "=== [$config] bench: micro_core_hotpath ==="
+    "$build_dir/bench/micro_core_hotpath" --events 500000 --accesses 500000 \
+      --out "$artifacts/BENCH_core_hotpath.json"
+    echo "=== [$config] bench: ablation_dsm_fastpath (invariant gate) ==="
+    "$build_dir/bench/ablation_dsm_fastpath" --quick \
+      --out "$artifacts/BENCH_dsm_fastpath.json"
+
+    # Run-to-run determinism of the fast paths at the fvsim level: two
+    # identical runs with every --dsm-* flag on must diff clean.
+    echo "=== [$config] fvsim fast-path determinism ==="
+    fvsim_flags=(npb --bench CG --vcpus 4 --dsm-prefetch 2 --dsm-hints
+                 --dsm-replicate --dsm-adaptive)
+    "$build_dir/tools/fvsim" "${fvsim_flags[@]}" > "$artifacts/fvsim_dsm_run1.txt"
+    "$build_dir/tools/fvsim" "${fvsim_flags[@]}" > "$artifacts/fvsim_dsm_run2.txt"
+    diff "$artifacts/fvsim_dsm_run1.txt" "$artifacts/fvsim_dsm_run2.txt"
+    echo "fast-path runs are deterministic"
   fi
 done
 

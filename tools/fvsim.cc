@@ -218,6 +218,16 @@ Setup MakeSetup(const Args& args) {
   if (args.Has("rpc-qos")) {
     setup.rpc.qos.enabled = true;
   }
+  setup.dsm_prefetch = args.GetInt("dsm-prefetch", 0);
+  if (args.Has("dsm-hints")) {
+    setup.dsm_owner_hints = true;
+  }
+  if (args.Has("dsm-replicate")) {
+    setup.dsm_replicate = true;
+  }
+  if (args.Has("dsm-adaptive")) {
+    setup.dsm_adaptive = true;
+  }
   ParseFaultSpec(args, &setup);
   ParseReliabilitySpec(args, &setup);
   return setup;
@@ -254,11 +264,18 @@ int RunNpb(const Args& args) {
   bench::FaultReport report;
   bench::MsgStatsReport msg_stats;
   bench::ReliabilityReport reliability;
+  bench::DsmFastPathReport fastpath;
   const TimeNs end = bench::RunNpbMultiProcess(setup, profile,
                                                static_cast<uint64_t>(args.GetInt("seed", 1)),
-                                               &faults, &report, &msg_stats, &reliability);
+                                               &faults, &report, &msg_stats, &reliability,
+                                               &fastpath);
   std::printf("%s x%d on %s: %.2f ms (%.0f DSM faults/s)\n", profile.name.c_str(), setup.vcpus,
               bench::SystemName(setup.system), ToMillis(end), faults);
+  if (setup.dsm_owner_hints || setup.dsm_replicate || setup.dsm_adaptive ||
+      setup.dsm_prefetch > 0) {
+    bench::PrintHeader("dsm fast paths");
+    bench::PrintDsmFastPathReport(fastpath);
+  }
   if (setup.faults.enabled()) {
     bench::PrintFaultReport(report);
   }
@@ -362,6 +379,10 @@ int List() {
   std::printf("rpc:     --rpc-coalesce (multicast ack coalescing)\n");
   std::printf("         --rpc-qos (weighted deficit link scheduler)\n");
   std::printf("         --msg-stats [PATH] (per-kind traffic JSON; '-' = stdout)\n");
+  std::printf("dsm:     --dsm-prefetch N (sequential read prefetch depth)\n");
+  std::printf("         --dsm-hints (owner-hint cache: direct-to-owner faults)\n");
+  std::printf("         --dsm-replicate (read-mostly replication)\n");
+  std::printf("         --dsm-adaptive (adaptive transfer granularity + hold)\n");
   std::printf("faults:  --fault-seed N --fault-drop P --fault-dup P --fault-delay-us U\n");
   std::printf("         --fault-crash n@ms[,..] --fault-restart n@ms[,..]\n");
   std::printf("         --fault-partition a-b@ms-ms[,..] --fault-empty\n");
