@@ -1,15 +1,19 @@
-// Microbenchmark for the two simulator hot paths:
+// Microbenchmark for the simulator hot paths:
 //
 //   1. EventLoop schedule/dispatch/cancel churn — the inner loop every
 //      simulated nanosecond goes through;
 //   2. DsmEngine access storm — the page-table walk every guest memory
-//      access goes through, plus the full coherence protocol on misses.
+//      access goes through, plus the full coherence protocol on misses;
+//   3. Parallel-core thread sweep — the 64-node DSM coherence storm on the
+//      partitioned ParallelEventLoop at 1/2/4/8 workers vs. the serial
+//      engine, checking byte-identical reports along the way.
 //
-// Results are printed as a table and written to BENCH_core_hotpath.json so
-// the events/s, faults/s, and DSM fault-counter figures can be tracked
-// across PRs (tools/ci.sh collects the file as a build artifact).
+// Results are printed as a table and written to BENCH_core_hotpath.json and
+// BENCH_parallel_core.json so the events/s, faults/s, and speedup figures can
+// be tracked across PRs (tools/ci.sh collects the files as build artifacts).
 //
-//   micro_core_hotpath [--events N] [--accesses N] [--out PATH]
+//   micro_core_hotpath [--events N] [--accesses N] [--storm-accesses N]
+//                      [--out PATH] [--parallel-out PATH]
 
 #include <chrono>
 #include <cstdint>
@@ -17,12 +21,15 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/host/cost_model.h"
 #include "src/mem/dsm.h"
 #include "src/net/fabric.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/rng.h"
+#include "src/workload/dsmstorm.h"
 
 namespace fragvisor {
 namespace {
@@ -156,19 +163,92 @@ DsmStormResult BenchDsmStorm(uint64_t target_accesses) {
   return res;
 }
 
+struct ParallelSweepPoint {
+  int threads = 0;  // 0 = serial EventLoop engine
+  uint64_t events = 0;
+  double wall_s = 0;
+  double events_per_s = 0;
+  double speedup_vs_serial = 0;
+};
+
+struct ParallelSweepResult {
+  std::vector<ParallelSweepPoint> points;
+  uint64_t barriers = 0;
+  uint64_t mailbox_events = 0;
+  uint64_t digest = 0;
+  bool reports_identical = true;
+};
+
+// The tentpole workload: 64 nodes of DSM coherence traffic over the
+// partitioned core. The serial engine (threads = 0) is the baseline; each
+// parallel point must produce a byte-identical StormReport, so the sweep
+// doubles as a determinism check on real protocol traffic.
+ParallelSweepResult BenchParallelCore(uint64_t target_accesses) {
+  StormOptions so;
+  so.num_nodes = 64;
+  so.streams_per_node = 4;
+  so.accesses_per_stream = static_cast<int>(
+      target_accesses / (static_cast<uint64_t>(so.num_nodes) * so.streams_per_node));
+  if (so.accesses_per_stream < 1) {
+    so.accesses_per_stream = 1;
+  }
+
+  ParallelSweepResult res;
+  std::string reference_report;
+  for (const int threads : {0, 1, 2, 4, 8}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const StormResult r = RunStorm(so, threads);
+    ParallelSweepPoint pt;
+    pt.threads = threads;
+    pt.events = r.events_dispatched;
+    pt.wall_s = WallSeconds(t0);
+    pt.events_per_s = static_cast<double>(r.events_dispatched) / pt.wall_s;
+    if (!res.points.empty()) {
+      pt.speedup_vs_serial = pt.events_per_s / res.points.front().events_per_s;
+    } else {
+      pt.speedup_vs_serial = 1.0;
+    }
+    res.points.push_back(pt);
+    if (threads > 0) {
+      // Thread-count determinism gate: every parallel point must match the
+      // 1-worker report byte for byte. (The serial engine is excluded: the
+      // full storm's cache/invalidation state is order-dependent at
+      // equal-time ties, which the contract only pins per engine.)
+      const std::string report = StormReport(r);
+      if (reference_report.empty()) {
+        reference_report = report;
+        res.digest = r.state_digest;
+        res.barriers = r.core.barriers;
+        res.mailbox_events = r.core.mailbox_events;
+      } else if (report != reference_report) {
+        res.reports_identical = false;
+      }
+    }
+  }
+  return res;
+}
+
 int Main(int argc, char** argv) {
   uint64_t events = 3000000;
   uint64_t accesses = 2000000;
+  uint64_t storm_accesses = 64 * 4 * 200;
   std::string out_path = "BENCH_core_hotpath.json";
+  std::string parallel_out_path = "BENCH_parallel_core.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
       events = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--accesses") == 0 && i + 1 < argc) {
       accesses = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--storm-accesses") == 0 && i + 1 < argc) {
+      storm_accesses = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--parallel-out") == 0 && i + 1 < argc) {
+      parallel_out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: micro_core_hotpath [--events N] [--accesses N] [--out PATH]\n");
+      std::fprintf(stderr,
+                   "usage: micro_core_hotpath [--events N] [--accesses N] [--storm-accesses N] "
+                   "[--out PATH] [--parallel-out PATH]\n");
       return 2;
     }
   }
@@ -227,6 +307,53 @@ int Main(int argc, char** argv) {
                storm.faults_per_s, storm.accesses_per_s, storm.sim_time_s);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
+
+  const ParallelSweepResult sweep = BenchParallelCore(storm_accesses);
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  for (const ParallelSweepPoint& pt : sweep.points) {
+    std::printf("parallel_core[%s]: %llu events in %.3f s -> %.2f M events/s (%.2fx serial)\n",
+                pt.threads == 0 ? "serial" : std::to_string(pt.threads).c_str(),
+                static_cast<unsigned long long>(pt.events), pt.wall_s, pt.events_per_s / 1e6,
+                pt.speedup_vs_serial);
+  }
+  std::printf("parallel_core: reports %s across worker counts (%u hardware threads)\n",
+              sweep.reports_identical ? "IDENTICAL" : "DIVERGED", hw_threads);
+  if (!sweep.reports_identical) {
+    std::fprintf(stderr, "parallel_core: determinism violation across worker counts\n");
+    return 1;
+  }
+
+  f = std::fopen(parallel_out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", parallel_out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"parallel_core\",\n"
+               "  \"nodes\": 64,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"barriers\": %llu,\n"
+               "  \"mailbox_events\": %llu,\n"
+               "  \"digest\": \"%016llx\",\n"
+               "  \"reports_identical\": %s,\n"
+               "  \"sweep\": [\n",
+               hw_threads, static_cast<unsigned long long>(sweep.barriers),
+               static_cast<unsigned long long>(sweep.mailbox_events),
+               static_cast<unsigned long long>(sweep.digest),
+               sweep.reports_identical ? "true" : "false");
+  for (size_t i = 0; i < sweep.points.size(); ++i) {
+    const ParallelSweepPoint& pt = sweep.points[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"engine\": \"%s\", \"events\": %llu, "
+                 "\"wall_s\": %.6f, \"events_per_s\": %.1f, \"speedup_vs_serial\": %.3f}%s\n",
+                 pt.threads, pt.threads == 0 ? "serial" : "parallel",
+                 static_cast<unsigned long long>(pt.events), pt.wall_s, pt.events_per_s,
+                 pt.speedup_vs_serial, i + 1 < sweep.points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", parallel_out_path.c_str());
   return 0;
 }
 

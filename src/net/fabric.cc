@@ -67,6 +67,15 @@ void FabricStats::Account(MsgKind kind, uint64_t size) {
   total_bytes.Add(size);
 }
 
+void FabricStats::Accumulate(const FabricStats& other) {
+  for (size_t i = 0; i < messages.size(); ++i) {
+    messages[i].Accumulate(other.messages[i]);
+    bytes[i].Accumulate(other.bytes[i]);
+  }
+  total_messages.Accumulate(other.total_messages);
+  total_bytes.Accumulate(other.total_bytes);
+}
+
 TimeNs WireTime(const LinkParams& params, uint64_t size) {
   FV_CHECK_GT(params.bytes_per_second, 0.0);
   return FromSeconds(static_cast<double>(size) / params.bytes_per_second);
@@ -77,6 +86,31 @@ Fabric::Fabric(EventLoop* loop, int num_nodes, LinkParams defaults)
   FV_CHECK(loop != nullptr);
   FV_CHECK_GT(num_nodes, 0);
   retry_stats_.Init(num_nodes);
+}
+
+Fabric::Fabric(ParallelEventLoop* ploop, int num_nodes, LinkParams defaults)
+    : loop_(nullptr), ploop_(ploop), num_nodes_(num_nodes), defaults_(defaults) {
+  FV_CHECK(ploop != nullptr);
+  FV_CHECK_GT(num_nodes, 0);
+  FV_CHECK_EQ(ploop->num_partitions(), num_nodes);
+  // Conservative-synchronization soundness: no message may arrive sooner
+  // than one lookahead after it was sent.
+  FV_CHECK_LE(ploop->lookahead(), defaults.latency);
+  retry_stats_.Init(num_nodes);
+  shard_stats_.assign(static_cast<size_t>(num_nodes), FabricStats());
+  shard_retry_.resize(static_cast<size_t>(num_nodes));
+  for (RetryStats& r : shard_retry_) {
+    r.Init(num_nodes);
+  }
+  // Pre-create every directed link: links_ is then never mutated during a
+  // run, so concurrent LinkFor lookups from different partitions are reads.
+  for (NodeId s = 0; s < num_nodes; ++s) {
+    for (NodeId d = 0; d < num_nodes; ++d) {
+      if (s != d) {
+        LinkFor(s, d);
+      }
+    }
+  }
 }
 
 void Fabric::ValidateNode(NodeId n) const {
@@ -95,6 +129,9 @@ Fabric::LinkState& Fabric::LinkFor(NodeId src, NodeId dst) {
 void Fabric::SetLinkParams(NodeId src, NodeId dst, LinkParams params) {
   ValidateNode(src);
   ValidateNode(dst);
+  if (ploop_ != nullptr) {
+    FV_CHECK_GE(params.latency, ploop_->lookahead());
+  }
   LinkFor(src, dst).params = params;
 }
 
@@ -106,16 +143,27 @@ void Fabric::AttachFaultPlan(FaultPlan* plan, RetryPolicy policy) {
   FV_CHECK_GT(policy.max_attempts, 0);
   plan_ = plan;
   policy_ = policy;
+  if (ploop_ != nullptr) {
+    // The parallel reliable channel draws perturbations from the sending
+    // partition, which requires one independent RNG stream per node.
+    FV_CHECK(plan_->per_node_streams());
+    plan_->ArmParallel(ploop_);
+    return;
+  }
   plan_->Arm(loop_);
 }
 
 bool Fabric::NodeUp(NodeId node) const {
   ValidateNode(node);
-  return plan_ == nullptr || plan_->NodeUp(node, loop_->now());
+  if (plan_ == nullptr) {
+    return true;
+  }
+  const TimeNs now = ploop_ != nullptr ? ploop_->partition(node)->now() : loop_->now();
+  return plan_->NodeUp(node, now);
 }
 
-TimeNs Fabric::WireArrival(LinkState& link, uint64_t size) {
-  const TimeNs start = std::max(loop_->now(), link.busy_until);
+TimeNs Fabric::WireArrival(LinkState& link, uint64_t size, TimeNs now) {
+  const TimeNs start = std::max(now, link.busy_until);
   const TimeNs depart = start + WireTime(link.params, size);
   link.busy_until = depart;
   return depart + link.params.latency;
@@ -126,6 +174,11 @@ void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryF
   ValidateNode(src);
   ValidateNode(dst);
   FV_CHECK(on_delivery != nullptr);
+  if (ploop_ != nullptr) {
+    SendParallel(src, dst, kind, size, std::move(on_delivery), receiver_delay,
+                 std::move(on_fail));
+    return;
+  }
   if (src == dst) {
     // Loopback never hits the wire (and never faults): deliver in-order at
     // the current time.
@@ -139,7 +192,7 @@ void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryF
   if (plan_ == nullptr) {
     LinkState& link = LinkFor(src, dst);
     stats_.Account(kind, size);
-    const TimeNs arrival = WireArrival(link, size);
+    const TimeNs arrival = WireArrival(link, size, loop_->now());
     if (receiver_delay > 0) {
       loop_->ScheduleRelay(arrival, receiver_delay, std::move(on_delivery));
     } else {
@@ -223,7 +276,7 @@ void Fabric::Attempt(PendingId id) {
   }
   LinkState& link = LinkFor(p->src, p->dst);
   stats_.Account(p->kind, p->size);
-  const TimeNs base_arrival = WireArrival(link, p->size);
+  const TimeNs base_arrival = WireArrival(link, p->size, now);
   bool lost = plan_->LinkCut(p->src, p->dst, now) || !plan_->NodeUp(p->dst, base_arrival);
   FaultPlan::Perturbation pert;
   if (lost) {
@@ -318,6 +371,10 @@ void Fabric::SendDatagram(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
   ValidateNode(src);
   ValidateNode(dst);
   FV_CHECK(on_delivery != nullptr);
+  if (ploop_ != nullptr) {
+    SendDatagramParallel(src, dst, kind, size, std::move(on_delivery), receiver_delay);
+    return;
+  }
   if (src == dst) {
     if (receiver_delay > 0) {
       loop_->ScheduleRelay(loop_->now(), receiver_delay, std::move(on_delivery));
@@ -332,7 +389,7 @@ void Fabric::SendDatagram(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
   }
   LinkState& link = LinkFor(src, dst);
   stats_.Account(kind, size);
-  const TimeNs base_arrival = WireArrival(link, size);
+  const TimeNs base_arrival = WireArrival(link, size, now);
   if (plan_ == nullptr) {
     if (receiver_delay > 0) {
       loop_->ScheduleRelay(base_arrival, receiver_delay, std::move(on_delivery));
@@ -382,8 +439,10 @@ void Fabric::SendRequestResponse(NodeId src, NodeId dst, MsgKind kind, uint64_t 
   if (on_fail == nullptr) {
     Send(src, dst, kind, req_size,
          [this, src, dst, kind, resp_size, server_time, cb = std::move(on_response)]() mutable {
-           loop_->ScheduleAfter(server_time, [this, src, dst, kind, resp_size,
-                                              cb2 = std::move(cb)]() mutable {
+           // Server-side processing runs on the destination's loop (which is
+           // its partition under the parallel core).
+           node_loop(dst)->ScheduleAfter(server_time, [this, src, dst, kind, resp_size,
+                                                       cb2 = std::move(cb)]() mutable {
              Send(dst, src, kind, resp_size, std::move(cb2));
            });
          });
@@ -396,12 +455,222 @@ void Fabric::SendRequestResponse(NodeId src, NodeId dst, MsgKind kind, uint64_t 
       src, dst, kind, req_size,
       [this, src, dst, kind, resp_size, server_time, fail,
        cb = std::move(on_response)]() mutable {
-        loop_->ScheduleAfter(server_time, [this, src, dst, kind, resp_size, fail,
-                                           cb2 = std::move(cb)]() mutable {
+        node_loop(dst)->ScheduleAfter(server_time, [this, src, dst, kind, resp_size, fail,
+                                                    cb2 = std::move(cb)]() mutable {
           Send(dst, src, kind, resp_size, std::move(cb2), 0, [fail] { (*fail)(); });
         });
       },
       0, [fail] { (*fail)(); });
+}
+
+// --- Parallel-core send paths -----------------------------------------------
+//
+// Everything below runs on the *sending* partition's thread. The receiving
+// side only ever sees committed mailbox deliveries; all channel state (link
+// clocks, retry timers, the win/fail decision) is src-local, which is what
+// makes the reliable channel race-free without locks.
+
+void Fabric::SendParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
+                          DeliveryFn on_delivery, TimeNs receiver_delay, DeliveryFn on_fail) {
+  EventLoop* sloop = ploop_->partition(src);
+  if (src == dst) {
+    if (receiver_delay > 0) {
+      sloop->ScheduleRelay(sloop->now(), receiver_delay, std::move(on_delivery));
+    } else {
+      sloop->ScheduleAfter(0, std::move(on_delivery));
+    }
+    return;
+  }
+  if (plan_ == nullptr) {
+    LinkState& link = LinkFor(src, dst);
+    StatsFor(src).Account(kind, size);
+    const TimeNs arrival = WireArrival(link, size, sloop->now());
+    ploop_->ScheduleCross(src, dst, arrival, receiver_delay, std::move(on_delivery));
+    return;
+  }
+  ParPending* p = new ParPending();
+  p->src = src;
+  p->dst = dst;
+  p->kind = kind;
+  p->size = size;
+  p->receiver_delay = receiver_delay;
+  p->on_delivery = std::move(on_delivery);
+  p->on_fail = std::move(on_fail);
+  p->refs = 1;  // this frame
+  AttemptParallel(p);
+  Unref(p);
+}
+
+void Fabric::AttemptParallel(ParPending* p) {
+  EventLoop* sloop = ploop_->partition(p->src);
+  ++p->attempts;
+  const TimeNs now = sloop->now();
+  if (!plan_->NodeUp(p->src, now)) {
+    // The sender itself is down; nothing reaches the wire.
+    FailParallel(p);
+    return;
+  }
+  LinkState& link = LinkFor(p->src, p->dst);
+  StatsFor(p->src).Account(p->kind, p->size);
+  const TimeNs base_arrival = WireArrival(link, p->size, now);
+  bool lost = plan_->LinkCut(p->src, p->dst, now) || !plan_->NodeUp(p->dst, base_arrival);
+  FaultPlan::Perturbation pert;
+  if (lost) {
+    plan_->ShardStats(p->src).messages_dropped.Add();
+  } else {
+    pert = plan_->Perturb(p->src, p->dst, now);
+    lost = pert.drop;
+  }
+  if (!lost) {
+    TimeNs arrival = std::max(base_arrival + pert.extra_delay, link.last_arrival);
+    link.last_arrival = arrival;
+    if (!p->winner_scheduled) {
+      // The first transmitted copy is always the one the receiver accepts
+      // (arrivals on a link are non-decreasing in scheduling order, FIFO at
+      // ties), so its delivery can be committed right now; a src-local
+      // marker at the same arrival instant stops the retransmit clock
+      // exactly when the serial channel would.
+      p->winner_scheduled = true;
+      p->winner = ploop_->ScheduleCross(p->src, p->dst, arrival, p->receiver_delay,
+                                        std::move(p->on_delivery), /*cancellable=*/true);
+      ++p->refs;
+      sloop->ScheduleAt(arrival, [this, p] { OnWinnerSettled(p); });
+    } else {
+      // A transmitted retransmit copy: it lands after the winner and the
+      // receiver suppresses it as a duplicate.
+      RetryStatsFor(p->src).dups_suppressed.Add(p->dst);
+    }
+    if (pert.duplicate) {
+      const TimeNs dup_arrival = std::max(arrival + pert.duplicate_lag, link.last_arrival);
+      link.last_arrival = dup_arrival;
+      RetryStatsFor(p->src).dups_suppressed.Add(p->dst);
+    }
+  }
+  // The retransmit clock runs against the unperturbed schedule, as in serial.
+  ++p->refs;
+  p->timer = sloop->ScheduleAt(base_arrival + GraceFor(p->attempts),
+                               [this, p] { OnRetryTimeoutParallel(p); });
+}
+
+void Fabric::OnWinnerSettled(ParPending* p) {
+  int drop = 1;  // the settle marker's own ref
+  if (p->failed) {
+    // The sender gave up before the accepted copy landed; in serial that
+    // arrival is suppressed as a duplicate of a failed id.
+    RetryStatsFor(p->src).dups_suppressed.Add(p->dst);
+  } else {
+    p->settled = true;
+    if (p->timer != kInvalidEventId &&
+        ploop_->partition(p->src)->Cancel(p->timer)) {
+      p->timer = kInvalidEventId;
+      ++drop;  // the cancelled retransmit timer's ref dies with it
+    }
+  }
+  FV_CHECK_GE(p->refs, drop);
+  if ((p->refs -= drop) == 0) {
+    delete p;
+  }
+}
+
+void Fabric::OnRetryTimeoutParallel(ParPending* p) {
+  p->timer = kInvalidEventId;
+  FV_CHECK(!p->settled);  // the settle marker cancels any pending timer first
+  RetryStatsFor(p->src).timeouts.Add(p->src);
+  if (p->attempts >= policy_.max_attempts) {
+    FailParallel(p);
+  } else {
+    RetryStatsFor(p->src).retransmits.Add(p->src);
+    AttemptParallel(p);
+  }
+  Unref(p);
+}
+
+void Fabric::FailParallel(ParPending* p) {
+  RetryStatsFor(p->src).send_failures.Add(p->src);
+  p->failed = true;
+  if (p->timer != kInvalidEventId) {
+    if (ploop_->partition(p->src)->Cancel(p->timer)) {
+      Unref(p);
+    }
+    p->timer = kInvalidEventId;
+  }
+  if (p->winner_scheduled && !p->settled) {
+    // Best effort: a winner still at least one window out is withdrawn at
+    // the next barrier; closer than that it may still deliver (the residual
+    // fail-after-transmit corner documented in DESIGN.md §9). Either outcome
+    // is identical at every thread count.
+    ploop_->CancelCross(p->src, p->winner);
+  }
+  if (p->on_fail != nullptr) {
+    // Asynchronously, so a failure surfacing inside Send() cannot reenter
+    // the caller mid-construction.
+    ploop_->partition(p->src)->ScheduleAfter(0, std::move(p->on_fail));
+    p->on_fail = nullptr;
+  }
+}
+
+void Fabric::SendDatagramParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
+                                  DeliveryFn on_delivery, TimeNs receiver_delay) {
+  EventLoop* sloop = ploop_->partition(src);
+  if (src == dst) {
+    if (receiver_delay > 0) {
+      sloop->ScheduleRelay(sloop->now(), receiver_delay, std::move(on_delivery));
+    } else {
+      sloop->ScheduleAfter(0, std::move(on_delivery));
+    }
+    return;
+  }
+  const TimeNs now = sloop->now();
+  if (plan_ != nullptr && !plan_->NodeUp(src, now)) {
+    return;  // a crashed node emits nothing, and nobody is told
+  }
+  LinkState& link = LinkFor(src, dst);
+  StatsFor(src).Account(kind, size);
+  const TimeNs base_arrival = WireArrival(link, size, now);
+  if (plan_ == nullptr) {
+    ploop_->ScheduleCross(src, dst, base_arrival, receiver_delay, std::move(on_delivery));
+    return;
+  }
+  bool lost = plan_->LinkCut(src, dst, now) || !plan_->NodeUp(dst, base_arrival);
+  FaultPlan::Perturbation pert;
+  if (lost) {
+    plan_->ShardStats(src).messages_dropped.Add();
+  } else {
+    pert = plan_->Perturb(src, dst, now);
+    lost = pert.drop;
+  }
+  if (lost) {
+    return;
+  }
+  TimeNs arrival = std::max(base_arrival + pert.extra_delay, link.last_arrival);
+  link.last_arrival = arrival;
+  if (!pert.duplicate) {
+    ploop_->ScheduleCross(src, dst, arrival, receiver_delay, std::move(on_delivery));
+    return;
+  }
+  // Duplicated datagram: both committed copies land on the same destination
+  // partition, so the shared slot is only ever touched by dst's thread.
+  auto shared = std::make_shared<DeliveryFn>(std::move(on_delivery));
+  const TimeNs dup_arrival = std::max(arrival + pert.duplicate_lag, link.last_arrival);
+  link.last_arrival = dup_arrival;
+  ploop_->ScheduleCross(src, dst, arrival, receiver_delay, [shared] { (*shared)(); });
+  ploop_->ScheduleCross(src, dst, dup_arrival, receiver_delay, [shared] { (*shared)(); });
+}
+
+FabricStats Fabric::MergedStats() const {
+  FabricStats merged = stats_;
+  for (const FabricStats& s : shard_stats_) {
+    merged.Accumulate(s);
+  }
+  return merged;
+}
+
+RetryStats Fabric::MergedRetryStats() const {
+  RetryStats merged = retry_stats_;
+  for (const RetryStats& s : shard_retry_) {
+    merged.Accumulate(s);
+  }
+  return merged;
 }
 
 }  // namespace fragvisor

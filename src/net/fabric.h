@@ -35,6 +35,7 @@
 
 #include "src/sim/event_loop.h"
 #include "src/sim/fault_plan.h"
+#include "src/sim/parallel_loop.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -88,6 +89,8 @@ struct FabricStats {
   Counter total_bytes;
 
   void Account(MsgKind kind, uint64_t size);
+  // Folds another stats block in — used to merge per-node shards.
+  void Accumulate(const FabricStats& other);
 };
 
 // Retransmission behavior of the reliable channel (active only with a fault
@@ -113,6 +116,13 @@ struct RetryStats {
     send_failures.Init(num_nodes);
     dups_suppressed.Init(num_nodes);
   }
+
+  void Accumulate(const RetryStats& other) {
+    retransmits.Accumulate(other.retransmits);
+    timeouts.Accumulate(other.timeouts);
+    send_failures.Accumulate(other.send_failures);
+    dups_suppressed.Accumulate(other.dups_suppressed);
+  }
 };
 
 class Fabric {
@@ -122,10 +132,31 @@ class Fabric {
   // Creates a fabric over `num_nodes` nodes; all links default to `defaults`.
   Fabric(EventLoop* loop, int num_nodes, LinkParams defaults);
 
+  // Parallel-core fabric: node n's events execute on partition n of `ploop`,
+  // and every cross-node delivery is committed through the destination
+  // partition's mailbox. Requires one partition per node and a lookahead no
+  // larger than the minimum link latency (checked here and in
+  // SetLinkParams). Stats are sharded per sending node — read them through
+  // MergedStats()/MergedRetryStats().
+  Fabric(ParallelEventLoop* ploop, int num_nodes, LinkParams defaults);
+
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
   int num_nodes() const { return num_nodes_; }
+
+  // True when this fabric runs on the partitioned parallel core.
+  bool parallel() const { return ploop_ != nullptr; }
+
+  // The loop `node`'s events execute on: its partition in parallel mode, the
+  // single shared loop otherwise. Protocol layers must schedule node-local
+  // work (handler costs, retries, timeouts) here, never on a global loop.
+  EventLoop* node_loop(NodeId node) {
+    if (ploop_ == nullptr) {
+      return loop_;
+    }
+    return ploop_->partition(node);
+  }
 
   // Overrides the parameters of the directed link src -> dst.
   void SetLinkParams(NodeId src, NodeId dst, LinkParams params);
@@ -176,8 +207,13 @@ class Fabric {
   FabricStats& mutable_stats() { return stats_; }
   const RetryStats& retry_stats() const { return retry_stats_; }
 
+  // Serial stats plus every per-node shard. In serial mode this equals
+  // stats()/retry_stats(); in parallel mode it is the only complete view.
+  FabricStats MergedStats() const;
+  RetryStats MergedRetryStats() const;
+
   // Total payload bytes placed on the wire so far (excludes loopback).
-  uint64_t wire_bytes() const { return stats_.total_bytes.value(); }
+  uint64_t wire_bytes() const { return MergedStats().total_bytes.value(); }
 
  private:
   static constexpr uint32_t kNpos = 0xffffffffu;
@@ -216,12 +252,45 @@ class Fabric {
     return (static_cast<PendingId>(gen) << 32) | (slot + 1);
   }
 
+  // One in-flight reliable message in parallel mode. Heap-allocated and
+  // entirely owned by the *sending* partition: the retransmit clock, every
+  // copy's computed arrival time, and the win/fail decision are all src-local
+  // (arrival times on a link are non-decreasing in scheduling order thanks to
+  // the last_arrival clamp, so the first transmitted copy is always the one
+  // the receiver accepts — the whole state machine can run at the sender).
+  // `refs` counts the src-local events still holding the pointer.
+  struct ParPending {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    MsgKind kind = MsgKind::kControl;
+    uint64_t size = 0;
+    TimeNs receiver_delay = 0;
+    DeliveryFn on_delivery;
+    DeliveryFn on_fail;
+    int attempts = 0;
+    int refs = 0;
+    bool winner_scheduled = false;  // the accepted copy's delivery is committed
+    bool settled = false;           // the winner's arrival instant has passed
+    bool failed = false;
+    CrossEventId winner = kInvalidCrossEventId;
+    EventId timer = kInvalidEventId;
+  };
+
   LinkState& LinkFor(NodeId src, NodeId dst);
   void ValidateNode(NodeId n) const;
 
-  // Computes the arrival time of `size` bytes put on `link` now, advancing
-  // the link's serialization horizon. Identical for raw and reliable paths.
-  TimeNs WireArrival(LinkState& link, uint64_t size);
+  // Stats shard for traffic sent by `src` (parallel), or the global block.
+  FabricStats& StatsFor(NodeId src) {
+    return shard_stats_.empty() ? stats_ : shard_stats_[static_cast<size_t>(src)];
+  }
+  RetryStats& RetryStatsFor(NodeId src) {
+    return shard_retry_.empty() ? retry_stats_ : shard_retry_[static_cast<size_t>(src)];
+  }
+
+  // Computes the arrival time of `size` bytes put on `link` at `now`,
+  // advancing the link's serialization horizon. Identical for raw and
+  // reliable paths.
+  TimeNs WireArrival(LinkState& link, uint64_t size, TimeNs now);
 
   uint32_t AllocPending();
   void FreePending(uint32_t slot);
@@ -234,11 +303,32 @@ class Fabric {
   void OnRetryTimeout(PendingId id);
   void FailPending(PendingId id);
 
+  // Parallel-mode send paths; run entirely on the sending partition.
+  void SendParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery,
+                    TimeNs receiver_delay, DeliveryFn on_fail);
+  void SendDatagramParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
+                            DeliveryFn on_delivery, TimeNs receiver_delay);
+  void AttemptParallel(ParPending* p);
+  void OnWinnerSettled(ParPending* p);
+  void OnRetryTimeoutParallel(ParPending* p);
+  void FailParallel(ParPending* p);
+  void Unref(ParPending* p) {
+    FV_CHECK_GT(p->refs, 0);
+    if (--p->refs == 0) {
+      delete p;
+    }
+  }
+
   EventLoop* loop_;
+  ParallelEventLoop* ploop_ = nullptr;
   int num_nodes_;
   LinkParams defaults_;
   std::map<std::pair<NodeId, NodeId>, LinkState> links_;
   FabricStats stats_;
+  // Per-sending-node shards (parallel mode only): a link (src, dst) is only
+  // ever touched from src's partition, so shard writes never race.
+  std::vector<FabricStats> shard_stats_;
+  std::vector<RetryStats> shard_retry_;
 
   FaultPlan* plan_ = nullptr;
   RetryPolicy policy_;

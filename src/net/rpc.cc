@@ -20,8 +20,18 @@ const char* QosClassName(QosClass cls) {
 
 RpcLayer::RpcLayer(EventLoop* loop, Fabric* fabric, RpcConfig config)
     : loop_(loop), fabric_(fabric), config_(config) {
-  FV_CHECK(loop != nullptr);
   FV_CHECK(fabric != nullptr);
+  if (fabric->parallel()) {
+    // Per-node stats shards replace the single block; the QoS scheduler and
+    // ack coalescing keep cross-partition shared state (link queues drained
+    // by a global pump, round counters decremented at targets) and are not
+    // supported on the parallel core.
+    FV_CHECK(!config.qos.enabled);
+    FV_CHECK(!config.coalesced_acks);
+    shards_.resize(static_cast<size_t>(fabric->num_nodes()));
+  } else {
+    FV_CHECK(loop != nullptr);
+  }
   FV_CHECK_GT(config.qos.quantum_bytes, 0u);
   for (const uint32_t w : config.qos.weights) {
     FV_CHECK_GT(w, 0u);
@@ -48,21 +58,21 @@ Fabric::DeliveryFn RpcLayer::ResolveDelivery(NodeId src, NodeId dst, MsgKind kin
   };
 }
 
-Fabric::DeliveryFn RpcLayer::MakeFailFn(CallOpts& opts) {
+Fabric::DeliveryFn RpcLayer::MakeFailFn(NodeId src, CallOpts& opts) {
   if (opts.abort_counter == nullptr && opts.abort_event == nullptr) {
     // No declarative bookkeeping: hand the caller's continuation (possibly
     // null — the fabric then drops silently) straight through, keeping hot
     // protocol paths free of a wrapper closure.
     return std::move(opts.on_fail);
   }
-  return [this, counter = opts.abort_counter, event = opts.abort_event,
+  return [this, src, counter = opts.abort_counter, event = opts.abort_event,
           detail = opts.abort_detail, on_fail = std::move(opts.on_fail)]() mutable {
-    stats_.call_failures.Add(1);
+    S(src).call_failures.Add(1);
     if (counter != nullptr) {
       counter->Add(1);
     }
     if (event != nullptr) {
-      loop_->Trace(TraceCategory::kFault, event, detail != nullptr ? detail : "");
+      NodeLoop(src)->Trace(TraceCategory::kFault, event, detail != nullptr ? detail : "");
     }
     if (on_fail != nullptr) {
       on_fail();
@@ -72,16 +82,16 @@ Fabric::DeliveryFn RpcLayer::MakeFailFn(CallOpts& opts) {
 
 void RpcLayer::Call(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
                     EventLoop::Callback on_done, CallOpts opts) {
-  stats_.calls.Add(1);
+  S(src).calls.Add(1);
   Account(opts.account, bytes);
-  Fabric::DeliveryFn on_fail = MakeFailFn(opts);
+  Fabric::DeliveryFn on_fail = MakeFailFn(src, opts);
   Dispatch(src, dst, kind, bytes, ResolveDelivery(src, dst, kind, bytes, opts.token,
                                                   std::move(on_done)),
            opts.receiver_delay, std::move(on_fail), opts.qos);
 }
 
 void RpcLayer::Notify(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes, CallOpts opts) {
-  stats_.notifies.Add(1);
+  S(src).notifies.Add(1);
   Call(src, dst, kind, bytes, nullptr, std::move(opts));
 }
 
@@ -111,21 +121,21 @@ void RpcLayer::CallWithRetry(NodeId src, NodeId dst, MsgKind kind, uint64_t byte
   *issue = [this, src, dst, kind, bytes, ctx, weak_issue, qos = opts.qos,
             receiver_delay = opts.receiver_delay, account = opts.account]() {
     auto self = weak_issue.lock();
-    stats_.calls.Add(1);
+    S(src).calls.Add(1);
     Account(account, bytes);
     Dispatch(
         src, dst, kind, bytes, [ctx]() { ctx->on_done(); }, receiver_delay,
         [this, src, ctx, self]() {
           const RetrySpec& s = ctx->spec;
           if (!fabric_->NodeUp(src)) {
-            stats_.abandons.Add(1);
+            S(src).abandons.Add(1);
             if (s.abandon_counter != nullptr) {
               s.abandon_counter->Add(src);
             }
             if (s.trace_abandon != nullptr) {
-              loop_->Trace(TraceCategory::kFault, s.trace_abandon,
-                           "node=" + std::to_string(src) + " " + s.token_key + "=" +
-                               std::to_string(s.token));
+              NodeLoop(src)->Trace(TraceCategory::kFault, s.trace_abandon,
+                                   "node=" + std::to_string(src) + " " + s.token_key + "=" +
+                                       std::to_string(s.token));
             }
             if (ctx->on_abandon != nullptr) {
               ctx->on_abandon();
@@ -133,19 +143,19 @@ void RpcLayer::CallWithRetry(NodeId src, NodeId dst, MsgKind kind, uint64_t byte
             return;
           }
           ++ctx->attempts;
-          stats_.retries.Add(1);
+          S(src).retries.Add(1);
           if (s.retry_counter != nullptr) {
             s.retry_counter->Add(src);
           }
           if (s.trace_retry != nullptr) {
-            loop_->Trace(TraceCategory::kFault, s.trace_retry,
-                         "node=" + std::to_string(src) + " " + s.token_key + "=" +
-                             std::to_string(s.token) + " attempt=" +
-                             std::to_string(ctx->attempts));
+            NodeLoop(src)->Trace(TraceCategory::kFault, s.trace_retry,
+                                 "node=" + std::to_string(src) + " " + s.token_key + "=" +
+                                     std::to_string(s.token) + " attempt=" +
+                                     std::to_string(ctx->attempts));
           }
           const int shift = std::min(ctx->attempts, s.backoff_max_shift);
           const TimeNs backoff = std::min(s.backoff_base << shift, s.backoff_cap);
-          loop_->ScheduleAfter(backoff, [self]() { (*self)(); });
+          NodeLoop(src)->ScheduleAfter(backoff, [self]() { (*self)(); });
         },
         qos);
   };
@@ -154,7 +164,7 @@ void RpcLayer::CallWithRetry(NodeId src, NodeId dst, MsgKind kind, uint64_t byte
 
 void RpcLayer::Datagram(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
                         EventLoop::Callback on_done, TimeNs receiver_delay, uint64_t token) {
-  stats_.datagrams.Add(1);
+  S(src).datagrams.Add(1);
   fabric_->SendDatagram(src, dst, kind, bytes,
                         ResolveDelivery(src, dst, kind, bytes, token, std::move(on_done)),
                         receiver_delay);
@@ -165,6 +175,11 @@ void RpcLayer::Multicast(NodeId src, const std::vector<NodeId>& targets, MsgKind
                          EventLoop::Callback on_all_acked, MulticastOpts opts) {
   FV_CHECK(!targets.empty());
   FV_CHECK(on_target != nullptr);
+  // Serial engine only: the shared round state (pending countdown, failure
+  // latch, byte accounting) is decremented from every target's partition as
+  // acks issue, which cannot be made partition-local. Parallel-core protocols
+  // fan out with independent Call()s instead.
+  FV_CHECK(!fabric_->parallel());
   stats_.multicast_rounds.Add(1);
 
   // Shared round state: all per-hop closures reference it, keeping each one

@@ -80,6 +80,20 @@ struct RpcStats {
   Counter multicast_targets;
   Counter acks_coalesced;     // explicit ack messages elided by coalescing
   Counter qos_deferred;       // messages that waited in a QoS link queue
+
+  // Folds another stats block in — used to merge per-node shards.
+  void Accumulate(const RpcStats& other) {
+    calls.Accumulate(other.calls);
+    datagrams.Accumulate(other.datagrams);
+    call_failures.Accumulate(other.call_failures);
+    retries.Accumulate(other.retries);
+    abandons.Accumulate(other.abandons);
+    notifies.Accumulate(other.notifies);
+    multicast_rounds.Accumulate(other.multicast_rounds);
+    multicast_targets.Accumulate(other.multicast_targets);
+    acks_coalesced.Accumulate(other.acks_coalesced);
+    qos_deferred.Accumulate(other.qos_deferred);
+  }
 };
 
 class RpcLayer {
@@ -146,6 +160,12 @@ class RpcLayer {
     std::function<void()> on_fail;
   };
 
+  // On a parallel-core fabric (fabric->parallel()), pass loop == nullptr:
+  // every node-local schedule/trace then goes through that node's partition
+  // loop. The QoS scheduler and ack coalescing keep cross-partition shared
+  // state and are rejected in that mode; all other entry points work
+  // unchanged. All Bind() calls must happen before the run starts (the
+  // handler map is read concurrently).
   RpcLayer(EventLoop* loop, Fabric* fabric, RpcConfig config = RpcConfig());
 
   RpcLayer(const RpcLayer&) = delete;
@@ -210,6 +230,16 @@ class RpcLayer {
   const RpcConfig& config() const { return config_; }
   const RpcStats& stats() const { return stats_; }
 
+  // Serial stats plus every per-node shard; the only complete view on a
+  // parallel-core fabric.
+  RpcStats MergedStats() const {
+    RpcStats merged = stats_;
+    for (const RpcStats& s : shards_) {
+      merged.Accumulate(s);
+    }
+    return merged;
+  }
+
  private:
   struct QueuedMsg {
     MsgKind kind = MsgKind::kControl;
@@ -235,8 +265,19 @@ class RpcLayer {
     }
   }
 
+  // The loop `node`'s work runs on (its partition under the parallel core).
+  EventLoop* NodeLoop(NodeId node) { return fabric_->node_loop(node); }
+
+  // Stats shard of the node whose partition is executing (parallel mode), or
+  // the single global block. Every counter bump must name the node it runs
+  // on so shard writes stay partition-local.
+  RpcStats& S(NodeId node) {
+    return shards_.empty() ? stats_ : shards_[static_cast<size_t>(node)];
+  }
+
   // Builds the fabric on_fail callback realizing CallOpts' bookkeeping.
-  Fabric::DeliveryFn MakeFailFn(CallOpts& opts);
+  // The failure runs on `src`'s partition in parallel mode.
+  Fabric::DeliveryFn MakeFailFn(NodeId src, CallOpts& opts);
 
   // Routes one reliable message: straight to the fabric, or through the
   // QoS link queues when the scheduler is enabled.
@@ -252,12 +293,13 @@ class RpcLayer {
   void PumpLink(NodeId src, NodeId dst);
   QueuedMsg PickNext(LinkQueue& lq);
 
-  EventLoop* loop_;
+  EventLoop* loop_;  // null on a parallel-core fabric
   Fabric* fabric_;
   RpcConfig config_;
   std::map<std::pair<NodeId, uint8_t>, Handler> handlers_;
   std::map<std::pair<NodeId, NodeId>, LinkQueue> qos_links_;
   RpcStats stats_;
+  std::vector<RpcStats> shards_;  // per-node (parallel mode only)
 };
 
 }  // namespace fragvisor

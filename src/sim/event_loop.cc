@@ -165,6 +165,20 @@ size_t EventLoop::RunWhile(const std::function<bool()>& keep_going, TimeNs deadl
   return dispatched;
 }
 
+size_t EventLoop::RunBelow(TimeNs horizon) {
+  stopped_ = false;
+  size_t dispatched = 0;
+  while (!stopped_) {
+    if (heap_.empty() || slots_[heap_[0]].time >= horizon) {
+      break;
+    }
+    if (DispatchOne()) {
+      ++dispatched;
+    }
+  }
+  return dispatched;
+}
+
 size_t EventLoop::RunUntil(TimeNs deadline) {
   FV_CHECK_GE(deadline, now_);
   stopped_ = false;

@@ -72,6 +72,19 @@ class EventLoop {
   // now() is the time of the last event dispatched).
   size_t RunUntil(TimeNs deadline);
 
+  // Runs events with timestamp strictly < `horizon`; now() is left at the
+  // last dispatched event (no artificial advance). This is the window
+  // primitive of the conservative parallel core (ParallelEventLoop): a
+  // partition executes exactly the events that no cross-partition message
+  // can still preempt.
+  size_t RunBelow(TimeNs horizon);
+
+  // Timestamp of the earliest pending event, or kNoPendingEvent when empty.
+  static constexpr TimeNs kNoPendingEvent = INT64_MAX;
+  TimeNs next_event_time() const {
+    return heap_.empty() ? kNoPendingEvent : slots_[heap_[0]].time;
+  }
+
   // Runs for `duration` of simulated time from now().
   size_t RunFor(TimeNs duration) { return RunUntil(now_ + duration); }
 

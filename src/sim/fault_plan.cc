@@ -5,6 +5,7 @@
 
 #include "src/sim/check.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/parallel_loop.h"
 
 namespace fragvisor {
 
@@ -116,34 +117,65 @@ const LinkFaultProfile* FaultPlan::ProfileFor(int32_t src, int32_t dst) const {
   return have_default_profile_ ? &default_profile_ : nullptr;
 }
 
-FaultPlan::Perturbation FaultPlan::Perturb(int32_t src, int32_t dst, TimeNs now) {
-  (void)now;
+void FaultPlan::EnablePerNodeStreams(int num_nodes) {
+  FV_CHECK_GT(num_nodes, 0);
+  FV_CHECK(node_rngs_.empty());  // enable once, before the first Perturb()
+  node_rngs_.reserve(static_cast<size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    // Seeded off the plan seed alone (not the legacy stream), so enabling
+    // the per-node streams never disturbs single-stream replays.
+    node_rngs_.emplace_back(seed_ ^ (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(n + 1)));
+  }
+  shard_stats_.assign(static_cast<size_t>(num_nodes), FaultPlanStats());
+}
+
+FaultPlan::Perturbation FaultPlan::PerturbWith(Rng& rng, FaultPlanStats& stats, int32_t src,
+                                               int32_t dst) {
   Perturbation out;
   const LinkFaultProfile* profile = ProfileFor(src, dst);
   if (profile == nullptr || !profile->active()) {
     return out;  // no RNG draw: inactive links cost nothing
   }
-  if (profile->drop_prob > 0.0 && rng_.Chance(profile->drop_prob)) {
+  if (profile->drop_prob > 0.0 && rng.Chance(profile->drop_prob)) {
     out.drop = true;
-    stats_.messages_dropped.Add();
+    stats.messages_dropped.Add();
     return out;  // a dropped message is neither duplicated nor delayed
   }
   if (profile->extra_delay_max > 0) {
-    out.extra_delay = rng_.UniformInt(0, profile->extra_delay_max);
+    out.extra_delay = rng.UniformInt(0, profile->extra_delay_max);
     if (out.extra_delay > 0) {
-      stats_.messages_delayed.Add();
+      stats.messages_delayed.Add();
     }
   }
-  if (profile->dup_prob > 0.0 && rng_.Chance(profile->dup_prob)) {
+  if (profile->dup_prob > 0.0 && rng.Chance(profile->dup_prob)) {
     out.duplicate = true;
     // The copy trails the original by a small sub-latency lag so it lands as
     // a distinct later event on the same link.
-    out.duplicate_lag = rng_.UniformInt(1, profile->extra_delay_max > 0
-                                               ? profile->extra_delay_max
-                                               : TimeNs{1000});
-    stats_.messages_duplicated.Add();
+    out.duplicate_lag = rng.UniformInt(1, profile->extra_delay_max > 0
+                                              ? profile->extra_delay_max
+                                              : TimeNs{1000});
+    stats.messages_duplicated.Add();
   }
   return out;
+}
+
+FaultPlan::Perturbation FaultPlan::Perturb(int32_t src, int32_t dst, TimeNs now) {
+  (void)now;
+  if (per_node_streams()) {
+    FV_CHECK_GE(src, 0);
+    FV_CHECK_LT(static_cast<size_t>(src), node_rngs_.size());
+    return PerturbWith(node_rngs_[static_cast<size_t>(src)],
+                       shard_stats_[static_cast<size_t>(src)], src, dst);
+  }
+  return PerturbWith(rng_, stats_, src, dst);
+}
+
+FaultPlanStats FaultPlan::MergedStats() const {
+  FaultPlanStats merged = stats_;
+  for (const FaultPlanStats& s : shard_stats_) {
+    merged.Accumulate(s);
+  }
+  return merged;
 }
 
 void FaultPlan::Arm(EventLoop* loop) {
@@ -152,6 +184,7 @@ void FaultPlan::Arm(EventLoop* loop) {
     return;
   }
   FV_CHECK(loop_ == nullptr);  // a plan arms against exactly one loop
+  FV_CHECK(ploop_ == nullptr);
   loop_ = loop;
   for (const auto& [node, v] : transitions_) {
     for (const NodeTransition& t : v) {
@@ -163,39 +196,77 @@ void FaultPlan::Arm(EventLoop* loop) {
   }
 }
 
+void FaultPlan::ArmParallel(ParallelEventLoop* ploop) {
+  FV_CHECK(ploop != nullptr);
+  if (ploop_ == ploop) {
+    return;
+  }
+  FV_CHECK(loop_ == nullptr);   // a plan arms against exactly one engine
+  FV_CHECK(ploop_ == nullptr);
+  FV_CHECK(per_node_streams());
+  FV_CHECK_LE(shard_stats_.size(), static_cast<size_t>(ploop->num_partitions()));
+  ploop_ = ploop;
+  for (const auto& [node, v] : transitions_) {
+    for (const NodeTransition& t : v) {
+      ArmNodeTransition(node, t);
+    }
+  }
+  for (const Partition& p : partitions_) {
+    ArmPartition(p);
+  }
+}
+
 void FaultPlan::ArmNodeTransition(int32_t node, const NodeTransition& t) {
-  if (loop_ == nullptr) {
+  EventLoop* loop = loop_;
+  FaultPlanStats* stats = &stats_;
+  if (ploop_ != nullptr) {
+    // The marker runs inside the node's own partition and stamps the node's
+    // stats shard, keeping every counter write partition-local.
+    FV_CHECK_LT(static_cast<size_t>(node), shard_stats_.size());
+    loop = ploop_->partition(node);
+    stats = &shard_stats_[static_cast<size_t>(node)];
+  }
+  if (loop == nullptr) {
     return;  // Arm() will schedule it later
   }
-  const TimeNs when = std::max(t.at, loop_->now());
+  const TimeNs when = std::max(t.at, loop->now());
   if (t.up) {
-    loop_->ScheduleAt(when, [this, node] {
-      stats_.node_restarts.Add();
-      loop_->Trace(TraceCategory::kFault, "node_restart", "node=" + std::to_string(node));
+    loop->ScheduleAt(when, [loop, stats, node] {
+      stats->node_restarts.Add();
+      loop->Trace(TraceCategory::kFault, "node_restart", "node=" + std::to_string(node));
     });
   } else {
-    loop_->ScheduleAt(when, [this, node] {
-      stats_.node_crashes.Add();
-      loop_->Trace(TraceCategory::kFault, "node_crash", "node=" + std::to_string(node));
+    loop->ScheduleAt(when, [loop, stats, node] {
+      stats->node_crashes.Add();
+      loop->Trace(TraceCategory::kFault, "node_crash", "node=" + std::to_string(node));
     });
   }
 }
 
 void FaultPlan::ArmPartition(const Partition& p) {
-  if (loop_ == nullptr) {
+  EventLoop* loop = loop_;
+  FaultPlanStats* stats = &stats_;
+  if (ploop_ != nullptr) {
+    // Both cut/heal markers live on the lower endpoint's partition.
+    const int32_t owner = std::min(p.a, p.b);
+    FV_CHECK_LT(static_cast<size_t>(owner), shard_stats_.size());
+    loop = ploop_->partition(owner);
+    stats = &shard_stats_[static_cast<size_t>(owner)];
+  }
+  if (loop == nullptr) {
     return;
   }
   const int32_t a = p.a;
   const int32_t b = p.b;
-  loop_->ScheduleAt(std::max(p.from, loop_->now()), [this, a, b] {
-    stats_.partitions_cut.Add();
-    loop_->Trace(TraceCategory::kFault, "partition_cut",
-                 "link=" + std::to_string(a) + "<->" + std::to_string(b));
+  loop->ScheduleAt(std::max(p.from, loop->now()), [loop, stats, a, b] {
+    stats->partitions_cut.Add();
+    loop->Trace(TraceCategory::kFault, "partition_cut",
+                "link=" + std::to_string(a) + "<->" + std::to_string(b));
   });
-  loop_->ScheduleAt(std::max(p.until, loop_->now()), [this, a, b] {
-    stats_.partitions_healed.Add();
-    loop_->Trace(TraceCategory::kFault, "partition_heal",
-                 "link=" + std::to_string(a) + "<->" + std::to_string(b));
+  loop->ScheduleAt(std::max(p.until, loop->now()), [loop, stats, a, b] {
+    stats->partitions_healed.Add();
+    loop->Trace(TraceCategory::kFault, "partition_heal",
+                "link=" + std::to_string(a) + "<->" + std::to_string(b));
   });
 }
 

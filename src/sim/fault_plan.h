@@ -33,6 +33,7 @@
 namespace fragvisor {
 
 class EventLoop;
+class ParallelEventLoop;
 
 // Stochastic perturbation profile for one directed link.
 struct LinkFaultProfile {
@@ -53,6 +54,17 @@ struct FaultPlanStats {
   Counter node_restarts;
   Counter partitions_cut;
   Counter partitions_healed;
+
+  // Folds another stats block in — used to merge per-node shards.
+  void Accumulate(const FaultPlanStats& other) {
+    messages_dropped.Accumulate(other.messages_dropped);
+    messages_duplicated.Accumulate(other.messages_duplicated);
+    messages_delayed.Accumulate(other.messages_delayed);
+    node_crashes.Accumulate(other.node_crashes);
+    node_restarts.Accumulate(other.node_restarts);
+    partitions_cut.Accumulate(other.partitions_cut);
+    partitions_healed.Accumulate(other.partitions_healed);
+  }
 };
 
 class FaultPlan {
@@ -104,16 +116,46 @@ class FaultPlan {
   // Decides the fate of one message on src -> dst sent at `now`. Consumes
   // RNG draws only when the link has an active profile; calls happen in
   // deterministic event order, so the decision stream replays exactly.
+  //
+  // With per-node streams enabled, the draw comes from `src`'s private
+  // stream and the bookkeeping lands in `src`'s stats shard — the decision
+  // then depends only on src-local event order, which is what makes the plan
+  // usable (and replayable at any thread count) under the parallel core.
   Perturbation Perturb(int32_t src, int32_t dst, TimeNs now);
+
+  // Switches Perturb() to one independent RNG stream (forked off the seed)
+  // and one stats shard per sending node. Call before the first Perturb();
+  // the legacy single-stream path is untouched when this is never called, so
+  // existing seeds replay byte-identically.
+  void EnablePerNodeStreams(int num_nodes);
+  bool per_node_streams() const { return !node_rngs_.empty(); }
+
+  // Stats shard of one sending node (valid after EnablePerNodeStreams).
+  // Transports running node-parallel must account losses here, never in
+  // mutable_stats().
+  FaultPlanStats& ShardStats(int32_t node) {
+    FV_CHECK_GE(node, 0);
+    FV_CHECK_LT(static_cast<size_t>(node), shard_stats_.size());
+    return shard_stats_[static_cast<size_t>(node)];
+  }
 
   // Schedules the crash/restart/partition transition markers on `loop`
   // (Fabric::AttachFaultPlan calls this). Transitions added after Arm() are
   // scheduled immediately.
   void Arm(EventLoop* loop);
-  bool armed() const { return loop_ != nullptr; }
+  // Parallel-core variant: each transition marker is scheduled on the
+  // partition loop of the node it concerns (partitions on the lower
+  // endpoint), stamping that node's stats shard. Requires per-node streams.
+  // Mid-run schedule additions are not supported in this mode.
+  void ArmParallel(ParallelEventLoop* ploop);
+  bool armed() const { return loop_ != nullptr || ploop_ != nullptr; }
 
   const FaultPlanStats& stats() const { return stats_; }
   FaultPlanStats& mutable_stats() { return stats_; }
+
+  // Base stats plus every per-node shard (order-independent sums, so the
+  // merged view is identical at any worker count).
+  FaultPlanStats MergedStats() const;
 
  private:
   struct NodeTransition {
@@ -128,11 +170,14 @@ class FaultPlan {
   };
 
   const LinkFaultProfile* ProfileFor(int32_t src, int32_t dst) const;
+  Perturbation PerturbWith(Rng& rng, FaultPlanStats& stats, int32_t src, int32_t dst);
   void ArmNodeTransition(int32_t node, const NodeTransition& t);
   void ArmPartition(const Partition& p);
 
   uint64_t seed_;
   Rng rng_;
+  std::vector<Rng> node_rngs_;              // per-node streams (may be empty)
+  std::vector<FaultPlanStats> shard_stats_; // parallel-safe per-node shards
   LinkFaultProfile default_profile_;
   bool have_default_profile_ = false;
   std::map<std::pair<int32_t, int32_t>, LinkFaultProfile> link_profiles_;
@@ -140,6 +185,7 @@ class FaultPlan {
   std::map<int32_t, std::vector<NodeTransition>> transitions_;
   std::vector<Partition> partitions_;
   EventLoop* loop_ = nullptr;
+  ParallelEventLoop* ploop_ = nullptr;
   FaultPlanStats stats_;
 };
 

@@ -1,0 +1,223 @@
+#include "src/sim/parallel_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fragvisor {
+namespace {
+
+// Which partition the current thread is executing a window for (-1 outside a
+// window). Enforces the SPSC lane discipline: during a window, only the
+// worker that owns partition `src` may write the (src, *) lanes.
+thread_local int tl_current_partition = -1;
+
+}  // namespace
+
+ParallelEventLoop::ParallelEventLoop(Options options) : opt_(options) {
+  FV_CHECK_GE(opt_.num_partitions, 1);
+  FV_CHECK_LT(opt_.num_partitions, 1 << 16);  // CrossEventId packs 16-bit ids
+  FV_CHECK_GE(opt_.num_threads, 1);
+  FV_CHECK_GE(opt_.lookahead, 1);
+  opt_.num_threads = std::min(opt_.num_threads, opt_.num_partitions);
+
+  parts_.reserve(static_cast<size_t>(opt_.num_partitions));
+  for (int p = 0; p < opt_.num_partitions; ++p) {
+    parts_.push_back(std::make_unique<Partition>());
+  }
+  lanes_.resize(static_cast<size_t>(opt_.num_partitions) *
+                static_cast<size_t>(opt_.num_partitions));
+
+  // Thread 0 is the coordinating (calling) thread; it runs its own share of
+  // partitions inside each window, so only num_threads - 1 workers spawn.
+  for (int ti = 1; ti < opt_.num_threads; ++ti) {
+    workers_.emplace_back([this, ti]() { WorkerMain(ti); });
+  }
+}
+
+ParallelEventLoop::~ParallelEventLoop() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) {
+      w.join();
+    }
+  }
+}
+
+TimeNs ParallelEventLoop::now_max() const {
+  TimeNs t = 0;
+  for (const auto& p : parts_) {
+    t = std::max(t, p->loop.now());
+  }
+  return t;
+}
+
+CrossEventId ParallelEventLoop::ScheduleCross(int src, int dst, TimeNs when,
+                                              TimeNs relay_delay, Callback cb,
+                                              bool cancellable) {
+  FV_CHECK_GE(src, 0);
+  FV_CHECK_LT(src, opt_.num_partitions);
+  FV_CHECK_GE(dst, 0);
+  FV_CHECK_LT(dst, opt_.num_partitions);
+  FV_CHECK(cb != nullptr);
+  FV_CHECK_GE(relay_delay, 0);
+  // Conservative lookahead contract: nothing may land inside the window that
+  // is currently executing (or, between windows, inside the last one).
+  FV_CHECK_GE(when, horizon_);
+  if (running_) {
+    FV_CHECK_EQ(src, tl_current_partition);
+  }
+
+  CrossEventId token = kInvalidCrossEventId;
+  if (cancellable) {
+    Partition& s = *parts_[static_cast<size_t>(src)];
+    FV_CHECK_LT(s.next_token, 0xffffffffu);
+    token = (static_cast<uint64_t>(src) << 48) |
+            (static_cast<uint64_t>(dst) << 32) | s.next_token++;
+  }
+  LaneFor(src, dst).entries.push_back({token, when, relay_delay, /*cancel=*/false, std::move(cb)});
+  return token;
+}
+
+bool ParallelEventLoop::CancelCross(int from, CrossEventId id) {
+  if (id == kInvalidCrossEventId) {
+    return false;
+  }
+  const int src = static_cast<int>(id >> 48);
+  const int dst = static_cast<int>((id >> 32) & 0xffffu);
+  if (src < 0 || src >= opt_.num_partitions || dst < 0 || dst >= opt_.num_partitions) {
+    return false;
+  }
+  FV_CHECK_GE(from, 0);
+  FV_CHECK_LT(from, opt_.num_partitions);
+  if (running_) {
+    FV_CHECK_EQ(from, tl_current_partition);
+  }
+  LaneFor(from, dst).entries.push_back({id, 0, 0, /*cancel=*/true, nullptr});
+  return true;
+}
+
+void ParallelEventLoop::DrainMailboxes() {
+  const int P = opt_.num_partitions;
+  for (int dst = 0; dst < P; ++dst) {
+    Partition& d = *parts_[static_cast<size_t>(dst)];
+    // Pass 1: commit schedules in (src, FIFO) order — this fixes the
+    // destination sequence numbers of equal-time cross events independent of
+    // which thread produced them, and guarantees a cancel mailed in the same
+    // window as its schedule finds the event committed.
+    for (int src = 0; src < P; ++src) {
+      for (MailEntry& e : LaneFor(src, dst).entries) {
+        if (e.cancel) {
+          continue;
+        }
+        ++stats_.mailbox_events;
+        const EventId eid =
+            e.relay > 0 ? d.loop.ScheduleRelay(e.when, e.relay, std::move(e.cb))
+                        : d.loop.ScheduleAt(e.when, std::move(e.cb));
+        if (e.token != kInvalidCrossEventId) {
+          d.cancellable.emplace(e.token, eid);
+        }
+      }
+    }
+    // Pass 2: apply cancels. EventLoop::Cancel rejects handles of events
+    // that already fired (slot generations), which is exactly the "late"
+    // case of the routed-cancel contract.
+    for (int src = 0; src < P; ++src) {
+      Lane& lane = LaneFor(src, dst);
+      for (const MailEntry& e : lane.entries) {
+        if (!e.cancel) {
+          continue;
+        }
+        ++stats_.cross_cancels_routed;
+        auto it = d.cancellable.find(e.token);
+        if (it != d.cancellable.end() && d.loop.Cancel(it->second)) {
+          ++stats_.cross_cancels_applied;
+        } else {
+          ++stats_.cross_cancels_late;
+        }
+        if (it != d.cancellable.end()) {
+          d.cancellable.erase(it);
+        }
+      }
+      lane.entries.clear();
+    }
+  }
+}
+
+void ParallelEventLoop::RunWindows(int thread_index) {
+  for (int p = thread_index; p < opt_.num_partitions; p += opt_.num_threads) {
+    tl_current_partition = p;
+    Partition& part = *parts_[static_cast<size_t>(p)];
+    part.dispatched += part.loop.RunBelow(horizon_);
+  }
+  tl_current_partition = -1;
+}
+
+void ParallelEventLoop::WorkerMain(int thread_index) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = epoch_;
+    }
+    RunWindows(thread_index);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++done_;
+    }
+    cv_.notify_all();
+  }
+}
+
+size_t ParallelEventLoop::Run() {
+  FV_CHECK(!running_);
+  running_ = true;
+  const int num_workers = static_cast<int>(workers_.size());
+  TimeNs last_horizon = 0;
+  for (;;) {
+    DrainMailboxes();
+    TimeNs tmin = EventLoop::kNoPendingEvent;
+    for (const auto& p : parts_) {
+      tmin = std::min(tmin, p->loop.next_event_time());
+    }
+    if (tmin == EventLoop::kNoPendingEvent) {
+      break;
+    }
+    horizon_ = tmin + opt_.lookahead;
+    ++stats_.barriers;
+    stats_.horizon_width_ns.Record(static_cast<double>(horizon_ - last_horizon));
+    last_horizon = horizon_;
+    if (num_workers == 0) {
+      RunWindows(0);
+    } else {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        done_ = 0;
+        ++epoch_;
+      }
+      cv_.notify_all();
+      RunWindows(0);
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return done_ == num_workers; });
+    }
+  }
+  running_ = false;
+
+  stats_.events_dispatched = 0;
+  stats_.events_per_partition.assign(static_cast<size_t>(opt_.num_partitions), 0);
+  for (int p = 0; p < opt_.num_partitions; ++p) {
+    const uint64_t n = parts_[static_cast<size_t>(p)]->dispatched;
+    stats_.events_per_partition[static_cast<size_t>(p)] = n;
+    stats_.events_dispatched += n;
+  }
+  return stats_.events_dispatched;
+}
+
+}  // namespace fragvisor

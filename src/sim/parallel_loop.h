@@ -1,0 +1,191 @@
+// Conservative parallel discrete-event core.
+//
+// The simulation is partitioned into one EventLoop per simulated node, run by
+// a small worker pool. Synchronization is conservative and null-message-free:
+// every cross-partition interaction must arrive at least `lookahead`
+// nanoseconds after it was scheduled (for Fabric traffic the minimum link
+// latency provides that bound), so the coordinator can repeatedly
+//
+//   1. drain all cross-partition mailboxes into the destination queues,
+//   2. compute Tmin = min over partitions of next_event_time(),
+//   3. let every partition execute its own queue up to the safe horizon
+//      Tmin + lookahead in parallel, buffering new cross-partition events
+//      in per-(src,dst) mailbox lanes,
+//   4. barrier and repeat.
+//
+// No event executed inside a window can schedule a cross-partition event
+// inside that same window (arrival >= send_time + lookahead >= Tmin +
+// lookahead = horizon), so partitions never interact intra-window and each
+// window's work is embarrassingly parallel.
+//
+// Determinism contract: the horizon sequence is a pure function of queue
+// state, each partition's queue executes in its own (time, seq) order, and
+// mailbox lanes are drained in a fixed (dst, src, FIFO) order at each
+// barrier — so commit order, and therefore every simulation output, is
+// byte-identical at any worker count, including 1.
+//
+// Memory model: lane vectors are plain (non-atomic) storage. During a window
+// a lane is written only by the thread running its source partition; at a
+// barrier it is read and cleared only by the coordinator. The mutex/condvar
+// window handshake that delimits windows carries the necessary happens-before
+// edges, so writer and reader phases strictly alternate and the lanes are
+// data-race free (ThreadSanitizer-clean) without per-operation
+// synchronization.
+
+#ifndef FRAGVISOR_SRC_SIM_PARALLEL_LOOP_H_
+#define FRAGVISOR_SRC_SIM_PARALLEL_LOOP_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace fragvisor {
+
+// Handle for a *cancellable* cross-partition event: [src:16][dst:16][seq:32],
+// seq drawn from a per-source counter. Non-cancellable cross events (the
+// common case) skip token bookkeeping entirely and get kInvalidCrossEventId.
+using CrossEventId = uint64_t;
+
+inline constexpr CrossEventId kInvalidCrossEventId = 0;
+
+class ParallelEventLoop {
+ public:
+  using Callback = EventLoop::Callback;
+
+  struct Options {
+    int num_partitions = 1;
+    // Worker threads actually running partition windows (partition p is owned
+    // by thread p % num_threads). 1 = no pool: the calling thread runs every
+    // window itself, with the identical windowing algorithm.
+    int num_threads = 1;
+    // Conservative lookahead: every ScheduleCross target must be >= the
+    // current window end, which the caller guarantees by never scheduling
+    // closer than `lookahead` ahead (Fabric: minimum link latency).
+    TimeNs lookahead = 1;
+  };
+
+  struct RunStats {
+    uint64_t barriers = 0;             // windows executed
+    uint64_t events_dispatched = 0;    // across all partitions
+    uint64_t mailbox_events = 0;       // cross deliveries committed
+    uint64_t cross_cancels_routed = 0;
+    uint64_t cross_cancels_applied = 0;
+    uint64_t cross_cancels_late = 0;   // target already fired (or unknown)
+    Summary horizon_width_ns;          // per-barrier horizon advance, in ns
+    std::vector<uint64_t> events_per_partition;
+  };
+
+  explicit ParallelEventLoop(Options options);
+  ~ParallelEventLoop();
+  ParallelEventLoop(const ParallelEventLoop&) = delete;
+  ParallelEventLoop& operator=(const ParallelEventLoop&) = delete;
+
+  int num_partitions() const { return opt_.num_partitions; }
+  int num_threads() const { return opt_.num_threads; }
+  TimeNs lookahead() const { return opt_.lookahead; }
+
+  // The partition-local loop. Partition-local scheduling (ScheduleAt/After/
+  // Relay, Cancel) goes straight to it; during a window only the owning
+  // worker thread may touch it.
+  EventLoop* partition(int p) {
+    FV_CHECK_GE(p, 0);
+    FV_CHECK_LT(p, opt_.num_partitions);
+    return &parts_[static_cast<size_t>(p)]->loop;
+  }
+
+  // Max committed partition clock (end-of-run simulated time).
+  TimeNs now_max() const;
+
+  // Schedules `cb` on partition `dst` at absolute time `when`, from partition
+  // `src`. Must satisfy the lookahead contract: when >= current window end.
+  // If `relay_delay` > 0 the event is committed as a ScheduleRelay (delivery
+  // hop + handler hop) on the destination loop. With cancellable=false
+  // (default) no token is allocated and kInvalidCrossEventId is returned;
+  // with cancellable=true the returned id can be passed to CancelCross.
+  //
+  // May be called from the source partition's callbacks during a window, or
+  // from the coordinating thread while no window is executing (setup).
+  CrossEventId ScheduleCross(int src, int dst, TimeNs when, TimeNs relay_delay,
+                             Callback cb, bool cancellable = false);
+
+  // Requests cancellation of a cancellable cross event. The request is routed
+  // through `from`'s mailbox lane to the owning partition and applied at the
+  // next barrier. Guaranteed to win if the target fires >= one lookahead
+  // after the canceller's current time; otherwise it is best-effort (the
+  // event may fire first, counted as cross_cancels_late). Returns false only
+  // for a malformed handle.
+  bool CancelCross(int from, CrossEventId id);
+
+  // Runs every partition to completion. Returns total events dispatched.
+  size_t Run();
+
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  // One mailbox entry: a cross schedule (cb != nullptr) or a cross cancel
+  // (cb == nullptr, token identifies the victim).
+  struct MailEntry {
+    CrossEventId token = kInvalidCrossEventId;
+    TimeNs when = 0;
+    TimeNs relay = 0;
+    bool cancel = false;  // true: withdraw `token` instead of scheduling `cb`
+    Callback cb;
+  };
+
+  // SPSC lane from one source partition into one destination partition.
+  // Written by the source's worker during a window; drained by the
+  // coordinator at the barrier (see memory-model note above).
+  struct Lane {
+    std::vector<MailEntry> entries;
+  };
+
+  struct Partition {
+    EventLoop loop;
+    uint32_t next_token = 1;  // per-source cancellable-event counter
+    // Committed-but-unfired cancellable events owned by this (dst) partition.
+    // Values may go stale after the event fires; EventLoop::Cancel rejects
+    // stale handles via slot generations, which is how "late" is detected.
+    std::unordered_map<CrossEventId, EventId> cancellable;
+    uint64_t dispatched = 0;
+  };
+
+  Lane& LaneFor(int src, int dst) {
+    return lanes_[static_cast<size_t>(src) * static_cast<size_t>(opt_.num_partitions) +
+                  static_cast<size_t>(dst)];
+  }
+
+  // Coordinator, between windows: commits all lane entries (schedules first,
+  // then cancels) in deterministic (dst, src, FIFO) order.
+  void DrainMailboxes();
+  // Runs every partition owned by `thread_index` up to horizon_.
+  void RunWindows(int thread_index);
+  void WorkerMain(int thread_index);
+
+  Options opt_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<Lane> lanes_;  // [src * P + dst]
+  RunStats stats_;
+
+  // Window handshake. horizon_ is plain data: written by the coordinator
+  // before the epoch bump, read by workers after observing it under mu_.
+  TimeNs horizon_ = 0;
+  bool running_ = false;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t epoch_ = 0;    // guarded by mu_
+  int done_ = 0;          // guarded by mu_
+  bool shutdown_ = false;  // guarded by mu_
+};
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_SIM_PARALLEL_LOOP_H_

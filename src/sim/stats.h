@@ -24,6 +24,9 @@ class Counter {
   void Reset() { value_ = 0; }
   uint64_t value() const { return value_; }
 
+  // Folds another counter in — used to merge per-partition stat shards.
+  void Accumulate(const Counter& other) { value_ += other.value_; }
+
  private:
   uint64_t value_ = 0;
 };
@@ -102,6 +105,15 @@ class NodeCounterSet {
   }
 
   uint64_t total() const { return total_.value(); }
+
+  // Folds another set (of the same width) in, node by node.
+  void Accumulate(const NodeCounterSet& other) {
+    FV_CHECK_EQ(counters_.size(), other.counters_.size());
+    for (size_t i = 0; i < counters_.size(); ++i) {
+      counters_[i].Accumulate(other.counters_[i]);
+    }
+    total_.Accumulate(other.total_);
+  }
 
   void Reset() {
     for (Counter& c : counters_) {

@@ -1,0 +1,427 @@
+#include "src/workload/dsmstorm.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/check.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/rng.h"
+
+namespace fragvisor {
+namespace {
+
+constexpr uint64_t kReadReqBytes = 64;
+constexpr uint64_t kWriteReqBytes = 128;
+constexpr uint64_t kPageBytes = 4096;
+constexpr uint64_t kInvBytes = 64;
+constexpr uint64_t kAckBytes = 64;
+
+// splitmix64: spreads structured ids (node, stream, link endpoints) into
+// independent-looking seeds and jitter values.
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Request token: [gpid : 40][requester : 16][stream : 8]. The home decodes
+// everything it needs to serve and reply without any shared lookup table.
+uint64_t PackToken(int64_t gpid, int32_t node, int stream) {
+  FV_DCHECK(gpid < (int64_t{1} << 40));
+  FV_DCHECK(node < (1 << 16));
+  FV_DCHECK(stream < (1 << 8));
+  return (static_cast<uint64_t>(gpid) << 24) | (static_cast<uint64_t>(node) << 8) |
+         static_cast<uint64_t>(stream);
+}
+
+struct StreamState {
+  Rng rng{0};
+  int remaining = 0;
+};
+
+// Everything below is owned by exactly one node and only ever touched from
+// that node's partition (its own streams, its bound handlers, its reply
+// continuations) — the property that makes the storm race-free on the
+// parallel core without any locking.
+struct NodeState {
+  std::vector<StreamState> streams;
+  std::vector<int64_t> cache;        // direct-mapped: global page id or -1
+  std::vector<uint64_t> version;     // home-side write counts per local page
+  std::vector<int32_t> last_reader;  // home-side: last remote reader or -1
+  StormCounters c;
+};
+
+class Storm {
+ public:
+  Storm(const StormOptions& opts, int threads);
+  StormResult Run();
+
+ private:
+  EventLoop* NodeLoop(int32_t node) {
+    return ploop_ != nullptr ? ploop_->partition(node) : serial_.get();
+  }
+
+  void DoAccess(int32_t node, int stream);
+  void FinishAccess(int32_t node, int stream);
+  void InstallAndResume(int32_t node, int stream, int64_t gpid);
+  void HandleRead(const RpcLayer::Inbound& in);
+  void HandleWrite(const RpcLayer::Inbound& in);
+  void HandleInvalidate(const RpcLayer::Inbound& in);
+  uint64_t Digest() const;
+
+  const StormOptions opts_;
+  const int threads_;
+  std::unique_ptr<EventLoop> serial_;
+  std::unique_ptr<ParallelEventLoop> ploop_;
+  std::unique_ptr<FaultPlan> plan_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<RpcLayer> rpc_;
+  std::vector<NodeState> nodes_;
+};
+
+Storm::Storm(const StormOptions& opts, int threads) : opts_(opts), threads_(threads) {
+  FV_CHECK_GT(opts.num_nodes, 0);
+  FV_CHECK_GT(opts.streams_per_node, 0);
+  FV_CHECK_GT(opts.accesses_per_stream, 0);
+  FV_CHECK_GT(opts.pages_per_node, 0);
+  FV_CHECK_GE(opts.cache_slots, 0);
+  FV_CHECK_GE(threads, 0);
+
+  if (threads > 0) {
+    ParallelEventLoop::Options po;
+    po.num_partitions = opts.num_nodes;
+    po.num_threads = threads;
+    // The base latency is the cluster-wide minimum: jitter only ever adds.
+    po.lookahead = opts.link.latency;
+    ploop_ = std::make_unique<ParallelEventLoop>(po);
+    fabric_ = std::make_unique<Fabric>(ploop_.get(), opts.num_nodes, opts.link);
+  } else {
+    serial_ = std::make_unique<EventLoop>();
+    fabric_ = std::make_unique<Fabric>(serial_.get(), opts.num_nodes, opts.link);
+  }
+
+  if (opts.latency_jitter_ns > 0 && opts.num_nodes > 1) {
+    for (int32_t s = 0; s < opts.num_nodes; ++s) {
+      for (int32_t d = 0; d < opts.num_nodes; ++d) {
+        if (s == d) {
+          continue;
+        }
+        LinkParams lp = opts.link;
+        const uint64_t key =
+            SplitMix(opts.seed ^ (static_cast<uint64_t>(s) << 32 | static_cast<uint32_t>(d)));
+        lp.latency += static_cast<TimeNs>(key % static_cast<uint64_t>(opts.latency_jitter_ns + 1));
+        fabric_->SetLinkParams(s, d, lp);
+      }
+    }
+  }
+
+  if (opts.faulty()) {
+    plan_ = std::make_unique<FaultPlan>(SplitMix(opts.seed ^ 0xfa017ull));
+    // Per-node draw streams on BOTH engines: the serial engine does not need
+    // them for correctness, but using one configuration everywhere keeps the
+    // fault schedule a function of StormOptions alone per engine.
+    plan_->EnablePerNodeStreams(opts.num_nodes);
+    if (opts.drop_prob > 0 || opts.dup_prob > 0 || opts.extra_delay_max > 0) {
+      LinkFaultProfile prof;
+      prof.drop_prob = opts.drop_prob;
+      prof.dup_prob = opts.dup_prob;
+      prof.extra_delay_max = opts.extra_delay_max;
+      plan_->SetDefaultLinkFaults(prof);
+    }
+    if (opts.crash_node >= 0) {
+      FV_CHECK_LT(opts.crash_node, opts.num_nodes);
+      plan_->CrashNode(opts.crash_node, opts.crash_at);
+      if (opts.restart_at > 0) {
+        plan_->RestartNode(opts.crash_node, opts.restart_at);
+      }
+    }
+    if (opts.partition_a >= 0) {
+      FV_CHECK_GE(opts.partition_b, 0);
+      plan_->PartitionLink(opts.partition_a, opts.partition_b, opts.partition_from,
+                           opts.partition_until);
+    }
+    fabric_->AttachFaultPlan(plan_.get());
+  }
+
+  rpc_ = std::make_unique<RpcLayer>(serial_.get(), fabric_.get(), RpcConfig{});
+
+  nodes_.resize(static_cast<size_t>(opts.num_nodes));
+  for (int32_t n = 0; n < opts.num_nodes; ++n) {
+    NodeState& ns = nodes_[static_cast<size_t>(n)];
+    ns.streams.resize(static_cast<size_t>(opts.streams_per_node));
+    for (int s = 0; s < opts.streams_per_node; ++s) {
+      StreamState& st = ns.streams[static_cast<size_t>(s)];
+      st.rng = Rng(SplitMix(opts.seed + 1 +
+                            static_cast<uint64_t>(n) * static_cast<uint64_t>(opts.streams_per_node) +
+                            static_cast<uint64_t>(s)));
+      st.remaining = opts.accesses_per_stream;
+    }
+    ns.cache.assign(static_cast<size_t>(opts.cache_slots), -1);
+    ns.version.assign(static_cast<size_t>(opts.pages_per_node), 0);
+    ns.last_reader.assign(static_cast<size_t>(opts.pages_per_node), -1);
+    rpc_->Bind(n, MsgKind::kDsmReadReq,
+               [this](const RpcLayer::Inbound& in) { HandleRead(in); });
+    rpc_->Bind(n, MsgKind::kDsmWriteReq,
+               [this](const RpcLayer::Inbound& in) { HandleWrite(in); });
+    rpc_->Bind(n, MsgKind::kDsmInvalidate,
+               [this](const RpcLayer::Inbound& in) { HandleInvalidate(in); });
+  }
+
+  // Stagger stream kickoff deterministically so time zero is not one giant tie.
+  for (int32_t n = 0; n < opts.num_nodes; ++n) {
+    for (int s = 0; s < opts.streams_per_node; ++s) {
+      const TimeNs start =
+          Nanos(1 + (static_cast<int64_t>(n) * opts.streams_per_node + s) % 97);
+      NodeLoop(n)->ScheduleAt(start, [this, n, s] { DoAccess(n, s); });
+    }
+  }
+}
+
+void Storm::DoAccess(int32_t node, int stream) {
+  NodeState& ns = nodes_[static_cast<size_t>(node)];
+  StreamState& st = ns.streams[static_cast<size_t>(stream)];
+  FV_DCHECK(st.remaining > 0);
+  Rng& rng = st.rng;
+  const bool remote =
+      opts_.num_nodes > 1 && opts_.remote_frac > 0 && rng.Chance(opts_.remote_frac);
+  if (!remote) {
+    ++ns.c.local_accesses;
+    FinishAccess(node, stream);
+    return;
+  }
+  int32_t home = static_cast<int32_t>(rng.UniformInt(0, opts_.num_nodes - 2));
+  if (home >= node) {
+    ++home;
+  }
+  const int page = static_cast<int>(rng.UniformInt(0, opts_.pages_per_node - 1));
+  const int64_t gpid = static_cast<int64_t>(home) * opts_.pages_per_node + page;
+  const bool is_write = opts_.write_frac > 0 && rng.Chance(opts_.write_frac);
+  if (!is_write && opts_.cache_slots > 0) {
+    const size_t slot = static_cast<size_t>(gpid % opts_.cache_slots);
+    if (ns.cache[slot] == gpid) {
+      ++ns.c.cache_hits;
+      FinishAccess(node, stream);
+      return;
+    }
+  }
+  RpcLayer::CallOpts co;
+  co.token = PackToken(gpid, node, stream);
+  // Reliable-channel give-up: count it here and move on so the stream never
+  // wedges on a lost request.
+  co.on_fail = [this, node, stream] {
+    ++nodes_[static_cast<size_t>(node)].c.failures;
+    FinishAccess(node, stream);
+  };
+  if (is_write) {
+    ++ns.c.remote_writes;
+    rpc_->Notify(node, home, MsgKind::kDsmWriteReq, kWriteReqBytes, std::move(co));
+  } else {
+    ++ns.c.remote_reads;
+    rpc_->Notify(node, home, MsgKind::kDsmReadReq, kReadReqBytes, std::move(co));
+  }
+}
+
+void Storm::FinishAccess(int32_t node, int stream) {
+  StreamState& st = nodes_[static_cast<size_t>(node)].streams[static_cast<size_t>(stream)];
+  if (--st.remaining > 0) {
+    NodeLoop(node)->ScheduleAfter(opts_.think_ns, [this, node, stream] { DoAccess(node, stream); });
+  }
+}
+
+void Storm::InstallAndResume(int32_t node, int stream, int64_t gpid) {
+  NodeState& ns = nodes_[static_cast<size_t>(node)];
+  if (opts_.cache_slots > 0) {
+    const size_t slot = static_cast<size_t>(gpid % opts_.cache_slots);
+    if (ns.cache[slot] >= 0 && ns.cache[slot] != gpid) {
+      ++ns.c.evictions;
+    }
+    ns.cache[slot] = gpid;
+  }
+  FinishAccess(node, stream);
+}
+
+void Storm::HandleRead(const RpcLayer::Inbound& in) {
+  const int32_t home = in.dst;
+  const int64_t gpid = static_cast<int64_t>(in.token >> 24);
+  const int32_t req = static_cast<int32_t>((in.token >> 8) & 0xffff);
+  const int stream = static_cast<int>(in.token & 0xff);
+  NodeState& hs = nodes_[static_cast<size_t>(home)];
+  const size_t page = static_cast<size_t>(gpid % opts_.pages_per_node);
+  ++hs.c.served_reads;
+  // Reader tracking feeds write invalidation; with no caches (or no writes)
+  // it is dead state, and skipping the update keeps the commutative
+  // configuration order-independent across engines.
+  if (opts_.write_frac > 0 && opts_.cache_slots > 0) {
+    hs.last_reader[page] = req;
+  }
+  RpcLayer::CallOpts co;
+  co.on_fail = [this, home] { ++nodes_[static_cast<size_t>(home)].c.failures; };
+  rpc_->Call(home, req, MsgKind::kDsmPageData, kPageBytes,
+             [this, req, stream, gpid] { InstallAndResume(req, stream, gpid); }, std::move(co));
+}
+
+void Storm::HandleWrite(const RpcLayer::Inbound& in) {
+  const int32_t home = in.dst;
+  const int64_t gpid = static_cast<int64_t>(in.token >> 24);
+  const int32_t req = static_cast<int32_t>((in.token >> 8) & 0xffff);
+  const int stream = static_cast<int>(in.token & 0xff);
+  NodeState& hs = nodes_[static_cast<size_t>(home)];
+  const size_t page = static_cast<size_t>(gpid % opts_.pages_per_node);
+  ++hs.c.served_writes;
+  ++hs.version[page];
+  if (opts_.cache_slots > 0) {
+    const int32_t reader = hs.last_reader[page];
+    if (reader >= 0 && reader != req) {
+      hs.last_reader[page] = -1;
+      RpcLayer::CallOpts inv;
+      inv.token = static_cast<uint64_t>(gpid);
+      inv.on_fail = [this, home] { ++nodes_[static_cast<size_t>(home)].c.failures; };
+      rpc_->Notify(home, reader, MsgKind::kDsmInvalidate, kInvBytes, std::move(inv));
+    }
+  }
+  RpcLayer::CallOpts co;
+  co.on_fail = [this, home] { ++nodes_[static_cast<size_t>(home)].c.failures; };
+  rpc_->Call(home, req, MsgKind::kDsmAck, kAckBytes,
+             [this, req, stream] { FinishAccess(req, stream); }, std::move(co));
+}
+
+void Storm::HandleInvalidate(const RpcLayer::Inbound& in) {
+  const int32_t node = in.dst;
+  const int64_t gpid = static_cast<int64_t>(in.token);
+  NodeState& ns = nodes_[static_cast<size_t>(node)];
+  const size_t slot = static_cast<size_t>(gpid % opts_.cache_slots);
+  if (ns.cache[slot] == gpid) {
+    ns.cache[slot] = -1;
+    ++ns.c.invalidations;
+  }
+}
+
+uint64_t Storm::Digest() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis, folded per word
+  const auto mix = [&h](uint64_t v) { h = (h ^ v) * 1099511628211ull; };
+  for (const NodeState& ns : nodes_) {
+    mix(ns.c.local_accesses);
+    mix(ns.c.cache_hits);
+    mix(ns.c.remote_reads);
+    mix(ns.c.remote_writes);
+    mix(ns.c.served_reads);
+    mix(ns.c.served_writes);
+    mix(ns.c.invalidations);
+    mix(ns.c.evictions);
+    mix(ns.c.failures);
+    for (const uint64_t v : ns.version) {
+      mix(v);
+    }
+    for (const int32_t r : ns.last_reader) {
+      mix(static_cast<uint64_t>(static_cast<int64_t>(r)));
+    }
+    for (const int64_t g : ns.cache) {
+      mix(static_cast<uint64_t>(g));
+    }
+    for (const StreamState& st : ns.streams) {
+      mix(static_cast<uint64_t>(st.remaining));
+    }
+  }
+  return h;
+}
+
+StormResult Storm::Run() {
+  const size_t events = ploop_ != nullptr ? ploop_->Run() : serial_->Run();
+  StormResult r;
+  r.per_node.reserve(nodes_.size());
+  for (const NodeState& ns : nodes_) {
+    r.per_node.push_back(ns.c);
+    r.totals.Accumulate(ns.c);
+  }
+  r.finish_time = ploop_ != nullptr ? ploop_->now_max() : serial_->now();
+  r.events_dispatched = events;
+  r.state_digest = Digest();
+  r.fabric = fabric_->MergedStats();
+  r.retry = fabric_->MergedRetryStats();
+  r.rpc = rpc_->MergedStats();
+  if (plan_ != nullptr) {
+    r.faults = plan_->MergedStats();
+    r.used_fault_plan = true;
+  }
+  r.parallel = ploop_ != nullptr;
+  r.threads = threads_;
+  if (ploop_ != nullptr) {
+    r.core = ploop_->stats();
+  }
+  return r;
+}
+
+}  // namespace
+
+void StormCounters::Accumulate(const StormCounters& o) {
+  local_accesses += o.local_accesses;
+  cache_hits += o.cache_hits;
+  remote_reads += o.remote_reads;
+  remote_writes += o.remote_writes;
+  served_reads += o.served_reads;
+  served_writes += o.served_writes;
+  invalidations += o.invalidations;
+  evictions += o.evictions;
+  failures += o.failures;
+}
+
+StormResult RunStorm(const StormOptions& opts, int threads) {
+  Storm storm(opts, threads);
+  return storm.Run();
+}
+
+std::string StormReport(const StormResult& r) {
+  // Deliberately engine-agnostic: no thread count, no parallel-core stats.
+  // Two runs satisfy the determinism contract iff these bytes match.
+  std::string out;
+  out.reserve(4096 + r.per_node.size() * 96);
+  const auto line = [&out](const std::string& s) {
+    out += s;
+    out += '\n';
+  };
+  const auto u = [](uint64_t v) { return std::to_string(v); };
+  // events_dispatched is deliberately absent: the parallel engine runs extra
+  // bookkeeping events (winner-settle markers, per-partition timers) that the
+  // serial engine doesn't, so it is worker-count-invariant but not
+  // engine-invariant.
+  line("finish_ns=" + std::to_string(r.finish_time));
+  line("digest=" + u(r.state_digest));
+  line("totals local=" + u(r.totals.local_accesses) + " cache_hits=" + u(r.totals.cache_hits) +
+       " remote_reads=" + u(r.totals.remote_reads) + " remote_writes=" +
+       u(r.totals.remote_writes) + " served_reads=" + u(r.totals.served_reads) +
+       " served_writes=" + u(r.totals.served_writes) + " invalidations=" +
+       u(r.totals.invalidations) + " evictions=" + u(r.totals.evictions) + " failures=" +
+       u(r.totals.failures));
+  line("fabric messages=" + u(r.fabric.total_messages.value()) + " bytes=" +
+       u(r.fabric.total_bytes.value()));
+  for (const MsgKind k : {MsgKind::kDsmReadReq, MsgKind::kDsmWriteReq, MsgKind::kDsmPageData,
+                          MsgKind::kDsmInvalidate, MsgKind::kDsmAck}) {
+    line(std::string("fabric kind=") + MsgKindName(k) + " messages=" +
+         u(r.fabric.messages[static_cast<size_t>(k)].value()) + " bytes=" +
+         u(r.fabric.bytes[static_cast<size_t>(k)].value()));
+  }
+  line("rpc calls=" + u(r.rpc.calls.value()) + " notifies=" + u(r.rpc.notifies.value()) +
+       " failures=" + u(r.rpc.call_failures.value()) + " retries=" + u(r.rpc.retries.value()) +
+       " abandons=" + u(r.rpc.abandons.value()));
+  line("retry retransmits=" + u(r.retry.retransmits.total()) + " timeouts=" +
+       u(r.retry.timeouts.total()) + " send_failures=" + u(r.retry.send_failures.total()) +
+       " dups_suppressed=" + u(r.retry.dups_suppressed.total()));
+  line("faults dropped=" + u(r.faults.messages_dropped.value()) + " duplicated=" +
+       u(r.faults.messages_duplicated.value()) + " delayed=" +
+       u(r.faults.messages_delayed.value()) + " crashes=" + u(r.faults.node_crashes.value()) +
+       " restarts=" + u(r.faults.node_restarts.value()) + " cuts=" +
+       u(r.faults.partitions_cut.value()) + " heals=" + u(r.faults.partitions_healed.value()));
+  for (size_t n = 0; n < r.per_node.size(); ++n) {
+    const StormCounters& c = r.per_node[n];
+    line("node " + std::to_string(n) + " l=" + u(c.local_accesses) + " ch=" + u(c.cache_hits) +
+         " rr=" + u(c.remote_reads) + " rw=" + u(c.remote_writes) + " sr=" + u(c.served_reads) +
+         " sw=" + u(c.served_writes) + " inv=" + u(c.invalidations) + " ev=" + u(c.evictions) +
+         " f=" + u(c.failures));
+  }
+  return out;
+}
+
+}  // namespace fragvisor

@@ -1,0 +1,124 @@
+// DSM coherence storm: the parallel-core stress workload.
+//
+// A cluster of N nodes, each the home for a slab of pages, runs several
+// independent access streams per node. Every access either touches local
+// memory or picks a remote home and issues a DSM protocol exchange over the
+// RpcLayer: read miss -> kDsmReadReq / kDsmPageData, write -> kDsmWriteReq /
+// kDsmAck plus a kDsmInvalidate to the page's last cached reader. All node
+// state (stream RNGs, the direct-mapped page cache, the home-side
+// version/last-reader arrays, the counters) is owned by exactly one node, so
+// the storm runs unmodified on the serial EventLoop and on the partitioned
+// ParallelEventLoop.
+//
+// Determinism contract:
+//  - For a fixed engine, the result (and StormReport()) is a pure function of
+//    StormOptions — in particular it is byte-identical across ParallelEventLoop
+//    worker counts, including with faults enabled.
+//  - Across engines (serial vs. parallel), byte-identity additionally requires
+//    a commutative configuration (write_frac == 0 and cache_slots == 0, no
+//    faults): the two engines commit equal-time cross-node arrivals in
+//    different relative orders, which is observable only through
+//    order-dependent state (cache contents, last-reader tracking, fault RNG
+//    draw interleaving).
+#ifndef FRAGVISOR_SRC_WORKLOAD_DSMSTORM_H_
+#define FRAGVISOR_SRC_WORKLOAD_DSMSTORM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/net/rpc.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/parallel_loop.h"
+#include "src/sim/time.h"
+
+namespace fragvisor {
+
+struct StormOptions {
+  int num_nodes = 64;
+  int streams_per_node = 4;
+  int accesses_per_stream = 200;
+  int pages_per_node = 64;
+  // Direct-mapped remote-page cache per node; 0 disables caching entirely
+  // (every remote read goes home — the commutative configuration).
+  int cache_slots = 16;
+  double remote_frac = 0.7;  // fraction of accesses that leave the node
+  double write_frac = 0.3;   // fraction of remote accesses that are writes
+  TimeNs think_ns = Micros(2);
+  uint64_t seed = 1;
+
+  LinkParams link = LinkParams::InfiniBand56G();
+  // Deterministic per-directed-link latency spread on top of link.latency,
+  // so partitions see distinct arrival times instead of a metronome.
+  TimeNs latency_jitter_ns = Nanos(700);
+
+  // Fault injection (any non-zero knob attaches a FaultPlan with per-node
+  // RNG streams, on both engines).
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  TimeNs extra_delay_max = 0;
+  int32_t crash_node = -1;  // crash/restart this node (restart_at 0 = never)
+  TimeNs crash_at = 0;
+  TimeNs restart_at = 0;
+  int32_t partition_a = -1;  // cut this link for [partition_from, partition_until)
+  int32_t partition_b = -1;
+  TimeNs partition_from = 0;
+  TimeNs partition_until = 0;
+
+  bool faulty() const {
+    return drop_prob > 0 || dup_prob > 0 || extra_delay_max > 0 || crash_node >= 0 ||
+           partition_a >= 0;
+  }
+};
+
+struct StormCounters {
+  uint64_t local_accesses = 0;
+  uint64_t cache_hits = 0;
+  uint64_t remote_reads = 0;   // read misses sent home
+  uint64_t remote_writes = 0;  // writes sent home
+  uint64_t served_reads = 0;   // home-side request handling
+  uint64_t served_writes = 0;
+  uint64_t invalidations = 0;  // kDsmInvalidate evictions applied here
+  uint64_t evictions = 0;      // direct-mapped conflict evictions here
+  uint64_t failures = 0;       // reliable-channel give-ups observed here
+
+  void Accumulate(const StormCounters& o);
+};
+
+struct StormResult {
+  std::vector<StormCounters> per_node;
+  StormCounters totals;
+  TimeNs finish_time = 0;  // simulated time of the last event
+  // Worker-count-invariant but NOT engine-invariant (the parallel engine runs
+  // extra bookkeeping events), so it is excluded from StormReport().
+  uint64_t events_dispatched = 0;
+  uint64_t state_digest = 0;     // FNV-1a over all node-owned end state
+
+  FabricStats fabric;     // merged across shards
+  RetryStats retry;       // merged; zero unless a fault plan was attached
+  RpcStats rpc;           // merged
+  FaultPlanStats faults;  // merged; zero without a fault plan
+  bool used_fault_plan = false;
+
+  // Engine info. `core` is populated only when parallel == true; it is
+  // identical across worker counts but is intentionally NOT part of
+  // StormReport() so the commutative serial-vs-parallel comparison stays
+  // engine-agnostic.
+  bool parallel = false;
+  int threads = 0;
+  ParallelEventLoop::RunStats core;
+};
+
+// Runs the storm to completion. threads == 0 selects the serial EventLoop
+// engine; threads >= 1 selects the ParallelEventLoop with one partition per
+// node and `threads` workers.
+StormResult RunStorm(const StormOptions& opts, int threads);
+
+// Canonical, line-oriented dump of everything the determinism contract
+// covers. Byte-compare two of these to compare two runs.
+std::string StormReport(const StormResult& r);
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_WORKLOAD_DSMSTORM_H_

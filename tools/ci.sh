@@ -2,7 +2,7 @@
 # Local CI: builds the Release and sanitizer configurations and runs the
 # full test suite under each.
 #
-#   tools/ci.sh            # release + asan + ubsan
+#   tools/ci.sh            # release + asan + ubsan + tsan
 #   tools/ci.sh release    # just one configuration
 #
 # Build trees live under build-ci/<config> so they never collide with the
@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ]; then
-  configs=(release asan ubsan)
+  configs=(release asan ubsan tsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -23,7 +23,8 @@ for config in "${configs[@]}"; do
     release) cmake_args=(-DCMAKE_BUILD_TYPE=Release -DFRAGVISOR_SANITIZE=) ;;
     asan)    cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DFRAGVISOR_SANITIZE=address) ;;
     ubsan)   cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DFRAGVISOR_SANITIZE=undefined) ;;
-    *) echo "unknown config '$config' (release|asan|ubsan)" >&2; exit 2 ;;
+    tsan)    cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DFRAGVISOR_SANITIZE=thread) ;;
+    *) echo "unknown config '$config' (release|asan|ubsan|tsan)" >&2; exit 2 ;;
   esac
   # CI builds are warning-clean by construction.
   cmake_args+=(-DFRAGVISOR_WERROR=ON)
@@ -33,6 +34,16 @@ for config in "${configs[@]}"; do
   cmake -B "$build_dir" -S . "${cmake_args[@]}" >/dev/null
   echo "=== [$config] build ==="
   cmake --build "$build_dir" -j "$jobs" >/dev/null
+  if [ "$config" = "tsan" ]; then
+    # ThreadSanitizer leg: the parallel simulation core is the only place
+    # worker threads touch shared state, so only the parallel tier-1 suites
+    # (ParallelLoop/ParallelCancel/ParallelStorm, which run the coordinator
+    # plus worker pool at up to 8 threads) need the instrumented run.
+    echo "=== [$config] ctest (tier1 parallel core) ==="
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -L tier1 -R 'Parallel'
+    continue
+  fi
+
   echo "=== [$config] ctest (tier1) ==="
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -L tier1
 
@@ -65,7 +76,8 @@ for config in "${configs[@]}"; do
     mkdir -p "$artifacts"
     echo "=== [$config] bench: micro_core_hotpath ==="
     "$build_dir/bench/micro_core_hotpath" --events 500000 --accesses 500000 \
-      --out "$artifacts/BENCH_core_hotpath.json"
+      --out "$artifacts/BENCH_core_hotpath.json" \
+      --parallel-out "$artifacts/BENCH_parallel_core.json"
     echo "=== [$config] bench: ablation_dsm_fastpath (invariant gate) ==="
     "$build_dir/bench/ablation_dsm_fastpath" --quick \
       --out "$artifacts/BENCH_dsm_fastpath.json"
@@ -79,6 +91,18 @@ for config in "${configs[@]}"; do
     "$build_dir/tools/fvsim" "${fvsim_flags[@]}" > "$artifacts/fvsim_dsm_run2.txt"
     diff "$artifacts/fvsim_dsm_run1.txt" "$artifacts/fvsim_dsm_run2.txt"
     echo "fast-path runs are deterministic"
+
+    # Parallel-core determinism at the fvsim level: the storm's canonical
+    # report must be byte-identical across worker counts (incl. with faults).
+    echo "=== [$config] fvsim parallel-core determinism ==="
+    storm_flags=(storm --nodes 32 --streams 3 --accesses 80
+                 --fault-drop 0.03 --fault-dup 0.02 --fault-delay-us 3)
+    "$build_dir/tools/fvsim" "${storm_flags[@]}" --threads 1 \
+      --report "$artifacts/fvsim_storm_t1.txt" >/dev/null
+    "$build_dir/tools/fvsim" "${storm_flags[@]}" --threads 4 \
+      --report "$artifacts/fvsim_storm_t4.txt" >/dev/null
+    diff "$artifacts/fvsim_storm_t1.txt" "$artifacts/fvsim_storm_t4.txt"
+    echo "parallel-core runs are deterministic across worker counts"
   fi
 done
 

@@ -17,6 +17,7 @@
 // every byte of it) is independent of the job count.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,7 @@
 #include "bench/harness.h"
 #include "bench/runner.h"
 #include "src/sim/trace.h"
+#include "src/workload/dsmstorm.h"
 
 namespace fragvisor {
 namespace {
@@ -321,6 +323,149 @@ int RunFaasCmd(const Args& args) {
   return 0;
 }
 
+// DSM coherence storm on the parallel simulation core.
+//
+//   fvsim storm --threads 4                      # ParallelEventLoop, 4 workers
+//   fvsim storm                                  # legacy serial EventLoop
+//   fvsim storm --threads 2 --report             # + canonical determinism dump
+//
+// The canonical report (--report) is byte-identical across --threads values
+// for a fixed configuration; pipe two runs through diff to check.
+int RunStormCmd(const Args& args) {
+  StormOptions so;
+  so.num_nodes = args.GetInt("nodes", 64);
+  so.streams_per_node = args.GetInt("streams", 4);
+  so.accesses_per_stream = args.GetInt("accesses", 200);
+  so.pages_per_node = args.GetInt("pages", 64);
+  so.cache_slots = args.GetInt("cache-slots", 16);
+  so.remote_frac = args.GetDouble("remote-frac", 0.7);
+  so.write_frac = args.GetDouble("write-frac", 0.3);
+  so.think_ns = Nanos(args.GetInt("think-ns", 2000));
+  so.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  so.latency_jitter_ns = Nanos(args.GetInt("jitter-ns", 700));
+  so.drop_prob = args.GetDouble("fault-drop", 0.0);
+  so.dup_prob = args.GetDouble("fault-dup", 0.0);
+  so.extra_delay_max = Micros(args.GetInt("fault-delay-us", 0));
+  const std::string crash = args.Get("fault-crash", "");
+  if (!crash.empty()) {
+    int node = -1;
+    double ms = 0;
+    if (std::sscanf(crash.c_str(), "%d@%lf", &node, &ms) != 2) {
+      std::fprintf(stderr, "bad --fault-crash entry '%s' (want n@ms)\n", crash.c_str());
+      return 2;
+    }
+    so.crash_node = node;
+    so.crash_at = Millis(static_cast<TimeNs>(ms));
+  }
+  const std::string restart = args.Get("fault-restart", "");
+  if (!restart.empty()) {
+    int node = -1;
+    double ms = 0;
+    if (std::sscanf(restart.c_str(), "%d@%lf", &node, &ms) != 2 || node != so.crash_node) {
+      std::fprintf(stderr, "bad --fault-restart entry '%s' (want n@ms, same n as crash)\n",
+                   restart.c_str());
+      return 2;
+    }
+    so.restart_at = Millis(static_cast<TimeNs>(ms));
+  }
+  const std::string cut = args.Get("fault-partition", "");
+  if (!cut.empty()) {
+    int a = -1;
+    int b = -1;
+    double from_ms = 0;
+    double until_ms = 0;
+    if (std::sscanf(cut.c_str(), "%d-%d@%lf-%lf", &a, &b, &from_ms, &until_ms) != 4) {
+      std::fprintf(stderr, "bad --fault-partition entry '%s' (want a-b@ms-ms)\n", cut.c_str());
+      return 2;
+    }
+    so.partition_a = a;
+    so.partition_b = b;
+    so.partition_from = Millis(static_cast<TimeNs>(from_ms));
+    so.partition_until = Millis(static_cast<TimeNs>(until_ms));
+  }
+
+  const int threads = args.GetInt("threads", 0);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const StormResult r = RunStorm(so, threads);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  std::printf("storm %d nodes x %d streams on %s: %.2f ms simulated, %llu events "
+              "(%.0f events/s wall), digest %016llx\n",
+              so.num_nodes, so.streams_per_node,
+              threads > 0 ? (std::string("parallel[") + std::to_string(threads) + "]").c_str()
+                          : "serial",
+              ToMillis(r.finish_time), static_cast<unsigned long long>(r.events_dispatched),
+              wall_s > 0 ? static_cast<double>(r.events_dispatched) / wall_s : 0.0,
+              static_cast<unsigned long long>(r.state_digest));
+  std::printf("  remote reads %llu, writes %llu, cache hits %llu, invalidations %llu, "
+              "failures %llu\n",
+              static_cast<unsigned long long>(r.totals.remote_reads),
+              static_cast<unsigned long long>(r.totals.remote_writes),
+              static_cast<unsigned long long>(r.totals.cache_hits),
+              static_cast<unsigned long long>(r.totals.invalidations),
+              static_cast<unsigned long long>(r.totals.failures));
+  if (r.used_fault_plan) {
+    std::printf("  faults: %llu dropped, %llu duplicated, %llu delayed\n",
+                static_cast<unsigned long long>(r.faults.messages_dropped.value()),
+                static_cast<unsigned long long>(r.faults.messages_duplicated.value()),
+                static_cast<unsigned long long>(r.faults.messages_delayed.value()));
+  }
+
+  if (threads > 0) {
+    // Parallelism report: how the run decomposed into conservative windows.
+    const ParallelEventLoop::RunStats& c = r.core;
+    uint64_t part_min = ~0ull;
+    uint64_t part_max = 0;
+    uint64_t part_sum = 0;
+    for (const uint64_t e : c.events_per_partition) {
+      part_min = std::min(part_min, e);
+      part_max = std::max(part_max, e);
+      part_sum += e;
+    }
+    const double part_mean = c.events_per_partition.empty()
+                                 ? 0.0
+                                 : static_cast<double>(part_sum) /
+                                       static_cast<double>(c.events_per_partition.size());
+    std::printf("parallel core report (%d partitions, %d workers):\n",
+                static_cast<int>(c.events_per_partition.size()), threads);
+    std::printf("  barriers           %llu (%.1f events/window)\n",
+                static_cast<unsigned long long>(c.barriers),
+                c.barriers > 0 ? static_cast<double>(c.events_dispatched) /
+                                     static_cast<double>(c.barriers)
+                               : 0.0);
+    std::printf("  horizon advance    mean %.0f ns, min %.0f, max %.0f\n",
+                c.horizon_width_ns.mean(), c.horizon_width_ns.min(), c.horizon_width_ns.max());
+    std::printf("  events/partition   min %llu, mean %.1f, max %llu\n",
+                static_cast<unsigned long long>(part_min == ~0ull ? 0 : part_min), part_mean,
+                static_cast<unsigned long long>(part_max));
+    std::printf("  mailbox deliveries %llu cross-partition events\n",
+                static_cast<unsigned long long>(c.mailbox_events));
+    std::printf("  cross cancels      %llu routed, %llu applied, %llu late\n",
+                static_cast<unsigned long long>(c.cross_cancels_routed),
+                static_cast<unsigned long long>(c.cross_cancels_applied),
+                static_cast<unsigned long long>(c.cross_cancels_late));
+  }
+
+  if (args.Has("report")) {
+    const std::string path = args.Get("report", "-");
+    const std::string report = StormReport(r);
+    if (path == "-" || path == "1") {
+      std::fputs(report.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write --report file '%s'\n", path.c_str());
+        return 2;
+      }
+      std::fputs(report.c_str(), f);
+      std::fclose(f);
+      std::printf("storm report written to %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
 int RunSweep(const Args& args) {
   const NpbProfile profile =
       ScaleNpb(NpbByName(args.Get("bench", "CG")), args.GetDouble("scale", 0.25));
@@ -373,6 +518,9 @@ int List() {
   std::printf("  faas  --system <sys> --vcpus N [--detect-ms T] [--download-mb M]\n");
   std::printf("  sweep --bench <name> [--systems a,b,...] [--vcpus-min N] [--vcpus-max N]\n");
   std::printf("        [--scale F] [--seed N] [--jobs N]\n");
+  std::printf("  storm [--threads N] [--nodes N] [--streams N] [--accesses N] [--pages N]\n");
+  std::printf("        [--cache-slots N] [--remote-frac F] [--write-frac F] [--think-ns T]\n");
+  std::printf("        [--jitter-ns T] [--seed N] [--report] [fault flags]\n");
   std::printf("  list\n\n");
   std::printf("systems: fragvisor | giantvm | overcommit[:pcpus]\n");
   std::printf("flags:   --vanilla-guest --no-multiqueue --no-bypass --no-contextual-dsm\n");
@@ -390,7 +538,9 @@ int List() {
   std::printf("         --detector phi|fixed (gray-failure-aware vs miss counter)\n");
   std::printf("         --partial-recovery (surgical lender-death recovery)\n");
   std::printf("         --ckpt-ms T --heartbeat-ms T\n");
-  std::printf("leases:  --lease-ms T [--lease-renew-ms T] (lease borrowed resources)\n\n");
+  std::printf("leases:  --lease-ms T [--lease-renew-ms T] (lease borrowed resources)\n");
+  std::printf("storm:   --threads N (N>=1: parallel core with N workers + end-of-run\n");
+  std::printf("         parallelism report; omit for the serial engine)\n\n");
   std::printf("NPB benchmarks:");
   for (const NpbProfile& p : NpbSuite()) {
     std::printf(" %s", p.name.c_str());
@@ -413,6 +563,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "faas") {
     return RunFaasCmd(args);
+  }
+  if (args.command == "storm") {
+    return RunStormCmd(args);
   }
   if (args.command == "sweep") {
     return RunSweep(args);
