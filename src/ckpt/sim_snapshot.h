@@ -1,0 +1,44 @@
+// Snapshot serializers for the transport-layer state blocks (fabric, retry,
+// rpc, fault-plan). These compose the src/sim/state_io.h primitives into
+// whole-struct save/load pairs that workloads use to build whole-sim
+// snapshots (DESIGN.md §10).
+//
+// Stats shards merge by summation, so a saver may fold MergedStats() into
+// the stream and a loader may restore the merged block into any single
+// shard: every observable view (reports read only merged stats) is
+// identical. Fault-plan RNG streams are NOT mergeable — they drive future
+// perturbation draws and restore stream-for-stream.
+
+#ifndef FRAGVISOR_SRC_CKPT_SIM_SNAPSHOT_H_
+#define FRAGVISOR_SRC_CKPT_SIM_SNAPSHOT_H_
+
+#include "src/net/fabric.h"
+#include "src/net/rpc.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/snapshot.h"
+
+namespace fragvisor {
+
+void SaveFabricStats(SnapshotWriter* w, const FabricStats& s);
+void LoadFabricStats(SnapshotReader* r, FabricStats* s);
+
+void SaveRetryStats(SnapshotWriter* w, const RetryStats& s);
+void LoadRetryStats(SnapshotReader* r, RetryStats* s);
+
+void SaveRpcStats(SnapshotWriter* w, const RpcStats& s);
+void LoadRpcStats(SnapshotReader* r, RpcStats* s);
+
+void SaveFaultPlanStats(SnapshotWriter* w, const FaultPlanStats& s);
+void LoadFaultPlanStats(SnapshotReader* r, FaultPlanStats* s);
+
+// Complete replayable fault-plan state: the legacy draw stream, every
+// per-node draw stream, and the merged perturbation counters. The load side
+// requires a plan built from the same schedule (same seed, same
+// EnablePerNodeStreams width) — the stream count is validated, and a
+// mismatch latches an error without touching the plan.
+void SaveFaultPlanState(SnapshotWriter* w, FaultPlan* plan);
+void LoadFaultPlanState(SnapshotReader* r, FaultPlan* plan);
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_CKPT_SIM_SNAPSHOT_H_

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "src/sim/check.h"
+#include "src/sim/snapshot.h"
+#include "src/sim/state_io.h"
 
 namespace fragvisor {
 namespace {
@@ -1320,6 +1322,275 @@ uint64_t DsmEngine::CheckInvariants() const {
     }
   }
   return checked;
+}
+
+// Radix leaves go to the wire as raw native-endian array images: snapshots
+// are same-machine artifacts (save on one run, load on another run of the
+// same build), and the bulk arrays dominate the stream. The busy bitmaps are
+// never written — the quiesce check pins them to zero.
+void DsmEngine::SaveState(SnapshotWriter* w) const {
+  // Quiesce check: a transaction in flight holds a busy bit and owns a
+  // continuation closure no byte stream can hold. Callers snapshot only at
+  // drained-queue boundaries, so this is a programming error, not input.
+  FV_CHECK(waiters_.empty());
+
+  w->BeginSection("dsm.engine");
+  w->U32(static_cast<uint32_t>(options_.num_nodes));
+  w->U32(static_cast<uint32_t>(options_.home));
+  w->U8(options_.owner_hints ? 1 : 0);
+  w->U64(known_pages_);
+
+  w->U32(static_cast<uint32_t>(node_faults_.size()));
+  for (const Counter& c : node_faults_) {
+    SaveCounter(w, c);
+  }
+
+  w->U64(class_ranges_.size());
+  for (const auto& [start, range] : class_ranges_) {
+    w->U64(start);
+    w->U64(range.first);
+    w->U8(static_cast<uint8_t>(range.second));
+  }
+
+  w->U64(leaves_.size());
+  uint64_t populated = 0;
+  for (const auto& leaf : leaves_) {
+    populated += leaf != nullptr ? 1 : 0;
+  }
+  w->U64(populated);
+  for (size_t li = 0; li < leaves_.size(); ++li) {
+    const Leaf* leaf = leaves_[li].get();
+    if (leaf == nullptr) {
+      continue;
+    }
+    for (uint32_t word = 0; word < kLeafWords; ++word) {
+      FV_CHECK_EQ(leaf->busy[word], 0u);
+    }
+    w->U64(li);
+    w->Bytes(leaf->owner.data(), sizeof(leaf->owner));
+    w->Bytes(leaf->sharers.data(), sizeof(leaf->sharers));
+    w->Bytes(leaf->hold_until.data(), sizeof(leaf->hold_until));
+    w->Bytes(leaf->known, sizeof(leaf->known));
+    w->Bytes(leaf->present, sizeof(leaf->present));
+    w->Bytes(leaf->writable, sizeof(leaf->writable));
+    w->Bytes(leaf->dirty, sizeof(leaf->dirty));
+    w->U32(leaf->rm_reads);
+    w->U32(leaf->rm_writes);
+    w->U8(leaf->rm_promoted ? 1 : 0);
+    w->Bytes(leaf->hold_boost.data(), sizeof(leaf->hold_boost));
+    w->Bytes(leaf->stream_next.data(), sizeof(leaf->stream_next));
+    w->Bytes(leaf->stream_run.data(), sizeof(leaf->stream_run));
+  }
+
+  w->U32(static_cast<uint32_t>(hints_.size()));
+  for (const auto& per_node : hints_) {
+    w->U64(per_node.size());
+    uint64_t filled = 0;
+    for (const auto& h : per_node) {
+      filled += h != nullptr ? 1 : 0;
+    }
+    w->U64(filled);
+    for (size_t li = 0; li < per_node.size(); ++li) {
+      if (per_node[li] == nullptr) {
+        continue;
+      }
+      w->U64(li);
+      w->Bytes(per_node[li]->pred.data(), sizeof(per_node[li]->pred));
+    }
+  }
+
+  SaveCounter(w, stats_.read_faults);
+  SaveCounter(w, stats_.write_faults);
+  SaveCounter(w, stats_.invalidations);
+  SaveCounter(w, stats_.page_transfers);
+  SaveCounter(w, stats_.prefetched_pages);
+  SaveCounter(w, stats_.protocol_messages);
+  SaveCounter(w, stats_.protocol_bytes);
+  for (const Counter& c : stats_.faults_by_class) {
+    SaveCounter(w, c);
+  }
+  SaveSummary(w, stats_.fault_latency_ns);
+  SaveCounter(w, stats_.hint_hits);
+  SaveCounter(w, stats_.hint_stale);
+  SaveCounter(w, stats_.replica_reads);
+  SaveCounter(w, stats_.region_transfers);
+  SaveCounter(w, stats_.read_mostly_promotions);
+  SaveCounter(w, stats_.hold_escalations);
+  SaveNodeCounterSet(w, stats_.txn_retries);
+  SaveNodeCounterSet(w, stats_.txn_absorbed);
+  SaveNodeCounterSet(w, stats_.write_aborts);
+  SaveCounter(w, stats_.pages_reclaimed);
+  SaveCounter(w, stats_.pages_promoted);
+  SaveCounter(w, stats_.pages_rehomed_clean);
+  SaveCounter(w, stats_.pages_lost_dirty);
+}
+
+bool DsmEngine::LoadState(SnapshotReader* r) {
+  if (!r->Section("dsm.engine")) {
+    return false;
+  }
+  const uint32_t num_nodes = r->U32();
+  const uint32_t home = r->U32();
+  const bool had_hints = r->U8() != 0;
+  if (!r->ok()) {
+    return false;
+  }
+  if (num_nodes != static_cast<uint32_t>(options_.num_nodes) ||
+      home != static_cast<uint32_t>(options_.home) || had_hints != options_.owner_hints) {
+    r->FailExternal("dsm.engine: snapshot was taken under a different engine configuration");
+    return false;
+  }
+
+  // Stage everything; commit only on a fully clean read.
+  const uint64_t staged_known_pages = r->U64();
+
+  std::vector<Counter> staged_faults;
+  const uint32_t fault_nodes = r->U32();
+  if (!r->ok() || fault_nodes != num_nodes) {
+    r->FailExternal("dsm.engine: per-node fault counter width mismatch");
+    return false;
+  }
+  staged_faults.resize(fault_nodes);
+  for (uint32_t n = 0; n < fault_nodes; ++n) {
+    LoadCounter(r, &staged_faults[n]);
+  }
+
+  std::map<PageNum, std::pair<PageNum, PageClass>> staged_ranges;
+  const uint64_t num_ranges = r->U64();
+  for (uint64_t i = 0; r->ok() && i < num_ranges; ++i) {
+    const PageNum start = r->U64();
+    const PageNum end = r->U64();
+    const uint8_t cls = r->U8();
+    if (r->ok() && (cls >= static_cast<uint8_t>(PageClass::kCount) || end <= start)) {
+      r->FailExternal("dsm.engine: malformed class range");
+      return false;
+    }
+    staged_ranges[start] = {end, static_cast<PageClass>(cls)};
+  }
+
+  constexpr uint64_t kMaxLeaves = kMaxPages >> kLeafBits;
+  const uint64_t root_size = r->U64();
+  const uint64_t populated = r->U64();
+  if (!r->ok()) {
+    return false;
+  }
+  if (root_size > kMaxLeaves || populated > root_size) {
+    r->FailExternal("dsm.engine: leaf table shape exceeds the guest address space");
+    return false;
+  }
+  std::vector<std::unique_ptr<Leaf>> staged_leaves(static_cast<size_t>(root_size));
+  uint64_t prev_index = 0;
+  for (uint64_t i = 0; r->ok() && i < populated; ++i) {
+    const uint64_t li = r->U64();
+    if (!r->ok()) {
+      break;
+    }
+    if (li >= root_size || (i > 0 && li <= prev_index)) {
+      r->FailExternal("dsm.engine: leaf indexes out of order");
+      return false;
+    }
+    prev_index = li;
+    auto leaf = std::make_unique<Leaf>();
+    r->BytesInto(leaf->owner.data(), sizeof(leaf->owner));
+    r->BytesInto(leaf->sharers.data(), sizeof(leaf->sharers));
+    r->BytesInto(leaf->hold_until.data(), sizeof(leaf->hold_until));
+    r->BytesInto(leaf->known, sizeof(leaf->known));
+    r->BytesInto(leaf->present, sizeof(leaf->present));
+    r->BytesInto(leaf->writable, sizeof(leaf->writable));
+    r->BytesInto(leaf->dirty, sizeof(leaf->dirty));
+    leaf->rm_reads = r->U32();
+    leaf->rm_writes = r->U32();
+    leaf->rm_promoted = r->U8() != 0;
+    r->BytesInto(leaf->hold_boost.data(), sizeof(leaf->hold_boost));
+    r->BytesInto(leaf->stream_next.data(), sizeof(leaf->stream_next));
+    r->BytesInto(leaf->stream_run.data(), sizeof(leaf->stream_run));
+    staged_leaves[static_cast<size_t>(li)] = std::move(leaf);
+  }
+
+  std::vector<std::vector<std::unique_ptr<HintLeaf>>> staged_hints;
+  const uint32_t hint_nodes = r->U32();
+  if (!r->ok()) {
+    return false;
+  }
+  if (hint_nodes != (had_hints ? num_nodes : 0)) {
+    r->FailExternal("dsm.engine: hint table width mismatch");
+    return false;
+  }
+  staged_hints.resize(hint_nodes);
+  for (uint32_t n = 0; r->ok() && n < hint_nodes; ++n) {
+    const uint64_t vec_size = r->U64();
+    const uint64_t filled = r->U64();
+    if (!r->ok()) {
+      return false;
+    }
+    if (vec_size > kMaxLeaves || filled > vec_size) {
+      r->FailExternal("dsm.engine: hint table shape exceeds the guest address space");
+      return false;
+    }
+    staged_hints[n].resize(static_cast<size_t>(vec_size));
+    uint64_t prev = 0;
+    for (uint64_t i = 0; r->ok() && i < filled; ++i) {
+      const uint64_t li = r->U64();
+      if (!r->ok()) {
+        break;
+      }
+      if (li >= vec_size || (i > 0 && li <= prev)) {
+        r->FailExternal("dsm.engine: hint leaf indexes out of order");
+        return false;
+      }
+      prev = li;
+      auto h = std::make_unique<HintLeaf>();
+      r->BytesInto(h->pred.data(), sizeof(h->pred));
+      staged_hints[n][static_cast<size_t>(li)] = std::move(h);
+    }
+  }
+
+  DsmStats staged_stats;
+  staged_stats.txn_retries.Init(options_.num_nodes);
+  staged_stats.txn_absorbed.Init(options_.num_nodes);
+  staged_stats.write_aborts.Init(options_.num_nodes);
+  LoadCounter(r, &staged_stats.read_faults);
+  LoadCounter(r, &staged_stats.write_faults);
+  LoadCounter(r, &staged_stats.invalidations);
+  LoadCounter(r, &staged_stats.page_transfers);
+  LoadCounter(r, &staged_stats.prefetched_pages);
+  LoadCounter(r, &staged_stats.protocol_messages);
+  LoadCounter(r, &staged_stats.protocol_bytes);
+  for (Counter& c : staged_stats.faults_by_class) {
+    LoadCounter(r, &c);
+  }
+  LoadSummary(r, &staged_stats.fault_latency_ns);
+  LoadCounter(r, &staged_stats.hint_hits);
+  LoadCounter(r, &staged_stats.hint_stale);
+  LoadCounter(r, &staged_stats.replica_reads);
+  LoadCounter(r, &staged_stats.region_transfers);
+  LoadCounter(r, &staged_stats.read_mostly_promotions);
+  LoadCounter(r, &staged_stats.hold_escalations);
+  LoadNodeCounterSet(r, &staged_stats.txn_retries);
+  LoadNodeCounterSet(r, &staged_stats.txn_absorbed);
+  LoadNodeCounterSet(r, &staged_stats.write_aborts);
+  LoadCounter(r, &staged_stats.pages_reclaimed);
+  LoadCounter(r, &staged_stats.pages_promoted);
+  LoadCounter(r, &staged_stats.pages_rehomed_clean);
+  LoadCounter(r, &staged_stats.pages_lost_dirty);
+  if (!r->ok()) {
+    return false;
+  }
+  if (staged_stats.txn_retries.num_nodes() != options_.num_nodes ||
+      staged_stats.txn_absorbed.num_nodes() != options_.num_nodes ||
+      staged_stats.write_aborts.num_nodes() != options_.num_nodes) {
+    r->FailExternal("dsm.engine: retry counter width mismatch");
+    return false;
+  }
+
+  known_pages_ = staged_known_pages;
+  node_faults_ = std::move(staged_faults);
+  class_ranges_ = std::move(staged_ranges);
+  leaves_ = std::move(staged_leaves);
+  hints_ = std::move(staged_hints);
+  stats_ = std::move(staged_stats);
+  waiters_.clear();
+  return true;
 }
 
 }  // namespace fragvisor

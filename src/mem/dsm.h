@@ -48,6 +48,9 @@
 
 namespace fragvisor {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 // Guest pseudo-physical page number (GPA >> 12).
 using PageNum = uint64_t;
 
@@ -227,6 +230,21 @@ class DsmEngine {
   // Verifies directory/residency invariants; aborts on violation. Returns the
   // number of pages checked (for test assertions).
   uint64_t CheckInvariants() const;
+
+  // --- Snapshot save/load ---
+
+  // Serializes the complete engine state (radix tables with dirty journals,
+  // owner hints, class ranges, per-node fault counters, stats) as one tagged
+  // section. The engine must be quiescent: no in-flight transactions (busy
+  // bits clear, waiter queues empty) — aborts otherwise, because a
+  // transaction's continuation closure cannot be serialized.
+  void SaveState(SnapshotWriter* w) const;
+
+  // Restores into a freshly constructed engine with identical Options.
+  // Follows the reader's soft-error discipline: on malformed input, returns
+  // false with the error latched on the reader and leaves this engine
+  // untouched (stage-then-commit).
+  bool LoadState(SnapshotReader* r);
 
   const DsmStats& stats() const { return stats_; }
   DsmStats& mutable_stats() { return stats_; }

@@ -1,0 +1,148 @@
+#include "src/net/capture.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+#include "src/sim/snapshot.h"
+
+namespace fragvisor {
+
+CaptureLog::CaptureLog(int num_nodes) {
+  FV_CHECK_GT(num_nodes, 0);
+  shards_.resize(static_cast<size_t>(num_nodes));
+}
+
+uint64_t CaptureLog::total_records() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    n += s.size();
+  }
+  return n;
+}
+
+void CaptureLog::Record(NodeId src, NodeId dst, MsgKind kind, uint64_t size, TimeNs time,
+                        TimeNs receiver_delay) {
+  FV_CHECK_GE(src, 0);
+  FV_CHECK_LT(static_cast<size_t>(src), shards_.size());
+  std::vector<CaptureRecord>& shard = shards_[static_cast<size_t>(src)];
+  CaptureRecord r;
+  r.time = time;
+  r.src = src;
+  r.dst = dst;
+  r.kind = static_cast<uint8_t>(kind);
+  const uint64_t words[3] = {static_cast<uint64_t>(r.kind), size,
+                             static_cast<uint64_t>(receiver_delay)};
+  r.payload_hash = SnapshotHashBytes(words, sizeof(words));
+  r.src_seq = shard.size();
+  shard.push_back(r);
+}
+
+std::vector<CaptureRecord> CaptureLog::Canonical() const {
+  std::vector<CaptureRecord> all;
+  all.reserve(static_cast<size_t>(total_records()));
+  for (const auto& s : shards_) {
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  std::sort(all.begin(), all.end(), [](const CaptureRecord& a, const CaptureRecord& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    if (a.src != b.src) {
+      return a.src < b.src;
+    }
+    return a.src_seq < b.src_seq;
+  });
+  return all;
+}
+
+std::string CaptureLog::Serialize(const std::string& config_blob) const {
+  SnapshotWriter w;
+  w.BeginSection("capture.config");
+  w.Str(config_blob);
+  w.BeginSection("capture.records");
+  const std::vector<CaptureRecord> all = Canonical();
+  w.U32(static_cast<uint32_t>(shards_.size()));
+  w.U64(all.size());
+  for (const CaptureRecord& r : all) {
+    w.I64(r.time);
+    w.U32(static_cast<uint32_t>(r.src));
+    w.U32(static_cast<uint32_t>(r.dst));
+    w.U8(r.kind);
+    w.U64(r.payload_hash);
+    w.U64(r.src_seq);
+  }
+  return w.Finish();
+}
+
+bool CaptureLog::Deserialize(const std::string& data, std::string* config_blob,
+                             std::vector<CaptureRecord>* out, std::string* error) {
+  SnapshotReader r(data);
+  std::string blob;
+  std::vector<CaptureRecord> records;
+  if (r.Section("capture.config")) {
+    blob = r.Str();
+  }
+  if (r.Section("capture.records")) {
+    const uint32_t nodes = r.U32();
+    const uint64_t count = r.U64();
+    // Each record is 33 bytes on the wire; reject counts the stream cannot
+    // possibly hold before reserving anything.
+    if (r.ok() && count > data.size() / 33 + 1) {
+      if (error != nullptr) {
+        *error = "capture: record count " + std::to_string(count) + " exceeds stream size";
+      }
+      return false;
+    }
+    records.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; r.ok() && i < count; ++i) {
+      CaptureRecord rec;
+      rec.time = r.I64();
+      rec.src = static_cast<NodeId>(r.U32());
+      rec.dst = static_cast<NodeId>(r.U32());
+      rec.kind = r.U8();
+      rec.payload_hash = r.U64();
+      rec.src_seq = r.U64();
+      if (r.ok() && (rec.src < 0 || rec.src >= static_cast<NodeId>(nodes) || rec.dst < 0 ||
+                     rec.dst >= static_cast<NodeId>(nodes))) {
+        if (error != nullptr) {
+          *error = "capture: record " + std::to_string(i) + " names an out-of-range node";
+        }
+        return false;
+      }
+      records.push_back(rec);
+    }
+  }
+  r.AtEnd();
+  if (!r.ok()) {
+    if (error != nullptr) {
+      *error = r.error();
+    }
+    return false;
+  }
+  *config_blob = std::move(blob);
+  *out = std::move(records);
+  return true;
+}
+
+std::string CaptureLog::Describe(const CaptureRecord& r) {
+  return "t=" + std::to_string(r.time) + "ns src=" + std::to_string(r.src) + " dst=" +
+         std::to_string(r.dst) + " kind=" + MsgKindName(static_cast<MsgKind>(r.kind)) +
+         " payload_hash=" + std::to_string(r.payload_hash) + " src_seq=" +
+         std::to_string(r.src_seq);
+}
+
+int64_t CaptureDiverge(const std::vector<CaptureRecord>& expected,
+                       const std::vector<CaptureRecord>& actual) {
+  const size_t n = std::min(expected.size(), actual.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (expected[i] != actual[i]) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  if (expected.size() != actual.size()) {
+    return static_cast<int64_t>(n);
+  }
+  return -1;
+}
+
+}  // namespace fragvisor

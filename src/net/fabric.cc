@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/net/capture.h"
 #include "src/sim/check.h"
 
 namespace fragvisor {
@@ -135,7 +136,7 @@ void Fabric::SetLinkParams(NodeId src, NodeId dst, LinkParams params) {
   LinkFor(src, dst).params = params;
 }
 
-void Fabric::AttachFaultPlan(FaultPlan* plan, RetryPolicy policy) {
+void Fabric::AttachFaultPlan(FaultPlan* plan, RetryPolicy policy, bool arm) {
   FV_CHECK(plan != nullptr);
   FV_CHECK(plan_ == nullptr);
   FV_CHECK_GT(policy.ack_grace, 0);
@@ -147,10 +148,19 @@ void Fabric::AttachFaultPlan(FaultPlan* plan, RetryPolicy policy) {
     // The parallel reliable channel draws perturbations from the sending
     // partition, which requires one independent RNG stream per node.
     FV_CHECK(plan_->per_node_streams());
-    plan_->ArmParallel(ploop_);
+    if (arm) {
+      plan_->ArmParallel(ploop_);
+    }
     return;
   }
-  plan_->Arm(loop_);
+  if (arm) {
+    plan_->Arm(loop_);
+  }
+}
+
+void Fabric::CaptureDelivery(NodeId src, NodeId dst, MsgKind kind, uint64_t size, TimeNs time,
+                             TimeNs receiver_delay) {
+  capture_->Record(src, dst, kind, size, time, receiver_delay);
 }
 
 bool Fabric::NodeUp(NodeId node) const {
@@ -193,6 +203,9 @@ void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryF
     LinkState& link = LinkFor(src, dst);
     stats_.Account(kind, size);
     const TimeNs arrival = WireArrival(link, size, loop_->now());
+    if (capture_ != nullptr) {
+      CaptureDelivery(src, dst, kind, size, arrival, receiver_delay);
+    }
     if (receiver_delay > 0) {
       loop_->ScheduleRelay(arrival, receiver_delay, std::move(on_delivery));
     } else {
@@ -319,6 +332,11 @@ void Fabric::DeliverReliable(PendingId id) {
     return;
   }
   p->delivered = true;
+  if (capture_ != nullptr) {
+    // Accept time IS loop_->now(): DeliverReliable runs at the copy's
+    // arrival instant, before any receiver_delay hop.
+    CaptureDelivery(p->src, p->dst, p->kind, p->size, loop_->now(), p->receiver_delay);
+  }
   if (p->timer != kInvalidEventId) {
     loop_->Cancel(p->timer);
     p->timer = kInvalidEventId;
@@ -391,6 +409,9 @@ void Fabric::SendDatagram(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
   stats_.Account(kind, size);
   const TimeNs base_arrival = WireArrival(link, size, now);
   if (plan_ == nullptr) {
+    if (capture_ != nullptr) {
+      CaptureDelivery(src, dst, kind, size, base_arrival, receiver_delay);
+    }
     if (receiver_delay > 0) {
       loop_->ScheduleRelay(base_arrival, receiver_delay, std::move(on_delivery));
     } else {
@@ -411,6 +432,9 @@ void Fabric::SendDatagram(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
   }
   TimeNs arrival = std::max(base_arrival + pert.extra_delay, link.last_arrival);
   link.last_arrival = arrival;
+  if (capture_ != nullptr) {
+    CaptureDelivery(src, dst, kind, size, arrival, receiver_delay);
+  }
   if (!pert.duplicate) {
     if (receiver_delay > 0) {
       loop_->ScheduleRelay(arrival, receiver_delay, std::move(on_delivery));
@@ -424,6 +448,9 @@ void Fabric::SendDatagram(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
   auto shared = std::make_shared<DeliveryFn>(std::move(on_delivery));
   const TimeNs dup_arrival = std::max(arrival + pert.duplicate_lag, link.last_arrival);
   link.last_arrival = dup_arrival;
+  if (capture_ != nullptr) {
+    CaptureDelivery(src, dst, kind, size, dup_arrival, receiver_delay);
+  }
   if (receiver_delay > 0) {
     loop_->ScheduleRelay(arrival, receiver_delay, [shared] { (*shared)(); });
     loop_->ScheduleRelay(dup_arrival, receiver_delay, [shared] { (*shared)(); });
@@ -485,6 +512,9 @@ void Fabric::SendParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
     LinkState& link = LinkFor(src, dst);
     StatsFor(src).Account(kind, size);
     const TimeNs arrival = WireArrival(link, size, sloop->now());
+    if (capture_ != nullptr) {
+      CaptureDelivery(src, dst, kind, size, arrival, receiver_delay);
+    }
     ploop_->ScheduleCross(src, dst, arrival, receiver_delay, std::move(on_delivery));
     return;
   }
@@ -531,6 +561,9 @@ void Fabric::AttemptParallel(ParPending* p) {
       // marker at the same arrival instant stops the retransmit clock
       // exactly when the serial channel would.
       p->winner_scheduled = true;
+      if (capture_ != nullptr) {
+        CaptureDelivery(p->src, p->dst, p->kind, p->size, arrival, p->receiver_delay);
+      }
       p->winner = ploop_->ScheduleCross(p->src, p->dst, arrival, p->receiver_delay,
                                         std::move(p->on_delivery), /*cancellable=*/true);
       ++p->refs;
@@ -628,6 +661,9 @@ void Fabric::SendDatagramParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t
   StatsFor(src).Account(kind, size);
   const TimeNs base_arrival = WireArrival(link, size, now);
   if (plan_ == nullptr) {
+    if (capture_ != nullptr) {
+      CaptureDelivery(src, dst, kind, size, base_arrival, receiver_delay);
+    }
     ploop_->ScheduleCross(src, dst, base_arrival, receiver_delay, std::move(on_delivery));
     return;
   }

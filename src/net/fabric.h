@@ -41,6 +41,8 @@
 
 namespace fragvisor {
 
+class CaptureLog;
+
 // Identifies a physical server in the cluster. Dense, starting at 0.
 using NodeId = int32_t;
 
@@ -167,8 +169,12 @@ class Fabric {
 
   // Routes every subsequent Send/SendDatagram through `plan` (not owned; must
   // outlive the fabric). Arms the plan's transition markers on the loop and
-  // turns Send() into the reliable channel described above.
-  void AttachFaultPlan(FaultPlan* plan, RetryPolicy policy = RetryPolicy());
+  // turns Send() into the reliable channel described above. Pass arm = false
+  // when restoring from a snapshot: the restored run resumes PAST every
+  // transition time, so re-arming the markers would fire them again at the
+  // resume instant and double-count the crash/partition counters; the
+  // NodeUp/LinkCut queries need only the plan's static schedule.
+  void AttachFaultPlan(FaultPlan* plan, RetryPolicy policy = RetryPolicy(), bool arm = true);
   const FaultPlan* fault_plan() const { return plan_; }
   FaultPlan* mutable_fault_plan() { return plan_; }
 
@@ -203,9 +209,22 @@ class Fabric {
                            uint64_t resp_size, TimeNs server_time, DeliveryFn on_response,
                            DeliveryFn on_fail = nullptr);
 
+  // Attaches an append-only delivery capture (not owned; may be null to
+  // detach). Every committed wire delivery is recorded — see capture.h for
+  // exactly which commit points count.
+  void SetCapture(CaptureLog* capture) { capture_ = capture; }
+  CaptureLog* capture() const { return capture_; }
+
   const FabricStats& stats() const { return stats_; }
   FabricStats& mutable_stats() { return stats_; }
   const RetryStats& retry_stats() const { return retry_stats_; }
+
+  // Snapshot restore: writable views of the per-sending-node stats shards
+  // (parallel mode) or the single global blocks (serial). Same routing as the
+  // fabric's own accounting, exposed so a loaded snapshot can repopulate the
+  // counters it saved.
+  FabricStats& StatsShardForRestore(NodeId src) { return StatsFor(src); }
+  RetryStats& RetryShardForRestore(NodeId src) { return RetryStatsFor(src); }
 
   // Serial stats plus every per-node shard. In serial mode this equals
   // stats()/retry_stats(); in parallel mode it is the only complete view.
@@ -297,6 +316,11 @@ class Fabric {
   Pending* PendingFor(PendingId id, uint32_t* slot_out);
   void MaybeReleasePending(uint32_t slot);
 
+  // Appends to the capture log, if one is attached (out-of-line so the
+  // header needs only a forward declaration of CaptureLog).
+  void CaptureDelivery(NodeId src, NodeId dst, MsgKind kind, uint64_t size, TimeNs time,
+                       TimeNs receiver_delay);
+
   TimeNs GraceFor(int attempt) const;
   void Attempt(PendingId id);
   void DeliverReliable(PendingId id);
@@ -330,6 +354,7 @@ class Fabric {
   std::vector<FabricStats> shard_stats_;
   std::vector<RetryStats> shard_retry_;
 
+  CaptureLog* capture_ = nullptr;
   FaultPlan* plan_ = nullptr;
   RetryPolicy policy_;
   RetryStats retry_stats_;

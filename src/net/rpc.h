@@ -240,6 +240,10 @@ class RpcLayer {
     return merged;
   }
 
+  // Snapshot restore writes counters back into the shard that owns them
+  // (the serial block when shards are absent).
+  RpcStats& StatsShardForRestore(NodeId node) { return S(node); }
+
  private:
   struct QueuedMsg {
     MsgKind kind = MsgKind::kControl;

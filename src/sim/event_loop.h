@@ -96,6 +96,15 @@ class EventLoop {
   // Makes Run()/RunUntil() return after the currently dispatching event.
   void Stop() { stopped_ = true; }
 
+  // Snapshot restore: jumps the clock forward on an EMPTY loop. A loaded
+  // snapshot re-creates each loop at its saved simulated time; requiring the
+  // queue to be drained keeps this from ever reordering pending events.
+  void AdvanceTo(TimeNs t) {
+    FV_CHECK(heap_.empty());
+    FV_CHECK_GE(t, now_);
+    now_ = t;
+  }
+
   bool empty() const { return heap_.empty(); }
   size_t pending_count() const { return heap_.size(); }
 

@@ -153,6 +153,18 @@ class FaultPlan {
   const FaultPlanStats& stats() const { return stats_; }
   FaultPlanStats& mutable_stats() { return stats_; }
 
+  // Snapshot serialization: the draw streams ARE the plan's dynamic state —
+  // restoring them (plus the stats counters) resumes the exact perturbation
+  // sequence. The static schedule (profiles, transitions, partitions) is
+  // reconstructed from configuration, not serialized.
+  Rng& mutable_rng() { return rng_; }
+  int num_node_streams() const { return static_cast<int>(node_rngs_.size()); }
+  Rng& mutable_node_rng(int node) {
+    FV_CHECK_GE(node, 0);
+    FV_CHECK_LT(static_cast<size_t>(node), node_rngs_.size());
+    return node_rngs_[static_cast<size_t>(node)];
+  }
+
   // Base stats plus every per-node shard (order-independent sums, so the
   // merged view is identical at any worker count).
   FaultPlanStats MergedStats() const;

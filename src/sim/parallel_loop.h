@@ -129,6 +129,24 @@ class ParallelEventLoop {
 
   const RunStats& stats() const { return stats_; }
 
+  // Snapshot serialization of the cancellable-token allocators. Restoring a
+  // partition's counter keeps CrossEventId allocation identical after a
+  // resume (token values feed nothing observable, but identical handles make
+  // resumed and uninterrupted runs indistinguishable under a debugger too).
+  // Only meaningful between runs; the committed-token maps are empty then
+  // because a drained run has fired or withdrawn every cancellable event.
+  uint32_t next_cancellable_token(int p) {
+    FV_CHECK_GE(p, 0);
+    FV_CHECK_LT(p, opt_.num_partitions);
+    return parts_[static_cast<size_t>(p)]->next_token;
+  }
+  void RestoreCancellableToken(int p, uint32_t token) {
+    FV_CHECK_GE(p, 0);
+    FV_CHECK_LT(p, opt_.num_partitions);
+    FV_CHECK(!running_);
+    parts_[static_cast<size_t>(p)]->next_token = token;
+  }
+
  private:
   // One mailbox entry: a cross schedule (cb != nullptr) or a cross cancel
   // (cb == nullptr, token identifies the victim).

@@ -53,6 +53,24 @@ class Rng {
   // Derives an independent child generator (for per-component streams).
   Rng Fork();
 
+  // Complete generator state, for snapshot serialization. Restoring a saved
+  // state resumes the exact draw sequence (including the Box-Muller cache).
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, have_cached_normal_, cached_normal_};
+  }
+  void RestoreState(const State& st) {
+    for (int i = 0; i < 4; ++i) {
+      s_[i] = st.s[i];
+    }
+    have_cached_normal_ = st.have_cached_normal;
+    cached_normal_ = st.cached_normal;
+  }
+
  private:
   uint64_t s_[4];
   bool have_cached_normal_ = false;

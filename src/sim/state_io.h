@@ -1,0 +1,31 @@
+// Snapshot serializers for the sim-layer primitives (RNG state, counters,
+// summaries). Higher layers compose these into whole-component sections; the
+// load side follows the reader's soft-error discipline — a malformed stream
+// latches an error on the reader and leaves partially-read values unusable,
+// so callers stage into fresh objects and commit only when ok().
+
+#ifndef FRAGVISOR_SRC_SIM_STATE_IO_H_
+#define FRAGVISOR_SRC_SIM_STATE_IO_H_
+
+#include "src/sim/rng.h"
+#include "src/sim/snapshot.h"
+#include "src/sim/stats.h"
+
+namespace fragvisor {
+
+void SaveRng(SnapshotWriter* w, const Rng& rng);
+void LoadRng(SnapshotReader* r, Rng* rng);
+
+void SaveCounter(SnapshotWriter* w, const Counter& c);
+void LoadCounter(SnapshotReader* r, Counter* c);
+
+void SaveSummary(SnapshotWriter* w, const Summary& s);
+void LoadSummary(SnapshotReader* r, Summary* s);
+
+// The set's width is part of the wire form; Load re-Inits to it.
+void SaveNodeCounterSet(SnapshotWriter* w, const NodeCounterSet& s);
+void LoadNodeCounterSet(SnapshotReader* r, NodeCounterSet* s);
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_SIM_STATE_IO_H_

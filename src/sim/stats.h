@@ -43,6 +43,17 @@ class Summary {
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
 
+  // Raw extrema for snapshot serialization: min()/max() clamp the empty
+  // sentinels to 0, which would not round-trip through Restore().
+  double raw_min() const { return min_; }
+  double raw_max() const { return max_; }
+  void Restore(uint64_t count, double sum, double raw_min, double raw_max) {
+    count_ = count;
+    sum_ = sum;
+    min_ = raw_min;
+    max_ = raw_max;
+  }
+
  private:
   uint64_t count_ = 0;
   double sum_ = 0.0;

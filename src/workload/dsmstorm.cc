@@ -5,9 +5,13 @@
 #include <utility>
 #include <vector>
 
+#include "src/ckpt/sim_snapshot.h"
+#include "src/net/capture.h"
 #include "src/sim/check.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/rng.h"
+#include "src/sim/snapshot.h"
+#include "src/sim/state_io.h"
 
 namespace fragvisor {
 namespace {
@@ -56,13 +60,26 @@ struct NodeState {
 
 class Storm {
  public:
-  Storm(const StormOptions& opts, int threads);
-  StormResult Run();
+  Storm(const StormOptions& opts, int threads, const StormRunConfig& cfg);
+  StormResult Run(const StormRunConfig& cfg);
+
+  // Restores a snapshot taken by a run with identical StormOptions on the
+  // same engine kind. On failure, latches the reader's error into `error`
+  // and returns false; the Storm instance may be partially mutated and must
+  // be discarded (RunStormEx never runs a failed load).
+  bool Load(const std::string& data, std::string* error);
 
  private:
   EventLoop* NodeLoop(int32_t node) {
     return ploop_ != nullptr ? ploop_->partition(node) : serial_.get();
   }
+
+  TimeNs Now() const { return ploop_ != nullptr ? ploop_->now_max() : serial_->now(); }
+
+  void ScheduleEpochKickoffs();
+  void RunEngine();
+  std::string Save();
+  uint64_t ConfigFingerprint() const;
 
   void DoAccess(int32_t node, int stream);
   void FinishAccess(int32_t node, int stream);
@@ -80,14 +97,18 @@ class Storm {
   std::unique_ptr<Fabric> fabric_;
   std::unique_ptr<RpcLayer> rpc_;
   std::vector<NodeState> nodes_;
+  uint64_t events_ = 0;        // dispatched so far (incl. restored epochs)
+  int completed_epochs_ = 0;
 };
 
-Storm::Storm(const StormOptions& opts, int threads) : opts_(opts), threads_(threads) {
+Storm::Storm(const StormOptions& opts, int threads, const StormRunConfig& cfg)
+    : opts_(opts), threads_(threads) {
   FV_CHECK_GT(opts.num_nodes, 0);
   FV_CHECK_GT(opts.streams_per_node, 0);
   FV_CHECK_GT(opts.accesses_per_stream, 0);
   FV_CHECK_GT(opts.pages_per_node, 0);
   FV_CHECK_GE(opts.cache_slots, 0);
+  FV_CHECK_GE(opts.epochs, 1);
   FV_CHECK_GE(threads, 0);
 
   if (threads > 0) {
@@ -143,7 +164,15 @@ Storm::Storm(const StormOptions& opts, int threads) : opts_(opts), threads_(thre
       plan_->PartitionLink(opts.partition_a, opts.partition_b, opts.partition_from,
                            opts.partition_until);
     }
-    fabric_->AttachFaultPlan(plan_.get());
+    // A restored run resumes past every transition marker (epoch boundaries
+    // drain the whole queue, markers included), so re-arming would fire them
+    // again at the resume instant and double-count the fault counters.
+    fabric_->AttachFaultPlan(plan_.get(), RetryPolicy(), /*arm=*/cfg.snapshot_in == nullptr);
+  }
+
+  if (cfg.capture != nullptr) {
+    FV_CHECK_EQ(cfg.capture->num_nodes(), opts.num_nodes);
+    fabric_->SetCapture(cfg.capture);
   }
 
   rpc_ = std::make_unique<RpcLayer>(serial_.get(), fabric_.get(), RpcConfig{});
@@ -170,14 +199,34 @@ Storm::Storm(const StormOptions& opts, int threads) : opts_(opts), threads_(thre
                [this](const RpcLayer::Inbound& in) { HandleInvalidate(in); });
   }
 
-  // Stagger stream kickoff deterministically so time zero is not one giant tie.
-  for (int32_t n = 0; n < opts.num_nodes; ++n) {
-    for (int s = 0; s < opts.streams_per_node; ++s) {
+  // Stream kickoffs are scheduled per epoch by Run(), never here: a restored
+  // run must not see epoch-0 kickoffs in its queue.
+}
+
+// Schedules the next epoch's accesses. Epoch 0 of a fresh run starts at the
+// historical staggered offsets (time zero must not be one giant tie); every
+// later epoch — and every epoch of a restored run — starts one full link
+// latency past the drained queue's end, which keeps the base strictly above
+// the parallel core's lookahead horizon so both the direct partition
+// ScheduleAt here and the cross-node sends it triggers are legal. The base
+// is a pure function of the (deterministic) drain time, so a resumed run
+// schedules the identical kickoffs the uninterrupted run does.
+void Storm::ScheduleEpochKickoffs() {
+  const TimeNs now = Now();
+  const TimeNs base = now == 0 ? 0 : now + opts_.link.latency + 1;
+  for (int32_t n = 0; n < opts_.num_nodes; ++n) {
+    NodeState& ns = nodes_[static_cast<size_t>(n)];
+    for (int s = 0; s < opts_.streams_per_node; ++s) {
+      ns.streams[static_cast<size_t>(s)].remaining = opts_.accesses_per_stream;
       const TimeNs start =
-          Nanos(1 + (static_cast<int64_t>(n) * opts.streams_per_node + s) % 97);
+          base + Nanos(1 + (static_cast<int64_t>(n) * opts_.streams_per_node + s) % 97);
       NodeLoop(n)->ScheduleAt(start, [this, n, s] { DoAccess(n, s); });
     }
   }
+}
+
+void Storm::RunEngine() {
+  events_ += ploop_ != nullptr ? ploop_->Run() : serial_->Run();
 }
 
 void Storm::DoAccess(int32_t node, int stream) {
@@ -328,8 +377,269 @@ uint64_t Storm::Digest() const {
   return h;
 }
 
-StormResult Storm::Run() {
-  const size_t events = ploop_ != nullptr ? ploop_->Run() : serial_->Run();
+// Canonical fingerprint of everything that shapes the event timeline. A
+// snapshot only loads into a run built from the same options (same build:
+// double fields go through to_string, which is stable within one binary).
+uint64_t Storm::ConfigFingerprint() const {
+  std::string s = "storm-v1";
+  const auto add = [&s](const std::string& v) {
+    s += '|';
+    s += v;
+  };
+  add(std::to_string(opts_.num_nodes));
+  add(std::to_string(opts_.streams_per_node));
+  add(std::to_string(opts_.accesses_per_stream));
+  add(std::to_string(opts_.pages_per_node));
+  add(std::to_string(opts_.cache_slots));
+  add(std::to_string(opts_.remote_frac));
+  add(std::to_string(opts_.write_frac));
+  add(std::to_string(opts_.think_ns));
+  add(std::to_string(opts_.seed));
+  add(std::to_string(opts_.epochs));
+  add(std::to_string(opts_.link.latency));
+  add(std::to_string(opts_.link.bytes_per_second));
+  add(std::to_string(opts_.latency_jitter_ns));
+  add(std::to_string(opts_.drop_prob));
+  add(std::to_string(opts_.dup_prob));
+  add(std::to_string(opts_.extra_delay_max));
+  add(std::to_string(opts_.crash_node));
+  add(std::to_string(opts_.crash_at));
+  add(std::to_string(opts_.restart_at));
+  add(std::to_string(opts_.partition_a));
+  add(std::to_string(opts_.partition_b));
+  add(std::to_string(opts_.partition_from));
+  add(std::to_string(opts_.partition_until));
+  return SnapshotHashString(s);
+}
+
+std::string Storm::Save() {
+  SnapshotWriter w;
+  w.BeginSection("storm.run");
+  w.U64(ConfigFingerprint());
+  w.U8(ploop_ != nullptr ? 1 : 0);
+  w.U32(static_cast<uint32_t>(completed_epochs_));
+  w.U64(events_);
+
+  // Virtual clocks: everything else at the drained boundary (link busy/
+  // arrival clamps, pending-slot free lists, event sequence numbers) is
+  // provably equivalent to a fresh object's state, so the clocks are the
+  // only engine state on the wire.
+  w.BeginSection("storm.clocks");
+  if (ploop_ != nullptr) {
+    for (int p = 0; p < opts_.num_nodes; ++p) {
+      w.I64(ploop_->partition(p)->now());
+      w.U32(ploop_->next_cancellable_token(p));
+    }
+  } else {
+    w.I64(serial_->now());
+  }
+
+  w.BeginSection("storm.nodes");
+  for (NodeState& ns : nodes_) {
+    for (StreamState& st : ns.streams) {
+      SaveRng(&w, st.rng);
+      w.I64(st.remaining);
+    }
+    for (const int64_t g : ns.cache) {
+      w.I64(g);
+    }
+    for (const uint64_t v : ns.version) {
+      w.U64(v);
+    }
+    for (const int32_t lr : ns.last_reader) {
+      w.I64(lr);
+    }
+    w.U64(ns.c.local_accesses);
+    w.U64(ns.c.cache_hits);
+    w.U64(ns.c.remote_reads);
+    w.U64(ns.c.remote_writes);
+    w.U64(ns.c.served_reads);
+    w.U64(ns.c.served_writes);
+    w.U64(ns.c.invalidations);
+    w.U64(ns.c.evictions);
+    w.U64(ns.c.failures);
+  }
+
+  // Merged transport counters: the loader folds them into one shard, which
+  // every merged read sums back to the same totals.
+  w.BeginSection("storm.transport");
+  SaveFabricStats(&w, fabric_->MergedStats());
+  SaveRetryStats(&w, fabric_->MergedRetryStats());
+  SaveRpcStats(&w, rpc_->MergedStats());
+
+  w.BeginSection("storm.faults");
+  w.U8(plan_ != nullptr ? 1 : 0);
+  if (plan_ != nullptr) {
+    SaveFaultPlanState(&w, plan_.get());
+  }
+  return w.Finish();
+}
+
+bool Storm::Load(const std::string& data, std::string* error) {
+  SnapshotReader r(data);
+  const auto fail = [&r, error]() {
+    if (error != nullptr) {
+      *error = r.error();
+    }
+    return false;
+  };
+  if (!r.Section("storm.run")) {
+    return fail();
+  }
+  const uint64_t fingerprint = r.U64();
+  const bool parallel = r.U8() != 0;
+  const uint32_t epochs_done = r.U32();
+  const uint64_t events = r.U64();
+  if (!r.ok()) {
+    return fail();
+  }
+  if (fingerprint != ConfigFingerprint()) {
+    r.FailExternal("storm: snapshot was taken under different StormOptions");
+    return fail();
+  }
+  if (parallel != (ploop_ != nullptr)) {
+    r.FailExternal(parallel
+                       ? "storm: snapshot was taken on the parallel engine (use --threads >= 1)"
+                       : "storm: snapshot was taken on the serial engine (use --threads 0)");
+    return fail();
+  }
+  if (epochs_done > static_cast<uint32_t>(opts_.epochs)) {
+    r.FailExternal("storm: snapshot claims more completed epochs than the run has");
+    return fail();
+  }
+
+  // Clocks are staged and validated before touching any loop: AdvanceTo
+  // treats a time regression as a programming error, so a hostile stream
+  // must be rejected here, not there.
+  if (!r.Section("storm.clocks")) {
+    return fail();
+  }
+  std::vector<TimeNs> nows;
+  std::vector<uint32_t> tokens;
+  if (ploop_ != nullptr) {
+    nows.reserve(static_cast<size_t>(opts_.num_nodes));
+    tokens.reserve(static_cast<size_t>(opts_.num_nodes));
+    for (int p = 0; p < opts_.num_nodes; ++p) {
+      nows.push_back(r.I64());
+      tokens.push_back(r.U32());
+    }
+  } else {
+    nows.push_back(r.I64());
+  }
+  if (!r.ok()) {
+    return fail();
+  }
+  for (const TimeNs t : nows) {
+    if (t < 0) {
+      r.FailExternal("storm: negative virtual clock");
+      return fail();
+    }
+  }
+
+  if (!r.Section("storm.nodes")) {
+    return fail();
+  }
+  std::vector<NodeState> staged(nodes_.size());
+  const int64_t max_gpid =
+      static_cast<int64_t>(opts_.num_nodes) * static_cast<int64_t>(opts_.pages_per_node);
+  for (NodeState& ns : staged) {
+    ns.streams.resize(static_cast<size_t>(opts_.streams_per_node));
+    for (StreamState& st : ns.streams) {
+      LoadRng(&r, &st.rng);
+      st.remaining = static_cast<int>(r.I64());
+      if (r.ok() && (st.remaining < 0 || st.remaining > opts_.accesses_per_stream)) {
+        r.FailExternal("storm: stream progress out of range");
+        return fail();
+      }
+    }
+    ns.cache.resize(static_cast<size_t>(opts_.cache_slots));
+    for (int64_t& g : ns.cache) {
+      g = r.I64();
+      if (r.ok() && (g < -1 || g >= max_gpid)) {
+        r.FailExternal("storm: cached page id out of range");
+        return fail();
+      }
+    }
+    ns.version.resize(static_cast<size_t>(opts_.pages_per_node));
+    for (uint64_t& v : ns.version) {
+      v = r.U64();
+    }
+    ns.last_reader.resize(static_cast<size_t>(opts_.pages_per_node));
+    for (int32_t& lr : ns.last_reader) {
+      lr = static_cast<int32_t>(r.I64());
+      if (r.ok() && (lr < -1 || lr >= opts_.num_nodes)) {
+        r.FailExternal("storm: last-reader node out of range");
+        return fail();
+      }
+    }
+    ns.c.local_accesses = r.U64();
+    ns.c.cache_hits = r.U64();
+    ns.c.remote_reads = r.U64();
+    ns.c.remote_writes = r.U64();
+    ns.c.served_reads = r.U64();
+    ns.c.served_writes = r.U64();
+    ns.c.invalidations = r.U64();
+    ns.c.evictions = r.U64();
+    ns.c.failures = r.U64();
+  }
+  if (!r.ok()) {
+    return fail();
+  }
+
+  if (!r.Section("storm.transport")) {
+    return fail();
+  }
+  FabricStats staged_fabric;
+  RetryStats staged_retry;
+  RpcStats staged_rpc;
+  LoadFabricStats(&r, &staged_fabric);
+  LoadRetryStats(&r, &staged_retry);
+  LoadRpcStats(&r, &staged_rpc);
+
+  if (!r.Section("storm.faults")) {
+    return fail();
+  }
+  const bool had_plan = r.U8() != 0;
+  if (r.ok() && had_plan != (plan_ != nullptr)) {
+    r.FailExternal("storm: fault-plan presence mismatch");
+    return fail();
+  }
+  if (had_plan) {
+    LoadFaultPlanState(&r, plan_.get());
+  }
+  if (!r.AtEnd()) {
+    return fail();
+  }
+
+  // Commit. Rng streams inside the fault plan were restored in place above;
+  // a failure past that point discards the whole Storm, so partial mutation
+  // is unobservable.
+  if (ploop_ != nullptr) {
+    for (int p = 0; p < opts_.num_nodes; ++p) {
+      ploop_->partition(p)->AdvanceTo(nows[static_cast<size_t>(p)]);
+      ploop_->RestoreCancellableToken(p, tokens[static_cast<size_t>(p)]);
+    }
+  } else {
+    serial_->AdvanceTo(nows[0]);
+  }
+  nodes_ = std::move(staged);
+  fabric_->StatsShardForRestore(0) = staged_fabric;
+  fabric_->RetryShardForRestore(0) = staged_retry;
+  rpc_->StatsShardForRestore(0) = staged_rpc;
+  completed_epochs_ = static_cast<int>(epochs_done);
+  events_ = events;
+  return true;
+}
+
+StormResult Storm::Run(const StormRunConfig& cfg) {
+  for (int e = completed_epochs_; e < opts_.epochs; ++e) {
+    ScheduleEpochKickoffs();
+    RunEngine();
+    completed_epochs_ = e + 1;
+    if (cfg.snapshot_out != nullptr && completed_epochs_ == cfg.snapshot_epoch) {
+      *cfg.snapshot_out = Save();
+    }
+  }
   StormResult r;
   r.per_node.reserve(nodes_.size());
   for (const NodeState& ns : nodes_) {
@@ -337,7 +647,7 @@ StormResult Storm::Run() {
     r.totals.Accumulate(ns.c);
   }
   r.finish_time = ploop_ != nullptr ? ploop_->now_max() : serial_->now();
-  r.events_dispatched = events;
+  r.events_dispatched = events_;
   r.state_digest = Digest();
   r.fabric = fabric_->MergedStats();
   r.retry = fabric_->MergedRetryStats();
@@ -369,8 +679,27 @@ void StormCounters::Accumulate(const StormCounters& o) {
 }
 
 StormResult RunStorm(const StormOptions& opts, int threads) {
-  Storm storm(opts, threads);
-  return storm.Run();
+  return RunStormEx(opts, threads, StormRunConfig{});
+}
+
+StormResult RunStormEx(const StormOptions& opts, int threads, const StormRunConfig& cfg) {
+  if (cfg.snapshot_out != nullptr) {
+    FV_CHECK_GE(cfg.snapshot_epoch, 1);
+    FV_CHECK_LE(cfg.snapshot_epoch, opts.epochs);
+  }
+  Storm storm(opts, threads, cfg);
+  if (cfg.snapshot_in != nullptr) {
+    std::string err;
+    if (!storm.Load(*cfg.snapshot_in, &err)) {
+      if (cfg.error == nullptr) {
+        std::fprintf(stderr, "storm snapshot load failed: %s\n", err.c_str());
+        std::abort();
+      }
+      *cfg.error = err;
+      return StormResult{};
+    }
+  }
+  return storm.Run(cfg);
 }
 
 std::string StormReport(const StormResult& r) {

@@ -47,6 +47,11 @@ struct StormOptions {
   double write_frac = 0.3;   // fraction of remote accesses that are writes
   TimeNs think_ns = Micros(2);
   uint64_t seed = 1;
+  // Each epoch runs accesses_per_stream accesses on every stream and drains
+  // the event queue completely before the next epoch's streams kick off —
+  // the quiesce points where whole-sim snapshots are possible (no in-flight
+  // closures). epochs == 1 is exactly the historical single-shot storm.
+  int epochs = 1;
 
   LinkParams link = LinkParams::InfiniBand56G();
   // Deterministic per-directed-link latency spread on top of link.latency,
@@ -114,6 +119,32 @@ struct StormResult {
 // engine; threads >= 1 selects the ParallelEventLoop with one partition per
 // node and `threads` workers.
 StormResult RunStorm(const StormOptions& opts, int threads);
+
+// Snapshot / record-replay hooks for one storm run (DESIGN.md §10).
+struct StormRunConfig {
+  // Save: once `snapshot_epoch` epochs have completed (1-based, at most
+  // opts.epochs), the whole-sim state is serialized here; the run then
+  // continues to completion as usual.
+  std::string* snapshot_out = nullptr;
+  int snapshot_epoch = 0;
+
+  // Load: resume from this snapshot instead of starting at epoch 0. The
+  // engine kind (serial vs parallel) and every StormOptions field must match
+  // the saving run; the parallel worker count may differ. A resumed run's
+  // StormReport() is byte-identical to the uninterrupted run's.
+  const std::string* snapshot_in = nullptr;
+
+  // Load-failure sink: the reader's error lands here and RunStormEx returns
+  // a default StormResult. Without a sink, a load failure aborts.
+  std::string* error = nullptr;
+
+  // Optional fabric capture log (record/replay); must be constructed with
+  // opts.num_nodes. Records every committed wire delivery of the run.
+  CaptureLog* capture = nullptr;
+};
+
+// RunStorm plus snapshot save/load and fabric capture.
+StormResult RunStormEx(const StormOptions& opts, int threads, const StormRunConfig& cfg);
 
 // Canonical, line-oriented dump of everything the determinism contract
 // covers. Byte-compare two of these to compare two runs.

@@ -22,7 +22,7 @@
 #include "src/net/fabric.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/fault_plan.h"
-#include "tests/golden_trace.h"
+#include "src/workload/goldentrace.h"
 
 namespace fragvisor {
 namespace {
@@ -37,10 +37,8 @@ TEST(DsmFastPathGuardTest, ExplicitOffMatchesDefaultAndGoldenConstants) {
       });
   EXPECT_TRUE(def == off) << "explicitly-off fast paths perturbed the golden trace";
 
-  // Anchor against the pinned constants (full set lives in dsm_radix_test).
-  EXPECT_EQ(off.protocol_messages, 73293u);
-  EXPECT_EQ(off.protocol_bytes, 122078656u);
-  EXPECT_EQ(off.final_time, 20001464);
+  // Anchor against the suite pin (scenarios/golden-baseline.json).
+  EXPECT_EQ(GoldenTraceHash(off), kGoldenBaselineHash) << GoldenTraceReport(off);
 
   // Off means off: no fast-path machinery may even count.
   EXPECT_EQ(off.hint_hits, 0u);

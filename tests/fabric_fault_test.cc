@@ -13,7 +13,7 @@
 #include "src/net/fabric.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/fault_plan.h"
-#include "tests/golden_trace.h"
+#include "src/workload/goldentrace.h"
 
 namespace fragvisor {
 namespace {

@@ -47,6 +47,45 @@ for config in "${configs[@]}"; do
   echo "=== [$config] ctest (tier1) ==="
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -L tier1
 
+  if [ "$config" = "release" ] || [ "$config" = "asan" ]; then
+    # Versioned scenario suite (DESIGN.md §10): every pinned configuration
+    # must reproduce its expected-output hash. On mismatch the runner prints
+    # the full canonical report; archive it for the postmortem.
+    artifacts="build-ci/artifacts"
+    mkdir -p "$artifacts"
+    echo "=== [$config] scenario suite ==="
+    if ! "$build_dir/tools/scenario_runner" scenarios/*.json \
+        | tee "$artifacts/scenarios_$config.txt"; then
+      echo "scenario suite failed; report at $artifacts/scenarios_$config.txt" >&2
+      exit 1
+    fi
+
+    # Whole-sim snapshot + fabric record/replay through separate processes:
+    # run A records a capture and saves a snapshot at epoch 1; run B resumes
+    # from the snapshot and must produce a byte-identical canonical report;
+    # `fvsim replay` re-runs the recorded configuration and must commit the
+    # exact same delivery stream. Diverging captures stay in the artifacts
+    # directory for offline diffing.
+    echo "=== [$config] fvsim snapshot + capture/replay round trip ==="
+    snap_flags=(storm --nodes 12 --streams 3 --accesses 80 --epochs 3
+                --threads 2 --fault-drop 0.02 --fault-delay-us 2)
+    "$build_dir/tools/fvsim" "${snap_flags[@]}" \
+        --capture "$artifacts/ci_storm_$config.fvcap" \
+        --snapshot-save "$artifacts/ci_storm_$config.fvsnap" --snapshot-epoch 1 \
+        --report "$artifacts/ci_storm_full_$config.txt" >/dev/null
+    "$build_dir/tools/fvsim" "${snap_flags[@]}" \
+        --snapshot-load "$artifacts/ci_storm_$config.fvsnap" \
+        --report "$artifacts/ci_storm_resumed_$config.txt" >/dev/null
+    diff "$artifacts/ci_storm_full_$config.txt" \
+         "$artifacts/ci_storm_resumed_$config.txt"
+    echo "fresh-process snapshot resume is byte-identical"
+    if ! "$build_dir/tools/fvsim" replay \
+        --capture "$artifacts/ci_storm_$config.fvcap"; then
+      echo "replay diverged; capture kept at $artifacts/ci_storm_$config.fvcap" >&2
+      exit 1
+    fi
+  fi
+
   if [ "$config" = "asan" ] || [ "$config" = "ubsan" ]; then
     # Randomized fault-injection suites get extra mileage under the
     # sanitizers: three distinct seeds per configuration. Every seed run

@@ -22,11 +22,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/harness.h"
 #include "bench/runner.h"
+#include "src/net/capture.h"
 #include "src/sim/trace.h"
 #include "src/workload/dsmstorm.h"
 
@@ -323,6 +325,156 @@ int RunFaasCmd(const Args& args) {
   return 0;
 }
 
+bool WriteBinaryFile(const std::string& path, const std::string& data, const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s file '%s'\n", what, path.c_str());
+    return false;
+  }
+  const size_t n = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (n != data.size()) {
+    std::fprintf(stderr, "short write to %s file '%s'\n", what, path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ReadBinaryFile(const std::string& path, std::string* data, const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s file '%s'\n", what, path.c_str());
+    return false;
+  }
+  data->clear();
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+// The capture file's config blob: one key=value line per StormOptions field
+// plus the recording engine, so `fvsim replay` can re-run the captured
+// configuration with no flags.
+std::string StormConfigBlob(const StormOptions& so, int threads) {
+  std::string s;
+  const auto kv = [&s](const char* k, const std::string& v) {
+    s += k;
+    s += '=';
+    s += v;
+    s += '\n';
+  };
+  kv("workload", "storm");
+  kv("nodes", std::to_string(so.num_nodes));
+  kv("streams", std::to_string(so.streams_per_node));
+  kv("accesses", std::to_string(so.accesses_per_stream));
+  kv("pages", std::to_string(so.pages_per_node));
+  kv("cache_slots", std::to_string(so.cache_slots));
+  kv("remote_frac", std::to_string(so.remote_frac));
+  kv("write_frac", std::to_string(so.write_frac));
+  kv("think_ns", std::to_string(so.think_ns));
+  kv("seed", std::to_string(so.seed));
+  kv("epochs", std::to_string(so.epochs));
+  kv("link_latency_ns", std::to_string(so.link.latency));
+  kv("link_bps", std::to_string(so.link.bytes_per_second));
+  kv("jitter_ns", std::to_string(so.latency_jitter_ns));
+  kv("drop_prob", std::to_string(so.drop_prob));
+  kv("dup_prob", std::to_string(so.dup_prob));
+  kv("extra_delay_max", std::to_string(so.extra_delay_max));
+  kv("crash_node", std::to_string(so.crash_node));
+  kv("crash_at", std::to_string(so.crash_at));
+  kv("restart_at", std::to_string(so.restart_at));
+  kv("partition_a", std::to_string(so.partition_a));
+  kv("partition_b", std::to_string(so.partition_b));
+  kv("partition_from", std::to_string(so.partition_from));
+  kv("partition_until", std::to_string(so.partition_until));
+  kv("threads", std::to_string(threads));
+  return s;
+}
+
+bool ParseStormConfigBlob(const std::string& blob, StormOptions* so, int* threads) {
+  for (size_t pos = 0; pos < blob.size();) {
+    const size_t nl = blob.find('\n', pos);
+    const size_t end = nl == std::string::npos ? blob.size() : nl;
+    const std::string line = blob.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) {
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "malformed capture config line '%s'\n", line.c_str());
+      return false;
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string val = line.substr(eq + 1);
+    const auto i = [&val]() { return std::atoi(val.c_str()); };
+    const auto l = [&val]() { return std::atoll(val.c_str()); };
+    const auto d = [&val]() { return std::atof(val.c_str()); };
+    if (key == "workload") {
+      if (val != "storm") {
+        std::fprintf(stderr, "capture is for workload '%s', not storm\n", val.c_str());
+        return false;
+      }
+    } else if (key == "nodes") {
+      so->num_nodes = i();
+    } else if (key == "streams") {
+      so->streams_per_node = i();
+    } else if (key == "accesses") {
+      so->accesses_per_stream = i();
+    } else if (key == "pages") {
+      so->pages_per_node = i();
+    } else if (key == "cache_slots") {
+      so->cache_slots = i();
+    } else if (key == "remote_frac") {
+      so->remote_frac = d();
+    } else if (key == "write_frac") {
+      so->write_frac = d();
+    } else if (key == "think_ns") {
+      so->think_ns = l();
+    } else if (key == "seed") {
+      so->seed = static_cast<uint64_t>(l());
+    } else if (key == "epochs") {
+      so->epochs = i();
+    } else if (key == "link_latency_ns") {
+      so->link.latency = l();
+    } else if (key == "link_bps") {
+      so->link.bytes_per_second = d();
+    } else if (key == "jitter_ns") {
+      so->latency_jitter_ns = l();
+    } else if (key == "drop_prob") {
+      so->drop_prob = d();
+    } else if (key == "dup_prob") {
+      so->dup_prob = d();
+    } else if (key == "extra_delay_max") {
+      so->extra_delay_max = l();
+    } else if (key == "crash_node") {
+      so->crash_node = i();
+    } else if (key == "crash_at") {
+      so->crash_at = l();
+    } else if (key == "restart_at") {
+      so->restart_at = l();
+    } else if (key == "partition_a") {
+      so->partition_a = i();
+    } else if (key == "partition_b") {
+      so->partition_b = i();
+    } else if (key == "partition_from") {
+      so->partition_from = l();
+    } else if (key == "partition_until") {
+      so->partition_until = l();
+    } else if (key == "threads") {
+      *threads = i();
+    } else {
+      std::fprintf(stderr, "unknown capture config key '%s'\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 // DSM coherence storm on the parallel simulation core.
 //
 //   fvsim storm --threads 4                      # ParallelEventLoop, 4 workers
@@ -331,6 +483,12 @@ int RunFaasCmd(const Args& args) {
 //
 // The canonical report (--report) is byte-identical across --threads values
 // for a fixed configuration; pipe two runs through diff to check.
+//
+// Snapshots and record/replay (DESIGN.md §10):
+//   fvsim storm --epochs 4 --snapshot-save s.fvsnap --snapshot-epoch 2
+//   fvsim storm --epochs 4 --snapshot-load s.fvsnap        # resumes epoch 3
+//   fvsim storm --capture run.fvcap                        # record deliveries
+//   fvsim replay --capture run.fvcap                       # re-run and diff
 int RunStormCmd(const Args& args) {
   StormOptions so;
   so.num_nodes = args.GetInt("nodes", 64);
@@ -384,11 +542,58 @@ int RunStormCmd(const Args& args) {
     so.partition_until = Millis(static_cast<TimeNs>(until_ms));
   }
 
+  so.epochs = args.GetInt("epochs", 1);
+
   const int threads = args.GetInt("threads", 0);
+  StormRunConfig cfg;
+  std::string snapshot_out;
+  if (args.Has("snapshot-save")) {
+    cfg.snapshot_out = &snapshot_out;
+    cfg.snapshot_epoch = args.GetInt("snapshot-epoch", so.epochs);
+  }
+  std::string snapshot_in;
+  if (args.Has("snapshot-load")) {
+    if (!ReadBinaryFile(args.Get("snapshot-load", ""), &snapshot_in, "snapshot")) {
+      return 2;
+    }
+    cfg.snapshot_in = &snapshot_in;
+  }
+  std::string load_error;
+  cfg.error = &load_error;
+  std::unique_ptr<CaptureLog> capture;
+  if (args.Has("capture")) {
+    capture = std::make_unique<CaptureLog>(so.num_nodes);
+    cfg.capture = capture.get();
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
-  const StormResult r = RunStorm(so, threads);
+  const StormResult r = RunStormEx(so, threads, cfg);
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  if (!load_error.empty()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n", load_error.c_str());
+    return 2;
+  }
+  if (cfg.snapshot_out != nullptr) {
+    if (snapshot_out.empty()) {
+      std::fprintf(stderr, "no snapshot was taken (is --snapshot-epoch within --epochs?)\n");
+      return 2;
+    }
+    if (!WriteBinaryFile(args.Get("snapshot-save", ""), snapshot_out, "snapshot")) {
+      return 2;
+    }
+    std::printf("snapshot (%zu bytes, epoch %d) written to %s\n", snapshot_out.size(),
+                cfg.snapshot_epoch, args.Get("snapshot-save", "").c_str());
+  }
+  if (capture != nullptr) {
+    const std::string data = capture->Serialize(StormConfigBlob(so, threads));
+    if (!WriteBinaryFile(args.Get("capture", ""), data, "capture")) {
+      return 2;
+    }
+    std::printf("capture (%llu deliveries, %zu bytes) written to %s\n",
+                static_cast<unsigned long long>(capture->total_records()), data.size(),
+                args.Get("capture", "").c_str());
+  }
 
   std::printf("storm %d nodes x %d streams on %s: %.2f ms simulated, %llu events "
               "(%.0f events/s wall), digest %016llx\n",
@@ -466,6 +671,69 @@ int RunStormCmd(const Args& args) {
   return 0;
 }
 
+// Re-runs a captured configuration and diffs the fresh delivery stream
+// against the recording, shredcap-style: exit 0 and "zero diffs" when the
+// fabric commits byte-identical deliveries, otherwise the first mismatched
+// delivery (time, src, dst, kind, payload hash) and exit 1.
+//
+//   fvsim replay --capture run.fvcap [--threads N]
+//
+// --threads overrides the recorded worker count — legal because the capture
+// order is worker-count-invariant; the engine KIND still comes from the
+// recording (0 stays serial, >=1 stays parallel).
+int RunReplayCmd(const Args& args) {
+  const std::string path = args.Get("capture", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "replay needs --capture FILE\n");
+    return 2;
+  }
+  std::string data;
+  if (!ReadBinaryFile(path, &data, "capture")) {
+    return 2;
+  }
+  std::string blob;
+  std::vector<CaptureRecord> expected;
+  std::string error;
+  if (!CaptureLog::Deserialize(data, &blob, &expected, &error)) {
+    std::fprintf(stderr, "cannot load capture '%s': %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  StormOptions so;
+  int recorded_threads = 0;
+  if (!ParseStormConfigBlob(blob, &so, &recorded_threads)) {
+    return 2;
+  }
+  int threads = args.GetInt("threads", recorded_threads);
+  if ((threads > 0) != (recorded_threads > 0)) {
+    std::fprintf(stderr, "capture was recorded on the %s engine; --threads must stay %s\n",
+                 recorded_threads > 0 ? "parallel" : "serial",
+                 recorded_threads > 0 ? ">= 1" : "0");
+    return 2;
+  }
+
+  CaptureLog live(so.num_nodes);
+  StormRunConfig cfg;
+  cfg.capture = &live;
+  RunStormEx(so, threads, cfg);
+  const std::vector<CaptureRecord> actual = live.Canonical();
+
+  const int64_t diverge = CaptureDiverge(expected, actual);
+  if (diverge < 0) {
+    std::printf("replay: %zu deliveries, zero diffs\n", actual.size());
+    return 0;
+  }
+  const size_t at = static_cast<size_t>(diverge);
+  std::printf("replay: DIVERGED at delivery %lld of %zu\n", static_cast<long long>(diverge),
+              expected.size());
+  std::printf("  recorded: %s\n", at < expected.size()
+                                      ? CaptureLog::Describe(expected[at]).c_str()
+                                      : "(absent — live run committed extra deliveries)");
+  std::printf("  live:     %s\n", at < actual.size()
+                                      ? CaptureLog::Describe(actual[at]).c_str()
+                                      : "(absent — live run ended early)");
+  return 1;
+}
+
 int RunSweep(const Args& args) {
   const NpbProfile profile =
       ScaleNpb(NpbByName(args.Get("bench", "CG")), args.GetDouble("scale", 0.25));
@@ -520,7 +788,10 @@ int List() {
   std::printf("        [--scale F] [--seed N] [--jobs N]\n");
   std::printf("  storm [--threads N] [--nodes N] [--streams N] [--accesses N] [--pages N]\n");
   std::printf("        [--cache-slots N] [--remote-frac F] [--write-frac F] [--think-ns T]\n");
-  std::printf("        [--jitter-ns T] [--seed N] [--report] [fault flags]\n");
+  std::printf("        [--jitter-ns T] [--seed N] [--epochs N] [--report] [fault flags]\n");
+  std::printf("        [--snapshot-save F --snapshot-epoch K] [--snapshot-load F]\n");
+  std::printf("        [--capture F]\n");
+  std::printf("  replay --capture F [--threads N]\n");
   std::printf("  list\n\n");
   std::printf("systems: fragvisor | giantvm | overcommit[:pcpus]\n");
   std::printf("flags:   --vanilla-guest --no-multiqueue --no-bypass --no-contextual-dsm\n");
@@ -566,6 +837,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "storm") {
     return RunStormCmd(args);
+  }
+  if (args.command == "replay") {
+    return RunReplayCmd(args);
   }
   if (args.command == "sweep") {
     return RunSweep(args);

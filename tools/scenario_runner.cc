@@ -1,0 +1,425 @@
+// Versioned scenario suite runner (DESIGN.md §10).
+//
+// A scenario is a flat JSON file under scenarios/ pinning one deterministic
+// simulation configuration to the FNV-1a hash of its canonical report:
+//
+//   { "name": "storm-serial-baseline", "kind": "storm",
+//     "nodes": 16, "accesses": 120, "epochs": 2, "threads": 0,
+//     "expect": "0x1234abcd5678ef90" }
+//
+// Kinds:
+//   storm  — RunStorm over StormOptions keys; report = StormReport().
+//            Optional cross-checks: "compare_threads" re-runs at another
+//            worker count and requires byte-equal reports; "verify_resume"
+//            snapshots at epoch 1, resumes in-process, and requires the
+//            resumed report byte-equal too.
+//   golden — the 10k-page DSM golden trace; keys hints/replicate/adaptive
+//            toggle fast paths, "empty_plan" attaches an empty FaultPlan,
+//            "snapshot_roundtrip" save/loads the engine mid-trace. Report =
+//            GoldenTraceReport().
+//   npb    — one NPB multi-process harness run; keys bench/scale/vcpus/seed.
+//            Report = end time + integer fault counters.
+//
+// Usage:
+//   scenario_runner FILE...          run, compare to "expect", exit 0/1
+//   scenario_runner --print FILE...  print report + hash (pin generation)
+//
+// On mismatch the full canonical report is printed so the diff is in the CI
+// log, and ci.sh archives it under build-ci/artifacts/.
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/snapshot.h"
+#include "src/workload/dsmstorm.h"
+#include "src/workload/goldentrace.h"
+#include "src/workload/npb.h"
+
+namespace fragvisor {
+namespace {
+
+// --- Flat JSON subset parser ---------------------------------------------
+// One object, string keys, scalar values (string / number / true / false).
+// Arrays and nesting are rejected — scenarios are deliberately flat so the
+// format stays greppable and diffable.
+
+bool ParseFlatJson(const std::string& text, std::map<std::string, std::string>* out,
+                   std::string* error) {
+  size_t i = 0;
+  const auto skip = [&]() {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  const auto fail = [&](const std::string& why) {
+    *error = why + " (at byte " + std::to_string(i) + ")";
+    return false;
+  };
+  const auto parse_string = [&](std::string* s) {
+    ++i;  // opening quote
+    s->clear();
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\') {
+        return false;  // escapes unsupported — keep scenario names plain
+      }
+      s->push_back(text[i++]);
+    }
+    if (i >= text.size()) {
+      return false;
+    }
+    ++i;  // closing quote
+    return true;
+  };
+
+  skip();
+  if (i >= text.size() || text[i] != '{') {
+    return fail("expected '{'");
+  }
+  ++i;
+  skip();
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+    return true;
+  }
+  while (true) {
+    skip();
+    if (i >= text.size() || text[i] != '"') {
+      return fail("expected key string");
+    }
+    std::string key;
+    if (!parse_string(&key)) {
+      return fail("unterminated or escaped key");
+    }
+    skip();
+    if (i >= text.size() || text[i] != ':') {
+      return fail("expected ':'");
+    }
+    ++i;
+    skip();
+    std::string value;
+    if (i < text.size() && text[i] == '"') {
+      if (!parse_string(&value)) {
+        return fail("unterminated or escaped value");
+      }
+    } else {
+      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+             !std::isspace(static_cast<unsigned char>(text[i]))) {
+        value.push_back(text[i++]);
+      }
+      if (value.empty()) {
+        return fail("expected value");
+      }
+      if (value == "null" || value[0] == '[' || value[0] == '{') {
+        return fail("unsupported value '" + value + "' (scenarios are flat scalars)");
+      }
+    }
+    if (!out->emplace(key, value).second) {
+      return fail("duplicate key '" + key + "'");
+    }
+    skip();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') {
+      ++i;
+      skip();
+      if (i != text.size()) {
+        return fail("trailing bytes after '}'");
+      }
+      return true;
+    }
+    return fail("expected ',' or '}'");
+  }
+}
+
+class Params {
+ public:
+  explicit Params(std::map<std::string, std::string> kv) : kv_(std::move(kv)) {}
+
+  std::string Str(const std::string& key, const std::string& def) const {
+    const auto it = kv_.find(key);
+    if (it != kv_.end()) {
+      used_.push_back(key);
+    }
+    return it == kv_.end() ? def : it->second;
+  }
+  int64_t Int(const std::string& key, int64_t def) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) {
+      return def;
+    }
+    used_.push_back(key);
+    return std::atoll(it->second.c_str());
+  }
+  double Dbl(const std::string& key, double def) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) {
+      return def;
+    }
+    used_.push_back(key);
+    return std::atof(it->second.c_str());
+  }
+  bool Bool(const std::string& key, bool def) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) {
+      return def;
+    }
+    used_.push_back(key);
+    return it->second == "true" || it->second == "1";
+  }
+  bool Has(const std::string& key) const { return kv_.count(key) != 0; }
+
+  // A typoed key would silently pin the default configuration; refuse it.
+  bool CheckAllUsed(std::string* error) const {
+    for (const auto& [key, value] : kv_) {
+      (void)value;
+      bool used = false;
+      for (const auto& u : used_) {
+        if (u == key) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        *error = "unknown key '" + key + "'";
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::vector<std::string> used_;
+};
+
+// --- Scenario kinds -------------------------------------------------------
+
+bool RunStormScenario(const Params& p, std::string* report, std::string* error) {
+  StormOptions so;
+  so.num_nodes = static_cast<int>(p.Int("nodes", so.num_nodes));
+  so.streams_per_node = static_cast<int>(p.Int("streams", so.streams_per_node));
+  so.accesses_per_stream = static_cast<int>(p.Int("accesses", so.accesses_per_stream));
+  so.pages_per_node = static_cast<int>(p.Int("pages", so.pages_per_node));
+  so.cache_slots = static_cast<int>(p.Int("cache_slots", so.cache_slots));
+  so.remote_frac = p.Dbl("remote_frac", so.remote_frac);
+  so.write_frac = p.Dbl("write_frac", so.write_frac);
+  so.think_ns = p.Int("think_ns", so.think_ns);
+  so.seed = static_cast<uint64_t>(p.Int("seed", static_cast<int64_t>(so.seed)));
+  so.epochs = static_cast<int>(p.Int("epochs", so.epochs));
+  so.latency_jitter_ns = p.Int("jitter_ns", so.latency_jitter_ns);
+  so.drop_prob = p.Dbl("drop_prob", so.drop_prob);
+  so.dup_prob = p.Dbl("dup_prob", so.dup_prob);
+  so.extra_delay_max = p.Int("extra_delay_max_ns", so.extra_delay_max);
+  so.crash_node = static_cast<int32_t>(p.Int("crash_node", so.crash_node));
+  so.crash_at = p.Int("crash_at_ns", so.crash_at);
+  so.restart_at = p.Int("restart_at_ns", so.restart_at);
+  so.partition_a = static_cast<int32_t>(p.Int("partition_a", so.partition_a));
+  so.partition_b = static_cast<int32_t>(p.Int("partition_b", so.partition_b));
+  so.partition_from = p.Int("partition_from_ns", so.partition_from);
+  so.partition_until = p.Int("partition_until_ns", so.partition_until);
+  const int threads = static_cast<int>(p.Int("threads", 0));
+
+  *report = StormReport(RunStorm(so, threads));
+
+  if (p.Has("compare_threads")) {
+    const int other = static_cast<int>(p.Int("compare_threads", 0));
+    const std::string other_report = StormReport(RunStorm(so, other));
+    if (other_report != *report) {
+      *error = "report at --threads " + std::to_string(threads) +
+               " differs from --threads " + std::to_string(other);
+      return false;
+    }
+  }
+  if (p.Bool("verify_resume", false)) {
+    std::string snapshot;
+    StormRunConfig save_cfg;
+    save_cfg.snapshot_out = &snapshot;
+    save_cfg.snapshot_epoch = 1;
+    RunStormEx(so, threads, save_cfg);
+    StormRunConfig load_cfg;
+    load_cfg.snapshot_in = &snapshot;
+    std::string load_error;
+    load_cfg.error = &load_error;
+    const std::string resumed = StormReport(RunStormEx(so, threads, load_cfg));
+    if (!load_error.empty()) {
+      *error = "resume failed: " + load_error;
+      return false;
+    }
+    if (resumed != *report) {
+      *error = "resumed report differs from the uninterrupted run";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RunGoldenScenario(const Params& p, std::string* report, std::string* error) {
+  const bool hints = p.Bool("hints", false);
+  const bool replicate = p.Bool("replicate", false);
+  const bool adaptive = p.Bool("adaptive", false);
+  const auto mutate = [&](DsmEngine::Options& o) {
+    o.owner_hints = hints;
+    o.read_mostly_replication = replicate;
+    o.adaptive_granularity = adaptive;
+  };
+  FaultPlan plan(0xFEED);
+  FaultPlan* attached = p.Bool("empty_plan", false) ? &plan : nullptr;
+  const GoldenTraceResult r =
+      RunGoldenTrace(attached, mutate, p.Bool("snapshot_roundtrip", false));
+  if (attached != nullptr && !plan.empty()) {
+    *error = "the empty fault plan accreted entries";
+    return false;
+  }
+  *report = GoldenTraceReport(r);
+  return true;
+}
+
+bool RunNpbScenario(const Params& p, std::string* report, std::string* error) {
+  const std::string name = p.Str("bench", "CG");
+  const NpbProfile profile = ScaleNpb(NpbByName(name), p.Dbl("scale", 0.1));
+  bench::Setup setup;
+  setup.vcpus = static_cast<int>(p.Int("vcpus", 3));
+  const uint64_t seed = static_cast<uint64_t>(p.Int("seed", 1));
+  bench::FaultReport faults;
+  const TimeNs end = bench::RunNpbMultiProcess(setup, profile, seed, nullptr, &faults);
+  (void)error;
+  std::string out;
+  const auto line = [&out](const char* key, uint64_t v) {
+    out += key;
+    out += '=';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  line("end_ns", static_cast<uint64_t>(end));
+  line("dropped", faults.dropped);
+  line("duplicated", faults.duplicated);
+  line("delayed", faults.delayed);
+  line("crashes", faults.crashes);
+  line("restarts", faults.restarts);
+  line("retransmits", faults.retransmits);
+  line("timeouts", faults.timeouts);
+  line("send_failures", faults.send_failures);
+  line("dups_suppressed", faults.dups_suppressed);
+  line("dsm_retries", faults.dsm_retries);
+  line("dsm_absorbed", faults.dsm_absorbed);
+  line("dsm_write_aborts", faults.dsm_write_aborts);
+  line("dsm_pages_reclaimed", faults.dsm_pages_reclaimed);
+  *report = out;
+  return true;
+}
+
+// --- Driver ---------------------------------------------------------------
+
+bool ReadFile(const std::string& path, std::string* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open scenario '%s'\n", path.c_str());
+    return false;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+std::string HashHex(uint64_t h) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, h);
+  return buf;
+}
+
+// 0 = pass, 1 = mismatch/failure, 2 = unusable scenario file.
+int RunScenarioFile(const std::string& path, bool print_only) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    return 2;
+  }
+  std::map<std::string, std::string> kv;
+  std::string error;
+  if (!ParseFlatJson(text, &kv, &error)) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  Params p(std::move(kv));
+  const std::string name = p.Str("name", path);
+  const std::string kind = p.Str("kind", "");
+  const std::string expect = p.Str("expect", "");
+
+  std::string report;
+  bool ok = false;
+  if (kind == "storm") {
+    ok = RunStormScenario(p, &report, &error);
+  } else if (kind == "golden") {
+    ok = RunGoldenScenario(p, &report, &error);
+  } else if (kind == "npb") {
+    ok = RunNpbScenario(p, &report, &error);
+  } else {
+    std::fprintf(stderr, "%s: unknown kind '%s'\n", path.c_str(), kind.c_str());
+    return 2;
+  }
+  if (ok && !p.CheckAllUsed(&error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "SCENARIO %s FAILED: %s\n", name.c_str(), error.c_str());
+    return 1;
+  }
+
+  const std::string hash = HashHex(SnapshotHashString(report));
+  if (print_only) {
+    std::printf("# scenario %s (%s)\n%s%s\n", name.c_str(), kind.c_str(), report.c_str(),
+                hash.c_str());
+    return 0;
+  }
+  if (expect.empty()) {
+    std::fprintf(stderr, "%s: no \"expect\" pin; generate one with --print\n", path.c_str());
+    return 2;
+  }
+  if (hash != expect) {
+    std::printf("SCENARIO %s MISMATCH: expected %s got %s\ncanonical report:\n%s",
+                name.c_str(), expect.c_str(), hash.c_str(), report.c_str());
+    return 1;
+  }
+  std::printf("SCENARIO %s OK %s\n", name.c_str(), hash.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fragvisor
+
+int main(int argc, char** argv) {
+  bool print_only = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--print") {
+      print_only = true;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: scenario_runner [--print] FILE...\n");
+    return 2;
+  }
+  int worst = 0;
+  for (const std::string& f : files) {
+    const int rc = fragvisor::RunScenarioFile(f, print_only);
+    worst = std::max(worst, rc);
+  }
+  return worst;
+}
