@@ -1,0 +1,170 @@
+// Cluster marketplace study (DESIGN.md §11): many tenants competing for
+// borrowable resources on a shared cluster, under open-loop arrival traces.
+//
+// For each trace shape (Poisson FaaS burst, diurnal load, flash crowd) the
+// bench runs the same tenant population under both placement policies —
+// fragbff (fragment-aggregating best-fit) and harvest (largest-idle-first) —
+// and reports cluster request latency (p50/p99), consolidation ratio,
+// stranded capacity, and how many tenants ran whole vs aggregated vs
+// delayed. A determinism gate re-runs one configuration at several worker
+// counts and fails the bench (non-zero exit) unless the canonical reports
+// are byte-identical.
+//
+//   cluster_marketplace [--quick] [--out PATH]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/cluster/marketplace.h"
+
+namespace fragvisor {
+namespace bench {
+namespace {
+
+struct Cell {
+  std::string trace;
+  std::string policy;
+  MarketplaceResult r;
+};
+
+MarketplaceOptions BaseOptions(bool quick) {
+  MarketplaceOptions mo;
+  mo.num_nodes = 64;
+  // Half-height nodes vs the trace's 8-vCPU maximum tenants: a meaningful
+  // fraction of the population cannot run whole, which is the regime where
+  // the policies actually differ.
+  mo.vcpus_per_node = 4;
+  mo.trace.vms = quick ? 100 : 150;
+  mo.trace.max_vcpus = 8;
+  mo.trace.requests_per_vcpu = quick ? 1000 : 4000;
+  mo.epochs = 1;
+  return mo;
+}
+
+void PrintCell(const Cell& c) {
+  const MarketplaceResult& r = c.r;
+  PrintRow({c.trace, c.policy, Fmt(r.latency.Percentile(50) / 1e3, 1),
+            Fmt(r.latency.Percentile(99) / 1e3, 1), Fmt(r.consolidation.MeanValue(), 3),
+            Fmt(r.stranded.MeanValue(), 1), std::to_string(r.placed_single),
+            std::to_string(r.placed_aggregate), std::to_string(r.delayed),
+            std::to_string(r.reclaims)},
+           12);
+}
+
+void AppendCellJson(std::string* out, const Cell& c, bool last) {
+  const MarketplaceResult& r = c.r;
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"trace\": \"%s\", \"policy\": \"%s\", \"requests\": %llu,\n"
+      "     \"p50_us\": %.3f, \"p99_us\": %.3f, \"mean_us\": %.3f,\n"
+      "     \"consolidation_mean\": %.6f, \"stranded_mean_slots\": %.3f,\n"
+      "     \"placed_single\": %llu, \"placed_aggregate\": %llu, \"delayed\": %llu,\n"
+      "     \"reclaims\": %llu, \"completed\": %llu, \"lease_granted\": %llu,\n"
+      "     \"lease_revoked\": %llu, \"finish_ms\": %.3f, \"digest\": \"%016llx\"}%s\n",
+      c.trace.c_str(), c.policy.c_str(),
+      static_cast<unsigned long long>(r.latency.count()), r.latency.Percentile(50) / 1e3,
+      r.latency.Percentile(99) / 1e3, r.latency.mean() / 1e3, r.consolidation.MeanValue(),
+      r.stranded.MeanValue(), static_cast<unsigned long long>(r.placed_single),
+      static_cast<unsigned long long>(r.placed_aggregate),
+      static_cast<unsigned long long>(r.delayed), static_cast<unsigned long long>(r.reclaims),
+      static_cast<unsigned long long>(r.vms_completed),
+      static_cast<unsigned long long>(r.lease.granted.value()),
+      static_cast<unsigned long long>(r.lease.revoked.value()), ToMillis(r.finish_time),
+      static_cast<unsigned long long>(r.state_digest), last ? "" : ",");
+  *out += buf;
+}
+
+int Run(bool quick, const std::string& out_path) {
+  PrintHeader("Cluster marketplace: fragbff vs harvest under open-loop arrival traces");
+  const MarketplaceOptions base = BaseOptions(quick);
+  std::printf("%d nodes x %d slots, %d tenants (max %llu vCPUs), %llu requests/vCPU\n\n",
+              base.num_nodes, base.vcpus_per_node, base.trace.vms,
+              static_cast<unsigned long long>(base.trace.max_vcpus),
+              static_cast<unsigned long long>(base.trace.requests_per_vcpu));
+
+  // Determinism gate: one configuration, several worker counts, identical
+  // canonical reports — the cluster-scale version of the storm's contract.
+  {
+    MarketplaceOptions mo = base;
+    mo.trace.kind = ArrivalKind::kFlash;
+    const std::string golden = MarketplaceReport(RunMarketplace(mo, 1));
+    for (const int threads : {2, 4}) {
+      if (MarketplaceReport(RunMarketplace(mo, threads)) != golden) {
+        std::fprintf(stderr,
+                     "FAIL: marketplace report differs between --threads 1 and --threads %d\n",
+                     threads);
+        return 1;
+      }
+    }
+    std::printf("determinism gate: reports byte-identical at 1/2/4 workers\n\n");
+  }
+
+  PrintRow({"trace", "policy", "p50(us)", "p99(us)", "consol", "strand", "whole", "aggr",
+            "delay", "reclaim"},
+           12);
+  std::vector<Cell> cells;
+  uint64_t total_requests = 0;
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kDiurnal, ArrivalKind::kFlash}) {
+    for (const char* policy : {"fragbff", "harvest"}) {
+      MarketplaceOptions mo = base;
+      mo.trace.kind = kind;
+      mo.policy = policy;
+      Cell c;
+      c.trace = ArrivalKindName(kind);
+      c.policy = policy;
+      c.r = RunMarketplace(mo, 2);
+      total_requests += c.r.latency.count();
+      PrintCell(c);
+      cells.push_back(std::move(c));
+    }
+  }
+  std::printf("\n%llu requests simulated across the ablation\n",
+              static_cast<unsigned long long>(total_requests));
+
+  if (!out_path.empty()) {
+    std::string json = "{\n  \"bench\": \"cluster_marketplace\",\n";
+    json += "  \"nodes\": " + std::to_string(base.num_nodes) + ",\n";
+    json += "  \"vcpus_per_node\": " + std::to_string(base.vcpus_per_node) + ",\n";
+    json += "  \"vms\": " + std::to_string(base.trace.vms) + ",\n";
+    json += "  \"total_requests\": " + std::to_string(total_requests) + ",\n";
+    json += "  \"cells\": [\n";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      AppendCellJson(&json, cells[i], i + 1 == cells.size());
+    }
+    json += "  ]\n}\n";
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --out file '%s'\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("results written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fragvisor
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: cluster_marketplace [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+  return fragvisor::bench::Run(quick, out_path);
+}

@@ -66,6 +66,46 @@ void LoadRpcStats(SnapshotReader* r, RpcStats* s) {
   LoadCounter(r, &s->qos_deferred);
 }
 
+void SaveTransportShards(SnapshotWriter* w, Fabric* fabric, RpcLayer* rpc) {
+  const int shards = fabric->parallel() ? fabric->num_nodes() : 1;
+  w->U32(static_cast<uint32_t>(shards));
+  for (NodeId n = 0; n < shards; ++n) {
+    SaveFabricStats(w, fabric->StatsShardForRestore(n));
+    SaveRetryStats(w, fabric->RetryShardForRestore(n));
+    SaveRpcStats(w, rpc->StatsShardForRestore(n));
+  }
+}
+
+void LoadTransportShards(SnapshotReader* r, const Fabric* fabric, TransportShards* staged) {
+  const uint32_t expected =
+      static_cast<uint32_t>(fabric->parallel() ? fabric->num_nodes() : 1);
+  const uint32_t shards = r->U32();
+  if (!r->ok()) {
+    return;
+  }
+  if (shards != expected) {
+    r->FailExternal("transport: stat shard count mismatch");
+    return;
+  }
+  staged->fabric.resize(shards);
+  staged->retry.resize(shards);
+  staged->rpc.resize(shards);
+  for (uint32_t n = 0; r->ok() && n < shards; ++n) {
+    LoadFabricStats(r, &staged->fabric[n]);
+    LoadRetryStats(r, &staged->retry[n]);
+    LoadRpcStats(r, &staged->rpc[n]);
+  }
+}
+
+void CommitTransportShards(const TransportShards& staged, Fabric* fabric, RpcLayer* rpc) {
+  for (size_t n = 0; n < staged.fabric.size(); ++n) {
+    const NodeId node = static_cast<NodeId>(n);
+    fabric->StatsShardForRestore(node) = staged.fabric[n];
+    fabric->RetryShardForRestore(node) = staged.retry[n];
+    rpc->StatsShardForRestore(node) = staged.rpc[n];
+  }
+}
+
 void SaveFaultPlanStats(SnapshotWriter* w, const FaultPlanStats& s) {
   SaveCounter(w, s.messages_dropped);
   SaveCounter(w, s.messages_duplicated);

@@ -3,14 +3,18 @@
 // whole-struct save/load pairs that workloads use to build whole-sim
 // snapshots (DESIGN.md §10).
 //
-// Stats shards merge by summation, so a saver may fold MergedStats() into
-// the stream and a loader may restore the merged block into any single
-// shard: every observable view (reports read only merged stats) is
-// identical. Fault-plan RNG streams are NOT mergeable — they drive future
-// perturbation draws and restore stream-for-stream.
+// Transport stats are sharded per sending node in parallel mode, and the
+// shards ARE observable (per-node stats tables in reports), so snapshots
+// save and restore them shard-for-shard via Save/LoadTransportShards —
+// collapsing the merged totals into shard 0 would make a resumed run's
+// per-node tables diverge from an unsnapshotted one. Fault-plan RNG streams
+// are likewise per-node and restore stream-for-stream; only the fault-plan
+// perturbation counters merge by summation (reports read only their sum).
 
 #ifndef FRAGVISOR_SRC_CKPT_SIM_SNAPSHOT_H_
 #define FRAGVISOR_SRC_CKPT_SIM_SNAPSHOT_H_
+
+#include <vector>
 
 #include "src/net/fabric.h"
 #include "src/net/rpc.h"
@@ -27,6 +31,24 @@ void LoadRetryStats(SnapshotReader* r, RetryStats* s);
 
 void SaveRpcStats(SnapshotWriter* w, const RpcStats& s);
 void LoadRpcStats(SnapshotReader* r, RpcStats* s);
+
+// Per-shard transport stats: one (fabric, retry, rpc) triple per sending
+// node in parallel mode, a single triple (the global blocks) in serial mode.
+struct TransportShards {
+  std::vector<FabricStats> fabric;
+  std::vector<RetryStats> retry;
+  std::vector<RpcStats> rpc;
+};
+
+// Writes the shard count followed by each shard's three blocks.
+void SaveTransportShards(SnapshotWriter* w, Fabric* fabric, RpcLayer* rpc);
+
+// Stages the stream into `staged`, validating the shard count against the
+// live transport's mode (num_nodes shards in parallel, 1 in serial); a
+// mismatch latches an external error and leaves `staged` unusable. Callers
+// commit with CommitTransportShards once the whole snapshot validates.
+void LoadTransportShards(SnapshotReader* r, const Fabric* fabric, TransportShards* staged);
+void CommitTransportShards(const TransportShards& staged, Fabric* fabric, RpcLayer* rpc);
 
 void SaveFaultPlanStats(SnapshotWriter* w, const FaultPlanStats& s);
 void LoadFaultPlanStats(SnapshotReader* r, FaultPlanStats* s);

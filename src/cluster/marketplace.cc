@@ -1,0 +1,985 @@
+#include "src/cluster/marketplace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ckpt/sim_snapshot.h"
+#include "src/cluster/placement.h"
+#include "src/host/node.h"
+#include "src/sim/check.h"
+#include "src/sim/rng.h"
+#include "src/sim/snapshot.h"
+#include "src/sim/state_io.h"
+
+namespace fragvisor {
+namespace {
+
+constexpr uint64_t kCtrlBytes = 256;    // orchestrator control messages
+constexpr uint64_t kReqBytes = 64;      // remote page request
+constexpr uint64_t kPageBytes = 4096 + 64;
+
+// Control-token ops, multiplexed over MsgKind::kVcpuMigration (orchestrator
+// -> home) and MsgKind::kControl (home -> orchestrator).
+constexpr uint64_t kOpStart = 0;     // begin the VM's request streams
+constexpr uint64_t kOpCallHome = 1;  // a lender share was consolidated home
+constexpr uint64_t kOpVmDone = 2;    // all streams drained
+
+// splitmix64, as in workload/dsmstorm: spreads structured ids into
+// independent-looking seeds and jitter values.
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Token layout: [op : 8][vm : 40][arg : 16] — arg carries a stream index or
+// a node id depending on the op.
+uint64_t PackCtl(uint64_t op, uint64_t vm, uint64_t arg) {
+  FV_DCHECK(op < (1ull << 8));
+  FV_DCHECK(vm < (1ull << 40));
+  FV_DCHECK(arg < (1ull << 16));
+  return (op << 56) | (vm << 16) | arg;
+}
+uint64_t CtlOp(uint64_t token) { return token >> 56; }
+uint64_t CtlVm(uint64_t token) { return (token >> 16) & ((1ull << 40) - 1); }
+uint64_t CtlArg(uint64_t token) { return token & 0xffff; }
+
+enum class VmStatus : uint8_t { kPending = 0, kWaiting = 1, kRunning = 2, kDone = 3 };
+
+struct StreamRt {
+  Rng rng{0};
+  uint64_t remaining = 0;
+  TimeNs issue = 0;  // issue instant of the in-flight request
+};
+
+// One VM's run state. Orchestrator fields only ever run on node 0's
+// partition; home-runtime fields are written by the orchestrator strictly
+// before the start notice and thereafter touched only by the home node's
+// partition (the delivery gives the happens-before edge), so the whole
+// struct is race-free without locking.
+struct VmRun {
+  // Static shape, fixed at construction from the arrival trace.
+  int vcpus = 0;
+  uint64_t mem_per_slot = 0;
+  uint64_t requests_per_stream = 0;
+  double remote_frac = 0.0;
+
+  // Orchestrator-owned.
+  VmStatus status = VmStatus::kPending;
+  TimeNs submitted = 0;
+  TimeNs started = 0;
+  TimeNs finished = 0;
+  std::vector<std::pair<NodeId, int>> alloc;  // (node, slots), home first
+  std::vector<LeaseId> leases;                // one per non-home slice
+  int span = 0;                               // |alloc| (post-consolidation)
+  bool was_delayed = false;
+
+  // Written by the orchestrator before the start notice, home-owned after.
+  NodeId home = kInvalidNode;
+  std::vector<NodeId> lenders;  // non-home slices; shrinks on consolidation
+  std::vector<StreamRt> rt;
+  int live_streams = 0;
+};
+
+// Per-node runtime owned by that node's partition.
+struct NodeRt {
+  MarketplaceNodeCounters c;
+  Histogram latency;  // latency of requests homed on this node
+};
+
+class Marketplace {
+ public:
+  Marketplace(const MarketplaceOptions& opts, int threads);
+
+  MarketplaceResult Run(const MarketplaceRunConfig& cfg);
+  bool Load(const std::string& data, std::string* error);
+
+ private:
+  EventLoop* NodeLoop(NodeId node) { return ploop_->partition(node); }
+  TimeNs OrchNow() { return NodeLoop(0)->now(); }
+
+  void ScheduleWaveArrivals(int wave);
+  void RunEngine();
+  void CheckWaveDrained(int wave);
+  std::string Save();
+  uint64_t ConfigFingerprint() const;
+  uint64_t Digest() const;
+
+  // Orchestrator (partition 0).
+  void OnArrival(uint64_t vm);
+  void TryAdmitAll();
+  bool TryAdmit(uint64_t vm);
+  bool TryReclaim();
+  void OnLeaseEvent(const Lease& lease, LeaseEvent event);
+  void OnVmDone(uint64_t vm);
+  void SampleSeries();
+
+  // Home-partition request streams.
+  void OnVmStart(uint64_t vm);
+  void OnCallHome(uint64_t vm, NodeId lender);
+  void DoRequest(uint64_t vm, int stream);
+  void Complete(uint64_t vm, int stream);
+  void OnPageRequest(const RpcLayer::Inbound& in);
+  void OnPageReply(const RpcLayer::Inbound& in);
+
+  const MarketplaceOptions opts_;
+  const int threads_;
+  std::unique_ptr<ParallelEventLoop> ploop_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<RpcLayer> rpc_;
+  std::unique_ptr<LeaseManager> leases_;
+  std::unique_ptr<PlacementPolicy> policy_;
+
+  std::vector<VmArrival> arrivals_;  // sorted by (time, vm)
+  std::vector<VmRun> vms_;           // indexed by vm - 1; never resized
+  std::vector<NodeRt> nodes_;        // indexed by node; partition-owned
+
+  // Orchestrator state (partition 0 only).
+  std::vector<TenantLedger> ledgers_;
+  std::deque<uint64_t> waiting_;  // FIFO of vm ids awaiting admission
+  bool reclaim_in_flight_ = false;
+  LeaseId pending_reclaim_lease_ = kInvalidLease;
+  uint64_t placed_single_ = 0;
+  uint64_t placed_aggregate_ = 0;
+  uint64_t delayed_ = 0;
+  uint64_t reclaims_ = 0;
+  uint64_t vms_completed_ = 0;
+  TimeSeries consolidation_;
+  TimeSeries stranded_;
+
+  uint64_t events_ = 0;
+  int completed_waves_ = 0;
+};
+
+Marketplace::Marketplace(const MarketplaceOptions& opts, int threads)
+    : opts_(opts), threads_(threads < 1 ? 1 : threads) {
+  FV_CHECK_GT(opts.num_nodes, 0);
+  FV_CHECK_GT(opts.vcpus_per_node, 0);
+  FV_CHECK_GT(opts.mem_per_node, 0u);
+  FV_CHECK_GE(opts.epochs, 1);
+  FV_CHECK_GT(opts.trace.vms, 0);
+  FV_CHECK_GT(opts.trace.requests_per_vcpu, 0u);
+  // The largest VM must fit the cluster's aggregate at all.
+  FV_CHECK_LE(opts.trace.max_vcpus,
+              static_cast<uint64_t>(opts.num_nodes) * static_cast<uint64_t>(opts.vcpus_per_node));
+
+  policy_ = MakePlacementPolicy(opts.policy);
+  FV_CHECK(policy_ != nullptr);
+
+  ParallelEventLoop::Options po;
+  po.num_partitions = opts.num_nodes;
+  po.num_threads = threads_;
+  // The base latency is the cluster-wide minimum: jitter only ever adds.
+  po.lookahead = opts.link.latency;
+  ploop_ = std::make_unique<ParallelEventLoop>(po);
+  fabric_ = std::make_unique<Fabric>(ploop_.get(), opts.num_nodes, opts.link);
+
+  if (opts.latency_jitter_ns > 0 && opts.num_nodes > 1) {
+    for (NodeId s = 0; s < opts.num_nodes; ++s) {
+      for (NodeId d = 0; d < opts.num_nodes; ++d) {
+        if (s == d) continue;
+        LinkParams lp = opts.link;
+        const uint64_t key = SplitMix(opts.trace.seed ^
+                                      (static_cast<uint64_t>(s) << 32 | static_cast<uint32_t>(d)));
+        lp.latency += static_cast<TimeNs>(key % static_cast<uint64_t>(opts.latency_jitter_ns + 1));
+        fabric_->SetLinkParams(s, d, lp);
+      }
+    }
+  }
+
+  RpcConfig rc;
+  rc.coalesced_acks = opts.coalesced_acks;
+  rc.qos.enabled = opts.qos;
+  rpc_ = std::make_unique<RpcLayer>(nullptr, fabric_.get(), rc);
+
+  LeaseManagerConfig lc;
+  lc.manual_clock = true;
+  leases_ = std::make_unique<LeaseManager>(rpc_.get(), /*home=*/0, lc);
+
+  ledgers_.resize(static_cast<size_t>(opts.num_nodes));
+  for (TenantLedger& l : ledgers_) {
+    l.Init(opts.mem_per_node, opts.vcpus_per_node);
+  }
+
+  arrivals_ = GenerateArrivalTrace(opts.trace);
+  vms_.resize(arrivals_.size());
+  for (const VmArrival& a : arrivals_) {
+    VmRun& run = vms_[a.vm - 1];
+    run.vcpus = a.vcpus;
+    run.mem_per_slot = a.mem_bytes / static_cast<uint64_t>(a.vcpus);
+    run.requests_per_stream = a.requests / static_cast<uint64_t>(a.vcpus);
+    run.remote_frac = a.remote_frac;
+    FV_CHECK_LE(run.mem_per_slot, opts.mem_per_node);
+    FV_CHECK_GT(run.requests_per_stream, 0u);
+  }
+
+  nodes_.resize(static_cast<size_t>(opts.num_nodes));
+  rpc_->Bind(0, MsgKind::kControl, [this](const RpcLayer::Inbound& in) {
+    FV_CHECK_EQ(CtlOp(in.token), kOpVmDone);
+    OnVmDone(CtlVm(in.token));
+  });
+  for (NodeId n = 0; n < opts.num_nodes; ++n) {
+    rpc_->Bind(n, MsgKind::kVcpuMigration, [this](const RpcLayer::Inbound& in) {
+      if (CtlOp(in.token) == kOpStart) {
+        OnVmStart(CtlVm(in.token));
+      } else {
+        FV_CHECK_EQ(CtlOp(in.token), kOpCallHome);
+        OnCallHome(CtlVm(in.token), static_cast<NodeId>(CtlArg(in.token)));
+      }
+    });
+    rpc_->Bind(n, MsgKind::kDsmReadReq,
+               [this](const RpcLayer::Inbound& in) { OnPageRequest(in); });
+    rpc_->Bind(n, MsgKind::kDsmPageData,
+               [this](const RpcLayer::Inbound& in) { OnPageReply(in); });
+  }
+}
+
+// Schedules one admission wave's arrivals on the orchestrator's partition.
+// Wave 0 of a fresh run uses the trace's absolute timestamps; every later
+// wave — and every wave of a restored run — keeps the trace's inter-arrival
+// gaps but starts one full link latency past the drained queue's end, which
+// keeps every resulting send legal against the parallel core's horizon.
+void Marketplace::ScheduleWaveArrivals(int wave) {
+  const size_t n = arrivals_.size();
+  const size_t per = (n + static_cast<size_t>(opts_.epochs) - 1) / static_cast<size_t>(opts_.epochs);
+  const size_t begin = static_cast<size_t>(wave) * per;
+  const size_t end = std::min(n, begin + per);
+  if (begin >= end) return;
+  const TimeNs now = ploop_->now_max();
+  const TimeNs base = now == 0 ? 0 : now + opts_.link.latency + 1;
+  const TimeNs first = arrivals_[begin].time;
+  for (size_t i = begin; i < end; ++i) {
+    const VmArrival& a = arrivals_[i];
+    const TimeNs at = now == 0 ? a.time : base + (a.time - first);
+    const uint64_t vm = a.vm;
+    NodeLoop(0)->ScheduleAt(at, [this, vm] { OnArrival(vm); });
+  }
+}
+
+void Marketplace::RunEngine() { events_ += ploop_->Run(); }
+
+void Marketplace::CheckWaveDrained(int wave) {
+  FV_CHECK(waiting_.empty());
+  FV_CHECK(!reclaim_in_flight_);
+  FV_CHECK_EQ(leases_->ActiveLeases(), 0);
+  for (const TenantLedger& l : ledgers_) {
+    FV_CHECK_EQ(l.num_tenants(), 0);
+  }
+  const size_t n = arrivals_.size();
+  const size_t per = (n + static_cast<size_t>(opts_.epochs) - 1) / static_cast<size_t>(opts_.epochs);
+  const size_t end = std::min(n, (static_cast<size_t>(wave) + 1) * per);
+  for (size_t i = 0; i < end; ++i) {
+    FV_CHECK(vms_[arrivals_[i].vm - 1].status == VmStatus::kDone);
+  }
+}
+
+// --- Orchestrator (everything below until the stream section runs on node
+// 0's partition exclusively) ---
+
+void Marketplace::OnArrival(uint64_t vm) {
+  VmRun& run = vms_[vm - 1];
+  FV_CHECK(run.status == VmStatus::kPending);
+  run.status = VmStatus::kWaiting;
+  run.submitted = OrchNow();
+  waiting_.push_back(vm);
+  TryAdmitAll();
+}
+
+void Marketplace::TryAdmitAll() {
+  // Admission pauses while a reclamation round trip is in flight: its ledger
+  // move is already decided and must not race a fresh admission for the same
+  // capacity.
+  if (reclaim_in_flight_) return;
+  while (!waiting_.empty()) {
+    const uint64_t vm = waiting_.front();
+    if (TryAdmit(vm)) {
+      waiting_.pop_front();
+      continue;
+    }
+    VmRun& run = vms_[vm - 1];
+    if (!run.was_delayed) {
+      run.was_delayed = true;
+      ++delayed_;
+    }
+    if (opts_.reclamation && TryReclaim()) return;  // resume on the handback
+    return;  // head-of-line waits; completions re-trigger admission
+  }
+}
+
+bool Marketplace::TryAdmit(uint64_t vm) {
+  VmRun& run = vms_[vm - 1];
+  std::vector<NodeCapacityView> views;
+  views.reserve(ledgers_.size());
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    const TenantLedger& l = ledgers_[static_cast<size_t>(n)];
+    views.push_back(NodeCapacityView{n, l.free_vcpus(), l.free_mem(), l.vcpu_capacity(),
+                                     l.mem_capacity(), l.num_tenants()});
+  }
+  const std::map<NodeId, int> alloc = policy_->Place(views, run.vcpus, run.mem_per_slot);
+  if (alloc.empty()) return false;
+
+  // Home = the largest slice (ties to the lowest node id).
+  NodeId home = kInvalidNode;
+  int home_slots = 0;
+  for (const auto& [node, slots] : alloc) {
+    if (slots > home_slots) {
+      home = node;
+      home_slots = slots;
+    }
+  }
+  FV_CHECK_NE(home, kInvalidNode);
+
+  // Reserve every slice against its ledger; the policy placed against the
+  // same live view, so the checked path must succeed.
+  run.alloc.clear();
+  run.alloc.emplace_back(home, alloc.at(home));
+  run.lenders.clear();
+  for (const auto& [node, slots] : alloc) {
+    const bool ok = ledgers_[static_cast<size_t>(node)].Reserve(
+        vm, static_cast<uint64_t>(slots) * run.mem_per_slot, slots);
+    FV_CHECK(ok);
+    if (node != home) {
+      run.alloc.emplace_back(node, slots);
+      run.lenders.push_back(node);
+    }
+  }
+  run.span = static_cast<int>(run.alloc.size());
+
+  // Stream runtime, written before the start notice so the home partition
+  // reads it after the delivery barrier.
+  run.home = home;
+  run.rt.assign(static_cast<size_t>(run.vcpus), StreamRt{});
+  for (int s = 0; s < run.vcpus; ++s) {
+    StreamRt& st = run.rt[static_cast<size_t>(s)];
+    st.rng = Rng(SplitMix(opts_.trace.seed ^ (vm << 8) ^ static_cast<uint64_t>(s)));
+    st.remaining = run.requests_per_stream;
+  }
+  run.live_streams = run.vcpus;
+
+  // Every non-home slice is covered by a lease so the orchestrator can later
+  // call it home (consolidation) through the lease protocol.
+  run.leases.clear();
+  for (const auto& [node, slots] : run.alloc) {
+    if (node == home) continue;
+    run.leases.push_back(leases_->Grant(
+        node, home, LeaseKind::kMemory, static_cast<uint64_t>(slots), vm,
+        [this](const Lease& lease, LeaseEvent event) { OnLeaseEvent(lease, event); }));
+  }
+
+  run.status = VmStatus::kRunning;
+  run.started = OrchNow();
+  if (run.alloc.size() == 1) {
+    ++placed_single_;
+  } else {
+    ++placed_aggregate_;
+  }
+  SampleSeries();
+
+  RpcLayer::CallOpts o;
+  o.token = PackCtl(kOpStart, vm, 0);
+  rpc_->Notify(0, home, MsgKind::kVcpuMigration, kCtrlBytes, std::move(o));
+  return true;
+}
+
+// Cross-VM reclamation: find a running tenant with a lender slice whose home
+// node has since freed enough capacity to absorb it, and revoke that lease —
+// consolidating tenant A onto fewer nodes so the freed lender can admit
+// tenant B. One revoke in flight at a time; the handback resumes admission.
+bool Marketplace::TryReclaim() {
+  FV_CHECK(!reclaim_in_flight_);
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    const VmRun& run = vms_[i];
+    if (run.status != VmStatus::kRunning || run.leases.empty()) continue;
+    for (const LeaseId id : run.leases) {
+      const Lease* lease = leases_->Find(id);
+      if (lease == nullptr || !lease->active) continue;
+      const int slots = static_cast<int>(lease->resource);
+      const uint64_t bytes = static_cast<uint64_t>(slots) * run.mem_per_slot;
+      const TenantLedger& home_ledger = ledgers_[static_cast<size_t>(lease->borrower)];
+      if (home_ledger.free_vcpus() >= slots && home_ledger.free_mem() >= bytes) {
+        reclaim_in_flight_ = true;
+        pending_reclaim_lease_ = id;
+        leases_->Revoke(id);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Marketplace::OnLeaseEvent(const Lease& lease, LeaseEvent event) {
+  if (event != LeaseEvent::kRevoked) return;  // kReleased: voluntary, no-op
+  const uint64_t vm = lease.vm;
+  VmRun& run = vms_[vm - 1];
+  // The handback only fires while the lease is live, and a completing VM
+  // retires its leases first — so the victim is still running.
+  FV_CHECK(run.status == VmStatus::kRunning);
+  const NodeId lender = lease.lender;
+  const NodeId home = lease.borrower;
+  const int slots = static_cast<int>(lease.resource);
+  const uint64_t bytes = static_cast<uint64_t>(slots) * run.mem_per_slot;
+
+  ledgers_[static_cast<size_t>(lender)].Release(vm, bytes, slots);
+  const bool ok = ledgers_[static_cast<size_t>(home)].Reserve(vm, bytes, slots);
+  FV_CHECK(ok);  // admissions were paused; completions only freed capacity
+
+  for (auto it = run.alloc.begin(); it != run.alloc.end(); ++it) {
+    if (it->first == lender) {
+      run.alloc.erase(it);
+      break;
+    }
+  }
+  FV_CHECK(!run.alloc.empty() && run.alloc.front().first == home);
+  run.alloc.front().second += slots;
+  run.span = static_cast<int>(run.alloc.size());
+  run.leases.erase(std::find(run.leases.begin(), run.leases.end(), lease.id));
+  ++reclaims_;
+  reclaim_in_flight_ = false;
+  pending_reclaim_lease_ = kInvalidLease;
+  SampleSeries();
+
+  // Tell the home partition to stop routing requests at the ex-lender.
+  RpcLayer::CallOpts o;
+  o.token = PackCtl(kOpCallHome, vm, static_cast<uint64_t>(lender));
+  rpc_->Notify(0, home, MsgKind::kVcpuMigration, kCtrlBytes, std::move(o));
+  TryAdmitAll();
+}
+
+void Marketplace::OnVmDone(uint64_t vm) {
+  VmRun& run = vms_[vm - 1];
+  FV_CHECK(run.status == VmStatus::kRunning);
+  run.status = VmStatus::kDone;
+  run.finished = OrchNow();
+  ++vms_completed_;
+  for (const LeaseId id : run.leases) {
+    if (id == pending_reclaim_lease_) {
+      // The victim finished before the in-flight revoke resolved; the ack
+      // leg's Terminate will find the book entry gone and no-op.
+      reclaim_in_flight_ = false;
+      pending_reclaim_lease_ = kInvalidLease;
+    }
+    const Lease* lease = leases_->Find(id);
+    if (lease != nullptr && lease->active) {
+      leases_->Release(id);
+    } else {
+      // Grant ack still in flight (tiny VMs can finish inside one RTT).
+      leases_->Drop(id);
+    }
+  }
+  run.leases.clear();
+  for (const auto& [node, slots] : run.alloc) {
+    ledgers_[static_cast<size_t>(node)].ReleaseAll(vm);
+  }
+  SampleSeries();
+  TryAdmitAll();
+}
+
+void Marketplace::SampleSeries() {
+  int used_nodes = 0;
+  int committed = 0;
+  int stranded = 0;
+  for (const TenantLedger& l : ledgers_) {
+    if (l.num_tenants() == 0) continue;
+    ++used_nodes;
+    committed += l.committed_vcpus();
+    stranded += l.free_vcpus();
+  }
+  const double consol =
+      used_nodes == 0 ? 0.0
+                      : static_cast<double>(committed) /
+                            static_cast<double>(used_nodes * opts_.vcpus_per_node);
+  const TimeNs t = OrchNow();
+  consolidation_.Append(t, consol);
+  stranded_.Append(t, static_cast<double>(stranded));
+}
+
+// --- Request streams (each VM's stream state runs on its home node's
+// partition) ---
+
+void Marketplace::OnVmStart(uint64_t vm) {
+  VmRun& run = vms_[vm - 1];
+  for (int s = 0; s < run.vcpus; ++s) {
+    // Historical stagger: stream starts must not be one giant tie.
+    const TimeNs start = Nanos(1 + static_cast<int64_t>((vm * 13 + static_cast<uint64_t>(s) * 7) % 97));
+    NodeLoop(run.home)->ScheduleAfter(start, [this, vm, s] { DoRequest(vm, s); });
+  }
+}
+
+void Marketplace::OnCallHome(uint64_t vm, NodeId lender) {
+  VmRun& run = vms_[vm - 1];
+  auto it = std::find(run.lenders.begin(), run.lenders.end(), lender);
+  FV_CHECK(it != run.lenders.end());
+  run.lenders.erase(it);
+  ++nodes_[static_cast<size_t>(run.home)].c.reclaim_moves;
+}
+
+void Marketplace::DoRequest(uint64_t vm, int stream) {
+  VmRun& run = vms_[vm - 1];
+  StreamRt& st = run.rt[static_cast<size_t>(stream)];
+  FV_DCHECK(st.remaining > 0);
+  const NodeId home = run.home;
+  st.issue = NodeLoop(home)->now();
+  const bool remote = !run.lenders.empty() && st.rng.Chance(run.remote_frac);
+  if (!remote) {
+    ++nodes_[static_cast<size_t>(home)].c.local_requests;
+    const TimeNs svc = opts_.service_ns + Nanos(static_cast<int64_t>(st.rng.UniformInt(0, 1023)));
+    NodeLoop(home)->ScheduleAfter(svc, [this, vm, stream] { Complete(vm, stream); });
+    return;
+  }
+  ++nodes_[static_cast<size_t>(home)].c.remote_requests;
+  const size_t pick = static_cast<size_t>(st.rng.UniformInt(0, static_cast<int>(run.lenders.size()) - 1));
+  const NodeId lender = run.lenders[pick];
+  RpcLayer::CallOpts o;
+  o.token = PackCtl(0, vm, static_cast<uint64_t>(stream));
+  o.receiver_delay = opts_.page_service_ns;
+  o.on_fail = [this, vm, stream, home] {  // runs on home's partition
+    ++nodes_[static_cast<size_t>(home)].c.request_failures;
+    Complete(vm, stream);
+  };
+  rpc_->Notify(home, lender, MsgKind::kDsmReadReq, kReqBytes, std::move(o));
+}
+
+void Marketplace::OnPageRequest(const RpcLayer::Inbound& in) {
+  ++nodes_[static_cast<size_t>(in.dst)].c.served_pages;
+  RpcLayer::CallOpts o;
+  o.token = in.token;
+  rpc_->Notify(in.dst, in.src, MsgKind::kDsmPageData, kPageBytes, std::move(o));
+}
+
+void Marketplace::OnPageReply(const RpcLayer::Inbound& in) {
+  Complete(CtlVm(in.token), static_cast<int>(CtlArg(in.token)));
+}
+
+void Marketplace::Complete(uint64_t vm, int stream) {
+  VmRun& run = vms_[vm - 1];
+  StreamRt& st = run.rt[static_cast<size_t>(stream)];
+  const NodeId home = run.home;
+  nodes_[static_cast<size_t>(home)].latency.Record(
+      static_cast<double>(NodeLoop(home)->now() - st.issue));
+  if (--st.remaining > 0) {
+    NodeLoop(home)->ScheduleAfter(opts_.think_ns, [this, vm, stream] { DoRequest(vm, stream); });
+    return;
+  }
+  if (--run.live_streams == 0) {
+    RpcLayer::CallOpts o;
+    o.token = PackCtl(kOpVmDone, vm, 0);
+    rpc_->Notify(home, 0, MsgKind::kControl, kCtrlBytes, std::move(o));
+  }
+}
+
+// --- Snapshot (quiesce points only: a fully drained admission wave) ---
+
+uint64_t Marketplace::ConfigFingerprint() const {
+  std::string s = "marketplace-v1";
+  const auto add = [&s](const std::string& v) {
+    s += '|';
+    s += v;
+  };
+  add(std::to_string(opts_.num_nodes));
+  add(std::to_string(opts_.vcpus_per_node));
+  add(std::to_string(opts_.mem_per_node));
+  add(ArrivalKindName(opts_.trace.kind));
+  add(std::to_string(opts_.trace.vms));
+  add(std::to_string(opts_.trace.span));
+  add(std::to_string(opts_.trace.seed));
+  add(std::to_string(opts_.trace.max_vcpus));
+  add(std::to_string(opts_.trace.mem_per_vcpu));
+  add(std::to_string(opts_.trace.requests_per_vcpu));
+  add(std::to_string(opts_.trace.remote_frac));
+  add(opts_.policy);
+  add(std::to_string(opts_.epochs));
+  add(std::to_string(opts_.reclamation ? 1 : 0));
+  add(std::to_string(opts_.think_ns));
+  add(std::to_string(opts_.service_ns));
+  add(std::to_string(opts_.page_service_ns));
+  add(std::to_string(opts_.qos ? 1 : 0));
+  add(std::to_string(opts_.coalesced_acks ? 1 : 0));
+  add(std::to_string(opts_.link.latency));
+  add(std::to_string(opts_.link.bytes_per_second));
+  add(std::to_string(opts_.latency_jitter_ns));
+  return SnapshotHashString(s);
+}
+
+std::string Marketplace::Save() {
+  // The drained boundary leaves no live tenants, leases, or queued VMs —
+  // only outcomes, counters, clocks, and the lease book's id/counter state
+  // go on the wire.
+  FV_CHECK(waiting_.empty());
+  FV_CHECK(!reclaim_in_flight_);
+  FV_CHECK_EQ(leases_->ActiveLeases(), 0);
+
+  SnapshotWriter w;
+  w.BeginSection("mkt.run");
+  w.U64(ConfigFingerprint());
+  w.U32(static_cast<uint32_t>(completed_waves_));
+  w.U64(events_);
+
+  w.BeginSection("mkt.clocks");
+  for (int p = 0; p < opts_.num_nodes; ++p) {
+    w.I64(ploop_->partition(p)->now());
+    w.U32(ploop_->next_cancellable_token(p));
+  }
+
+  w.BeginSection("mkt.orch");
+  w.U64(placed_single_);
+  w.U64(placed_aggregate_);
+  w.U64(delayed_);
+  w.U64(reclaims_);
+  w.U64(vms_completed_);
+  w.U64(leases_->next_id());
+  const LeaseStats& ls = leases_->stats();
+  SaveCounter(&w, ls.granted);
+  SaveCounter(&w, ls.renewed);
+  SaveCounter(&w, ls.expired);
+  SaveCounter(&w, ls.revoked);
+  SaveCounter(&w, ls.released);
+  SaveCounter(&w, ls.renew_failures);
+  SaveCounter(&w, ls.handbacks);
+
+  w.BeginSection("mkt.vms");
+  for (const VmRun& run : vms_) {
+    w.U8(static_cast<uint8_t>(run.status));
+    w.U8(run.was_delayed ? 1 : 0);
+    w.I64(run.submitted);
+    w.I64(run.started);
+    w.I64(run.finished);
+    w.I64(run.home);
+    w.U32(static_cast<uint32_t>(run.span));
+  }
+
+  w.BeginSection("mkt.nodes");
+  for (const NodeRt& nr : nodes_) {
+    w.U64(nr.c.local_requests);
+    w.U64(nr.c.remote_requests);
+    w.U64(nr.c.served_pages);
+    w.U64(nr.c.reclaim_moves);
+    w.U64(nr.c.request_failures);
+    SaveHistogram(&w, nr.latency);
+  }
+
+  w.BeginSection("mkt.series");
+  for (const TimeSeries* ts : {&consolidation_, &stranded_}) {
+    w.U32(static_cast<uint32_t>(ts->points().size()));
+    for (const auto& [t, v] : ts->points()) {
+      w.I64(t);
+      w.F64(v);
+    }
+  }
+
+  w.BeginSection("mkt.transport");
+  SaveTransportShards(&w, fabric_.get(), rpc_.get());
+  return w.Finish();
+}
+
+bool Marketplace::Load(const std::string& data, std::string* error) {
+  SnapshotReader r(data);
+  const auto fail = [&r, error]() {
+    if (error != nullptr) *error = r.error();
+    return false;
+  };
+  if (!r.Section("mkt.run")) return fail();
+  const uint64_t fingerprint = r.U64();
+  const uint32_t waves_done = r.U32();
+  const uint64_t events = r.U64();
+  if (!r.ok()) return fail();
+  if (fingerprint != ConfigFingerprint()) {
+    r.FailExternal("marketplace: snapshot was taken under different MarketplaceOptions");
+    return fail();
+  }
+  if (waves_done > static_cast<uint32_t>(opts_.epochs)) {
+    r.FailExternal("marketplace: snapshot claims more completed waves than the run has");
+    return fail();
+  }
+
+  if (!r.Section("mkt.clocks")) return fail();
+  std::vector<TimeNs> nows;
+  std::vector<uint32_t> tokens;
+  nows.reserve(static_cast<size_t>(opts_.num_nodes));
+  tokens.reserve(static_cast<size_t>(opts_.num_nodes));
+  for (int p = 0; p < opts_.num_nodes; ++p) {
+    nows.push_back(r.I64());
+    tokens.push_back(r.U32());
+  }
+  if (!r.ok()) return fail();
+  for (const TimeNs t : nows) {
+    if (t < 0) {
+      r.FailExternal("marketplace: negative virtual clock");
+      return fail();
+    }
+  }
+
+  if (!r.Section("mkt.orch")) return fail();
+  const uint64_t placed_single = r.U64();
+  const uint64_t placed_aggregate = r.U64();
+  const uint64_t delayed = r.U64();
+  const uint64_t reclaims = r.U64();
+  const uint64_t completed = r.U64();
+  const uint64_t lease_next = r.U64();
+  LeaseStats staged_lease;
+  LoadCounter(&r, &staged_lease.granted);
+  LoadCounter(&r, &staged_lease.renewed);
+  LoadCounter(&r, &staged_lease.expired);
+  LoadCounter(&r, &staged_lease.revoked);
+  LoadCounter(&r, &staged_lease.released);
+  LoadCounter(&r, &staged_lease.renew_failures);
+  LoadCounter(&r, &staged_lease.handbacks);
+  if (!r.ok()) return fail();
+  if (lease_next == kInvalidLease) {
+    r.FailExternal("marketplace: invalid lease id counter");
+    return fail();
+  }
+
+  if (!r.Section("mkt.vms")) return fail();
+  std::vector<VmRun> staged_vms = vms_;  // keep the trace-derived shape
+  for (VmRun& run : staged_vms) {
+    const uint8_t status = r.U8();
+    run.was_delayed = r.U8() != 0;
+    run.submitted = r.I64();
+    run.started = r.I64();
+    run.finished = r.I64();
+    run.home = static_cast<NodeId>(r.I64());
+    run.span = static_cast<int>(r.U32());
+    if (!r.ok()) return fail();
+    if (status != static_cast<uint8_t>(VmStatus::kPending) &&
+        status != static_cast<uint8_t>(VmStatus::kDone)) {
+      r.FailExternal("marketplace: snapshot holds a live VM (not a wave boundary)");
+      return fail();
+    }
+    run.status = static_cast<VmStatus>(status);
+    if (run.status == VmStatus::kDone &&
+        (run.home < 0 || run.home >= opts_.num_nodes || run.span < 1 ||
+         run.span > opts_.num_nodes)) {
+      r.FailExternal("marketplace: VM outcome out of range");
+      return fail();
+    }
+  }
+
+  if (!r.Section("mkt.nodes")) return fail();
+  std::vector<NodeRt> staged_nodes(nodes_.size());
+  for (NodeRt& nr : staged_nodes) {
+    nr.c.local_requests = r.U64();
+    nr.c.remote_requests = r.U64();
+    nr.c.served_pages = r.U64();
+    nr.c.reclaim_moves = r.U64();
+    nr.c.request_failures = r.U64();
+    LoadHistogram(&r, &nr.latency);
+  }
+  if (!r.ok()) return fail();
+
+  if (!r.Section("mkt.series")) return fail();
+  TimeSeries staged_consol;
+  TimeSeries staged_stranded;
+  for (TimeSeries* ts : {&staged_consol, &staged_stranded}) {
+    const uint32_t count = r.U32();
+    if (!r.ok()) return fail();
+    for (uint32_t i = 0; i < count; ++i) {
+      const TimeNs t = r.I64();
+      const double v = r.F64();
+      if (!r.ok()) return fail();
+      ts->Append(t, v);
+    }
+  }
+
+  if (!r.Section("mkt.transport")) return fail();
+  TransportShards staged_transport;
+  LoadTransportShards(&r, fabric_.get(), &staged_transport);
+  if (!r.AtEnd()) return fail();
+
+  // Commit.
+  for (int p = 0; p < opts_.num_nodes; ++p) {
+    ploop_->partition(p)->AdvanceTo(nows[static_cast<size_t>(p)]);
+    ploop_->RestoreCancellableToken(p, tokens[static_cast<size_t>(p)]);
+  }
+  vms_ = std::move(staged_vms);
+  nodes_ = std::move(staged_nodes);
+  consolidation_ = std::move(staged_consol);
+  stranded_ = std::move(staged_stranded);
+  placed_single_ = placed_single;
+  placed_aggregate_ = placed_aggregate;
+  delayed_ = delayed;
+  reclaims_ = reclaims;
+  vms_completed_ = completed;
+  leases_->RestoreNextId(lease_next);
+  *leases_->mutable_stats() = staged_lease;
+  CommitTransportShards(staged_transport, fabric_.get(), rpc_.get());
+  completed_waves_ = static_cast<int>(waves_done);
+  events_ = events;
+  return true;
+}
+
+uint64_t Marketplace::Digest() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis, folded per word
+  const auto mix = [&h](uint64_t v) { h = (h ^ v) * 1099511628211ull; };
+  for (const NodeRt& nr : nodes_) {
+    mix(nr.c.local_requests);
+    mix(nr.c.remote_requests);
+    mix(nr.c.served_pages);
+    mix(nr.c.reclaim_moves);
+    mix(nr.c.request_failures);
+    mix(nr.latency.count());
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      mix(nr.latency.bucket(i));
+    }
+  }
+  for (const VmRun& run : vms_) {
+    mix(static_cast<uint64_t>(run.status));
+    mix(static_cast<uint64_t>(run.submitted));
+    mix(static_cast<uint64_t>(run.started));
+    mix(static_cast<uint64_t>(run.finished));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(run.home)));
+    mix(static_cast<uint64_t>(run.span));
+  }
+  mix(placed_single_);
+  mix(placed_aggregate_);
+  mix(delayed_);
+  mix(reclaims_);
+  mix(vms_completed_);
+  return h;
+}
+
+MarketplaceResult Marketplace::Run(const MarketplaceRunConfig& cfg) {
+  for (int wave = completed_waves_; wave < opts_.epochs; ++wave) {
+    ScheduleWaveArrivals(wave);
+    RunEngine();
+    CheckWaveDrained(wave);
+    completed_waves_ = wave + 1;
+    if (cfg.snapshot_out != nullptr && completed_waves_ == cfg.snapshot_epoch) {
+      *cfg.snapshot_out = Save();
+    }
+  }
+
+  MarketplaceResult r;
+  r.per_node.reserve(nodes_.size());
+  for (const NodeRt& nr : nodes_) {
+    r.per_node.push_back(nr.c);
+    r.totals.Accumulate(nr.c);
+    r.latency.Accumulate(nr.latency);
+  }
+  r.placed_single = placed_single_;
+  r.placed_aggregate = placed_aggregate_;
+  r.delayed = delayed_;
+  r.reclaims = reclaims_;
+  r.vms_completed = vms_completed_;
+  r.lease = leases_->stats();
+  r.vms.reserve(vms_.size());
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    const VmRun& run = vms_[i];
+    VmOutcome o;
+    o.vm = i + 1;
+    o.vcpus = run.vcpus;
+    o.submitted = run.submitted;
+    o.started = run.started;
+    o.finished = run.finished;
+    o.home = run.home;
+    o.span_nodes = run.span;
+    o.completed = run.status == VmStatus::kDone;
+    r.vms.push_back(o);
+  }
+  r.consolidation = consolidation_;
+  r.stranded = stranded_;
+  r.finish_time = ploop_->now_max();
+  r.events_dispatched = events_;
+  r.state_digest = Digest();
+  r.fabric = fabric_->MergedStats();
+  r.rpc = rpc_->MergedStats();
+  r.threads = threads_;
+  r.core = ploop_->stats();
+  return r;
+}
+
+}  // namespace
+
+void MarketplaceNodeCounters::Accumulate(const MarketplaceNodeCounters& o) {
+  local_requests += o.local_requests;
+  remote_requests += o.remote_requests;
+  served_pages += o.served_pages;
+  reclaim_moves += o.reclaim_moves;
+  request_failures += o.request_failures;
+}
+
+MarketplaceResult RunMarketplace(const MarketplaceOptions& opts, int threads) {
+  return RunMarketplaceEx(opts, threads, MarketplaceRunConfig{});
+}
+
+MarketplaceResult RunMarketplaceEx(const MarketplaceOptions& opts, int threads,
+                                   const MarketplaceRunConfig& cfg) {
+  if (cfg.snapshot_out != nullptr) {
+    FV_CHECK_GE(cfg.snapshot_epoch, 1);
+    FV_CHECK_LE(cfg.snapshot_epoch, opts.epochs);
+  }
+  Marketplace mkt(opts, threads);
+  if (cfg.snapshot_in != nullptr) {
+    std::string err;
+    if (!mkt.Load(*cfg.snapshot_in, &err)) {
+      if (cfg.error == nullptr) {
+        std::fprintf(stderr, "marketplace snapshot load failed: %s\n", err.c_str());
+        std::abort();
+      }
+      *cfg.error = err;
+      return MarketplaceResult{};
+    }
+  }
+  return mkt.Run(cfg);
+}
+
+std::string MarketplaceReport(const MarketplaceResult& r) {
+  // Deliberately engine-bookkeeping-free: no thread count, no parallel-core
+  // stats. Two runs satisfy the determinism contract iff these bytes match.
+  std::string out;
+  out.reserve(4096 + r.per_node.size() * 96 + r.vms.size() * 96);
+  const auto line = [&out](const std::string& s) {
+    out += s;
+    out += '\n';
+  };
+  const auto u = [](uint64_t v) { return std::to_string(v); };
+  // Doubles go through a fixed format so the bytes are a pure function of
+  // the (deterministic) value.
+  const auto f = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return std::string(buf);
+  };
+  line("finish_ns=" + std::to_string(r.finish_time));
+  line("digest=" + u(r.state_digest));
+  line("totals local=" + u(r.totals.local_requests) + " remote=" + u(r.totals.remote_requests) +
+       " served_pages=" + u(r.totals.served_pages) + " reclaim_moves=" +
+       u(r.totals.reclaim_moves) + " failures=" + u(r.totals.request_failures));
+  line("latency count=" + u(r.latency.count()) + " p50_ns=" +
+       u(static_cast<uint64_t>(r.latency.Percentile(50))) + " p99_ns=" +
+       u(static_cast<uint64_t>(r.latency.Percentile(99))) + " max_ns=" +
+       u(static_cast<uint64_t>(r.latency.max())));
+  line("placement single=" + u(r.placed_single) + " aggregate=" + u(r.placed_aggregate) +
+       " delayed=" + u(r.delayed) + " reclaims=" + u(r.reclaims) + " completed=" +
+       u(r.vms_completed));
+  line("lease granted=" + u(r.lease.granted.value()) + " revoked=" + u(r.lease.revoked.value()) +
+       " released=" + u(r.lease.released.value()) + " handbacks=" + u(r.lease.handbacks.value()));
+  line("consolidation mean=" + f(r.consolidation.MeanValue()) + " final=" +
+       f(r.consolidation.empty() ? 0.0 : r.consolidation.points().back().second));
+  line("stranded mean=" + f(r.stranded.MeanValue()) + " final=" +
+       f(r.stranded.empty() ? 0.0 : r.stranded.points().back().second));
+  line("fabric messages=" + u(r.fabric.total_messages.value()) + " bytes=" +
+       u(r.fabric.total_bytes.value()));
+  line("rpc calls=" + u(r.rpc.calls.value()) + " notifies=" + u(r.rpc.notifies.value()) +
+       " failures=" + u(r.rpc.call_failures.value()));
+  for (size_t n = 0; n < r.per_node.size(); ++n) {
+    const MarketplaceNodeCounters& c = r.per_node[n];
+    line("node " + std::to_string(n) + " local=" + u(c.local_requests) + " remote=" +
+         u(c.remote_requests) + " served=" + u(c.served_pages) + " moves=" +
+         u(c.reclaim_moves) + " failures=" + u(c.request_failures));
+  }
+  for (const VmOutcome& o : r.vms) {
+    line("vm " + u(o.vm) + " vcpus=" + std::to_string(o.vcpus) + " submit_ns=" +
+         std::to_string(o.submitted) + " start_ns=" + std::to_string(o.started) +
+         " finish_ns=" + std::to_string(o.finished) + " home=" + std::to_string(o.home) +
+         " span=" + std::to_string(o.span_nodes) + " done=" + (o.completed ? "1" : "0"));
+  }
+  return out;
+}
+
+}  // namespace fragvisor

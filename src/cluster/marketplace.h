@@ -1,0 +1,150 @@
+// The cluster marketplace: many aggregate VMs competing for borrowable
+// resources on a shared multi-tenant cluster (DESIGN.md §11).
+//
+// A cluster::Orchestrator resident on node 0 admits VMs from an open-loop
+// arrival trace against the per-node TenantLedgers, using a pluggable
+// PlacementPolicy (fragbff vs harvest). A VM that fits on one node runs
+// whole; otherwise it runs as an aggregate VM over fragments, every non-home
+// slice covered by a host::LeaseManager lease. When a VM cannot be admitted,
+// the orchestrator arbitrates cross-VM reclamation: it revokes a running
+// tenant's lease whose share can be called home (the tenant's home node has
+// since freed up), consolidating tenant A onto fewer nodes to admit tenant B.
+//
+// Admitted VMs push FaaS-style open-loop request streams from their home
+// node's partition: local requests burn handler compute, remote requests
+// fetch a page from a lender slice over the fabric (kDsmReadReq /
+// kDsmPageData). Everything is partition-local by construction — the
+// orchestrator state (ledgers, lease book, waiting queue) lives on node 0's
+// partition, each VM's runtime state on its home partition, each node's
+// counters and latency shard on its own partition — so the marketplace runs
+// on the conservative parallel core byte-identically at any worker count.
+//
+// Epochs: the trace is split into `epochs` admission waves; every wave runs
+// until the cluster fully drains (all admitted VMs complete), which is the
+// whole-sim snapshot quiesce point, exactly as in workload/dsmstorm.
+
+#ifndef FRAGVISOR_SRC_CLUSTER_MARKETPLACE_H_
+#define FRAGVISOR_SRC_CLUSTER_MARKETPLACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/arrival.h"
+#include "src/host/lease_manager.h"
+#include "src/net/fabric.h"
+#include "src/net/rpc.h"
+#include "src/sim/parallel_loop.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace fragvisor {
+
+struct MarketplaceOptions {
+  int num_nodes = 64;
+  int vcpus_per_node = 8;           // committed vCPU slots per node
+  uint64_t mem_per_node = 32ull << 30;
+  ArrivalTraceOptions trace;        // vms, kind, span, sizes, request budgets
+  std::string policy = "fragbff";   // or "harvest"
+  int epochs = 1;                   // admission waves, each fully drained
+  bool reclamation = true;          // lease-revocation consolidation on/off
+
+  // Per-request costs (FaaS-handler scale).
+  TimeNs think_ns = Micros(1);         // open-loop gap between requests
+  TimeNs service_ns = Micros(4);       // local handler compute
+  TimeNs page_service_ns = Micros(2);  // lender-side page fetch cost
+
+  // Messaging-layer features (exercises the parallel QoS / coalesced paths).
+  bool qos = false;
+  bool coalesced_acks = false;
+
+  LinkParams link = LinkParams::InfiniBand56G();
+  TimeNs latency_jitter_ns = Nanos(700);
+};
+
+// Per-node marketplace counters, each owned by that node's partition.
+struct MarketplaceNodeCounters {
+  uint64_t local_requests = 0;   // requests of VMs homed here served locally
+  uint64_t remote_requests = 0;  // requests homed here that went to a lender
+  uint64_t served_pages = 0;     // lender-side page fetches served here
+  uint64_t reclaim_moves = 0;    // lender shares this home absorbed back
+  uint64_t request_failures = 0; // reliable-channel give-ups observed here
+
+  void Accumulate(const MarketplaceNodeCounters& o);
+};
+
+struct VmOutcome {
+  uint64_t vm = 0;
+  int vcpus = 0;
+  TimeNs submitted = 0;
+  TimeNs started = 0;   // admission instant
+  TimeNs finished = 0;
+  NodeId home = kInvalidNode;
+  int span_nodes = 0;   // nodes in the placement (1 = whole, >1 = aggregate)
+  bool completed = false;
+};
+
+struct MarketplaceResult {
+  std::vector<MarketplaceNodeCounters> per_node;
+  MarketplaceNodeCounters totals;
+  Histogram latency;  // request latency, merged across per-home-node shards
+
+  // Orchestrator outcomes.
+  uint64_t placed_single = 0;
+  uint64_t placed_aggregate = 0;
+  uint64_t delayed = 0;        // VMs that had to wait for capacity
+  uint64_t reclaims = 0;       // lease revocations that consolidated a tenant
+  uint64_t vms_completed = 0;
+  LeaseStats lease;            // the lease book's own counters (copied)
+  std::vector<VmOutcome> vms;
+
+  // Cluster efficiency over time, sampled at every admission/completion/
+  // reclaim: consolidation = committed slots / (nodes-in-use * slots-per-
+  // node); stranded = free slots on partially-occupied nodes.
+  TimeSeries consolidation;
+  TimeSeries stranded;
+
+  TimeNs finish_time = 0;
+  uint64_t events_dispatched = 0;  // worker-count-invariant, engine-specific
+  uint64_t state_digest = 0;
+
+  FabricStats fabric;  // merged across shards
+  RpcStats rpc;        // merged
+
+  int threads = 0;
+  ParallelEventLoop::RunStats core;
+};
+
+// Runs the marketplace to completion on the parallel engine (one partition
+// per node; threads >= 1 workers). The result is byte-identical across
+// worker counts.
+MarketplaceResult RunMarketplace(const MarketplaceOptions& opts, int threads);
+
+// Snapshot hooks, following workload/dsmstorm's RunStormEx contract.
+struct MarketplaceRunConfig {
+  // Save: serialize the whole-sim state once `snapshot_epoch` admission
+  // waves (1-based) have completed; the run then continues as usual.
+  std::string* snapshot_out = nullptr;
+  int snapshot_epoch = 0;
+
+  // Load: resume from this snapshot instead of starting at wave 0. Every
+  // MarketplaceOptions field must match the saving run; the worker count may
+  // differ. A resumed run's MarketplaceReport() is byte-identical to the
+  // uninterrupted run's.
+  const std::string* snapshot_in = nullptr;
+
+  // Load-failure sink; without one a load failure aborts.
+  std::string* error = nullptr;
+};
+
+MarketplaceResult RunMarketplaceEx(const MarketplaceOptions& opts, int threads,
+                                   const MarketplaceRunConfig& cfg);
+
+// Canonical, line-oriented dump of everything the determinism contract
+// covers (no thread count, no engine bookkeeping). Byte-compare two of
+// these to compare two runs.
+std::string MarketplaceReport(const MarketplaceResult& r);
+
+}  // namespace fragvisor
+
+#endif  // FRAGVISOR_SRC_CLUSTER_MARKETPLACE_H_

@@ -1,0 +1,120 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace fragvisor {
+namespace {
+
+// Slots this node can actually host: limited by free vCPU slots and by the
+// memory each slot drags along.
+int UsableSlots(const NodeCapacityView& n, uint64_t mem_per_slot) {
+  if (n.free_vcpus <= 0) {
+    return 0;
+  }
+  if (mem_per_slot == 0) {
+    return n.free_vcpus;
+  }
+  const uint64_t by_mem = n.free_mem / mem_per_slot;
+  const uint64_t by_cpu = static_cast<uint64_t>(n.free_vcpus);
+  return static_cast<int>(by_mem < by_cpu ? by_mem : by_cpu);
+}
+
+struct Fragment {
+  NodeId node = kInvalidNode;
+  int usable = 0;
+};
+
+std::vector<Fragment> Fragments(const std::vector<NodeCapacityView>& nodes,
+                                uint64_t mem_per_slot) {
+  std::vector<Fragment> out;
+  for (const NodeCapacityView& n : nodes) {
+    const int usable = UsableSlots(n, mem_per_slot);
+    if (usable > 0) {
+      out.push_back(Fragment{n.node, usable});
+    }
+  }
+  return out;
+}
+
+// Greedy fill over pre-sorted fragments; empty map if they don't cover.
+std::map<NodeId, int> Fill(const std::vector<Fragment>& frags, int vcpus) {
+  std::map<NodeId, int> alloc;
+  int remaining = vcpus;
+  for (const Fragment& f : frags) {
+    const int take = remaining < f.usable ? remaining : f.usable;
+    alloc[f.node] = take;
+    remaining -= take;
+    if (remaining == 0) {
+      return alloc;
+    }
+  }
+  return {};
+}
+
+class FragBffPlacement : public PlacementPolicy {
+ public:
+  const char* name() const override { return "fragbff"; }
+
+  std::map<NodeId, int> Place(const std::vector<NodeCapacityView>& nodes, int vcpus,
+                              uint64_t mem_per_slot) override {
+    FV_CHECK_GT(vcpus, 0);
+    // Best-fit first: the single node whose usable capacity fits most
+    // tightly.
+    const NodeCapacityView* best = nullptr;
+    int best_usable = 0;
+    for (const NodeCapacityView& n : nodes) {
+      const int usable = UsableSlots(n, mem_per_slot);
+      if (usable < vcpus) {
+        continue;
+      }
+      if (best == nullptr || usable < best_usable) {
+        best = &n;
+        best_usable = usable;
+      }
+    }
+    if (best != nullptr) {
+      return {{best->node, vcpus}};
+    }
+    // FragBFF: aggregate the smallest usable fragments first, which preserves
+    // large free chunks for future whole placements (kMinFragmentation).
+    std::vector<Fragment> frags = Fragments(nodes, mem_per_slot);
+    std::sort(frags.begin(), frags.end(), [](const Fragment& a, const Fragment& b) {
+      return a.usable != b.usable ? a.usable < b.usable : a.node < b.node;
+    });
+    return Fill(frags, vcpus);
+  }
+};
+
+class HarvestPlacement : public PlacementPolicy {
+ public:
+  const char* name() const override { return "harvest"; }
+
+  std::map<NodeId, int> Place(const std::vector<NodeCapacityView>& nodes, int vcpus,
+                              uint64_t mem_per_slot) override {
+    FV_CHECK_GT(vcpus, 0);
+    // Harvest-aware: take the largest idle fragments first — the VM spans
+    // the fewest nodes and runs where the most idle capacity sits, at the
+    // price of carving up big free chunks.
+    std::vector<Fragment> frags = Fragments(nodes, mem_per_slot);
+    std::sort(frags.begin(), frags.end(), [](const Fragment& a, const Fragment& b) {
+      return a.usable != b.usable ? a.usable > b.usable : a.node < b.node;
+    });
+    return Fill(frags, vcpus);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(const std::string& name) {
+  if (name == "fragbff") {
+    return std::make_unique<FragBffPlacement>();
+  }
+  if (name == "harvest") {
+    return std::make_unique<HarvestPlacement>();
+  }
+  return nullptr;
+}
+
+}  // namespace fragvisor

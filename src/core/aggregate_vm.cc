@@ -118,6 +118,46 @@ AggregateVm::AggregateVm(Cluster* cluster, AggregateVmConfig config)
   for (size_t i = 0; i < n; ++i) {
     vcpu_node_[i] = config_.placement[i].node;
   }
+
+  RegisterTenantShares();
+}
+
+AggregateVm::~AggregateVm() {
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    cluster_->node(n).tenants().ReleaseAll(config_.vm_id);
+  }
+}
+
+void AggregateVm::RegisterTenantShares() {
+  for (const VcpuPlacement& p : config_.placement) {
+    cluster_->node(p.node).tenants().ForceReserve(config_.vm_id, 0, 1);
+  }
+
+  // Memory: the whole guest address space, split evenly across the slices
+  // that contribute RAM (vCPU-bearing slices plus memory-only companions).
+  std::vector<NodeId> mem_nodes;
+  auto add_mem_node = [&mem_nodes](NodeId node) {
+    if (std::find(mem_nodes.begin(), mem_nodes.end(), node) == mem_nodes.end()) {
+      mem_nodes.push_back(node);
+    }
+  };
+  for (const VcpuPlacement& p : config_.placement) add_mem_node(p.node);
+  for (const NodeId n : config_.memory_slices) add_mem_node(n);
+  const uint64_t total_bytes = space_->total_pages() * 4096;
+  const uint64_t per_slice = total_bytes / mem_nodes.size();
+  for (const NodeId n : mem_nodes) {
+    cluster_->node(n).tenants().ForceReserve(config_.vm_id, per_slice, 0);
+  }
+
+  // Delegated backends.
+  const NodeId backend =
+      config_.io_backend_node != kInvalidNode ? config_.io_backend_node : config_.bootstrap_node();
+  if (config_.want_net || config_.want_blk) {
+    cluster_->node(backend).tenants().ForceReserve(config_.vm_id, 0, 0, /*io_backends=*/1);
+  }
+  for (const NodeId nic_node : config_.extra_nic_nodes) {
+    cluster_->node(nic_node).tenants().ForceReserve(config_.vm_id, 0, 0, /*io_backends=*/1);
+  }
 }
 
 void AggregateVm::SetWorkload(int vcpu, std::unique_ptr<OpStream> stream) {

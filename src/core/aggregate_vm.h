@@ -42,7 +42,8 @@ namespace fragvisor {
 class AggregateVm : public GuestContext {
  public:
   AggregateVm(Cluster* cluster, AggregateVmConfig config);
-  ~AggregateVm() override = default;
+  // Releases this VM's tenant shares on every node it borrowed from.
+  ~AggregateVm() override;
 
   AggregateVm(const AggregateVm&) = delete;
   AggregateVm& operator=(const AggregateVm&) = delete;
@@ -179,6 +180,13 @@ class AggregateVm : public GuestContext {
 
   // Returns a leased resource to the bootstrap slice (lease expired/revoked).
   void OrderlyHandback(const Lease& lease, NodeId home);
+
+  // Records this VM's footprint in each contributing node's TenantLedger,
+  // keyed by config_.vm_id: one vCPU slot per placement entry, the guest
+  // address space split across the memory-bearing slices, one io_backend
+  // share per delegated device backend. Uses the unchecked reservation path:
+  // legacy single-VM configs may deliberately overcommit a node.
+  void RegisterTenantShares();
 
   void DeliverInbox(int vcpu, InboxItem item);
   bool ConsumeInbox(int vcpu, InboxType type);

@@ -49,6 +49,11 @@ struct AggregateVmConfig {
   std::string name = "vm";
   Platform platform = Platform::kFragVisor;
 
+  // Tenant identity on a shared cluster: every resource this VM borrows from
+  // a node (memory, vCPU slots, delegated backends) is tagged with this id
+  // in the node's TenantLedger. Single-VM runs keep the default.
+  uint64_t vm_id = 1;
+
   // One entry per vCPU; placement[0] defines the bootstrap slice (DSM home).
   std::vector<VcpuPlacement> placement;
 

@@ -33,8 +33,25 @@ LeaseManager::LeaseManager(RpcLayer* rpc, LeaseManagerConfig config)
   FV_CHECK_LT(config_.renew_interval, config_.duration);
 }
 
+LeaseManager::LeaseManager(RpcLayer* rpc, NodeId home, LeaseManagerConfig config)
+    : rpc_(rpc), loop_(rpc->fabric()->node_loop(home)), config_(config), home_(home) {
+  FV_CHECK_GE(home, 0);
+  // Home-pinned books live between an orchestrator's decisions with no
+  // standing timers; renewal/expiry legs would also have to be rewritten as
+  // round trips, which nothing needs yet.
+  FV_CHECK(config_.manual_clock);
+  FV_CHECK_GT(config_.duration, 0);
+  FV_CHECK_GT(config_.renew_interval, 0);
+  FV_CHECK_LT(config_.renew_interval, config_.duration);
+}
+
 LeaseId LeaseManager::Grant(NodeId lender, NodeId borrower, LeaseKind kind, uint64_t resource,
                             HandbackFn handback) {
+  return Grant(lender, borrower, kind, resource, /*vm=*/0, std::move(handback));
+}
+
+LeaseId LeaseManager::Grant(NodeId lender, NodeId borrower, LeaseKind kind, uint64_t resource,
+                            uint64_t vm, HandbackFn handback) {
   FV_CHECK_NE(lender, borrower);
   const LeaseId id = next_id_++;
   Lease& lease = leases_[id];
@@ -43,24 +60,41 @@ LeaseId LeaseManager::Grant(NodeId lender, NodeId borrower, LeaseKind kind, uint
   lease.borrower = borrower;
   lease.kind = kind;
   lease.resource = resource;
+  lease.vm = vm;
   lease.granted_at = loop_->now();
   handbacks_[id] = std::move(handback);
 
   RpcLayer::CallOpts opts;
   opts.token = id;
   opts.on_fail = [this, id]() { Terminate(id, LeaseEvent::kLost); };
-  rpc_->Call(borrower, lender, MsgKind::kLease, config_.msg_bytes,
-             [this, id]() {
-               auto it = leases_.find(id);
-               if (it == leases_.end() || it->second.active) return;
-               it->second.active = true;
-               it->second.expires_at = loop_->now() + config_.duration;
-               stats_.granted.Add(1);
-               ArmExpiry(id);
-               if (config_.auto_renew) ArmRenewal(id);
-             },
-             std::move(opts));
+  if (home_pinned()) {
+    // Request leg home -> lender; the grant-ack leg lender -> home activates
+    // the lease, so the book only mutates on home's partition. The failure
+    // continuation of the request leg already runs at its source (home).
+    rpc_->Call(home_, lender, MsgKind::kLease, config_.msg_bytes,
+               [this, id, lender]() {
+                 RpcLayer::CallOpts ack;
+                 ack.token = id;
+                 rpc_->Call(lender, home_, MsgKind::kLease, config_.msg_bytes,
+                            [this, id]() { Activate(id); }, std::move(ack));
+               },
+               std::move(opts));
+  } else {
+    rpc_->Call(borrower, lender, MsgKind::kLease, config_.msg_bytes,
+               [this, id]() { Activate(id); }, std::move(opts));
+  }
   return id;
+}
+
+void LeaseManager::Activate(LeaseId id) {
+  auto it = leases_.find(id);
+  if (it == leases_.end() || it->second.active) return;
+  it->second.active = true;
+  it->second.expires_at = loop_->now() + config_.duration;
+  stats_.granted.Add(1);
+  if (config_.manual_clock) return;
+  ArmExpiry(id);
+  if (config_.auto_renew) ArmRenewal(id);
 }
 
 void LeaseManager::ArmRenewal(LeaseId id) {
@@ -109,16 +143,32 @@ void LeaseManager::Revoke(LeaseId id) {
   RpcLayer::CallOpts opts;
   opts.token = id;
   opts.on_fail = [this, id]() { Terminate(id, LeaseEvent::kLost); };
-  rpc_->Call(lease.lender, lease.borrower, MsgKind::kLease, config_.msg_bytes,
-             [this, id]() { Terminate(id, LeaseEvent::kRevoked); }, std::move(opts));
+  if (home_pinned()) {
+    // Revoke notice home -> borrower; the borrower's ack leg carries the
+    // termination back to home's partition, where the handback runs.
+    rpc_->Call(home_, lease.borrower, MsgKind::kLease, config_.msg_bytes,
+               [this, id, borrower = lease.borrower]() {
+                 RpcLayer::CallOpts ack;
+                 ack.token = id;
+                 rpc_->Call(borrower, home_, MsgKind::kLease, config_.msg_bytes,
+                            [this, id]() { Terminate(id, LeaseEvent::kRevoked); },
+                            std::move(ack));
+               },
+               std::move(opts));
+  } else {
+    rpc_->Call(lease.lender, lease.borrower, MsgKind::kLease, config_.msg_bytes,
+               [this, id]() { Terminate(id, LeaseEvent::kRevoked); }, std::move(opts));
+  }
 }
 
 void LeaseManager::Release(LeaseId id) {
   auto it = leases_.find(id);
   if (it == leases_.end() || !it->second.active) return;
   const Lease& lease = it->second;
-  rpc_->Call(lease.borrower, lease.lender, MsgKind::kLease, config_.msg_bytes,
-             []() {});  // lender-side bookkeeping only; fire and forget
+  // Lender-side bookkeeping only; fire and forget. Home-pinned books must
+  // call Release from home's partition, so home is the legal source there.
+  rpc_->Call(home_pinned() ? home_ : lease.borrower, lease.lender, MsgKind::kLease,
+             config_.msg_bytes, []() {});
   Terminate(id, LeaseEvent::kReleased);
 }
 
@@ -162,6 +212,20 @@ void LeaseManager::Terminate(LeaseId id, LeaseEvent event) {
   if (handback) handback(lease, event);
 }
 
+void LeaseManager::Drop(LeaseId id) {
+  leases_.erase(id);
+  handbacks_.erase(id);
+}
+
+void LeaseManager::RestoreActiveLease(const Lease& lease, HandbackFn handback) {
+  FV_CHECK(config_.manual_clock);
+  FV_CHECK(lease.active);
+  FV_CHECK_NE(lease.id, kInvalidLease);
+  FV_CHECK(leases_.find(lease.id) == leases_.end());
+  leases_[lease.id] = lease;
+  handbacks_[lease.id] = std::move(handback);
+}
+
 const Lease* LeaseManager::Find(LeaseId id) const {
   auto it = leases_.find(id);
   return it == leases_.end() ? nullptr : &it->second;
@@ -173,6 +237,26 @@ int LeaseManager::ActiveLeases() const {
     if (lease.active) ++n;
   }
   return n;
+}
+
+std::vector<LeaseId> LeaseManager::ActiveLeasesByLender(NodeId lender, uint64_t vm) const {
+  std::vector<LeaseId> out;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.active && lease.lender == lender && lease.vm == vm) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<LeaseId> LeaseManager::ActiveLeasesOfVm(uint64_t vm) const {
+  std::vector<LeaseId> out;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.active && lease.vm == vm) {
+      out.push_back(id);
+    }
+  }
+  return out;
 }
 
 }  // namespace fragvisor

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "src/net/rpc.h"
 #include "src/sim/event_loop.h"
@@ -63,6 +64,7 @@ struct Lease {
   NodeId borrower = kInvalidNode;
   LeaseKind kind = LeaseKind::kMemory;
   uint64_t resource = 0;       // caller-defined: vCPU index, device slot, ...
+  uint64_t vm = 0;             // borrowing VM id (multi-tenant); 0 = untagged
   TimeNs granted_at = 0;
   TimeNs expires_at = 0;
   bool active = false;         // grant acked and not yet terminated
@@ -73,6 +75,11 @@ struct LeaseManagerConfig {
   TimeNs renew_interval = Millis(80);  // borrower re-ups this often
   bool auto_renew = true;              // off: leases run to expiry
   uint64_t msg_bytes = 128;            // grant/renew/revoke wire size
+  // No renewal or expiry timers at all: leases live until an explicit
+  // Revoke/Release/OnNodeFailure. A cluster orchestrator that arbitrates
+  // reclamation itself wants exactly this — between its epochs every event
+  // queue drains, which standing timers would prevent.
+  bool manual_clock = false;
 };
 
 struct LeaseStats {
@@ -94,6 +101,17 @@ class LeaseManager {
 
   LeaseManager(RpcLayer* rpc, LeaseManagerConfig config = LeaseManagerConfig());
 
+  // Home-pinned mode, for a cluster orchestrator resident on node `home`:
+  // every protocol exchange is a round trip `home` -> counterparty ->
+  // `home`, and the lease book only mutates in the home-bound leg. On a
+  // parallel-core fabric a delivery continuation runs on the destination's
+  // partition, so this routing pins the whole book to home's partition while
+  // the wire traffic still crosses to the real lender/borrower. Requires
+  // config.manual_clock (the orchestrator drives reclamation itself; no
+  // standing renewal/expiry timers), and Grant/Revoke/Release must be called
+  // from home's partition.
+  LeaseManager(RpcLayer* rpc, NodeId home, LeaseManagerConfig config = LeaseManagerConfig());
+
   LeaseManager(const LeaseManager&) = delete;
   LeaseManager& operator=(const LeaseManager&) = delete;
 
@@ -102,6 +120,11 @@ class LeaseManager {
   // arrives, after which renewals are scheduled automatically. If the grant
   // itself fails (lender dead), `handback` runs with kLost.
   LeaseId Grant(NodeId lender, NodeId borrower, LeaseKind kind, uint64_t resource,
+                HandbackFn handback);
+
+  // As above, tagging the lease with the borrowing VM's id so per-tenant
+  // reclamation can find exactly the leases it may touch.
+  LeaseId Grant(NodeId lender, NodeId borrower, LeaseKind kind, uint64_t resource, uint64_t vm,
                 HandbackFn handback);
 
   // Lender-initiated: asks the borrower to give the resource back. The
@@ -121,17 +144,48 @@ class LeaseManager {
 
   const Lease* Find(LeaseId id) const;
   int ActiveLeases() const;
+
+  // Active leases lent by `lender` to VM `vm` — the set a per-tenant
+  // reclamation (call memory home from tenant A to admit tenant B) may
+  // revoke, and nothing else. Ordered by lease id (deterministic).
+  std::vector<LeaseId> ActiveLeasesByLender(NodeId lender, uint64_t vm) const;
+
+  // Every active lease tagged with `vm`, ordered by lease id.
+  std::vector<LeaseId> ActiveLeasesOfVm(uint64_t vm) const;
+
   const LeaseManagerConfig& config() const { return config_; }
   const LeaseStats& stats() const { return stats_; }
+
+  // --- Snapshot support (manual-clock books only) ---
+  //
+  // An orchestrator that snapshots at drained quiesce points serializes its
+  // lease book itself (it knows every lease it granted); these hooks let it
+  // reinstate the book on load without any protocol traffic. Restoring is
+  // only coherent when no timers would need re-arming, hence manual_clock.
+
+  // Reinstates an already-active lease verbatim, including its id.
+  void RestoreActiveLease(const Lease& lease, HandbackFn handback);
+
+  // Withdraws a lease from the book without protocol traffic or handback —
+  // for owners tearing down the borrower that no longer care about the
+  // grant's fate (e.g. a VM departing before its grant ack returned).
+  void Drop(LeaseId id);
+  LeaseId next_id() const { return next_id_; }
+  void RestoreNextId(LeaseId id) { next_id_ = id; }
+  LeaseStats* mutable_stats() { return &stats_; }
 
  private:
   void ArmRenewal(LeaseId id);
   void ArmExpiry(LeaseId id);
+  void Activate(LeaseId id);
   void Terminate(LeaseId id, LeaseEvent event);
+
+  bool home_pinned() const { return home_ != kInvalidNode; }
 
   RpcLayer* rpc_;
   EventLoop* loop_;
   LeaseManagerConfig config_;
+  NodeId home_ = kInvalidNode;  // home-pinned mode when valid
   LeaseId next_id_ = 1;
   std::map<LeaseId, Lease> leases_;
   std::map<LeaseId, HandbackFn> handbacks_;

@@ -21,12 +21,27 @@ TimeNs Node::total_busy_time() const {
 
 Cluster::Cluster(const Config& config) : costs_(config.costs) {
   FV_CHECK_GT(config.num_nodes, 0);
-  fabric_ = std::make_unique<Fabric>(&loop_, config.num_nodes, config.link);
-  rpc_ = std::make_unique<RpcLayer>(&loop_, fabric_.get(), config.rpc);
+  if (config.threads >= 1) {
+    // Host the cluster clock on the parallel engine. A single VM is one DSM
+    // coherence domain, so everything lives in one partition and the fabric
+    // runs in its (serial-compatible) single-loop mode — the schedule is the
+    // exact serial schedule, so reports stay byte-identical at any --threads.
+    ParallelEventLoop::Options opts;
+    opts.num_partitions = 1;
+    opts.num_threads = config.threads;
+    opts.lookahead = 1;
+    ploop_ = std::make_unique<ParallelEventLoop>(opts);
+  }
+  EventLoop* loop = ploop_ != nullptr ? ploop_->partition(0) : &loop_;
+  fabric_ = std::make_unique<Fabric>(loop, config.num_nodes, config.link);
+  rpc_ = std::make_unique<RpcLayer>(loop, fabric_.get(), config.rpc);
   nodes_.reserve(static_cast<size_t>(config.num_nodes));
   for (int i = 0; i < config.num_nodes; ++i) {
     nodes_.push_back(
-        std::make_unique<Node>(&loop_, i, config.pcpus_per_node, config.ram_per_node, &costs_));
+        std::make_unique<Node>(loop, i, config.pcpus_per_node, config.ram_per_node, &costs_));
+  }
+  for (auto& node : nodes_) {
+    node->tenants().Init(config.ram_per_node, config.pcpus_per_node);
   }
 }
 

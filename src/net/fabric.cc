@@ -180,15 +180,18 @@ TimeNs Fabric::WireArrival(LinkState& link, uint64_t size, TimeNs now) {
 }
 
 void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery,
-                  TimeNs receiver_delay, DeliveryFn on_fail) {
+                  TimeNs receiver_delay, DeliveryFn on_fail, DeliveryFn on_settle) {
   ValidateNode(src);
   ValidateNode(dst);
   FV_CHECK(on_delivery != nullptr);
   if (ploop_ != nullptr) {
     SendParallel(src, dst, kind, size, std::move(on_delivery), receiver_delay,
-                 std::move(on_fail));
+                 std::move(on_fail), std::move(on_settle));
     return;
   }
+  // Settle notifications exist for sender-partition-local protocols; serial
+  // callers see delivery directly and must not pass one.
+  FV_CHECK(on_settle == nullptr);
   if (src == dst) {
     // Loopback never hits the wire (and never faults): deliver in-order at
     // the current time.
@@ -498,13 +501,18 @@ void Fabric::SendRequestResponse(NodeId src, NodeId dst, MsgKind kind, uint64_t 
 // makes the reliable channel race-free without locks.
 
 void Fabric::SendParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
-                          DeliveryFn on_delivery, TimeNs receiver_delay, DeliveryFn on_fail) {
+                          DeliveryFn on_delivery, TimeNs receiver_delay, DeliveryFn on_fail,
+                          DeliveryFn on_settle) {
   EventLoop* sloop = ploop_->partition(src);
   if (src == dst) {
     if (receiver_delay > 0) {
       sloop->ScheduleRelay(sloop->now(), receiver_delay, std::move(on_delivery));
     } else {
       sloop->ScheduleAfter(0, std::move(on_delivery));
+    }
+    if (on_settle != nullptr) {
+      // Loopback "arrives" instantly; settle after the delivery is queued.
+      sloop->ScheduleAfter(0, std::move(on_settle));
     }
     return;
   }
@@ -516,6 +524,9 @@ void Fabric::SendParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
       CaptureDelivery(src, dst, kind, size, arrival, receiver_delay);
     }
     ploop_->ScheduleCross(src, dst, arrival, receiver_delay, std::move(on_delivery));
+    if (on_settle != nullptr) {
+      sloop->ScheduleAt(arrival, std::move(on_settle));
+    }
     return;
   }
   ParPending* p = new ParPending();
@@ -526,6 +537,7 @@ void Fabric::SendParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
   p->receiver_delay = receiver_delay;
   p->on_delivery = std::move(on_delivery);
   p->on_fail = std::move(on_fail);
+  p->on_settle = std::move(on_settle);
   p->refs = 1;  // this frame
   AttemptParallel(p);
   Unref(p);
@@ -587,12 +599,15 @@ void Fabric::AttemptParallel(ParPending* p) {
 
 void Fabric::OnWinnerSettled(ParPending* p) {
   int drop = 1;  // the settle marker's own ref
+  DeliveryFn settle;
   if (p->failed) {
     // The sender gave up before the accepted copy landed; in serial that
     // arrival is suppressed as a duplicate of a failed id.
     RetryStatsFor(p->src).dups_suppressed.Add(p->dst);
   } else {
     p->settled = true;
+    settle = std::move(p->on_settle);
+    p->on_settle = nullptr;
     if (p->timer != kInvalidEventId &&
         ploop_->partition(p->src)->Cancel(p->timer)) {
       p->timer = kInvalidEventId;
@@ -602,6 +617,10 @@ void Fabric::OnWinnerSettled(ParPending* p) {
   FV_CHECK_GE(p->refs, drop);
   if ((p->refs -= drop) == 0) {
     delete p;
+  }
+  // After the ref bookkeeping: the callback may recursively send.
+  if (settle != nullptr) {
+    settle();
   }
 }
 
@@ -621,6 +640,7 @@ void Fabric::OnRetryTimeoutParallel(ParPending* p) {
 void Fabric::FailParallel(ParPending* p) {
   RetryStatsFor(p->src).send_failures.Add(p->src);
   p->failed = true;
+  p->on_settle = nullptr;  // a failed send never settles
   if (p->timer != kInvalidEventId) {
     if (ploop_->partition(p->src)->Cancel(p->timer)) {
       Unref(p);

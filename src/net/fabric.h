@@ -150,6 +150,11 @@ class Fabric {
   // True when this fabric runs on the partitioned parallel core.
   bool parallel() const { return ploop_ != nullptr; }
 
+  // The parallel engine (null in serial mode). Protocol layers that need to
+  // commit cross-partition work directly (e.g. multicast round completion)
+  // route it through here under the same lookahead contract as the fabric.
+  ParallelEventLoop* parallel_loop() { return ploop_; }
+
   // The loop `node`'s events execute on: its partition in parallel mode, the
   // single shared loop otherwise. Protocol layers must schedule node-local
   // work (handler costs, retries, timeouts) here, never on a global loop.
@@ -193,8 +198,15 @@ class Fabric {
   // `on_fail` runs once if every attempt is lost — a crashed peer, an
   // unhealed partition. A null on_fail means the caller has its own recovery
   // (or none: legacy callers silently lose the message, as before the plan).
+  //
+  // `on_settle` (parallel mode only; must be null on a serial fabric) runs on
+  // the *sending* partition at the instant the accepted copy arrives at the
+  // receiver — the sender-local proof of delivery the parallel engine gets
+  // for free from the first-copy-wins property. Exactly one of on_settle /
+  // on_fail runs; a send abandoned after max_attempts never settles.
   void Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery,
-            TimeNs receiver_delay = 0, DeliveryFn on_fail = nullptr);
+            TimeNs receiver_delay = 0, DeliveryFn on_fail = nullptr,
+            DeliveryFn on_settle = nullptr);
 
   // Unreliable send: no retries, no duplicate suppression — a drop loses the
   // message and a duplication runs `on_delivery` twice. Use for traffic whose
@@ -286,6 +298,7 @@ class Fabric {
     TimeNs receiver_delay = 0;
     DeliveryFn on_delivery;
     DeliveryFn on_fail;
+    DeliveryFn on_settle;  // src-local delivery proof; never runs on failure
     int attempts = 0;
     int refs = 0;
     bool winner_scheduled = false;  // the accepted copy's delivery is committed
@@ -329,7 +342,7 @@ class Fabric {
 
   // Parallel-mode send paths; run entirely on the sending partition.
   void SendParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery,
-                    TimeNs receiver_delay, DeliveryFn on_fail);
+                    TimeNs receiver_delay, DeliveryFn on_fail, DeliveryFn on_settle);
   void SendDatagramParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
                             DeliveryFn on_delivery, TimeNs receiver_delay);
   void AttemptParallel(ParPending* p);

@@ -22,13 +22,21 @@ RpcLayer::RpcLayer(EventLoop* loop, Fabric* fabric, RpcConfig config)
     : loop_(loop), fabric_(fabric), config_(config) {
   FV_CHECK(fabric != nullptr);
   if (fabric->parallel()) {
-    // Per-node stats shards replace the single block; the QoS scheduler and
-    // ack coalescing keep cross-partition shared state (link queues drained
-    // by a global pump, round counters decremented at targets) and are not
-    // supported on the parallel core.
-    FV_CHECK(!config.qos.enabled);
-    FV_CHECK(!config.coalesced_acks);
+    // Per-node stats shards replace the single block. QoS link queues are
+    // per directed link and a link (src, dst) is only ever pumped from src's
+    // partition, so the scheduler state is partition-local by construction —
+    // but the map itself must not mutate during a run (it is looked up from
+    // every partition), so materialize every directed pair up front.
     shards_.resize(static_cast<size_t>(fabric->num_nodes()));
+    if (config.qos.enabled) {
+      for (NodeId s = 0; s < fabric->num_nodes(); ++s) {
+        for (NodeId d = 0; d < fabric->num_nodes(); ++d) {
+          if (s != d) {
+            qos_links_[{s, d}];
+          }
+        }
+      }
+    }
   } else {
     FV_CHECK(loop != nullptr);
   }
@@ -175,12 +183,14 @@ void RpcLayer::Multicast(NodeId src, const std::vector<NodeId>& targets, MsgKind
                          EventLoop::Callback on_all_acked, MulticastOpts opts) {
   FV_CHECK(!targets.empty());
   FV_CHECK(on_target != nullptr);
-  // Serial engine only: the shared round state (pending countdown, failure
-  // latch, byte accounting) is decremented from every target's partition as
-  // acks issue, which cannot be made partition-local. Parallel-core protocols
-  // fan out with independent Call()s instead.
-  FV_CHECK(!fabric_->parallel());
-  stats_.multicast_rounds.Add(1);
+  const bool parallel = fabric_->parallel();
+  // Per-issue protocol accounting bumps caller-owned plain counters from
+  // whatever partition issues the wire message; parallel rounds rely on the
+  // sharded rpc/fabric stats instead.
+  if (parallel) {
+    FV_CHECK(opts.account == nullptr);
+  }
+  S(src).multicast_rounds.Add(1);
 
   // Shared round state: all per-hop closures reference it, keeping each one
   // small enough for the event loop's inline storage.
@@ -202,9 +212,11 @@ void RpcLayer::Multicast(NodeId src, const std::vector<NodeId>& targets, MsgKind
 
   // Per-hop failure: mark the round void, then run the caller's handler
   // (which typically aborts/retries the whole transaction and guards itself
-  // against running twice).
-  auto hop_fail = [this, ctx]() {
-    stats_.call_failures.Add(1);
+  // against running twice). A payload leg's sender is `src`, and the fabric
+  // surfaces a send failure at its sender, so in parallel mode this runs on
+  // src's partition — where the round state lives.
+  auto hop_fail = [this, src, ctx]() {
+    S(src).call_failures.Add(1);
     ctx->failed = true;
     if (ctx->opts.on_fail) {
       ctx->opts.on_fail();
@@ -212,17 +224,32 @@ void RpcLayer::Multicast(NodeId src, const std::vector<NodeId>& targets, MsgKind
   };
 
   for (const NodeId t : targets) {
-    stats_.multicast_targets.Add(1);
-    stats_.calls.Add(1);
+    S(src).multicast_targets.Add(1);
+    S(src).calls.Add(1);
     Account(ctx->opts.account, bytes);
     if (config_.coalesced_acks) {
+      if (parallel) {
+        // Partition-local round state: the target's work runs at t, while
+        // the countdown and failure latch are only ever touched at src —
+        // the reliable channel's sender-side settle notification *is* the
+        // coalesced ack, so no state crosses partitions at all.
+        Dispatch(src, t, kind, bytes, [ctx, t]() { ctx->on_target(t); },
+                 ctx->opts.receiver_delay, hop_fail, ctx->opts.qos,
+                 /*on_settle=*/[this, src, ctx]() {
+                   S(src).acks_coalesced.Add(1);
+                   if (!ctx->failed && --ctx->pending == 0) {
+                     ctx->on_all_acked();
+                   }
+                 });
+        continue;
+      }
       // The reliable channel's delivery confirmation is the ack: the target
       // does its work and the round bookkeeping settles without an explicit
       // ack message crossing the wire.
       Dispatch(src, t, kind, bytes,
-               [this, t, ctx]() {
+               [this, src, t, ctx]() {
                  ctx->on_target(t);
-                 stats_.acks_coalesced.Add(1);
+                 S(src).acks_coalesced.Add(1);
                  if (!ctx->failed && --ctx->pending == 0) {
                    ctx->on_all_acked();
                  }
@@ -236,15 +263,33 @@ void RpcLayer::Multicast(NodeId src, const std::vector<NodeId>& targets, MsgKind
     Dispatch(src, t, kind, bytes,
              [this, t, ctx, hop_fail]() {
                ctx->on_target(t);
-               stats_.calls.Add(1);
+               S(t).calls.Add(1);
                Account(ctx->opts.account, ctx->opts.ack_bytes);
+               Fabric::DeliveryFn ack_fail = hop_fail;
+               if (ParallelEventLoop* ploop = fabric_->parallel_loop()) {
+                 // The ack's sender is t, so its failure surfaces on t's
+                 // partition; the latch and the caller's handler live at
+                 // src. Count locally, then route the round abort home
+                 // through the mailbox — one lookahead out is always legal
+                 // from within a window.
+                 ack_fail = [this, t, ctx, ploop]() {
+                   S(t).call_failures.Add(1);
+                   ploop->ScheduleCross(t, ctx->src,
+                                        NodeLoop(t)->now() + ploop->lookahead(), 0, [ctx]() {
+                                          ctx->failed = true;
+                                          if (ctx->opts.on_fail) {
+                                            ctx->opts.on_fail();
+                                          }
+                                        });
+                 };
+               }
                Dispatch(t, ctx->src, ctx->opts.ack_kind, ctx->opts.ack_bytes,
                         [ctx]() {
                           if (!ctx->failed && --ctx->pending == 0) {
                             ctx->on_all_acked();
                           }
                         },
-                        ctx->opts.ack_receiver_delay, hop_fail, ctx->opts.qos);
+                        ctx->opts.ack_receiver_delay, std::move(ack_fail), ctx->opts.qos);
              },
              ctx->opts.receiver_delay, hop_fail, ctx->opts.qos);
   }
@@ -252,25 +297,31 @@ void RpcLayer::Multicast(NodeId src, const std::vector<NodeId>& targets, MsgKind
 
 void RpcLayer::Dispatch(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
                         Fabric::DeliveryFn on_delivery, TimeNs receiver_delay,
-                        Fabric::DeliveryFn on_fail, QosClass qos) {
+                        Fabric::DeliveryFn on_fail, QosClass qos, Fabric::DeliveryFn on_settle) {
   // Loopback never serializes on a wire, so there is nothing to arbitrate.
   if (!config_.qos.enabled || src == dst) {
     fabric_->Send(src, dst, kind, size, std::move(on_delivery), receiver_delay,
-                  std::move(on_fail));
+                  std::move(on_fail), std::move(on_settle));
     return;
   }
+  // All scheduler state for the link (src, dst) lives on src's clock: only
+  // src's partition ever queues or pumps it in parallel mode (NodeLoop(src)
+  // is the single shared loop in serial mode, so this is the same schedule
+  // the serial pump always produced).
+  EventLoop* sloop = NodeLoop(src);
   LinkQueue& lq = qos_links_[{src, dst}];
-  if (!lq.pump_armed && loop_->now() >= lq.next_free && lq.q[0].empty() && lq.q[1].empty()) {
+  if (!lq.pump_armed && sloop->now() >= lq.next_free && lq.q[0].empty() && lq.q[1].empty()) {
     // Idle link: send through immediately, tracking the serialization
     // horizon so a burst arriving behind this message queues up.
-    lq.next_free = loop_->now() + WireTime(fabric_->link_params(src, dst), size);
+    lq.next_free = sloop->now() + WireTime(fabric_->link_params(src, dst), size);
     fabric_->Send(src, dst, kind, size, std::move(on_delivery), receiver_delay,
-                  std::move(on_fail));
+                  std::move(on_fail), std::move(on_settle));
     return;
   }
-  stats_.qos_deferred.Add(1);
-  lq.q[static_cast<int>(qos)].push_back(
-      QueuedMsg{kind, size, receiver_delay, std::move(on_delivery), std::move(on_fail)});
+  S(src).qos_deferred.Add(1);
+  lq.q[static_cast<int>(qos)].push_back(QueuedMsg{kind, size, receiver_delay,
+                                                  std::move(on_delivery), std::move(on_fail),
+                                                  std::move(on_settle)});
   ArmPump(src, dst, lq);
 }
 
@@ -279,8 +330,9 @@ void RpcLayer::ArmPump(NodeId src, NodeId dst, LinkQueue& lq) {
     return;
   }
   lq.pump_armed = true;
-  const TimeNs when = std::max(loop_->now(), lq.next_free);
-  loop_->ScheduleAt(when, [this, src, dst]() { PumpLink(src, dst); });
+  EventLoop* sloop = NodeLoop(src);
+  const TimeNs when = std::max(sloop->now(), lq.next_free);
+  sloop->ScheduleAt(when, [this, src, dst]() { PumpLink(src, dst); });
 }
 
 void RpcLayer::PumpLink(NodeId src, NodeId dst) {
@@ -290,9 +342,9 @@ void RpcLayer::PumpLink(NodeId src, NodeId dst) {
     return;
   }
   QueuedMsg msg = PickNext(lq);
-  lq.next_free = loop_->now() + WireTime(fabric_->link_params(src, dst), msg.size);
+  lq.next_free = NodeLoop(src)->now() + WireTime(fabric_->link_params(src, dst), msg.size);
   fabric_->Send(src, dst, msg.kind, msg.size, std::move(msg.on_delivery), msg.receiver_delay,
-                std::move(msg.on_fail));
+                std::move(msg.on_fail), std::move(msg.on_settle));
   if (!lq.q[0].empty() || !lq.q[1].empty()) {
     ArmPump(src, dst, lq);
   }

@@ -162,10 +162,13 @@ class RpcLayer {
 
   // On a parallel-core fabric (fabric->parallel()), pass loop == nullptr:
   // every node-local schedule/trace then goes through that node's partition
-  // loop. The QoS scheduler and ack coalescing keep cross-partition shared
-  // state and are rejected in that mode; all other entry points work
-  // unchanged. All Bind() calls must happen before the run starts (the
-  // handler map is read concurrently).
+  // loop. The QoS scheduler runs per directed link on the sending node's
+  // partition, coalesced multicast uses the reliable channel's sender-side
+  // settle notification as the ack, and classic multicast routes ack-leg
+  // failures home through the mailbox — all partition-local, so every entry
+  // point works in that mode (Multicast requires opts.account == nullptr
+  // there; plain caller-owned counters are not shard-safe). All Bind() calls
+  // must happen before the run starts (the handler map is read concurrently).
   RpcLayer(EventLoop* loop, Fabric* fabric, RpcConfig config = RpcConfig());
 
   RpcLayer(const RpcLayer&) = delete;
@@ -251,6 +254,7 @@ class RpcLayer {
     TimeNs receiver_delay = 0;
     Fabric::DeliveryFn on_delivery;
     Fabric::DeliveryFn on_fail;
+    Fabric::DeliveryFn on_settle;  // carried through to Fabric::Send
   };
 
   // Per directed link: one FIFO per QoS class plus deficit-round-robin state.
@@ -287,7 +291,7 @@ class RpcLayer {
   // QoS link queues when the scheduler is enabled.
   void Dispatch(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
                 Fabric::DeliveryFn on_delivery, TimeNs receiver_delay, Fabric::DeliveryFn on_fail,
-                QosClass qos);
+                QosClass qos, Fabric::DeliveryFn on_settle = nullptr);
 
   // Wraps a null on_done into the bound-handler dispatch for (dst, kind).
   Fabric::DeliveryFn ResolveDelivery(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,

@@ -74,4 +74,32 @@ void LoadNodeCounterSet(SnapshotReader* r, NodeCounterSet* s) {
   }
 }
 
+void SaveHistogram(SnapshotWriter* w, const Histogram& h) {
+  SaveSummary(w, h.summary());
+  w->U32(static_cast<uint32_t>(Histogram::kBuckets));
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    w->U64(h.bucket(i));
+  }
+}
+
+void LoadHistogram(SnapshotReader* r, Histogram* h) {
+  Summary summary;
+  LoadSummary(r, &summary);
+  const uint32_t buckets = r->U32();
+  if (!r->ok()) {
+    return;
+  }
+  if (buckets != static_cast<uint32_t>(Histogram::kBuckets)) {
+    r->FailExternal("histogram: bucket count mismatch");
+    return;
+  }
+  std::array<uint64_t, Histogram::kBuckets> staged{};
+  for (uint32_t i = 0; r->ok() && i < buckets; ++i) {
+    staged[i] = r->U64();
+  }
+  if (r->ok()) {
+    h->Restore(summary, staged);
+  }
+}
+
 }  // namespace fragvisor

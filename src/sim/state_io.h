@@ -26,6 +26,11 @@ void LoadSummary(SnapshotReader* r, Summary* s);
 void SaveNodeCounterSet(SnapshotWriter* w, const NodeCounterSet& s);
 void LoadNodeCounterSet(SnapshotReader* r, NodeCounterSet* s);
 
+// Full bucket state; the bucket count is part of the wire form and a
+// mismatch (a stream from a different Histogram::kBuckets) latches an error.
+void SaveHistogram(SnapshotWriter* w, const Histogram& h);
+void LoadHistogram(SnapshotReader* r, Histogram* h);
+
 }  // namespace fragvisor
 
 #endif  // FRAGVISOR_SRC_SIM_STATE_IO_H_

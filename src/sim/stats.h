@@ -54,6 +54,14 @@ class Summary {
     max_ = raw_max;
   }
 
+  // Folds another summary in — used to merge per-partition stat shards.
+  void Accumulate(const Summary& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = other.min_ < min_ ? other.min_ : min_;
+    max_ = other.max_ > max_ ? other.max_ : max_;
+  }
+
  private:
   uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -78,6 +86,26 @@ class Histogram {
   // Approximate p-th percentile (p in [0, 100]); returns the upper bound of
   // the bucket containing the rank, clamped to [min, max].
   double Percentile(double p) const;
+
+  // Raw state for snapshot serialization and shard merging.
+  const Summary& summary() const { return summary_; }
+  uint64_t bucket(int i) const {
+    FV_CHECK_GE(i, 0);
+    FV_CHECK_LT(i, kBuckets);
+    return buckets_[static_cast<size_t>(i)];
+  }
+  void Restore(const Summary& summary, const std::array<uint64_t, kBuckets>& buckets) {
+    summary_ = summary;
+    buckets_ = buckets;
+  }
+
+  // Folds another histogram in — used to merge per-node latency shards.
+  void Accumulate(const Histogram& other) {
+    summary_.Accumulate(other.summary_);
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+    }
+  }
 
  private:
   static int BucketFor(double sample);

@@ -460,12 +460,11 @@ std::string Storm::Save() {
     w.U64(ns.c.failures);
   }
 
-  // Merged transport counters: the loader folds them into one shard, which
-  // every merged read sums back to the same totals.
+  // Per-shard transport counters: parallel runs shard stats by sending node
+  // and the per-node tables are observable, so the shards round-trip
+  // one-for-one (collapsing into shard 0 would survive only merged reads).
   w.BeginSection("storm.transport");
-  SaveFabricStats(&w, fabric_->MergedStats());
-  SaveRetryStats(&w, fabric_->MergedRetryStats());
-  SaveRpcStats(&w, rpc_->MergedStats());
+  SaveTransportShards(&w, fabric_.get(), rpc_.get());
 
   w.BeginSection("storm.faults");
   w.U8(plan_ != nullptr ? 1 : 0);
@@ -589,12 +588,8 @@ bool Storm::Load(const std::string& data, std::string* error) {
   if (!r.Section("storm.transport")) {
     return fail();
   }
-  FabricStats staged_fabric;
-  RetryStats staged_retry;
-  RpcStats staged_rpc;
-  LoadFabricStats(&r, &staged_fabric);
-  LoadRetryStats(&r, &staged_retry);
-  LoadRpcStats(&r, &staged_rpc);
+  TransportShards staged_transport;
+  LoadTransportShards(&r, fabric_.get(), &staged_transport);
 
   if (!r.Section("storm.faults")) {
     return fail();
@@ -623,9 +618,7 @@ bool Storm::Load(const std::string& data, std::string* error) {
     serial_->AdvanceTo(nows[0]);
   }
   nodes_ = std::move(staged);
-  fabric_->StatsShardForRestore(0) = staged_fabric;
-  fabric_->RetryShardForRestore(0) = staged_retry;
-  rpc_->StatsShardForRestore(0) = staged_rpc;
+  CommitTransportShards(staged_transport, fabric_.get(), rpc_.get());
   completed_epochs_ = static_cast<int>(epochs_done);
   events_ = events;
   return true;

@@ -120,6 +120,11 @@ for config in "${configs[@]}"; do
     echo "=== [$config] bench: ablation_dsm_fastpath (invariant gate) ==="
     "$build_dir/bench/ablation_dsm_fastpath" --quick \
       --out "$artifacts/BENCH_dsm_fastpath.json"
+    # The marketplace ablation doubles as a determinism gate: it fails when
+    # the cluster report differs across worker counts.
+    echo "=== [$config] bench: cluster_marketplace (fragbff vs harvest) ==="
+    "$build_dir/bench/cluster_marketplace" --quick \
+      --out "$artifacts/BENCH_cluster_marketplace.json"
 
     # Run-to-run determinism of the fast paths at the fvsim level: two
     # identical runs with every --dsm-* flag on must diff clean.

@@ -28,6 +28,7 @@
 
 #include "bench/harness.h"
 #include "bench/runner.h"
+#include "src/cluster/marketplace.h"
 #include "src/net/capture.h"
 #include "src/sim/trace.h"
 #include "src/workload/dsmstorm.h"
@@ -222,6 +223,7 @@ Setup MakeSetup(const Args& args) {
   if (args.Has("rpc-qos")) {
     setup.rpc.qos.enabled = true;
   }
+  setup.threads = args.GetInt("threads", 0);
   setup.dsm_prefetch = args.GetInt("dsm-prefetch", 0);
   if (args.Has("dsm-hints")) {
     setup.dsm_owner_hints = true;
@@ -671,6 +673,121 @@ int RunStormCmd(const Args& args) {
   return 0;
 }
 
+// Multi-tenant cluster marketplace on the parallel core (DESIGN.md §11).
+//
+//   fvsim cluster --nodes 64 --vms 100 --trace poisson --threads 4
+//   fvsim cluster --trace flash --policy harvest --report
+//
+// The canonical report (--report) is byte-identical across --threads values
+// for a fixed configuration. Snapshots follow the storm command's shape:
+//   fvsim cluster --epochs 2 --snapshot-save s.fvsnap --snapshot-epoch 1
+//   fvsim cluster --epochs 2 --snapshot-load s.fvsnap
+int RunClusterCmd(const Args& args) {
+  MarketplaceOptions mo;
+  mo.num_nodes = args.GetInt("nodes", 64);
+  mo.vcpus_per_node = args.GetInt("vcpus-per-node", 8);
+  mo.mem_per_node = static_cast<uint64_t>(args.GetInt("mem-gb", 32)) << 30;
+  mo.trace.vms = args.GetInt("vms", 100);
+  if (!ParseArrivalKind(args.Get("trace", "poisson"), &mo.trace.kind)) {
+    std::fprintf(stderr, "unknown --trace '%s' (poisson|diurnal|flash)\n",
+                 args.Get("trace", "poisson").c_str());
+    return 2;
+  }
+  mo.trace.span = Millis(args.GetInt("span-ms", 20));
+  mo.trace.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  mo.trace.max_vcpus = args.GetInt("max-vcpus", 8);
+  mo.trace.mem_per_vcpu = static_cast<uint64_t>(args.GetInt("mem-per-vcpu-mb", 1024)) << 20;
+  mo.trace.requests_per_vcpu = static_cast<uint64_t>(args.GetInt("requests", 2000));
+  mo.trace.remote_frac = args.GetDouble("remote-frac", 0.35);
+  mo.policy = args.Get("policy", "fragbff");
+  mo.epochs = args.GetInt("epochs", 1);
+  mo.reclamation = !args.Has("no-reclaim");
+  mo.think_ns = Nanos(args.GetInt("think-ns", 1000));
+  mo.service_ns = Nanos(args.GetInt("service-ns", 4000));
+  mo.page_service_ns = Nanos(args.GetInt("page-service-ns", 2000));
+  mo.qos = args.Has("rpc-qos");
+  mo.coalesced_acks = args.Has("rpc-coalesce");
+  mo.latency_jitter_ns = Nanos(args.GetInt("jitter-ns", 700));
+  const int threads = args.GetInt("threads", 1);
+
+  MarketplaceRunConfig cfg;
+  std::string snapshot_out;
+  if (args.Has("snapshot-save")) {
+    cfg.snapshot_out = &snapshot_out;
+    cfg.snapshot_epoch = args.GetInt("snapshot-epoch", mo.epochs);
+  }
+  std::string snapshot_in;
+  if (args.Has("snapshot-load")) {
+    if (!ReadBinaryFile(args.Get("snapshot-load", ""), &snapshot_in, "snapshot")) {
+      return 2;
+    }
+    cfg.snapshot_in = &snapshot_in;
+  }
+  std::string load_error;
+  cfg.error = &load_error;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const MarketplaceResult r = RunMarketplaceEx(mo, threads, cfg);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  if (!load_error.empty()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n", load_error.c_str());
+    return 2;
+  }
+  if (cfg.snapshot_out != nullptr) {
+    if (snapshot_out.empty()) {
+      std::fprintf(stderr, "no snapshot was taken (is --snapshot-epoch within --epochs?)\n");
+      return 2;
+    }
+    if (!WriteBinaryFile(args.Get("snapshot-save", ""), snapshot_out, "snapshot")) {
+      return 2;
+    }
+    std::printf("snapshot (%zu bytes, wave %d) written to %s\n", snapshot_out.size(),
+                cfg.snapshot_epoch, args.Get("snapshot-save", "").c_str());
+  }
+
+  std::printf("cluster %d nodes x %d vms (%s, %s): %.2f ms simulated, %llu events "
+              "(%.0f events/s wall), digest %016llx\n",
+              mo.num_nodes, mo.trace.vms, ArrivalKindName(mo.trace.kind), mo.policy.c_str(),
+              ToMillis(r.finish_time), static_cast<unsigned long long>(r.events_dispatched),
+              wall_s > 0 ? static_cast<double>(r.events_dispatched) / wall_s : 0.0,
+              static_cast<unsigned long long>(r.state_digest));
+  std::printf("  placement: %llu whole, %llu aggregate, %llu delayed, %llu reclaims, "
+              "%llu completed\n",
+              static_cast<unsigned long long>(r.placed_single),
+              static_cast<unsigned long long>(r.placed_aggregate),
+              static_cast<unsigned long long>(r.delayed),
+              static_cast<unsigned long long>(r.reclaims),
+              static_cast<unsigned long long>(r.vms_completed));
+  std::printf("  requests: %llu local, %llu remote; latency p50 %.1f us, p99 %.1f us\n",
+              static_cast<unsigned long long>(r.totals.local_requests),
+              static_cast<unsigned long long>(r.totals.remote_requests),
+              r.latency.Percentile(50) / 1e3, r.latency.Percentile(99) / 1e3);
+  std::printf("  efficiency: consolidation %.3f mean / %.3f final, stranded %.1f mean "
+              "slots\n",
+              r.consolidation.MeanValue(),
+              r.consolidation.empty() ? 0.0 : r.consolidation.points().back().second,
+              r.stranded.MeanValue());
+
+  if (args.Has("report")) {
+    const std::string path = args.Get("report", "-");
+    const std::string report = MarketplaceReport(r);
+    if (path == "-" || path == "1") {
+      std::fputs(report.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write --report file '%s'\n", path.c_str());
+        return 2;
+      }
+      std::fputs(report.c_str(), f);
+      std::fclose(f);
+      std::printf("cluster report written to %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
 // Re-runs a captured configuration and diffs the fresh delivery stream
 // against the recording, shredcap-style: exit 0 and "zero diffs" when the
 // fabric commits byte-identical deliveries, otherwise the first mismatched
@@ -791,6 +908,12 @@ int List() {
   std::printf("        [--jitter-ns T] [--seed N] [--epochs N] [--report] [fault flags]\n");
   std::printf("        [--snapshot-save F --snapshot-epoch K] [--snapshot-load F]\n");
   std::printf("        [--capture F]\n");
+  std::printf("  cluster [--nodes N] [--vms M] [--trace poisson|diurnal|flash] [--threads N]\n");
+  std::printf("        [--policy fragbff|harvest] [--epochs N] [--seed N] [--span-ms T]\n");
+  std::printf("        [--vcpus-per-node N] [--mem-gb G] [--max-vcpus N] [--requests N]\n");
+  std::printf("        [--mem-per-vcpu-mb M] [--remote-frac F] [--no-reclaim] [--rpc-qos]\n");
+  std::printf("        [--rpc-coalesce] [--jitter-ns T] [--report [PATH]]\n");
+  std::printf("        [--snapshot-save F --snapshot-epoch K] [--snapshot-load F]\n");
   std::printf("  replay --capture F [--threads N]\n");
   std::printf("  list\n\n");
   std::printf("systems: fragvisor | giantvm | overcommit[:pcpus]\n");
@@ -810,8 +933,9 @@ int List() {
   std::printf("         --partial-recovery (surgical lender-death recovery)\n");
   std::printf("         --ckpt-ms T --heartbeat-ms T\n");
   std::printf("leases:  --lease-ms T [--lease-renew-ms T] (lease borrowed resources)\n");
-  std::printf("storm:   --threads N (N>=1: parallel core with N workers + end-of-run\n");
-  std::printf("         parallelism report; omit for the serial engine)\n\n");
+  std::printf("threads: --threads N on npb/lemp/faas hosts the testbed clock on the\n");
+  std::printf("         parallel engine (byte-identical output); on storm/cluster it is\n");
+  std::printf("         the parallel core's worker count\n\n");
   std::printf("NPB benchmarks:");
   for (const NpbProfile& p : NpbSuite()) {
     std::printf(" %s", p.name.c_str());
@@ -837,6 +961,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "storm") {
     return RunStormCmd(args);
+  }
+  if (args.command == "cluster") {
+    return RunClusterCmd(args);
   }
   if (args.command == "replay") {
     return RunReplayCmd(args);

@@ -19,6 +19,10 @@
 //            GoldenTraceReport().
 //   npb    — one NPB multi-process harness run; keys bench/scale/vcpus/seed.
 //            Report = end time + integer fault counters.
+//   cluster — the multi-tenant marketplace (cluster orchestrator, DESIGN.md
+//            §11) over MarketplaceOptions keys; report = MarketplaceReport().
+//            Supports the same "compare_threads" / "verify_resume"
+//            cross-checks as storm.
 //
 // Usage:
 //   scenario_runner FILE...          run, compare to "expect", exit 0/1
@@ -37,6 +41,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "src/cluster/marketplace.h"
 #include "src/sim/fault_plan.h"
 #include "src/sim/snapshot.h"
 #include "src/workload/dsmstorm.h"
@@ -263,6 +268,71 @@ bool RunStormScenario(const Params& p, std::string* report, std::string* error) 
   return true;
 }
 
+bool RunClusterScenario(const Params& p, std::string* report, std::string* error) {
+  MarketplaceOptions mo;
+  mo.num_nodes = static_cast<int>(p.Int("nodes", mo.num_nodes));
+  mo.vcpus_per_node = static_cast<int>(p.Int("vcpus_per_node", mo.vcpus_per_node));
+  mo.mem_per_node = static_cast<uint64_t>(p.Int(
+      "mem_gb", static_cast<int64_t>(mo.mem_per_node >> 30))) << 30;
+  const std::string trace = p.Str("trace", ArrivalKindName(mo.trace.kind));
+  if (!ParseArrivalKind(trace, &mo.trace.kind)) {
+    *error = "unknown trace kind '" + trace + "'";
+    return false;
+  }
+  mo.trace.vms = static_cast<int>(p.Int("vms", mo.trace.vms));
+  mo.trace.span = Millis(p.Int("span_ms", mo.trace.span / Millis(1)));
+  mo.trace.seed = static_cast<uint64_t>(p.Int("seed", static_cast<int64_t>(mo.trace.seed)));
+  mo.trace.max_vcpus = static_cast<int>(p.Int("max_vcpus", mo.trace.max_vcpus));
+  mo.trace.mem_per_vcpu = static_cast<uint64_t>(p.Int(
+      "mem_per_vcpu_mb", static_cast<int64_t>(mo.trace.mem_per_vcpu >> 20))) << 20;
+  mo.trace.requests_per_vcpu = static_cast<uint64_t>(
+      p.Int("requests", static_cast<int64_t>(mo.trace.requests_per_vcpu)));
+  mo.trace.remote_frac = p.Dbl("remote_frac", mo.trace.remote_frac);
+  mo.policy = p.Str("policy", mo.policy);
+  mo.epochs = static_cast<int>(p.Int("epochs", mo.epochs));
+  mo.reclamation = p.Bool("reclaim", mo.reclamation);
+  mo.think_ns = p.Int("think_ns", mo.think_ns);
+  mo.service_ns = p.Int("service_ns", mo.service_ns);
+  mo.page_service_ns = p.Int("page_service_ns", mo.page_service_ns);
+  mo.qos = p.Bool("qos", mo.qos);
+  mo.coalesced_acks = p.Bool("coalesce", mo.coalesced_acks);
+  mo.latency_jitter_ns = p.Int("jitter_ns", mo.latency_jitter_ns);
+  const int threads = static_cast<int>(p.Int("threads", 1));
+
+  *report = MarketplaceReport(RunMarketplace(mo, threads));
+
+  if (p.Has("compare_threads")) {
+    const int other = static_cast<int>(p.Int("compare_threads", 0));
+    const std::string other_report = MarketplaceReport(RunMarketplace(mo, other));
+    if (other_report != *report) {
+      *error = "report at --threads " + std::to_string(threads) +
+               " differs from --threads " + std::to_string(other);
+      return false;
+    }
+  }
+  if (p.Bool("verify_resume", false)) {
+    std::string snapshot;
+    MarketplaceRunConfig save_cfg;
+    save_cfg.snapshot_out = &snapshot;
+    save_cfg.snapshot_epoch = 1;
+    RunMarketplaceEx(mo, threads, save_cfg);
+    MarketplaceRunConfig load_cfg;
+    load_cfg.snapshot_in = &snapshot;
+    std::string load_error;
+    load_cfg.error = &load_error;
+    const std::string resumed = MarketplaceReport(RunMarketplaceEx(mo, threads, load_cfg));
+    if (!load_error.empty()) {
+      *error = "resume failed: " + load_error;
+      return false;
+    }
+    if (resumed != *report) {
+      *error = "resumed report differs from the uninterrupted run";
+      return false;
+    }
+  }
+  return true;
+}
+
 bool RunGoldenScenario(const Params& p, std::string* report, std::string* error) {
   const bool hints = p.Bool("hints", false);
   const bool replicate = p.Bool("replicate", false);
@@ -366,6 +436,8 @@ int RunScenarioFile(const std::string& path, bool print_only) {
     ok = RunGoldenScenario(p, &report, &error);
   } else if (kind == "npb") {
     ok = RunNpbScenario(p, &report, &error);
+  } else if (kind == "cluster") {
+    ok = RunClusterScenario(p, &report, &error);
   } else {
     std::fprintf(stderr, "%s: unknown kind '%s'\n", path.c_str(), kind.c_str());
     return 2;
