@@ -1,0 +1,164 @@
+// Cluster chaos campaign study (DESIGN.md §12): the fault-tolerant
+// marketplace under seeded crash / partition / jitter schedules.
+//
+// For every chaos mode the bench derives a deterministic fault schedule per
+// seed (fractions of the fault-free horizon), runs the marketplace through
+// it, checks the cluster-level invariants, and reports the recovery story:
+// how many tenants survived, how many failed with their crashed home, how
+// fast the control plane detected deaths and re-placed orphaned leases, and
+// how often the orchestrator itself had to fail over. A fault-free baseline
+// row anchors the comparison, and a determinism gate re-runs the whole
+// campaign and requires a byte-identical campaign report.
+//
+//   cluster_chaos [--quick] [--out PATH]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/cluster/chaos.h"
+#include "src/cluster/marketplace.h"
+
+namespace fragvisor {
+namespace bench {
+namespace {
+
+MarketplaceOptions BaseOptions(bool quick) {
+  MarketplaceOptions mo;
+  mo.num_nodes = 16;
+  mo.vcpus_per_node = 4;
+  mo.trace.kind = ArrivalKind::kFlash;
+  mo.trace.vms = quick ? 32 : 48;
+  mo.trace.max_vcpus = 8;
+  mo.trace.requests_per_vcpu = quick ? 400 : 800;
+  return mo;
+}
+
+void PrintRunRow(const ChaosRunResult& run) {
+  const MarketplaceResult& r = run.result;
+  PrintRow({ChaosModeName(run.mode), std::to_string(run.seed), std::to_string(r.vms_completed),
+            std::to_string(r.vms_failed), std::to_string(r.failovers),
+            std::to_string(r.nodes_died),
+            std::to_string(r.lender_replacements + r.lender_degradations),
+            r.detection_ns.count() ? Fmt(r.detection_ns.Percentile(50) / 1e3, 1) : "-",
+            r.recovery_ns.count() ? Fmt(r.recovery_ns.Percentile(50) / 1e3, 1) : "-",
+            Fmt(ToMillis(r.finish_time), 2), std::to_string(run.violations.size())},
+           11);
+}
+
+void AppendRunJson(std::string* out, const ChaosRunResult& run, bool last) {
+  const MarketplaceResult& r = run.result;
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"mode\": \"%s\", \"seed\": %llu, \"completed\": %llu, \"failed\": %llu,\n"
+      "     \"failovers\": %llu, \"nodes_died\": %llu, \"replacements\": %llu,\n"
+      "     \"degradations\": %llu, \"journal_records\": %llu, \"late_dones\": %llu,\n"
+      "     \"detect_p50_us\": %.3f, \"recover_p50_us\": %.3f, \"finish_ms\": %.3f,\n"
+      "     \"violations\": %llu, \"digest\": \"%016llx\"}%s\n",
+      ChaosModeName(run.mode), static_cast<unsigned long long>(run.seed),
+      static_cast<unsigned long long>(r.vms_completed),
+      static_cast<unsigned long long>(r.vms_failed),
+      static_cast<unsigned long long>(r.failovers),
+      static_cast<unsigned long long>(r.nodes_died),
+      static_cast<unsigned long long>(r.lender_replacements),
+      static_cast<unsigned long long>(r.lender_degradations),
+      static_cast<unsigned long long>(r.journal_records),
+      static_cast<unsigned long long>(r.late_dones),
+      r.detection_ns.count() ? r.detection_ns.Percentile(50) / 1e3 : 0.0,
+      r.recovery_ns.count() ? r.recovery_ns.Percentile(50) / 1e3 : 0.0,
+      ToMillis(r.finish_time), static_cast<unsigned long long>(run.violations.size()),
+      static_cast<unsigned long long>(r.state_digest), last ? "" : ",");
+  *out += buf;
+}
+
+int Run(bool quick, const std::string& out_path) {
+  PrintHeader("Cluster chaos campaign: crash / partition / jitter vs the fault-free baseline");
+  ChaosCampaignOptions co;
+  co.base = BaseOptions(quick);
+  co.seeds = quick ? 2 : 3;
+  co.threads = 2;
+  co.verify_threads = 4;
+  std::printf("%d nodes x %d slots, %d tenants, %llu requests/vCPU, %d seeds per mode\n\n",
+              co.base.num_nodes, co.base.vcpus_per_node, co.base.trace.vms,
+              static_cast<unsigned long long>(co.base.trace.requests_per_vcpu), co.seeds);
+
+  const MarketplaceResult baseline = RunMarketplace(co.base, co.threads);
+  const ChaosCampaignResult campaign = RunChaosCampaign(co);
+
+  PrintRow({"mode", "seed", "done", "fail", "fover", "died", "recov", "det(us)", "rec(us)",
+            "fin(ms)", "viol"},
+           11);
+  PrintRow({"none", "-", std::to_string(baseline.vms_completed),
+            std::to_string(baseline.vms_failed), "0", "0", "0", "-", "-",
+            Fmt(ToMillis(baseline.finish_time), 2), "0"},
+           11);
+  for (const ChaosRunResult& run : campaign.runs) PrintRunRow(run);
+  std::printf("\n%llu total invariant violations across %llu runs\n",
+              static_cast<unsigned long long>(campaign.total_violations),
+              static_cast<unsigned long long>(campaign.runs.size()));
+  if (campaign.total_violations != 0) {
+    std::fprintf(stderr, "FAIL: chaos campaign reported invariant violations\n");
+    for (const ChaosRunResult& run : campaign.runs) {
+      for (const std::string& v : run.violations) {
+        std::fprintf(stderr, "  %s seed %llu: %s\n", ChaosModeName(run.mode),
+                     static_cast<unsigned long long>(run.seed), v.c_str());
+      }
+    }
+    return 1;
+  }
+
+  // Determinism gate: the whole campaign, rerun, must reproduce its report
+  // byte-for-byte (every run inside it already byte-compares 2 vs 4 workers).
+  if (ChaosCampaignReport(RunChaosCampaign(co)) != ChaosCampaignReport(campaign)) {
+    std::fprintf(stderr, "FAIL: campaign report not reproducible\n");
+    return 1;
+  }
+  std::printf("determinism gate: campaign report reproducible, runs byte-identical at 2/4 workers\n");
+
+  if (!out_path.empty()) {
+    std::string json = "{\n  \"bench\": \"cluster_chaos\",\n";
+    json += "  \"nodes\": " + std::to_string(co.base.num_nodes) + ",\n";
+    json += "  \"vms\": " + std::to_string(co.base.trace.vms) + ",\n";
+    json += "  \"seeds_per_mode\": " + std::to_string(co.seeds) + ",\n";
+    json += "  \"baseline_completed\": " + std::to_string(baseline.vms_completed) + ",\n";
+    json += "  \"baseline_finish_ms\": " + Fmt(ToMillis(baseline.finish_time), 3) + ",\n";
+    json += "  \"total_violations\": " + std::to_string(campaign.total_violations) + ",\n";
+    json += "  \"runs\": [\n";
+    for (size_t i = 0; i < campaign.runs.size(); ++i) {
+      AppendRunJson(&json, campaign.runs[i], i + 1 == campaign.runs.size());
+    }
+    json += "  ]\n}\n";
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --out file '%s'\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("results written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fragvisor
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: cluster_chaos [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+  return fragvisor::bench::Run(quick, out_path);
+}

@@ -247,12 +247,7 @@ void FailoverManager::PartialRecover(Protection* protection, NodeId failed_node)
         [this, protection, vm, failed_node, detected_at, full_lost, total_dirty, target,
          report](CheckpointResult) {
           vm->RedelegateBackends(failed_node, target);
-          const TimeNs lost_work =
-              total_dirty == 0
-                  ? 0
-                  : static_cast<TimeNs>(static_cast<double>(full_lost) *
-                                        static_cast<double>(report.lost_dirty) /
-                                        static_cast<double>(total_dirty));
+          const TimeNs lost_work = ScaledLostWork(full_lost, report.lost_dirty, total_dirty);
           stats_.partial_lost_work_ns.Record(static_cast<double>(lost_work));
           stats_.partial_recovery_time_ns.Record(
               static_cast<double>(cluster_->loop().now() - detected_at));

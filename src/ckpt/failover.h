@@ -40,6 +40,16 @@
 
 namespace fragvisor {
 
+// Replay-time scaling shared by every partial-recovery path: of the work a
+// full restore would replay (`full`), only the fraction trapped in the lost
+// part of the state (`part` of `whole`) must actually be re-executed. Zero
+// when nothing was at stake.
+inline TimeNs ScaledLostWork(TimeNs full, uint64_t part, uint64_t whole) {
+  if (whole == 0) return 0;
+  return static_cast<TimeNs>(static_cast<double>(full) * static_cast<double>(part) /
+                             static_cast<double>(whole));
+}
+
 struct FailoverStats {
   Counter checkpoints_taken;
   Counter vcpus_evacuated;   // preemptive migrations off degraded nodes

@@ -10,6 +10,7 @@
 
 #include "src/ckpt/sim_snapshot.h"
 #include "src/cluster/placement.h"
+#include "src/host/health_monitor.h"
 #include "src/host/node.h"
 #include "src/sim/check.h"
 #include "src/sim/rng.h"
@@ -22,12 +23,33 @@ namespace {
 constexpr uint64_t kCtrlBytes = 256;    // orchestrator control messages
 constexpr uint64_t kReqBytes = 64;      // remote page request
 constexpr uint64_t kPageBytes = 4096 + 64;
+constexpr uint64_t kJournalBytes = 64;  // admission/lease-book delta record
+constexpr uint64_t kBeatBytes = 64;     // orchestrator -> successor heartbeat
 
 // Control-token ops, multiplexed over MsgKind::kVcpuMigration (orchestrator
-// -> home) and MsgKind::kControl (home -> orchestrator).
+// -> node), MsgKind::kControl (node -> orchestrator, plus heartbeats) and,
+// for the failover journal, MsgKind::kCheckpointData (orchestrator ->
+// successor). Ops >= kOpNewOrch only ever appear when a fault plan is
+// attached; a fault-free run's wire traffic is byte-identical to the
+// pre-fault-tolerance marketplace.
 constexpr uint64_t kOpStart = 0;     // begin the VM's request streams
 constexpr uint64_t kOpCallHome = 1;  // a lender share was consolidated home
 constexpr uint64_t kOpVmDone = 2;    // all streams drained
+constexpr uint64_t kOpNewOrch = 3;   // takeover: route future dones at src
+constexpr uint64_t kOpQuery = 4;     // takeover: report your live homed VMs
+constexpr uint64_t kOpDropLender = 5;     // dead lender slice dropped (arg)
+constexpr uint64_t kOpReplaceLender = 6;  // dead lender slice re-placed (wide)
+constexpr uint64_t kOpPing = 7;      // orchestrator liveness probe (reliable)
+constexpr uint64_t kOpQVm = 8;       // interrogation reply: one homed VM
+constexpr uint64_t kOpQueryDone = 9; // interrogation trailer; arg = VM count
+constexpr uint64_t kOpBeat = 10;     // heartbeat datagram (unreliable)
+// Journal records (orchestrator -> successor over kCheckpointData).
+constexpr uint64_t kJrnHello = 16;    // (re)sync start; arg = orchestrator id
+constexpr uint64_t kJrnAdmit = 17;    // VM admitted
+constexpr uint64_t kJrnDone = 18;     // VM completed
+constexpr uint64_t kJrnFail = 19;     // VM failed; arg = VmFailReason
+constexpr uint64_t kJrnDead = 20;     // arg = node declared dead
+constexpr uint64_t kJrnQuiesce = 21;  // outstanding work hit zero; disarm
 
 // splitmix64, as in workload/dsmstorm: spreads structured ids into
 // independent-looking seeds and jitter values.
@@ -50,19 +72,45 @@ uint64_t CtlOp(uint64_t token) { return token >> 56; }
 uint64_t CtlVm(uint64_t token) { return (token >> 16) & ((1ull << 40) - 1); }
 uint64_t CtlArg(uint64_t token) { return token & 0xffff; }
 
-enum class VmStatus : uint8_t { kPending = 0, kWaiting = 1, kRunning = 2, kDone = 3 };
+// Wide layout for ops that carry two node ids: [op : 8][vm : 32][a : 12]
+// [b : 12]. CtlOp() works on both layouts (the op always sits in the top
+// byte); node ids are bounded to 4096 when a fault plan is attached.
+uint64_t PackWide(uint64_t op, uint64_t vm, uint64_t a, uint64_t b) {
+  FV_DCHECK(op < (1ull << 8));
+  FV_DCHECK(vm < (1ull << 32));
+  FV_DCHECK(a < (1ull << 12));
+  FV_DCHECK(b < (1ull << 12));
+  return (op << 56) | (vm << 24) | (a << 12) | b;
+}
+uint64_t WideVm(uint64_t token) { return (token >> 24) & 0xffffffffull; }
+uint64_t WideA(uint64_t token) { return (token >> 12) & 0xfff; }
+uint64_t WideB(uint64_t token) { return token & 0xfff; }
+
+enum class VmStatus : uint8_t {
+  kPending = 0,
+  kWaiting = 1,
+  kRunning = 2,
+  kDone = 3,
+  kFailed = 4,  // terminal under faults; exactly-once with kDone
+};
 
 struct StreamRt {
   Rng rng{0};
   uint64_t remaining = 0;
-  TimeNs issue = 0;  // issue instant of the in-flight request
+  TimeNs issue = 0;       // issue instant of the in-flight request
+  bool awaiting = false;  // a completion for the in-flight request is owed
 };
 
-// One VM's run state. Orchestrator fields only ever run on node 0's
-// partition; home-runtime fields are written by the orchestrator strictly
-// before the start notice and thereafter touched only by the home node's
-// partition (the delivery gives the happens-before edge), so the whole
-// struct is race-free without locking.
+// One VM's run state. Orchestrator fields only ever run on the orchestrator
+// node's partition (node 0 until a failover moves the role); home-runtime
+// fields are written by the orchestrator strictly before the start notice
+// and thereafter touched only by the home node's partition (the delivery
+// gives the happens-before edge), so the whole struct is race-free without
+// locking. A successor reads the dead orchestrator's fields only from
+// takeover time onward — at least a full retry horizon past the crash, far
+// beyond the engine's lookahead, so the window barriers order every prior
+// write before the read and the fields are frozen (every handler that could
+// mutate them is liveness-gated off).
 struct VmRun {
   // Static shape, fixed at construction from the arrival trace.
   int vcpus = 0;
@@ -79,39 +127,110 @@ struct VmRun {
   std::vector<LeaseId> leases;                // one per non-home slice
   int span = 0;                               // |alloc| (post-consolidation)
   bool was_delayed = false;
+  uint8_t fail_reason = 0;  // VmFailReason once kFailed
 
   // Written by the orchestrator before the start notice, home-owned after.
   NodeId home = kInvalidNode;
   std::vector<NodeId> lenders;  // non-home slices; shrinks on consolidation
   std::vector<StreamRt> rt;
   int live_streams = 0;
+  TimeNs home_epoch = -1;     // start-notice arrival; gates zombie streams
+  bool home_done = false;     // all streams drained (home's ground truth)
+  TimeNs home_finished = 0;
+  int done_attempts = 0;      // done-notify redirect retries so far
 };
 
-// Per-node runtime owned by that node's partition.
+// Per-node runtime owned by that node's partition (the monitor block is
+// owned by the node only while it is the orchestrator's successor).
 struct NodeRt {
   MarketplaceNodeCounters c;
   Histogram latency;  // latency of requests homed on this node
+
+  // Home-owned routing state.
+  NodeId orch_view = 0;             // where done notices go (legacy: node 0)
+  std::vector<uint64_t> homed_vms;  // VMs homed here, ascending
+
+  // Own-partition role epoch: when this node (last) became orchestrator;
+  // -1 = never. A crash at or after this instant ends the reign.
+  TimeNs orch_since = -1;
+
+  // Successor-owned failure detector + journal shadow.
+  PhiAccrualEstimator monitor;
+  TimeNs monitor_epoch = -1;  // armed-at instant; a later own-crash disarms
+  bool monitor_armed = false;
+  bool monitor_check_running = false;
+  NodeId watching = kInvalidNode;
+  std::vector<uint8_t> shadow;     // per-VM journal view (VmStatus values)
+  std::vector<uint8_t> shadow_up;  // per-node journal view of believed_up
 };
 
 class Marketplace {
  public:
-  Marketplace(const MarketplaceOptions& opts, int threads);
+  Marketplace(const MarketplaceOptions& opts, int threads, bool arm_plan);
 
   MarketplaceResult Run(const MarketplaceRunConfig& cfg);
   bool Load(const std::string& data, std::string* error);
 
  private:
   EventLoop* NodeLoop(NodeId node) { return ploop_->partition(node); }
-  TimeNs OrchNow() { return NodeLoop(0)->now(); }
+  TimeNs OrchNow() { return NodeLoop(orch_node_)->now(); }
 
-  void ScheduleWaveArrivals(int wave);
+  // --- Liveness gates (all no-ops without a fault plan) ---
+  //
+  // Crashed nodes lose their wire traffic but their locally-scheduled timer
+  // events still fire, so every self-scheduled chain and every handler that
+  // acts on behalf of a role re-checks that the role survived.
+
+  // `n` still holds the orchestrator role it held when the event was armed:
+  // it became orchestrator at some point and has not crashed since.
+  bool RoleIntact(NodeId n, TimeNs now) const {
+    if (nodes_[static_cast<size_t>(n)].orch_since < 0) return false;
+    if (!faulty_) return true;
+    return plan_->NodeUp(n, now) &&
+           plan_->LastCrashBefore(n, now) < nodes_[static_cast<size_t>(n)].orch_since;
+  }
+  // The VM's home-side stream state is still the live incarnation (the home
+  // has not crashed since the start notice arrived).
+  bool StreamLive(const VmRun& run, TimeNs now) const {
+    if (!faulty_) return true;
+    return run.home_epoch >= 0 && plan_->NodeUp(run.home, now) &&
+           plan_->LastCrashBefore(run.home, now) < run.home_epoch;
+  }
+  bool NodeUpAt(NodeId n, TimeNs now) const { return !faulty_ || plan_->NodeUp(n, now); }
+
+  // How long a successor must wait past the crash instant before touching
+  // the dead orchestrator's lease book and VM table: every reliable send the
+  // dead node had in flight fails (on its source partition) within the retry
+  // backoff ceiling, after which the book is frozen.
+  TimeNs SettleDelay() const { return rpolicy_.max_grace + Millis(2); }
+
+  // Work the orchestrator still owes this wave.
+  uint64_t Outstanding() const {
+    return arrivals_pending_ + static_cast<uint64_t>(waiting_.size()) + running_count_;
+  }
+
+  // Lease handback bound to the book's home *at grant time*: if that node
+  // lost the orchestrator role (crashed; the successor rebuilt the book
+  // elsewhere), the stale continuation must not act.
+  LeaseManager::HandbackFn Handback() {
+    const NodeId bh = leases_->home();
+    return [this, bh](const Lease& lease, LeaseEvent event) {
+      if (faulty_ && !RoleIntact(bh, NodeLoop(bh)->now())) return;
+      OnLeaseEvent(lease, event);
+    };
+  }
+
+  void BuildWaveSchedule(int wave);
+  void ScheduleWave();
+  void ScheduleKickoff();
   void RunEngine();
+  bool WaveTerminal(int wave) const;
   void CheckWaveDrained(int wave);
   std::string Save();
   uint64_t ConfigFingerprint() const;
   uint64_t Digest() const;
 
-  // Orchestrator (partition 0).
+  // Orchestrator (runs on orch_node_'s partition).
   void OnArrival(uint64_t vm);
   void TryAdmitAll();
   bool TryAdmit(uint64_t vm);
@@ -119,12 +238,42 @@ class Marketplace {
   void OnLeaseEvent(const Lease& lease, LeaseEvent event);
   void OnVmDone(uint64_t vm);
   void SampleSeries();
+  void OnControl(const RpcLayer::Inbound& in);
+  void OnVcpuCtl(const RpcLayer::Inbound& in);
+
+  // Failure handling on the live orchestrator.
+  void DeclareNodeDead(NodeId n, bool record);
+  void FailVm(uint64_t vm, VmFailReason reason, TimeNs now);
+  void RecoverLostLender(const Lease& lease);
+
+  // Journal replication + heartbeats (orchestrator side).
+  void Journal(uint64_t op, uint64_t vm, uint64_t arg);
+  void PickSuccessor();
+  void ResyncShadow();
+  void EnsureFailoverActive(NodeId me);
+  void BeatChain(NodeId me);
+  void ProbeChain(NodeId me);
+
+  // Successor side: shadow, detector, takeover.
+  void HandleJournal(const RpcLayer::Inbound& in);
+  void MonitorCheck(NodeId me);
+  void StartTakeover(NodeId me, TimeNs crash_t, TimeNs epoch);
+  void HandleQuery(const RpcLayer::Inbound& in);
+  void MaybeFinishTakeover(NodeId me);
+  void FinishTakeover(NodeId me);
+  void WaveKickoff(NodeId me);
+
+  // Stopped-engine backstops (no events in flight; cross-partition safe).
+  void WavePrep();
+  void DriverRecover(int wave);
 
   // Home-partition request streams.
-  void OnVmStart(uint64_t vm);
+  void OnVmStart(const RpcLayer::Inbound& in);
   void OnCallHome(uint64_t vm, NodeId lender);
   void DoRequest(uint64_t vm, int stream);
   void Complete(uint64_t vm, int stream);
+  void SendVmDone(uint64_t vm);
+  void RetryVmDone(uint64_t vm);
   void OnPageRequest(const RpcLayer::Inbound& in);
   void OnPageReply(const RpcLayer::Inbound& in);
 
@@ -136,15 +285,27 @@ class Marketplace {
   std::unique_ptr<LeaseManager> leases_;
   std::unique_ptr<PlacementPolicy> policy_;
 
+  // Fault machinery (null/inert when no faults are configured).
+  bool faulty_ = false;
+  RetryPolicy rpolicy_;
+  std::unique_ptr<FaultPlan> plan_;
+
   std::vector<VmArrival> arrivals_;  // sorted by (time, vm)
   std::vector<VmRun> vms_;           // indexed by vm - 1; never resized
   std::vector<NodeRt> nodes_;        // indexed by node; partition-owned
 
-  // Orchestrator state (partition 0 only).
+  // Orchestrator state (orch_node_'s partition only).
+  NodeId orch_node_ = 0;
+  NodeId successor_ = kInvalidNode;
+  std::vector<uint8_t> believed_up_;
   std::vector<TenantLedger> ledgers_;
   std::deque<uint64_t> waiting_;  // FIFO of vm ids awaiting admission
   bool reclaim_in_flight_ = false;
   LeaseId pending_reclaim_lease_ = kInvalidLease;
+  uint64_t running_count_ = 0;
+  uint64_t arrivals_pending_ = 0;
+  bool beats_active_ = false;
+  bool probes_active_ = false;
   uint64_t placed_single_ = 0;
   uint64_t placed_aggregate_ = 0;
   uint64_t delayed_ = 0;
@@ -153,11 +314,35 @@ class Marketplace {
   TimeSeries consolidation_;
   TimeSeries stranded_;
 
+  // Takeover scratch (successor's partition while takeover_active_).
+  bool takeover_active_ = false;
+  TimeNs takeover_crash_t_ = -1;
+  std::vector<std::pair<uint64_t, uint8_t>> takeover_reports_;  // (vm, done)
+  std::vector<uint64_t> deferred_dones_;
+  std::vector<int32_t> takeover_expect_;  // -3 unqueried, -2 awaiting, -1 dead, >=0 count
+  std::vector<int32_t> takeover_have_;
+
+  // Fault-tolerance counters (orchestrator-owned; they transfer with the
+  // role under the same settle-time freeze as the rest of the orch state).
+  uint64_t failovers_ = 0;
+  uint64_t vms_failed_ = 0;
+  uint64_t nodes_died_ = 0;
+  uint64_t lender_replacements_ = 0;
+  uint64_t lender_degradations_ = 0;
+  uint64_t journal_records_ = 0;
+  uint64_t late_dones_ = 0;
+  uint64_t shadow_divergence_ = 0;
+  Histogram detection_ns_;
+  Histogram recovery_ns_;
+
+  std::vector<std::pair<TimeNs, uint64_t>> wave_sched_;  // (at, vm), this wave
+  std::vector<TimeNs> wave_finish_;
+
   uint64_t events_ = 0;
   int completed_waves_ = 0;
 };
 
-Marketplace::Marketplace(const MarketplaceOptions& opts, int threads)
+Marketplace::Marketplace(const MarketplaceOptions& opts, int threads, bool arm_plan)
     : opts_(opts), threads_(threads < 1 ? 1 : threads) {
   FV_CHECK_GT(opts.num_nodes, 0);
   FV_CHECK_GT(opts.vcpus_per_node, 0);
@@ -193,6 +378,43 @@ Marketplace::Marketplace(const MarketplaceOptions& opts, int threads)
     }
   }
 
+  faulty_ = opts.faults.any();
+  if (faulty_) {
+    // Wide tokens carry two node ids in 12 bits each.
+    FV_CHECK_LE(opts.num_nodes, 4096);
+    plan_ = std::make_unique<FaultPlan>(SplitMix(opts.faults.seed ^ 0xc1a05ull));
+    plan_->EnablePerNodeStreams(opts.num_nodes);
+    LinkFaultProfile profile;
+    profile.drop_prob = opts.faults.drop_prob;
+    profile.dup_prob = opts.faults.dup_prob;
+    profile.extra_delay_max = opts.faults.extra_delay_max;
+    if (profile.active()) plan_->SetDefaultLinkFaults(profile);
+    for (const MarketplaceFaultOptions::Crash& c : opts.faults.crashes) {
+      FV_CHECK_GE(c.node, 0);
+      FV_CHECK_LT(c.node, opts.num_nodes);
+      FV_CHECK_GE(c.at, 0);
+      plan_->CrashNode(c.node, c.at);
+    }
+    for (const MarketplaceFaultOptions::Restart& rs : opts.faults.restarts) {
+      FV_CHECK_GE(rs.node, 0);
+      FV_CHECK_LT(rs.node, opts.num_nodes);
+      FV_CHECK_GE(rs.at, 0);
+      plan_->RestartNode(rs.node, rs.at);
+    }
+    for (const MarketplaceFaultOptions::Partition& p : opts.faults.partitions) {
+      FV_CHECK_GE(p.a, 0);
+      FV_CHECK_LT(p.a, opts.num_nodes);
+      FV_CHECK_GE(p.b, 0);
+      FV_CHECK_LT(p.b, opts.num_nodes);
+      FV_CHECK_NE(p.a, p.b);
+      plan_->PartitionLink(p.a, p.b, p.from, p.until);
+    }
+    // A restored run resumes past every transition marker (wave boundaries
+    // drain the whole queue, markers included), so re-arming would fire them
+    // again at the resume instant and double-count the fault counters.
+    fabric_->AttachFaultPlan(plan_.get(), rpolicy_, arm_plan);
+  }
+
   RpcConfig rc;
   rc.coalesced_acks = opts.coalesced_acks;
   rc.qos.enabled = opts.qos;
@@ -219,20 +441,15 @@ Marketplace::Marketplace(const MarketplaceOptions& opts, int threads)
     FV_CHECK_GT(run.requests_per_stream, 0u);
   }
 
+  believed_up_.assign(static_cast<size_t>(opts.num_nodes), 1);
   nodes_.resize(static_cast<size_t>(opts.num_nodes));
-  rpc_->Bind(0, MsgKind::kControl, [this](const RpcLayer::Inbound& in) {
-    FV_CHECK_EQ(CtlOp(in.token), kOpVmDone);
-    OnVmDone(CtlVm(in.token));
-  });
+  nodes_[0].orch_since = 0;  // node 0 opens every run as the orchestrator
   for (NodeId n = 0; n < opts.num_nodes; ++n) {
-    rpc_->Bind(n, MsgKind::kVcpuMigration, [this](const RpcLayer::Inbound& in) {
-      if (CtlOp(in.token) == kOpStart) {
-        OnVmStart(CtlVm(in.token));
-      } else {
-        FV_CHECK_EQ(CtlOp(in.token), kOpCallHome);
-        OnCallHome(CtlVm(in.token), static_cast<NodeId>(CtlArg(in.token)));
-      }
-    });
+    rpc_->Bind(n, MsgKind::kControl, [this](const RpcLayer::Inbound& in) { OnControl(in); });
+    rpc_->Bind(n, MsgKind::kVcpuMigration,
+               [this](const RpcLayer::Inbound& in) { OnVcpuCtl(in); });
+    rpc_->Bind(n, MsgKind::kCheckpointData,
+               [this](const RpcLayer::Inbound& in) { HandleJournal(in); });
     rpc_->Bind(n, MsgKind::kDsmReadReq,
                [this](const RpcLayer::Inbound& in) { OnPageRequest(in); });
     rpc_->Bind(n, MsgKind::kDsmPageData,
@@ -240,12 +457,13 @@ Marketplace::Marketplace(const MarketplaceOptions& opts, int threads)
   }
 }
 
-// Schedules one admission wave's arrivals on the orchestrator's partition.
-// Wave 0 of a fresh run uses the trace's absolute timestamps; every later
-// wave — and every wave of a restored run — keeps the trace's inter-arrival
-// gaps but starts one full link latency past the drained queue's end, which
-// keeps every resulting send legal against the parallel core's horizon.
-void Marketplace::ScheduleWaveArrivals(int wave) {
+// Computes one admission wave's (arrival instant, vm) schedule. Wave 0 of a
+// fresh run uses the trace's absolute timestamps; every later wave — and
+// every wave of a restored run — keeps the trace's inter-arrival gaps but
+// starts one full link latency past the drained queue's end, which keeps
+// every resulting send legal against the parallel core's horizon.
+void Marketplace::BuildWaveSchedule(int wave) {
+  wave_sched_.clear();
   const size_t n = arrivals_.size();
   const size_t per = (n + static_cast<size_t>(opts_.epochs) - 1) / static_cast<size_t>(opts_.epochs);
   const size_t begin = static_cast<size_t>(wave) * per;
@@ -257,12 +475,48 @@ void Marketplace::ScheduleWaveArrivals(int wave) {
   for (size_t i = begin; i < end; ++i) {
     const VmArrival& a = arrivals_[i];
     const TimeNs at = now == 0 ? a.time : base + (a.time - first);
-    const uint64_t vm = a.vm;
-    NodeLoop(0)->ScheduleAt(at, [this, vm] { OnArrival(vm); });
+    wave_sched_.emplace_back(at, a.vm);
   }
 }
 
+void Marketplace::ScheduleWave() {
+  arrivals_pending_ = wave_sched_.size();
+  const NodeId m = orch_node_;
+  for (const std::pair<TimeNs, uint64_t>& ws : wave_sched_) {
+    const TimeNs at = ws.first;
+    const uint64_t vmid = ws.second;
+    NodeLoop(m)->ScheduleAt(at, [this, vmid, m] {
+      if (faulty_ && !RoleIntact(m, NodeLoop(m)->now())) return;
+      if (vms_[vmid - 1].status != VmStatus::kPending) return;
+      --arrivals_pending_;
+      OnArrival(vmid);
+    });
+  }
+}
+
+// Scheduled before the wave's arrivals at the same instant (same-time FIFO),
+// so the kickoff refreshes the orchestrator's liveness view and arms the
+// failover machinery before the first admission decision.
+void Marketplace::ScheduleKickoff() {
+  const NodeId m = orch_node_;
+  NodeLoop(m)->ScheduleAt(wave_sched_.front().first, [this, m] {
+    if (!RoleIntact(m, NodeLoop(m)->now())) return;
+    WaveKickoff(m);
+  });
+}
+
 void Marketplace::RunEngine() { events_ += ploop_->Run(); }
+
+bool Marketplace::WaveTerminal(int wave) const {
+  const size_t n = arrivals_.size();
+  const size_t per = (n + static_cast<size_t>(opts_.epochs) - 1) / static_cast<size_t>(opts_.epochs);
+  const size_t end = std::min(n, (static_cast<size_t>(wave) + 1) * per);
+  for (size_t i = 0; i < end; ++i) {
+    const VmStatus st = vms_[arrivals_[i].vm - 1].status;
+    if (st != VmStatus::kDone && st != VmStatus::kFailed) return false;
+  }
+  return true;
+}
 
 void Marketplace::CheckWaveDrained(int wave) {
   FV_CHECK(waiting_.empty());
@@ -275,12 +529,151 @@ void Marketplace::CheckWaveDrained(int wave) {
   const size_t per = (n + static_cast<size_t>(opts_.epochs) - 1) / static_cast<size_t>(opts_.epochs);
   const size_t end = std::min(n, (static_cast<size_t>(wave) + 1) * per);
   for (size_t i = 0; i < end; ++i) {
-    FV_CHECK(vms_[arrivals_[i].vm - 1].status == VmStatus::kDone);
+    const VmStatus st = vms_[arrivals_[i].vm - 1].status;
+    FV_CHECK(st == VmStatus::kDone || (faulty_ && st == VmStatus::kFailed));
   }
 }
 
-// --- Orchestrator (everything below until the stream section runs on node
-// 0's partition exclusively) ---
+// Wave-start backstop, engine stopped: if the orchestrator role died in a
+// previous wave (or between waves) no event can elect a successor, so the
+// driver does — deterministically, onto the lowest surviving node.
+void Marketplace::WavePrep() {
+  const TimeNs t = ploop_->now_max();
+  if (!RoleIntact(orch_node_, t)) {
+    NodeId m = kInvalidNode;
+    for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+      if (plan_->NodeUp(n, t)) {
+        m = n;
+        break;
+      }
+    }
+    FV_CHECK_NE(m, kInvalidNode);  // a wholly-dead cluster cannot make progress
+    ++failovers_;
+    orch_node_ = m;
+    nodes_[static_cast<size_t>(m)].orch_since = t;
+    leases_->FailoverReset(m);
+    for (NodeRt& nr : nodes_) nr.orch_view = m;
+  }
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    believed_up_[static_cast<size_t>(n)] = plan_->NodeUp(n, t) ? 1 : 0;
+  }
+  successor_ = kInvalidNode;
+  beats_active_ = probes_active_ = false;
+  takeover_active_ = false;
+  deferred_dones_.clear();
+}
+
+// Stopped-engine recovery backstop: the wave's events drained but some VMs
+// are not terminal (the orchestrator died with no armed successor, arrivals
+// were gated away, done notices never landed, or survivors cannot fit a
+// waiting tenant). Reconciles to a state from which the wave either makes
+// progress or every stuck VM is failed exactly once.
+void Marketplace::DriverRecover(int wave) {
+  (void)wave;
+  const TimeNs t = ploop_->now_max() + 1;
+  bool changed = false;
+
+  if (!RoleIntact(orch_node_, ploop_->now_max())) {
+    NodeId m = kInvalidNode;
+    for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+      if (plan_->NodeUp(n, ploop_->now_max())) {
+        m = n;
+        break;
+      }
+    }
+    FV_CHECK_NE(m, kInvalidNode);
+    ++failovers_;
+    orch_node_ = m;
+    nodes_[static_cast<size_t>(m)].orch_since = t;
+    leases_->FailoverReset(m);
+    for (NodeRt& nr : nodes_) nr.orch_view = m;
+    changed = true;
+  }
+  successor_ = kInvalidNode;
+  beats_active_ = probes_active_ = false;
+  takeover_active_ = false;
+  takeover_crash_t_ = -1;
+  takeover_reports_.clear();
+  deferred_dones_.clear();
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    const uint8_t up = plan_->NodeUp(n, ploop_->now_max()) ? 1 : 0;
+    if (up != believed_up_[static_cast<size_t>(n)]) changed = true;  // e.g. a rejoin adds capacity
+    believed_up_[static_cast<size_t>(n)] = up;
+  }
+
+  // The book and ledgers are rebuilt from the VM table (the drained engine
+  // froze everything; entries referencing in-flight protocol legs are moot).
+  for (size_t n = 0; n < ledgers_.size(); ++n) {
+    ledgers_[n] = TenantLedger();
+    ledgers_[n].Init(opts_.mem_per_node, opts_.vcpus_per_node);
+  }
+  reclaim_in_flight_ = false;
+  pending_reclaim_lease_ = kInvalidLease;
+  running_count_ = 0;
+  arrivals_pending_ = 0;
+
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    VmRun& run = vms_[i];
+    if (run.status != VmStatus::kRunning) continue;
+    changed = true;
+    for (const LeaseId id : run.leases) leases_->Drop(id);
+    run.leases.clear();
+    // The home's own record decides: a drained engine means its done notice
+    // can never arrive, so the driver reads the frozen truth directly.
+    if (believed_up_[static_cast<size_t>(run.home)] && run.home_done) {
+      run.status = VmStatus::kDone;
+      run.finished = std::max(run.home_finished, t);
+      ++vms_completed_;
+    } else {
+      run.status = VmStatus::kFailed;
+      run.fail_reason = static_cast<uint8_t>(believed_up_[static_cast<size_t>(run.home)]
+                                                 ? VmFailReason::kOrchLost
+                                                 : VmFailReason::kHomeCrash);
+      run.finished = t;
+      ++vms_failed_;
+    }
+  }
+
+  // Arrivals whose timer fired on a dead orchestrator's partition were gated
+  // away; replay them at or after the recovery instant.
+  for (const std::pair<TimeNs, uint64_t>& ws : wave_sched_) {
+    const uint64_t vmid = ws.second;
+    if (vms_[vmid - 1].status != VmStatus::kPending) continue;
+    const TimeNs at = std::max(ws.first, t);
+    const NodeId m = orch_node_;
+    ++arrivals_pending_;
+    changed = true;
+    NodeLoop(m)->ScheduleAt(at, [this, vmid, m] {
+      if (!RoleIntact(m, NodeLoop(m)->now())) return;
+      if (vms_[vmid - 1].status != VmStatus::kPending) return;
+      --arrivals_pending_;
+      OnArrival(vmid);
+    });
+  }
+
+  if (!changed) {
+    // Nothing moved and nothing will: the surviving cluster can never fit
+    // the waiting tenants.
+    for (const uint64_t vmid : waiting_) {
+      VmRun& run = vms_[vmid - 1];
+      FV_CHECK(run.status == VmStatus::kWaiting);
+      run.status = VmStatus::kFailed;
+      run.fail_reason = static_cast<uint8_t>(VmFailReason::kCapacity);
+      run.finished = t;
+      ++vms_failed_;
+    }
+    waiting_.clear();
+  }
+
+  const NodeId m = orch_node_;
+  NodeLoop(m)->ScheduleAt(t, [this, m] {
+    if (!RoleIntact(m, NodeLoop(m)->now())) return;
+    WaveKickoff(m);
+  });
+}
+
+// --- Orchestrator (everything below until the failover section runs on the
+// orchestrator node's partition exclusively) ---
 
 void Marketplace::OnArrival(uint64_t vm) {
   VmRun& run = vms_[vm - 1];
@@ -317,6 +710,8 @@ bool Marketplace::TryAdmit(uint64_t vm) {
   std::vector<NodeCapacityView> views;
   views.reserve(ledgers_.size());
   for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    // Nodes the orchestrator believes dead lend nothing and home nobody.
+    if (faulty_ && !believed_up_[static_cast<size_t>(n)]) continue;
     const TenantLedger& l = ledgers_[static_cast<size_t>(n)];
     views.push_back(NodeCapacityView{n, l.free_vcpus(), l.free_mem(), l.vcpu_capacity(),
                                      l.mem_capacity(), l.num_tenants()});
@@ -367,23 +762,31 @@ bool Marketplace::TryAdmit(uint64_t vm) {
   run.leases.clear();
   for (const auto& [node, slots] : run.alloc) {
     if (node == home) continue;
-    run.leases.push_back(leases_->Grant(
-        node, home, LeaseKind::kMemory, static_cast<uint64_t>(slots), vm,
-        [this](const Lease& lease, LeaseEvent event) { OnLeaseEvent(lease, event); }));
+    run.leases.push_back(leases_->Grant(node, home, LeaseKind::kMemory,
+                                        static_cast<uint64_t>(slots), vm, Handback()));
   }
 
   run.status = VmStatus::kRunning;
   run.started = OrchNow();
+  ++running_count_;
   if (run.alloc.size() == 1) {
     ++placed_single_;
   } else {
     ++placed_aggregate_;
   }
   SampleSeries();
+  if (faulty_) Journal(kJrnAdmit, vm, 0);
 
   RpcLayer::CallOpts o;
   o.token = PackCtl(kOpStart, vm, 0);
-  rpc_->Notify(0, home, MsgKind::kVcpuMigration, kCtrlBytes, std::move(o));
+  if (faulty_) {
+    const NodeId me = orch_node_;
+    o.on_fail = [this, home, me] {  // runs on the orchestrator's partition
+      if (!RoleIntact(me, NodeLoop(me)->now()) || takeover_active_) return;
+      if (believed_up_[static_cast<size_t>(home)]) DeclareNodeDead(home, /*record=*/true);
+    };
+  }
+  rpc_->Notify(orch_node_, home, MsgKind::kVcpuMigration, kCtrlBytes, std::move(o));
   return true;
 }
 
@@ -399,6 +802,10 @@ bool Marketplace::TryReclaim() {
     for (const LeaseId id : run.leases) {
       const Lease* lease = leases_->Find(id);
       if (lease == nullptr || !lease->active) continue;
+      if (faulty_ && (!believed_up_[static_cast<size_t>(lease->lender)] ||
+                      !believed_up_[static_cast<size_t>(lease->borrower)])) {
+        continue;  // a failure verdict is already in flight for this tenant
+      }
       const int slots = static_cast<int>(lease->resource);
       const uint64_t bytes = static_cast<uint64_t>(slots) * run.mem_per_slot;
       const TenantLedger& home_ledger = ledgers_[static_cast<size_t>(lease->borrower)];
@@ -414,11 +821,15 @@ bool Marketplace::TryReclaim() {
 }
 
 void Marketplace::OnLeaseEvent(const Lease& lease, LeaseEvent event) {
+  if (event == LeaseEvent::kLost) {
+    RecoverLostLender(lease);
+    return;
+  }
   if (event != LeaseEvent::kRevoked) return;  // kReleased: voluntary, no-op
   const uint64_t vm = lease.vm;
   VmRun& run = vms_[vm - 1];
-  // The handback only fires while the lease is live, and a completing VM
-  // retires its leases first — so the victim is still running.
+  // The handback only fires while the lease is live, and a completing or
+  // failing VM retires its leases first — so the victim is still running.
   FV_CHECK(run.status == VmStatus::kRunning);
   const NodeId lender = lease.lender;
   const NodeId home = lease.borrower;
@@ -447,16 +858,107 @@ void Marketplace::OnLeaseEvent(const Lease& lease, LeaseEvent event) {
   // Tell the home partition to stop routing requests at the ex-lender.
   RpcLayer::CallOpts o;
   o.token = PackCtl(kOpCallHome, vm, static_cast<uint64_t>(lender));
-  rpc_->Notify(0, home, MsgKind::kVcpuMigration, kCtrlBytes, std::move(o));
+  rpc_->Notify(orch_node_, home, MsgKind::kVcpuMigration, kCtrlBytes, std::move(o));
+  TryAdmitAll();
+}
+
+// A lease protocol leg gave up: tenant-aware surgical recovery. When the
+// *lender* died, only this tenant's slice moves — re-placed onto a survivor
+// when one has room (lender replacement) or dropped so the VM degrades to
+// its remaining slices; co-tenants of the dead lender recover through their
+// own leases, and no other tenant is touched. When the give-up was really
+// the *borrower* (the VM's home) dying, the home-crash path fails exactly
+// that VM instead.
+void Marketplace::RecoverLostLender(const Lease& lease) {
+  const uint64_t vm = lease.vm;
+  VmRun& run = vms_[vm - 1];
+  if (lease.id == pending_reclaim_lease_) {
+    reclaim_in_flight_ = false;
+    pending_reclaim_lease_ = kInvalidLease;
+  }
+  auto lit = std::find(run.leases.begin(), run.leases.end(), lease.id);
+  if (lit != run.leases.end()) run.leases.erase(lit);
+  if (run.status != VmStatus::kRunning) return;
+
+  const TimeNs now = OrchNow();
+  const NodeId home = run.home;
+  if (!NodeUpAt(home, now)) {
+    // The failed leg was home-bound: the borrower died, not the lender.
+    if (believed_up_[static_cast<size_t>(home)]) DeclareNodeDead(home, /*record=*/true);
+    return;
+  }
+
+  const NodeId lender = lease.lender;
+  const int slots = static_cast<int>(lease.resource);
+  const uint64_t bytes = static_cast<uint64_t>(slots) * run.mem_per_slot;
+  ledgers_[static_cast<size_t>(lender)].Release(vm, bytes, slots);
+  for (auto it = run.alloc.begin(); it != run.alloc.end(); ++it) {
+    if (it->first == lender) {
+      run.alloc.erase(it);
+      break;
+    }
+  }
+
+  // Lowest surviving node with room that is not already part of the VM.
+  NodeId target = kInvalidNode;
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    if (!believed_up_[static_cast<size_t>(n)] || !NodeUpAt(n, now)) continue;
+    bool member = n == home;
+    for (const auto& [an, as] : run.alloc) member = member || an == n;
+    if (member) continue;
+    const TenantLedger& l = ledgers_[static_cast<size_t>(n)];
+    if (l.free_vcpus() >= slots && l.free_mem() >= bytes) {
+      target = n;
+      break;
+    }
+  }
+  if (target != kInvalidNode) {
+    const bool ok = ledgers_[static_cast<size_t>(target)].Reserve(vm, bytes, slots);
+    FV_CHECK(ok);
+    run.alloc.emplace_back(target, slots);
+    run.leases.push_back(leases_->Grant(target, home, LeaseKind::kMemory,
+                                        static_cast<uint64_t>(slots), vm, Handback()));
+    ++lender_replacements_;
+    RpcLayer::CallOpts o;
+    o.token = PackWide(kOpReplaceLender, vm, static_cast<uint64_t>(lender),
+                       static_cast<uint64_t>(target));
+    rpc_->Notify(orch_node_, home, MsgKind::kVcpuMigration, kCtrlBytes, std::move(o));
+  } else {
+    // Graceful degradation: the VM keeps running on its surviving slices.
+    ++lender_degradations_;
+    RpcLayer::CallOpts o;
+    o.token = PackCtl(kOpDropLender, vm, static_cast<uint64_t>(lender));
+    rpc_->Notify(orch_node_, home, MsgKind::kVcpuMigration, kCtrlBytes, std::move(o));
+  }
+  run.span = static_cast<int>(run.alloc.size());
+  const TimeNs crash_t = plan_->LastCrashBefore(lender, now);
+  if (crash_t >= 0) recovery_ns_.Record(static_cast<double>(now - crash_t));
+  SampleSeries();
+  if (believed_up_[static_cast<size_t>(lender)] && !NodeUpAt(lender, now)) {
+    DeclareNodeDead(lender, /*record=*/true);
+  }
   TryAdmitAll();
 }
 
 void Marketplace::OnVmDone(uint64_t vm) {
   VmRun& run = vms_[vm - 1];
+  if (faulty_) {
+    if (takeover_active_) {
+      // The interrogation decides terminal states; replay afterwards.
+      deferred_dones_.push_back(vm);
+      return;
+    }
+    if (run.status != VmStatus::kRunning) {
+      ++late_dones_;  // completion raced a failure verdict (or a dup)
+      return;
+    }
+  }
   FV_CHECK(run.status == VmStatus::kRunning);
   run.status = VmStatus::kDone;
   run.finished = OrchNow();
   ++vms_completed_;
+  --running_count_;
+  if (faulty_) Journal(kJrnDone, vm, 0);
   for (const LeaseId id : run.leases) {
     if (id == pending_reclaim_lease_) {
       // The victim finished before the in-flight revoke resolved; the ack
@@ -499,11 +1001,598 @@ void Marketplace::SampleSeries() {
   stranded_.Append(t, static_cast<double>(stranded));
 }
 
+// The live orchestrator turns one node's silence into a death verdict,
+// exactly once per believed-up -> believed-down transition: every VM homed
+// there fails (its co-tenants elsewhere are untouched), every lease the dead
+// node lent triggers per-tenant lender recovery, and its ledger shares flow
+// back for re-admission.
+void Marketplace::DeclareNodeDead(NodeId n, bool record) {
+  if (takeover_active_ || !believed_up_[static_cast<size_t>(n)]) return;
+  believed_up_[static_cast<size_t>(n)] = 0;
+  ++nodes_died_;
+  const TimeNs now = OrchNow();
+  if (record) {
+    const TimeNs crash_t = plan_->LastCrashBefore(n, now);
+    if (crash_t >= 0) detection_ns_.Record(static_cast<double>(now - crash_t));
+  }
+  Journal(kJrnDead, 0, static_cast<uint64_t>(n));
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    if (vms_[i].status == VmStatus::kRunning && vms_[i].home == n) {
+      FailVm(i + 1, VmFailReason::kHomeCrash, now);
+    }
+  }
+  // Remaining book entries touching n have n as lender (home-crash cleanup
+  // above dropped the dead node's borrowed leases); each kLost handback runs
+  // the surgical per-tenant recovery.
+  leases_->OnNodeFailure(n);
+  if (n == successor_) {
+    PickSuccessor();
+    ResyncShadow();
+  }
+  TryAdmitAll();
+}
+
+void Marketplace::FailVm(uint64_t vm, VmFailReason reason, TimeNs now) {
+  VmRun& run = vms_[vm - 1];
+  FV_CHECK(run.status == VmStatus::kRunning);
+  run.status = VmStatus::kFailed;
+  run.fail_reason = static_cast<uint8_t>(reason);
+  run.finished = now;
+  ++vms_failed_;
+  --running_count_;
+  for (const LeaseId id : run.leases) {
+    if (id == pending_reclaim_lease_) {
+      reclaim_in_flight_ = false;
+      pending_reclaim_lease_ = kInvalidLease;
+    }
+    leases_->Drop(id);
+  }
+  run.leases.clear();
+  for (const auto& [node, slots] : run.alloc) {
+    ledgers_[static_cast<size_t>(node)].ReleaseAll(vm);
+  }
+  Journal(kJrnFail, vm, static_cast<uint64_t>(run.fail_reason));
+  SampleSeries();
+}
+
+// --- Orchestrator failover: journal replication, heartbeats, takeover ---
+
+void Marketplace::Journal(uint64_t op, uint64_t vm, uint64_t arg) {
+  if (successor_ == kInvalidNode) return;
+  ++journal_records_;
+  RpcLayer::CallOpts o;
+  o.token = PackCtl(op, vm, arg);
+  const NodeId me = orch_node_;
+  const NodeId s = successor_;
+  o.on_fail = [this, me, s] {
+    if (!RoleIntact(me, NodeLoop(me)->now()) || takeover_active_) return;
+    if (believed_up_[static_cast<size_t>(s)]) DeclareNodeDead(s, /*record=*/true);
+  };
+  rpc_->Notify(me, s, MsgKind::kCheckpointData, kJournalBytes, std::move(o));
+}
+
+void Marketplace::PickSuccessor() {
+  successor_ = kInvalidNode;
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    if (n != orch_node_ && believed_up_[static_cast<size_t>(n)]) {
+      successor_ = n;
+      return;
+    }
+  }
+}
+
+// Ships the successor a full picture: Hello (re-anchors the detector and
+// clears the shadow), one record per VM already terminal or running, one per
+// believed-dead node. Idle orchestrators skip the sync — an armed monitor
+// with no future beats would only fire a spurious takeover.
+void Marketplace::ResyncShadow() {
+  if (!faulty_ || successor_ == kInvalidNode || Outstanding() == 0) return;
+  Journal(kJrnHello, 0, static_cast<uint64_t>(orch_node_));
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    switch (vms_[i].status) {
+      case VmStatus::kRunning: Journal(kJrnAdmit, i + 1, 0); break;
+      case VmStatus::kDone: Journal(kJrnDone, i + 1, 0); break;
+      case VmStatus::kFailed: Journal(kJrnFail, i + 1, vms_[i].fail_reason); break;
+      default: break;
+    }
+  }
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    if (!believed_up_[static_cast<size_t>(n)]) Journal(kJrnDead, 0, static_cast<uint64_t>(n));
+  }
+}
+
+void Marketplace::EnsureFailoverActive(NodeId me) {
+  if (!faulty_ || successor_ == kInvalidNode || Outstanding() == 0) return;
+  if (!beats_active_) {
+    beats_active_ = true;
+    NodeLoop(me)->ScheduleAfter(opts_.failover.heartbeat_ns, [this, me] { BeatChain(me); });
+  }
+  if (!probes_active_) {
+    probes_active_ = true;
+    NodeLoop(me)->ScheduleAfter(opts_.failover.probe_interval_ns, [this, me] { ProbeChain(me); });
+  }
+}
+
+void Marketplace::BeatChain(NodeId me) {
+  if (!RoleIntact(me, NodeLoop(me)->now())) return;  // crashed reign: chain dies silently
+  if (successor_ == kInvalidNode) {
+    beats_active_ = false;
+    return;
+  }
+  if (Outstanding() == 0) {
+    // Quiesce precedes every wave boundary: the successor's monitor disarms
+    // before the engine can drain, so resumed and uninterrupted runs place
+    // the same events either side of the boundary.
+    beats_active_ = false;
+    Journal(kJrnQuiesce, 0, 0);
+    return;
+  }
+  rpc_->Datagram(me, successor_, MsgKind::kControl, kBeatBytes, nullptr, 0,
+                 PackCtl(kOpBeat, 0, 0));
+  NodeLoop(me)->ScheduleAfter(opts_.failover.heartbeat_ns, [this, me] { BeatChain(me); });
+}
+
+// The reliable channel's give-up (max_attempts over the backoff ceiling) IS
+// the failure detector for everyone but the orchestrator itself: a probe
+// that exhausts its budget against a silent peer declares it dead.
+void Marketplace::ProbeChain(NodeId me) {
+  if (!RoleIntact(me, NodeLoop(me)->now())) return;
+  if (Outstanding() == 0) {
+    probes_active_ = false;
+    return;
+  }
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    if (n == me || !believed_up_[static_cast<size_t>(n)]) continue;
+    RpcLayer::CallOpts o;
+    o.token = PackCtl(kOpPing, 0, 0);
+    o.on_fail = [this, me, n] {
+      if (!RoleIntact(me, NodeLoop(me)->now()) || takeover_active_) return;
+      if (believed_up_[static_cast<size_t>(n)]) DeclareNodeDead(n, /*record=*/true);
+    };
+    rpc_->Notify(me, n, MsgKind::kVcpuMigration, kCtrlBytes, std::move(o));
+  }
+  NodeLoop(me)->ScheduleAfter(opts_.failover.probe_interval_ns, [this, me] { ProbeChain(me); });
+}
+
+// Successor side: every journal record lands here (reliable, but FIFO does
+// not survive drop+retransmit, so the shadow tolerates reorder — divergence
+// is measured at takeover, not trusted blindly).
+void Marketplace::HandleJournal(const RpcLayer::Inbound& in) {
+  NodeRt& me = nodes_[static_cast<size_t>(in.dst)];
+  const uint64_t op = CtlOp(in.token);
+  const TimeNs now = NodeLoop(in.dst)->now();
+  switch (op) {
+    case kJrnHello: {
+      me.watching = in.src;
+      me.monitor = PhiAccrualEstimator(opts_.failover.heartbeat_ns, opts_.failover.phi_window);
+      me.monitor.Reset(now);
+      me.monitor_epoch = now;
+      me.monitor_armed = true;
+      me.shadow.assign(vms_.size(), static_cast<uint8_t>(VmStatus::kPending));
+      me.shadow_up.assign(static_cast<size_t>(opts_.num_nodes), 1);
+      if (!me.monitor_check_running) {
+        me.monitor_check_running = true;
+        const NodeId n = in.dst;
+        NodeLoop(n)->ScheduleAfter(opts_.failover.heartbeat_ns, [this, n] { MonitorCheck(n); });
+      }
+      break;
+    }
+    case kJrnAdmit:
+      if (!me.shadow.empty()) me.shadow[CtlVm(in.token) - 1] = static_cast<uint8_t>(VmStatus::kRunning);
+      break;
+    case kJrnDone:
+      if (!me.shadow.empty()) me.shadow[CtlVm(in.token) - 1] = static_cast<uint8_t>(VmStatus::kDone);
+      break;
+    case kJrnFail:
+      if (!me.shadow.empty()) me.shadow[CtlVm(in.token) - 1] = static_cast<uint8_t>(VmStatus::kFailed);
+      break;
+    case kJrnDead:
+      if (!me.shadow_up.empty()) me.shadow_up[CtlArg(in.token)] = 0;
+      break;
+    case kJrnQuiesce:
+      me.monitor_armed = false;
+      break;
+    default:
+      FV_CHECK(false);
+  }
+}
+
+// Self-rescheduling detector check. Terminates unconditionally: phi grows
+// without bound in silence, and the first phi >= threshold always disarms
+// the chain — taking over only when the oracle confirms a real crash
+// (a partitioned-but-alive orchestrator keeps the role; split-brain never
+// happens, at the price of riding out the partition).
+void Marketplace::MonitorCheck(NodeId me) {
+  NodeRt& nr = nodes_[static_cast<size_t>(me)];
+  const TimeNs now = NodeLoop(me)->now();
+  if (!NodeUpAt(me, now) || plan_->LastCrashBefore(me, now) >= nr.monitor_epoch) {
+    // This successor incarnation died (the state is stale after a restart).
+    nr.monitor_armed = false;
+    nr.monitor_check_running = false;
+    return;
+  }
+  if (!nr.monitor_armed) {
+    nr.monitor_check_running = false;
+    return;
+  }
+  if (nr.monitor.Phi(now) >= opts_.failover.fail_phi) {
+    nr.monitor_armed = false;
+    nr.monitor_check_running = false;
+    if (!plan_->NodeUp(nr.watching, now)) {
+      const TimeNs crash_t = plan_->LastCrashBefore(nr.watching, now);
+      detection_ns_.Record(static_cast<double>(now - crash_t));
+      // The dead orchestrator's in-flight sends all fail (on its partition)
+      // within the retry horizon; only then is its state frozen and safe to
+      // reconstruct from.
+      const TimeNs epoch = nr.monitor_epoch;
+      const TimeNs at = std::max(now + 1, crash_t + SettleDelay());
+      NodeLoop(me)->ScheduleAt(at, [this, me, crash_t, epoch] {
+        StartTakeover(me, crash_t, epoch);
+      });
+    }
+    return;
+  }
+  NodeLoop(me)->ScheduleAfter(opts_.failover.heartbeat_ns, [this, me] { MonitorCheck(me); });
+}
+
+void Marketplace::StartTakeover(NodeId me, TimeNs crash_t, TimeNs epoch) {
+  const TimeNs now = NodeLoop(me)->now();
+  if (!NodeUpAt(me, now) || plan_->LastCrashBefore(me, now) >= epoch) return;
+  NodeRt& nr = nodes_[static_cast<size_t>(me)];
+  ++failovers_;
+  nr.orch_since = now;
+  orch_node_ = me;
+  nr.orch_view = me;
+  takeover_active_ = true;
+  takeover_crash_t_ = crash_t;
+  successor_ = kInvalidNode;
+  beats_active_ = probes_active_ = false;
+
+  // Score the journal against the dead orchestrator's frozen state (the
+  // metrics-store exemption: past the settle horizon the fields cannot
+  // change, so reading them cross-partition is deterministic), then adopt
+  // the frozen state as ground truth.
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    const uint8_t truth = static_cast<uint8_t>(vms_[i].status);
+    if (i < nr.shadow.size() && nr.shadow[i] != truth) ++shadow_divergence_;
+  }
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    const uint8_t truth = believed_up_[static_cast<size_t>(n)];
+    if (static_cast<size_t>(n) < nr.shadow_up.size() && nr.shadow_up[static_cast<size_t>(n)] != truth) {
+      ++shadow_divergence_;
+    }
+  }
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    if (believed_up_[static_cast<size_t>(n)] && !plan_->NodeUp(n, now)) {
+      believed_up_[static_cast<size_t>(n)] = 0;
+      ++nodes_died_;
+    }
+  }
+
+  leases_->FailoverReset(me);
+  takeover_reports_.clear();
+  deferred_dones_.clear();
+  takeover_expect_.assign(static_cast<size_t>(opts_.num_nodes), -3);
+  takeover_have_.assign(static_cast<size_t>(opts_.num_nodes), 0);
+
+  // Interrogate every believed-up peer for its live homed VMs. Completion is
+  // counted (expected vs received), never inferred from arrival order —
+  // per-link FIFO does not survive drop + retransmit.
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    if (n == me || !believed_up_[static_cast<size_t>(n)]) continue;
+    takeover_expect_[static_cast<size_t>(n)] = -2;
+    RpcLayer::CallOpts nops;
+    nops.token = PackCtl(kOpNewOrch, 0, static_cast<uint64_t>(me));
+    rpc_->Notify(me, n, MsgKind::kVcpuMigration, kCtrlBytes, std::move(nops));
+    RpcLayer::CallOpts q;
+    q.token = PackCtl(kOpQuery, 0, 0);
+    q.on_fail = [this, me, n] {
+      if (!takeover_active_ || orch_node_ != me) return;
+      if (believed_up_[static_cast<size_t>(n)]) {
+        believed_up_[static_cast<size_t>(n)] = 0;
+        ++nodes_died_;
+      }
+      takeover_expect_[static_cast<size_t>(n)] = -1;
+      MaybeFinishTakeover(me);
+    };
+    rpc_->Notify(me, n, MsgKind::kVcpuMigration, kCtrlBytes, std::move(q));
+  }
+  // The new orchestrator reports its own homed VMs directly.
+  for (const uint64_t vm : nr.homed_vms) {
+    const VmRun& run = vms_[vm - 1];
+    if (!StreamLive(run, now)) continue;
+    takeover_reports_.emplace_back(vm, run.home_done ? 1 : 0);
+  }
+  MaybeFinishTakeover(me);
+}
+
+void Marketplace::HandleQuery(const RpcLayer::Inbound& in) {
+  const NodeId n = in.dst;
+  const TimeNs now = NodeLoop(n)->now();
+  uint64_t count = 0;
+  for (const uint64_t vm : nodes_[static_cast<size_t>(n)].homed_vms) {
+    const VmRun& run = vms_[vm - 1];
+    if (!StreamLive(run, now)) continue;  // a restarted home disowns pre-crash VMs
+    RpcLayer::CallOpts o;
+    o.token = PackCtl(kOpQVm, vm, run.home_done ? 1 : 0);
+    rpc_->Notify(n, in.src, MsgKind::kControl, kCtrlBytes, std::move(o));
+    ++count;
+  }
+  RpcLayer::CallOpts t;
+  t.token = PackCtl(kOpQueryDone, 0, count);
+  rpc_->Notify(n, in.src, MsgKind::kControl, kCtrlBytes, std::move(t));
+}
+
+void Marketplace::MaybeFinishTakeover(NodeId me) {
+  if (!takeover_active_) return;
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    const int32_t expect = takeover_expect_[static_cast<size_t>(n)];
+    if (expect == -2) return;  // trailer still outstanding
+    if (expect >= 0 && takeover_have_[static_cast<size_t>(n)] < expect) return;
+  }
+  FinishTakeover(me);
+}
+
+// Reconciliation: rebuild ledgers and the lease book from the frozen VM
+// table plus the interrogation reports, fail VMs whose home died with the
+// old orchestrator's reign, re-place or degrade slices lost on dead lenders,
+// and resume the wave.
+void Marketplace::FinishTakeover(NodeId me) {
+  takeover_active_ = false;
+  const TimeNs now = NodeLoop(me)->now();
+  for (size_t n = 0; n < ledgers_.size(); ++n) {
+    ledgers_[n] = TenantLedger();
+    ledgers_[n].Init(opts_.mem_per_node, opts_.vcpus_per_node);
+  }
+  reclaim_in_flight_ = false;
+  pending_reclaim_lease_ = kInvalidLease;
+  running_count_ = 0;
+  arrivals_pending_ = 0;
+
+  std::vector<int8_t> rep(vms_.size(), -1);
+  for (const std::pair<uint64_t, uint8_t>& r : takeover_reports_) {
+    rep[r.first - 1] = static_cast<int8_t>(r.second);
+  }
+
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    VmRun& run = vms_[i];
+    const uint64_t vm = i + 1;
+    if (run.status != VmStatus::kRunning) continue;
+    run.leases.clear();  // the old book died with its home; ids are void
+    if (!believed_up_[static_cast<size_t>(run.home)]) {
+      run.status = VmStatus::kFailed;
+      run.fail_reason = static_cast<uint8_t>(VmFailReason::kHomeCrash);
+      run.finished = now;
+      ++vms_failed_;
+      continue;
+    }
+    if (rep[i] == 1) {
+      // Finished while the orchestrator seat was empty; count it now.
+      run.status = VmStatus::kDone;
+      run.finished = now;
+      ++vms_completed_;
+      continue;
+    }
+    // Still running: keep surviving slices, recover the rest per tenant.
+    std::vector<std::pair<NodeId, int>> kept;
+    std::vector<std::pair<NodeId, int>> lost;
+    for (const std::pair<NodeId, int>& slice : run.alloc) {
+      if (believed_up_[static_cast<size_t>(slice.first)] && plan_->NodeUp(slice.first, now)) {
+        kept.push_back(slice);
+      } else {
+        lost.push_back(slice);
+      }
+    }
+    FV_CHECK(!kept.empty() && kept.front().first == run.home);
+    for (const std::pair<NodeId, int>& slice : kept) {
+      const bool ok = ledgers_[static_cast<size_t>(slice.first)].Reserve(
+          vm, static_cast<uint64_t>(slice.second) * run.mem_per_slot, slice.second);
+      FV_CHECK(ok);
+    }
+    for (const std::pair<NodeId, int>& slice : lost) {
+      const NodeId dead = slice.first;
+      const int slots = slice.second;
+      const uint64_t bytes = static_cast<uint64_t>(slots) * run.mem_per_slot;
+      NodeId target = kInvalidNode;
+      for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+        if (!believed_up_[static_cast<size_t>(n)] || !plan_->NodeUp(n, now)) continue;
+        bool member = false;
+        for (const auto& [kn, ks] : kept) member = member || kn == n;
+        if (member) continue;
+        const TenantLedger& l = ledgers_[static_cast<size_t>(n)];
+        if (l.free_vcpus() >= slots && l.free_mem() >= bytes) {
+          target = n;
+          break;
+        }
+      }
+      if (target != kInvalidNode) {
+        const bool ok = ledgers_[static_cast<size_t>(target)].Reserve(vm, bytes, slots);
+        FV_CHECK(ok);
+        kept.emplace_back(target, slots);
+        ++lender_replacements_;
+        RpcLayer::CallOpts o;
+        o.token = PackWide(kOpReplaceLender, vm, static_cast<uint64_t>(dead),
+                           static_cast<uint64_t>(target));
+        rpc_->Notify(me, run.home, MsgKind::kVcpuMigration, kCtrlBytes, std::move(o));
+      } else {
+        ++lender_degradations_;
+        RpcLayer::CallOpts o;
+        o.token = PackCtl(kOpDropLender, vm, static_cast<uint64_t>(dead));
+        rpc_->Notify(me, run.home, MsgKind::kVcpuMigration, kCtrlBytes, std::move(o));
+      }
+    }
+    if (!lost.empty() && takeover_crash_t_ >= 0) {
+      recovery_ns_.Record(static_cast<double>(now - takeover_crash_t_));
+    }
+    run.alloc = std::move(kept);
+    run.span = static_cast<int>(run.alloc.size());
+    // Fresh leases in the rebuilt book for every surviving non-home slice.
+    for (const std::pair<NodeId, int>& slice : run.alloc) {
+      if (slice.first == run.home) continue;
+      run.leases.push_back(leases_->Grant(slice.first, run.home, LeaseKind::kMemory,
+                                          static_cast<uint64_t>(slice.second), vm, Handback()));
+    }
+    ++running_count_;
+  }
+
+  // Arrivals gated away on the dead orchestrator's partition replay here.
+  for (const std::pair<TimeNs, uint64_t>& ws : wave_sched_) {
+    const uint64_t vmid = ws.second;
+    if (vms_[vmid - 1].status != VmStatus::kPending) continue;
+    const TimeNs at = std::max(ws.first, now + 1);
+    ++arrivals_pending_;
+    NodeLoop(me)->ScheduleAt(at, [this, vmid, me] {
+      if (!RoleIntact(me, NodeLoop(me)->now())) return;
+      if (vms_[vmid - 1].status != VmStatus::kPending) return;
+      --arrivals_pending_;
+      OnArrival(vmid);
+    });
+  }
+
+  PickSuccessor();
+  ResyncShadow();
+  const std::vector<uint64_t> dones = std::move(deferred_dones_);
+  deferred_dones_.clear();
+  for (const uint64_t vm : dones) OnVmDone(vm);
+  SampleSeries();
+  TryAdmitAll();
+  EnsureFailoverActive(me);
+}
+
+// Wave-start housekeeping on the live orchestrator's partition: sync the
+// liveness view with the oracle (nodes already crashed at wave start get no
+// work; restarted nodes rejoin the pool), pick a successor, resync its
+// shadow, arm beats + probes.
+void Marketplace::WaveKickoff(NodeId me) {
+  const TimeNs now = NodeLoop(me)->now();
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    const bool up = plan_->NodeUp(n, now);
+    if (!up && believed_up_[static_cast<size_t>(n)]) {
+      DeclareNodeDead(n, /*record=*/false);
+    } else if (up && !believed_up_[static_cast<size_t>(n)]) {
+      believed_up_[static_cast<size_t>(n)] = 1;  // rejoin with a fresh ledger
+    }
+  }
+  PickSuccessor();
+  ResyncShadow();
+  EnsureFailoverActive(me);
+  TryAdmitAll();
+}
+
+// --- Control-plane dispatch ---
+
+void Marketplace::OnControl(const RpcLayer::Inbound& in) {
+  if (!faulty_) {
+    FV_CHECK_EQ(CtlOp(in.token), kOpVmDone);
+    OnVmDone(CtlVm(in.token));
+    return;
+  }
+  const uint64_t op = CtlOp(in.token);
+  if (op == kOpBeat) {
+    NodeRt& nr = nodes_[static_cast<size_t>(in.dst)];
+    if (nr.monitor_armed && nr.watching == in.src) {
+      nr.monitor.Observe(NodeLoop(in.dst)->now());
+    }
+    return;
+  }
+  if (!RoleIntact(in.dst, NodeLoop(in.dst)->now())) return;
+  switch (op) {
+    case kOpVmDone:
+      OnVmDone(CtlVm(in.token));
+      break;
+    case kOpQVm:
+      if (takeover_active_) {
+        takeover_reports_.emplace_back(CtlVm(in.token), static_cast<uint8_t>(CtlArg(in.token)));
+        ++takeover_have_[static_cast<size_t>(in.src)];
+        MaybeFinishTakeover(in.dst);
+      } else if (CtlArg(in.token) == 1) {
+        OnVmDone(CtlVm(in.token));  // straggler report; tolerant path counts it
+      }
+      break;
+    case kOpQueryDone:
+      if (takeover_active_ && takeover_expect_[static_cast<size_t>(in.src)] == -2) {
+        takeover_expect_[static_cast<size_t>(in.src)] = static_cast<int32_t>(CtlArg(in.token));
+        MaybeFinishTakeover(in.dst);
+      }
+      break;
+    default:
+      break;  // late/duplicate control traffic from a previous reign
+  }
+}
+
+void Marketplace::OnVcpuCtl(const RpcLayer::Inbound& in) {
+  if (!faulty_) {
+    if (CtlOp(in.token) == kOpStart) {
+      OnVmStart(in);
+    } else {
+      FV_CHECK_EQ(CtlOp(in.token), kOpCallHome);
+      OnCallHome(CtlVm(in.token), static_cast<NodeId>(CtlArg(in.token)));
+    }
+    return;
+  }
+  const uint64_t op = CtlOp(in.token);
+  const TimeNs now = NodeLoop(in.dst)->now();
+  switch (op) {
+    case kOpStart:
+      OnVmStart(in);
+      break;
+    case kOpCallHome: {
+      const uint64_t vm = CtlVm(in.token);
+      if (!StreamLive(vms_[vm - 1], now)) return;
+      OnCallHome(vm, static_cast<NodeId>(CtlArg(in.token)));
+      break;
+    }
+    case kOpNewOrch:
+      nodes_[static_cast<size_t>(in.dst)].orch_view = in.src;
+      break;
+    case kOpQuery:
+      HandleQuery(in);
+      break;
+    case kOpDropLender: {
+      const uint64_t vm = CtlVm(in.token);
+      VmRun& run = vms_[vm - 1];
+      if (!StreamLive(run, now)) return;
+      auto it = std::find(run.lenders.begin(), run.lenders.end(),
+                          static_cast<NodeId>(CtlArg(in.token)));
+      if (it != run.lenders.end()) run.lenders.erase(it);
+      break;
+    }
+    case kOpReplaceLender: {
+      const uint64_t vm = WideVm(in.token);
+      VmRun& run = vms_[vm - 1];
+      if (!StreamLive(run, now)) return;
+      const NodeId dead = static_cast<NodeId>(WideA(in.token));
+      const NodeId fresh = static_cast<NodeId>(WideB(in.token));
+      auto it = std::find(run.lenders.begin(), run.lenders.end(), dead);
+      if (it != run.lenders.end()) run.lenders.erase(it);
+      if (std::find(run.lenders.begin(), run.lenders.end(), fresh) == run.lenders.end()) {
+        run.lenders.push_back(fresh);
+      }
+      break;
+    }
+    case kOpPing:
+      break;  // delivery alone is the liveness answer
+    default:
+      FV_CHECK(false);
+  }
+}
+
 // --- Request streams (each VM's stream state runs on its home node's
 // partition) ---
 
-void Marketplace::OnVmStart(uint64_t vm) {
+void Marketplace::OnVmStart(const RpcLayer::Inbound& in) {
+  const uint64_t vm = CtlVm(in.token);
   VmRun& run = vms_[vm - 1];
+  if (faulty_) {
+    NodeRt& nr = nodes_[static_cast<size_t>(in.dst)];
+    nr.orch_view = in.src;  // done notices go to whoever admitted us
+    run.home_epoch = NodeLoop(in.dst)->now();
+    run.home_done = false;
+    run.home_finished = 0;
+    run.done_attempts = 0;
+    auto pos = std::lower_bound(nr.homed_vms.begin(), nr.homed_vms.end(), vm);
+    if (pos == nr.homed_vms.end() || *pos != vm) nr.homed_vms.insert(pos, vm);
+  }
   for (int s = 0; s < run.vcpus; ++s) {
     // Historical stagger: stream starts must not be one giant tie.
     const TimeNs start = Nanos(1 + static_cast<int64_t>((vm * 13 + static_cast<uint64_t>(s) * 7) % 97));
@@ -514,16 +1603,23 @@ void Marketplace::OnVmStart(uint64_t vm) {
 void Marketplace::OnCallHome(uint64_t vm, NodeId lender) {
   VmRun& run = vms_[vm - 1];
   auto it = std::find(run.lenders.begin(), run.lenders.end(), lender);
-  FV_CHECK(it != run.lenders.end());
+  if (faulty_) {
+    // Recovery may already have dropped/replaced this lender.
+    if (it == run.lenders.end()) return;
+  } else {
+    FV_CHECK(it != run.lenders.end());
+  }
   run.lenders.erase(it);
   ++nodes_[static_cast<size_t>(run.home)].c.reclaim_moves;
 }
 
 void Marketplace::DoRequest(uint64_t vm, int stream) {
   VmRun& run = vms_[vm - 1];
+  const NodeId home = run.home;
+  if (faulty_ && !StreamLive(run, NodeLoop(home)->now())) return;  // zombie timer
   StreamRt& st = run.rt[static_cast<size_t>(stream)];
   FV_DCHECK(st.remaining > 0);
-  const NodeId home = run.home;
+  st.awaiting = true;
   st.issue = NodeLoop(home)->now();
   const bool remote = !run.lenders.empty() && st.rng.Chance(run.remote_frac);
   if (!remote) {
@@ -535,6 +1631,14 @@ void Marketplace::DoRequest(uint64_t vm, int stream) {
   ++nodes_[static_cast<size_t>(home)].c.remote_requests;
   const size_t pick = static_cast<size_t>(st.rng.UniformInt(0, static_cast<int>(run.lenders.size()) - 1));
   const NodeId lender = run.lenders[pick];
+  if (faulty_ && !plan_->NodeUp(lender, NodeLoop(home)->now())) {
+    // Fast-fail against a known-dead lender: same rng draws as the wire
+    // path, but no 8-attempt retry storm per request while recovery is
+    // still re-placing the slice.
+    ++nodes_[static_cast<size_t>(home)].c.request_failures;
+    NodeLoop(home)->ScheduleAfter(opts_.service_ns, [this, vm, stream] { Complete(vm, stream); });
+    return;
+  }
   RpcLayer::CallOpts o;
   o.token = PackCtl(0, vm, static_cast<uint64_t>(stream));
   o.receiver_delay = opts_.page_service_ns;
@@ -546,6 +1650,7 @@ void Marketplace::DoRequest(uint64_t vm, int stream) {
 }
 
 void Marketplace::OnPageRequest(const RpcLayer::Inbound& in) {
+  if (!NodeUpAt(in.dst, NodeLoop(in.dst)->now())) return;  // dead lender serves nothing
   ++nodes_[static_cast<size_t>(in.dst)].c.served_pages;
   RpcLayer::CallOpts o;
   o.token = in.token;
@@ -558,8 +1663,13 @@ void Marketplace::OnPageReply(const RpcLayer::Inbound& in) {
 
 void Marketplace::Complete(uint64_t vm, int stream) {
   VmRun& run = vms_[vm - 1];
-  StreamRt& st = run.rt[static_cast<size_t>(stream)];
   const NodeId home = run.home;
+  if (faulty_ && !StreamLive(run, NodeLoop(home)->now())) return;
+  StreamRt& st = run.rt[static_cast<size_t>(stream)];
+  // Under ack loss a request can both deliver (the reply arrives) and fail
+  // (every ack dropped, the sender gives up): exactly one completion counts.
+  if (!st.awaiting) return;
+  st.awaiting = false;
   nodes_[static_cast<size_t>(home)].latency.Record(
       static_cast<double>(NodeLoop(home)->now() - st.issue));
   if (--st.remaining > 0) {
@@ -567,10 +1677,37 @@ void Marketplace::Complete(uint64_t vm, int stream) {
     return;
   }
   if (--run.live_streams == 0) {
-    RpcLayer::CallOpts o;
-    o.token = PackCtl(kOpVmDone, vm, 0);
-    rpc_->Notify(home, 0, MsgKind::kControl, kCtrlBytes, std::move(o));
+    run.home_done = true;
+    run.home_finished = NodeLoop(home)->now();
+    SendVmDone(vm);
   }
+}
+
+void Marketplace::SendVmDone(uint64_t vm) {
+  VmRun& run = vms_[vm - 1];
+  const NodeId home = run.home;
+  RpcLayer::CallOpts o;
+  o.token = PackCtl(kOpVmDone, vm, 0);
+  if (faulty_) {
+    o.on_fail = [this, vm] { RetryVmDone(vm); };
+  }
+  rpc_->Notify(home, nodes_[static_cast<size_t>(home)].orch_view, MsgKind::kControl, kCtrlBytes,
+               std::move(o));
+}
+
+// The orchestrator (or its address) may be dead; keep redirecting the done
+// notice at whatever orch_view currently says until it lands or the budget
+// runs out. A takeover's kOpNewOrch updates orch_view between attempts.
+void Marketplace::RetryVmDone(uint64_t vm) {
+  VmRun& run = vms_[vm - 1];
+  const NodeId home = run.home;
+  if (!StreamLive(run, NodeLoop(home)->now())) return;
+  if (++run.done_attempts > opts_.failover.done_retry_limit) return;
+  NodeLoop(home)->ScheduleAfter(opts_.failover.done_retry_ns, [this, vm] {
+    VmRun& r2 = vms_[vm - 1];
+    if (!StreamLive(r2, NodeLoop(r2.home)->now())) return;
+    SendVmDone(vm);
+  });
 }
 
 // --- Snapshot (quiesce points only: a fully drained admission wave) ---
@@ -603,6 +1740,26 @@ uint64_t Marketplace::ConfigFingerprint() const {
   add(std::to_string(opts_.link.latency));
   add(std::to_string(opts_.link.bytes_per_second));
   add(std::to_string(opts_.latency_jitter_ns));
+  add(std::to_string(opts_.faults.seed));
+  add(std::to_string(opts_.faults.drop_prob));
+  add(std::to_string(opts_.faults.dup_prob));
+  add(std::to_string(opts_.faults.extra_delay_max));
+  for (const MarketplaceFaultOptions::Crash& c : opts_.faults.crashes) {
+    add(std::to_string(c.node) + "@" + std::to_string(c.at));
+  }
+  for (const MarketplaceFaultOptions::Restart& c : opts_.faults.restarts) {
+    add(std::to_string(c.node) + "@" + std::to_string(c.at));
+  }
+  for (const MarketplaceFaultOptions::Partition& p : opts_.faults.partitions) {
+    add(std::to_string(p.a) + "-" + std::to_string(p.b) + "@" + std::to_string(p.from) + "-" +
+        std::to_string(p.until));
+  }
+  add(std::to_string(opts_.failover.heartbeat_ns));
+  add(std::to_string(opts_.failover.fail_phi));
+  add(std::to_string(opts_.failover.phi_window));
+  add(std::to_string(opts_.failover.probe_interval_ns));
+  add(std::to_string(opts_.failover.done_retry_ns));
+  add(std::to_string(opts_.failover.done_retry_limit));
   return SnapshotHashString(s);
 }
 
@@ -612,6 +1769,7 @@ std::string Marketplace::Save() {
   // go on the wire.
   FV_CHECK(waiting_.empty());
   FV_CHECK(!reclaim_in_flight_);
+  FV_CHECK(!takeover_active_);
   FV_CHECK_EQ(leases_->ActiveLeases(), 0);
 
   SnapshotWriter w;
@@ -641,6 +1799,12 @@ std::string Marketplace::Save() {
   SaveCounter(&w, ls.released);
   SaveCounter(&w, ls.renew_failures);
   SaveCounter(&w, ls.handbacks);
+  SaveCounter(&w, ls.requested);
+  SaveCounter(&w, ls.lost);
+  SaveCounter(&w, ls.dropped);
+  SaveCounter(&w, ls.orphaned);
+  SaveCounter(&w, ls.restored);
+  SaveCounter(&w, ls.failover_cleared);
 
   w.BeginSection("mkt.vms");
   for (const VmRun& run : vms_) {
@@ -651,6 +1815,7 @@ std::string Marketplace::Save() {
     w.I64(run.finished);
     w.I64(run.home);
     w.U32(static_cast<uint32_t>(run.span));
+    w.U8(run.fail_reason);
   }
 
   w.BeginSection("mkt.nodes");
@@ -670,6 +1835,28 @@ std::string Marketplace::Save() {
       w.I64(t);
       w.F64(v);
     }
+  }
+
+  if (faulty_) {
+    w.BeginSection("mkt.fault");
+    w.U64(failovers_);
+    w.U64(vms_failed_);
+    w.U64(nodes_died_);
+    w.U64(lender_replacements_);
+    w.U64(lender_degradations_);
+    w.U64(journal_records_);
+    w.U64(late_dones_);
+    w.U64(shadow_divergence_);
+    w.I64(orch_node_);
+    for (int n = 0; n < opts_.num_nodes; ++n) {
+      w.U8(believed_up_[static_cast<size_t>(n)]);
+      w.I64(nodes_[static_cast<size_t>(n)].orch_since);
+    }
+    SaveHistogram(&w, detection_ns_);
+    SaveHistogram(&w, recovery_ns_);
+    w.U32(static_cast<uint32_t>(wave_finish_.size()));
+    for (const TimeNs t : wave_finish_) w.I64(t);
+    SaveFaultPlanState(&w, plan_.get());
   }
 
   w.BeginSection("mkt.transport");
@@ -729,6 +1916,12 @@ bool Marketplace::Load(const std::string& data, std::string* error) {
   LoadCounter(&r, &staged_lease.released);
   LoadCounter(&r, &staged_lease.renew_failures);
   LoadCounter(&r, &staged_lease.handbacks);
+  LoadCounter(&r, &staged_lease.requested);
+  LoadCounter(&r, &staged_lease.lost);
+  LoadCounter(&r, &staged_lease.dropped);
+  LoadCounter(&r, &staged_lease.orphaned);
+  LoadCounter(&r, &staged_lease.restored);
+  LoadCounter(&r, &staged_lease.failover_cleared);
   if (!r.ok()) return fail();
   if (lease_next == kInvalidLease) {
     r.FailExternal("marketplace: invalid lease id counter");
@@ -745,9 +1938,13 @@ bool Marketplace::Load(const std::string& data, std::string* error) {
     run.finished = r.I64();
     run.home = static_cast<NodeId>(r.I64());
     run.span = static_cast<int>(r.U32());
+    run.fail_reason = r.U8();
     if (!r.ok()) return fail();
-    if (status != static_cast<uint8_t>(VmStatus::kPending) &&
-        status != static_cast<uint8_t>(VmStatus::kDone)) {
+    const bool terminal_ok =
+        status == static_cast<uint8_t>(VmStatus::kPending) ||
+        status == static_cast<uint8_t>(VmStatus::kDone) ||
+        (faulty_ && status == static_cast<uint8_t>(VmStatus::kFailed));
+    if (!terminal_ok) {
       r.FailExternal("marketplace: snapshot holds a live VM (not a wave boundary)");
       return fail();
     }
@@ -756,6 +1953,10 @@ bool Marketplace::Load(const std::string& data, std::string* error) {
         (run.home < 0 || run.home >= opts_.num_nodes || run.span < 1 ||
          run.span > opts_.num_nodes)) {
       r.FailExternal("marketplace: VM outcome out of range");
+      return fail();
+    }
+    if (run.fail_reason > static_cast<uint8_t>(VmFailReason::kCapacity)) {
+      r.FailExternal("marketplace: VM fail reason out of range");
       return fail();
     }
   }
@@ -786,6 +1987,39 @@ bool Marketplace::Load(const std::string& data, std::string* error) {
     }
   }
 
+  uint64_t staged_fault[8] = {0};
+  int64_t staged_orch = 0;
+  std::vector<uint8_t> staged_believed;
+  std::vector<TimeNs> staged_since;
+  Histogram staged_detect;
+  Histogram staged_recover;
+  std::vector<TimeNs> staged_wf;
+  if (faulty_) {
+    if (!r.Section("mkt.fault")) return fail();
+    for (uint64_t& v : staged_fault) v = r.U64();
+    staged_orch = r.I64();
+    for (int n = 0; n < opts_.num_nodes; ++n) {
+      staged_believed.push_back(r.U8());
+      staged_since.push_back(r.I64());
+    }
+    LoadHistogram(&r, &staged_detect);
+    LoadHistogram(&r, &staged_recover);
+    const uint32_t wf = r.U32();
+    if (!r.ok()) return fail();
+    if (wf > waves_done) {
+      r.FailExternal("marketplace: more wave-finish stamps than completed waves");
+      return fail();
+    }
+    for (uint32_t i = 0; i < wf; ++i) staged_wf.push_back(r.I64());
+    LoadFaultPlanState(&r, plan_.get());
+    if (!r.ok()) return fail();
+    if (staged_orch < 0 || staged_orch >= opts_.num_nodes ||
+        staged_believed[static_cast<size_t>(staged_orch)] == 0) {
+      r.FailExternal("marketplace: snapshot orchestrator is not a believed-up node");
+      return fail();
+    }
+  }
+
   if (!r.Section("mkt.transport")) return fail();
   TransportShards staged_transport;
   LoadTransportShards(&r, fabric_.get(), &staged_transport);
@@ -810,6 +2044,45 @@ bool Marketplace::Load(const std::string& data, std::string* error) {
   CommitTransportShards(staged_transport, fabric_.get(), rpc_.get());
   completed_waves_ = static_cast<int>(waves_done);
   events_ = events;
+
+  if (faulty_) {
+    failovers_ = staged_fault[0];
+    vms_failed_ = staged_fault[1];
+    nodes_died_ = staged_fault[2];
+    lender_replacements_ = staged_fault[3];
+    lender_degradations_ = staged_fault[4];
+    journal_records_ = staged_fault[5];
+    late_dones_ = staged_fault[6];
+    shadow_divergence_ = staged_fault[7];
+    orch_node_ = static_cast<NodeId>(staged_orch);
+    leases_->FailoverReset(orch_node_);
+    *leases_->mutable_stats() = staged_lease;  // the reset bumped failover_cleared
+    for (int n = 0; n < opts_.num_nodes; ++n) {
+      believed_up_[static_cast<size_t>(n)] = staged_believed[static_cast<size_t>(n)];
+      nodes_[static_cast<size_t>(n)].orch_since = staged_since[static_cast<size_t>(n)];
+    }
+    detection_ns_ = staged_detect;
+    recovery_ns_ = staged_recover;
+    wave_finish_ = std::move(staged_wf);
+  }
+
+  // Rebuild the home-side routing/runtime state the sections don't carry
+  // (fresh staged_nodes have empty homed_vms and default orch_view).
+  for (NodeRt& nr : nodes_) nr.orch_view = orch_node_;
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    VmRun& run = vms_[i];
+    if (run.status != VmStatus::kDone) continue;
+    run.home_done = true;
+    run.home_finished = run.finished;
+    run.home_epoch = run.started;
+    nodes_[static_cast<size_t>(run.home)].homed_vms.push_back(i + 1);  // ascending by construction
+  }
+  successor_ = kInvalidNode;
+  beats_active_ = probes_active_ = false;
+  takeover_active_ = false;
+  takeover_crash_t_ = -1;
+  takeover_reports_.clear();
+  deferred_dones_.clear();
   return true;
 }
 
@@ -840,14 +2113,43 @@ uint64_t Marketplace::Digest() const {
   mix(delayed_);
   mix(reclaims_);
   mix(vms_completed_);
+  if (faulty_) {
+    mix(failovers_);
+    mix(vms_failed_);
+    mix(nodes_died_);
+    mix(lender_replacements_);
+    mix(lender_degradations_);
+    mix(late_dones_);
+    mix(journal_records_);
+    for (const VmRun& run : vms_) mix(run.fail_reason);
+    for (const uint8_t b : believed_up_) mix(b);
+  }
   return h;
 }
 
 MarketplaceResult Marketplace::Run(const MarketplaceRunConfig& cfg) {
   for (int wave = completed_waves_; wave < opts_.epochs; ++wave) {
-    ScheduleWaveArrivals(wave);
+    BuildWaveSchedule(wave);
+    if (faulty_ && !wave_sched_.empty()) {
+      WavePrep();
+      ScheduleKickoff();
+    }
+    ScheduleWave();
     RunEngine();
+    if (faulty_) {
+      // The engine drained but a crash may have left non-terminal VMs (no
+      // armed successor, gated arrivals, lost done notices, or tenants the
+      // survivors can never fit). Each backstop round strictly reduces the
+      // non-terminal set or fails the remainder; the guard is generous.
+      int guard = 0;
+      while (!WaveTerminal(wave)) {
+        FV_CHECK_LT(guard++, 4 * (opts_.num_nodes + 4));
+        DriverRecover(wave);
+        RunEngine();
+      }
+    }
     CheckWaveDrained(wave);
+    wave_finish_.push_back(ploop_->now_max());
     completed_waves_ = wave + 1;
     if (cfg.snapshot_out != nullptr && completed_waves_ == cfg.snapshot_epoch) {
       *cfg.snapshot_out = Save();
@@ -879,6 +2181,8 @@ MarketplaceResult Marketplace::Run(const MarketplaceRunConfig& cfg) {
     o.home = run.home;
     o.span_nodes = run.span;
     o.completed = run.status == VmStatus::kDone;
+    o.failed = run.status == VmStatus::kFailed;
+    o.fail_reason = static_cast<VmFailReason>(run.fail_reason);
     r.vms.push_back(o);
   }
   r.consolidation = consolidation_;
@@ -888,6 +2192,26 @@ MarketplaceResult Marketplace::Run(const MarketplaceRunConfig& cfg) {
   r.state_digest = Digest();
   r.fabric = fabric_->MergedStats();
   r.rpc = rpc_->MergedStats();
+  r.used_fault_plan = faulty_;
+  r.vms_failed = vms_failed_;
+  r.failovers = failovers_;
+  r.nodes_died = nodes_died_;
+  r.lender_replacements = lender_replacements_;
+  r.lender_degradations = lender_degradations_;
+  r.journal_records = journal_records_;
+  r.late_dones = late_dones_;
+  r.detection_ns = detection_ns_;
+  r.recovery_ns = recovery_ns_;
+  r.wave_finish_ns = wave_finish_;
+  uint64_t residue = 0;
+  for (const TenantLedger& l : ledgers_) {
+    residue += static_cast<uint64_t>(l.committed_vcpus());
+  }
+  r.ledger_residue_slots = residue;
+  if (faulty_) {
+    r.faults = plan_->MergedStats();
+    r.retry = fabric_->MergedRetryStats();
+  }
   r.threads = threads_;
   r.core = ploop_->stats();
   return r;
@@ -903,6 +2227,16 @@ void MarketplaceNodeCounters::Accumulate(const MarketplaceNodeCounters& o) {
   request_failures += o.request_failures;
 }
 
+const char* VmFailReasonName(VmFailReason reason) {
+  switch (reason) {
+    case VmFailReason::kNone: return "none";
+    case VmFailReason::kHomeCrash: return "home_crash";
+    case VmFailReason::kOrchLost: return "orch_lost";
+    case VmFailReason::kCapacity: return "capacity";
+  }
+  return "?";
+}
+
 MarketplaceResult RunMarketplace(const MarketplaceOptions& opts, int threads) {
   return RunMarketplaceEx(opts, threads, MarketplaceRunConfig{});
 }
@@ -913,7 +2247,10 @@ MarketplaceResult RunMarketplaceEx(const MarketplaceOptions& opts, int threads,
     FV_CHECK_GE(cfg.snapshot_epoch, 1);
     FV_CHECK_LE(cfg.snapshot_epoch, opts.epochs);
   }
-  Marketplace mkt(opts, threads);
+  // On resume the plan attaches unarmed: every transition marker fired
+  // during the first run's engine passes, and the wave boundary is past all
+  // of them (dsmstorm's resume follows the same rule).
+  Marketplace mkt(opts, threads, /*arm_plan=*/cfg.snapshot_in == nullptr);
   if (cfg.snapshot_in != nullptr) {
     std::string err;
     if (!mkt.Load(*cfg.snapshot_in, &err)) {
@@ -967,6 +2304,26 @@ std::string MarketplaceReport(const MarketplaceResult& r) {
        u(r.fabric.total_bytes.value()));
   line("rpc calls=" + u(r.rpc.calls.value()) + " notifies=" + u(r.rpc.notifies.value()) +
        " failures=" + u(r.rpc.call_failures.value()));
+  if (r.used_fault_plan) {
+    line("faults dropped=" + u(r.faults.messages_dropped.value()) + " duplicated=" +
+         u(r.faults.messages_duplicated.value()) + " delayed=" +
+         u(r.faults.messages_delayed.value()) + " crashes=" + u(r.faults.node_crashes.value()) +
+         " restarts=" + u(r.faults.node_restarts.value()) + " cuts=" +
+         u(r.faults.partitions_cut.value()) + " heals=" + u(r.faults.partitions_healed.value()));
+    line("retry retransmits=" + u(r.retry.retransmits.total()) + " timeouts=" +
+         u(r.retry.timeouts.total()) + " send_failures=" + u(r.retry.send_failures.total()) +
+         " dups_suppressed=" + u(r.retry.dups_suppressed.total()));
+    line("chaos failovers=" + u(r.failovers) + " nodes_died=" + u(r.nodes_died) +
+         " vms_failed=" + u(r.vms_failed) + " replacements=" + u(r.lender_replacements) +
+         " degradations=" + u(r.lender_degradations) + " journal=" + u(r.journal_records) +
+         " late_dones=" + u(r.late_dones) + " residue=" + u(r.ledger_residue_slots));
+    line("failover detect_count=" + u(r.detection_ns.count()) + " detect_p50_ns=" +
+         u(static_cast<uint64_t>(r.detection_ns.Percentile(50))) + " detect_p99_ns=" +
+         u(static_cast<uint64_t>(r.detection_ns.Percentile(99))) + " recover_count=" +
+         u(r.recovery_ns.count()) + " recover_p50_ns=" +
+         u(static_cast<uint64_t>(r.recovery_ns.Percentile(50))) + " recover_p99_ns=" +
+         u(static_cast<uint64_t>(r.recovery_ns.Percentile(99))));
+  }
   for (size_t n = 0; n < r.per_node.size(); ++n) {
     const MarketplaceNodeCounters& c = r.per_node[n];
     line("node " + std::to_string(n) + " local=" + u(c.local_requests) + " remote=" +
@@ -974,10 +2331,15 @@ std::string MarketplaceReport(const MarketplaceResult& r) {
          u(c.reclaim_moves) + " failures=" + u(c.request_failures));
   }
   for (const VmOutcome& o : r.vms) {
-    line("vm " + u(o.vm) + " vcpus=" + std::to_string(o.vcpus) + " submit_ns=" +
-         std::to_string(o.submitted) + " start_ns=" + std::to_string(o.started) +
-         " finish_ns=" + std::to_string(o.finished) + " home=" + std::to_string(o.home) +
-         " span=" + std::to_string(o.span_nodes) + " done=" + (o.completed ? "1" : "0"));
+    std::string v = "vm " + u(o.vm) + " vcpus=" + std::to_string(o.vcpus) + " submit_ns=" +
+                    std::to_string(o.submitted) + " start_ns=" + std::to_string(o.started) +
+                    " finish_ns=" + std::to_string(o.finished) + " home=" +
+                    std::to_string(o.home) + " span=" + std::to_string(o.span_nodes) +
+                    " done=" + (o.completed ? "1" : "0");
+    if (r.used_fault_plan) {
+      v += " fail=" + std::to_string(static_cast<int>(o.fail_reason));
+    }
+    line(v);
   }
   return out;
 }

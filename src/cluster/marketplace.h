@@ -34,11 +34,55 @@
 #include "src/host/lease_manager.h"
 #include "src/net/fabric.h"
 #include "src/net/rpc.h"
+#include "src/sim/fault_plan.h"
 #include "src/sim/parallel_loop.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
 namespace fragvisor {
+
+// Deterministic fault schedule for a marketplace run (DESIGN.md §12). Empty
+// by default: a run with `!any()` attaches no fault plan, arms no failover
+// machinery, and is byte-identical to a pre-fault-tolerance run.
+struct MarketplaceFaultOptions {
+  uint64_t seed = 1;            // fault-plan RNG seed (per-node streams)
+  double drop_prob = 0.0;       // default-link stochastic loss
+  double dup_prob = 0.0;        // default-link duplication
+  TimeNs extra_delay_max = 0;   // default-link uniform extra queueing delay
+
+  struct Crash {
+    int node = -1;
+    TimeNs at = 0;
+  };
+  struct Restart {
+    int node = -1;
+    TimeNs at = 0;
+  };
+  struct Partition {
+    int a = -1;
+    int b = -1;
+    TimeNs from = 0;
+    TimeNs until = 0;
+  };
+  std::vector<Crash> crashes;
+  std::vector<Restart> restarts;
+  std::vector<Partition> partitions;
+
+  bool any() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || extra_delay_max > 0 || !crashes.empty() ||
+           !restarts.empty() || !partitions.empty();
+  }
+};
+
+// Orchestrator-failover tuning. Only consulted when faults are configured.
+struct MarketplaceFailoverOptions {
+  TimeNs heartbeat_ns = Micros(150);      // orchestrator -> successor beats
+  double fail_phi = 8.0;                  // phi threshold for takeover
+  int phi_window = 16;                    // beat inter-arrival samples kept
+  TimeNs probe_interval_ns = Millis(2);   // orchestrator liveness probe cadence
+  TimeNs done_retry_ns = Micros(500);     // home-side done-notify redirect gap
+  int done_retry_limit = 200;             // redirect attempts before giving up
+};
 
 struct MarketplaceOptions {
   int num_nodes = 64;
@@ -60,6 +104,10 @@ struct MarketplaceOptions {
 
   LinkParams link = LinkParams::InfiniBand56G();
   TimeNs latency_jitter_ns = Nanos(700);
+
+  // Fault injection + failover (inert when faults.any() is false).
+  MarketplaceFaultOptions faults;
+  MarketplaceFailoverOptions failover;
 };
 
 // Per-node marketplace counters, each owned by that node's partition.
@@ -73,6 +121,16 @@ struct MarketplaceNodeCounters {
   void Accumulate(const MarketplaceNodeCounters& o);
 };
 
+// Why a VM ended kFailed (0 = it did not fail).
+enum class VmFailReason : uint8_t {
+  kNone = 0,
+  kHomeCrash = 1,   // the node homing the VM died; co-tenants untouched
+  kOrchLost = 2,    // orphaned by an orchestrator death nothing recovered
+  kCapacity = 3,    // surviving cluster can never fit it
+};
+
+const char* VmFailReasonName(VmFailReason reason);
+
 struct VmOutcome {
   uint64_t vm = 0;
   int vcpus = 0;
@@ -82,6 +140,8 @@ struct VmOutcome {
   NodeId home = kInvalidNode;
   int span_nodes = 0;   // nodes in the placement (1 = whole, >1 = aggregate)
   bool completed = false;
+  bool failed = false;  // exactly-once: completed xor failed once terminal
+  VmFailReason fail_reason = VmFailReason::kNone;
 };
 
 struct MarketplaceResult {
@@ -110,6 +170,22 @@ struct MarketplaceResult {
 
   FabricStats fabric;  // merged across shards
   RpcStats rpc;        // merged
+
+  // Fault-tolerance outcomes (all zero when no fault plan was attached).
+  bool used_fault_plan = false;
+  uint64_t vms_failed = 0;
+  uint64_t failovers = 0;             // orchestrator takeovers (mid- or inter-wave)
+  uint64_t nodes_died = 0;            // death declarations by the live orchestrator
+  uint64_t lender_replacements = 0;   // dead lender slice re-placed on a survivor
+  uint64_t lender_degradations = 0;   // dead lender slice dropped (graceful degrade)
+  uint64_t journal_records = 0;       // replication deltas shipped to the successor
+  uint64_t late_dones = 0;            // completions that raced a failure verdict
+  uint64_t ledger_residue_slots = 0;  // committed slots left after final drain (must be 0)
+  Histogram detection_ns;             // crash -> orchestrator death declaration
+  Histogram recovery_ns;              // crash -> victim lease re-placed/degraded
+  FaultPlanStats faults;              // merged fault-plan shards
+  RetryStats retry;                   // merged reliable-channel shards
+  std::vector<TimeNs> wave_finish_ns; // engine-drain instant per completed wave
 
   int threads = 0;
   ParallelEventLoop::RunStats core;

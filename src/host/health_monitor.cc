@@ -157,33 +157,36 @@ void HealthMonitor::SendHeartbeat(NodeId node) {
                                  [this, node]() { SendHeartbeat(node); });
 }
 
-double HealthMonitor::PhiOfState(const NodeState& st, TimeNs now) const {
-  const TimeNs gap = now - st.last_heartbeat;
-  double mean = static_cast<double>(config_.heartbeat_interval);
+double PhiAccrualScore(const std::vector<TimeNs>& gaps, TimeNs expected_interval, TimeNs silence) {
+  double mean = static_cast<double>(expected_interval);
   double var = 0.0;
-  if (st.gaps.size() >= 2) {
+  if (gaps.size() >= 2) {
     double sum = 0.0;
-    for (const TimeNs g : st.gaps) {
+    for (const TimeNs g : gaps) {
       sum += static_cast<double>(g);
     }
-    mean = sum / static_cast<double>(st.gaps.size());
-    for (const TimeNs g : st.gaps) {
+    mean = sum / static_cast<double>(gaps.size());
+    for (const TimeNs g : gaps) {
       const double d = static_cast<double>(g) - mean;
       var += d * d;
     }
-    var /= static_cast<double>(st.gaps.size());
+    var /= static_cast<double>(gaps.size());
   }
   // Floor sigma so a perfectly regular history does not make the detector
   // hair-triggered (the Akka/Cassandra min-std-deviation guard).
-  const double min_sigma = static_cast<double>(config_.heartbeat_interval) * 0.1;
+  const double min_sigma = static_cast<double>(expected_interval) * 0.1;
   const double sigma = std::max(std::sqrt(var), min_sigma);
   // Normal tail probability of a gap at least this long.
-  const double z = (static_cast<double>(gap) - mean) / sigma;
+  const double z = (static_cast<double>(silence) - mean) / sigma;
   const double p = 0.5 * std::erfc(z / std::sqrt(2.0));
   if (p <= 1e-30) {
     return 30.0;
   }
   return -std::log10(p);
+}
+
+double HealthMonitor::PhiOfState(const NodeState& st, TimeNs now) const {
+  return PhiAccrualScore(st.gaps, config_.heartbeat_interval, now - st.last_heartbeat);
 }
 
 double HealthMonitor::PhiOf(NodeId node) const {

@@ -48,6 +48,62 @@ const char* NodeHealthName(NodeHealth health);
 // Which heartbeat failure detector CheckHeartbeats runs.
 enum class FailureDetector : uint8_t { kFixedMiss, kPhiAccrual };
 
+// Phi-accrual score of a heartbeat silence against an inter-arrival window
+// (Hayashibara et al.): phi = -log10 P(a heartbeat still arrives), under a
+// normal model of the observed gaps. With fewer than two samples the mean
+// falls back to the nominal send interval; sigma is floored at a tenth of
+// that interval (the Akka/Cassandra min-std-deviation guard) so a perfectly
+// regular history does not make the detector hair-triggered. Capped at 30.
+double PhiAccrualScore(const std::vector<TimeNs>& gaps, TimeNs expected_interval, TimeNs silence);
+
+// Standalone phi-accrual estimator over one peer's heartbeat stream — the
+// same math HealthMonitor applies per node, packaged for callers that manage
+// their own heartbeat transport (e.g. the cluster marketplace's orchestrator
+// failover monitor). Observe() on every arrival, Phi(now) to score the
+// current silence. Deterministic: pure state machine, no clock of its own.
+class PhiAccrualEstimator {
+ public:
+  PhiAccrualEstimator() = default;
+  PhiAccrualEstimator(TimeNs expected_interval, int window)
+      : interval_(expected_interval), window_(window < 1 ? 1 : static_cast<size_t>(window)) {}
+
+  // Forgets all history and anchors the silence clock at `now`.
+  void Reset(TimeNs now) {
+    gaps_.clear();
+    next_ = 0;
+    last_ = now;
+  }
+
+  void Observe(TimeNs now) {
+    if (last_ >= 0) {
+      const TimeNs gap = now - last_;
+      if (gaps_.size() < window_) {
+        gaps_.push_back(gap);
+      } else {
+        gaps_[next_] = gap;
+        next_ = (next_ + 1) % gaps_.size();
+      }
+    }
+    last_ = now;
+  }
+
+  // 0 before the first Observe/Reset anchor.
+  double Phi(TimeNs now) const {
+    if (last_ < 0) return 0.0;
+    return PhiAccrualScore(gaps_, interval_, now - last_);
+  }
+
+  int samples() const { return static_cast<int>(gaps_.size()); }
+  TimeNs last_heartbeat() const { return last_; }
+
+ private:
+  TimeNs interval_ = Millis(100);
+  size_t window_ = 32;
+  TimeNs last_ = -1;  // no anchor yet
+  std::vector<TimeNs> gaps_;
+  size_t next_ = 0;
+};
+
 class HealthMonitor {
  public:
   struct Config {

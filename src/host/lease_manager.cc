@@ -53,6 +53,7 @@ LeaseId LeaseManager::Grant(NodeId lender, NodeId borrower, LeaseKind kind, uint
 LeaseId LeaseManager::Grant(NodeId lender, NodeId borrower, LeaseKind kind, uint64_t resource,
                             uint64_t vm, HandbackFn handback) {
   FV_CHECK_NE(lender, borrower);
+  stats_.requested.Add(1);
   const LeaseId id = next_id_++;
   Lease& lease = leases_[id];
   lease.id = id;
@@ -186,6 +187,7 @@ void LeaseManager::OnNodeFailure(NodeId node) {
     } else {
       // Dead borrower: the lender reclaims out-of-band during recovery; no
       // handback, the registered owner of the resource no longer exists.
+      stats_.orphaned.Add(1);
       leases_.erase(id);
       handbacks_.erase(id);
     }
@@ -206,15 +208,26 @@ void LeaseManager::Terminate(LeaseId id, LeaseEvent event) {
     case LeaseEvent::kExpired: stats_.expired.Add(1); break;
     case LeaseEvent::kRevoked: stats_.revoked.Add(1); break;
     case LeaseEvent::kReleased: stats_.released.Add(1); break;
-    case LeaseEvent::kLost: break;
+    case LeaseEvent::kLost: stats_.lost.Add(1); break;
   }
   if (event != LeaseEvent::kReleased) stats_.handbacks.Add(1);
   if (handback) handback(lease, event);
 }
 
 void LeaseManager::Drop(LeaseId id) {
-  leases_.erase(id);
+  if (leases_.erase(id) > 0) stats_.dropped.Add(1);
   handbacks_.erase(id);
+}
+
+void LeaseManager::FailoverReset(NodeId new_home) {
+  FV_CHECK(home_pinned());
+  FV_CHECK(config_.manual_clock);
+  FV_CHECK_GE(new_home, 0);
+  stats_.failover_cleared.Add(static_cast<uint64_t>(leases_.size()));
+  leases_.clear();
+  handbacks_.clear();
+  home_ = new_home;
+  loop_ = rpc_->fabric()->node_loop(new_home);
 }
 
 void LeaseManager::RestoreActiveLease(const Lease& lease, HandbackFn handback) {
@@ -222,6 +235,7 @@ void LeaseManager::RestoreActiveLease(const Lease& lease, HandbackFn handback) {
   FV_CHECK(lease.active);
   FV_CHECK_NE(lease.id, kInvalidLease);
   FV_CHECK(leases_.find(lease.id) == leases_.end());
+  stats_.restored.Add(1);
   leases_[lease.id] = lease;
   handbacks_[lease.id] = std::move(handback);
 }

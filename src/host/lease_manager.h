@@ -90,6 +90,20 @@ struct LeaseStats {
   Counter released;
   Counter renew_failures;  // renewals the reliable fabric gave up on
   Counter handbacks;       // involuntary handbacks (expired/revoked/lost)
+
+  // Book-entry conservation counters. Every entry enters the book via a
+  // Grant call (`requested`) or RestoreActiveLease (`restored`) and leaves
+  // it via exactly one of expired/revoked/released/lost/dropped/orphaned/
+  // failover_cleared — so at any drained point:
+  //   requested + restored == expired + revoked + released + lost + dropped
+  //                           + orphaned + failover_cleared + (entries left)
+  // which is the invariant a cluster-level chaos checker asserts.
+  Counter requested;         // Grant calls (activated or not)
+  Counter lost;              // terminated kLost (dead/unreachable lender)
+  Counter dropped;           // Drop(): owner tore the entry down silently
+  Counter orphaned;          // OnNodeFailure retired a dead borrower's lease
+  Counter restored;          // RestoreActiveLease reinstatements
+  Counter failover_cleared;  // entries wiped by FailoverReset (book died)
 };
 
 class LeaseManager {
@@ -170,6 +184,16 @@ class LeaseManager {
   // for owners tearing down the borrower that no longer care about the
   // grant's fate (e.g. a VM departing before its grant ack returned).
   void Drop(LeaseId id);
+
+  // Orchestrator failover (home-pinned books only): the node hosting the
+  // book died and a successor is rebuilding it from its journal plus
+  // per-node interrogation. Wipes every entry (counted as failover_cleared —
+  // the old book died with its home; surviving leases are reinstated with
+  // fresh ids via RestoreActiveLease) and re-homes the manager so all future
+  // protocol legs round-trip through `new_home`'s partition. In-flight
+  // continuations of the old home hold ids no longer in the book and no-op.
+  void FailoverReset(NodeId new_home);
+  NodeId home() const { return home_; }
   LeaseId next_id() const { return next_id_; }
   void RestoreNextId(LeaseId id) { next_id_ = id; }
   LeaseStats* mutable_stats() { return &stats_; }

@@ -106,6 +106,14 @@ for config in "${configs[@]}"; do
       FV_FAULT_SEED=$seed ctest --test-dir "$build_dir" --output-on-failure \
         -j "$jobs" -L tier2 -R PartialRecovery
     done
+    # Cluster chaos campaign sweep (DESIGN.md §12): each seed block derives
+    # fresh crash/partition/jitter schedules, checks the cluster invariants,
+    # and byte-compares every run across worker counts.
+    for seed in 1 7 1234; do
+      echo "=== [$config] cluster chaos sweep (FV_FAULT_SEED=$seed) ==="
+      FV_FAULT_SEED=$seed ctest --test-dir "$build_dir" --output-on-failure \
+        -j "$jobs" -L tier2 -R ClusterChaosSweep
+    done
 
     # Perf trajectory + fast-path gates, release only. Both benches write
     # BENCH_*.json artifacts into build-ci/artifacts/; ablation_dsm_fastpath
@@ -125,6 +133,11 @@ for config in "${configs[@]}"; do
     echo "=== [$config] bench: cluster_marketplace (fragbff vs harvest) ==="
     "$build_dir/bench/cluster_marketplace" --quick \
       --out "$artifacts/BENCH_cluster_marketplace.json"
+    # The chaos bench gates on both the cluster invariants and campaign
+    # reproducibility (it exits non-zero on any violation).
+    echo "=== [$config] bench: cluster_chaos (fault-tolerance campaign) ==="
+    "$build_dir/bench/cluster_chaos" --quick \
+      --out "$artifacts/BENCH_cluster_chaos.json"
 
     # Run-to-run determinism of the fast paths at the fvsim level: two
     # identical runs with every --dsm-* flag on must diff clean.

@@ -708,6 +708,43 @@ int RunClusterCmd(const Args& args) {
   mo.qos = args.Has("rpc-qos");
   mo.coalesced_acks = args.Has("rpc-coalesce");
   mo.latency_jitter_ns = Nanos(args.GetInt("jitter-ns", 700));
+
+  // Fault injection + failover (DESIGN.md §12): stochastic link faults plus
+  // scheduled crash/restart/partition transitions.
+  mo.faults.seed = static_cast<uint64_t>(args.GetInt("fault-seed", 1));
+  mo.faults.drop_prob = args.GetDouble("fault-drop", 0.0);
+  mo.faults.dup_prob = args.GetDouble("fault-dup", 0.0);
+  mo.faults.extra_delay_max = Micros(args.GetInt("fault-jitter-us", 0));
+  for (const std::string& entry : SplitList(args.Get("fault-crash", ""))) {
+    int node = -1;
+    double ms = 0;
+    if (std::sscanf(entry.c_str(), "%d@%lf", &node, &ms) != 2) {
+      std::fprintf(stderr, "bad --fault-crash entry '%s' (want n@ms)\n", entry.c_str());
+      return 2;
+    }
+    mo.faults.crashes.push_back({node, Millis(static_cast<TimeNs>(ms))});
+  }
+  for (const std::string& entry : SplitList(args.Get("fault-restart", ""))) {
+    int node = -1;
+    double ms = 0;
+    if (std::sscanf(entry.c_str(), "%d@%lf", &node, &ms) != 2) {
+      std::fprintf(stderr, "bad --fault-restart entry '%s' (want n@ms)\n", entry.c_str());
+      return 2;
+    }
+    mo.faults.restarts.push_back({node, Millis(static_cast<TimeNs>(ms))});
+  }
+  for (const std::string& entry : SplitList(args.Get("fault-partition", ""))) {
+    int a = -1;
+    int b = -1;
+    double from_ms = 0;
+    double until_ms = 0;
+    if (std::sscanf(entry.c_str(), "%d-%d@%lf-%lf", &a, &b, &from_ms, &until_ms) != 4) {
+      std::fprintf(stderr, "bad --fault-partition entry '%s' (want a-b@ms-ms)\n", entry.c_str());
+      return 2;
+    }
+    mo.faults.partitions.push_back({a, b, Millis(static_cast<TimeNs>(from_ms)),
+                                    Millis(static_cast<TimeNs>(until_ms))});
+  }
   const int threads = args.GetInt("threads", 1);
 
   MarketplaceRunConfig cfg;
@@ -768,6 +805,42 @@ int RunClusterCmd(const Args& args) {
               r.consolidation.MeanValue(),
               r.consolidation.empty() ? 0.0 : r.consolidation.points().back().second,
               r.stranded.MeanValue());
+  if (r.used_fault_plan) {
+    std::printf("  faults: %llu dropped, %llu duplicated, %llu delayed, %llu crashes, "
+                "%llu restarts, %llu cuts, %llu heals\n",
+                static_cast<unsigned long long>(r.faults.messages_dropped.value()),
+                static_cast<unsigned long long>(r.faults.messages_duplicated.value()),
+                static_cast<unsigned long long>(r.faults.messages_delayed.value()),
+                static_cast<unsigned long long>(r.faults.node_crashes.value()),
+                static_cast<unsigned long long>(r.faults.node_restarts.value()),
+                static_cast<unsigned long long>(r.faults.partitions_cut.value()),
+                static_cast<unsigned long long>(r.faults.partitions_healed.value()));
+    std::printf("  retry: %llu retransmits, %llu timeouts, %llu send failures, "
+                "%llu dups suppressed\n",
+                static_cast<unsigned long long>(r.retry.retransmits.total()),
+                static_cast<unsigned long long>(r.retry.timeouts.total()),
+                static_cast<unsigned long long>(r.retry.send_failures.total()),
+                static_cast<unsigned long long>(r.retry.dups_suppressed.total()));
+    std::printf("  chaos: %llu failovers, %llu nodes died, %llu vms failed, "
+                "%llu replacements, %llu degradations, %llu journal records, "
+                "%llu late dones\n",
+                static_cast<unsigned long long>(r.failovers),
+                static_cast<unsigned long long>(r.nodes_died),
+                static_cast<unsigned long long>(r.vms_failed),
+                static_cast<unsigned long long>(r.lender_replacements),
+                static_cast<unsigned long long>(r.lender_degradations),
+                static_cast<unsigned long long>(r.journal_records),
+                static_cast<unsigned long long>(r.late_dones));
+    if (r.detection_ns.count() > 0) {
+      std::printf("  failover: detect p50 %.1f us / p99 %.1f us",
+                  r.detection_ns.Percentile(50) / 1e3, r.detection_ns.Percentile(99) / 1e3);
+      if (r.recovery_ns.count() > 0) {
+        std::printf(", recover p50 %.1f us / p99 %.1f us",
+                    r.recovery_ns.Percentile(50) / 1e3, r.recovery_ns.Percentile(99) / 1e3);
+      }
+      std::printf("\n");
+    }
+  }
 
   if (args.Has("report")) {
     const std::string path = args.Get("report", "-");
@@ -914,6 +987,9 @@ int List() {
   std::printf("        [--mem-per-vcpu-mb M] [--remote-frac F] [--no-reclaim] [--rpc-qos]\n");
   std::printf("        [--rpc-coalesce] [--jitter-ns T] [--report [PATH]]\n");
   std::printf("        [--snapshot-save F --snapshot-epoch K] [--snapshot-load F]\n");
+  std::printf("        [--fault-seed N] [--fault-drop P] [--fault-dup P] [--fault-jitter-us U]\n");
+  std::printf("        [--fault-crash n@ms,...] [--fault-restart n@ms,...]\n");
+  std::printf("        [--fault-partition a-b@ms-ms,...]\n");
   std::printf("  replay --capture F [--threads N]\n");
   std::printf("  list\n\n");
   std::printf("systems: fragvisor | giantvm | overcommit[:pcpus]\n");

@@ -22,7 +22,11 @@
 //   cluster — the multi-tenant marketplace (cluster orchestrator, DESIGN.md
 //            §11) over MarketplaceOptions keys; report = MarketplaceReport().
 //            Supports the same "compare_threads" / "verify_resume"
-//            cross-checks as storm.
+//            cross-checks as storm. Fault keys (times in µs) arm the chaos
+//            machinery: fault_seed/fault_drop/fault_dup/fault_jitter_us,
+//            fault_crash_node+fault_crash_at_us (and a fault_crash2_* slot),
+//            fault_restart_node+fault_restart_at_us, and
+//            fault_cut_a/fault_cut_b/fault_cut_from_us/fault_cut_to_us.
 //
 // Usage:
 //   scenario_runner FILE...          run, compare to "expect", exit 0/1
@@ -297,6 +301,32 @@ bool RunClusterScenario(const Params& p, std::string* report, std::string* error
   mo.qos = p.Bool("qos", mo.qos);
   mo.coalesced_acks = p.Bool("coalesce", mo.coalesced_acks);
   mo.latency_jitter_ns = p.Int("jitter_ns", mo.latency_jitter_ns);
+
+  // Fault plan: flat scalar keys, times in microseconds. Two crash slots and
+  // one restart/partition slot cover the pinned chaos scenarios; richer
+  // schedules stay the domain of fvsim flags and the chaos campaign.
+  mo.faults.seed = static_cast<uint64_t>(p.Int("fault_seed", static_cast<int64_t>(mo.faults.seed)));
+  mo.faults.drop_prob = p.Dbl("fault_drop", mo.faults.drop_prob);
+  mo.faults.dup_prob = p.Dbl("fault_dup", mo.faults.dup_prob);
+  mo.faults.extra_delay_max = Micros(p.Int("fault_jitter_us", 0));
+  if (p.Has("fault_crash_node")) {
+    mo.faults.crashes.push_back({static_cast<int>(p.Int("fault_crash_node", -1)),
+                                 Micros(p.Int("fault_crash_at_us", 0))});
+  }
+  if (p.Has("fault_crash2_node")) {
+    mo.faults.crashes.push_back({static_cast<int>(p.Int("fault_crash2_node", -1)),
+                                 Micros(p.Int("fault_crash2_at_us", 0))});
+  }
+  if (p.Has("fault_restart_node")) {
+    mo.faults.restarts.push_back({static_cast<int>(p.Int("fault_restart_node", -1)),
+                                  Micros(p.Int("fault_restart_at_us", 0))});
+  }
+  if (p.Has("fault_cut_a")) {
+    mo.faults.partitions.push_back({static_cast<int>(p.Int("fault_cut_a", -1)),
+                                    static_cast<int>(p.Int("fault_cut_b", -1)),
+                                    Micros(p.Int("fault_cut_from_us", 0)),
+                                    Micros(p.Int("fault_cut_to_us", 0))});
+  }
   const int threads = static_cast<int>(p.Int("threads", 1));
 
   *report = MarketplaceReport(RunMarketplace(mo, threads));
