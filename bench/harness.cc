@@ -85,6 +85,8 @@ TestBed MakeTestBed(const Setup& setup) {
   config.dsm_owner_hints = setup.dsm_owner_hints;
   config.dsm_read_mostly_replication = setup.dsm_replicate;
   config.dsm_adaptive_granularity = setup.dsm_adaptive;
+  config.dsm_rdma_read = setup.dsm_rdma_read;
+  config.dsm_compress = setup.dsm_compress;
   config.blk_backend = setup.blk_backend;
   config.external_node = bed.client_node;
   switch (setup.system) {
@@ -331,6 +333,10 @@ DsmFastPathReport CollectDsmFastPathReport(const DsmEngine& dsm) {
   r.read_faults = s.read_faults.value();
   r.write_faults = s.write_faults.value();
   r.fault_latency_mean_us = s.fault_latency_ns.mean() / 1000.0;
+  r.rdma_reads = s.rdma_reads.value();
+  r.compressed_transfers = s.compressed_transfers.value();
+  r.delta_transfers = s.delta_transfers.value();
+  r.transfer_bytes_saved = s.transfer_bytes_saved.value();
   return r;
 }
 
@@ -349,6 +355,14 @@ void PrintDsmFastPathReport(const DsmFastPathReport& r) {
   PrintRow({"adaptive", "regions=" + std::to_string(r.region_transfers),
             "prefetched=" + std::to_string(r.prefetched_pages),
             "hold_escal=" + std::to_string(r.hold_escalations)});
+  // Transport row only when a transport fast path actually fired, keeping
+  // every pre-existing report byte-identical.
+  if (r.rdma_reads > 0 || r.compressed_transfers > 0 || r.delta_transfers > 0) {
+    PrintRow({"transport", "rdma_reads=" + std::to_string(r.rdma_reads),
+              "compressed=" + std::to_string(r.compressed_transfers),
+              "deltas=" + std::to_string(r.delta_transfers),
+              "bytes_saved=" + std::to_string(r.transfer_bytes_saved)});
+  }
   PrintRow({"faults", "read=" + std::to_string(r.read_faults),
             "write=" + std::to_string(r.write_faults),
             "lat_us=" + Fmt(r.fault_latency_mean_us)});

@@ -107,6 +107,8 @@ struct Setup {
   bool dsm_owner_hints = false;
   bool dsm_replicate = false;
   bool dsm_adaptive = false;
+  bool dsm_rdma_read = false;
+  bool dsm_compress = false;
   FaultSpec faults;
   ReliabilitySpec reliability;
   // threads >= 1 hosts the testbed's clock on the parallel engine (see
@@ -234,6 +236,11 @@ struct DsmFastPathReport {
   uint64_t read_faults = 0;
   uint64_t write_faults = 0;
   double fault_latency_mean_us = 0.0;
+  // Transport fast paths (all zero unless --dsm-rdma-read / --dsm-compress).
+  uint64_t rdma_reads = 0;
+  uint64_t compressed_transfers = 0;
+  uint64_t delta_transfers = 0;
+  uint64_t transfer_bytes_saved = 0;
 };
 
 DsmFastPathReport CollectDsmFastPathReport(const DsmEngine& dsm);

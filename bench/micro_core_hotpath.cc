@@ -163,6 +163,41 @@ DsmStormResult BenchDsmStorm(uint64_t target_accesses) {
   return res;
 }
 
+struct LinkLookupResult {
+  uint64_t lookups = 0;
+  uint64_t blackhole = 0;  // defeats dead-code elimination
+  double wall_s = 0;
+  double lookups_per_s = 0;
+};
+
+// Satellite to the rpc-layer link-parameter caching: the per-send
+// link_params() lookup (dense per-pair table, const-ref return) measured in
+// isolation over a pseudo-random pair stream, so the cached-vs-map cost delta
+// stays visible across PRs.
+LinkLookupResult BenchLinkParams(uint64_t target_lookups) {
+  constexpr int kNodes = 64;
+  EventLoop loop;
+  Fabric fabric(&loop, kNodes, LinkParams::InfiniBand56G());
+  LinkLookupResult res;
+  res.lookups = target_lookups;
+  uint64_t acc = 0;
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < target_lookups; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const NodeId src = static_cast<NodeId>(x % kNodes);
+    const NodeId dst = static_cast<NodeId>((x >> 8) % kNodes);
+    const LinkParams& p = fabric.link_params(src, dst);
+    acc += static_cast<uint64_t>(p.latency);
+  }
+  res.wall_s = WallSeconds(t0);
+  res.blackhole = acc;
+  res.lookups_per_s = static_cast<double>(target_lookups) / res.wall_s;
+  return res;
+}
+
 struct ParallelSweepPoint {
   int threads = 0;  // 0 = serial EventLoop engine
   uint64_t events = 0;
@@ -257,6 +292,11 @@ int Main(int argc, char** argv) {
   std::printf("event_loop: %llu events in %.3f s -> %.2f M events/s\n",
               static_cast<unsigned long long>(ev.dispatched), ev.wall_s, ev.events_per_s / 1e6);
 
+  const LinkLookupResult links = BenchLinkParams(events);
+  std::printf("link_params: %llu lookups in %.3f s -> %.2f M lookups/s\n",
+              static_cast<unsigned long long>(links.lookups), links.wall_s,
+              links.lookups_per_s / 1e6);
+
   const DsmStormResult storm = BenchDsmStorm(accesses);
   std::printf("dsm_storm:  %llu accesses (%llu faults, %llu hits) in %.3f s "
               "-> %.2f M accesses/s, %.2f k faults/s (sim time %.3f s)\n",
@@ -278,6 +318,11 @@ int Main(int argc, char** argv) {
                "    \"wall_s\": %.6f,\n"
                "    \"events_per_s\": %.1f\n"
                "  },\n"
+               "  \"link_params\": {\n"
+               "    \"lookups\": %llu,\n"
+               "    \"wall_s\": %.6f,\n"
+               "    \"lookups_per_s\": %.1f\n"
+               "  },\n"
                "  \"dsm_storm\": {\n"
                "    \"accesses\": %llu,\n"
                "    \"faults\": %llu,\n"
@@ -295,6 +340,8 @@ int Main(int argc, char** argv) {
                "  }\n"
                "}\n",
                static_cast<unsigned long long>(ev.dispatched), ev.wall_s, ev.events_per_s,
+               static_cast<unsigned long long>(links.lookups), links.wall_s,
+               links.lookups_per_s,
                static_cast<unsigned long long>(storm.accesses),
                static_cast<unsigned long long>(storm.faults),
                static_cast<unsigned long long>(storm.hits),

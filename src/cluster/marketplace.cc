@@ -360,10 +360,11 @@ Marketplace::Marketplace(const MarketplaceOptions& opts, int threads, bool arm_p
   ParallelEventLoop::Options po;
   po.num_partitions = opts.num_nodes;
   po.num_threads = threads_;
-  // The base latency is the cluster-wide minimum: jitter only ever adds.
-  po.lookahead = opts.link.latency;
+  // The minimum effective first-hop latency is the cluster-wide floor:
+  // jitter only ever adds, and fat-tree cross-pod paths only ever add more.
+  po.lookahead = Fabric::MinEffectiveLatency(opts.topology, opts.link, opts.num_nodes);
   ploop_ = std::make_unique<ParallelEventLoop>(po);
-  fabric_ = std::make_unique<Fabric>(ploop_.get(), opts.num_nodes, opts.link);
+  fabric_ = std::make_unique<Fabric>(ploop_.get(), opts.num_nodes, opts.link, opts.topology);
 
   if (opts.latency_jitter_ns > 0 && opts.num_nodes > 1) {
     for (NodeId s = 0; s < opts.num_nodes; ++s) {
@@ -1641,11 +1642,21 @@ void Marketplace::DoRequest(uint64_t vm, int stream) {
   }
   RpcLayer::CallOpts o;
   o.token = PackCtl(0, vm, static_cast<uint64_t>(stream));
-  o.receiver_delay = opts_.page_service_ns;
+  // One-sided read: the borrower pulls the page straight out of the lender's
+  // registered slice — no lender CPU service, but the verb setup is paid on
+  // the borrower before the read hits the wire.
+  o.receiver_delay = opts_.rdma_read ? 0 : opts_.page_service_ns;
   o.on_fail = [this, vm, stream, home] {  // runs on home's partition
     ++nodes_[static_cast<size_t>(home)].c.request_failures;
     Complete(vm, stream);
   };
+  if (opts_.rdma_read) {
+    const TimeNs setup = fabric_->link_params(home, lender).one_sided_setup;
+    NodeLoop(home)->ScheduleAfter(setup, [this, home, lender, o = std::move(o)]() mutable {
+      rpc_->Notify(home, lender, MsgKind::kDsmReadReq, kReqBytes, std::move(o));
+    });
+    return;
+  }
   rpc_->Notify(home, lender, MsgKind::kDsmReadReq, kReqBytes, std::move(o));
 }
 
@@ -1654,7 +1665,14 @@ void Marketplace::OnPageRequest(const RpcLayer::Inbound& in) {
   ++nodes_[static_cast<size_t>(in.dst)].c.served_pages;
   RpcLayer::CallOpts o;
   o.token = in.token;
-  rpc_->Notify(in.dst, in.src, MsgKind::kDsmPageData, kPageBytes, std::move(o));
+  // The marketplace has no per-page identity (requests are synthetic), so the
+  // compressibility class is keyed on the request token: deterministic, and
+  // spread across the four classes like real pages would be.
+  const uint64_t bytes =
+      opts_.compress
+          ? kReqBytes + CompressedPayloadBytes(opts_.compress_seed, in.token, kPageBytes - kReqBytes)
+          : kPageBytes;
+  rpc_->Notify(in.dst, in.src, MsgKind::kDsmPageData, bytes, std::move(o));
 }
 
 void Marketplace::OnPageReply(const RpcLayer::Inbound& in) {
@@ -1760,6 +1778,13 @@ uint64_t Marketplace::ConfigFingerprint() const {
   add(std::to_string(opts_.failover.probe_interval_ns));
   add(std::to_string(opts_.failover.done_retry_ns));
   add(std::to_string(opts_.failover.done_retry_limit));
+  add(std::to_string(static_cast<int>(opts_.topology.kind)));
+  add(std::to_string(opts_.topology.pod_size));
+  add(std::to_string(opts_.topology.oversub));
+  add(std::to_string(opts_.topology.core_planes));
+  add(std::to_string(opts_.rdma_read ? 1 : 0));
+  add(std::to_string(opts_.compress ? 1 : 0));
+  add(std::to_string(opts_.compress_seed));
   return SnapshotHashString(s);
 }
 

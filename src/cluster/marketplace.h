@@ -104,6 +104,19 @@ struct MarketplaceOptions {
 
   LinkParams link = LinkParams::InfiniBand56G();
   TimeNs latency_jitter_ns = Nanos(700);
+  // Fabric topology; the default full mesh is byte-identical to every run
+  // before the topology existed.
+  TopologyConfig topology;
+
+  // Transport fast paths (both inert by default, byte-identical off).
+  // rdma_read: remote page fetches are one-sided reads — no lender-side CPU
+  // service (page_service_ns is skipped), the borrower pays the link's
+  // one_sided_setup cost up front instead.
+  bool rdma_read = false;
+  // compress: page replies ship at a modeled compressed size (deterministic
+  // per-page compressibility class keyed on compress_seed).
+  bool compress = false;
+  uint64_t compress_seed = 0xC0DEC0DEull;
 
   // Fault injection + failover (inert when faults.any() is false).
   MarketplaceFaultOptions faults;

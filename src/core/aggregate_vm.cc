@@ -33,6 +33,8 @@ AggregateVm::AggregateVm(Cluster* cluster, AggregateVmConfig config)
     config_.dsm_owner_hints = false;
     config_.dsm_read_mostly_replication = false;
     config_.dsm_adaptive_granularity = false;
+    config_.dsm_rdma_read = false;
+    config_.dsm_compress = false;
     config_.guest = GuestKernelConfig::Vanilla();
     // GiantVM exposes a static virtual NUMA topology, so an unmodified guest
     // still allocates node-locally; what it lacks is the false-sharing patch,
@@ -49,6 +51,8 @@ AggregateVm::AggregateVm(Cluster* cluster, AggregateVmConfig config)
   dsm_opts.owner_hints = config_.dsm_owner_hints;
   dsm_opts.read_mostly_replication = config_.dsm_read_mostly_replication;
   dsm_opts.adaptive_granularity = config_.dsm_adaptive_granularity;
+  dsm_opts.rdma_read = config_.dsm_rdma_read;
+  dsm_opts.compress = config_.dsm_compress;
   if (config_.platform == Platform::kGiantVm) {
     dsm_opts = config_.giantvm.AdjustDsmOptions(dsm_opts);
   }

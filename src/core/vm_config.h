@@ -92,6 +92,10 @@ struct AggregateVmConfig {
   bool dsm_owner_hints = false;
   bool dsm_read_mostly_replication = false;
   bool dsm_adaptive_granularity = false;
+  // Transport fast paths: one-sided RDMA-read page pulls on the owner-served
+  // path, and compressed / delta-diffed page transfers.
+  bool dsm_rdma_read = false;
+  bool dsm_compress = false;
 
   // Competitor profile (used when platform == kGiantVm).
   GiantVmProfile giantvm;

@@ -16,6 +16,7 @@ namespace {
 constexpr uint64_t kMsgHeaderBytes = 64;
 constexpr uint64_t kPageDataBytes = 4096 + kMsgHeaderBytes;
 constexpr uint64_t kPteDeltaBytes = 256;  // piggybacked page-table delta
+constexpr uint64_t kPageBytes = kPageDataBytes - kMsgHeaderBytes;  // raw 4 KiB payload
 
 }  // namespace
 
@@ -463,13 +464,16 @@ TimeNs DsmEngine::HandlerCost() const {
 }
 
 void DsmEngine::SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes,
-                          EventLoop::Callback cb, EventLoop::Callback on_fail, QosClass qos) {
+                          EventLoop::Callback cb, EventLoop::Callback on_fail, QosClass qos,
+                          TimeNs receiver_delay) {
   // The receiver-side handler cost rides on the delivery event as a relay:
   // no nested callback, no allocation per protocol hop. Retransmissions (with
   // a fault plan attached) count once here and per-attempt in FabricStats.
+  // A non-negative receiver_delay overrides the handler cost — the one-sided
+  // read path passes 0 because no remote CPU runs.
   RpcLayer::CallOpts opts;
   opts.qos = qos;
-  opts.receiver_delay = HandlerCost();
+  opts.receiver_delay = receiver_delay >= 0 ? receiver_delay : HandlerCost();
   opts.account = &proto_accounting_;
   opts.on_fail = std::move(on_fail);
   rpc_->Call(src, dst, kind, bytes, std::move(cb), std::move(opts));
@@ -550,6 +554,64 @@ void DsmEngine::SetHint(NodeId node, PageNum page, NodeId owner) {
     per_node[li] = std::make_unique<HintLeaf>();
   }
   per_node[li]->pred[Index(page)] = static_cast<int16_t>(owner);
+}
+
+DsmEngine::DeltaLeaf* DsmEngine::DeltaFor(PageNum page) const {
+  const size_t li = page >> kLeafBits;
+  if (li >= delta_.size()) {
+    return nullptr;
+  }
+  return delta_[li].get();
+}
+
+DsmEngine::DeltaLeaf& DsmEngine::EnsureDelta(PageNum page) {
+  const size_t li = page >> kLeafBits;
+  if (li >= delta_.size()) {
+    delta_.resize(li + 1);
+  }
+  if (delta_[li] == nullptr) {
+    delta_[li] = std::make_unique<DeltaLeaf>();
+  }
+  return *delta_[li];
+}
+
+void DsmEngine::BumpPageVersion(PageNum page, NodeId writer) {
+  if (!options_.compress) {
+    return;
+  }
+  DeltaLeaf& d = EnsureDelta(page);
+  const uint32_t i = Index(page);
+  ++d.version[i];
+  // The writer holds the freshest content by definition; record it so a later
+  // downgrade-and-refetch on the writer itself can go out as a delta.
+  d.last[static_cast<size_t>(writer)][i] = d.version[i];
+}
+
+uint64_t DsmEngine::TransferPayloadBytes(PageNum page, NodeId to, uint64_t payload) {
+  if (!options_.compress) {
+    return payload;
+  }
+  DeltaLeaf& d = EnsureDelta(page);
+  const uint32_t i = Index(page);
+  const uint16_t version = d.version[i];
+  uint16_t& last = d.last[static_cast<size_t>(to)][i];
+  uint64_t wire;
+  // Delta-diff an invalidate-refetch cycle: the receiver held version `last`
+  // of this page, so only the writes since then go on the wire. Beyond a few
+  // versions behind (or on wraparound) a full compressed page is cheaper.
+  const uint16_t behind = static_cast<uint16_t>(version - last);
+  if (last != 0 && behind <= 4) {
+    wire = DeltaPayloadBytes(payload, behind);
+    stats_.delta_transfers.Add(1);
+  } else {
+    wire = CompressedPayloadBytes(options_.compress_seed, page, payload);
+    if (wire < payload) {
+      stats_.compressed_transfers.Add(1);
+    }
+  }
+  last = version;
+  stats_.transfer_bytes_saved.Add(payload - wire);
+  return wire;
 }
 
 bool DsmEngine::IsReadMostly(const Leaf& leaf, PageNum page) const {
@@ -666,9 +728,25 @@ void DsmEngine::DispatchFaultRequest(PageNum page, MsgKind kind, Transaction txn
 
 void DsmEngine::SendViaRequest(PageNum page, MsgKind kind, NodeId target, Transaction txn) {
   auto txp = std::make_shared<Transaction>(std::move(txn));
-  SendProto(txp->requester, target, kind, kMsgHeaderBytes,
-            [this, page, txp]() mutable { StartTransaction(page, std::move(*txp)); },
-            [this, page, kind, txp]() mutable {
+  // One-sided read fast path: the requester knows exactly where the page
+  // lives (hint or replica), so the wire-level read posts straight against
+  // the target's registered memory — no remote CPU handler runs on the
+  // request leg (receiver_delay 0). The verb setup/posting cost is charged
+  // at the requester before the read hits the wire. A stale hint still takes
+  // the two-sided fallback below, as a real one-sided read would after
+  // validation fails.
+  TimeNs receiver_delay = -1;
+  TimeNs setup = 0;
+  if (RdmaEligible(kind)) {
+    receiver_delay = 0;
+    setup = rpc_->fabric()->link_params(txp->requester, target).one_sided_setup;
+    stats_.rdma_reads.Add(1);
+  }
+  auto issue = [this, page, kind, target, txp, receiver_delay]() mutable {
+    SendProto(
+        txp->requester, target, kind, kMsgHeaderBytes,
+        [this, page, txp]() mutable { StartTransaction(page, std::move(*txp)); },
+        [this, page, kind, txp]() mutable {
               // The predicted owner / replica became unreachable mid-flight:
               // drop the prediction and fall back onto the home-directed
               // path, which owns the full retry state machine. No busy bit
@@ -691,12 +769,19 @@ void DsmEngine::SendViaRequest(PageNum page, MsgKind kind, NodeId target, Transa
                 }
                 return;
               }
-              stats_.txn_retries.Add(t.requester);
-              loop_->Trace(TraceCategory::kFault, "dsm_hint_redirect",
-                           "node=" + std::to_string(t.requester) + " page=" +
-                               std::to_string(page));
-              DispatchHomeRequest(page, kind, std::move(t));
-            });
+          stats_.txn_retries.Add(t.requester);
+          loop_->Trace(TraceCategory::kFault, "dsm_hint_redirect",
+                       "node=" + std::to_string(t.requester) + " page=" +
+                           std::to_string(page));
+          DispatchHomeRequest(page, kind, std::move(t));
+        },
+        QosClass::kLatency, receiver_delay);
+  };
+  if (setup > 0) {
+    loop_->ScheduleAfter(setup, std::move(issue));
+  } else {
+    issue();
+  }
 }
 
 void DsmEngine::DispatchHomeRequest(PageNum page, MsgKind kind, Transaction txn) {
@@ -985,7 +1070,13 @@ void DsmEngine::RunReadProtocol(PageNum page, Transaction txn) {
     stats_.region_transfers.Add(1);
   }
 
-  const uint64_t reply_bytes = kPageDataBytes + 4096 * prefetch.size();
+  // Wire size of the grant: header + (possibly compressed or delta-diffed)
+  // payload per page. With --dsm-compress off this is exactly the baseline
+  // header + 4 KiB per page.
+  uint64_t reply_bytes = kMsgHeaderBytes + TransferPayloadBytes(page, requester, kPageBytes);
+  for (const PageNum p : prefetch) {
+    reply_bytes += TransferPayloadBytes(p, requester, kPageBytes);
+  }
   auto txp = std::make_shared<Transaction>(std::move(txn));
   // Fires when the fabric abandons a hop of this round (dead or partitioned
   // peer after the full retransmit budget). Exactly one of {hop failure,
@@ -1095,9 +1186,11 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
     rpc_->Notify(via, options_.home, MsgKind::kDsmOwnerNotify, kMsgHeaderBytes,
                  std::move(nopts));
     stats_.page_transfers.Add(upgrade ? 0 : 1);
+    const uint64_t ship_bytes =
+        upgrade ? kMsgHeaderBytes
+                : kMsgHeaderBytes + TransferPayloadBytes(page, requester, kPageBytes);
     auto txp = std::make_shared<Transaction>(std::move(txn));
-    SendProto(via, requester, upgrade ? MsgKind::kDsmAck : MsgKind::kDsmPageData,
-              upgrade ? kMsgHeaderBytes : kPageDataBytes,
+    SendProto(via, requester, upgrade ? MsgKind::kDsmAck : MsgKind::kDsmPageData, ship_bytes,
               [this, page, requester, txp]() mutable {
                 loop_->ScheduleAfter(
                     costs_->dsm_map_page, [this, page, requester, txp]() mutable {
@@ -1108,6 +1201,7 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
                       dir.sharers[di] = Bit(requester);
                       dir.hold_until[di] = loop_->now() + hold;
                       SetResident(dir, di, requester, PageAccess::kWrite);
+                      BumpPageVersion(page, requester);
                       if (options_.ept_dirty_tracking) {
                         SendProto(requester, options_.home, MsgKind::kDsmAck, kMsgHeaderBytes,
                                   []() {});
@@ -1183,6 +1277,7 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
     dir.sharers[di] = Bit(requester);
     dir.hold_until[di] = loop_->now() + hold;
     SetResident(dir, di, requester, PageAccess::kWrite);
+    BumpPageVersion(page, requester);
     if (options_.ept_dirty_tracking) {
       // A/D-bit updates generate one extra (asynchronous) sync message.
       SendProto(requester, options_.home, MsgKind::kDsmAck, kMsgHeaderBytes, []() {});
@@ -1194,7 +1289,9 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
   if (targets.empty()) {
     // Sole (or no) sharer: home grants directly.
     stats_.page_transfers.Add(upgrade ? 0 : 1);
-    const uint64_t bytes = upgrade ? kMsgHeaderBytes : kPageDataBytes;
+    const uint64_t bytes =
+        upgrade ? kMsgHeaderBytes
+                : kMsgHeaderBytes + TransferPayloadBytes(page, requester, kPageBytes);
     const MsgKind kind = upgrade ? MsgKind::kDsmAck : MsgKind::kDsmPageData;
     SendProto(options_.home, requester, kind, bytes,
               [this, maybe_finish]() mutable { loop_->ScheduleAfter(costs_->dsm_map_page, maybe_finish); },
@@ -1224,7 +1321,8 @@ void DsmEngine::RunWriteProtocol(PageNum page, Transaction txn) {
         const bool ships_page = (s == owner) && !upgrade;
         if (ships_page) {
           stats_.page_transfers.Add(1);
-          SendProto(s, requester, MsgKind::kDsmPageData, kPageDataBytes,
+          SendProto(s, requester, MsgKind::kDsmPageData,
+                    kMsgHeaderBytes + TransferPayloadBytes(page, requester, kPageBytes),
                     [this, ctx, maybe_finish]() mutable {
                       loop_->ScheduleAfter(costs_->dsm_map_page, [ctx, maybe_finish]() mutable {
                         ctx->page_pending = false;
@@ -1338,6 +1436,7 @@ void DsmEngine::SaveState(SnapshotWriter* w) const {
   w->U32(static_cast<uint32_t>(options_.num_nodes));
   w->U32(static_cast<uint32_t>(options_.home));
   w->U8(options_.owner_hints ? 1 : 0);
+  w->U8(options_.compress ? 1 : 0);
   w->U64(known_pages_);
 
   w->U32(static_cast<uint32_t>(node_faults_.size()));
@@ -1399,6 +1498,21 @@ void DsmEngine::SaveState(SnapshotWriter* w) const {
     }
   }
 
+  w->U64(delta_.size());
+  uint64_t delta_filled = 0;
+  for (const auto& d : delta_) {
+    delta_filled += d != nullptr ? 1 : 0;
+  }
+  w->U64(delta_filled);
+  for (size_t li = 0; li < delta_.size(); ++li) {
+    if (delta_[li] == nullptr) {
+      continue;
+    }
+    w->U64(li);
+    w->Bytes(delta_[li]->version.data(), sizeof(delta_[li]->version));
+    w->Bytes(delta_[li]->last.data(), sizeof(delta_[li]->last));
+  }
+
   SaveCounter(w, stats_.read_faults);
   SaveCounter(w, stats_.write_faults);
   SaveCounter(w, stats_.invalidations);
@@ -1423,6 +1537,10 @@ void DsmEngine::SaveState(SnapshotWriter* w) const {
   SaveCounter(w, stats_.pages_promoted);
   SaveCounter(w, stats_.pages_rehomed_clean);
   SaveCounter(w, stats_.pages_lost_dirty);
+  SaveCounter(w, stats_.rdma_reads);
+  SaveCounter(w, stats_.compressed_transfers);
+  SaveCounter(w, stats_.delta_transfers);
+  SaveCounter(w, stats_.transfer_bytes_saved);
 }
 
 bool DsmEngine::LoadState(SnapshotReader* r) {
@@ -1432,11 +1550,13 @@ bool DsmEngine::LoadState(SnapshotReader* r) {
   const uint32_t num_nodes = r->U32();
   const uint32_t home = r->U32();
   const bool had_hints = r->U8() != 0;
+  const bool had_compress = r->U8() != 0;
   if (!r->ok()) {
     return false;
   }
   if (num_nodes != static_cast<uint32_t>(options_.num_nodes) ||
-      home != static_cast<uint32_t>(options_.home) || had_hints != options_.owner_hints) {
+      home != static_cast<uint32_t>(options_.home) || had_hints != options_.owner_hints ||
+      had_compress != options_.compress) {
     r->FailExternal("dsm.engine: snapshot was taken under a different engine configuration");
     return false;
   }
@@ -1545,6 +1665,34 @@ bool DsmEngine::LoadState(SnapshotReader* r) {
     }
   }
 
+  std::vector<std::unique_ptr<DeltaLeaf>> staged_delta;
+  const uint64_t delta_size = r->U64();
+  const uint64_t delta_filled = r->U64();
+  if (!r->ok()) {
+    return false;
+  }
+  if (delta_size > kMaxLeaves || delta_filled > delta_size) {
+    r->FailExternal("dsm.engine: version table shape exceeds the guest address space");
+    return false;
+  }
+  staged_delta.resize(static_cast<size_t>(delta_size));
+  uint64_t delta_prev = 0;
+  for (uint64_t i = 0; r->ok() && i < delta_filled; ++i) {
+    const uint64_t li = r->U64();
+    if (!r->ok()) {
+      break;
+    }
+    if (li >= delta_size || (i > 0 && li <= delta_prev)) {
+      r->FailExternal("dsm.engine: version leaf indexes out of order");
+      return false;
+    }
+    delta_prev = li;
+    auto d = std::make_unique<DeltaLeaf>();
+    r->BytesInto(d->version.data(), sizeof(d->version));
+    r->BytesInto(d->last.data(), sizeof(d->last));
+    staged_delta[static_cast<size_t>(li)] = std::move(d);
+  }
+
   DsmStats staged_stats;
   staged_stats.txn_retries.Init(options_.num_nodes);
   staged_stats.txn_absorbed.Init(options_.num_nodes);
@@ -1573,6 +1721,10 @@ bool DsmEngine::LoadState(SnapshotReader* r) {
   LoadCounter(r, &staged_stats.pages_promoted);
   LoadCounter(r, &staged_stats.pages_rehomed_clean);
   LoadCounter(r, &staged_stats.pages_lost_dirty);
+  LoadCounter(r, &staged_stats.rdma_reads);
+  LoadCounter(r, &staged_stats.compressed_transfers);
+  LoadCounter(r, &staged_stats.delta_transfers);
+  LoadCounter(r, &staged_stats.transfer_bytes_saved);
   if (!r->ok()) {
     return false;
   }
@@ -1588,6 +1740,7 @@ bool DsmEngine::LoadState(SnapshotReader* r) {
   class_ranges_ = std::move(staged_ranges);
   leaves_ = std::move(staged_leaves);
   hints_ = std::move(staged_hints);
+  delta_ = std::move(staged_delta);
   stats_ = std::move(staged_stats);
   waiters_.clear();
   return true;

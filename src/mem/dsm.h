@@ -93,6 +93,12 @@ struct DsmStats {
   Counter read_mostly_promotions;  // leaves promoted by the fault-history detector
   Counter hold_escalations;        // adaptive ownership-hold scale-ups
 
+  // Transport fast-path counters (zero unless rdma_read / compress is on).
+  Counter rdma_reads;            // one-sided read pulls (no remote handler)
+  Counter compressed_transfers;  // page bodies shipped at a compressed size
+  Counter delta_transfers;       // refetches shipped as version deltas
+  Counter transfer_bytes_saved;  // wire bytes avoided vs the full-size model
+
   // Fault-tolerance counters (all zero unless a FaultPlan is attached to the
   // fabric). Attribution is to the transaction's requester.
   NodeCounterSet txn_retries;    // protocol attempts re-executed after a loss
@@ -146,6 +152,24 @@ class DsmEngine {
     bool adaptive_granularity = false;
     // Widest region the stream detector may ship on one reply.
     int max_region_pages = 16;
+
+    // --- Transport fast paths (off by default; off is an exact pass-through)
+
+    // One-sided RDMA-read page pulls: a hinted or replica-directed read fault
+    // posts a wire-level one-sided read against the predicted holder instead
+    // of a two-sided request, eliminating the remote-CPU handler hop; the
+    // requester pays the link's one_sided_setup cost up front. Only engages
+    // on direct serves (the directory path still needs the home's CPU), so
+    // it composes with owner_hints / read_mostly_replication.
+    bool rdma_read = false;
+    // Page compression + delta-diffing: every page body ships at a modeled
+    // compressed size (deterministic per-page compressibility class), and a
+    // refetch by a node whose cached copy is only a few versions stale ships
+    // a delta instead of the full body. Pure size modeling: grants, residency
+    // and results are untouched.
+    bool compress = false;
+    // Seed for the per-page compressibility classes.
+    uint64_t compress_seed = 0xC0DEC0DEull;
   };
 
   DsmEngine(EventLoop* loop, RpcLayer* rpc, const CostModel* costs, const Options& options);
@@ -357,6 +381,38 @@ class DsmEngine {
   // owner_hints is on (keeps the off configuration allocation-identical).
   void SetHint(NodeId node, PageNum page, NodeId owner);
 
+  // Delta-diffing side table: one lazily allocated leaf tracking each page's
+  // content version (bumped per write grant) and the last version each node
+  // received. Never allocated unless compress is on (keeps the off
+  // configuration allocation-identical).
+  struct DeltaLeaf {
+    std::array<uint16_t, kLeafPages> version;
+    std::array<std::array<uint16_t, kLeafPages>, kMaxNodes> last;
+    DeltaLeaf() {
+      version.fill(0);
+      for (auto& row : last) {
+        row.fill(0);
+      }
+    }
+  };
+  DeltaLeaf* DeltaFor(PageNum page) const;
+  DeltaLeaf& EnsureDelta(PageNum page);
+  // Advances the page's content version on a write grant to `writer` (who
+  // then holds the current content). No-op unless compress is on.
+  void BumpPageVersion(PageNum page, NodeId writer);
+  // Modeled wire size of shipping the page body to `to`: a delta when to's
+  // cached copy is only a few versions stale, the compressed body otherwise.
+  // Records the transport counters and to's new cached version. `payload` is
+  // returned untouched when compress is off.
+  uint64_t TransferPayloadBytes(PageNum page, NodeId to, uint64_t payload);
+
+  // True when this read dispatch may run as a one-sided RDMA pull: the
+  // requester knows exactly which node to read from (hint or replica), so no
+  // remote CPU needs to parse the request.
+  bool RdmaEligible(MsgKind kind) const {
+    return options_.rdma_read && kind == MsgKind::kDsmReadReq;
+  }
+
   // True when read-mostly replication applies to the page: statically classed
   // kReadMostly, or its leaf was promoted by the fault-history detector.
   bool IsReadMostly(const Leaf& leaf, PageNum page) const;
@@ -402,8 +458,12 @@ class DsmEngine {
   void RepairPage(PageNum page);
   TimeNs RetryBackoff(int attempts) const;
 
+  // `receiver_delay` overrides the per-message handler cost at the receiver;
+  // the default (-1) charges HandlerCost(). One-sided RDMA legs pass 0: the
+  // remote CPU never runs a handler for them.
   void SendProto(NodeId src, NodeId dst, MsgKind kind, uint64_t bytes, EventLoop::Callback cb,
-                 EventLoop::Callback on_fail = nullptr, QosClass qos = QosClass::kLatency);
+                 EventLoop::Callback on_fail = nullptr, QosClass qos = QosClass::kLatency,
+                 TimeNs receiver_delay = -1);
 
   void CompleteFault(PageNum page, const Transaction& txn);
 
@@ -420,6 +480,9 @@ class DsmEngine {
   // Owner-hint cache: hints_[node][page >> kLeafBits], allocated on first
   // hint write. Empty unless owner_hints is on.
   std::vector<std::vector<std::unique_ptr<HintLeaf>>> hints_;
+  // Delta-diffing version cache: delta_[page >> kLeafBits], allocated on
+  // first transfer. Empty unless compress is on.
+  std::vector<std::unique_ptr<DeltaLeaf>> delta_;
   // Ordered class ranges: start -> (end_exclusive, class).
   std::map<PageNum, std::pair<PageNum, PageClass>> class_ranges_;
   std::vector<Counter> node_faults_;  // faults initiated by each node

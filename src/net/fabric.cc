@@ -50,6 +50,9 @@ LinkParams LinkParams::InfiniBand56G() {
   return LinkParams{
       .latency = Nanos(1500),
       .bytes_per_second = 56e9 / 8.0,
+      // Posting an RDMA read verb: WQE build + doorbell, far below the
+      // kernel-mediated page-fault handler it replaces.
+      .one_sided_setup = Nanos(250),
   };
 }
 
@@ -57,7 +60,57 @@ LinkParams LinkParams::Ethernet1G() {
   return LinkParams{
       .latency = Micros(100),
       .bytes_per_second = 1e9 / 8.0,
+      // Software-emulated one-sided read (SoftRoCE class).
+      .one_sided_setup = Micros(20),
   };
+}
+
+namespace {
+
+// splitmix64: the repo-standard deterministic mixer (cf. workload/dsmstorm).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Nodes per dense link table: above this the O(n^2) table would dominate
+// memory and the map wins.
+constexpr int kDenseLinkNodes = 512;
+
+}  // namespace
+
+int PageCompressClass(uint64_t seed, uint64_t page) {
+  return static_cast<int>(SplitMix64(seed ^ (page * 0x9e3779b97f4a7c15ull)) & 3u);
+}
+
+uint64_t CompressedPayloadBytes(uint64_t seed, uint64_t page, uint64_t payload) {
+  const uint64_t keep = 4u - static_cast<uint64_t>(PageCompressClass(seed, page));
+  return payload * keep / 4u;
+}
+
+uint64_t DeltaPayloadBytes(uint64_t payload, uint64_t versions_behind) {
+  const uint64_t delta = payload * versions_behind / 16u;
+  return delta < payload ? delta : payload;
+}
+
+int Fabric::EcmpPlane(NodeId src, NodeId dst, int planes) {
+  FV_CHECK_GT(planes, 0);
+  const uint64_t pair = (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+                        static_cast<uint64_t>(static_cast<uint32_t>(dst));
+  return static_cast<int>(SplitMix64(pair) % static_cast<uint64_t>(planes));
+}
+
+TimeNs Fabric::MinEffectiveLatency(const TopologyConfig& topology, const LinkParams& defaults,
+                                   int num_nodes) {
+  if (!topology.fat_tree()) {
+    return defaults.latency;
+  }
+  // A same-pod pair exists iff some edge switch has two nodes; its effective
+  // latency is the plain link latency. Otherwise every pair pays the core hop.
+  const bool same_pod_pair = topology.pod_size >= 2 && num_nodes >= 2;
+  return same_pod_pair ? defaults.latency : defaults.latency + defaults.latency;
 }
 
 void FabricStats::Account(MsgKind kind, uint64_t size) {
@@ -82,21 +135,43 @@ TimeNs WireTime(const LinkParams& params, uint64_t size) {
   return FromSeconds(static_cast<double>(size) / params.bytes_per_second);
 }
 
-Fabric::Fabric(EventLoop* loop, int num_nodes, LinkParams defaults)
-    : loop_(loop), num_nodes_(num_nodes), defaults_(defaults) {
+void Fabric::InitTopologyState() {
+  if (topology_.fat_tree()) {
+    FV_CHECK_GT(topology_.pod_size, 0);
+    FV_CHECK_GE(topology_.oversub, 1.0);
+    FV_CHECK_GT(topology_.core_planes, 0);
+    uplink_busy_.assign(static_cast<size_t>(num_nodes_), 0);
+    core_busy_.assign(static_cast<size_t>(num_nodes_) * static_cast<size_t>(topology_.core_planes),
+                      0);
+  }
+  if (num_nodes_ <= kDenseLinkNodes) {
+    LinkState blank;
+    blank.params = defaults_;
+    dense_links_.assign(static_cast<size_t>(num_nodes_) * static_cast<size_t>(num_nodes_), blank);
+  }
+}
+
+Fabric::Fabric(EventLoop* loop, int num_nodes, LinkParams defaults, TopologyConfig topology)
+    : loop_(loop), num_nodes_(num_nodes), defaults_(defaults), topology_(topology) {
   FV_CHECK(loop != nullptr);
   FV_CHECK_GT(num_nodes, 0);
+  InitTopologyState();
   retry_stats_.Init(num_nodes);
 }
 
-Fabric::Fabric(ParallelEventLoop* ploop, int num_nodes, LinkParams defaults)
-    : loop_(nullptr), ploop_(ploop), num_nodes_(num_nodes), defaults_(defaults) {
+Fabric::Fabric(ParallelEventLoop* ploop, int num_nodes, LinkParams defaults,
+               TopologyConfig topology)
+    : loop_(nullptr), ploop_(ploop), num_nodes_(num_nodes), defaults_(defaults),
+      topology_(topology) {
   FV_CHECK(ploop != nullptr);
   FV_CHECK_GT(num_nodes, 0);
   FV_CHECK_EQ(ploop->num_partitions(), num_nodes);
   // Conservative-synchronization soundness: no message may arrive sooner
-  // than one lookahead after it was sent.
-  FV_CHECK_LE(ploop->lookahead(), defaults.latency);
+  // than one lookahead after it was sent. The bound is the topology's minimum
+  // *effective* first-hop latency (an all-cross-pod fat-tree legitimately
+  // supports a lookahead larger than the raw link latency).
+  FV_CHECK_LE(ploop->lookahead(), MinEffectiveLatency(topology, defaults, num_nodes));
+  InitTopologyState();
   retry_stats_.Init(num_nodes);
   shard_stats_.assign(static_cast<size_t>(num_nodes), FabricStats());
   shard_retry_.resize(static_cast<size_t>(num_nodes));
@@ -105,10 +180,13 @@ Fabric::Fabric(ParallelEventLoop* ploop, int num_nodes, LinkParams defaults)
   }
   // Pre-create every directed link: links_ is then never mutated during a
   // run, so concurrent LinkFor lookups from different partitions are reads.
-  for (NodeId s = 0; s < num_nodes; ++s) {
-    for (NodeId d = 0; d < num_nodes; ++d) {
-      if (s != d) {
-        LinkFor(s, d);
+  // (The dense table is already fully materialized at construction.)
+  if (dense_links_.empty()) {
+    for (NodeId s = 0; s < num_nodes; ++s) {
+      for (NodeId d = 0; d < num_nodes; ++d) {
+        if (s != d) {
+          LinkFor(s, d);
+        }
       }
     }
   }
@@ -120,6 +198,10 @@ void Fabric::ValidateNode(NodeId n) const {
 }
 
 Fabric::LinkState& Fabric::LinkFor(NodeId src, NodeId dst) {
+  if (!dense_links_.empty()) {
+    return dense_links_[static_cast<size_t>(src) * static_cast<size_t>(num_nodes_) +
+                        static_cast<size_t>(dst)];
+  }
   auto [it, inserted] = links_.try_emplace({src, dst});
   if (inserted) {
     it->second.params = defaults_;
@@ -131,7 +213,9 @@ void Fabric::SetLinkParams(NodeId src, NodeId dst, LinkParams params) {
   ValidateNode(src);
   ValidateNode(dst);
   if (ploop_ != nullptr) {
-    FV_CHECK_GE(params.latency, ploop_->lookahead());
+    // Per-pair effective first-hop latency must still cover the lookahead;
+    // cross-pod pairs get the core hop's propagation on top of the pair link.
+    FV_CHECK_GE(params.latency + CrossPodExtra(src, dst), ploop_->lookahead());
   }
   LinkFor(src, dst).params = params;
 }
@@ -172,11 +256,33 @@ bool Fabric::NodeUp(NodeId node) const {
   return plan_->NodeUp(node, now);
 }
 
-TimeNs Fabric::WireArrival(LinkState& link, uint64_t size, TimeNs now) {
+TimeNs Fabric::WireArrival(NodeId src, NodeId dst, LinkState& link, uint64_t size, TimeNs now) {
   const TimeNs start = std::max(now, link.busy_until);
   const TimeNs depart = start + WireTime(link.params, size);
   link.busy_until = depart;
-  return depart + link.params.latency;
+  if (SamePod(src, dst)) {
+    // Mesh, or both endpoints under one edge switch: the seed-era math,
+    // byte for byte.
+    return depart + link.params.latency;
+  }
+  // Cross-pod fat-tree path: after the pair link (NIC + edge port), the
+  // message serializes through the sender's pod uplink at edge bandwidth and
+  // then its ECMP-selected core plane at edge bandwidth / oversub. Horizons
+  // are monotone and src-indexed: concurrent partitions never share them, and
+  // arrivals per directed pair stay non-decreasing (the plane choice is a
+  // stable hash of the pair).
+  TimeNs& uplink = uplink_busy_[static_cast<size_t>(src)];
+  const TimeNs uplink_depart = std::max(depart, uplink) + WireTime(link.params, size);
+  uplink = uplink_depart;
+  LinkParams core = link.params;
+  core.bytes_per_second = link.params.bytes_per_second / topology_.oversub;
+  const int plane = EcmpPlane(src, dst, topology_.core_planes);
+  TimeNs& core_horizon =
+      core_busy_[static_cast<size_t>(src) * static_cast<size_t>(topology_.core_planes) +
+                 static_cast<size_t>(plane)];
+  const TimeNs core_depart = std::max(uplink_depart, core_horizon) + WireTime(core, size);
+  core_horizon = core_depart;
+  return core_depart + link.params.latency + CrossPodExtra(src, dst);
 }
 
 void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryFn on_delivery,
@@ -205,7 +311,7 @@ void Fabric::Send(NodeId src, NodeId dst, MsgKind kind, uint64_t size, DeliveryF
   if (plan_ == nullptr) {
     LinkState& link = LinkFor(src, dst);
     stats_.Account(kind, size);
-    const TimeNs arrival = WireArrival(link, size, loop_->now());
+    const TimeNs arrival = WireArrival(src, dst, link, size, loop_->now());
     if (capture_ != nullptr) {
       CaptureDelivery(src, dst, kind, size, arrival, receiver_delay);
     }
@@ -292,7 +398,7 @@ void Fabric::Attempt(PendingId id) {
   }
   LinkState& link = LinkFor(p->src, p->dst);
   stats_.Account(p->kind, p->size);
-  const TimeNs base_arrival = WireArrival(link, p->size, now);
+  const TimeNs base_arrival = WireArrival(p->src, p->dst, link, p->size, now);
   bool lost = plan_->LinkCut(p->src, p->dst, now) || !plan_->NodeUp(p->dst, base_arrival);
   FaultPlan::Perturbation pert;
   if (lost) {
@@ -410,7 +516,7 @@ void Fabric::SendDatagram(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
   }
   LinkState& link = LinkFor(src, dst);
   stats_.Account(kind, size);
-  const TimeNs base_arrival = WireArrival(link, size, now);
+  const TimeNs base_arrival = WireArrival(src, dst, link, size, now);
   if (plan_ == nullptr) {
     if (capture_ != nullptr) {
       CaptureDelivery(src, dst, kind, size, base_arrival, receiver_delay);
@@ -519,7 +625,7 @@ void Fabric::SendParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t size,
   if (plan_ == nullptr) {
     LinkState& link = LinkFor(src, dst);
     StatsFor(src).Account(kind, size);
-    const TimeNs arrival = WireArrival(link, size, sloop->now());
+    const TimeNs arrival = WireArrival(src, dst, link, size, sloop->now());
     if (capture_ != nullptr) {
       CaptureDelivery(src, dst, kind, size, arrival, receiver_delay);
     }
@@ -554,7 +660,7 @@ void Fabric::AttemptParallel(ParPending* p) {
   }
   LinkState& link = LinkFor(p->src, p->dst);
   StatsFor(p->src).Account(p->kind, p->size);
-  const TimeNs base_arrival = WireArrival(link, p->size, now);
+  const TimeNs base_arrival = WireArrival(p->src, p->dst, link, p->size, now);
   bool lost = plan_->LinkCut(p->src, p->dst, now) || !plan_->NodeUp(p->dst, base_arrival);
   FaultPlan::Perturbation pert;
   if (lost) {
@@ -679,7 +785,7 @@ void Fabric::SendDatagramParallel(NodeId src, NodeId dst, MsgKind kind, uint64_t
   }
   LinkState& link = LinkFor(src, dst);
   StatsFor(src).Account(kind, size);
-  const TimeNs base_arrival = WireArrival(link, size, now);
+  const TimeNs base_arrival = WireArrival(src, dst, link, size, now);
   if (plan_ == nullptr) {
     if (capture_ != nullptr) {
       CaptureDelivery(src, dst, kind, size, base_arrival, receiver_delay);

@@ -7,7 +7,9 @@
 //
 // Two link profiles matter for the paper's testbed: the 56 Gbps InfiniBand
 // fabric between compute nodes, and the 1 Gbps Ethernet link to the external
-// client/load generator.
+// client/load generator. A TopologyConfig can additionally replace the
+// uniform mesh with a two-tier fat-tree (shared pod uplinks and an
+// oversubscribed, ECMP-hashed core — see TopologyConfig below).
 //
 // Fault injection: AttachFaultPlan() puts a sim::FaultPlan between Send and
 // the wire. With a plan attached, Send() becomes a reliable channel — each
@@ -75,6 +77,10 @@ const char* MsgKindName(MsgKind kind);
 struct LinkParams {
   TimeNs latency = 0;            // one-way propagation + switch + NIC latency
   double bytes_per_second = 0;   // serialization bandwidth
+  // Requester-side cost of posting a one-sided RDMA read (verb setup + QP
+  // doorbell). Only consulted by protocols running in one-sided mode
+  // (--dsm-rdma-read); zero and unread otherwise.
+  TimeNs one_sided_setup = 0;
 
   // 56 Gbps InfiniBand (Mellanox ConnectX-4 class): ~1.5 us one-way for small
   // messages through one switch.
@@ -82,6 +88,48 @@ struct LinkParams {
   // 1 Gbps Ethernet to the client LAN: ~100 us one-way (kernel stack + switch).
   static LinkParams Ethernet1G();
 };
+
+// Cluster interconnect topology. The default is the seed-era uniform mesh:
+// every directed pair is an independent link. kFatTree models a two-tier
+// fat-tree: nodes [k*pod_size, (k+1)*pod_size) share an edge switch, same-pod
+// traffic behaves exactly like the mesh, and cross-pod traffic additionally
+// serializes through the sender's pod uplink and one deterministically
+// ECMP-hashed core plane whose bandwidth is the edge bandwidth divided by
+// `oversub`. All congestion horizons are kept sender-local so the model stays
+// race-free on the parallel core (see WireArrival).
+struct TopologyConfig {
+  enum class Kind : uint8_t { kMesh, kFatTree };
+
+  Kind kind = Kind::kMesh;
+  int pod_size = 8;      // nodes per edge switch (fat-tree only)
+  double oversub = 1.0;  // core oversubscription ratio (>= 1; fat-tree only)
+  int core_planes = 4;   // independent core switch planes for ECMP spreading
+
+  bool fat_tree() const { return kind == Kind::kFatTree; }
+
+  static TopologyConfig Mesh() { return TopologyConfig(); }
+  static TopologyConfig FatTree(int pod_size, double oversub, int core_planes = 4) {
+    TopologyConfig t;
+    t.kind = Kind::kFatTree;
+    t.pod_size = pod_size;
+    t.oversub = oversub;
+    t.core_planes = core_planes;
+    return t;
+  }
+};
+
+// --- Transport fast-path size models (shared by DSM and the marketplace) ----
+//
+// Deterministic per-page compressibility class in [0, 3]; class c compresses
+// a page body to (4 - c)/4 of its size (1.0x, 0.75x, 0.5x, 0.25x). Pure
+// function of (seed, page) — identical on every node, every worker count.
+int PageCompressClass(uint64_t seed, uint64_t page);
+// Modeled compressed size of a `payload`-byte page body (headers never
+// compress): payload * (4 - class) / 4, integer arithmetic.
+uint64_t CompressedPayloadBytes(uint64_t seed, uint64_t page, uint64_t payload);
+// Modeled delta-encoded size for a receiver `versions_behind` writes stale:
+// one sixteenth of the payload per missed version (capped at the full body).
+uint64_t DeltaPayloadBytes(uint64_t payload, uint64_t versions_behind);
 
 // Per-kind traffic counters for one fabric.
 struct FabricStats {
@@ -132,15 +180,18 @@ class Fabric {
   using DeliveryFn = EventLoop::Callback;
 
   // Creates a fabric over `num_nodes` nodes; all links default to `defaults`.
-  Fabric(EventLoop* loop, int num_nodes, LinkParams defaults);
+  Fabric(EventLoop* loop, int num_nodes, LinkParams defaults,
+         TopologyConfig topology = TopologyConfig());
 
   // Parallel-core fabric: node n's events execute on partition n of `ploop`,
   // and every cross-node delivery is committed through the destination
   // partition's mailbox. Requires one partition per node and a lookahead no
-  // larger than the minimum link latency (checked here and in
-  // SetLinkParams). Stats are sharded per sending node — read them through
+  // larger than the topology's minimum *effective* first-hop latency
+  // (MinEffectiveLatency; checked here and in SetLinkParams). Stats are
+  // sharded per sending node — read them through
   // MergedStats()/MergedRetryStats().
-  Fabric(ParallelEventLoop* ploop, int num_nodes, LinkParams defaults);
+  Fabric(ParallelEventLoop* ploop, int num_nodes, LinkParams defaults,
+         TopologyConfig topology = TopologyConfig());
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -169,8 +220,30 @@ class Fabric {
   void SetLinkParams(NodeId src, NodeId dst, LinkParams params);
 
   // Parameters of the directed link src -> dst (schedulers layered above the
-  // fabric need the serialization bandwidth).
-  LinkParams link_params(NodeId src, NodeId dst) { return LinkFor(src, dst).params; }
+  // fabric need the serialization bandwidth). The reference stays valid and
+  // current for the fabric's lifetime — hot paths should look it up once per
+  // link, not once per send.
+  const LinkParams& link_params(NodeId src, NodeId dst) { return LinkFor(src, dst).params; }
+
+  const TopologyConfig& topology() const { return topology_; }
+
+  // True when `a` and `b` hang off the same edge switch (always true on a
+  // mesh: there is no switch tier to cross).
+  bool SamePod(NodeId a, NodeId b) const {
+    return !topology_.fat_tree() || a / topology_.pod_size == b / topology_.pod_size;
+  }
+
+  // Deterministic ECMP hash: the core plane carrying src -> dst traffic.
+  // Stable per directed pair, so per-link arrival order is preserved.
+  static int EcmpPlane(NodeId src, NodeId dst, int planes);
+
+  // Minimum effective first-hop latency over every directed pair — the sound
+  // upper bound for the parallel engine's conservative lookahead. On a mesh
+  // (and on a fat-tree with at least one same-pod pair) this is the default
+  // link latency; a fat-tree where every pair crosses pods adds the core-hop
+  // propagation on top.
+  static TimeNs MinEffectiveLatency(const TopologyConfig& topology, const LinkParams& defaults,
+                                    int num_nodes);
 
   // Routes every subsequent Send/SendDatagram through `plan` (not owned; must
   // outlive the fabric). Arms the plan's transition markers on the loop and
@@ -310,6 +383,8 @@ class Fabric {
 
   LinkState& LinkFor(NodeId src, NodeId dst);
   void ValidateNode(NodeId n) const;
+  // Sizes the dense link table and the fat-tree congestion horizons.
+  void InitTopologyState();
 
   // Stats shard for traffic sent by `src` (parallel), or the global block.
   FabricStats& StatsFor(NodeId src) {
@@ -319,10 +394,21 @@ class Fabric {
     return shard_retry_.empty() ? retry_stats_ : shard_retry_[static_cast<size_t>(src)];
   }
 
-  // Computes the arrival time of `size` bytes put on `link` at `now`,
-  // advancing the link's serialization horizon. Identical for raw and
-  // reliable paths.
-  TimeNs WireArrival(LinkState& link, uint64_t size, TimeNs now);
+  // Computes the arrival time of `size` bytes put on the src -> dst `link` at
+  // `now`, advancing the link's serialization horizon. Identical for raw and
+  // reliable paths. On a fat-tree, cross-pod traffic additionally serializes
+  // through the sender's pod uplink and its ECMP core plane; those horizons
+  // are indexed by src only, so parallel-mode calls from different sending
+  // partitions never touch the same state, and successive arrivals on one
+  // directed link remain non-decreasing (the property the reliable channel's
+  // first-copy-wins argument needs).
+  TimeNs WireArrival(NodeId src, NodeId dst, LinkState& link, uint64_t size, TimeNs now);
+
+  // Extra propagation latency a src -> dst message pays beyond its pair
+  // link's params.latency (the core hop on cross-pod fat-tree paths).
+  TimeNs CrossPodExtra(NodeId src, NodeId dst) const {
+    return SamePod(src, dst) ? 0 : defaults_.latency;
+  }
 
   uint32_t AllocPending();
   void FreePending(uint32_t slot);
@@ -360,7 +446,18 @@ class Fabric {
   ParallelEventLoop* ploop_ = nullptr;
   int num_nodes_;
   LinkParams defaults_;
+  TopologyConfig topology_;
+  // Dense link table, indexed src * num_nodes + dst, sized once at
+  // construction (entries and their params pointers stay stable for the
+  // fabric's lifetime). Clusters too large for a dense table fall back to the
+  // lazily populated map.
+  std::vector<LinkState> dense_links_;
   std::map<std::pair<NodeId, NodeId>, LinkState> links_;
+  // Fat-tree congestion horizons, all indexed by the sending node (never
+  // shared across partitions): the pod uplink, and one entry per (src, core
+  // plane) modeling the sender's share of the oversubscribed core.
+  std::vector<TimeNs> uplink_busy_;
+  std::vector<TimeNs> core_busy_;
   FabricStats stats_;
   // Per-sending-node shards (parallel mode only): a link (src, dst) is only
   // ever touched from src's partition, so shard writes never race.

@@ -115,13 +115,15 @@ Storm::Storm(const StormOptions& opts, int threads, const StormRunConfig& cfg)
     ParallelEventLoop::Options po;
     po.num_partitions = opts.num_nodes;
     po.num_threads = threads;
-    // The base latency is the cluster-wide minimum: jitter only ever adds.
-    po.lookahead = opts.link.latency;
+    // The minimum effective first-hop latency is the cluster-wide floor:
+    // jitter only ever adds, and a fat-tree's cross-pod paths only ever add
+    // on top of that. On a mesh this is exactly the link latency.
+    po.lookahead = Fabric::MinEffectiveLatency(opts.topology, opts.link, opts.num_nodes);
     ploop_ = std::make_unique<ParallelEventLoop>(po);
-    fabric_ = std::make_unique<Fabric>(ploop_.get(), opts.num_nodes, opts.link);
+    fabric_ = std::make_unique<Fabric>(ploop_.get(), opts.num_nodes, opts.link, opts.topology);
   } else {
     serial_ = std::make_unique<EventLoop>();
-    fabric_ = std::make_unique<Fabric>(serial_.get(), opts.num_nodes, opts.link);
+    fabric_ = std::make_unique<Fabric>(serial_.get(), opts.num_nodes, opts.link, opts.topology);
   }
 
   if (opts.latency_jitter_ns > 0 && opts.num_nodes > 1) {
@@ -409,6 +411,10 @@ uint64_t Storm::ConfigFingerprint() const {
   add(std::to_string(opts_.partition_b));
   add(std::to_string(opts_.partition_from));
   add(std::to_string(opts_.partition_until));
+  add(std::to_string(static_cast<int>(opts_.topology.kind)));
+  add(std::to_string(opts_.topology.pod_size));
+  add(std::to_string(opts_.topology.oversub));
+  add(std::to_string(opts_.topology.core_planes));
   return SnapshotHashString(s);
 }
 

@@ -57,6 +57,10 @@ struct StormOptions {
   // Deterministic per-directed-link latency spread on top of link.latency,
   // so partitions see distinct arrival times instead of a metronome.
   TimeNs latency_jitter_ns = Nanos(700);
+  // Fabric topology. The default (full mesh) is byte-identical to every run
+  // before the topology existed; a fat-tree adds per-hop serialization and
+  // shared, oversubscribed core links on cross-pod paths.
+  TopologyConfig topology;
 
   // Fault injection (any non-zero knob attaches a FaultPlan with per-node
   // RNG streams, on both engines).

@@ -1,0 +1,250 @@
+// Tier-1 determinism and model tests for the topology-aware fabric and the
+// DSM transport fast paths (one-sided RDMA reads, compression/delta-diffing).
+//
+//  * ECMP plane hashing is a pure function of the directed pair and spreads
+//    traffic over every plane;
+//  * MinEffectiveLatency matches the topology (the parallel lookahead bound);
+//  * fat-tree same-pod wire arrivals are byte-identical to the mesh, cross-pod
+//    arrivals are strictly later, and more core oversubscription can only
+//    delay them further;
+//  * a one-pod fat-tree storm reproduces the mesh storm report byte for byte,
+//    and a genuinely cross-pod storm is worker-count invariant;
+//  * the RDMA/compression flags never change workload results (serialized
+//    accesses make the comparison exact), stay inert when off, and actually
+//    fire when on.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/host/cost_model.h"
+#include "src/mem/dsm.h"
+#include "src/net/fabric.h"
+#include "src/net/rpc.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/rng.h"
+#include "src/workload/dsmstorm.h"
+
+namespace fragvisor {
+namespace {
+
+TEST(EcmpTest, PlaneIsDeterministicAndInRange) {
+  constexpr int kPlanes = 4;
+  for (NodeId src = 0; src < 32; ++src) {
+    for (NodeId dst = 0; dst < 32; ++dst) {
+      const int plane = Fabric::EcmpPlane(src, dst, kPlanes);
+      EXPECT_GE(plane, 0);
+      EXPECT_LT(plane, kPlanes);
+      EXPECT_EQ(plane, Fabric::EcmpPlane(src, dst, kPlanes)) << "hash not stable";
+    }
+  }
+}
+
+TEST(EcmpTest, PlanesSpreadAcrossPairs) {
+  constexpr int kPlanes = 4;
+  std::vector<int> hits(kPlanes, 0);
+  for (NodeId src = 0; src < 16; ++src) {
+    for (NodeId dst = 0; dst < 16; ++dst) {
+      if (src != dst) {
+        ++hits[Fabric::EcmpPlane(src, dst, kPlanes)];
+      }
+    }
+  }
+  for (int p = 0; p < kPlanes; ++p) {
+    EXPECT_GT(hits[p], 0) << "plane " << p << " never selected over 240 pairs";
+  }
+}
+
+TEST(TopologyTest, MinEffectiveLatencyMatchesTopology) {
+  const LinkParams link = LinkParams::InfiniBand56G();
+  EXPECT_EQ(Fabric::MinEffectiveLatency(TopologyConfig::Mesh(), link, 16), link.latency);
+  // A 16-node fat-tree with pods of 8 has same-pod pairs: the minimum
+  // effective latency is still one edge hop.
+  EXPECT_EQ(Fabric::MinEffectiveLatency(TopologyConfig::FatTree(8, 4.0), link, 16),
+            link.latency);
+  // Pods of one make every pair cross-pod; the core hop propagation is
+  // unavoidable, which widens the sound lookahead window.
+  EXPECT_EQ(Fabric::MinEffectiveLatency(TopologyConfig::FatTree(1, 4.0), link, 16),
+            2 * link.latency);
+}
+
+// Delivery time of one `size`-byte message src -> dst on a fresh fabric.
+TimeNs ArrivalTime(const TopologyConfig& topo, NodeId src, NodeId dst, uint64_t size) {
+  EventLoop loop;
+  Fabric fabric(&loop, 8, LinkParams::InfiniBand56G(), topo);
+  TimeNs arrived = -1;
+  fabric.Send(src, dst, MsgKind::kControl, size, [&loop, &arrived]() { arrived = loop.now(); });
+  loop.Run();
+  return arrived;
+}
+
+TEST(TopologyTest, SamePodMatchesMeshAndCrossPodIsSlower) {
+  const uint64_t kSize = 64 * 1024;
+  const TimeNs mesh_near = ArrivalTime(TopologyConfig::Mesh(), 0, 1, kSize);
+  const TimeNs mesh_far = ArrivalTime(TopologyConfig::Mesh(), 0, 4, kSize);
+  const TopologyConfig ft = TopologyConfig::FatTree(/*pod_size=*/4, /*oversub=*/1.0);
+  EXPECT_EQ(ArrivalTime(ft, 0, 1, kSize), mesh_near)
+      << "same-pod fat-tree traffic must be byte-identical to the mesh";
+  EXPECT_GT(ArrivalTime(ft, 0, 4, kSize), mesh_far)
+      << "cross-pod traffic pays the uplink and core hops";
+}
+
+TEST(TopologyTest, OversubscriptionOnlySlowsCrossPodTraffic) {
+  const uint64_t kSize = 256 * 1024;
+  TimeNs prev = 0;
+  for (const double oversub : {1.0, 2.0, 4.0, 8.0}) {
+    const TimeNs t = ArrivalTime(TopologyConfig::FatTree(4, oversub), 0, 4, kSize);
+    EXPECT_GE(t, prev) << "arrival got earlier at oversub " << oversub;
+    prev = t;
+  }
+}
+
+TEST(TopologyStormTest, OnePodFatTreeReproducesTheMeshReport) {
+  StormOptions so;
+  so.num_nodes = 8;
+  so.streams_per_node = 2;
+  so.accesses_per_stream = 60;
+  const std::string mesh = StormReport(RunStorm(so, /*threads=*/2));
+  // Every node in one pod: no pair ever crosses the core, so the fat-tree
+  // machinery must be a byte-exact no-op.
+  so.topology = TopologyConfig::FatTree(/*pod_size=*/8, /*oversub=*/4.0);
+  EXPECT_EQ(StormReport(RunStorm(so, /*threads=*/2)), mesh);
+}
+
+TEST(TopologyStormTest, FatTreeStormIsWorkerCountInvariant) {
+  StormOptions so;
+  so.num_nodes = 16;
+  so.streams_per_node = 2;
+  so.accesses_per_stream = 60;
+  so.topology = TopologyConfig::FatTree(/*pod_size=*/4, /*oversub=*/4.0);
+  const std::string t1 = StormReport(RunStorm(so, 1));
+  EXPECT_EQ(StormReport(RunStorm(so, 2)), t1);
+  EXPECT_EQ(StormReport(RunStorm(so, 4)), t1);
+}
+
+// --- RDMA / compression flag matrix over a serialized DSM workload ---------
+//
+// Accesses are issued one at a time with a full drain in between, so protocol
+// timing cannot change any outcome: every flag combination must walk the
+// exact same hit/miss sequence.
+
+struct SerializedResult {
+  uint64_t checksum = 0;  // order-dependent digest of (access, hit) pairs
+  uint64_t pages_checked = 0;
+  uint64_t rdma_reads = 0;
+  uint64_t compressed_transfers = 0;
+  uint64_t delta_transfers = 0;
+  uint64_t transfer_bytes_saved = 0;
+  uint64_t protocol_bytes = 0;
+};
+
+SerializedResult RunSerialized(bool hints, bool rdma, bool compress) {
+  constexpr int kNodes = 4;
+  constexpr PageNum kPages = 512;
+  EventLoop loop;
+  Fabric fabric(&loop, kNodes, LinkParams::InfiniBand56G());
+  const CostModel costs = CostModel::Default();
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = kNodes;
+  opts.owner_hints = hints;
+  opts.rdma_read = rdma;
+  opts.compress = compress;
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
+  for (int n = 0; n < kNodes; ++n) {
+    dsm.SeedRange(static_cast<PageNum>(n) * (kPages / kNodes), kPages / kNodes, n);
+  }
+
+  SerializedResult out;
+  const auto access = [&](NodeId node, PageNum page, bool is_write) {
+    bool done = false;
+    const bool hit = dsm.Access(node, page, is_write, [&done]() { done = true; });
+    loop.Run();
+    EXPECT_TRUE(hit || done) << "access wedged after a full drain";
+    out.checksum = out.checksum * 1099511628211ull ^
+                   (static_cast<uint64_t>(node) * 131 + page * 2654435761ull +
+                    (is_write ? 2u : 0u) + (hit ? 1u : 0u));
+  };
+
+  Rng rng(1234);
+  for (int k = 0; k < 500; ++k) {
+    access(static_cast<NodeId>(rng.UniformInt(0, kNodes - 1)),
+           static_cast<PageNum>(rng.UniformInt(0, kPages - 1)), rng.Chance(0.4));
+  }
+  // Deterministic invalidate-refetch tail: node 1 keeps rewriting a page two
+  // readers keep re-reading — the delta-diff path's target shape.
+  for (int k = 0; k < 6; ++k) {
+    access(1, 7, /*is_write=*/true);
+    access(2, 7, /*is_write=*/false);
+    access(3, 7, /*is_write=*/false);
+  }
+
+  out.pages_checked = dsm.CheckInvariants();
+  out.rdma_reads = dsm.stats().rdma_reads.value();
+  out.compressed_transfers = dsm.stats().compressed_transfers.value();
+  out.delta_transfers = dsm.stats().delta_transfers.value();
+  out.transfer_bytes_saved = dsm.stats().transfer_bytes_saved.value();
+  out.protocol_bytes = dsm.stats().protocol_bytes.value();
+  return out;
+}
+
+TEST(TransportFlagsTest, FlagCombosNeverChangeResultsAndFireWhenOn) {
+  const SerializedResult base = RunSerialized(false, false, false);
+  EXPECT_GT(base.pages_checked, 0u);
+  EXPECT_EQ(base.rdma_reads, 0u);
+  EXPECT_EQ(base.compressed_transfers, 0u);
+  EXPECT_EQ(base.delta_transfers, 0u);
+  EXPECT_EQ(base.transfer_bytes_saved, 0u);
+
+  const SerializedResult hints = RunSerialized(true, false, false);
+  EXPECT_EQ(hints.checksum, base.checksum);
+  EXPECT_EQ(hints.rdma_reads, 0u) << "rdma fired without --dsm-rdma-read";
+
+  const SerializedResult rdma = RunSerialized(true, true, false);
+  EXPECT_EQ(rdma.checksum, base.checksum);
+  EXPECT_GT(rdma.rdma_reads, 0u) << "one-sided reads never engaged";
+  EXPECT_EQ(rdma.protocol_bytes, hints.protocol_bytes)
+      << "one-sided reads must not change modeled wire bytes";
+
+  const SerializedResult comp = RunSerialized(false, false, true);
+  EXPECT_EQ(comp.checksum, base.checksum);
+  EXPECT_GT(comp.compressed_transfers, 0u);
+  EXPECT_GT(comp.delta_transfers, 0u) << "invalidate-refetch tail produced no deltas";
+  EXPECT_GT(comp.transfer_bytes_saved, 0u);
+  EXPECT_LT(comp.protocol_bytes, base.protocol_bytes);
+
+  const SerializedResult all = RunSerialized(true, true, true);
+  EXPECT_EQ(all.checksum, base.checksum);
+  EXPECT_GT(all.rdma_reads, 0u);
+  EXPECT_GT(all.transfer_bytes_saved, 0u);
+}
+
+TEST(TransportFlagsTest, SameConfigurationReplaysBitIdentically) {
+  const SerializedResult a = RunSerialized(true, true, true);
+  const SerializedResult b = RunSerialized(true, true, true);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.rdma_reads, b.rdma_reads);
+  EXPECT_EQ(a.compressed_transfers, b.compressed_transfers);
+  EXPECT_EQ(a.delta_transfers, b.delta_transfers);
+  EXPECT_EQ(a.transfer_bytes_saved, b.transfer_bytes_saved);
+  EXPECT_EQ(a.protocol_bytes, b.protocol_bytes);
+}
+
+TEST(CompressionModelTest, SizesAreDeterministicAndBounded) {
+  const uint64_t seed = 0xC0DEC0DEull;
+  for (PageNum page = 0; page < 64; ++page) {
+    const uint64_t wire = CompressedPayloadBytes(seed, page, 4096);
+    EXPECT_EQ(wire, CompressedPayloadBytes(seed, page, 4096));
+    EXPECT_LE(wire, 4096u);
+    EXPECT_GE(wire, 4096u / 4);  // class 3 keeps a quarter of the body
+  }
+  EXPECT_EQ(DeltaPayloadBytes(4096, 0), 0u);
+  EXPECT_EQ(DeltaPayloadBytes(4096, 1), 4096u / 16);
+  EXPECT_EQ(DeltaPayloadBytes(4096, 16), 4096u);
+  EXPECT_EQ(DeltaPayloadBytes(4096, 1000), 4096u) << "deltas never exceed the full body";
+}
+
+}  // namespace
+}  // namespace fragvisor

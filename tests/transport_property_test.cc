@@ -1,0 +1,193 @@
+// Randomized transport fast-path property test (tier 2, FV_FAULT_SEED-swept).
+//
+// Every transport combination (owner hints x one-sided RDMA reads x
+// compression/delta-diffing) drives the same randomized workload, with and
+// without a randomized fault plan. Properties:
+//  * every access retires (hits + resolved == issued) — one-sided reads and
+//    resized transfers may never wedge a transaction, even under drops and
+//    healing partitions;
+//  * CheckInvariants() passes after quiesce under every combination;
+//  * the issued workload is identical across combinations (the fast paths
+//    model wire behavior — they may change timing and modeled sizes, never
+//    what the workload does);
+//  * compression strictly reduces modeled wire bytes whenever it fires;
+//  * the same seed replays the same combination bit-identically.
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/host/cost_model.h"
+#include "src/mem/dsm.h"
+#include "src/net/fabric.h"
+#include "src/net/rpc.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/rng.h"
+
+namespace fragvisor {
+namespace {
+
+uint64_t BaseSeed() {
+  const char* env = std::getenv("FV_FAULT_SEED");
+  if (env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+struct ComboResult {
+  uint64_t issued = 0;
+  uint64_t hits = 0;
+  uint64_t resolved = 0;
+  uint64_t issue_checksum = 0;  // order-independent digest of the issued stream
+  uint64_t pages_checked = 0;
+  uint64_t rdma_reads = 0;
+  uint64_t compressed_transfers = 0;
+  uint64_t delta_transfers = 0;
+  uint64_t transfer_bytes_saved = 0;
+  uint64_t protocol_bytes = 0;
+  uint64_t dropped = 0;
+  uint64_t dsm_retries = 0;
+  TimeNs final_time = 0;
+
+  bool operator==(const ComboResult& o) const {
+    return issued == o.issued && hits == o.hits && resolved == o.resolved &&
+           issue_checksum == o.issue_checksum && pages_checked == o.pages_checked &&
+           rdma_reads == o.rdma_reads && compressed_transfers == o.compressed_transfers &&
+           delta_transfers == o.delta_transfers &&
+           transfer_bytes_saved == o.transfer_bytes_saved &&
+           protocol_bytes == o.protocol_bytes && dropped == o.dropped &&
+           dsm_retries == o.dsm_retries && final_time == o.final_time;
+  }
+};
+
+// One trial: `mask` selects the transport combination (bit0 hints, bit1
+// one-sided reads, bit2 compression); `with_faults` attaches a seeded plan.
+ComboResult RunComboTrial(uint64_t seed, int mask, bool with_faults) {
+  constexpr int kNodes = 4;
+  constexpr PageNum kPages = 2048;
+  constexpr int kRounds = 40;
+  constexpr int kAccessesPerRound = 50;
+
+  EventLoop loop;
+  Fabric fabric(&loop, kNodes, LinkParams::InfiniBand56G());
+  FaultPlan plan(seed * 163 + 5);
+  if (with_faults) {
+    Rng meta(seed * 6151 + 17);
+    LinkFaultProfile profile;
+    profile.drop_prob = 0.004 * static_cast<double>(meta.UniformInt(1, 6));
+    profile.dup_prob = 0.004 * static_cast<double>(meta.UniformInt(0, 4));
+    profile.extra_delay_max = Micros(static_cast<TimeNs>(meta.UniformInt(0, 8)));
+    plan.SetDefaultLinkFaults(profile);
+    // A healing partition that cuts a likely predicted owner off mid-run, so
+    // hinted one-sided reads hit dead links and must fall back cleanly.
+    plan.PartitionLink(2, 1, Millis(3), Millis(3 + static_cast<TimeNs>(meta.UniformInt(2, 8))));
+    fabric.AttachFaultPlan(&plan);
+  }
+
+  const CostModel costs = CostModel::Default();
+  DsmEngine::Options opts;
+  opts.home = 0;
+  opts.num_nodes = kNodes;
+  opts.owner_hints = (mask & 1) != 0;
+  opts.rdma_read = (mask & 2) != 0;
+  opts.compress = (mask & 4) != 0;
+  RpcLayer rpc(&loop, &fabric);
+  DsmEngine dsm(&loop, &rpc, &costs, opts);
+  for (int n = 0; n < kNodes; ++n) {
+    dsm.SeedRange(static_cast<PageNum>(n) * (kPages / kNodes), kPages / kNodes, n);
+  }
+
+  ComboResult out;
+  Rng rng(seed * 37 + 13);
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kAccessesPerRound; ++i) {
+      const NodeId node = static_cast<NodeId>(rng.UniformInt(0, kNodes - 1));
+      const PageNum page = static_cast<PageNum>(rng.UniformInt(0, kPages - 1));
+      const bool is_write = rng.Chance(0.35);
+      ++out.issued;
+      out.issue_checksum +=
+          static_cast<uint64_t>(node) * 1315423911ull + page * 2654435761ull + (is_write ? 1 : 0);
+      if (dsm.Access(node, page, is_write, [&out]() { ++out.resolved; })) {
+        ++out.hits;
+      }
+    }
+    loop.Run();
+  }
+
+  out.pages_checked = dsm.CheckInvariants();
+  out.rdma_reads = dsm.stats().rdma_reads.value();
+  out.compressed_transfers = dsm.stats().compressed_transfers.value();
+  out.delta_transfers = dsm.stats().delta_transfers.value();
+  out.transfer_bytes_saved = dsm.stats().transfer_bytes_saved.value();
+  out.protocol_bytes = dsm.stats().protocol_bytes.value();
+  out.dropped = plan.stats().messages_dropped.value();
+  out.dsm_retries = dsm.stats().txn_retries.total();
+  out.final_time = loop.now();
+  return out;
+}
+
+TEST(TransportPropertyTest, AllCombinationsResolveAndStayCoherent) {
+  const uint64_t base = BaseSeed();
+  for (const bool with_faults : {false, true}) {
+    ComboResult baseline;
+    for (int mask = 0; mask < 8; ++mask) {
+      SCOPED_TRACE("seed " + std::to_string(base) + " mask " + std::to_string(mask) +
+                   (with_faults ? " faults" : " clean"));
+      const ComboResult r = RunComboTrial(base, mask, with_faults);
+      EXPECT_EQ(r.hits + r.resolved, r.issued) << "accesses wedged after quiesce";
+      EXPECT_GT(r.pages_checked, 0u);
+      if (mask == 0) {
+        baseline = r;
+        // The baseline must not touch any transport fast-path machinery.
+        EXPECT_EQ(r.rdma_reads + r.compressed_transfers + r.delta_transfers +
+                      r.transfer_bytes_saved,
+                  0u);
+      } else {
+        // Transport fast paths change timing and modeled sizes, never the
+        // workload itself.
+        EXPECT_EQ(r.issued, baseline.issued);
+        EXPECT_EQ(r.issue_checksum, baseline.issue_checksum);
+      }
+      if ((mask & 4) != 0 && r.compressed_transfers + r.delta_transfers > 0) {
+        EXPECT_GT(r.transfer_bytes_saved, 0u)
+            << "compression fired without saving modeled bytes";
+      }
+      if ((mask & 4) == 0) {
+        EXPECT_EQ(r.compressed_transfers + r.delta_transfers + r.transfer_bytes_saved, 0u);
+      }
+      if ((mask & 2) == 0) {
+        EXPECT_EQ(r.rdma_reads, 0u);
+      }
+      if (with_faults) {
+        EXPECT_GT(r.dropped, 0u) << "the fault plan never bit";
+      }
+    }
+  }
+}
+
+TEST(TransportPropertyTest, OneSidedReadsSurviveFaultsViaRetryPath) {
+  // Hints + RDMA with the plan cutting 2<->1 (node 1 owns a quarter of the
+  // space and is the natural predicted owner for its pages): one-sided reads
+  // fail mid-run and must fall back through the retry machinery.
+  const uint64_t base = BaseSeed();
+  const ComboResult r = RunComboTrial(base, /*mask=*/3, /*with_faults=*/true);
+  EXPECT_EQ(r.hits + r.resolved, r.issued);
+  EXPECT_GT(r.rdma_reads, 0u) << "one-sided reads never engaged";
+  EXPECT_GT(r.pages_checked, 0u);
+}
+
+TEST(TransportPropertyTest, SameSeedReplaysBitIdentically) {
+  const uint64_t base = BaseSeed();
+  for (const int mask : {3, 7}) {
+    SCOPED_TRACE("mask " + std::to_string(mask));
+    const ComboResult first = RunComboTrial(base, mask, /*with_faults=*/true);
+    const ComboResult second = RunComboTrial(base, mask, /*with_faults=*/true);
+    EXPECT_TRUE(first == second) << "transport run diverged across identical replays";
+  }
+}
+
+}  // namespace
+}  // namespace fragvisor

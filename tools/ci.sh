@@ -138,6 +138,13 @@ for config in "${configs[@]}"; do
     echo "=== [$config] bench: cluster_chaos (fault-tolerance campaign) ==="
     "$build_dir/bench/cluster_chaos" --quick \
       --out "$artifacts/BENCH_cluster_chaos.json"
+    # Transport fast-path sensitivity study: RDMA-read and compression must
+    # keep workload results byte-identical while improving latency/bytes, and
+    # the fat-tree oversubscription sweep must stay monotone (non-zero exit
+    # on any violated gate).
+    echo "=== [$config] bench: fabric_transport (RDMA/compression/fat-tree) ==="
+    "$build_dir/bench/fabric_transport" --quick \
+      --out "$artifacts/BENCH_fabric_transport.json"
 
     # Run-to-run determinism of the fast paths at the fvsim level: two
     # identical runs with every --dsm-* flag on must diff clean.

@@ -115,6 +115,25 @@ std::vector<std::string> SplitList(const std::string& list) {
   return items;
 }
 
+// Topology flags, shared by the storm and cluster commands:
+//   --topology mesh|fat-tree  fabric shape (default mesh, the historical model)
+//   --pod N                   fat-tree: nodes per pod (default 8)
+//   --oversub R               fat-tree: core oversubscription ratio (default 1.0)
+//   --planes K                fat-tree: ECMP core planes (default 4)
+bool ParseTopologySpec(const Args& args, TopologyConfig* topo) {
+  const std::string kind = args.Get("topology", "mesh");
+  if (kind == "mesh") {
+    *topo = TopologyConfig::Mesh();
+  } else if (kind == "fat-tree") {
+    *topo = TopologyConfig::FatTree(args.GetInt("pod", 8), args.GetDouble("oversub", 1.0),
+                                    args.GetInt("planes", 4));
+  } else {
+    std::fprintf(stderr, "unknown --topology '%s' (mesh|fat-tree)\n", kind.c_str());
+    return false;
+  }
+  return true;
+}
+
 // Fault-injection flags, shared by every workload command:
 //   --fault-seed N        RNG seed for the plan's link-fault draws (default 1)
 //   --fault-drop P        per-message drop probability on every link
@@ -234,6 +253,12 @@ Setup MakeSetup(const Args& args) {
   if (args.Has("dsm-adaptive")) {
     setup.dsm_adaptive = true;
   }
+  if (args.Has("dsm-rdma-read")) {
+    setup.dsm_rdma_read = true;
+  }
+  if (args.Has("dsm-compress")) {
+    setup.dsm_compress = true;
+  }
   ParseFaultSpec(args, &setup);
   ParseReliabilitySpec(args, &setup);
   return setup;
@@ -278,7 +303,7 @@ int RunNpb(const Args& args) {
   std::printf("%s x%d on %s: %.2f ms (%.0f DSM faults/s)\n", profile.name.c_str(), setup.vcpus,
               bench::SystemName(setup.system), ToMillis(end), faults);
   if (setup.dsm_owner_hints || setup.dsm_replicate || setup.dsm_adaptive ||
-      setup.dsm_prefetch > 0) {
+      setup.dsm_prefetch > 0 || setup.dsm_rdma_read || setup.dsm_compress) {
     bench::PrintHeader("dsm fast paths");
     bench::PrintDsmFastPathReport(fastpath);
   }
@@ -393,6 +418,12 @@ std::string StormConfigBlob(const StormOptions& so, int threads) {
   kv("partition_b", std::to_string(so.partition_b));
   kv("partition_from", std::to_string(so.partition_from));
   kv("partition_until", std::to_string(so.partition_until));
+  // Topology keys (absent from pre-topology captures; the parser's defaults
+  // reconstruct the mesh those recordings ran on).
+  kv("topology", so.topology.fat_tree() ? "fat-tree" : "mesh");
+  kv("pod_size", std::to_string(so.topology.pod_size));
+  kv("oversub", std::to_string(so.topology.oversub));
+  kv("core_planes", std::to_string(so.topology.core_planes));
   kv("threads", std::to_string(threads));
   return s;
 }
@@ -467,6 +498,21 @@ bool ParseStormConfigBlob(const std::string& blob, StormOptions* so, int* thread
       so->partition_from = l();
     } else if (key == "partition_until") {
       so->partition_until = l();
+    } else if (key == "topology") {
+      if (val == "fat-tree") {
+        so->topology.kind = TopologyConfig::Kind::kFatTree;
+      } else if (val == "mesh") {
+        so->topology.kind = TopologyConfig::Kind::kMesh;
+      } else {
+        std::fprintf(stderr, "unknown capture topology '%s'\n", val.c_str());
+        return false;
+      }
+    } else if (key == "pod_size") {
+      so->topology.pod_size = i();
+    } else if (key == "oversub") {
+      so->topology.oversub = d();
+    } else if (key == "core_planes") {
+      so->topology.core_planes = i();
     } else if (key == "threads") {
       *threads = i();
     } else {
@@ -503,6 +549,9 @@ int RunStormCmd(const Args& args) {
   so.think_ns = Nanos(args.GetInt("think-ns", 2000));
   so.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   so.latency_jitter_ns = Nanos(args.GetInt("jitter-ns", 700));
+  if (!ParseTopologySpec(args, &so.topology)) {
+    return 2;
+  }
   so.drop_prob = args.GetDouble("fault-drop", 0.0);
   so.dup_prob = args.GetDouble("fault-dup", 0.0);
   so.extra_delay_max = Micros(args.GetInt("fault-delay-us", 0));
@@ -605,6 +654,10 @@ int RunStormCmd(const Args& args) {
               ToMillis(r.finish_time), static_cast<unsigned long long>(r.events_dispatched),
               wall_s > 0 ? static_cast<double>(r.events_dispatched) / wall_s : 0.0,
               static_cast<unsigned long long>(r.state_digest));
+  if (so.topology.fat_tree()) {
+    std::printf("  topology fat-tree: pods of %d, oversub %.2f, %d core planes\n",
+                so.topology.pod_size, so.topology.oversub, so.topology.core_planes);
+  }
   std::printf("  remote reads %llu, writes %llu, cache hits %llu, invalidations %llu, "
               "failures %llu\n",
               static_cast<unsigned long long>(r.totals.remote_reads),
@@ -708,6 +761,11 @@ int RunClusterCmd(const Args& args) {
   mo.qos = args.Has("rpc-qos");
   mo.coalesced_acks = args.Has("rpc-coalesce");
   mo.latency_jitter_ns = Nanos(args.GetInt("jitter-ns", 700));
+  if (!ParseTopologySpec(args, &mo.topology)) {
+    return 2;
+  }
+  mo.rdma_read = args.Has("dsm-rdma-read");
+  mo.compress = args.Has("dsm-compress");
 
   // Fault injection + failover (DESIGN.md §12): stochastic link faults plus
   // scheduled crash/restart/partition transitions.
@@ -789,6 +847,16 @@ int RunClusterCmd(const Args& args) {
               ToMillis(r.finish_time), static_cast<unsigned long long>(r.events_dispatched),
               wall_s > 0 ? static_cast<double>(r.events_dispatched) / wall_s : 0.0,
               static_cast<unsigned long long>(r.state_digest));
+  if (mo.topology.fat_tree() || mo.rdma_read || mo.compress) {
+    std::printf("  transport:%s%s%s\n",
+                mo.topology.fat_tree()
+                    ? (std::string(" fat-tree pods=") + std::to_string(mo.topology.pod_size) +
+                       " oversub=" + std::to_string(mo.topology.oversub) +
+                       " planes=" + std::to_string(mo.topology.core_planes))
+                          .c_str()
+                    : "",
+                mo.rdma_read ? " rdma-read" : "", mo.compress ? " compress" : "");
+  }
   std::printf("  placement: %llu whole, %llu aggregate, %llu delayed, %llu reclaims, "
               "%llu completed\n",
               static_cast<unsigned long long>(r.placed_single),
@@ -979,6 +1047,7 @@ int List() {
   std::printf("  storm [--threads N] [--nodes N] [--streams N] [--accesses N] [--pages N]\n");
   std::printf("        [--cache-slots N] [--remote-frac F] [--write-frac F] [--think-ns T]\n");
   std::printf("        [--jitter-ns T] [--seed N] [--epochs N] [--report] [fault flags]\n");
+  std::printf("        [--topology mesh|fat-tree --pod N --oversub R --planes K]\n");
   std::printf("        [--snapshot-save F --snapshot-epoch K] [--snapshot-load F]\n");
   std::printf("        [--capture F]\n");
   std::printf("  cluster [--nodes N] [--vms M] [--trace poisson|diurnal|flash] [--threads N]\n");
@@ -986,6 +1055,8 @@ int List() {
   std::printf("        [--vcpus-per-node N] [--mem-gb G] [--max-vcpus N] [--requests N]\n");
   std::printf("        [--mem-per-vcpu-mb M] [--remote-frac F] [--no-reclaim] [--rpc-qos]\n");
   std::printf("        [--rpc-coalesce] [--jitter-ns T] [--report [PATH]]\n");
+  std::printf("        [--topology mesh|fat-tree --pod N --oversub R --planes K]\n");
+  std::printf("        [--dsm-rdma-read] [--dsm-compress]\n");
   std::printf("        [--snapshot-save F --snapshot-epoch K] [--snapshot-load F]\n");
   std::printf("        [--fault-seed N] [--fault-drop P] [--fault-dup P] [--fault-jitter-us U]\n");
   std::printf("        [--fault-crash n@ms,...] [--fault-restart n@ms,...]\n");
@@ -1001,6 +1072,8 @@ int List() {
   std::printf("         --dsm-hints (owner-hint cache: direct-to-owner faults)\n");
   std::printf("         --dsm-replicate (read-mostly replication)\n");
   std::printf("         --dsm-adaptive (adaptive transfer granularity + hold)\n");
+  std::printf("         --dsm-rdma-read (one-sided RDMA-read page pulls)\n");
+  std::printf("         --dsm-compress (compressed + delta-diffed page transfers)\n");
   std::printf("faults:  --fault-seed N --fault-drop P --fault-dup P --fault-delay-us U\n");
   std::printf("         --fault-crash n@ms[,..] --fault-restart n@ms[,..]\n");
   std::printf("         --fault-partition a-b@ms-ms[,..] --fault-empty\n");

@@ -9,6 +9,8 @@
 //
 // Kinds:
 //   storm  — RunStorm over StormOptions keys; report = StormReport().
+//            Topology keys "topology" (mesh|fat-tree), "pod", "oversub",
+//            "planes" select the interconnect (default mesh).
 //            Optional cross-checks: "compare_threads" re-runs at another
 //            worker count and requires byte-equal reports; "verify_resume"
 //            snapshots at epoch 1, resumes in-process, and requires the
@@ -21,6 +23,8 @@
 //            Report = end time + integer fault counters.
 //   cluster — the multi-tenant marketplace (cluster orchestrator, DESIGN.md
 //            §11) over MarketplaceOptions keys; report = MarketplaceReport().
+//            Takes the storm topology keys plus "rdma_read" / "compress"
+//            (the DSM transport fast paths).
 //            Supports the same "compare_threads" / "verify_resume"
 //            cross-checks as storm. Fault keys (times in µs) arm the chaos
 //            machinery: fault_seed/fault_drop/fault_dup/fault_jitter_us,
@@ -213,6 +217,25 @@ class Params {
 
 // --- Scenario kinds -------------------------------------------------------
 
+// Shared topology keys for storm/cluster scenarios: "topology" (mesh or
+// fat-tree), "pod", "oversub", "planes". Absent keys keep the mesh default,
+// so every pre-existing pinned scenario is untouched.
+bool ParseTopologyParams(const Params& p, TopologyConfig* topo, std::string* error) {
+  const std::string kind = p.Str("topology", "mesh");
+  if (kind == "mesh") {
+    topo->kind = TopologyConfig::Kind::kMesh;
+  } else if (kind == "fat-tree") {
+    topo->kind = TopologyConfig::Kind::kFatTree;
+  } else {
+    *error = "unknown topology '" + kind + "' (mesh or fat-tree)";
+    return false;
+  }
+  topo->pod_size = static_cast<int>(p.Int("pod", topo->pod_size));
+  topo->oversub = p.Dbl("oversub", topo->oversub);
+  topo->core_planes = static_cast<int>(p.Int("planes", topo->core_planes));
+  return true;
+}
+
 bool RunStormScenario(const Params& p, std::string* report, std::string* error) {
   StormOptions so;
   so.num_nodes = static_cast<int>(p.Int("nodes", so.num_nodes));
@@ -236,6 +259,9 @@ bool RunStormScenario(const Params& p, std::string* report, std::string* error) 
   so.partition_b = static_cast<int32_t>(p.Int("partition_b", so.partition_b));
   so.partition_from = p.Int("partition_from_ns", so.partition_from);
   so.partition_until = p.Int("partition_until_ns", so.partition_until);
+  if (!ParseTopologyParams(p, &so.topology, error)) {
+    return false;
+  }
   const int threads = static_cast<int>(p.Int("threads", 0));
 
   *report = StormReport(RunStorm(so, threads));
@@ -301,6 +327,11 @@ bool RunClusterScenario(const Params& p, std::string* report, std::string* error
   mo.qos = p.Bool("qos", mo.qos);
   mo.coalesced_acks = p.Bool("coalesce", mo.coalesced_acks);
   mo.latency_jitter_ns = p.Int("jitter_ns", mo.latency_jitter_ns);
+  if (!ParseTopologyParams(p, &mo.topology, error)) {
+    return false;
+  }
+  mo.rdma_read = p.Bool("rdma_read", mo.rdma_read);
+  mo.compress = p.Bool("compress", mo.compress);
 
   // Fault plan: flat scalar keys, times in microseconds. Two crash slots and
   // one restart/partition slot cover the pinned chaos scenarios; richer
